@@ -1,0 +1,47 @@
+// Figure 4: UCCSD ansatz gate counts before and after gate fusion at 4, 6
+// and 8 qubits.
+//
+// Paper numbers: 4q 221 -> 68, 6q 2283 -> 954, 8q 10809 -> 5208 — i.e.
+// consistently >50% reduction. We report our counts plus the reduction and
+// verify semantic equivalence (fidelity of the fused circuit).
+
+#include <cstdio>
+#include <vector>
+
+#include "chem/uccsd.hpp"
+#include "common/rng.hpp"
+#include "ir/passes/cancel.hpp"
+#include "ir/passes/fusion.hpp"
+#include "sim/state_vector.hpp"
+
+int main() {
+  using namespace vqsim;
+  std::printf("# Figure 4: UCCSD gate counts before/after gate fusion\n");
+  std::printf("%-8s %-10s %-10s %-12s %-12s %-10s\n", "qubits", "original",
+              "fused", "reduction%", "cancelled", "fidelity");
+  Rng rng(2023);
+  for (int nq : {4, 6, 8}) {
+    const int ne = (nq / 2) % 2 == 0 ? nq / 2 : nq / 2 + 1;
+    const UccsdAnsatz ansatz(nq, ne);
+    std::vector<double> theta(ansatz.num_parameters());
+    for (double& t : theta) t = rng.uniform(-0.3, 0.3);
+    const Circuit original = ansatz.circuit(theta);
+
+    FusionStats stats;
+    const Circuit fused = fuse_gates(original, {}, &stats);
+
+    CancelStats cstats;
+    const Circuit cancelled = cancel_gates(original, &cstats);
+
+    StateVector a(nq);
+    a.apply_circuit(original);
+    StateVector b(nq);
+    b.apply_circuit(fused);
+
+    std::printf("%-8d %-10zu %-10zu %-12.1f %-12zu %-10.6f\n", nq,
+                stats.gates_before, stats.gates_after,
+                100.0 * stats.reduction(), cstats.gates_after,
+                a.fidelity(b));
+  }
+  return 0;
+}

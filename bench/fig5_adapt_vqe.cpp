@@ -1,0 +1,63 @@
+// Figure 5: ADAPT-VQE convergence on a downfolded 6-orbital (12-qubit)
+// water-like molecule.
+//
+// Paper shape: the energy error against the exact ground state decays from
+// ~0.016 Ha to below 1 mHa (chemical accuracy) in roughly 16 iterations,
+// each iteration adding exactly one ansatz layer.
+//
+// Full pipeline exercised here (paper Fig. 2): synthetic water integrals ->
+// Hermitian double-commutator downfolding (8 -> 6 orbitals, core frozen) ->
+// Jordan-Wigner -> ADAPT-VQE on the state-vector simulator, with the Lanczos
+// FCI energy of the downfolded Hamiltonian as the reference.
+
+#include <cstdio>
+
+#include "chem/fci.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/timer.hpp"
+#include "downfold/downfold.hpp"
+#include "vqe/adapt.hpp"
+
+int main() {
+  using namespace vqsim;
+  WallTimer total;
+  std::printf("# Figure 5: ADAPT-VQE on downfolded 6-orbital water-like\n");
+
+  const MolecularIntegrals ints = water_like(8, 10);
+  const ActiveSpace space{1, 6};  // freeze core, 6 active orbitals
+  const DownfoldResult df = hermitian_downfold(ints, space);
+  std::printf("# downfolded: %d qubits, %d electrons, %zu fermion terms\n",
+              df.n_active_spin_orbitals, df.n_active_electrons,
+              df.h_eff.size());
+
+  const double e_fci =
+      fci_ground_state(df.h_eff, df.n_active_spin_orbitals,
+                       df.n_active_electrons)
+          .energy;
+  const PauliSum h = jordan_wigner(df.h_eff);
+  std::printf("# observable: %zu Pauli terms; E_FCI = %.8f Ha\n", h.size(),
+              e_fci);
+
+  AdaptOptions opts;
+  opts.max_operators = 25;
+  opts.reference_energy = e_fci;
+  opts.reference_target = kChemicalAccuracy;
+  opts.inner.iterations = 200;
+  AdaptVqe adapt(h, df.n_active_electrons, opts);
+  std::printf("# operator pool: %zu UCCSD generators\n",
+              adapt.pool().size());
+
+  const AdaptResult r = adapt.run();
+  std::printf("%-10s %-12s %-14s %-14s %-8s\n", "iteration", "layers",
+              "energy_Ha", "dE_Ha", "chem_acc");
+  for (const AdaptIterationRecord& it : r.iterations) {
+    const double de = it.energy - e_fci;
+    std::printf("%-10zu %-12zu %-14.8f %-14.6f %-8s\n", it.iteration,
+                it.parameters, it.energy, de,
+                de < kChemicalAccuracy ? "yes" : "no");
+  }
+  std::printf("# converged=%s, final dE=%.6f Ha, wall=%.1f s\n",
+              r.converged ? "yes" : "no", r.energy - e_fci, total.seconds());
+  return 0;
+}

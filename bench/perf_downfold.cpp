@@ -1,0 +1,48 @@
+// Wall-time scaling of the downfolding substrate: the Wick-engine
+// commutator expansion vs system size and expansion order.
+
+#include <benchmark/benchmark.h>
+
+#include "chem/molecules.hpp"
+#include "downfold/downfold.hpp"
+
+namespace {
+
+using namespace vqsim;
+
+void BM_HermitianDownfold(benchmark::State& state) {
+  const int norb = static_cast<int>(state.range(0));
+  const int order = static_cast<int>(state.range(1));
+  const MolecularIntegrals ints = water_like(norb, 6);
+  const ActiveSpace space{1, 3};
+  DownfoldOptions opts;
+  opts.commutator_order = order;
+  for (auto _ : state) {
+    const DownfoldResult r = hermitian_downfold(ints, space, opts);
+    benchmark::DoNotOptimize(r.h_eff.size());
+  }
+  state.counters["orbitals"] = norb;
+  state.counters["order"] = order;
+}
+BENCHMARK(BM_HermitianDownfold)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({5, 2})
+    ->Args({6, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MolecularHamiltonianBuild(benchmark::State& state) {
+  const int norb = static_cast<int>(state.range(0));
+  const MolecularIntegrals ints = water_like(norb, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(molecular_hamiltonian(ints).size());
+  }
+}
+BENCHMARK(BM_MolecularHamiltonianBuild)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Gate fusion end-to-end effect (paper §4.3): wall-clock of simulating the
+// UCCSD ansatz with and without the fusion pass, plus the pass itself.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "chem/uccsd.hpp"
+#include "common/rng.hpp"
+#include "ir/passes/fusion.hpp"
+#include "sim/state_vector.hpp"
+
+namespace {
+
+using namespace vqsim;
+
+Circuit uccsd_circuit_for(int nq, std::uint64_t seed) {
+  const int ne = (nq / 2) % 2 == 0 ? nq / 2 : nq / 2 + 1;
+  const UccsdAnsatz ansatz(nq, ne);
+  Rng rng(seed);
+  std::vector<double> theta(ansatz.num_parameters());
+  for (double& t : theta) t = rng.uniform(-0.3, 0.3);
+  return ansatz.circuit(theta);
+}
+
+void BM_SimulateOriginal(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  const Circuit c = uccsd_circuit_for(nq, 11);
+  StateVector sv(nq);
+  for (auto _ : state) {
+    sv.reset();
+    sv.apply_circuit(c);
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_SimulateOriginal)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_SimulateFused(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  const Circuit c = fuse_gates(uccsd_circuit_for(nq, 11));
+  StateVector sv(nq);
+  for (auto _ : state) {
+    sv.reset();
+    sv.apply_circuit(c);
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_SimulateFused)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_FusionPassItself(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  const Circuit c = uccsd_circuit_for(nq, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuse_gates(c));
+  }
+  state.counters["gates_in"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_FusionPassItself)->Arg(8)->Arg(10)->Arg(12);
+
+}  // namespace

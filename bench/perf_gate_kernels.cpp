@@ -1,0 +1,103 @@
+// Gate-kernel throughput: single-/two-qubit gate application across state
+// sizes. This is the raw engine speed underneath every headline number
+// (paper §4: "distributing parallel simulation of gates ... across cores").
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sim/state_vector.hpp"
+
+namespace {
+
+using namespace vqsim;
+
+StateVector random_state(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  AmpVector amps(idx{1} << n);
+  for (cplx& a : amps) a = rng.normal_cplx();
+  StateVector sv = StateVector::from_amplitudes(std::move(amps));
+  sv.normalize();
+  return sv;
+}
+
+void BM_Hadamard(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  StateVector sv = random_state(nq, 1);
+  Gate h;
+  h.kind = GateKind::kH;
+  int q = 0;
+  for (auto _ : state) {
+    h.q0 = q;
+    sv.apply_gate(h);
+    q = (q + 1) % nq;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_Hadamard)->Arg(12)->Arg(16)->Arg(20)->Arg(22);
+
+void BM_Cnot(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  StateVector sv = random_state(nq, 2);
+  Gate cx;
+  cx.kind = GateKind::kCX;
+  int q = 0;
+  for (auto _ : state) {
+    cx.q0 = q;
+    cx.q1 = (q + 1) % nq;
+    sv.apply_gate(cx);
+    q = (q + 1) % nq;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_Cnot)->Arg(12)->Arg(16)->Arg(20)->Arg(22);
+
+void BM_GenericTwoQubitMatrix(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  StateVector sv = random_state(nq, 3);
+  Gate g;
+  g.kind = GateKind::kRXX;
+  g.params[0] = 0.3;
+  const Mat4 m = gate_matrix4(g);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_mat4(m, q, (q + 1) % nq);
+    q = (q + 1) % nq;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_GenericTwoQubitMatrix)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_DiagonalRz(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  StateVector sv = random_state(nq, 4);
+  Gate rz;
+  rz.kind = GateKind::kRZ;
+  rz.params[0] = 0.1;
+  int q = 0;
+  for (auto _ : state) {
+    rz.q0 = q;
+    sv.apply_gate(rz);
+    q = (q + 1) % nq;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_DiagonalRz)->Arg(12)->Arg(16)->Arg(20)->Arg(22);
+
+void BM_ExpPauliGadgetDirect(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  StateVector sv = random_state(nq, 5);
+  const PauliString p = PauliString::from_string(
+      std::string("XYZZYX").substr(0, 6) + std::string(nq - 6, 'I'));
+  for (auto _ : state) {
+    sv.apply_exp_pauli(p, 0.05);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_ExpPauliGadgetDirect)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Scaling behaviour of the simulator backends.
+//
+// (a) OpenMP thread sweep on the shared-memory backend (on this container
+//     nproc may be 1; the sweep still documents the knob the paper turns on
+//     Perlmutter nodes).
+// (b) Simulated-rank sweep of the distributed (SV-Sim role) backend on a
+//     fixed problem: rank count changes the communication volume exactly as
+//     node count does on the real machine; the counters report amplitudes
+//     exchanged per circuit.
+
+#include <benchmark/benchmark.h>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "dist/dist_state_vector.hpp"
+#include "sim/state_vector.hpp"
+
+namespace {
+
+using namespace vqsim;
+
+Circuit random_circuit(int num_qubits, std::size_t gates, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(num_qubits);
+  for (std::size_t i = 0; i < gates; ++i) {
+    const int q0 = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    int q1 = q0;
+    while (q1 == q0)
+      q1 = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    if (rng.uniform() < 0.4)
+      c.cx(q0, q1);
+    else
+      c.u3(rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), q0);
+  }
+  return c;
+}
+
+void BM_ThreadSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int nq = 20;
+  const Circuit c = random_circuit(nq, 64, 19);
+  set_threads(threads);
+  StateVector sv(nq);
+  for (auto _ : state) {
+    sv.reset();
+    sv.apply_circuit(c);
+  }
+  set_threads(hardware_threads());
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_ThreadSweep)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DistributedRankSweep(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int nq = 16;
+  const Circuit c = random_circuit(nq, 64, 23);
+  for (auto _ : state) {
+    SimComm comm(ranks);
+    DistStateVector sv(nq, &comm);
+    sv.apply_circuit(c);
+    benchmark::DoNotOptimize(sv.norm());
+    state.counters["amps_exchanged"] =
+        static_cast<double>(comm.stats().amplitudes_exchanged);
+    state.counters["p2p_messages"] =
+        static_cast<double>(comm.stats().point_to_point_messages);
+  }
+  state.counters["ranks"] = ranks;
+}
+BENCHMARK(BM_DistributedRankSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GateThroughputVsQubits(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  const Circuit c = random_circuit(nq, 32, 29);
+  StateVector sv(nq);
+  for (auto _ : state) {
+    sv.reset();
+    sv.apply_circuit(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 32 *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_GateThroughputVsQubits)->DenseRange(14, 24, 2);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// ADAPT-VQE on a downfolded water-like molecule (the paper's §5.3 workload
+// at reduced size so the example runs in seconds).
+//
+//   $ ./adapt_water
+//
+// Pipeline: synthetic water integrals (6 orbitals, 6 electrons) -> Hermitian
+// double-commutator downfolding to a 4-orbital active space (8 qubits) ->
+// Jordan-Wigner -> ADAPT-VQE with exact adjoint-sweep gradients, against the
+// FCI reference. The 12-qubit full-size run is bench/fig5_adapt_vqe.
+
+#include <cstdio>
+
+#include "api/workflow.hpp"
+#include "chem/molecules.hpp"
+
+int main() {
+  using namespace vqsim;
+
+  WorkflowConfig config;
+  config.molecule = water_like(6, 6);
+  config.active = ActiveSpace{1, 4};  // freeze the core, keep 4 orbitals
+  config.algorithm = WorkflowAlgorithm::kAdaptVqe;
+  config.adapt.max_operators = 15;
+  config.adapt.inner.iterations = 250;
+  config.adapt.reference_target = kChemicalAccuracy;
+
+  std::printf(
+      "Downfolded water-like molecule: 6 orbitals -> 4 active (8 qubits)\n");
+  const WorkflowReport report = run_workflow(config);
+
+  std::printf("qubits      : %d (%d active electrons)\n", report.qubits,
+              report.electrons);
+  std::printf("Pauli terms : %zu\n", report.pauli_terms);
+  std::printf("E(HF)       : %+.8f Ha\n", report.hf_energy);
+  std::printf("E(FCI)      : %+.8f Ha\n", *report.fci_energy);
+  std::printf("\n%-6s %-10s %-14s %-12s\n", "iter", "layers", "energy",
+              "dE vs FCI");
+  for (const AdaptIterationRecord& it : report.adapt->iterations)
+    std::printf("%-6zu %-10zu %-14.8f %-12.6f\n", it.iteration,
+                it.parameters, it.energy, it.energy - *report.fci_energy);
+  std::printf("\nconverged to chemical accuracy: %s (final dE = %.2e Ha)\n",
+              report.adapt->converged ? "yes" : "no",
+              report.energy - *report.fci_energy);
+  return 0;
+}

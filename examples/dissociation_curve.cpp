@@ -1,0 +1,52 @@
+// H2 dissociation curve from the built-in ab-initio pipeline, with
+// warm-started VQE (paper §6.2 incremental optimization).
+//
+//   $ ./dissociation_curve
+//
+// For each bond length: STO-3G integrals (analytic Gaussians) -> RHF ->
+// MO transform -> JW -> UCCSD-VQE seeded at the previous geometry's
+// optimum, against the FCI curve. RHF famously fails to dissociate H2;
+// VQE/UCCSD tracks FCI to the separated-atom limit.
+
+#include <cstdio>
+#include <vector>
+
+#include "chem/fci.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/scf.hpp"
+#include "vqe/sweep.hpp"
+
+int main() {
+  using namespace vqsim;
+
+  std::vector<double> bonds;
+  for (double r = 0.9; r <= 5.01; r += 0.4) bonds.push_back(r);
+
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  const ObservableFactory factory = [](double bond) {
+    return jordan_wigner(
+        molecular_hamiltonian(molecule_from_atoms(h2_geometry(bond), 2)));
+  };
+
+  SweepOptions opts;
+  opts.warm_start = true;
+  const SweepResult sweep = run_vqe_sweep(ansatz, factory, bonds, opts);
+
+  std::printf("H2 / STO-3G dissociation curve (bond lengths in bohr)\n");
+  std::printf("%-8s %-14s %-14s %-14s %-10s\n", "R", "E_HF", "E_VQE", "E_FCI",
+              "evals");
+  for (const SweepPoint& p : sweep.points) {
+    const MolecularIntegrals mo =
+        molecule_from_atoms(h2_geometry(p.x), 2);
+    const double e_hf = mo.hartree_fock_energy();
+    const double e_fci =
+        fci_ground_state(molecular_hamiltonian(mo), 4, 2).energy;
+    std::printf("%-8.2f %-14.8f %-14.8f %-14.8f %-10zu\n", p.x, e_hf,
+                p.result.energy, e_fci, p.result.evaluations);
+  }
+  std::printf(
+      "total energy evaluations with warm starts: %zu (see "
+      "bench/ablation_warmstart for the cold-start comparison)\n",
+      sweep.total_evaluations);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// The distributed (SV-Sim role) backend: rank-partitioned simulation with
+// explicit communication accounting.
+//
+//   $ ./distributed_sim
+//
+// Runs the same UCCSD circuit on the shared-memory simulator and on the
+// simulated multi-rank backend at 2/4/8 ranks, checks bit-level agreement,
+// and reports how the communication volume grows with the rank count —
+// the knob the paper turns across Perlmutter nodes.
+
+#include <cstdio>
+#include <vector>
+
+#include "chem/uccsd.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "dist/dist_state_vector.hpp"
+#include "sim/expectation.hpp"
+
+int main() {
+  using namespace vqsim;
+
+  const int nq = 12;
+  const UccsdAnsatz ansatz(nq, 6);
+  Rng rng(5);
+  std::vector<double> theta(ansatz.num_parameters());
+  for (double& t : theta) t = rng.uniform(-0.2, 0.2);
+  const Circuit circuit = ansatz.circuit(theta);
+  std::printf("workload: %d-qubit UCCSD ansatz, %zu gates\n", nq,
+              circuit.size());
+
+  WallTimer t0;
+  StateVector reference(nq);
+  reference.apply_circuit(circuit);
+  std::printf("shared-memory backend: %.3f s\n", t0.seconds());
+
+  std::printf("%-8s %-12s %-16s %-16s %-12s\n", "ranks", "local_q",
+              "p2p_messages", "amps_exchanged", "fidelity");
+  for (int ranks : {1, 2, 4, 8}) {
+    SimComm comm(ranks);
+    DistStateVector dist(nq, &comm);
+    dist.apply_circuit(circuit);
+    const StateVector gathered = dist.gather();
+    std::printf("%-8d %-12d %-16llu %-16llu %-12.10f\n", ranks,
+                dist.local_qubits(),
+                static_cast<unsigned long long>(
+                    comm.stats().point_to_point_messages),
+                static_cast<unsigned long long>(
+                    comm.stats().amplitudes_exchanged),
+                reference.fidelity(gathered));
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Error-mitigation walkthrough: readout-error inversion and zero-noise
+// extrapolation on the H2 VQE energy.
+//
+//   $ ./error_mitigation
+//
+// (1) Shot readout through a symmetric confusion model biases every parity
+//     toward zero; dividing by the known attenuation recovers the exact
+//     expectations. (2) Depolarizing gate noise biases the energy upward;
+//     Richardson extrapolation over amplified noise pulls it back.
+
+#include <cstdio>
+
+#include "chem/fci.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/bits.hpp"
+#include "sim/expectation.hpp"
+#include "sim/readout_error.hpp"
+#include "sim/sampler.hpp"
+#include "vqe/vqe.hpp"
+#include "vqe/zne.hpp"
+
+int main() {
+  using namespace vqsim;
+
+  const FermionOp h_fermion = molecular_hamiltonian(h2_sto3g());
+  const PauliSum h = jordan_wigner(h_fermion);
+  const double e_fci = fci_ground_state(h_fermion, 4, 2).energy;
+
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  const VqeResult clean = run_vqe(ansatz, h, {});
+  std::printf("noiseless VQE energy: %+.6f Ha (FCI %+.6f)\n", clean.energy,
+              e_fci);
+
+  // --- Readout-error mitigation on a single observable -------------------
+  StateVector psi(4);
+  ansatz.prepare(&psi, clean.parameters);
+  const std::uint64_t mask = 0b0011;  // ZZ on the occupied pair
+  const double exact_zz = expectation_z_mask(psi, mask);
+
+  const ReadoutErrorModel readout = ReadoutErrorModel::uniform(4, 0.06, 0.06);
+  Rng rng(41);
+  const std::vector<idx> clean_shots = sample_states(psi, 100000, rng);
+  const std::vector<idx> noisy_shots =
+      corrupt_samples(clean_shots, readout, rng);
+  std::int64_t acc = 0;
+  for (idx s : noisy_shots) acc += parity(s & mask) ? -1 : 1;
+  const double raw = static_cast<double>(acc) / 100000.0;
+  const double mitigated =
+      mitigated_z_mask_expectation(noisy_shots, mask, readout);
+  std::printf("\nreadout mitigation of <Z0 Z1> (6%% symmetric flips):\n");
+  std::printf("  exact     : %+.5f\n", exact_zz);
+  std::printf("  corrupted : %+.5f\n", raw);
+  std::printf("  mitigated : %+.5f\n", mitigated);
+
+  // --- Zero-noise extrapolation of the full energy -----------------------
+  NoiseModel gate_noise;
+  gate_noise.depolarizing = 0.002;
+  ZneOptions zne;
+  zne.trajectories = 2000;
+  const ZneResult r = zero_noise_extrapolation(
+      ansatz.circuit(clean.parameters), h, gate_noise, zne);
+  std::printf("\nzero-noise extrapolation (0.2%% depolarizing per gate):\n");
+  for (std::size_t i = 0; i < r.scales.size(); ++i)
+    std::printf("  lambda = %.0f : %+.6f Ha\n", r.scales[i], r.measured[i]);
+  std::printf("  extrapolated : %+.6f Ha (error %+.4f vs raw %+.4f)\n",
+              r.mitigated, r.mitigated - clean.energy,
+              r.measured.front() - clean.energy);
+  return 0;
+}

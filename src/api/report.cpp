@@ -1,0 +1,82 @@
+#include "api/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace vqsim {
+namespace {
+
+std::string number(double v) {
+  if (std::isnan(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string report_to_json(const WorkflowReport& report) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"qubits\":" << report.qubits;
+  os << ",\"electrons\":" << report.electrons;
+  os << ",\"pauli_terms\":" << report.pauli_terms;
+  os << ",\"measurement_groups\":" << report.measurement_groups;
+  os << ",\"hf_energy\":" << number(report.hf_energy);
+  os << ",\"energy\":" << number(report.energy);
+  os << ",\"fci_energy\":"
+     << (report.fci_energy ? number(*report.fci_energy) : "null");
+  if (report.vqe) {
+    os << ",\"vqe\":{";
+    os << "\"evaluations\":" << report.vqe->evaluations;
+    os << ",\"converged\":" << (report.vqe->converged ? "true" : "false");
+    os << ",\"non_caching_gates\":"
+       << report.vqe->cost_model.non_caching_gates();
+    os << ",\"caching_gates\":" << report.vqe->cost_model.caching_gates();
+    os << ",\"history\":[";
+    for (std::size_t i = 0; i < report.vqe->history.size(); ++i) {
+      if (i > 0) os << ",";
+      os << number(report.vqe->history[i]);
+    }
+    os << "]}";
+  }
+  if (report.adapt) {
+    os << ",\"adapt\":{";
+    os << "\"converged\":" << (report.adapt->converged ? "true" : "false");
+    os << ",\"iterations\":[";
+    for (std::size_t i = 0; i < report.adapt->iterations.size(); ++i) {
+      const AdaptIterationRecord& it = report.adapt->iterations[i];
+      if (i > 0) os << ",";
+      os << "{\"iteration\":" << it.iteration
+         << ",\"pool_index\":" << it.pool_index
+         << ",\"gradient\":" << number(it.max_pool_gradient)
+         << ",\"energy\":" << number(it.energy) << "}";
+    }
+    os << "]}";
+  }
+  if (report.qpe) {
+    os << ",\"qpe\":{";
+    os << "\"phase\":" << number(report.qpe->phase);
+    os << ",\"peak_probability\":" << number(report.qpe->peak_probability);
+    os << ",\"energy\":" << number(report.qpe->energy) << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+bool json_get_number(const std::string& json, const std::string& key,
+                     double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = json.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  if (out != nullptr) *out = v;
+  return true;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,24 @@
+// Structured (JSON) serialization of workflow reports.
+//
+// The XACC-role layer returns rich result objects; downstream tooling
+// (plots, regression dashboards, the EXPERIMENTS.md tables) consumes them
+// as JSON. The writer is dependency-free and covers the full report
+// surface; a minimal reader ingests what the tests round-trip.
+#pragma once
+
+#include <string>
+
+#include "api/workflow.hpp"
+
+namespace vqsim {
+
+/// Serialize a report to a JSON object string (stable key order).
+std::string report_to_json(const WorkflowReport& report);
+
+/// Minimal JSON value extraction for flat numeric/string keys produced by
+/// report_to_json (test/tooling support; not a general JSON parser).
+/// Returns true and fills `out` when `key` holds a number.
+bool json_get_number(const std::string& json, const std::string& key,
+                     double* out);
+
+}  // namespace vqsim

@@ -1,0 +1,89 @@
+#include "api/workflow.hpp"
+
+#include <stdexcept>
+
+#include "chem/fci.hpp"
+#include "chem/hartree_fock.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "pauli/grouping.hpp"
+#include "sim/expectation.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace vqsim {
+
+WorkflowReport run_workflow(const WorkflowConfig& config) {
+  WorkflowReport report;
+
+  // 1. Downfolding (paper §2) or the bare full-space Hamiltonian.
+  FermionOp h_fermion;
+  int electrons = 0;
+  if (config.active.n_active > 0) {
+    const DownfoldResult df =
+        hermitian_downfold(config.molecule, config.active, config.downfold);
+    h_fermion = df.h_eff;
+    electrons = df.n_active_electrons;
+    report.qubits = df.n_active_spin_orbitals;
+  } else {
+    h_fermion = molecular_hamiltonian(config.molecule);
+    electrons = config.molecule.nelec;
+    report.qubits = 2 * config.molecule.norb;
+  }
+  report.electrons = electrons;
+
+  // 2. XACC-role transformation to a qubit observable.
+  PauliSum observable = jordan_wigner(h_fermion);
+  if (observable.num_qubits() < report.qubits) {
+    // Pad the register (e.g. when the highest orbital never appears).
+    observable = PauliSum(report.qubits) += observable;
+  }
+  report.pauli_terms = observable.size();
+  report.measurement_groups = group_qubitwise_commuting(observable).size();
+
+  // HF reference energy of the executed Hamiltonian.
+  {
+    StateVector hf(report.qubits);
+    hf.set_basis_state(hf_basis_state(electrons));
+    report.hf_energy = expectation(hf, observable);
+  }
+
+  if (config.compute_fci_reference)
+    report.fci_energy =
+        fci_ground_state(h_fermion, report.qubits, electrons).energy;
+
+  // 3. Algorithm execution on the simulator backend.
+  switch (config.algorithm) {
+    case WorkflowAlgorithm::kVqe: {
+      const UccsdAnsatzAdapter ansatz(report.qubits, electrons);
+      report.vqe = run_vqe(ansatz, observable, config.vqe);
+      report.energy = report.vqe->energy;
+      break;
+    }
+    case WorkflowAlgorithm::kAdaptVqe: {
+      AdaptOptions opts = config.adapt;
+      if (report.fci_energy && std::isnan(opts.reference_energy))
+        opts.reference_energy = *report.fci_energy;
+      AdaptVqe adapt(observable, electrons, opts);
+      report.adapt = adapt.run();
+      report.energy = report.adapt->energy;
+      break;
+    }
+    case WorkflowAlgorithm::kQpe: {
+      // Shift the spectrum by the HF energy so the ground state sits near
+      // phase zero; chemistry totals would otherwise alias the (-pi/t,
+      // pi/t] window.
+      PauliSum shifted = observable;
+      PauliSum ident(report.qubits);
+      ident.add_term(-report.hf_energy, PauliString::identity());
+      shifted += ident;
+      const Circuit prep = hf_state_circuit(report.qubits, electrons);
+      report.qpe = run_qpe(shifted, prep, config.qpe);
+      report.energy = report.qpe->energy + report.hf_energy;
+      break;
+    }
+  }
+
+  report.observable = std::move(observable);
+  return report;
+}
+
+}  // namespace vqsim

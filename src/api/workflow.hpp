@@ -1,0 +1,54 @@
+// End-to-end workflow (paper Fig. 2): coupled-cluster downfolding ->
+// qubit observable (JW) -> algorithm (VQE / ADAPT-VQE / QPE) on the
+// simulator backend, with FCI reference energies for validation.
+//
+// This layer plays XACC's role: it owns the quantum-classical co-processing
+// loop and hides the plumbing between the chemistry substrate and NWQ-Sim's
+// executors.
+#pragma once
+
+#include <optional>
+
+#include "chem/integrals.hpp"
+#include "downfold/active_space.hpp"
+#include "downfold/downfold.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "qpe/qpe.hpp"
+#include "vqe/adapt.hpp"
+#include "vqe/vqe.hpp"
+
+namespace vqsim {
+
+enum class WorkflowAlgorithm { kVqe, kAdaptVqe, kQpe };
+
+struct WorkflowConfig {
+  MolecularIntegrals molecule;
+  /// Empty (n_active == 0) = use the full system, no downfolding.
+  ActiveSpace active;
+  DownfoldOptions downfold;
+  WorkflowAlgorithm algorithm = WorkflowAlgorithm::kVqe;
+  VqeOptions vqe;
+  AdaptOptions adapt;
+  QpeOptions qpe;
+  /// Compute the exact (sector-FCI) reference of the executed Hamiltonian.
+  bool compute_fci_reference = true;
+};
+
+struct WorkflowReport {
+  int qubits = 0;
+  int electrons = 0;
+  std::size_t pauli_terms = 0;
+  std::size_t measurement_groups = 0;
+  double hf_energy = 0.0;
+  std::optional<double> fci_energy;
+  double energy = 0.0;  // the algorithm's result
+  std::optional<VqeResult> vqe;
+  std::optional<AdaptResult> adapt;
+  std::optional<QpeResult> qpe;
+  /// The qubit observable that was executed.
+  PauliSum observable;
+};
+
+WorkflowReport run_workflow(const WorkflowConfig& config);
+
+}  // namespace vqsim

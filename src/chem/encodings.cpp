@@ -1,0 +1,138 @@
+#include "chem/encodings.hpp"
+
+#include <stdexcept>
+
+#include "chem/jordan_wigner.hpp"
+#include "common/bits.hpp"
+
+namespace vqsim {
+namespace {
+
+PauliSum parity_ladder(const LadderOp& op, int num_modes) {
+  // a^(dag)_j = 1/2 X_{j+1..} (Z_{j-1} X_j -+ i Y_j).
+  PauliSum out(num_modes);
+
+  PauliString zx;  // Z_{j-1} X_j with the X chain above
+  PauliString y;   // Y_j with the X chain above
+  for (int q = op.mode + 1; q < num_modes; ++q) {
+    zx.set_axis(q, PauliAxis::kX);
+    y.set_axis(q, PauliAxis::kX);
+  }
+  zx.set_axis(op.mode, PauliAxis::kX);
+  if (op.mode > 0) zx.set_axis(op.mode - 1, PauliAxis::kZ);
+  y.set_axis(op.mode, PauliAxis::kY);
+
+  const cplx y_coeff = op.creation ? cplx{0.0, -0.5} : cplx{0.0, 0.5};
+  out.add_term(0.5, zx);
+  out.add_term(y_coeff, y);
+  return out;
+}
+
+// ---- Bravyi-Kitaev (Fenwick-block) machinery. 1-indexed internally. ----
+
+int lowbit(int i) { return i & -i; }
+
+// Blocks containing mode j: the Fenwick update path j, j + lowbit(j), ...
+std::uint64_t bk_update_mask(int j1, int n) {
+  std::uint64_t mask = 0;
+  for (int i = j1; i <= n; i += lowbit(i))
+    mask |= std::uint64_t{1} << (i - 1);
+  return mask;
+}
+
+// Prefix decomposition of m: blocks whose XOR is n_1 ^ ... ^ n_m.
+std::uint64_t bk_prefix_mask(int m1) {
+  std::uint64_t mask = 0;
+  for (int i = m1; i > 0; i -= lowbit(i)) mask |= std::uint64_t{1} << (i - 1);
+  return mask;
+}
+
+PauliSum bravyi_kitaev_ladder(const LadderOp& op, int num_modes) {
+  const int j1 = op.mode + 1;  // 1-indexed mode
+  const std::uint64_t update = bk_update_mask(j1, num_modes);
+  const std::uint64_t parity = bk_prefix_mask(j1 - 1);
+  const std::uint64_t occupation = bk_prefix_mask(j1) ^ parity;
+
+  auto axis_string = [](std::uint64_t mask, PauliAxis axis) {
+    PauliString s;
+    for (int q = 0; q < PauliString::kMaxQubits; ++q)
+      if ((mask >> q) & 1) s.set_axis(q, axis);
+    return s;
+  };
+
+  // a^dag_j = X_U . (I + Z_O)/2 . Z_P; a_j is the adjoint (projector onto
+  // n_j = 1, i.e. the minus sign on Z_O).
+  PauliSum flip(num_modes);
+  flip.add_term(1.0, axis_string(update, PauliAxis::kX));
+  PauliSum projector(num_modes);
+  projector.add_term(0.5, PauliString::identity());
+  projector.add_term(op.creation ? 0.5 : -0.5,
+                     axis_string(occupation, PauliAxis::kZ));
+  PauliSum phase(num_modes);
+  phase.add_term(1.0, axis_string(parity, PauliAxis::kZ));
+
+  PauliSum out = flip * projector * phase;
+  out.simplify();
+  return out;
+}
+
+}  // namespace
+
+PauliSum encode_ladder(const LadderOp& op, int num_modes,
+                       FermionEncoding encoding) {
+  if (op.mode >= num_modes)
+    throw std::out_of_range("encode_ladder: mode exceeds register");
+  switch (encoding) {
+    case FermionEncoding::kJordanWigner:
+      return jw_ladder(op, num_modes);
+    case FermionEncoding::kParity:
+      return parity_ladder(op, num_modes);
+    case FermionEncoding::kBravyiKitaev:
+      return bravyi_kitaev_ladder(op, num_modes);
+  }
+  throw std::invalid_argument("encode_ladder: unknown encoding");
+}
+
+PauliSum encode(const FermionOp& op, FermionEncoding encoding) {
+  if (encoding == FermionEncoding::kJordanWigner) return jordan_wigner(op);
+  const int n = op.num_modes();
+  PauliSum out(n);
+  for (const FermionTerm& term : op.terms()) {
+    PauliSum product(n);
+    product.add_term(term.coefficient, PauliString::identity());
+    for (const LadderOp& lop : term.ops)
+      product = product * encode_ladder(lop, n, encoding);
+    for (const PauliTerm& t : product.terms())
+      out.add_term(t.coefficient, t.string);
+  }
+  out.simplify();
+  return out;
+}
+
+std::uint64_t encode_occupation(std::uint64_t occupation_mask, int num_modes,
+                                FermionEncoding encoding) {
+  if (encoding == FermionEncoding::kJordanWigner) return occupation_mask;
+  if (encoding == FermionEncoding::kParity) {
+    std::uint64_t out = 0;
+    int parity_bit = 0;
+    for (int k = 0; k < num_modes; ++k) {
+      parity_bit ^= static_cast<int>(
+          test_bit(occupation_mask, static_cast<unsigned>(k)));
+      if (parity_bit) out = set_bit(out, static_cast<unsigned>(k));
+    }
+    return out;
+  }
+  // Bravyi-Kitaev: qubit i-1 (1-indexed block i) stores the parity of
+  // occupations in (i - lowbit(i), i].
+  std::uint64_t out = 0;
+  for (int i = 1; i <= num_modes; ++i) {
+    int parity_bit = 0;
+    for (int k = i - (i & -i) + 1; k <= i; ++k)
+      parity_bit ^= static_cast<int>(
+          test_bit(occupation_mask, static_cast<unsigned>(k - 1)));
+    if (parity_bit) out = set_bit(out, static_cast<unsigned>(i - 1));
+  }
+  return out;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,45 @@
+// Fermion-to-qubit encodings beyond Jordan-Wigner.
+//
+// * Parity: qubit k stores the running parity p_k = n_0 ^ ... ^ n_k.
+//   Occupation is read by two-qubit Z Z pairs instead of JW's O(n) Z
+//   chains, while ladder operators carry an X chain *above* the mode:
+//
+//     a^dag_j = 1/2 X_{j+1..n-1} (Z_{j-1} X_j - i Y_j)      (Z_{-1} = I)
+//
+// * Bravyi-Kitaev: qubit i stores the parity of the Fenwick block
+//   (i - lowbit(i), i] (1-indexed), balancing occupation readout and
+//   parity computation at O(log n) support each:
+//
+//     a^dag_j = X_{U(j)} . (I + Z_{O(j)})/2 . Z_{P(j)}
+//
+//   with U(j) the Fenwick update path (blocks containing j), P(j) the
+//   prefix decomposition of j-1 (parity of all modes below j), and O(j)
+//   the symmetric difference of the prefix decompositions of j and j-1
+//   (the blocks whose XOR is n_j). The single-qubit X.Z collisions on
+//   qubit j resolve to Y through the Pauli algebra.
+//
+// Same operator content, different locality trade-offs. All encodings are
+// verified by the canonical anticommutation relations, occupation-number
+// eigenstates, and spectrum equality against the JW image.
+#pragma once
+
+#include "chem/fermion.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace vqsim {
+
+enum class FermionEncoding { kJordanWigner, kParity, kBravyiKitaev };
+
+/// Image of one ladder operator over `num_modes` modes.
+PauliSum encode_ladder(const LadderOp& op, int num_modes,
+                       FermionEncoding encoding);
+
+/// Image of an arbitrary fermion operator (simplified).
+PauliSum encode(const FermionOp& op, FermionEncoding encoding);
+
+/// The computational-basis state encoding the occupation `occupation_mask`
+/// under `encoding` (JW: identical; parity: prefix parities).
+std::uint64_t encode_occupation(std::uint64_t occupation_mask, int num_modes,
+                                FermionEncoding encoding);
+
+}  // namespace vqsim

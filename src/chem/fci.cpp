@@ -1,0 +1,114 @@
+#include "chem/fci.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+#include "linalg/jacobi.hpp"
+#include "linalg/lanczos.hpp"
+
+namespace vqsim {
+
+std::vector<std::uint64_t> sector_determinants(int num_modes, int nelec) {
+  if (num_modes <= 0 || num_modes > 32)
+    throw std::invalid_argument("sector_determinants: bad mode count");
+  if (nelec < 0 || nelec > num_modes)
+    throw std::invalid_argument("sector_determinants: bad electron count");
+  std::vector<std::uint64_t> dets;
+  const std::uint64_t limit = std::uint64_t{1} << num_modes;
+  for (std::uint64_t m = 0; m < limit; ++m)
+    if (std::popcount(m) == nelec) dets.push_back(m);
+  return dets;
+}
+
+bool apply_ladder(LadderOp op, std::uint64_t* mask, int* sign) {
+  const std::uint64_t bit = std::uint64_t{1} << op.mode;
+  const bool occupied = (*mask & bit) != 0;
+  if (op.creation == occupied) return false;  // a|0> = 0 or a^dag|1> = 0
+  const std::uint64_t below = *mask & (bit - 1);
+  if (parity(below)) *sign = -*sign;
+  *mask ^= bit;
+  return true;
+}
+
+namespace {
+
+template <typename Emit>
+void for_each_element(const FermionOp& op,
+                      const std::vector<std::uint64_t>& dets, Emit&& emit) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(dets.size());
+  for (std::size_t i = 0; i < dets.size(); ++i) index[dets[i]] = i;
+
+  for (std::size_t col = 0; col < dets.size(); ++col) {
+    for (const FermionTerm& term : op.terms()) {
+      std::uint64_t mask = dets[col];
+      int sign = 1;
+      bool alive = true;
+      // The rightmost factor acts first on the ket.
+      for (auto it = term.ops.rbegin(); it != term.ops.rend(); ++it) {
+        if (!apply_ladder(*it, &mask, &sign)) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;
+      const auto row_it = index.find(mask);
+      if (row_it == index.end()) continue;  // left the sector (unbalanced op)
+      emit(row_it->second, col,
+           term.coefficient * static_cast<double>(sign));
+    }
+  }
+}
+
+}  // namespace
+
+CsrMatrix sector_matrix(const FermionOp& op, int num_modes, int nelec) {
+  const std::vector<std::uint64_t> dets = sector_determinants(num_modes, nelec);
+  std::vector<std::size_t> is;
+  std::vector<std::size_t> js;
+  std::vector<cplx> vs;
+  for_each_element(op, dets, [&](std::size_t r, std::size_t c, cplx v) {
+    is.push_back(r);
+    js.push_back(c);
+    vs.push_back(v);
+  });
+  return CsrMatrix::from_triplets(dets.size(), dets.size(), std::move(is),
+                                  std::move(js), std::move(vs));
+}
+
+DenseMatrix sector_matrix_dense(const FermionOp& op, int num_modes,
+                                int nelec) {
+  const std::vector<std::uint64_t> dets = sector_determinants(num_modes, nelec);
+  DenseMatrix m(dets.size(), dets.size());
+  for_each_element(op, dets, [&](std::size_t r, std::size_t c, cplx v) {
+    m(r, c) += v;
+  });
+  return m;
+}
+
+FciResult fci_ground_state(const FermionOp& op, int num_modes, int nelec) {
+  const std::vector<std::uint64_t> dets = sector_determinants(num_modes, nelec);
+  FciResult result;
+  result.sector_dimension = dets.size();
+
+  if (dets.size() <= 256) {
+    const DenseMatrix m = sector_matrix_dense(op, num_modes, nelec);
+    const EigenSystem sys = hermitian_eigensystem(m);
+    result.energy = sys.eigenvalues.front();
+    result.ground_state.resize(dets.size());
+    for (std::size_t i = 0; i < dets.size(); ++i)
+      result.ground_state[i] = sys.eigenvectors(i, 0);
+    return result;
+  }
+
+  const CsrMatrix m = sector_matrix(op, num_modes, nelec);
+  LinearOp lin{m.rows(), [&m](const cplx* x, cplx* y) { m.apply(x, y); }};
+  const LanczosResult lr = lanczos_ground_state(lin);
+  result.energy = lr.eigenvalue;
+  result.ground_state = lr.eigenvector;
+  return result;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,44 @@
+// Exact diagonalization (full configuration interaction) in a fixed
+// particle-number sector.
+//
+// Builds the matrix of a FermionOp over the determinant basis
+// { |mask> : popcount(mask) = nelec } with JW sign conventions, then solves
+// for the ground state (dense Jacobi for small sectors, Lanczos-on-CSR for
+// large ones). This is the reference every VQE / ADAPT / downfolding result
+// in the repository is validated against.
+#pragma once
+
+#include <vector>
+
+#include "chem/fermion.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+
+namespace vqsim {
+
+/// All determinants over `num_modes` modes with `nelec` particles,
+/// ascending. Sector dimension is C(num_modes, nelec).
+std::vector<std::uint64_t> sector_determinants(int num_modes, int nelec);
+
+/// Apply one ladder operator to a determinant. Returns false when the
+/// result vanishes; otherwise updates mask and multiplies sign by the JW
+/// parity factor.
+bool apply_ladder(LadderOp op, std::uint64_t* mask, int* sign);
+
+/// Sparse sector matrix of `op` over sector_determinants(num_modes, nelec).
+CsrMatrix sector_matrix(const FermionOp& op, int num_modes, int nelec);
+
+/// Dense variant (small sectors / tests).
+DenseMatrix sector_matrix_dense(const FermionOp& op, int num_modes,
+                                int nelec);
+
+struct FciResult {
+  double energy = 0.0;
+  std::vector<cplx> ground_state;  // in the sector determinant basis
+  std::size_t sector_dimension = 0;
+};
+
+/// Ground state of `op` restricted to the (num_modes, nelec) sector.
+FciResult fci_ground_state(const FermionOp& op, int num_modes, int nelec);
+
+}  // namespace vqsim

@@ -1,0 +1,106 @@
+#include "chem/fcidump.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace vqsim {
+
+std::string to_fcidump(const MolecularIntegrals& ints, double threshold) {
+  std::ostringstream os;
+  os << "&FCI NORB=" << ints.norb << ",NELEC=" << ints.nelec << ",MS2=0,\n";
+  os << " ORBSYM=";
+  for (int p = 0; p < ints.norb; ++p) os << "1,";
+  os << "\n ISYM=1,\n&END\n";
+
+  char line[96];
+  // Two-electron: canonical quadruples (i >= j, k >= l, (ij) >= (kl)).
+  for (int i = 1; i <= ints.norb; ++i)
+    for (int j = 1; j <= i; ++j)
+      for (int k = 1; k <= i; ++k)
+        for (int l = 1; l <= k; ++l) {
+          const int ij = i * (i - 1) / 2 + j;
+          const int kl = k * (k - 1) / 2 + l;
+          if (ij < kl) continue;
+          const double v = ints.two_body(i - 1, j - 1, k - 1, l - 1);
+          if (std::abs(v) <= threshold) continue;
+          std::snprintf(line, sizeof line, "%23.16E %3d %3d %3d %3d\n", v, i,
+                        j, k, l);
+          os << line;
+        }
+  // One-electron: (i j 0 0) with i >= j.
+  for (int i = 1; i <= ints.norb; ++i)
+    for (int j = 1; j <= i; ++j) {
+      const double v = ints.one_body(i - 1, j - 1);
+      if (std::abs(v) <= threshold) continue;
+      std::snprintf(line, sizeof line, "%23.16E %3d %3d %3d %3d\n", v, i, j,
+                    0, 0);
+      os << line;
+    }
+  // Core energy: (0 0 0 0).
+  std::snprintf(line, sizeof line, "%23.16E %3d %3d %3d %3d\n", ints.e_core,
+                0, 0, 0, 0);
+  os << line;
+  return os.str();
+}
+
+MolecularIntegrals from_fcidump(const std::string& text) {
+  std::istringstream is(text);
+  std::string header;
+  int norb = -1;
+  int nelec = -1;
+
+  // Consume the namelist header up to &END (case-insensitive keys).
+  std::string line;
+  bool in_header = true;
+  std::ostringstream body;
+  while (std::getline(is, line)) {
+    if (in_header) {
+      header += line + "\n";
+      std::string upper;
+      for (char c : line) upper.push_back(static_cast<char>(std::toupper(
+          static_cast<unsigned char>(c))));
+      if (upper.find("&END") != std::string::npos ||
+          upper.find("/") != std::string::npos)
+        in_header = false;
+      continue;
+    }
+    body << line << "\n";
+  }
+
+  std::string upper;
+  for (char c : header) upper.push_back(static_cast<char>(std::toupper(
+      static_cast<unsigned char>(c))));
+  const auto grab_int = [&upper](const char* key) {
+    const auto pos = upper.find(key);
+    if (pos == std::string::npos) return -1;
+    const char* start = upper.c_str() + pos + std::string(key).size();
+    return std::atoi(start);
+  };
+  norb = grab_int("NORB=");
+  nelec = grab_int("NELEC=");
+  if (norb <= 0 || nelec < 0)
+    throw std::invalid_argument("from_fcidump: missing NORB/NELEC");
+
+  MolecularIntegrals ints = MolecularIntegrals::zero(norb, nelec);
+  std::istringstream records(body.str());
+  double v;
+  int i;
+  int j;
+  int k;
+  int l;
+  while (records >> v >> i >> j >> k >> l) {
+    if (i == 0 && j == 0 && k == 0 && l == 0) {
+      ints.e_core = v;
+    } else if (k == 0 && l == 0) {
+      ints.set_one_body(i - 1, j - 1, v);
+    } else {
+      ints.set_two_body(i - 1, j - 1, k - 1, l - 1, v);
+    }
+  }
+  return ints;
+}
+
+}  // namespace vqsim

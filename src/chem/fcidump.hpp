@@ -1,0 +1,27 @@
+// FCIDUMP interchange format (Knowles-Handy): the de-facto standard file
+// format for molecular integrals, as emitted by Molpro/PySCF/NWChem.
+//
+// Writing lets this library's integrals (ab-initio or synthetic) feed
+// external CI/CC codes; reading lets externally computed integrals drive
+// the VQE workflow — the role the paper's NWChem-TCE pipeline plays.
+// Conventions: 1-based orbital indices, chemist notation (ij|kl), 8-fold
+// permutational symmetry, one-body entries as (i j 0 0), core energy as
+// (0 0 0 0).
+#pragma once
+
+#include <string>
+
+#include "chem/integrals.hpp"
+
+namespace vqsim {
+
+/// Serialize to FCIDUMP text (only non-redundant entries above `threshold`).
+std::string to_fcidump(const MolecularIntegrals& ints,
+                       double threshold = 1e-12);
+
+/// Parse FCIDUMP text. Supports the &FCI NORB=... NELEC=... header followed
+/// by "value i j k l" records; MS2/ORBSYM/ISYM fields are accepted and
+/// ignored (closed-shell workflows only).
+MolecularIntegrals from_fcidump(const std::string& text);
+
+}  // namespace vqsim

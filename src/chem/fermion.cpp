@@ -1,0 +1,315 @@
+#include "chem/fermion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+
+namespace vqsim {
+namespace {
+
+// Quasi-classification relative to the reference determinant: a^dag on a
+// virtual orbital and a on an occupied orbital create excitations (class 0,
+// ordered left); their conjugates destroy them (class 1, ordered right).
+int quasi_class(const LadderOp& op, std::uint64_t occ) {
+  const bool occupied = test_bit(occ, static_cast<unsigned>(op.mode));
+  const bool quasi_creation = op.creation != occupied;
+  return quasi_creation ? 0 : 1;
+}
+
+// Strict order within the target normal form. Returns true when `a` must
+// precede `b`.
+bool ordered_before(const LadderOp& a, const LadderOp& b, std::uint64_t occ) {
+  const int ca = quasi_class(a, occ);
+  const int cb = quasi_class(b, occ);
+  if (ca != cb) return ca < cb;
+  if (a.mode != b.mode) return a.mode < b.mode;
+  return a.creation && !b.creation;  // same mode: a^dag before a
+}
+
+// ---------------------------------------------------------------------------
+// Packed products for the Wick work loop.
+//
+// The commutator expansions in downfolding push tens of millions of short
+// ladder-operator products through the reordering loop; representing each
+// product as a heap vector dominates the runtime with allocator traffic.
+// A product of up to 18 operators packs into one 128-bit word (7 bits per
+// operator: 6 mode bits + the creation flag), so the whole loop runs on
+// value types.
+// ---------------------------------------------------------------------------
+
+__extension__ typedef unsigned __int128 PackedOps;
+
+constexpr int kMaxPackedOps = 18;
+
+struct PackedTerm {
+  PackedOps ops = 0;
+  int count = 0;
+  cplx coefficient;
+};
+
+inline LadderOp packed_get(PackedOps ops, int i) {
+  const unsigned v = static_cast<unsigned>(ops >> (7 * i)) & 0x7Fu;
+  return LadderOp{static_cast<int>(v >> 1), (v & 1u) != 0};
+}
+
+inline PackedOps packed_set(PackedOps ops, int i, const LadderOp& op) {
+  const PackedOps mask = PackedOps{0x7F} << (7 * i);
+  const PackedOps v =
+      PackedOps{(static_cast<unsigned>(op.mode) << 1) | (op.creation ? 1u : 0u)}
+      << (7 * i);
+  return (ops & ~mask) | v;
+}
+
+inline PackedOps packed_swap(PackedOps ops, int i) {
+  const LadderOp a = packed_get(ops, i);
+  const LadderOp b = packed_get(ops, i + 1);
+  return packed_set(packed_set(ops, i, b), i + 1, a);
+}
+
+// Remove operators i and i+1 (a contraction).
+inline PackedOps packed_erase_pair(PackedOps ops, int i) {
+  const PackedOps low_mask = (PackedOps{1} << (7 * i)) - 1;
+  const PackedOps low = ops & low_mask;
+  const PackedOps high = (ops >> (7 * (i + 2))) << (7 * i);
+  return low | high;
+}
+
+PackedTerm pack_term(const cplx& coeff, const std::vector<LadderOp>& a,
+                     const std::vector<LadderOp>& b) {
+  if (a.size() + b.size() > kMaxPackedOps)
+    throw std::length_error("FermionOp: product too long to normal-order");
+  PackedTerm t;
+  t.coefficient = coeff;
+  int i = 0;
+  for (const LadderOp& op : a) t.ops = packed_set(t.ops, i++, op);
+  for (const LadderOp& op : b) t.ops = packed_set(t.ops, i++, op);
+  t.count = i;
+  return t;
+}
+
+struct PackedKey {
+  PackedOps ops;
+  int count;
+  friend bool operator==(const PackedKey&, const PackedKey&) = default;
+};
+
+struct PackedKeyHash {
+  std::size_t operator()(const PackedKey& k) const {
+    const std::uint64_t lo = static_cast<std::uint64_t>(k.ops);
+    const std::uint64_t hi = static_cast<std::uint64_t>(k.ops >> 64);
+    std::uint64_t h = lo * 0x9E3779B97F4A7C15ull;
+    h ^= hi + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= static_cast<std::uint64_t>(k.count) * 0xBF58476D1CE4E5B9ull;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+// Deterministic total order on ladder-operator products, used to merge
+// identical products in maps.
+struct OpsLess {
+  bool operator()(const std::vector<LadderOp>& a,
+                  const std::vector<LadderOp>& b) const {
+    if (a.size() != b.size()) return a.size() < b.size();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].mode != b[i].mode) return a[i].mode < b[i].mode;
+      if (a[i].creation != b[i].creation) return b[i].creation;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+void FermionOp::add_term(cplx coefficient, std::vector<LadderOp> ops) {
+  for (const LadderOp& op : ops) {
+    if (op.mode < 0 || op.mode >= 64)
+      throw std::out_of_range("FermionOp::add_term: mode out of range");
+    num_modes_ = std::max(num_modes_, op.mode + 1);
+  }
+  terms_.push_back({coefficient, std::move(ops)});
+}
+
+FermionOp& FermionOp::operator+=(const FermionOp& rhs) {
+  num_modes_ = std::max(num_modes_, rhs.num_modes_);
+  terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  return *this;
+}
+
+FermionOp& FermionOp::operator-=(const FermionOp& rhs) {
+  num_modes_ = std::max(num_modes_, rhs.num_modes_);
+  terms_.reserve(terms_.size() + rhs.terms_.size());
+  for (const FermionTerm& t : rhs.terms_)
+    terms_.push_back({-t.coefficient, t.ops});
+  return *this;
+}
+
+FermionOp& FermionOp::operator*=(cplx s) {
+  for (FermionTerm& t : terms_) t.coefficient *= s;
+  return *this;
+}
+
+FermionOp FermionOp::operator*(const FermionOp& rhs) const {
+  FermionOp out(std::max(num_modes_, rhs.num_modes_));
+  out.terms_.reserve(terms_.size() * rhs.terms_.size());
+  for (const FermionTerm& a : terms_) {
+    for (const FermionTerm& b : rhs.terms_) {
+      std::vector<LadderOp> ops;
+      ops.reserve(a.ops.size() + b.ops.size());
+      ops.insert(ops.end(), a.ops.begin(), a.ops.end());
+      ops.insert(ops.end(), b.ops.begin(), b.ops.end());
+      out.terms_.push_back({a.coefficient * b.coefficient, std::move(ops)});
+    }
+  }
+  return out;
+}
+
+FermionOp FermionOp::adjoint() const {
+  FermionOp out(num_modes_);
+  out.terms_.reserve(terms_.size());
+  for (const FermionTerm& t : terms_) {
+    std::vector<LadderOp> ops(t.ops.rbegin(), t.ops.rend());
+    for (LadderOp& op : ops) op.creation = !op.creation;
+    out.terms_.push_back({std::conj(t.coefficient), std::move(ops)});
+  }
+  return out;
+}
+
+namespace {
+
+// Work-stack Wick expansion over packed products. Each swap of an adjacent
+// out-of-order pair (x, y) uses x y = {x, y} - y x with {a_p, a^dag_p} = 1
+// and all other anticommutators zero.
+FermionOp wick_reduce(std::vector<PackedTerm> stack,
+                      const NormalOrderSpec& spec, int num_modes) {
+  const std::uint64_t occ = spec.occupation_mask;
+  std::unordered_map<PackedKey, cplx, PackedKeyHash> merged;
+  merged.reserve(stack.size() * 2 + 16);
+
+  while (!stack.empty()) {
+    PackedTerm term = stack.back();
+    stack.pop_back();
+    if (std::abs(term.coefficient) < spec.coefficient_threshold) continue;
+
+    bool rewritten = false;
+    for (int i = 0; i + 1 < term.count; ++i) {
+      const LadderOp x = packed_get(term.ops, i);
+      const LadderOp y = packed_get(term.ops, i + 1);
+      if (x == y) {
+        // a a or a^dag a^dag on the same mode: the product vanishes.
+        rewritten = true;
+        break;
+      }
+      if (!ordered_before(y, x, occ)) continue;  // already in order
+
+      // Out of order: swap with sign, plus a contraction when conjugate.
+      if (x.mode == y.mode) {
+        PackedTerm contracted = term;
+        contracted.ops = packed_erase_pair(term.ops, i);
+        contracted.count = term.count - 2;
+        stack.push_back(contracted);
+      }
+      term.ops = packed_swap(term.ops, i);
+      term.coefficient = -term.coefficient;
+      stack.push_back(term);
+      rewritten = true;
+      break;
+    }
+    if (rewritten) continue;
+
+    if (spec.max_ops >= 0 && term.count > spec.max_ops) continue;
+    merged[PackedKey{term.ops, term.count}] += term.coefficient;
+  }
+
+  FermionOp out(num_modes);
+  for (const auto& [key, coeff] : merged) {
+    if (std::abs(coeff) < spec.coefficient_threshold) continue;
+    std::vector<LadderOp> ops;
+    ops.reserve(static_cast<std::size_t>(key.count));
+    for (int i = 0; i < key.count; ++i) ops.push_back(packed_get(key.ops, i));
+    out.add_term(coeff, std::move(ops));
+  }
+  out.simplify(spec.coefficient_threshold);  // deterministic term order
+  return out;
+}
+
+}  // namespace
+
+FermionOp FermionOp::commutator(const FermionOp& rhs,
+                                const NormalOrderSpec& spec) const {
+  // Stream both product orders directly into the packed work stack; the
+  // intermediate A*B and B*A operators are never materialized.
+  std::vector<PackedTerm> stack;
+  stack.reserve(2 * terms_.size() * rhs.terms_.size());
+  for (const FermionTerm& a : terms_) {
+    for (const FermionTerm& b : rhs.terms_) {
+      const cplx c = a.coefficient * b.coefficient;
+      stack.push_back(pack_term(c, a.ops, b.ops));
+      stack.push_back(pack_term(-c, b.ops, a.ops));
+    }
+  }
+  return wick_reduce(std::move(stack), spec,
+                     std::max(num_modes_, rhs.num_modes_));
+}
+
+FermionOp FermionOp::normal_ordered(const NormalOrderSpec& spec) const {
+  std::vector<PackedTerm> stack;
+  stack.reserve(terms_.size());
+  for (const FermionTerm& t : terms_)
+    stack.push_back(pack_term(t.coefficient, t.ops, {}));
+  return wick_reduce(std::move(stack), spec, num_modes_);
+}
+
+void FermionOp::simplify(double threshold) {
+  std::map<std::vector<LadderOp>, cplx, OpsLess> merged;
+  for (FermionTerm& t : terms_) merged[std::move(t.ops)] += t.coefficient;
+  terms_.clear();
+  for (auto& [ops, coeff] : merged) {
+    if (std::abs(coeff) < threshold) continue;
+    terms_.push_back({coeff, ops});
+  }
+}
+
+cplx FermionOp::scalar() const {
+  cplx s = 0.0;
+  for (const FermionTerm& t : terms_)
+    if (t.ops.empty()) s += t.coefficient;
+  return s;
+}
+
+bool FermionOp::conserves_particle_number() const {
+  for (const FermionTerm& t : terms_) {
+    int balance = 0;
+    for (const LadderOp& op : t.ops) balance += op.creation ? 1 : -1;
+    if (balance != 0) return false;
+  }
+  return true;
+}
+
+int FermionOp::max_mode() const {
+  int m = 0;
+  for (const FermionTerm& t : terms_)
+    for (const LadderOp& op : t.ops) m = std::max(m, op.mode + 1);
+  return m;
+}
+
+std::string FermionOp::to_string() const {
+  std::ostringstream os;
+  for (const FermionTerm& t : terms_) {
+    os << "(" << t.coefficient.real();
+    if (std::abs(t.coefficient.imag()) > 0)
+      os << (t.coefficient.imag() >= 0 ? "+" : "") << t.coefficient.imag()
+         << "i";
+    os << ")";
+    for (const LadderOp& op : t.ops)
+      os << " a" << (op.creation ? "+" : "-") << op.mode;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vqsim

@@ -1,0 +1,105 @@
+// Second-quantized fermion operators with Wick reordering.
+//
+// This is the algebraic engine under both the Jordan-Wigner transform and
+// the coupled-cluster downfolding module (paper §2): operators are sums of
+// ladder-operator products; `normal_ordered` reorders each product into
+// quasi-normal order relative to a reference determinant, generating the
+// contraction (delta) terms, and optionally truncates by particle rank —
+// exactly the "keep up to two-body terms" approximation practical
+// downfolding implementations use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+
+/// One ladder operator: a_mode or a^dagger_mode (modes are spin orbitals).
+struct LadderOp {
+  int mode = 0;
+  bool creation = false;
+
+  friend bool operator==(const LadderOp&, const LadderOp&) = default;
+};
+
+/// coefficient * ops[0] * ops[1] * ... (leftmost factor first).
+struct FermionTerm {
+  cplx coefficient;
+  std::vector<LadderOp> ops;
+};
+
+/// Reordering target and truncation for normal_ordered().
+struct NormalOrderSpec {
+  /// Bit p set => spin orbital p is occupied in the reference determinant.
+  /// Zero = true vacuum. Quasi-creations (a^dag on virtuals, a on occupied)
+  /// are moved left of quasi-annihilations.
+  std::uint64_t occupation_mask = 0;
+  /// Drop reordered products with more than this many ladder operators
+  /// (-1 = keep everything). 4 = "at most two-body".
+  int max_ops = -1;
+  /// Drop terms with |coefficient| below this after merging.
+  double coefficient_threshold = 1e-12;
+};
+
+class FermionOp {
+ public:
+  FermionOp() = default;
+  explicit FermionOp(int num_modes) : num_modes_(num_modes) {}
+
+  int num_modes() const { return num_modes_; }
+  std::size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+  const std::vector<FermionTerm>& terms() const { return terms_; }
+
+  /// Append coefficient * ops (no reordering).
+  void add_term(cplx coefficient, std::vector<LadderOp> ops);
+  /// Scalar (identity) term.
+  void add_scalar(cplx value) { add_term(value, {}); }
+
+  /// Convenience builders.
+  static LadderOp create(int mode) { return {mode, true}; }
+  static LadderOp annihilate(int mode) { return {mode, false}; }
+
+  FermionOp& operator+=(const FermionOp& rhs);
+  FermionOp& operator-=(const FermionOp& rhs);
+  FermionOp& operator*=(cplx s);
+  friend FermionOp operator+(FermionOp a, const FermionOp& b) { return a += b; }
+  friend FermionOp operator-(FermionOp a, const FermionOp& b) { return a -= b; }
+  friend FermionOp operator*(FermionOp a, cplx s) { return a *= s; }
+
+  /// Operator product (term-by-term concatenation; no reordering).
+  FermionOp operator*(const FermionOp& rhs) const;
+
+  /// Hermitian conjugate (reverses each product, conjugates coefficients).
+  FermionOp adjoint() const;
+
+  /// [this, rhs] = this*rhs - rhs*this, normal-ordered per `spec`.
+  FermionOp commutator(const FermionOp& rhs, const NormalOrderSpec& spec) const;
+
+  /// Wick-reorder every product into quasi-normal order per `spec`,
+  /// merging identical products and applying the rank truncation.
+  FermionOp normal_ordered(const NormalOrderSpec& spec = {}) const;
+
+  /// Merge identical (already ordered) products and drop tiny coefficients.
+  void simplify(double threshold = 1e-12);
+
+  /// Scalar part (coefficient of the empty product).
+  cplx scalar() const;
+
+  /// True if every term has equally many creations and annihilations.
+  bool conserves_particle_number() const;
+
+  /// Largest mode index referenced plus one (0 when scalar-only).
+  int max_mode() const;
+
+  std::string to_string() const;
+
+ private:
+  int num_modes_ = 0;
+  std::vector<FermionTerm> terms_;
+};
+
+}  // namespace vqsim

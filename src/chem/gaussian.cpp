@@ -1,0 +1,206 @@
+#include "chem/gaussian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vqsim {
+namespace {
+
+// Unnormalized primitive s-Gaussian product prefactors.
+struct PrimitivePair {
+  double p;       // combined exponent alpha + beta
+  double k;       // exp(-alpha beta / p * |A - B|^2)
+  Vec3 center;    // Gaussian product center
+};
+
+PrimitivePair combine(double alpha, const Vec3& a, double beta,
+                      const Vec3& b) {
+  PrimitivePair out;
+  out.p = alpha + beta;
+  out.k = std::exp(-alpha * beta / out.p * distance_squared(a, b));
+  out.center = {(alpha * a.x + beta * b.x) / out.p,
+                (alpha * a.y + beta * b.y) / out.p,
+                (alpha * a.z + beta * b.z) / out.p};
+  return out;
+}
+
+double primitive_norm(double alpha) {
+  return std::pow(2.0 * alpha / kPi, 0.75);
+}
+
+double primitive_overlap(double alpha, const Vec3& a, double beta,
+                         const Vec3& b) {
+  const PrimitivePair ab = combine(alpha, a, beta, b);
+  return std::pow(kPi / ab.p, 1.5) * ab.k;
+}
+
+double primitive_kinetic(double alpha, const Vec3& a, double beta,
+                         const Vec3& b) {
+  const double mu = alpha * beta / (alpha + beta);
+  const double r2 = distance_squared(a, b);
+  return mu * (3.0 - 2.0 * mu * r2) * primitive_overlap(alpha, a, beta, b);
+}
+
+double primitive_nuclear(double alpha, const Vec3& a, double beta,
+                         const Vec3& b, const Vec3& c) {
+  const PrimitivePair ab = combine(alpha, a, beta, b);
+  return 2.0 * kPi / ab.p * ab.k *
+         boys_f0(ab.p * distance_squared(ab.center, c));
+}
+
+double primitive_eri(double alpha, const Vec3& a, double beta, const Vec3& b,
+                     double gamma, const Vec3& c, double delta,
+                     const Vec3& d) {
+  const PrimitivePair ab = combine(alpha, a, beta, b);
+  const PrimitivePair cd = combine(gamma, c, delta, d);
+  const double denom = ab.p * cd.p * std::sqrt(ab.p + cd.p);
+  return 2.0 * std::pow(kPi, 2.5) / denom * ab.k * cd.k *
+         boys_f0(ab.p * cd.p / (ab.p + cd.p) *
+                 distance_squared(ab.center, cd.center));
+}
+
+}  // namespace
+
+double distance_squared(const Vec3& a, const Vec3& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+double boys_f0(double t) {
+  if (t < 1e-12) return 1.0 - t / 3.0;  // series limit, C1-continuous
+  const double st = std::sqrt(t);
+  return 0.5 * std::sqrt(kPi / t) * std::erf(st);
+}
+
+ContractedGaussian sto3g_1s(const Vec3& center, double zeta) {
+  // STO-3G 1s fit to a zeta = 1 Slater function (Hehre-Stewart-Pople);
+  // exponents scale as zeta^2.
+  static constexpr std::array<double, 3> kExponents = {
+      2.227660584, 0.405771156, 0.109818};
+  static constexpr std::array<double, 3> kCoefficients = {
+      0.154328967, 0.535328142, 0.444634542};
+  ContractedGaussian g;
+  g.center = center;
+  for (std::size_t i = 0; i < 3; ++i) {
+    g.exponents[i] = kExponents[i] * zeta * zeta;
+    g.coefficients[i] = kCoefficients[i] * primitive_norm(g.exponents[i]);
+  }
+  return g;
+}
+
+double overlap(const ContractedGaussian& a, const ContractedGaussian& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      s += a.coefficients[i] * b.coefficients[j] *
+           primitive_overlap(a.exponents[i], a.center, b.exponents[j],
+                             b.center);
+  return s;
+}
+
+double kinetic(const ContractedGaussian& a, const ContractedGaussian& b) {
+  double t = 0.0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      t += a.coefficients[i] * b.coefficients[j] *
+           primitive_kinetic(a.exponents[i], a.center, b.exponents[j],
+                             b.center);
+  return t;
+}
+
+double nuclear_attraction(const ContractedGaussian& a,
+                          const ContractedGaussian& b, const Vec3& nucleus) {
+  double v = 0.0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      v += a.coefficients[i] * b.coefficients[j] *
+           primitive_nuclear(a.exponents[i], a.center, b.exponents[j],
+                             b.center, nucleus);
+  return v;
+}
+
+double electron_repulsion(const ContractedGaussian& a,
+                          const ContractedGaussian& b,
+                          const ContractedGaussian& c,
+                          const ContractedGaussian& d) {
+  double g = 0.0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      for (std::size_t k = 0; k < 3; ++k)
+        for (std::size_t l = 0; l < 3; ++l)
+          g += a.coefficients[i] * b.coefficients[j] * c.coefficients[k] *
+               d.coefficients[l] *
+               primitive_eri(a.exponents[i], a.center, b.exponents[j],
+                             b.center, c.exponents[k], c.center,
+                             d.exponents[l], d.center);
+  return g;
+}
+
+AoIntegrals compute_ao_integrals(const std::vector<Atom>& atoms) {
+  if (atoms.empty())
+    throw std::invalid_argument("compute_ao_integrals: no atoms");
+  const int n = static_cast<int>(atoms.size());
+  std::vector<ContractedGaussian> basis;
+  basis.reserve(atoms.size());
+  for (const Atom& atom : atoms)
+    basis.push_back(sto3g_1s(atom.position, atom.zeta));
+
+  AoIntegrals out;
+  out.nao = n;
+  out.overlap.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                     0.0);
+  out.core = out.overlap;
+  out.eri.assign(out.overlap.size() * out.overlap.size(), 0.0);
+
+  for (int p = 0; p < n; ++p)
+    for (int q = 0; q < n; ++q) {
+      out.overlap[out.idx2(p, q)] = overlap(basis[static_cast<std::size_t>(p)],
+                                            basis[static_cast<std::size_t>(q)]);
+      double h = kinetic(basis[static_cast<std::size_t>(p)],
+                         basis[static_cast<std::size_t>(q)]);
+      for (const Atom& atom : atoms)
+        h -= atom.charge *
+             nuclear_attraction(basis[static_cast<std::size_t>(p)],
+                                basis[static_cast<std::size_t>(q)],
+                                atom.position);
+      out.core[out.idx2(p, q)] = h;
+    }
+
+  for (int p = 0; p < n; ++p)
+    for (int q = 0; q < n; ++q)
+      for (int r = 0; r < n; ++r)
+        for (int s = 0; s < n; ++s)
+          out.eri[out.idx4(p, q, r, s)] =
+              electron_repulsion(basis[static_cast<std::size_t>(p)],
+                                 basis[static_cast<std::size_t>(q)],
+                                 basis[static_cast<std::size_t>(r)],
+                                 basis[static_cast<std::size_t>(s)]);
+
+  for (std::size_t i = 0; i < atoms.size(); ++i)
+    for (std::size_t j = i + 1; j < atoms.size(); ++j)
+      out.nuclear_repulsion +=
+          atoms[i].charge * atoms[j].charge /
+          std::sqrt(distance_squared(atoms[i].position, atoms[j].position));
+  return out;
+}
+
+std::vector<Atom> h2_geometry(double bond_length) {
+  return {Atom{{0.0, 0.0, 0.0}, 1.0, 1.24},
+          Atom{{0.0, 0.0, bond_length}, 1.0, 1.24}};
+}
+
+std::vector<Atom> h4_chain_geometry(double spacing) {
+  std::vector<Atom> atoms;
+  for (int i = 0; i < 4; ++i)
+    atoms.push_back(Atom{{0.0, 0.0, i * spacing}, 1.0, 1.24});
+  return atoms;
+}
+
+std::vector<Atom> heh_plus_geometry(double bond_length) {
+  return {Atom{{0.0, 0.0, 0.0}, 2.0, 2.0925},
+          Atom{{0.0, 0.0, bond_length}, 1.0, 1.24}};
+}
+
+}  // namespace vqsim

@@ -1,0 +1,97 @@
+// Gaussian-basis molecular integrals for s-type (STO-3G) bases.
+//
+// A real ab-initio substrate: contracted s-type Gaussians with analytic
+// overlap / kinetic / nuclear-attraction / electron-repulsion integrals
+// (Boys-function closed forms). Covers H/He-like centers — enough for the
+// H2, H3+, H4, HeH+ family on which the VQE literature (and this paper's
+// validation layer) runs, and enough to generate potential-energy surfaces
+// for the warm-start experiments of §6.2.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// Squared Euclidean distance.
+double distance_squared(const Vec3& a, const Vec3& b);
+
+/// An atom: nuclear charge plus the Slater exponent zeta of its 1s STO-3G
+/// shell (H: 1.24, He in HeH+: 2.0925 — Szabo-Ostlund conventions).
+struct Atom {
+  Vec3 position;   // bohr
+  double charge = 1.0;
+  double zeta = 1.24;
+};
+
+/// One contracted s-type basis function (three primitives for STO-3G).
+struct ContractedGaussian {
+  Vec3 center;
+  std::array<double, 3> exponents{};
+  std::array<double, 3> coefficients{};  // include primitive normalization
+};
+
+/// The STO-3G 1s contraction for Slater exponent `zeta` at `center`.
+ContractedGaussian sto3g_1s(const Vec3& center, double zeta);
+
+/// Boys function F0(t) = (1/2) sqrt(pi/t) erf(sqrt(t)), F0(0) = 1.
+double boys_f0(double t);
+
+/// Contracted integrals.
+double overlap(const ContractedGaussian& a, const ContractedGaussian& b);
+double kinetic(const ContractedGaussian& a, const ContractedGaussian& b);
+/// Nuclear attraction to a unit charge at `nucleus` (multiply by -Z).
+double nuclear_attraction(const ContractedGaussian& a,
+                          const ContractedGaussian& b, const Vec3& nucleus);
+/// Chemist-notation (ab|cd) electron repulsion integral.
+double electron_repulsion(const ContractedGaussian& a,
+                          const ContractedGaussian& b,
+                          const ContractedGaussian& c,
+                          const ContractedGaussian& d);
+
+/// Assembled atomic-orbital matrices for a molecule (one 1s function per
+/// atom).
+struct AoIntegrals {
+  int nao = 0;
+  double nuclear_repulsion = 0.0;
+  std::vector<double> overlap;   // nao^2
+  std::vector<double> core;      // nao^2: kinetic + nuclear attraction
+  std::vector<double> eri;       // nao^4, chemist (pq|rs)
+
+  double s(int p, int q) const { return overlap[idx2(p, q)]; }
+  double h(int p, int q) const { return core[idx2(p, q)]; }
+  double g(int p, int q, int r, int s) const {
+    return eri[idx4(p, q, r, s)];
+  }
+
+  std::size_t idx2(int p, int q) const {
+    return static_cast<std::size_t>(p) * static_cast<std::size_t>(nao) +
+           static_cast<std::size_t>(q);
+  }
+  std::size_t idx4(int p, int q, int r, int s) const {
+    const auto n = static_cast<std::size_t>(nao);
+    return ((static_cast<std::size_t>(p) * n + static_cast<std::size_t>(q)) *
+                n +
+            static_cast<std::size_t>(r)) *
+               n +
+           static_cast<std::size_t>(s);
+  }
+};
+
+/// Compute all AO integrals for the molecule.
+AoIntegrals compute_ao_integrals(const std::vector<Atom>& atoms);
+
+/// Convenience geometries (bond lengths in bohr).
+std::vector<Atom> h2_geometry(double bond_length);
+std::vector<Atom> h4_chain_geometry(double spacing);
+std::vector<Atom> heh_plus_geometry(double bond_length);
+
+}  // namespace vqsim

@@ -1,0 +1,19 @@
+#include "chem/hartree_fock.hpp"
+
+#include <stdexcept>
+
+namespace vqsim {
+
+Circuit hf_state_circuit(int num_qubits, int nelec) {
+  if (nelec > num_qubits)
+    throw std::invalid_argument("hf_state_circuit: too many electrons");
+  Circuit c(num_qubits);
+  for (int q = 0; q < nelec; ++q) c.x(q);
+  return c;
+}
+
+idx hf_basis_state(int nelec) {
+  return nelec >= 64 ? ~idx{0} : (idx{1} << nelec) - 1;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,19 @@
+// Hartree-Fock reference state utilities.
+//
+// The closed-shell reference determinant occupies the lowest nelec/2 spatial
+// orbitals with both spins; on the JW register that is X gates on the first
+// nelec qubits. It seeds every ansatz (UCCSD, ADAPT) and QPE.
+#pragma once
+
+#include "chem/integrals.hpp"
+#include "ir/circuit.hpp"
+
+namespace vqsim {
+
+/// Circuit preparing the HF determinant |1...10...0> on `num_qubits` qubits.
+Circuit hf_state_circuit(int num_qubits, int nelec);
+
+/// The HF determinant as a basis-state index.
+idx hf_basis_state(int nelec);
+
+}  // namespace vqsim

@@ -1,0 +1,144 @@
+#include "chem/integrals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vqsim {
+namespace {
+
+std::size_t idx2(int norb, int p, int q) {
+  return static_cast<std::size_t>(p) * static_cast<std::size_t>(norb) +
+         static_cast<std::size_t>(q);
+}
+
+std::size_t idx4(int norb, int p, int q, int r, int s) {
+  const auto n = static_cast<std::size_t>(norb);
+  return ((static_cast<std::size_t>(p) * n + static_cast<std::size_t>(q)) * n +
+          static_cast<std::size_t>(r)) *
+             n +
+         static_cast<std::size_t>(s);
+}
+
+}  // namespace
+
+MolecularIntegrals MolecularIntegrals::zero(int norb, int nelec) {
+  if (norb <= 0 || norb > 32)
+    throw std::invalid_argument("MolecularIntegrals: bad orbital count");
+  if (nelec < 0 || nelec > 2 * norb || nelec % 2 != 0)
+    throw std::invalid_argument(
+        "MolecularIntegrals: electron count must be even and fit");
+  MolecularIntegrals m;
+  m.norb = norb;
+  m.nelec = nelec;
+  m.h1.assign(static_cast<std::size_t>(norb) * static_cast<std::size_t>(norb),
+              0.0);
+  const std::size_t n4 = static_cast<std::size_t>(norb) *
+                         static_cast<std::size_t>(norb) *
+                         static_cast<std::size_t>(norb) *
+                         static_cast<std::size_t>(norb);
+  m.h2.assign(n4, 0.0);
+  return m;
+}
+
+double MolecularIntegrals::one_body(int p, int q) const {
+  return h1[idx2(norb, p, q)];
+}
+
+double MolecularIntegrals::two_body(int p, int q, int r, int s) const {
+  return h2[idx4(norb, p, q, r, s)];
+}
+
+void MolecularIntegrals::set_one_body(int p, int q, double value) {
+  h1[idx2(norb, p, q)] = value;
+  h1[idx2(norb, q, p)] = value;
+}
+
+void MolecularIntegrals::set_two_body(int p, int q, int r, int s,
+                                      double value) {
+  h2[idx4(norb, p, q, r, s)] = value;
+  h2[idx4(norb, q, p, r, s)] = value;
+  h2[idx4(norb, p, q, s, r)] = value;
+  h2[idx4(norb, q, p, s, r)] = value;
+  h2[idx4(norb, r, s, p, q)] = value;
+  h2[idx4(norb, s, r, p, q)] = value;
+  h2[idx4(norb, r, s, q, p)] = value;
+  h2[idx4(norb, s, r, q, p)] = value;
+}
+
+double MolecularIntegrals::symmetry_violation() const {
+  double worst = 0.0;
+  for (int p = 0; p < norb; ++p)
+    for (int q = 0; q < norb; ++q) {
+      worst = std::max(worst, std::abs(one_body(p, q) - one_body(q, p)));
+      for (int r = 0; r < norb; ++r)
+        for (int s = 0; s < norb; ++s) {
+          const double v = two_body(p, q, r, s);
+          worst = std::max(worst, std::abs(v - two_body(q, p, r, s)));
+          worst = std::max(worst, std::abs(v - two_body(p, q, s, r)));
+          worst = std::max(worst, std::abs(v - two_body(r, s, p, q)));
+        }
+    }
+  return worst;
+}
+
+double MolecularIntegrals::fock(int p, int q) const {
+  double f = one_body(p, q);
+  for (int i = 0; i < nelec / 2; ++i)
+    f += 2.0 * two_body(p, q, i, i) - two_body(p, i, i, q);
+  return f;
+}
+
+double MolecularIntegrals::hartree_fock_energy() const {
+  double e = e_core;
+  for (int i = 0; i < nelec / 2; ++i) {
+    e += 2.0 * one_body(i, i);
+    for (int j = 0; j < nelec / 2; ++j)
+      e += 2.0 * two_body(i, i, j, j) - two_body(i, j, j, i);
+  }
+  return e;
+}
+
+FermionOp molecular_hamiltonian(const MolecularIntegrals& ints) {
+  const int n = ints.norb;
+  FermionOp h(2 * n);
+  h.add_scalar(ints.e_core);
+
+  // One-body: sum_{pq, sigma} h_pq a^+_{p sigma} a_{q sigma}.
+  for (int p = 0; p < n; ++p)
+    for (int q = 0; q < n; ++q) {
+      const double v = ints.one_body(p, q);
+      if (std::abs(v) < 1e-14) continue;
+      for (int s = 0; s < 2; ++s)
+        h.add_term(v, {FermionOp::create(spin_orbital(p, s)),
+                       FermionOp::annihilate(spin_orbital(q, s))});
+    }
+
+  // Two-body: 1/2 sum_{pqrs, sigma tau} <pq|rs> a^+_{p s} a^+_{q t} a_{s t}
+  // a_{r s} with physicist <pq|rs> = chemist (pr|qs).
+  for (int p = 0; p < n; ++p)
+    for (int q = 0; q < n; ++q)
+      for (int r = 0; r < n; ++r)
+        for (int s = 0; s < n; ++s) {
+          const double v = 0.5 * ints.two_body(p, r, q, s);  // <pq|rs>
+          if (std::abs(v) < 1e-14) continue;
+          for (int sg = 0; sg < 2; ++sg)
+            for (int tg = 0; tg < 2; ++tg) {
+              const int ip = spin_orbital(p, sg);
+              const int iq = spin_orbital(q, tg);
+              const int is = spin_orbital(s, tg);
+              const int ir = spin_orbital(r, sg);
+              if (ip == iq || is == ir) continue;  // Pauli-excluded
+              h.add_term(v, {FermionOp::create(ip), FermionOp::create(iq),
+                             FermionOp::annihilate(is),
+                             FermionOp::annihilate(ir)});
+            }
+        }
+  h.simplify();
+  return h;
+}
+
+std::uint64_t hf_occupation_mask(int nelec) {
+  return nelec >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nelec) - 1;
+}
+
+}  // namespace vqsim

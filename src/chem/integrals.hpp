@@ -1,0 +1,62 @@
+// Molecular integrals (spatial-orbital basis) and the second-quantized
+// Hamiltonian builder.
+//
+// Conventions:
+//  * `h1[p * norb + q]` is the one-electron integral h_pq (real symmetric).
+//  * `h2` stores CHEMIST-notation two-electron integrals (pq|rs) with the
+//    8-fold real-orbital symmetry (pq|rs)=(qp|rs)=(pq|sr)=(rs|pq).
+//  * Spin orbitals are interleaved: spatial p -> spin orbitals 2p (alpha)
+//    and 2p+1 (beta).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chem/fermion.hpp"
+
+namespace vqsim {
+
+struct MolecularIntegrals {
+  int norb = 0;       // spatial orbitals
+  int nelec = 0;      // electrons (even; closed-shell reference)
+  double e_core = 0;  // nuclear repulsion (+ frozen-core energy after folding)
+  std::vector<double> h1;  // norb^2
+  std::vector<double> h2;  // norb^4, chemist (pq|rs)
+
+  static MolecularIntegrals zero(int norb, int nelec);
+
+  double one_body(int p, int q) const;
+  /// Chemist-notation (pq|rs).
+  double two_body(int p, int q, int r, int s) const;
+
+  void set_one_body(int p, int q, double value);  // symmetrized
+  /// Sets all 8 symmetry-equivalent chemist entries.
+  void set_two_body(int p, int q, int r, int s, double value);
+
+  /// Max |(pq|rs) - symmetry partner| — 0 for a valid integral set.
+  double symmetry_violation() const;
+
+  /// Closed-shell Fock matrix element F_pq over the lowest nelec/2 orbitals.
+  double fock(int p, int q) const;
+  /// Orbital energy epsilon_p = F_pp.
+  double orbital_energy(int p) const { return fock(p, p); }
+
+  /// Closed-shell Hartree-Fock (reference determinant) energy including
+  /// e_core.
+  double hartree_fock_energy() const;
+};
+
+/// Full second-quantized Hamiltonian on 2*norb interleaved spin orbitals:
+///   H = e_core + sum h_pq a^+_ps a_qs
+///       + 1/2 sum <pq|rs> a^+_ps a^+_qt a_st a_rs,  <pq|rs> = (pr|qs).
+FermionOp molecular_hamiltonian(const MolecularIntegrals& ints);
+
+/// Spin-orbital index helpers (interleaved convention).
+constexpr int spin_orbital(int spatial, int spin) { return 2 * spatial + spin; }
+constexpr int spatial_of(int spin_orbital) { return spin_orbital / 2; }
+constexpr int spin_of(int spin_orbital) { return spin_orbital & 1; }
+
+/// Occupation bitmask of the closed-shell reference determinant.
+std::uint64_t hf_occupation_mask(int nelec);
+
+}  // namespace vqsim

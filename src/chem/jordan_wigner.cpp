@@ -1,0 +1,44 @@
+#include "chem/jordan_wigner.hpp"
+
+#include <stdexcept>
+
+namespace vqsim {
+
+PauliSum jw_ladder(const LadderOp& op, int num_modes) {
+  if (op.mode >= num_modes)
+    throw std::out_of_range("jw_ladder: mode exceeds register");
+  PauliSum out(num_modes);
+
+  PauliString xs;  // Z chain then X on the mode
+  PauliString ys;  // Z chain then Y on the mode
+  for (int q = 0; q < op.mode; ++q) {
+    xs.set_axis(q, PauliAxis::kZ);
+    ys.set_axis(q, PauliAxis::kZ);
+  }
+  xs.set_axis(op.mode, PauliAxis::kX);
+  ys.set_axis(op.mode, PauliAxis::kY);
+
+  const cplx y_coeff = op.creation ? cplx{0.0, -0.5} : cplx{0.0, 0.5};
+  out.add_term(0.5, xs);
+  out.add_term(y_coeff, ys);
+  return out;
+}
+
+PauliSum jordan_wigner(const FermionOp& op) {
+  const int n = op.num_modes();
+  PauliSum out(n);
+  // Accumulate raw terms and merge once at the end; merging per fermion
+  // term would be quadratic in the Hamiltonian size.
+  for (const FermionTerm& term : op.terms()) {
+    PauliSum product(n);
+    product.add_term(term.coefficient, PauliString::identity());
+    for (const LadderOp& lop : term.ops)
+      product = product * jw_ladder(lop, n);
+    for (const PauliTerm& t : product.terms())
+      out.add_term(t.coefficient, t.string);
+  }
+  out.simplify();
+  return out;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,20 @@
+// Jordan-Wigner transform: fermion ladder operators -> Pauli strings.
+//
+//   a_p      = Z_0 ... Z_{p-1} (X_p + i Y_p) / 2
+//   a^dag_p  = Z_0 ... Z_{p-1} (X_p - i Y_p) / 2
+//
+// Qubit p encodes the occupation of spin orbital p (|1> = occupied).
+#pragma once
+
+#include "chem/fermion.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace vqsim {
+
+/// JW image of a single ladder operator over `num_modes` modes.
+PauliSum jw_ladder(const LadderOp& op, int num_modes);
+
+/// JW image of an arbitrary fermion operator (simplified Pauli sum).
+PauliSum jordan_wigner(const FermionOp& op);
+
+}  // namespace vqsim

@@ -1,0 +1,33 @@
+// Molecular systems for the experiments.
+//
+// * h2_sto3g: real literature integrals (MO basis, equilibrium geometry) —
+//   the standard 4-qubit VQE validation system.
+// * water_like: synthetic integrals with a water-like orbital spectrum.
+//   The paper's H2O/cc-pV5Z downfolded Hamiltonians come from the NWChem
+//   TCE pipeline we cannot run here; this generator preserves the features
+//   that matter for the reproduced figures (term scaling, 8-fold symmetry,
+//   diagonal dominance, mild correlation). See DESIGN.md substitutions.
+// * hubbard: the standard strongly-correlated lattice stress test.
+#pragma once
+
+#include "chem/integrals.hpp"
+
+namespace vqsim {
+
+/// H2 / STO-3G at R = 0.7414 Angstrom (MO-basis integrals, chemist
+/// notation; Szabo-Ostlund values). 2 spatial orbitals, 2 electrons.
+MolecularIntegrals h2_sto3g();
+
+/// Synthetic water-like system: `norb` spatial orbitals, `nelec` electrons.
+/// Orbital energies follow a water-like HF spectrum; two-electron integrals
+/// decay with orbital distance and respect the 8-fold symmetry. `seed`
+/// controls the small deterministic off-diagonal structure.
+MolecularIntegrals water_like(int norb, int nelec,
+                              std::uint64_t seed = 20230712);
+
+/// One-dimensional Hubbard chain mapped into the same integral container:
+/// hopping `t`, on-site repulsion `u`, optionally periodic.
+MolecularIntegrals hubbard_chain(int sites, int nelec, double t, double u,
+                                 bool periodic = false);
+
+}  // namespace vqsim

@@ -1,0 +1,234 @@
+#include "chem/scf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/jacobi.hpp"
+
+namespace vqsim {
+namespace {
+
+// Real symmetric eigen-decomposition through the complex Jacobi solver.
+struct RealEigen {
+  std::vector<double> values;
+  std::vector<double> vectors;  // n x n, column k = eigenvector k
+};
+
+RealEigen symmetric_eigen(const std::vector<double>& m, int n) {
+  DenseMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          m[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(j)];
+  const EigenSystem sys = hermitian_eigensystem(a);
+  RealEigen out;
+  out.values = sys.eigenvalues;
+  out.vectors.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k)
+      out.vectors[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(k)] =
+          sys.eigenvectors(static_cast<std::size_t>(i),
+                           static_cast<std::size_t>(k))
+              .real();
+  return out;
+}
+
+// C = A * B for n x n row-major real matrices.
+std::vector<double> matmul(const std::vector<double>& a,
+                           const std::vector<double>& b, int n) {
+  std::vector<double> c(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                        0.0);
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k) {
+      const double aik =
+          a[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(k)];
+      if (aik == 0.0) continue;
+      for (int j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(j)] +=
+            aik * b[static_cast<std::size_t>(k) * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(j)];
+    }
+  return c;
+}
+
+std::size_t at(int n, int i, int j) {
+  return static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(j);
+}
+
+}  // namespace
+
+ScfResult run_rhf(const AoIntegrals& ao, int nelec,
+                  const ScfOptions& options) {
+  const int n = ao.nao;
+  if (nelec <= 0 || nelec % 2 != 0 || nelec > 2 * n)
+    throw std::invalid_argument("run_rhf: bad electron count");
+  const int nocc = nelec / 2;
+
+  // Symmetric (Loewdin) orthogonalization X = U s^{-1/2} U^T.
+  const RealEigen s_eig = symmetric_eigen(ao.overlap, n);
+  for (double v : s_eig.values)
+    if (v < 1e-8)
+      throw std::runtime_error("run_rhf: near-singular overlap matrix");
+  std::vector<double> x(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double v = 0.0;
+      for (int k = 0; k < n; ++k)
+        v += s_eig.vectors[at(n, i, k)] / std::sqrt(s_eig.values[static_cast<std::size_t>(k)]) *
+             s_eig.vectors[at(n, j, k)];
+      x[at(n, i, j)] = v;
+    }
+
+  std::vector<double> density(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                              0.0);
+  std::vector<double> fock = ao.core;  // core guess
+  double energy = 0.0;
+
+  ScfResult result;
+  result.nao = n;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Orthogonalize, diagonalize, back-transform.
+    const std::vector<double> f_prime = matmul(matmul(x, fock, n), x, n);
+    const RealEigen f_eig = symmetric_eigen(f_prime, n);
+    const std::vector<double> c = matmul(x, f_eig.vectors, n);
+
+    // New density D = 2 C_occ C_occ^T.
+    std::vector<double> new_density(density.size(), 0.0);
+    for (int p = 0; p < n; ++p)
+      for (int q = 0; q < n; ++q) {
+        double d = 0.0;
+        for (int i = 0; i < nocc; ++i)
+          d += c[at(n, p, i)] * c[at(n, q, i)];
+        new_density[at(n, p, q)] = 2.0 * d;
+      }
+
+    // New Fock matrix F = H + G(D).
+    std::vector<double> new_fock = ao.core;
+    for (int p = 0; p < n; ++p)
+      for (int q = 0; q < n; ++q) {
+        double g = 0.0;
+        for (int r = 0; r < n; ++r)
+          for (int s = 0; s < n; ++s)
+            g += new_density[at(n, r, s)] *
+                 (ao.g(p, q, s, r) - 0.5 * ao.g(p, r, s, q));
+        new_fock[at(n, p, q)] += g;
+      }
+
+    // Energy E = 1/2 sum D (H + F) + E_nuc.
+    double new_energy = ao.nuclear_repulsion;
+    for (int p = 0; p < n; ++p)
+      for (int q = 0; q < n; ++q)
+        new_energy += 0.5 * new_density[at(n, p, q)] *
+                      (ao.core[at(n, q, p)] + new_fock[at(n, q, p)]);
+
+    double density_change = 0.0;
+    for (std::size_t i = 0; i < density.size(); ++i)
+      density_change =
+          std::max(density_change, std::abs(new_density[i] - density[i]));
+
+    const bool converged =
+        it > 0 && std::abs(new_energy - energy) < options.energy_tolerance &&
+        density_change < options.density_tolerance;
+
+    density = std::move(new_density);
+    fock = std::move(new_fock);
+    energy = new_energy;
+    result.iterations = it + 1;
+    result.orbital_energies = f_eig.values;
+    result.mo_coefficients = c;
+    if (converged) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.hf_energy = energy;
+  return result;
+}
+
+MolecularIntegrals mo_integrals(const AoIntegrals& ao, const ScfResult& scf,
+                                int nelec) {
+  const int n = ao.nao;
+  MolecularIntegrals out = MolecularIntegrals::zero(n, nelec);
+  out.e_core = ao.nuclear_repulsion;
+
+  // One-body transform: h~_ij = C^T H C.
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) {
+      double v = 0.0;
+      for (int p = 0; p < n; ++p)
+        for (int q = 0; q < n; ++q)
+          v += scf.coefficient(p, i) * ao.core[at(n, p, q)] *
+               scf.coefficient(q, j);
+      out.set_one_body(i, j, v);
+    }
+
+  // Two-body transform, staged O(n^5): (pq|rs) -> (iq|rs) -> (ij|rs) ->
+  // (ij|ks) -> (ij|kl).
+  const auto n4 = static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  std::vector<double> t1(n4, 0.0);
+  std::vector<double> t2(n4, 0.0);
+  auto i4 = [n](int a, int b, int c, int d) {
+    return ((static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(b)) *
+                static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(c)) *
+               static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(d);
+  };
+  for (int i = 0; i < n; ++i)
+    for (int q = 0; q < n; ++q)
+      for (int r = 0; r < n; ++r)
+        for (int s = 0; s < n; ++s) {
+          double v = 0.0;
+          for (int p = 0; p < n; ++p)
+            v += scf.coefficient(p, i) * ao.g(p, q, r, s);
+          t1[i4(i, q, r, s)] = v;
+        }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int r = 0; r < n; ++r)
+        for (int s = 0; s < n; ++s) {
+          double v = 0.0;
+          for (int q = 0; q < n; ++q)
+            v += scf.coefficient(q, j) * t1[i4(i, q, r, s)];
+          t2[i4(i, j, r, s)] = v;
+        }
+  std::fill(t1.begin(), t1.end(), 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k)
+        for (int s = 0; s < n; ++s) {
+          double v = 0.0;
+          for (int r = 0; r < n; ++r)
+            v += scf.coefficient(r, k) * t2[i4(i, j, r, s)];
+          t1[i4(i, j, k, s)] = v;
+        }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      for (int k = 0; k < n; ++k)
+        for (int l = 0; l < n; ++l) {
+          double v = 0.0;
+          for (int s = 0; s < n; ++s)
+            v += scf.coefficient(s, l) * t1[i4(i, j, k, s)];
+          out.h2[i4(i, j, k, l)] = v;
+        }
+  return out;
+}
+
+MolecularIntegrals molecule_from_atoms(const std::vector<Atom>& atoms,
+                                       int nelec, const ScfOptions& options) {
+  const AoIntegrals ao = compute_ao_integrals(atoms);
+  const ScfResult scf = run_rhf(ao, nelec, options);
+  if (!scf.converged)
+    throw std::runtime_error("molecule_from_atoms: SCF did not converge");
+  return mo_integrals(ao, scf, nelec);
+}
+
+}  // namespace vqsim

@@ -1,0 +1,51 @@
+// Restricted Hartree-Fock over the s-Gaussian integral engine, plus the
+// AO->MO transformation that feeds the second-quantized pipeline.
+//
+// This closes the ab-initio loop: geometry -> AO integrals -> SCF -> MO
+// MolecularIntegrals -> (downfolding) -> JW -> VQE/ADAPT/QPE, all inside
+// this repository. Validated against the literature H2/STO-3G values that
+// chem/molecules.cpp hard-codes.
+#pragma once
+
+#include <vector>
+
+#include "chem/gaussian.hpp"
+#include "chem/integrals.hpp"
+
+namespace vqsim {
+
+struct ScfOptions {
+  int max_iterations = 200;
+  double energy_tolerance = 1e-10;
+  double density_tolerance = 1e-8;
+};
+
+struct ScfResult {
+  bool converged = false;
+  int iterations = 0;
+  double hf_energy = 0.0;  // total, including nuclear repulsion
+  std::vector<double> orbital_energies;       // ascending
+  std::vector<double> mo_coefficients;        // nao x nao, column = MO
+  int nao = 0;
+
+  double coefficient(int ao, int mo) const {
+    return mo_coefficients[static_cast<std::size_t>(ao) *
+                               static_cast<std::size_t>(nao) +
+                           static_cast<std::size_t>(mo)];
+  }
+};
+
+/// Closed-shell RHF; `nelec` must be even and <= 2 * nao.
+ScfResult run_rhf(const AoIntegrals& ao, int nelec,
+                  const ScfOptions& options = {});
+
+/// Transform AO integrals into the MO basis of a converged SCF.
+MolecularIntegrals mo_integrals(const AoIntegrals& ao, const ScfResult& scf,
+                                int nelec);
+
+/// One call: geometry -> AO integrals -> RHF -> MO integrals.
+MolecularIntegrals molecule_from_atoms(const std::vector<Atom>& atoms,
+                                       int nelec,
+                                       const ScfOptions& options = {});
+
+}  // namespace vqsim

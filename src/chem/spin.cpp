@@ -1,0 +1,35 @@
+#include "chem/spin.hpp"
+
+#include "chem/integrals.hpp"
+
+namespace vqsim {
+
+FermionOp sz_operator(int norb) {
+  FermionOp sz(2 * norb);
+  for (int p = 0; p < norb; ++p) {
+    sz.add_term(0.5, {FermionOp::create(spin_orbital(p, 0)),
+                      FermionOp::annihilate(spin_orbital(p, 0))});
+    sz.add_term(-0.5, {FermionOp::create(spin_orbital(p, 1)),
+                       FermionOp::annihilate(spin_orbital(p, 1))});
+  }
+  return sz;
+}
+
+FermionOp s_plus_operator(int norb) {
+  FermionOp sp(2 * norb);
+  for (int p = 0; p < norb; ++p)
+    sp.add_term(1.0, {FermionOp::create(spin_orbital(p, 0)),
+                      FermionOp::annihilate(spin_orbital(p, 1))});
+  return sp;
+}
+
+FermionOp s_squared_operator(int norb) {
+  const FermionOp sp = s_plus_operator(norb);
+  const FermionOp sm = sp.adjoint();
+  const FermionOp sz = sz_operator(norb);
+  FermionOp s2 = sm * sp + sz * sz + sz;
+  s2.simplify();
+  return s2;
+}
+
+}  // namespace vqsim

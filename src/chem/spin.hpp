@@ -1,0 +1,22 @@
+// Total-spin operators over interleaved spin orbitals.
+//
+// Symmetry diagnostics for the chemistry stack: S_z and S^2 as fermion
+// operators (and, via the encodings, as qubit observables). Closed-shell
+// references are singlets; UCCSD conserves S_z by construction — both are
+// enforced as tests.
+#pragma once
+
+#include "chem/fermion.hpp"
+
+namespace vqsim {
+
+/// S_z = 1/2 sum_p (n_{p,alpha} - n_{p,beta}).
+FermionOp sz_operator(int norb);
+
+/// S_+ = sum_p a^dag_{p,alpha} a_{p,beta}; S_- is its adjoint.
+FermionOp s_plus_operator(int norb);
+
+/// S^2 = S_- S_+ + S_z (S_z + 1).
+FermionOp s_squared_operator(int norb);
+
+}  // namespace vqsim

@@ -1,0 +1,95 @@
+#include "chem/uccsd.hpp"
+
+#include <stdexcept>
+
+#include "chem/hartree_fock.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "pauli/exp_gadget.hpp"
+
+namespace vqsim {
+
+std::vector<Excitation> uccsd_excitations(int num_spin_orbitals, int nelec) {
+  if (nelec <= 0 || nelec >= num_spin_orbitals || nelec % 2 != 0)
+    throw std::invalid_argument("uccsd_excitations: bad electron count");
+  std::vector<Excitation> out;
+
+  const auto spin = [](int so) { return so & 1; };
+
+  // Singles: i -> a, same spin.
+  for (int i = 0; i < nelec; ++i)
+    for (int a = nelec; a < num_spin_orbitals; ++a)
+      if (spin(i) == spin(a)) out.push_back({{i}, {a}});
+
+  // Doubles: (i < j) -> (a < b), total spin conserved.
+  for (int i = 0; i < nelec; ++i)
+    for (int j = i + 1; j < nelec; ++j)
+      for (int a = nelec; a < num_spin_orbitals; ++a)
+        for (int b = a + 1; b < num_spin_orbitals; ++b)
+          if (spin(i) + spin(j) == spin(a) + spin(b))
+            out.push_back({{i, j}, {a, b}});
+  return out;
+}
+
+FermionOp excitation_generator(const Excitation& ex) {
+  FermionOp t;
+  if (ex.is_single()) {
+    t.add_term(1.0, {FermionOp::create(ex.to[0]),
+                     FermionOp::annihilate(ex.from[0])});
+  } else {
+    t.add_term(1.0, {FermionOp::create(ex.to[0]), FermionOp::create(ex.to[1]),
+                     FermionOp::annihilate(ex.from[1]),
+                     FermionOp::annihilate(ex.from[0])});
+  }
+  return t - t.adjoint();
+}
+
+PauliSum excitation_generator_pauli(const Excitation& ex,
+                                    int num_spin_orbitals) {
+  FermionOp g = excitation_generator(ex);
+  // Pad the register so the JW image spans the full qubit count.
+  PauliSum p = jordan_wigner(g);
+  PauliSum hermitian = p * kI;  // G = i (T - T^dag)
+  hermitian.simplify();
+  return PauliSum(num_spin_orbitals) += hermitian;
+}
+
+UccsdAnsatz::UccsdAnsatz(int num_spin_orbitals, int nelec)
+    : num_qubits_(num_spin_orbitals),
+      nelec_(nelec),
+      excitations_(uccsd_excitations(num_spin_orbitals, nelec)) {
+  generators_.reserve(excitations_.size());
+  for (const Excitation& ex : excitations_)
+    generators_.push_back(excitation_generator_pauli(ex, num_spin_orbitals));
+}
+
+Circuit UccsdAnsatz::circuit(std::span<const double> theta) const {
+  if (theta.size() != excitations_.size())
+    throw std::invalid_argument("UccsdAnsatz::circuit: parameter count");
+  Circuit c = hf_state_circuit(num_qubits_, nelec_);
+  for (std::size_t k = 0; k < generators_.size(); ++k)
+    for (const PauliTerm& t : generators_[k].terms())
+      append_exp_pauli(&c, t.string, theta[k] * t.coefficient.real());
+  return c;
+}
+
+void UccsdAnsatz::apply(StateVector* psi,
+                        std::span<const double> theta) const {
+  if (psi == nullptr || psi->num_qubits() != num_qubits_)
+    throw std::invalid_argument("UccsdAnsatz::apply: bad state");
+  if (theta.size() != excitations_.size())
+    throw std::invalid_argument("UccsdAnsatz::apply: parameter count");
+  psi->set_basis_state(hf_basis_state(nelec_));
+  for (std::size_t k = 0; k < generators_.size(); ++k)
+    for (const PauliTerm& t : generators_[k].terms())
+      psi->apply_exp_pauli(t.string, theta[k] * t.coefficient.real());
+}
+
+std::size_t UccsdAnsatz::gate_count() const {
+  std::size_t n = static_cast<std::size_t>(nelec_);  // HF X gates
+  for (const PauliSum& g : generators_)
+    for (const PauliTerm& t : g.terms())
+      n += exp_pauli_gate_count(t.string);
+  return n;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,52 @@
+// Bit-manipulation helpers for amplitude indexing.
+//
+// A state vector over n qubits is indexed by an n-bit integer whose bit q is
+// the computational-basis value of qubit q (qubit 0 is the least significant
+// bit). Gate kernels enumerate the 2^(n-k) index groups obtained by deleting
+// the k target-qubit bits and re-inserting every combination; these helpers
+// implement that insertion.
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+
+/// Insert a zero bit at position `pos`, shifting bits at and above `pos` up.
+/// Example: insert_zero_bit(0b101, 1) == 0b1001.
+constexpr idx insert_zero_bit(idx v, unsigned pos) noexcept {
+  const idx low = v & ((idx{1} << pos) - 1);
+  const idx high = (v >> pos) << (pos + 1);
+  return high | low;
+}
+
+/// Insert zero bits at two distinct positions (positions refer to the final
+/// bit layout). Order of arguments does not matter.
+constexpr idx insert_two_zero_bits(idx v, unsigned p0, unsigned p1) noexcept {
+  const unsigned lo = p0 < p1 ? p0 : p1;
+  const unsigned hi = p0 < p1 ? p1 : p0;
+  return insert_zero_bit(insert_zero_bit(v, lo), hi);
+}
+
+/// Test bit `pos`.
+constexpr bool test_bit(idx v, unsigned pos) noexcept {
+  return (v >> pos) & idx{1};
+}
+
+/// Set bit `pos` to 1.
+constexpr idx set_bit(idx v, unsigned pos) noexcept {
+  return v | (idx{1} << pos);
+}
+
+/// Parity (0/1) of the number of set bits.
+constexpr int parity(idx v) noexcept { return std::popcount(v) & 1; }
+
+/// 2^n as an idx; n must be < 64.
+constexpr idx pow2(unsigned n) noexcept {
+  assert(n < 64);
+  return idx{1} << n;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,76 @@
+// Thin OpenMP portability layer.
+//
+// The simulator's gate kernels are written against these helpers so the code
+// builds (serially) even when the compiler lacks OpenMP support, mirroring
+// how NWQ-Sim selects CPU/GPU backends at build time.
+#pragma once
+
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace vqsim {
+
+/// Number of threads the parallel-for helpers will use.
+inline int hardware_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Set the OpenMP thread count (no-op without OpenMP).
+inline void set_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Parallel loop over [0, n); body must be safe to run concurrently.
+/// Falls back to a serial loop below `grain` iterations — the fork/join
+/// overhead dominates tiny state vectors.
+template <typename Body>
+void parallel_for(std::uint64_t n, Body&& body,
+                  std::uint64_t grain = 1u << 15) {
+#ifdef _OPENMP
+  if (n >= grain) {
+    const std::int64_t sn = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < sn; ++i) {
+      body(static_cast<std::uint64_t>(i));
+    }
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::uint64_t i = 0; i < n; ++i) body(i);
+}
+
+/// Parallel sum-reduction of `term(i)` over [0, n).
+template <typename Term>
+double parallel_sum(std::uint64_t n, Term&& term,
+                    std::uint64_t grain = 1u << 15) {
+  double total = 0.0;
+#ifdef _OPENMP
+  if (n >= grain) {
+    const std::int64_t sn = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static) reduction(+ : total)
+    for (std::int64_t i = 0; i < sn; ++i) {
+      total += term(static_cast<std::uint64_t>(i));
+    }
+    return total;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::uint64_t i = 0; i < n; ++i) total += term(i);
+  return total;
+}
+
+}  // namespace vqsim

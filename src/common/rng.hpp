@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// All stochastic components (measurement sampling, SPSA perturbations,
+// synthetic integral generation) draw from an explicitly seeded Rng so that
+// every experiment in this repository is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>{0, n - 1}(engine_);
+  }
+
+  /// Standard normal.
+  double normal() { return normal_(engine_); }
+
+  /// Rademacher +/-1, used by SPSA.
+  double rademacher() { return uniform() < 0.5 ? -1.0 : 1.0; }
+
+  /// A random complex number with each component standard normal.
+  cplx normal_cplx() { return {normal(), normal()}; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace vqsim

@@ -1,0 +1,27 @@
+// Fundamental scalar types and constants shared by all vqsim subsystems.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace vqsim {
+
+/// Complex amplitude type used throughout the simulator.
+using cplx = std::complex<double>;
+
+/// Index into an exponentially-sized amplitude array.
+using idx = std::uint64_t;
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Imaginary unit.
+inline constexpr cplx kI{0.0, 1.0};
+
+/// Default numeric tolerance for "equal to working precision" comparisons.
+inline constexpr double kEps = 1e-12;
+
+/// Chemical accuracy threshold (1 milli-hartree), used by VQE convergence
+/// criteria and by the Fig-5 reproduction.
+inline constexpr double kChemicalAccuracy = 1e-3;
+
+}  // namespace vqsim

@@ -1,0 +1,52 @@
+#include "dist/comm.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace vqsim {
+
+SimComm::SimComm(int num_ranks) : num_ranks_(num_ranks) {
+  if (num_ranks <= 0 ||
+      !std::has_single_bit(static_cast<unsigned>(num_ranks)))
+    throw std::invalid_argument("SimComm: rank count must be a power of two");
+  rank_bits_ = std::bit_width(static_cast<unsigned>(num_ranks)) - 1;
+}
+
+void SimComm::check_rank(int rank) const {
+  if (rank < 0 || rank >= num_ranks_)
+    throw std::out_of_range("SimComm: rank out of range");
+}
+
+void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
+                       std::vector<cplx>& payload_b) {
+  check_rank(rank_a);
+  check_rank(rank_b);
+  if (rank_a == rank_b)
+    throw std::invalid_argument("SimComm::exchange: self-exchange");
+  if (payload_a.size() != payload_b.size())
+    throw std::invalid_argument("SimComm::exchange: size mismatch");
+  std::swap(payload_a, payload_b);
+  stats_.point_to_point_messages += 2;
+  stats_.amplitudes_exchanged += 2 * payload_a.size();
+}
+
+double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
+  if (static_cast<int>(per_rank.size()) != num_ranks_)
+    throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
+  ++stats_.allreduces;
+  double s = 0.0;
+  for (double v : per_rank) s += v;
+  return s;
+}
+
+cplx SimComm::allreduce_sum(const std::vector<cplx>& per_rank) {
+  if (static_cast<int>(per_rank.size()) != num_ranks_)
+    throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
+  ++stats_.allreduces;
+  cplx s = 0.0;
+  for (const cplx& v : per_rank) s += v;
+  return s;
+}
+
+}  // namespace vqsim

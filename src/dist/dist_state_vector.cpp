@@ -1,0 +1,262 @@
+#include "dist/dist_state_vector.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace vqsim {
+
+DistStateVector::DistStateVector(int num_qubits, SimComm* comm)
+    : num_qubits_(num_qubits), comm_(comm) {
+  if (comm == nullptr)
+    throw std::invalid_argument("DistStateVector: null communicator");
+  local_qubits_ = num_qubits - comm->rank_bits();
+  if (local_qubits_ < 2)
+    throw std::invalid_argument(
+        "DistStateVector: need at least 2 local qubits per rank");
+  local_.reserve(static_cast<std::size_t>(comm->num_ranks()));
+  for (int r = 0; r < comm->num_ranks(); ++r)
+    local_.emplace_back(local_qubits_);
+  // StateVector initializes each shard to |0..0>; only rank 0 holds the
+  // global |0...0> amplitude.
+  for (int r = 1; r < comm->num_ranks(); ++r) {
+    local_[static_cast<std::size_t>(r)].data()[0] = cplx{0.0, 0.0};
+  }
+}
+
+void DistStateVector::reset() { set_basis_state(0); }
+
+void DistStateVector::set_basis_state(idx basis) {
+  const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
+  if (basis >= local_dim * static_cast<idx>(num_ranks()))
+    throw std::out_of_range("DistStateVector::set_basis_state");
+  const int owner = static_cast<int>(basis >> local_qubits_);
+  for (int r = 0; r < num_ranks(); ++r) {
+    StateVector& shard = local_[static_cast<std::size_t>(r)];
+    shard.set_basis_state(0);
+    if (r != owner) shard.data()[0] = cplx{0.0, 0.0};
+  }
+  local_[static_cast<std::size_t>(owner)].set_basis_state(basis &
+                                                          (local_dim - 1));
+}
+
+void DistStateVector::apply_circuit(const Circuit& circuit) {
+  if (circuit.num_qubits() > num_qubits_)
+    throw std::invalid_argument("apply_circuit: register too small");
+  for (const Gate& g : circuit.gates()) apply_gate(g);
+}
+
+void DistStateVector::apply_mat2_local(const Mat2& m, int q) {
+  for (StateVector& shard : local_) shard.apply_mat2(m, q);
+}
+
+void DistStateVector::apply_mat2_global(const Mat2& m, int q) {
+  // Partner ranks differ in this qubit's rank bit. Rank pairs (a: bit=0,
+  // b: bit=1) hold the (amp0, amp1) halves element-wise: exchange b's whole
+  // slice, combine, exchange back the updated halves.
+  const int gb = global_bit(q);
+  for (int a = 0; a < num_ranks(); ++a) {
+    if ((a >> gb) & 1) continue;
+    const int b = a | (1 << gb);
+    StateVector& sa = local_[static_cast<std::size_t>(a)];
+    StateVector& sb = local_[static_cast<std::size_t>(b)];
+    const idx n = sa.dim();
+
+    // Stage: each side sends its full slice to the other.
+    std::vector<cplx> from_a(sa.data(), sa.data() + n);
+    std::vector<cplx> from_b(sb.data(), sb.data() + n);
+    comm_->exchange(a, from_a, b, from_b);
+    // After the exchange, from_a holds b's slice and from_b holds a's slice
+    // (payloads swapped in place, as a sendrecv would).
+    const std::vector<cplx>& remote_for_a = from_a;  // b's amplitudes
+    const std::vector<cplx>& remote_for_b = from_b;  // a's amplitudes
+
+    cplx* pa = sa.data();
+    cplx* pb = sb.data();
+    for (idx i = 0; i < n; ++i) {
+      const cplx a0 = pa[i];           // qubit bit = 0 amplitude
+      const cplx a1 = remote_for_a[i]; // qubit bit = 1 amplitude
+      pa[i] = m(0, 0) * a0 + m(0, 1) * a1;
+      // Rank b recomputes independently from its own staged copy.
+      const cplx b0 = remote_for_b[i];
+      const cplx b1 = pb[i];
+      pb[i] = m(1, 0) * b0 + m(1, 1) * b1;
+    }
+  }
+}
+
+void DistStateVector::swap_global_local(int global_qubit, int local_qubit) {
+  // SWAP(g, l) moves amplitudes between (rank g-bit, local l-bit) = (0, 1)
+  // and (1, 0). Each rank in a partner pair ships the half-slice whose
+  // l-bit disagrees with its g-bit.
+  const int gb = global_bit(global_qubit);
+  const unsigned lq = static_cast<unsigned>(local_qubit);
+  const idx lbit = pow2(lq);
+  for (int a = 0; a < num_ranks(); ++a) {
+    if ((a >> gb) & 1) continue;
+    const int b = a | (1 << gb);
+    StateVector& sa = local_[static_cast<std::size_t>(a)];
+    StateVector& sb = local_[static_cast<std::size_t>(b)];
+    const idx half = sa.dim() / 2;
+
+    std::vector<cplx> send_a(half);  // a's l=1 half
+    std::vector<cplx> send_b(half);  // b's l=0 half
+    cplx* pa = sa.data();
+    cplx* pb = sb.data();
+    for (idx k = 0; k < half; ++k) {
+      const idx base = insert_zero_bit(k, lq);
+      send_a[k] = pa[base | lbit];
+      send_b[k] = pb[base];
+    }
+    comm_->exchange(a, send_a, b, send_b);
+    // send_a now holds b's l=0 half; send_b holds a's l=1 half.
+    for (idx k = 0; k < half; ++k) {
+      const idx base = insert_zero_bit(k, lq);
+      pa[base | lbit] = send_a[k];
+      pb[base] = send_b[k];
+    }
+  }
+}
+
+int DistStateVector::pick_scratch(int avoid0, int avoid1) const {
+  for (int q = 0; q < local_qubits_; ++q)
+    if (q != avoid0 && q != avoid1) return q;
+  throw std::runtime_error("DistStateVector: no scratch qubit available");
+}
+
+void DistStateVector::apply_gate(const Gate& gate) {
+  if (!gate.is_two_qubit()) {
+    if (gate.kind == GateKind::kI) return;
+    const Mat2 m = gate_matrix2(gate);
+    if (is_local(gate.q0))
+      apply_mat2_local(m, gate.q0);
+    else
+      apply_mat2_global(m, gate.q0);
+    return;
+  }
+
+  int q0 = gate.q0;
+  int q1 = gate.q1;
+  // Lower global operands onto local scratch qubits via distributed swaps.
+  std::vector<std::pair<int, int>> swaps;  // (global, scratch) to undo
+  if (!is_local(q0)) {
+    const int s = pick_scratch(q1 < local_qubits_ ? q1 : -1, -1);
+    swap_global_local(q0, s);
+    swaps.emplace_back(q0, s);
+    q0 = s;
+  }
+  if (!is_local(q1)) {
+    const int s = pick_scratch(q0, swaps.empty() ? -1 : swaps.back().second);
+    swap_global_local(q1, s);
+    swaps.emplace_back(q1, s);
+    q1 = s;
+  }
+
+  const Mat4 m = gate_matrix4(gate);
+  for (StateVector& shard : local_) shard.apply_mat4(m, q0, q1);
+
+  for (auto it = swaps.rbegin(); it != swaps.rend(); ++it)
+    swap_global_local(it->first, it->second);
+}
+
+double DistStateVector::expectation_z_mask(std::uint64_t mask) {
+  const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
+  const std::uint64_t local_mask = mask & (local_dim - 1);
+  std::vector<double> partial(static_cast<std::size_t>(num_ranks()));
+  for (int r = 0; r < num_ranks(); ++r) {
+    const std::uint64_t rank_bits =
+        (mask >> local_qubits_) & static_cast<std::uint64_t>(num_ranks() - 1);
+    const double rank_sign =
+        parity(static_cast<idx>(r) & rank_bits) ? -1.0 : 1.0;
+    const cplx* a = local_[static_cast<std::size_t>(r)].data();
+    double s = 0.0;
+    for (idx i = 0; i < local_dim; ++i) {
+      const double p = std::norm(a[i]);
+      s += parity(i & local_mask) ? -p : p;
+    }
+    partial[static_cast<std::size_t>(r)] = rank_sign * s;
+  }
+  return comm_->allreduce_sum(partial);
+}
+
+cplx DistStateVector::expectation_pauli(const PauliString& p) {
+  if (p.min_qubits() > num_qubits_)
+    throw std::out_of_range("expectation_pauli: string exceeds register");
+  const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
+  const std::uint64_t xm = p.x;
+  const std::uint64_t zm = p.z;
+  const std::uint64_t x_local = xm & (local_dim - 1);
+  const std::uint64_t x_rank = xm >> local_qubits_;
+
+  static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
+                                cplx{0, -1}};
+  const cplx global = kIPow[std::popcount(xm & zm) % 4];
+
+  std::vector<cplx> partial(static_cast<std::size_t>(num_ranks()),
+                            cplx{0.0, 0.0});
+  for (int r = 0; r < num_ranks(); ++r) {
+    const int partner = r ^ static_cast<int>(x_rank);
+    const cplx* a = local_[static_cast<std::size_t>(r)].data();
+
+    // The partner slice holding the a_{i^x} amplitudes; when the X mask
+    // stays local the partner is the rank itself (no staging needed).
+    std::vector<cplx> staged;
+    const cplx* remote = a;
+    if (partner != r) {
+      // Stage a copy of this rank's slice to the partner and vice versa;
+      // only the lower rank of each pair drives the exchange bookkeeping.
+      staged.assign(local_[static_cast<std::size_t>(partner)].data(),
+                    local_[static_cast<std::size_t>(partner)].data() +
+                        local_dim);
+      if (r < partner) {
+        std::vector<cplx> mine(a, a + local_dim);
+        comm_->exchange(r, mine, partner, staged);
+        staged = std::move(mine);  // after swap, `mine` holds partner data
+      }
+      remote = staged.data();
+    }
+
+    cplx s{0.0, 0.0};
+    for (idx l = 0; l < local_dim; ++l) {
+      const idx i = (static_cast<idx>(r) << local_qubits_) | l;
+      const cplx phase = global * (parity(i & zm) ? -1.0 : 1.0);
+      s += std::conj(remote[l ^ x_local]) * phase * a[l];
+    }
+    partial[static_cast<std::size_t>(r)] = s;
+  }
+  return comm_->allreduce_sum(partial);
+}
+
+double DistStateVector::expectation(const PauliSum& h) {
+  double e = 0.0;
+  for (const PauliTerm& t : h.terms())
+    e += (t.coefficient * expectation_pauli(t.string)).real();
+  return e;
+}
+
+double DistStateVector::norm() {
+  std::vector<double> partial(static_cast<std::size_t>(num_ranks()));
+  for (int r = 0; r < num_ranks(); ++r) {
+    const cplx* a = local_[static_cast<std::size_t>(r)].data();
+    double s = 0.0;
+    for (idx i = 0; i < local_[static_cast<std::size_t>(r)].dim(); ++i)
+      s += std::norm(a[i]);
+    partial[static_cast<std::size_t>(r)] = s;
+  }
+  return std::sqrt(comm_->allreduce_sum(partial));
+}
+
+StateVector DistStateVector::gather() const {
+  AmpVector amps(pow2(static_cast<unsigned>(num_qubits_)));
+  const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
+  for (int r = 0; r < num_ranks(); ++r) {
+    const cplx* a = local_[static_cast<std::size_t>(r)].data();
+    for (idx i = 0; i < local_dim; ++i)
+      amps[(static_cast<idx>(r) << local_qubits_) | i] = a[i];
+  }
+  return StateVector::from_amplitudes(std::move(amps));
+}
+
+}  // namespace vqsim

@@ -1,0 +1,55 @@
+#include "downfold/active_space.hpp"
+
+#include <stdexcept>
+
+namespace vqsim {
+
+MolecularIntegrals project_active(const MolecularIntegrals& full,
+                                  const ActiveSpace& space) {
+  if (space.n_frozen < 0 || space.n_active <= 0 ||
+      space.last() > full.norb)
+    throw std::invalid_argument("project_active: window out of range");
+  if (2 * space.n_frozen > full.nelec)
+    throw std::invalid_argument("project_active: freezing active electrons");
+
+  MolecularIntegrals act = MolecularIntegrals::zero(
+      space.n_active, full.nelec - 2 * space.n_frozen);
+
+  // Frozen-core energy: E_fc = 2 sum_i h_ii + sum_ij (2(ii|jj) - (ij|ji)).
+  double e_fc = 0.0;
+  for (int i = 0; i < space.n_frozen; ++i) {
+    e_fc += 2.0 * full.one_body(i, i);
+    for (int j = 0; j < space.n_frozen; ++j)
+      e_fc += 2.0 * full.two_body(i, i, j, j) - full.two_body(i, j, j, i);
+  }
+  act.e_core = full.e_core + e_fc;
+
+  // Effective one-body over active orbitals:
+  // h'_pq = h_pq + sum_{i frozen} (2(pq|ii) - (pi|iq)).
+  for (int p = 0; p < space.n_active; ++p)
+    for (int q = p; q < space.n_active; ++q) {
+      const int fp = p + space.n_frozen;
+      const int fq = q + space.n_frozen;
+      double v = full.one_body(fp, fq);
+      for (int i = 0; i < space.n_frozen; ++i)
+        v += 2.0 * full.two_body(fp, fq, i, i) - full.two_body(fp, i, i, fq);
+      act.set_one_body(p, q, v);
+    }
+
+  // Active two-electron block.
+  for (int p = 0; p < space.n_active; ++p)
+    for (int q = 0; q < space.n_active; ++q)
+      for (int r = 0; r < space.n_active; ++r)
+        for (int s = 0; s < space.n_active; ++s)
+          act.h2[((static_cast<std::size_t>(p) * static_cast<std::size_t>(act.norb) +
+                   static_cast<std::size_t>(q)) *
+                      static_cast<std::size_t>(act.norb) +
+                  static_cast<std::size_t>(r)) *
+                     static_cast<std::size_t>(act.norb) +
+                 static_cast<std::size_t>(s)] =
+              full.two_body(p + space.n_frozen, q + space.n_frozen,
+                            r + space.n_frozen, s + space.n_frozen);
+  return act;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,32 @@
+// Active-space selection and frozen-core folding.
+//
+// The downfolding workflow (paper §2) confines the problem to an active
+// window of spatial orbitals around the Fermi level. Frozen (core) orbitals
+// are folded into the scalar energy and an effective one-body term; external
+// virtuals are either discarded (bare truncation baseline) or integrated out
+// by the Hermitian downfolding in downfold.hpp.
+#pragma once
+
+#include "chem/integrals.hpp"
+
+namespace vqsim {
+
+struct ActiveSpace {
+  int n_frozen = 0;  // lowest spatial orbitals, kept doubly occupied
+  int n_active = 0;  // window size (spatial orbitals)
+
+  int first() const { return n_frozen; }
+  int last() const { return n_frozen + n_active; }  // exclusive
+
+  bool is_active_spatial(int p) const { return p >= first() && p < last(); }
+  bool is_active_spin(int so) const { return is_active_spatial(so / 2); }
+};
+
+/// Bare active-space truncation: folds the frozen core into e_core / h1 and
+/// keeps only the active block of the integrals. Electron count becomes
+/// nelec - 2 * n_frozen. This is the paper's "bare Hamiltonian
+/// diagonalization" baseline that downfolding improves on.
+MolecularIntegrals project_active(const MolecularIntegrals& full,
+                                  const ActiveSpace& space);
+
+}  // namespace vqsim

@@ -1,0 +1,68 @@
+#include "downfold/downfold.hpp"
+
+#include <stdexcept>
+
+#include "downfold/mp2.hpp"
+
+namespace vqsim {
+
+FermionOp confine_to_active(const FermionOp& op, const ActiveSpace& space) {
+  FermionOp out(2 * space.n_active);
+  const int lo = 2 * space.first();
+  const int hi = 2 * space.last();  // exclusive, spin orbitals
+  for (const FermionTerm& term : op.terms()) {
+    bool internal = true;
+    for (const LadderOp& lop : term.ops) {
+      if (lop.mode < lo || lop.mode >= hi) {
+        internal = false;
+        break;
+      }
+    }
+    if (!internal) continue;
+    std::vector<LadderOp> remapped = term.ops;
+    for (LadderOp& lop : remapped) lop.mode -= lo;
+    out.add_term(term.coefficient, std::move(remapped));
+  }
+  out.simplify();
+  return out;
+}
+
+DownfoldResult hermitian_downfold(const MolecularIntegrals& ints,
+                                  const ActiveSpace& space,
+                                  const DownfoldOptions& options) {
+  if (options.commutator_order < 0 || options.commutator_order > 2)
+    throw std::invalid_argument("hermitian_downfold: order must be 0..2");
+
+  const std::uint64_t occ = hf_occupation_mask(ints.nelec);
+  const NormalOrderSpec spec{occ, /*max_ops=*/4, options.threshold};
+
+  const FermionOp h = molecular_hamiltonian(ints);
+  FermionOp h_eff = h.normal_ordered(spec);
+
+  DownfoldResult result;
+  if (options.commutator_order >= 1) {
+    const FermionOp sigma =
+        external_sigma(ints, space, options.amplitude_threshold);
+    result.sigma_terms = sigma.size();
+    if (!sigma.empty()) {
+      // [H, sigma], rank-truncated against the HF reference.
+      FermionOp c1 = h.commutator(sigma, spec);
+      h_eff += c1;
+      if (options.commutator_order >= 2) {
+        // 1/2 [[H, sigma], sigma] using the already-truncated inner
+        // commutator (standard nested-truncation scheme).
+        FermionOp c2 = c1.commutator(sigma, spec);
+        c2 *= 0.5;
+        h_eff += c2;
+      }
+    }
+  }
+  h_eff = h_eff.normal_ordered(spec);
+
+  result.h_eff = confine_to_active(h_eff, space);
+  result.n_active_electrons = ints.nelec - 2 * space.n_frozen;
+  result.n_active_spin_orbitals = 2 * space.n_active;
+  return result;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,54 @@
+// Hermitian coupled-cluster downfolding (paper §2, Eq. 2).
+//
+//   H_eff = e^{-sigma} H e^{sigma}
+//         ~ H + [H, sigma] + 1/2 [[H, sigma], sigma] + ...
+//
+// with sigma the anti-Hermitian *external* cluster operator. Commutators are
+// evaluated in the fermion-operator algebra, quasi-normal-ordered against
+// the HF reference, and truncated at two-body rank (the standard practical
+// approximation). The effective Hamiltonian is then confined to the active
+// space: every quasi-normal-ordered product referencing an external spin
+// orbital is dropped, scalars accumulate, and the surviving active-space
+// operator is re-indexed to a compact register ready for JW + VQE.
+#pragma once
+
+#include "chem/fermion.hpp"
+#include "chem/integrals.hpp"
+#include "downfold/active_space.hpp"
+
+namespace vqsim {
+
+struct DownfoldOptions {
+  /// Commutator-expansion order: 0 (bare), 1 (single commutator), or 2
+  /// (double commutator, the paper's choice).
+  int commutator_order = 2;
+  /// Coefficient threshold for the operator algebra.
+  double threshold = 1e-10;
+  /// MP2 amplitude threshold for sigma_ext.
+  double amplitude_threshold = 1e-8;
+};
+
+struct DownfoldResult {
+  /// Effective Hamiltonian on the re-indexed active spin orbitals
+  /// (2 * n_active modes, interleaved spins), scalar included.
+  FermionOp h_eff;
+  /// Number of active electrons (nelec - 2 * n_frozen).
+  int n_active_electrons = 0;
+  /// Active spin-orbital count (= 2 * n_active).
+  int n_active_spin_orbitals = 0;
+  /// Terms in sigma_ext (diagnostics).
+  std::size_t sigma_terms = 0;
+};
+
+/// Confine `op` (quasi-normal-ordered against `occ`) to the active window:
+/// drops products referencing external spin orbitals and re-indexes the
+/// survivors onto [0, 2*n_active). Exposed for tests.
+FermionOp confine_to_active(const FermionOp& op, const ActiveSpace& space);
+
+/// Full Hermitian downfolding pipeline: HF reference -> MP2 sigma_ext ->
+/// commutator expansion -> active-space confinement.
+DownfoldResult hermitian_downfold(const MolecularIntegrals& ints,
+                                  const ActiveSpace& space,
+                                  const DownfoldOptions& options = {});
+
+}  // namespace vqsim

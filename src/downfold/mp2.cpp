@@ -1,0 +1,75 @@
+#include "downfold/mp2.hpp"
+
+#include <cmath>
+
+namespace vqsim {
+namespace {
+
+double spin_orbital_eri(const MolecularIntegrals& ints, int p, int q, int r,
+                        int s) {
+  // Physicist <pq|rs> over spin orbitals (interleaved convention).
+  if (spin_of(p) != spin_of(r) || spin_of(q) != spin_of(s)) return 0.0;
+  return ints.two_body(spatial_of(p), spatial_of(r), spatial_of(q),
+                       spatial_of(s));
+}
+
+double spin_orbital_energy(const MolecularIntegrals& ints, int so) {
+  return ints.orbital_energy(spatial_of(so));
+}
+
+}  // namespace
+
+double antisymmetrized(const MolecularIntegrals& ints, int p, int q, int r,
+                       int s) {
+  return spin_orbital_eri(ints, p, q, r, s) -
+         spin_orbital_eri(ints, p, q, s, r);
+}
+
+double mp2_energy(const MolecularIntegrals& ints) {
+  const int nso = 2 * ints.norb;
+  const int nocc = ints.nelec;
+  double e2 = 0.0;
+  for (int i = 0; i < nocc; ++i)
+    for (int j = i + 1; j < nocc; ++j)
+      for (int a = nocc; a < nso; ++a)
+        for (int b = a + 1; b < nso; ++b) {
+          const double v = antisymmetrized(ints, i, j, a, b);
+          if (v == 0.0) continue;
+          const double denom =
+              spin_orbital_energy(ints, i) + spin_orbital_energy(ints, j) -
+              spin_orbital_energy(ints, a) - spin_orbital_energy(ints, b);
+          e2 += v * v / denom;
+        }
+  return e2;
+}
+
+FermionOp external_sigma(const MolecularIntegrals& ints,
+                         const ActiveSpace& space,
+                         double amplitude_threshold) {
+  const int nso = 2 * ints.norb;
+  const int nocc = ints.nelec;
+  FermionOp t2(nso);
+  for (int i = 0; i < nocc; ++i)
+    for (int j = i + 1; j < nocc; ++j)
+      for (int a = nocc; a < nso; ++a)
+        for (int b = a + 1; b < nso; ++b) {
+          // External = at least one index outside the active window.
+          const bool external =
+              !space.is_active_spin(i) || !space.is_active_spin(j) ||
+              !space.is_active_spin(a) || !space.is_active_spin(b);
+          if (!external) continue;
+          const double v = antisymmetrized(ints, i, j, a, b);
+          if (std::abs(v) < amplitude_threshold) continue;
+          const double denom =
+              spin_orbital_energy(ints, i) + spin_orbital_energy(ints, j) -
+              spin_orbital_energy(ints, a) - spin_orbital_energy(ints, b);
+          const double amp = v / denom;
+          if (std::abs(amp) < amplitude_threshold) continue;
+          t2.add_term(amp,
+                      {FermionOp::create(a), FermionOp::create(b),
+                       FermionOp::annihilate(j), FermionOp::annihilate(i)});
+        }
+  return t2 - t2.adjoint();
+}
+
+}  // namespace vqsim

@@ -1,0 +1,31 @@
+// Second-order Moller-Plesset amplitudes.
+//
+// MP2 doubles amplitudes seed the external cluster operator sigma_ext of the
+// Hermitian downfolding (paper Eq. 2): t_ij^ab = <ij||ab> / (e_i + e_j -
+// e_a - e_b) over spin orbitals, restricted to excitations that touch the
+// external space.
+#pragma once
+
+#include "chem/fermion.hpp"
+#include "chem/integrals.hpp"
+#include "downfold/active_space.hpp"
+
+namespace vqsim {
+
+/// Spin-orbital antisymmetrized integral <pq||rs> from spatial chemist
+/// integrals: <pq|rs> - <pq|sr> with <pq|rs> = (pr|qs) delta(spin p, r)
+/// delta(spin q, s).
+double antisymmetrized(const MolecularIntegrals& ints, int p, int q, int r,
+                       int s);
+
+/// Closed-shell MP2 correlation energy (all doubles).
+double mp2_energy(const MolecularIntegrals& ints);
+
+/// The anti-Hermitian external cluster operator sigma_ext = T2_ext -
+/// T2_ext^dag built from MP2 amplitudes of doubles with at least one index
+/// outside the active window. Spin-orbital modes refer to the FULL system.
+FermionOp external_sigma(const MolecularIntegrals& ints,
+                         const ActiveSpace& space,
+                         double amplitude_threshold = 1e-8);
+
+}  // namespace vqsim

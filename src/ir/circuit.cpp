@@ -1,0 +1,111 @@
+#include "ir/circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vqsim {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 0)
+    throw std::invalid_argument("Circuit: negative qubit count");
+}
+
+Circuit& Circuit::add(Gate g) {
+  const int arity = gate_arity(g.kind);
+  if (g.q0 < 0 || g.q0 >= num_qubits_)
+    throw std::out_of_range("Circuit::add: q0 out of range");
+  if (arity == 2) {
+    if (g.q1 < 0 || g.q1 >= num_qubits_)
+      throw std::out_of_range("Circuit::add: q1 out of range");
+    if (g.q1 == g.q0)
+      throw std::invalid_argument("Circuit::add: duplicate qubit operand");
+  }
+  gates_.push_back(std::move(g));
+  return *this;
+}
+
+Circuit& Circuit::u3(double theta, double phi, double lambda, int q) {
+  Gate g;
+  g.kind = GateKind::kU3;
+  g.q0 = q;
+  g.params = {theta, phi, lambda};
+  return add(g);
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  if (other.num_qubits_ > num_qubits_)
+    throw std::invalid_argument("Circuit::append: qubit count mismatch");
+  gates_.reserve(gates_.size() + other.gates_.size());
+  for (const Gate& g : other.gates_) gates_.push_back(g);
+  return *this;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv(num_qubits_);
+  inv.reserve(gates_.size());
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+    inv.gates_.push_back(inverse_gate(*it));
+  return inv;
+}
+
+GateCounts Circuit::counts() const {
+  GateCounts c;
+  c.total = gates_.size();
+  for (const Gate& g : gates_) {
+    if (g.is_two_qubit())
+      ++c.two_qubit;
+    else
+      ++c.one_qubit;
+    ++c.by_name[gate_name(g.kind)];
+  }
+  return c;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(static_cast<std::size_t>(num_qubits_), 0);
+  std::size_t depth = 0;
+  for (const Gate& g : gates_) {
+    std::size_t l = level[static_cast<std::size_t>(g.q0)];
+    if (g.is_two_qubit())
+      l = std::max(l, level[static_cast<std::size_t>(g.q1)]);
+    ++l;
+    level[static_cast<std::size_t>(g.q0)] = l;
+    if (g.is_two_qubit()) level[static_cast<std::size_t>(g.q1)] = l;
+    depth = std::max(depth, l);
+  }
+  return depth;
+}
+
+Circuit& Circuit::add_fixed(GateKind kind, int q) {
+  Gate g;
+  g.kind = kind;
+  g.q0 = q;
+  return add(g);
+}
+
+Circuit& Circuit::add_rot(GateKind kind, double theta, int q) {
+  Gate g;
+  g.kind = kind;
+  g.q0 = q;
+  g.params[0] = theta;
+  return add(g);
+}
+
+Circuit& Circuit::add_pair(GateKind kind, int q0, int q1) {
+  Gate g;
+  g.kind = kind;
+  g.q0 = q0;
+  g.q1 = q1;
+  return add(g);
+}
+
+Circuit& Circuit::add_pair_rot(GateKind kind, double theta, int q0, int q1) {
+  Gate g;
+  g.kind = kind;
+  g.q0 = q0;
+  g.q1 = q1;
+  g.params[0] = theta;
+  return add(g);
+}
+
+}  // namespace vqsim

@@ -1,0 +1,116 @@
+// Quantum circuit container with fluent builder helpers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/gate.hpp"
+
+namespace vqsim {
+
+/// Aggregate gate statistics (reported by Fig. 3 / Fig. 4 benches).
+struct GateCounts {
+  std::size_t total = 0;
+  std::size_t one_qubit = 0;
+  std::size_t two_qubit = 0;
+  std::map<std::string, std::size_t> by_name;
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t size() const { return gates_.size(); }
+  bool empty() const { return gates_.empty(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& operator[](std::size_t i) const { return gates_[i]; }
+
+  void reserve(std::size_t n) { gates_.reserve(n); }
+  void clear() { gates_.clear(); }
+
+  /// Append a gate; validates qubit operands against num_qubits().
+  Circuit& add(Gate g);
+
+  // -- Fluent builders for the full gate set -------------------------------
+  Circuit& id(int q) { return add_fixed(GateKind::kI, q); }
+  Circuit& x(int q) { return add_fixed(GateKind::kX, q); }
+  Circuit& y(int q) { return add_fixed(GateKind::kY, q); }
+  Circuit& z(int q) { return add_fixed(GateKind::kZ, q); }
+  Circuit& h(int q) { return add_fixed(GateKind::kH, q); }
+  Circuit& s(int q) { return add_fixed(GateKind::kS, q); }
+  Circuit& sdg(int q) { return add_fixed(GateKind::kSdg, q); }
+  Circuit& t(int q) { return add_fixed(GateKind::kT, q); }
+  Circuit& tdg(int q) { return add_fixed(GateKind::kTdg, q); }
+  Circuit& sx(int q) { return add_fixed(GateKind::kSX, q); }
+  Circuit& sxdg(int q) { return add_fixed(GateKind::kSXdg, q); }
+  Circuit& rx(double theta, int q) { return add_rot(GateKind::kRX, theta, q); }
+  Circuit& ry(double theta, int q) { return add_rot(GateKind::kRY, theta, q); }
+  Circuit& rz(double theta, int q) { return add_rot(GateKind::kRZ, theta, q); }
+  Circuit& p(double lambda, int q) { return add_rot(GateKind::kP, lambda, q); }
+  Circuit& u3(double theta, double phi, double lambda, int q);
+  Circuit& cx(int control, int target) {
+    return add_pair(GateKind::kCX, control, target);
+  }
+  Circuit& cy(int control, int target) {
+    return add_pair(GateKind::kCY, control, target);
+  }
+  Circuit& cz(int control, int target) {
+    return add_pair(GateKind::kCZ, control, target);
+  }
+  Circuit& ch(int control, int target) {
+    return add_pair(GateKind::kCH, control, target);
+  }
+  Circuit& swap(int a, int b) { return add_pair(GateKind::kSwap, a, b); }
+  Circuit& crx(double theta, int control, int target) {
+    return add_pair_rot(GateKind::kCRX, theta, control, target);
+  }
+  Circuit& cry(double theta, int control, int target) {
+    return add_pair_rot(GateKind::kCRY, theta, control, target);
+  }
+  Circuit& crz(double theta, int control, int target) {
+    return add_pair_rot(GateKind::kCRZ, theta, control, target);
+  }
+  Circuit& cp(double lambda, int control, int target) {
+    return add_pair_rot(GateKind::kCP, lambda, control, target);
+  }
+  Circuit& rxx(double theta, int a, int b) {
+    return add_pair_rot(GateKind::kRXX, theta, a, b);
+  }
+  Circuit& ryy(double theta, int a, int b) {
+    return add_pair_rot(GateKind::kRYY, theta, a, b);
+  }
+  Circuit& rzz(double theta, int a, int b) {
+    return add_pair_rot(GateKind::kRZZ, theta, a, b);
+  }
+  Circuit& mat1(int q, const Mat2& m) { return add(make_mat1_gate(q, m)); }
+  Circuit& mat2(int q0, int q1, const Mat4& m) {
+    return add(make_mat2_gate(q0, q1, m));
+  }
+
+  /// Append every gate of `other` (qubit counts must match).
+  Circuit& append(const Circuit& other);
+
+  /// Exact inverse circuit (gates reversed and individually inverted).
+  Circuit inverse() const;
+
+  /// Gate statistics.
+  GateCounts counts() const;
+
+  /// Circuit depth: longest chain of gates through any qubit.
+  std::size_t depth() const;
+
+ private:
+  Circuit& add_fixed(GateKind kind, int q);
+  Circuit& add_rot(GateKind kind, double theta, int q);
+  Circuit& add_pair(GateKind kind, int q0, int q1);
+  Circuit& add_pair_rot(GateKind kind, double theta, int q0, int q1);
+
+  int num_qubits_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace vqsim

@@ -1,0 +1,364 @@
+#include "ir/gate.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+namespace {
+
+Mat2 mat2_from_rows(cplx a, cplx b, cplx c, cplx d) {
+  Mat2 m;
+  m(0, 0) = a;
+  m(0, 1) = b;
+  m(1, 0) = c;
+  m(1, 1) = d;
+  return m;
+}
+
+Mat2 rx_matrix(double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return mat2_from_rows(c, -kI * s, -kI * s, c);
+}
+
+Mat2 ry_matrix(double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return mat2_from_rows(c, -s, s, c);
+}
+
+Mat2 rz_matrix(double theta) {
+  return mat2_from_rows(std::exp(-kI * (theta / 2)), 0.0, 0.0,
+                        std::exp(kI * (theta / 2)));
+}
+
+Mat2 p_matrix(double lambda) {
+  return mat2_from_rows(1.0, 0.0, 0.0, std::exp(kI * lambda));
+}
+
+Mat2 u3_matrix(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return mat2_from_rows(c, -std::exp(kI * lambda) * s,
+                        std::exp(kI * phi) * s,
+                        std::exp(kI * (phi + lambda)) * c);
+}
+
+Mat2 fixed_matrix2(GateKind kind) {
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  switch (kind) {
+    case GateKind::kI:
+      return Mat2::identity();
+    case GateKind::kX:
+      return mat2_from_rows(0.0, 1.0, 1.0, 0.0);
+    case GateKind::kY:
+      return mat2_from_rows(0.0, -kI, kI, 0.0);
+    case GateKind::kZ:
+      return mat2_from_rows(1.0, 0.0, 0.0, -1.0);
+    case GateKind::kH:
+      return mat2_from_rows(inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+    case GateKind::kS:
+      return mat2_from_rows(1.0, 0.0, 0.0, kI);
+    case GateKind::kSdg:
+      return mat2_from_rows(1.0, 0.0, 0.0, -kI);
+    case GateKind::kT:
+      return mat2_from_rows(1.0, 0.0, 0.0, std::exp(kI * (kPi / 4)));
+    case GateKind::kTdg:
+      return mat2_from_rows(1.0, 0.0, 0.0, std::exp(-kI * (kPi / 4)));
+    case GateKind::kSX:
+      return mat2_from_rows(cplx{0.5, 0.5}, cplx{0.5, -0.5}, cplx{0.5, -0.5},
+                            cplx{0.5, 0.5});
+    case GateKind::kSXdg:
+      return mat2_from_rows(cplx{0.5, -0.5}, cplx{0.5, 0.5}, cplx{0.5, 0.5},
+                            cplx{0.5, -0.5});
+    default:
+      throw std::invalid_argument("fixed_matrix2: not a fixed 1q gate");
+  }
+}
+
+// Controlled-U with control on the low bit (q0) and target on the high bit
+// (q1): indices 0 and 2 have control = 0 (identity), indices 1 and 3 have
+// control = 1 (apply U between target values 0 and 1).
+Mat4 controlled(const Mat2& u) {
+  Mat4 m;
+  m(0, 0) = 1.0;
+  m(2, 2) = 1.0;
+  m(1, 1) = u(0, 0);
+  m(1, 3) = u(0, 1);
+  m(3, 1) = u(1, 0);
+  m(3, 3) = u(1, 1);
+  return m;
+}
+
+Mat4 swap_matrix() {
+  Mat4 m;
+  m(0, 0) = 1.0;
+  m(1, 2) = 1.0;
+  m(2, 1) = 1.0;
+  m(3, 3) = 1.0;
+  return m;
+}
+
+// exp(-i theta/2 * (P x P)) for P in {X, Y, Z}; the two-qubit rotation family.
+Mat4 pauli_pauli_rotation(GateKind kind, double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  Mat4 m;
+  switch (kind) {
+    case GateKind::kRXX:
+      for (int i = 0; i < 4; ++i) m(i, i) = c;
+      m(0, 3) = -kI * s;
+      m(1, 2) = -kI * s;
+      m(2, 1) = -kI * s;
+      m(3, 0) = -kI * s;
+      return m;
+    case GateKind::kRYY:
+      for (int i = 0; i < 4; ++i) m(i, i) = c;
+      m(0, 3) = kI * s;
+      m(1, 2) = -kI * s;
+      m(2, 1) = -kI * s;
+      m(3, 0) = kI * s;
+      return m;
+    case GateKind::kRZZ: {
+      const cplx em = std::exp(-kI * (theta / 2));
+      const cplx ep = std::exp(kI * (theta / 2));
+      m(0, 0) = em;
+      m(1, 1) = ep;
+      m(2, 2) = ep;
+      m(3, 3) = em;
+      return m;
+    }
+    default:
+      throw std::invalid_argument("pauli_pauli_rotation: bad kind");
+  }
+}
+
+}  // namespace
+
+int gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kSX:
+    case GateKind::kSXdg:
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kU3:
+    case GateKind::kMat1:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+int gate_num_params(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+    case GateKind::kCP:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+      return 1;
+    case GateKind::kU3:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+const char* gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kI: return "id";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kH: return "h";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kSX: return "sx";
+    case GateKind::kSXdg: return "sxdg";
+    case GateKind::kRX: return "rx";
+    case GateKind::kRY: return "ry";
+    case GateKind::kRZ: return "rz";
+    case GateKind::kP: return "p";
+    case GateKind::kU3: return "u3";
+    case GateKind::kCX: return "cx";
+    case GateKind::kCY: return "cy";
+    case GateKind::kCZ: return "cz";
+    case GateKind::kCH: return "ch";
+    case GateKind::kSwap: return "swap";
+    case GateKind::kCRX: return "crx";
+    case GateKind::kCRY: return "cry";
+    case GateKind::kCRZ: return "crz";
+    case GateKind::kCP: return "cp";
+    case GateKind::kRXX: return "rxx";
+    case GateKind::kRYY: return "ryy";
+    case GateKind::kRZZ: return "rzz";
+    case GateKind::kMat1: return "mat1";
+    case GateKind::kMat2: return "mat2";
+  }
+  return "?";
+}
+
+GateKind gate_kind_from_name(const std::string& name) {
+  static const std::unordered_map<std::string, GateKind> table = [] {
+    std::unordered_map<std::string, GateKind> t;
+    for (int k = 0; k <= static_cast<int>(GateKind::kMat2); ++k) {
+      const auto kind = static_cast<GateKind>(k);
+      t[gate_name(kind)] = kind;
+    }
+    return t;
+  }();
+  const auto it = table.find(name);
+  if (it == table.end())
+    throw std::invalid_argument("unknown gate name: " + name);
+  return it->second;
+}
+
+Gate make_mat1_gate(int q, const Mat2& m) {
+  Gate g;
+  g.kind = GateKind::kMat1;
+  g.q0 = q;
+  g.mat1 = std::make_shared<const Mat2>(m);
+  return g;
+}
+
+Gate make_mat2_gate(int q0, int q1, const Mat4& m) {
+  Gate g;
+  g.kind = GateKind::kMat2;
+  g.q0 = q0;
+  g.q1 = q1;
+  g.mat2 = std::make_shared<const Mat4>(m);
+  return g;
+}
+
+Mat2 gate_matrix2(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kRX:
+      return rx_matrix(g.params[0]);
+    case GateKind::kRY:
+      return ry_matrix(g.params[0]);
+    case GateKind::kRZ:
+      return rz_matrix(g.params[0]);
+    case GateKind::kP:
+      return p_matrix(g.params[0]);
+    case GateKind::kU3:
+      return u3_matrix(g.params[0], g.params[1], g.params[2]);
+    case GateKind::kMat1:
+      if (!g.mat1) throw std::invalid_argument("kMat1 gate missing payload");
+      return *g.mat1;
+    default:
+      if (gate_arity(g.kind) != 1)
+        throw std::invalid_argument("gate_matrix2: two-qubit gate");
+      return fixed_matrix2(g.kind);
+  }
+}
+
+Mat4 gate_matrix4(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kCX:
+      return controlled(fixed_matrix2(GateKind::kX));
+    case GateKind::kCY:
+      return controlled(fixed_matrix2(GateKind::kY));
+    case GateKind::kCZ:
+      return controlled(fixed_matrix2(GateKind::kZ));
+    case GateKind::kCH:
+      return controlled(fixed_matrix2(GateKind::kH));
+    case GateKind::kSwap:
+      return swap_matrix();
+    case GateKind::kCRX:
+      return controlled(rx_matrix(g.params[0]));
+    case GateKind::kCRY:
+      return controlled(ry_matrix(g.params[0]));
+    case GateKind::kCRZ:
+      return controlled(rz_matrix(g.params[0]));
+    case GateKind::kCP:
+      return controlled(p_matrix(g.params[0]));
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+      return pauli_pauli_rotation(g.kind, g.params[0]);
+    case GateKind::kMat2:
+      if (!g.mat2) throw std::invalid_argument("kMat2 gate missing payload");
+      return *g.mat2;
+    default:
+      throw std::invalid_argument("gate_matrix4: single-qubit gate");
+  }
+}
+
+Gate inverse_gate(const Gate& g) {
+  Gate inv = g;
+  switch (g.kind) {
+    case GateKind::kS:
+      inv.kind = GateKind::kSdg;
+      return inv;
+    case GateKind::kSdg:
+      inv.kind = GateKind::kS;
+      return inv;
+    case GateKind::kT:
+      inv.kind = GateKind::kTdg;
+      return inv;
+    case GateKind::kTdg:
+      inv.kind = GateKind::kT;
+      return inv;
+    case GateKind::kSX:
+      inv.kind = GateKind::kSXdg;
+      return inv;
+    case GateKind::kSXdg:
+      inv.kind = GateKind::kSX;
+      return inv;
+    case GateKind::kU3:
+      inv.params = {-g.params[0], -g.params[2], -g.params[1]};
+      return inv;
+    case GateKind::kMat1:
+      return make_mat1_gate(g.q0, g.mat1->adjoint());
+    case GateKind::kMat2:
+      return make_mat2_gate(g.q0, g.q1, g.mat2->adjoint());
+    default:
+      if (gate_num_params(g.kind) == 1) {
+        inv.params[0] = -g.params[0];
+        return inv;
+      }
+      return inv;  // self-inverse fixed gates (I, X, Y, Z, H, CX, ...)
+  }
+}
+
+std::string gate_to_string(const Gate& g) {
+  std::ostringstream os;
+  os << gate_name(g.kind);
+  const int np = gate_num_params(g.kind);
+  if (np > 0) {
+    os << "(";
+    for (int i = 0; i < np; ++i) {
+      if (i > 0) os << ", ";
+      os << g.params[static_cast<std::size_t>(i)];
+    }
+    os << ")";
+  }
+  os << " q" << g.q0;
+  if (g.is_two_qubit()) os << ", q" << g.q1;
+  return os.str();
+}
+
+}  // namespace vqsim

@@ -1,0 +1,95 @@
+// Gate-level intermediate representation.
+//
+// The gate set mirrors NWQ-Sim's native set: the full standard 1- and 2-qubit
+// gates plus generic matrix gates (kMat1 / kMat2) that the fusion pass emits.
+//
+// Conventions (used consistently by kernels, fusion, and tests):
+//  * Qubit 0 is the least significant bit of the state index.
+//  * For a two-qubit gate on (q0, q1), the 4x4 matrix index is
+//    (bit(q1) << 1) | bit(q0): the first operand is the low bit.
+//  * For controlled gates, q0 is the control and q1 the target.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "linalg/dense.hpp"
+
+namespace vqsim {
+
+enum class GateKind : std::uint8_t {
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kSX,
+  kSXdg,
+  kRX,
+  kRY,
+  kRZ,
+  kP,
+  kU3,
+  kCX,
+  kCY,
+  kCZ,
+  kCH,
+  kSwap,
+  kCRX,
+  kCRY,
+  kCRZ,
+  kCP,
+  kRXX,
+  kRYY,
+  kRZZ,
+  kMat1,  // generic single-qubit matrix
+  kMat2,  // generic two-qubit matrix
+};
+
+/// Number of qubit operands (1 or 2).
+int gate_arity(GateKind kind);
+
+/// Number of angle parameters (0..3).
+int gate_num_params(GateKind kind);
+
+/// Lower-case mnemonic ("cx", "rz", ...).
+const char* gate_name(GateKind kind);
+
+/// Inverse lookup for the QASM parser; throws on unknown names.
+GateKind gate_kind_from_name(const std::string& name);
+
+struct Gate {
+  GateKind kind = GateKind::kI;
+  int q0 = -1;
+  int q1 = -1;
+  std::array<double, 3> params{};
+  std::shared_ptr<const Mat2> mat1;  // payload for kMat1
+  std::shared_ptr<const Mat4> mat2;  // payload for kMat2
+
+  bool is_two_qubit() const { return gate_arity(kind) == 2; }
+};
+
+/// Factories for the generic matrix gates.
+Gate make_mat1_gate(int q, const Mat2& m);
+Gate make_mat2_gate(int q0, int q1, const Mat4& m);
+
+/// 2x2 matrix of a single-qubit gate. Throws for two-qubit kinds.
+Mat2 gate_matrix2(const Gate& g);
+
+/// 4x4 matrix of a two-qubit gate in the (q1 high, q0 low) convention.
+/// Throws for single-qubit kinds.
+Mat4 gate_matrix4(const Gate& g);
+
+/// The exact inverse gate (stays within the gate set; generic matrix kinds
+/// invert to their adjoint payloads).
+Gate inverse_gate(const Gate& g);
+
+/// Human-readable one-line description, e.g. "cx q0, q1" or "rz(0.5) q3".
+std::string gate_to_string(const Gate& g);
+
+}  // namespace vqsim

@@ -1,0 +1,130 @@
+#include "ir/passes/cancel.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace vqsim {
+namespace {
+
+bool is_rotation(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+    case GateKind::kCP:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_operands(const Gate& a, const Gate& b) {
+  return a.q0 == b.q0 && a.q1 == b.q1;
+}
+
+// True when `b` is exactly the inverse of `a` (non-rotation kinds only;
+// rotations are handled by angle merging).
+bool is_inverse_pair(const Gate& a, const Gate& b) {
+  if (!same_operands(a, b)) {
+    // Symmetric two-qubit gates cancel regardless of operand order.
+    const bool symmetric = a.kind == GateKind::kSwap ||
+                           a.kind == GateKind::kCZ;
+    if (!(symmetric && a.kind == b.kind && a.q0 == b.q1 && a.q1 == b.q0))
+      return false;
+    return true;
+  }
+  if (is_rotation(a.kind)) return false;
+  const Gate inv = inverse_gate(a);
+  if (inv.kind != b.kind) return false;
+  if (a.kind == GateKind::kU3) {
+    for (int i = 0; i < 3; ++i)
+      if (std::abs(inv.params[static_cast<std::size_t>(i)] -
+                   b.params[static_cast<std::size_t>(i)]) > 1e-15)
+        return false;
+  }
+  if (a.kind == GateKind::kMat1 || a.kind == GateKind::kMat2)
+    return false;  // generic payload comparison is fusion's job
+  return true;
+}
+
+}  // namespace
+
+Circuit cancel_gates(const Circuit& circuit, CancelStats* stats,
+                     double angle_tolerance) {
+  const std::size_t n = circuit.size();
+  std::vector<Gate> out;
+  out.reserve(n);
+  std::vector<bool> alive;
+  alive.reserve(n);
+  // Per-qubit stack of indices into `out` of alive gates touching the qubit.
+  std::vector<std::vector<std::size_t>> last(
+      static_cast<std::size_t>(circuit.num_qubits()));
+
+  std::size_t pairs = 0;
+  std::size_t merged = 0;
+
+  auto top = [&](int q) -> std::size_t {
+    auto& s = last[static_cast<std::size_t>(q)];
+    while (!s.empty() && !alive[s.back()]) s.pop_back();
+    return s.empty() ? static_cast<std::size_t>(-1) : s.back();
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    const std::size_t ta = top(g.q0);
+    const std::size_t tb = g.is_two_qubit() ? top(g.q1)
+                                            : static_cast<std::size_t>(-1);
+    const bool prev_is_sole_neighbor =
+        ta != static_cast<std::size_t>(-1) && (!g.is_two_qubit() || ta == tb);
+
+    if (prev_is_sole_neighbor) {
+      Gate& prev = out[ta];
+      const bool prev_matches_arity =
+          prev.is_two_qubit() == g.is_two_qubit();
+      if (prev_matches_arity && is_inverse_pair(prev, g)) {
+        alive[ta] = false;
+        ++pairs;
+        continue;
+      }
+      if (prev_matches_arity && is_rotation(g.kind) && prev.kind == g.kind &&
+          same_operands(prev, g)) {
+        prev.params[0] += g.params[0];
+        ++merged;
+        if (std::abs(prev.params[0]) < angle_tolerance) {
+          alive[ta] = false;
+          ++pairs;
+        }
+        continue;
+      }
+    }
+
+    const std::size_t index = out.size();
+    out.push_back(g);
+    alive.push_back(true);
+    last[static_cast<std::size_t>(g.q0)].push_back(index);
+    if (g.is_two_qubit())
+      last[static_cast<std::size_t>(g.q1)].push_back(index);
+  }
+
+  Circuit result(circuit.num_qubits());
+  result.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (alive[i]) result.add(out[i]);
+
+  if (stats != nullptr) {
+    stats->gates_before = circuit.size();
+    stats->gates_after = result.size();
+    stats->pairs_cancelled = pairs;
+    stats->rotations_merged = merged;
+  }
+  return result;
+}
+
+}  // namespace vqsim

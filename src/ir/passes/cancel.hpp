@@ -1,0 +1,23 @@
+// Gate-cancellation pass: removes adjacent inverse pairs and merges
+// consecutive rotations of the same kind on the same operands.
+//
+// "Adjacent" means no intervening gate touches any shared qubit. This is the
+// circuit-rewriting companion to the fusion pass (see paper §6.1 discussion
+// of gate cancellation / commutation in compilers such as Sabre).
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace vqsim {
+
+struct CancelStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t pairs_cancelled = 0;
+  std::size_t rotations_merged = 0;
+};
+
+Circuit cancel_gates(const Circuit& circuit, CancelStats* stats = nullptr,
+                     double angle_tolerance = 1e-12);
+
+}  // namespace vqsim

@@ -1,0 +1,178 @@
+#include "ir/passes/fusion.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace vqsim {
+namespace {
+
+// An open fusion group: a run of gates confined to one qubit (arity 1) or one
+// qubit pair (arity 2), accumulated as a matrix product.
+struct Group {
+  int arity = 0;
+  int q0 = -1;  // low slot of the accumulated matrix
+  int q1 = -1;  // high slot (arity 2 only)
+  Mat2 m2 = Mat2::identity();
+  Mat4 m4 = Mat4::identity();
+  std::size_t gate_count = 0;
+  Gate only;  // the single member, valid when gate_count == 1
+  bool open = true;
+};
+
+bool is_identity(const Mat2& m, double tol) {
+  return m.approx_equal(Mat2::identity(), tol);
+}
+
+bool is_identity(const Mat4& m, double tol) {
+  return m.approx_equal(Mat4::identity(), tol);
+}
+
+class Fuser {
+ public:
+  Fuser(const Circuit& input, const FusionOptions& options)
+      : input_(input),
+        options_(options),
+        output_(input.num_qubits()),
+        owner_(static_cast<std::size_t>(input.num_qubits()), kNone) {}
+
+  Circuit run(FusionStats* stats) {
+    for (const Gate& g : input_.gates()) {
+      if (g.is_two_qubit())
+        consume_two_qubit(g);
+      else
+        consume_one_qubit(g);
+    }
+    // Flush every still-open group (they act on disjoint qubits).
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi)
+      if (groups_[gi].open) emit(groups_[gi]);
+    if (stats != nullptr) {
+      stats->gates_before = input_.size();
+      stats->gates_after = output_.size();
+      stats->groups_dropped_identity = dropped_;
+    }
+    return std::move(output_);
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  void consume_one_qubit(const Gate& g) {
+    const auto q = static_cast<std::size_t>(g.q0);
+    const Mat2 m = gate_matrix2(g);
+    if (owner_[q] != kNone) {
+      Group& grp = groups_[owner_[q]];
+      if (grp.arity == 1) {
+        grp.m2 = m * grp.m2;
+        ++grp.gate_count;
+        return;
+      }
+      // Absorb into the open two-qubit group on the matching slot.
+      grp.m4 = (g.q0 == grp.q0 ? embed_low(m) : embed_high(m)) * grp.m4;
+      ++grp.gate_count;
+      return;
+    }
+    Group grp;
+    grp.arity = 1;
+    grp.q0 = g.q0;
+    grp.m2 = m;
+    grp.gate_count = 1;
+    grp.only = g;
+    owner_[q] = groups_.size();
+    groups_.push_back(std::move(grp));
+  }
+
+  void consume_two_qubit(const Gate& g) {
+    const auto a = static_cast<std::size_t>(g.q0);
+    const auto b = static_cast<std::size_t>(g.q1);
+    Mat4 m = gate_matrix4(g);  // convention: g.q0 low slot, g.q1 high slot
+
+    // Same open two-qubit group on the same unordered pair: multiply in.
+    if (owner_[a] != kNone && owner_[a] == owner_[b]) {
+      Group& grp = groups_[owner_[a]];
+      if (g.q0 != grp.q0) m = swap_qubit_order(m);
+      grp.m4 = m * grp.m4;
+      ++grp.gate_count;
+      return;
+    }
+
+    // Start a new group, absorbing pending one-qubit runs on each operand
+    // and flushing any unrelated two-qubit groups that touch the operands.
+    Group grp;
+    grp.arity = 2;
+    grp.q0 = g.q0;
+    grp.q1 = g.q1;
+    grp.m4 = m;
+    grp.gate_count = 1;
+    grp.only = g;
+    absorb_or_flush(a, grp, /*low_slot=*/true);
+    absorb_or_flush(b, grp, /*low_slot=*/false);
+    owner_[a] = groups_.size();
+    owner_[b] = groups_.size();
+    groups_.push_back(std::move(grp));
+  }
+
+  // If qubit `q` has an open one-qubit group, fold it in *before* the new
+  // two-qubit matrix; an open two-qubit group is flushed to the output.
+  void absorb_or_flush(std::size_t q, Group& into, bool low_slot) {
+    const std::size_t gi = owner_[q];
+    if (gi == kNone) return;
+    Group& prev = groups_[gi];
+    if (prev.arity == 1) {
+      into.m4 = into.m4 * (low_slot ? embed_low(prev.m2) : embed_high(prev.m2));
+      into.gate_count += prev.gate_count;
+      prev.open = false;  // consumed, not emitted
+    } else {
+      emit(prev);
+      prev.open = false;
+      owner_[static_cast<std::size_t>(prev.q0)] = kNone;
+      owner_[static_cast<std::size_t>(prev.q1)] = kNone;
+    }
+    owner_[q] = kNone;
+  }
+
+  void emit(Group& grp) {
+    grp.open = false;
+    for (int q : {grp.q0, grp.q1})
+      if (q >= 0 && owner_[static_cast<std::size_t>(q)] != kNone &&
+          &groups_[owner_[static_cast<std::size_t>(q)]] == &grp)
+        owner_[static_cast<std::size_t>(q)] = kNone;
+
+    if (grp.arity == 1) {
+      if (is_identity(grp.m2, options_.identity_tolerance)) {
+        ++dropped_;
+        return;
+      }
+      if (grp.gate_count == 1 && options_.keep_singletons)
+        output_.add(grp.only);
+      else
+        output_.mat1(grp.q0, grp.m2);
+      return;
+    }
+    if (is_identity(grp.m4, options_.identity_tolerance)) {
+      ++dropped_;
+      return;
+    }
+    if (grp.gate_count == 1 && options_.keep_singletons)
+      output_.add(grp.only);
+    else
+      output_.mat2(grp.q0, grp.q1, grp.m4);
+  }
+
+  const Circuit& input_;
+  FusionOptions options_;
+  Circuit output_;
+  std::vector<std::size_t> owner_;
+  std::vector<Group> groups_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace
+
+Circuit fuse_gates(const Circuit& circuit, const FusionOptions& options,
+                   FusionStats* stats) {
+  Fuser fuser(circuit, options);
+  return fuser.run(stats);
+}
+
+}  // namespace vqsim

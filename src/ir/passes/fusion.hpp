@@ -1,0 +1,43 @@
+// Gate fusion pass (paper §4.3).
+//
+// Fuses runs of consecutive gates acting on the same qubit (or same qubit
+// pair) into single generic matrix gates, capped at two qubits: NWQ-Sim
+// deliberately stops at 4x4 matrices because the cost of applying a fused
+// k-qubit gate grows as 2^k per amplitude group, and 2-qubit fusion is the
+// sweet spot on wide SIMT/SIMD hardware.
+//
+// Single-qubit gates adjacent to a two-qubit gate on one of its operands are
+// absorbed into the two-qubit matrix. Groups whose accumulated matrix is the
+// identity (e.g. a gate followed by its inverse) are dropped entirely.
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace vqsim {
+
+struct FusionOptions {
+  /// Emit the original gate unchanged when a fusion group contains exactly
+  /// one gate (keeps mnemonics readable and avoids matrix churn).
+  bool keep_singletons = true;
+  /// Drop fusion groups equal to the identity to this tolerance.
+  double identity_tolerance = 1e-12;
+};
+
+struct FusionStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t groups_dropped_identity = 0;
+  double reduction() const {
+    return gates_before == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(gates_after) /
+                           static_cast<double>(gates_before);
+  }
+};
+
+/// Fuse `circuit`; returns the semantically-equivalent fused circuit and
+/// fills `stats` when non-null.
+Circuit fuse_gates(const Circuit& circuit, const FusionOptions& options = {},
+                   FusionStats* stats = nullptr);
+
+}  // namespace vqsim

@@ -1,0 +1,58 @@
+#include "ir/passes/mapping.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace vqsim {
+
+MappingResult map_to_linear_chain(const Circuit& circuit) {
+  const int n = circuit.num_qubits();
+  MappingResult out;
+  out.circuit = Circuit(n);
+  out.final_layout.resize(static_cast<std::size_t>(n));
+  std::iota(out.final_layout.begin(), out.final_layout.end(), 0);
+  std::vector<int> physical_to_logical = out.final_layout;
+
+  auto physical_of = [&](int logical) {
+    return out.final_layout[static_cast<std::size_t>(logical)];
+  };
+  auto swap_physical = [&](int pa, int pb) {
+    out.circuit.swap(pa, pb);
+    ++out.swaps_inserted;
+    const int la = physical_to_logical[static_cast<std::size_t>(pa)];
+    const int lb = physical_to_logical[static_cast<std::size_t>(pb)];
+    std::swap(physical_to_logical[static_cast<std::size_t>(pa)],
+              physical_to_logical[static_cast<std::size_t>(pb)]);
+    out.final_layout[static_cast<std::size_t>(la)] = pb;
+    out.final_layout[static_cast<std::size_t>(lb)] = pa;
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    Gate routed = g;
+    if (!g.is_two_qubit()) {
+      routed.q0 = physical_of(g.q0);
+      out.circuit.add(routed);
+      continue;
+    }
+    // Walk the operands together: repeatedly swap the first operand one
+    // step toward the second.
+    while (std::abs(physical_of(g.q0) - physical_of(g.q1)) > 1) {
+      const int pa = physical_of(g.q0);
+      const int pb = physical_of(g.q1);
+      const int step = pa < pb ? pa + 1 : pa - 1;
+      swap_physical(pa, step);
+    }
+    routed.q0 = physical_of(g.q0);
+    routed.q1 = physical_of(g.q1);
+    out.circuit.add(routed);
+  }
+  return out;
+}
+
+bool respects_linear_chain(const Circuit& circuit) {
+  for (const Gate& g : circuit.gates())
+    if (g.is_two_qubit() && std::abs(g.q0 - g.q1) != 1) return false;
+  return true;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,33 @@
+// Qubit mapping / routing for restricted connectivity (related work: Sabre
+// [8] and Siraichi et al. [14] in the paper's §6.1).
+//
+// The simulator itself is all-to-all, but circuits destined for hardware
+// must respect a coupling map. This pass routes a circuit onto a linear
+// chain by greedily inserting SWAPs that walk two-qubit operands together —
+// the baseline every published router compares against. The inserted-SWAP
+// count is the routing overhead metric.
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace vqsim {
+
+struct MappingResult {
+  /// Routed circuit: every two-qubit gate acts on adjacent physical qubits.
+  Circuit circuit;
+  /// final_layout[logical] = physical wire holding that logical qubit after
+  /// the routed circuit has run.
+  std::vector<int> final_layout;
+  std::size_t swaps_inserted = 0;
+};
+
+/// Route onto a linear nearest-neighbor chain of circuit.num_qubits() wires
+/// (trivial initial layout: logical q starts on physical q).
+MappingResult map_to_linear_chain(const Circuit& circuit);
+
+/// True when every two-qubit gate touches adjacent wires.
+bool respects_linear_chain(const Circuit& circuit);
+
+}  // namespace vqsim

@@ -1,0 +1,169 @@
+#include "ir/qasm.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+namespace {
+
+std::string format_angle(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// Parse an angle token: literal, `pi`, `-expr`, `x/y`, `x*y`.
+double parse_angle(const std::string& token) {
+  const auto slash = token.find('/');
+  if (slash != std::string::npos)
+    return parse_angle(token.substr(0, slash)) /
+           parse_angle(token.substr(slash + 1));
+  const auto star = token.find('*');
+  if (star != std::string::npos)
+    return parse_angle(token.substr(0, star)) *
+           parse_angle(token.substr(star + 1));
+  if (!token.empty() && token[0] == '-') return -parse_angle(token.substr(1));
+  if (token == "pi") return kPi;
+  std::size_t pos = 0;
+  const double v = std::stod(token, &pos);
+  if (pos != token.size())
+    throw std::invalid_argument("qasm: bad angle token '" + token + "'");
+  return v;
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(strip(cur));
+  return out;
+}
+
+int parse_qubit(const std::string& operand) {
+  const auto lb = operand.find('[');
+  const auto rb = operand.find(']');
+  if (lb == std::string::npos || rb == std::string::npos || rb < lb)
+    throw std::invalid_argument("qasm: bad qubit operand '" + operand + "'");
+  return std::stoi(operand.substr(lb + 1, rb - lb - 1));
+}
+
+}  // namespace
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind == GateKind::kMat1 || g.kind == GateKind::kMat2)
+      throw std::invalid_argument(
+          "to_qasm: generic matrix gates are not representable");
+    os << gate_name(g.kind);
+    const int np = gate_num_params(g.kind);
+    if (np > 0) {
+      os << "(";
+      for (int i = 0; i < np; ++i) {
+        if (i > 0) os << ",";
+        os << format_angle(g.params[static_cast<std::size_t>(i)]);
+      }
+      os << ")";
+    }
+    os << " q[" << g.q0 << "]";
+    if (g.is_two_qubit()) os << ",q[" << g.q1 << "]";
+    os << ";\n";
+  }
+  return os.str();
+}
+
+Circuit from_qasm(const std::string& text) {
+  Circuit circuit;
+  bool have_qreg = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    // Drop comments and whitespace.
+    const auto comment = line.find("//");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = strip(line);
+    if (line.empty()) continue;
+    if (line.back() == ';') line.pop_back();
+    line = strip(line);
+    if (line.empty()) continue;
+
+    if (line.rfind("OPENQASM", 0) == 0) continue;
+    if (line.rfind("include", 0) == 0) continue;
+    if (line.rfind("qreg", 0) == 0) {
+      const auto lb = line.find('[');
+      const auto rb = line.find(']');
+      if (lb == std::string::npos || rb == std::string::npos)
+        throw std::invalid_argument("qasm: malformed qreg");
+      circuit = Circuit(std::stoi(line.substr(lb + 1, rb - lb - 1)));
+      have_qreg = true;
+      continue;
+    }
+    if (line.rfind("creg", 0) == 0 || line.rfind("barrier", 0) == 0 ||
+        line.rfind("measure", 0) == 0)
+      continue;
+    if (!have_qreg) throw std::invalid_argument("qasm: gate before qreg");
+
+    // "name(params) operands" or "name operands".
+    std::string name;
+    std::string params;
+    std::string operands;
+    const auto paren = line.find('(');
+    if (paren != std::string::npos) {
+      const auto close = line.find(')', paren);
+      if (close == std::string::npos)
+        throw std::invalid_argument("qasm: unbalanced parens: " + line);
+      name = strip(line.substr(0, paren));
+      params = line.substr(paren + 1, close - paren - 1);
+      operands = strip(line.substr(close + 1));
+    } else {
+      const auto space = line.find(' ');
+      if (space == std::string::npos)
+        throw std::invalid_argument("qasm: malformed statement: " + line);
+      name = strip(line.substr(0, space));
+      operands = strip(line.substr(space + 1));
+    }
+
+    Gate g;
+    g.kind = gate_kind_from_name(name);
+    const int np = gate_num_params(g.kind);
+    if (np > 0) {
+      const auto tokens = split(params, ',');
+      if (static_cast<int>(tokens.size()) != np)
+        throw std::invalid_argument("qasm: wrong parameter count: " + line);
+      for (int i = 0; i < np; ++i)
+        g.params[static_cast<std::size_t>(i)] = parse_angle(tokens[static_cast<std::size_t>(i)]);
+    }
+    const auto qs = split(operands, ',');
+    if (static_cast<int>(qs.size()) != gate_arity(g.kind))
+      throw std::invalid_argument("qasm: wrong operand count: " + line);
+    g.q0 = parse_qubit(qs[0]);
+    if (qs.size() > 1) g.q1 = parse_qubit(qs[1]);
+    circuit.add(g);
+  }
+  return circuit;
+}
+
+}  // namespace vqsim

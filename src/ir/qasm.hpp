@@ -1,0 +1,22 @@
+// OpenQASM 2.0 serialization (emit + a parser for the subset we emit).
+//
+// This is the interchange surface of the XACC-role layer: circuits produced
+// by the ansatz compilers can be dumped, inspected, and re-loaded.
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace vqsim {
+
+/// Serialize to OpenQASM 2.0. Generic matrix gates (kMat1/kMat2) are not
+/// representable and cause a std::invalid_argument.
+std::string to_qasm(const Circuit& circuit);
+
+/// Parse the OpenQASM 2.0 subset produced by to_qasm(). Angle expressions
+/// support floating literals, `pi`, unary minus, and `a/b`, `a*b` binary
+/// forms such as `pi/2`.
+Circuit from_qasm(const std::string& text);
+
+}  // namespace vqsim

@@ -1,0 +1,82 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace vqsim {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<std::size_t> is,
+                                   std::vector<std::size_t> js,
+                                   std::vector<cplx> vs) {
+  if (is.size() != js.size() || is.size() != vs.size())
+    throw std::invalid_argument("CsrMatrix: triplet arrays differ in length");
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+
+  // Sort triplets by (row, col) and merge duplicates.
+  std::vector<std::size_t> order(is.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return is[a] != is[b] ? is[a] < is[b] : js[a] < js[b];
+  });
+
+  m.row_ptr_.assign(rows + 1, 0);
+  std::size_t last_row = rows;  // sentinel: no entry appended yet
+  std::size_t last_col = cols;
+  for (std::size_t k : order) {
+    if (is[k] >= rows || js[k] >= cols)
+      throw std::out_of_range("CsrMatrix: triplet index out of range");
+    if (is[k] == last_row && js[k] == last_col) {
+      m.vals_.back() += vs[k];
+      continue;
+    }
+    m.col_idx_.push_back(js[k]);
+    m.vals_.push_back(vs[k]);
+    m.row_ptr_[is[k] + 1] = m.col_idx_.size();
+    last_row = is[k];
+    last_col = js[k];
+  }
+  // Rows with no entries inherit the previous offset.
+  for (std::size_t r = 1; r <= rows; ++r)
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  return m;
+}
+
+void CsrMatrix::apply(const cplx* x, cplx* y) const {
+  parallel_for(rows_, [&](std::uint64_t r) {
+    cplx s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s += vals_[k] * x[col_idx_[k]];
+    y[r] = s;
+  });
+}
+
+std::vector<cplx> CsrMatrix::apply(const std::vector<cplx>& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::apply: size");
+  std::vector<cplx> y(rows_);
+  apply(x.data(), y.data());
+  return y;
+}
+
+bool CsrMatrix::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  std::map<std::pair<std::size_t, std::size_t>, cplx> entries;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      entries[{r, col_idx_[k]}] = vals_[k];
+  for (const auto& [rc, v] : entries) {
+    auto it = entries.find({rc.second, rc.first});
+    const cplx other = it == entries.end() ? cplx{0.0, 0.0} : it->second;
+    if (std::abs(v - std::conj(other)) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace vqsim

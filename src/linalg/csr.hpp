@@ -1,0 +1,48 @@
+// Compressed-sparse-row complex matrix.
+//
+// Used for exact-diagonalization reference energies: many-body Hamiltonians
+// restricted to a particle-number sector are very sparse, and Lanczos only
+// needs matrix-vector products.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from coordinate triplets; duplicate (row, col) entries are summed.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<std::size_t> is,
+                                 std::vector<std::size_t> js,
+                                 std::vector<cplx> vs);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return vals_.size(); }
+
+  /// y = A x (y is overwritten).
+  void apply(const cplx* x, cplx* y) const;
+  std::vector<cplx> apply(const std::vector<cplx>& x) const;
+
+  /// Hermiticity check to tolerance `tol` (compares against the adjoint).
+  bool is_hermitian(double tol = 1e-10) const;
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<cplx>& values() const { return vals_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<cplx> vals_;
+};
+
+}  // namespace vqsim

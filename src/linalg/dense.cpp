@@ -1,0 +1,216 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vqsim {
+
+Mat2 Mat2::identity() {
+  Mat2 r;
+  r(0, 0) = 1.0;
+  r(1, 1) = 1.0;
+  return r;
+}
+
+Mat2 Mat2::operator*(const Mat2& rhs) const {
+  Mat2 r;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      cplx s = 0.0;
+      for (int k = 0; k < 2; ++k) s += (*this)(i, k) * rhs(k, j);
+      r(i, j) = s;
+    }
+  return r;
+}
+
+Mat2 Mat2::operator+(const Mat2& rhs) const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 4; ++i) r.m[i] = m[i] + rhs.m[i];
+  return r;
+}
+
+Mat2 Mat2::operator*(cplx s) const {
+  Mat2 r;
+  for (std::size_t i = 0; i < 4; ++i) r.m[i] = m[i] * s;
+  return r;
+}
+
+Mat2 Mat2::adjoint() const {
+  Mat2 r;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) r(i, j) = std::conj((*this)(j, i));
+  return r;
+}
+
+bool Mat2::is_unitary(double tol) const {
+  return (adjoint() * (*this)).approx_equal(identity(), tol);
+}
+
+bool Mat2::approx_equal(const Mat2& rhs, double tol) const {
+  for (std::size_t i = 0; i < 4; ++i)
+    if (std::abs(m[i] - rhs.m[i]) > tol) return false;
+  return true;
+}
+
+Mat4 Mat4::identity() {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) r(i, i) = 1.0;
+  return r;
+}
+
+Mat4 Mat4::operator*(const Mat4& rhs) const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      cplx s = 0.0;
+      for (int k = 0; k < 4; ++k) s += (*this)(i, k) * rhs(k, j);
+      r(i, j) = s;
+    }
+  return r;
+}
+
+Mat4 Mat4::operator+(const Mat4& rhs) const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 16; ++i) r.m[i] = m[i] + rhs.m[i];
+  return r;
+}
+
+Mat4 Mat4::operator*(cplx s) const {
+  Mat4 r;
+  for (std::size_t i = 0; i < 16; ++i) r.m[i] = m[i] * s;
+  return r;
+}
+
+Mat4 Mat4::adjoint() const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) r(i, j) = std::conj((*this)(j, i));
+  return r;
+}
+
+bool Mat4::is_unitary(double tol) const {
+  return (adjoint() * (*this)).approx_equal(identity(), tol);
+}
+
+bool Mat4::approx_equal(const Mat4& rhs, double tol) const {
+  for (std::size_t i = 0; i < 16; ++i)
+    if (std::abs(m[i] - rhs.m[i]) > tol) return false;
+  return true;
+}
+
+Mat4 kron(const Mat2& a, const Mat2& b) {
+  Mat4 r;
+  for (int ra = 0; ra < 2; ++ra)
+    for (int rb = 0; rb < 2; ++rb)
+      for (int ca = 0; ca < 2; ++ca)
+        for (int cb = 0; cb < 2; ++cb)
+          r(ra * 2 + rb, ca * 2 + cb) = a(ra, ca) * b(rb, cb);
+  return r;
+}
+
+Mat4 embed_low(const Mat2& a) { return kron(Mat2::identity(), a); }
+
+Mat4 embed_high(const Mat2& a) { return kron(a, Mat2::identity()); }
+
+Mat4 swap_qubit_order(const Mat4& a) {
+  // Conjugate by SWAP: permute row/col indices exchanging the two bits.
+  auto perm = [](int i) { return ((i & 1) << 1) | ((i >> 1) & 1); };
+  Mat4 r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) r(perm(i), perm(j)) = a(i, j);
+  return r;
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i) r(i, i) = 1.0;
+  return r;
+}
+
+DenseMatrix DenseMatrix::operator*(const DenseMatrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("DenseMatrix: shape mismatch");
+  DenseMatrix r(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx aik = (*this)(i, k);
+      if (aik == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) r(i, j) += aik * rhs(k, j);
+    }
+  return r;
+}
+
+DenseMatrix DenseMatrix::operator+(const DenseMatrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("DenseMatrix: shape mismatch");
+  DenseMatrix r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] + rhs.data_[i];
+  return r;
+}
+
+DenseMatrix DenseMatrix::operator-(const DenseMatrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("DenseMatrix: shape mismatch");
+  DenseMatrix r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] - rhs.data_[i];
+  return r;
+}
+
+DenseMatrix DenseMatrix::operator*(cplx s) const {
+  DenseMatrix r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] * s;
+  return r;
+}
+
+DenseMatrix DenseMatrix::adjoint() const {
+  DenseMatrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) r(j, i) = std::conj((*this)(i, j));
+  return r;
+}
+
+std::vector<cplx> DenseMatrix::apply(const std::vector<cplx>& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("DenseMatrix::apply: size");
+  std::vector<cplx> y(rows_, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < rows_; ++i) {
+    cplx s = 0.0;
+    const cplx* row = &data_[i * cols_];
+    for (std::size_t j = 0; j < cols_; ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+bool DenseMatrix::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i; j < cols_; ++j)
+      if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) > tol) return false;
+  return true;
+}
+
+bool DenseMatrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  return (adjoint() * (*this)).max_abs_diff(identity(rows_)) <= tol;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& rhs) const {
+  double d = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    d = std::max(d, std::abs(data_[i] - rhs.data_[i]));
+  return d;
+}
+
+DenseMatrix kron(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix r(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ra = 0; ra < a.rows(); ++ra)
+    for (std::size_t ca = 0; ca < a.cols(); ++ca) {
+      const cplx v = a(ra, ca);
+      if (v == cplx{0.0, 0.0}) continue;
+      for (std::size_t rb = 0; rb < b.rows(); ++rb)
+        for (std::size_t cb = 0; cb < b.cols(); ++cb)
+          r(ra * b.rows() + rb, ca * b.cols() + cb) = v * b(rb, cb);
+    }
+  return r;
+}
+
+}  // namespace vqsim

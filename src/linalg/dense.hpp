@@ -1,0 +1,112 @@
+// Dense complex matrices.
+//
+// Mat2/Mat4 are the fixed-size operands of gate kernels and the fusion pass;
+// DenseMatrix is the arbitrary-size reference implementation used by tests
+// (kron-expanded gate checks) and by the Jacobi eigensolver.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+
+/// 2x2 complex matrix in row-major order.
+struct Mat2 {
+  std::array<cplx, 4> m{};
+
+  cplx& operator()(int r, int c) { return m[static_cast<std::size_t>(2 * r + c)]; }
+  const cplx& operator()(int r, int c) const {
+    return m[static_cast<std::size_t>(2 * r + c)];
+  }
+
+  static Mat2 identity();
+  static Mat2 zero() { return Mat2{}; }
+
+  Mat2 operator*(const Mat2& rhs) const;
+  Mat2 operator+(const Mat2& rhs) const;
+  Mat2 operator*(cplx s) const;
+  Mat2 adjoint() const;
+  bool is_unitary(double tol = 1e-10) const;
+  bool approx_equal(const Mat2& rhs, double tol = 1e-10) const;
+};
+
+/// 4x4 complex matrix in row-major order. The basis convention for a gate on
+/// qubits (q0, q1) is index = (bit(q1) << 1) | bit(q0): the *first* qubit
+/// argument is the least significant bit of the 4x4 index.
+struct Mat4 {
+  std::array<cplx, 16> m{};
+
+  cplx& operator()(int r, int c) { return m[static_cast<std::size_t>(4 * r + c)]; }
+  const cplx& operator()(int r, int c) const {
+    return m[static_cast<std::size_t>(4 * r + c)];
+  }
+
+  static Mat4 identity();
+  static Mat4 zero() { return Mat4{}; }
+
+  Mat4 operator*(const Mat4& rhs) const;
+  Mat4 operator+(const Mat4& rhs) const;
+  Mat4 operator*(cplx s) const;
+  Mat4 adjoint() const;
+  bool is_unitary(double tol = 1e-10) const;
+  bool approx_equal(const Mat4& rhs, double tol = 1e-10) const;
+};
+
+/// kron(a, b) with `a` acting on the high bit: result index (ra<<1|rb, ca<<1|cb).
+Mat4 kron(const Mat2& a, const Mat2& b);
+
+/// Embed a 1-qubit matrix acting on the low (lhs) or high (rhs) bit of a pair.
+Mat4 embed_low(const Mat2& a);   // I (high) ⊗ a (low)
+Mat4 embed_high(const Mat2& a);  // a (high) ⊗ I (low)
+
+/// Swap the two qubit slots of a 4x4 matrix: M' = S M S with S the SWAP.
+Mat4 swap_qubit_order(const Mat4& a);
+
+/// Arbitrary-size dense complex matrix (row-major). Reference-quality, not
+/// performance-critical: used for validation and small eigenproblems.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  DenseMatrix operator*(const DenseMatrix& rhs) const;
+  DenseMatrix operator+(const DenseMatrix& rhs) const;
+  DenseMatrix operator-(const DenseMatrix& rhs) const;
+  DenseMatrix operator*(cplx s) const;
+  DenseMatrix adjoint() const;
+
+  /// y = M x.
+  std::vector<cplx> apply(const std::vector<cplx>& x) const;
+
+  bool is_hermitian(double tol = 1e-10) const;
+  bool is_unitary(double tol = 1e-10) const;
+  double max_abs_diff(const DenseMatrix& rhs) const;
+
+  const std::vector<cplx>& data() const { return data_; }
+  std::vector<cplx>& data() { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Kronecker product of arbitrary dense matrices (a on high bits).
+DenseMatrix kron(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace vqsim

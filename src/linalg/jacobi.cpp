@@ -1,0 +1,102 @@
+#include "linalg/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vqsim {
+namespace {
+
+// Sum of squared magnitudes of strict upper-triangle entries.
+double off_diagonal_norm(const DenseMatrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) s += std::norm(a(i, j));
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+EigenSystem hermitian_eigensystem(const DenseMatrix& input, double herm_tol) {
+  if (input.rows() != input.cols())
+    throw std::invalid_argument("hermitian_eigensystem: matrix not square");
+  if (!input.is_hermitian(herm_tol))
+    throw std::invalid_argument("hermitian_eigensystem: matrix not Hermitian");
+
+  const std::size_t n = input.rows();
+  DenseMatrix a = input;
+  DenseMatrix v = DenseMatrix::identity(n);
+
+  // One Jacobi rotation annihilates a(p, q). For the Hermitian 2x2 block
+  // [[app, alpha], [conj(alpha), aqq]] with alpha = |alpha| e^{i phi}, the
+  // unitary U = [[c, -s e^{i phi}], [s e^{-i phi}, c]] zeroes the coupling
+  // when t = s/c solves |alpha| t^2 + (app - aqq) t - |alpha| = 0.
+  const int max_sweeps = 100;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm(a) < 1e-13 * (1.0 + off_diagonal_norm(input)))
+      break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cplx alpha = a(p, q);
+        const double mag = std::abs(alpha);
+        if (mag < 1e-300) continue;
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        const double tau = (app - aqq) / (2.0 * mag);
+        const double sign = tau >= 0.0 ? 1.0 : -1.0;
+        const double t = sign / (std::abs(tau) + std::sqrt(tau * tau + 1.0));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        const cplx eip = alpha / mag;  // e^{i phi}
+
+        // Column update: A <- A U (columns p, q change).
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx aip = a(i, p);
+          const cplx aiq = a(i, q);
+          a(i, p) = c * aip + s * std::conj(eip) * aiq;
+          a(i, q) = -s * eip * aip + c * aiq;
+        }
+        // Row update: A <- U^dagger A (rows p, q change).
+        for (std::size_t j = 0; j < n; ++j) {
+          const cplx apj = a(p, j);
+          const cplx aqj = a(q, j);
+          a(p, j) = c * apj + s * eip * aqj;
+          a(q, j) = -s * std::conj(eip) * apj + c * aqj;
+        }
+        // Accumulate eigenvectors: V <- V U.
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx vip = v(i, p);
+          const cplx viq = v(i, q);
+          v(i, p) = c * vip + s * std::conj(eip) * viq;
+          v(i, q) = -s * eip * vip + c * viq;
+        }
+        a(p, q) = 0.0;
+        a(q, p) = 0.0;
+      }
+    }
+  }
+
+  EigenSystem sys;
+  sys.eigenvalues.resize(n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i).real();
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] < diag[y]; });
+
+  sys.eigenvectors = DenseMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sys.eigenvalues[k] = diag[order[k]];
+    for (std::size_t i = 0; i < n; ++i)
+      sys.eigenvectors(i, k) = v(i, order[k]);
+  }
+  return sys;
+}
+
+double hermitian_ground_energy(const DenseMatrix& a) {
+  return hermitian_eigensystem(a).eigenvalues.front();
+}
+
+}  // namespace vqsim

@@ -1,0 +1,25 @@
+// Cyclic Jacobi eigensolver for dense Hermitian matrices.
+//
+// Reference-quality full diagonalization for small operators: active-space
+// effective Hamiltonians, cross-checks of Lanczos, and QPE phase references.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace vqsim {
+
+struct EigenSystem {
+  std::vector<double> eigenvalues;  // ascending
+  DenseMatrix eigenvectors;         // column k pairs with eigenvalues[k]
+};
+
+/// Full eigen-decomposition of a Hermitian matrix. Throws if `a` is not
+/// square or not Hermitian to `herm_tol`.
+EigenSystem hermitian_eigensystem(const DenseMatrix& a, double herm_tol = 1e-8);
+
+/// Convenience: smallest eigenvalue only.
+double hermitian_ground_energy(const DenseMatrix& a);
+
+}  // namespace vqsim

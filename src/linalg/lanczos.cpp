@@ -1,0 +1,190 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vqsim {
+namespace {
+
+double norm2(const std::vector<cplx>& v) {
+  double s = 0.0;
+  for (const cplx& a : v) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+cplx dot(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  cplx s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+void axpy(cplx alpha, const std::vector<cplx>& x, std::vector<cplx>& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double hypot_safe(double a, double b) { return std::hypot(a, b); }
+
+// QL with implicit shifts on a symmetric tridiagonal matrix, accumulating
+// eigenvectors into z (z starts as identity; columns become eigenvectors).
+// diag/offdiag are overwritten; offdiag[i] couples i and i+1.
+void tqli(std::vector<double>& diag, std::vector<double>& offdiag,
+          std::vector<std::vector<double>>* z) {
+  const std::size_t n = diag.size();
+  if (n == 0) return;
+  offdiag.resize(n, 0.0);  // offdiag[n-1] used as workspace
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(diag[m]) + std::abs(diag[m + 1]);
+        if (std::abs(offdiag[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iter == 100)
+          throw std::runtime_error("tqli: too many iterations");
+        double g = (diag[l + 1] - diag[l]) / (2.0 * offdiag[l]);
+        double r = hypot_safe(g, 1.0);
+        g = diag[m] - diag[l] +
+            offdiag[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * offdiag[i];
+          const double b = c * offdiag[i];
+          r = hypot_safe(f, g);
+          offdiag[i + 1] = r;
+          if (r == 0.0) {
+            diag[i + 1] -= p;
+            offdiag[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = diag[i + 1] - p;
+          r = (diag[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          diag[i + 1] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            for (std::size_t k = 0; k < z->size(); ++k) {
+              const double f2 = (*z)[k][i + 1];
+              (*z)[k][i + 1] = s * (*z)[k][i] + c * f2;
+              (*z)[k][i] = c * (*z)[k][i] - s * f2;
+            }
+          }
+        }
+        if (offdiag[m] == 0.0 && m > l) continue;
+        diag[l] -= p;
+        offdiag[l] = g;
+        offdiag[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> diag,
+                                            std::vector<double> offdiag) {
+  tqli(diag, offdiag, nullptr);
+  std::sort(diag.begin(), diag.end());
+  return diag;
+}
+
+LanczosResult lanczos_ground_state(const LinearOp& op,
+                                   const LanczosOptions& options) {
+  LanczosResult result;
+  const std::size_t dim = op.dim;
+  if (dim == 0) throw std::invalid_argument("lanczos: empty operator");
+  if (dim == 1) {
+    // 1x1 operator: the single diagonal entry is the eigenvalue.
+    std::vector<cplx> x{cplx{1.0, 0.0}};
+    std::vector<cplx> y(1);
+    op.apply(x.data(), y.data());
+    result.eigenvalue = y[0].real();
+    result.eigenvector = {cplx{1.0, 0.0}};
+    result.converged = true;
+    result.iterations = 1;
+    return result;
+  }
+
+  const int max_m =
+      std::min<std::size_t>(options.max_iterations, dim);
+
+  Rng rng(options.seed);
+  std::vector<std::vector<cplx>> basis;
+  basis.reserve(static_cast<std::size_t>(max_m));
+
+  std::vector<cplx> v(dim);
+  for (cplx& a : v) a = rng.normal_cplx();
+  {
+    const double n = norm2(v);
+    for (cplx& a : v) a /= n;
+  }
+
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[j] couples basis j and j+1
+  std::vector<cplx> w(dim);
+  double prev_eval = 0.0;
+
+  for (int j = 0; j < max_m; ++j) {
+    basis.push_back(v);
+    op.apply(v.data(), w.data());
+
+    const double a = dot(basis.back(), w).real();
+    alpha.push_back(a);
+
+    // w <- w - alpha_j v_j - beta_{j-1} v_{j-1}
+    axpy(-a, basis.back(), w);
+    if (j > 0) axpy(-beta.back(), basis[static_cast<std::size_t>(j) - 1], w);
+
+    if (options.full_reorthogonalize) {
+      for (const auto& b : basis) axpy(-dot(b, w), b, w);
+    }
+
+    // Current Ritz ground value.
+    std::vector<double> d = alpha;
+    std::vector<double> e = beta;
+    const double eval = tridiagonal_eigenvalues(d, e).front();
+
+    const double b = norm2(w);
+    const bool stagnated =
+        j > 0 && std::abs(eval - prev_eval) < options.tolerance;
+    prev_eval = eval;
+    result.iterations = j + 1;
+
+    if (b < 1e-13 || stagnated || j + 1 == max_m) {
+      result.converged = b < 1e-13 || stagnated;
+      break;
+    }
+    beta.push_back(b);
+    v = w;
+    for (cplx& x : v) x /= b;
+  }
+
+  // Eigen-decompose the final tridiagonal with eigenvectors to reconstruct
+  // the Ritz vector in the original space.
+  const std::size_t m = alpha.size();
+  std::vector<double> d = alpha;
+  std::vector<double> e = beta;
+  std::vector<std::vector<double>> z(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) z[i][i] = 1.0;
+  tqli(d, e, &z);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < m; ++i)
+    if (d[i] < d[best]) best = i;
+
+  result.eigenvalue = d[best];
+  result.eigenvector.assign(dim, cplx{0.0, 0.0});
+  for (std::size_t j = 0; j < m; ++j)
+    axpy(cplx{z[j][best], 0.0}, basis[j], result.eigenvector);
+  const double n = norm2(result.eigenvector);
+  for (cplx& a : result.eigenvector) a /= n;
+  return result;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,45 @@
+// Lanczos ground-state solver for Hermitian operators.
+//
+// Provides the exact-diagonalization (FCI) reference energies against which
+// every VQE / ADAPT-VQE / downfolding result in this repository is validated
+// (the paper's Fig. 5 plots energy error against exactly this reference).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vqsim {
+
+/// A Hermitian linear operator y = A x on vectors of dimension `dim`.
+struct LinearOp {
+  std::size_t dim = 0;
+  std::function<void(const cplx* x, cplx* y)> apply;
+};
+
+struct LanczosOptions {
+  int max_iterations = 300;
+  double tolerance = 1e-10;       // convergence of the smallest Ritz value
+  std::uint64_t seed = 12345;     // random start vector
+  bool full_reorthogonalize = true;
+};
+
+struct LanczosResult {
+  double eigenvalue = 0.0;
+  std::vector<cplx> eigenvector;  // normalized
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Smallest eigenvalue/eigenvector of a Hermitian operator.
+LanczosResult lanczos_ground_state(const LinearOp& op,
+                                   const LanczosOptions& options = {});
+
+/// Eigenvalues of a real symmetric tridiagonal matrix (diag, offdiag) by
+/// implicit QL with Wilkinson shifts; returned ascending. Exposed for tests.
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> diag,
+                                            std::vector<double> offdiag);
+
+}  // namespace vqsim

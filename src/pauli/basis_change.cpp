@@ -1,0 +1,32 @@
+#include "pauli/basis_change.hpp"
+
+namespace vqsim {
+
+Circuit basis_change_circuit(const PauliString& basis, int num_qubits) {
+  Circuit c(num_qubits);
+  for (int q = 0; q < num_qubits; ++q) {
+    switch (basis.axis(q)) {
+      case PauliAxis::kX:
+        c.h(q);
+        break;
+      case PauliAxis::kY:
+        c.sdg(q);
+        c.h(q);
+        break;
+      default:
+        break;
+    }
+  }
+  return c;
+}
+
+Circuit inverse_basis_change_circuit(const PauliString& basis,
+                                     int num_qubits) {
+  return basis_change_circuit(basis, num_qubits).inverse();
+}
+
+std::uint64_t z_mask_after_rotation(const PauliString& s) {
+  return s.x | s.z;
+}
+
+}  // namespace vqsim

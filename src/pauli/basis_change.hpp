@@ -1,0 +1,26 @@
+// Basis-change circuit generation (paper §4.1.2).
+//
+// To measure a Pauli string in the computational basis, every X position is
+// rotated with H and every Y position with S-dagger followed by H; after the
+// rotation the string acts as Z on its support, so its expectation is a
+// signed sum of measured-bit parities.
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace vqsim {
+
+/// Circuit rotating `basis` onto the computational (Z) basis over
+/// `num_qubits` qubits: H on X positions, Sdg;H on Y positions.
+Circuit basis_change_circuit(const PauliString& basis, int num_qubits);
+
+/// The inverse rotation (H on X positions, H;S on Y positions).
+Circuit inverse_basis_change_circuit(const PauliString& basis, int num_qubits);
+
+/// After basis_change_circuit(basis) has been applied, a term `s` that
+/// qubit-wise commutes with `basis` acts diagonally; its expectation is
+/// sum_i |a_i|^2 * (-1)^parity(i & mask) with this mask (the term's support).
+std::uint64_t z_mask_after_rotation(const PauliString& s);
+
+}  // namespace vqsim

@@ -1,0 +1,97 @@
+#include "pauli/exp_gadget.hpp"
+
+#include <vector>
+
+namespace vqsim {
+namespace {
+
+std::vector<int> support(const PauliString& p) {
+  std::vector<int> qs;
+  for (int q = 0; q < PauliString::kMaxQubits; ++q)
+    if (p.axis(q) != PauliAxis::kI) qs.push_back(q);
+  return qs;
+}
+
+void rotate_in(Circuit* c, const PauliString& p, const std::vector<int>& qs) {
+  for (int q : qs) {
+    switch (p.axis(q)) {
+      case PauliAxis::kX:
+        c->h(q);
+        break;
+      case PauliAxis::kY:
+        c->sdg(q);
+        c->h(q);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void rotate_out(Circuit* c, const PauliString& p, const std::vector<int>& qs) {
+  for (int q : qs) {
+    switch (p.axis(q)) {
+      case PauliAxis::kX:
+        c->h(q);
+        break;
+      case PauliAxis::kY:
+        c->h(q);
+        c->s(q);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void append_exp_pauli(Circuit* c, const PauliString& p, double theta) {
+  const std::vector<int> qs = support(p);
+  if (qs.empty()) return;  // global phase
+  rotate_in(c, p, qs);
+  for (std::size_t i = 0; i + 1 < qs.size(); ++i) c->cx(qs[i], qs[i + 1]);
+  c->rz(2.0 * theta, qs.back());
+  for (std::size_t i = qs.size() - 1; i-- > 0;) c->cx(qs[i], qs[i + 1]);
+  rotate_out(c, p, qs);
+}
+
+void append_controlled_exp_pauli(Circuit* c, int control,
+                                 const PauliString& p, double theta) {
+  const std::vector<int> qs = support(p);
+  if (qs.empty()) {
+    c->p(-theta, control);  // controlled global phase e^{-i theta}
+    return;
+  }
+  rotate_in(c, p, qs);
+  for (std::size_t i = 0; i + 1 < qs.size(); ++i) c->cx(qs[i], qs[i + 1]);
+  c->crz(2.0 * theta, control, qs.back());
+  for (std::size_t i = qs.size() - 1; i-- > 0;) c->cx(qs[i], qs[i + 1]);
+  rotate_out(c, p, qs);
+}
+
+std::size_t exp_pauli_gate_count(const PauliString& p) {
+  std::size_t basis = 0;
+  std::size_t weight = 0;
+  for (int q = 0; q < PauliString::kMaxQubits; ++q) {
+    switch (p.axis(q)) {
+      case PauliAxis::kI:
+        break;
+      case PauliAxis::kX:
+        basis += 2;  // h ... h
+        ++weight;
+        break;
+      case PauliAxis::kY:
+        basis += 4;  // sdg h ... h s
+        ++weight;
+        break;
+      case PauliAxis::kZ:
+        ++weight;
+        break;
+    }
+  }
+  if (weight == 0) return 0;
+  return basis + 2 * (weight - 1) + 1;  // ladders + RZ
+}
+
+}  // namespace vqsim

@@ -1,0 +1,30 @@
+// Pauli-exponential gadget compiler: exp(-i theta P) as a circuit.
+//
+// Standard construction: rotate every support qubit into the Z basis, fold
+// the support parity into the last support qubit with a CNOT ladder, apply
+// RZ(2 theta), then undo. This is the building block of the UCCSD ansatz
+// compiler and the Trotterized evolution used by QPE.
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace vqsim {
+
+/// Append exp(-i theta P) to `c`. Identity strings append nothing (global
+/// phase); pass them to the caller's phase bookkeeping if it matters (QPE
+/// handles this with a controlled phase).
+void append_exp_pauli(Circuit* c, const PauliString& p, double theta);
+
+/// Controlled-exp(-i theta P): the basis rotations and ladder are
+/// uncontrolled (they cancel when the control is |0>), only the RZ becomes
+/// CRZ. Identity strings append a phase gate P(-theta) on the control.
+void append_controlled_exp_pauli(Circuit* c, int control,
+                                 const PauliString& p, double theta);
+
+/// Number of gates append_exp_pauli would emit (analytic; used by the
+/// Fig. 1a / Fig. 3 gate-count models at qubit counts too large to
+/// materialize).
+std::size_t exp_pauli_gate_count(const PauliString& p);
+
+}  // namespace vqsim

@@ -1,0 +1,30 @@
+#include "pauli/grouping.hpp"
+
+namespace vqsim {
+
+std::vector<MeasurementGroup> group_qubitwise_commuting(const PauliSum& sum) {
+  std::vector<MeasurementGroup> groups;
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    const PauliString& s = sum[i].string;
+    bool placed = false;
+    for (MeasurementGroup& g : groups) {
+      if (s.qubitwise_commutes_with(g.basis)) {
+        g.term_indices.push_back(i);
+        // Extend the shared basis with this term's non-identity positions.
+        g.basis.x |= s.x;
+        g.basis.z |= s.z;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      MeasurementGroup g;
+      g.term_indices.push_back(i);
+      g.basis = s;
+      groups.push_back(std::move(g));
+    }
+  }
+  return groups;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,28 @@
+// Qubit-wise-commuting (QWC) measurement grouping.
+//
+// Terms that commute qubit-wise share a single measurement basis: one basis
+// rotation serves the whole group. Grouping is what the cached-state executor
+// iterates over (paper §4.1): per energy evaluation the ansatz runs once and
+// each *group* costs one basis change, not each term.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+
+namespace vqsim {
+
+struct MeasurementGroup {
+  /// Indices into the originating PauliSum's terms().
+  std::vector<std::size_t> term_indices;
+  /// The merged basis: for every qubit some member measures, the axis all
+  /// members agree on (I elsewhere).
+  PauliString basis;
+};
+
+/// Greedy first-fit QWC grouping. The identity term (if present) is placed in
+/// the first group it is compatible with (it is compatible with all).
+std::vector<MeasurementGroup> group_qubitwise_commuting(const PauliSum& sum);
+
+}  // namespace vqsim

@@ -1,0 +1,100 @@
+#include "pauli/pauli_string.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace vqsim {
+
+PauliString PauliString::from_string(const std::string& spec) {
+  if (spec.size() > kMaxQubits)
+    throw std::invalid_argument("PauliString: more than 64 qubits");
+  PauliString p;
+  for (std::size_t q = 0; q < spec.size(); ++q) {
+    switch (spec[q]) {
+      case 'I': break;
+      case 'X': p.x |= idx{1} << q; break;
+      case 'Y': p.x |= idx{1} << q; p.z |= idx{1} << q; break;
+      case 'Z': p.z |= idx{1} << q; break;
+      default:
+        throw std::invalid_argument("PauliString: bad character in spec");
+    }
+  }
+  return p;
+}
+
+PauliString PauliString::single_axis(PauliAxis axis, int qubit) {
+  PauliString p;
+  p.set_axis(qubit, axis);
+  return p;
+}
+
+PauliAxis PauliString::axis(int qubit) const {
+  const bool bx = test_bit(x, static_cast<unsigned>(qubit));
+  const bool bz = test_bit(z, static_cast<unsigned>(qubit));
+  if (bx && bz) return PauliAxis::kY;
+  if (bx) return PauliAxis::kX;
+  if (bz) return PauliAxis::kZ;
+  return PauliAxis::kI;
+}
+
+void PauliString::set_axis(int qubit, PauliAxis axis) {
+  if (qubit < 0 || qubit >= kMaxQubits)
+    throw std::out_of_range("PauliString::set_axis: qubit out of range");
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  x &= ~bit;
+  z &= ~bit;
+  if (axis == PauliAxis::kX || axis == PauliAxis::kY) x |= bit;
+  if (axis == PauliAxis::kZ || axis == PauliAxis::kY) z |= bit;
+}
+
+int PauliString::weight() const { return std::popcount(x | z); }
+
+int PauliString::min_qubits() const {
+  const std::uint64_t m = x | z;
+  return m == 0 ? 0 : 64 - std::countl_zero(m);
+}
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  // Symplectic inner product: strings anticommute iff it is odd.
+  return parity(x & other.z) == parity(z & other.x);
+}
+
+bool PauliString::qubitwise_commutes_with(const PauliString& other) const {
+  const std::uint64_t overlap = (x | z) & (other.x | other.z);
+  // On overlapping positions the axes must match exactly.
+  return ((x ^ other.x) & overlap) == 0 && ((z ^ other.z) & overlap) == 0;
+}
+
+std::string PauliString::to_string(int num_qubits) const {
+  std::string s(static_cast<std::size_t>(num_qubits), 'I');
+  for (int q = 0; q < num_qubits; ++q) {
+    switch (axis(q)) {
+      case PauliAxis::kI: break;
+      case PauliAxis::kX: s[static_cast<std::size_t>(q)] = 'X'; break;
+      case PauliAxis::kY: s[static_cast<std::size_t>(q)] = 'Y'; break;
+      case PauliAxis::kZ: s[static_cast<std::size_t>(q)] = 'Z'; break;
+    }
+  }
+  return s;
+}
+
+PauliString multiply(const PauliString& a, const PauliString& b, cplx* phase) {
+  // Using the convention P(x, z) = i^{popcount(x & z)} X^x Z^z per qubit,
+  // the product accumulates i^{e} with
+  //   e = xa.za + xb.zb + 2 (za & xb) - xc.zc   (per qubit, mod 4)
+  // where (xc, zc) = (xa ^ xb, za ^ zb).
+  PauliString out;
+  out.x = a.x ^ b.x;
+  out.z = a.z ^ b.z;
+  const int e = std::popcount(a.x & a.z) + std::popcount(b.x & b.z) +
+                2 * std::popcount(a.z & b.x) -
+                std::popcount(out.x & out.z);
+  static const cplx kPhases[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
+                                  cplx{0, -1}};
+  if (phase != nullptr) *phase = kPhases[((e % 4) + 4) % 4];
+  return out;
+}
+
+}  // namespace vqsim

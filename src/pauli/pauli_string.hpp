@@ -1,0 +1,73 @@
+// Pauli strings in the symplectic (X-mask, Z-mask) representation.
+//
+// A string over n <= 64 qubits stores one bit per qubit in each of two
+// masks: qubit q carries X iff bit q of `x` is set, Z iff bit q of `z` is
+// set, and Y when both are set (Y = i X Z). This makes multiplication,
+// commutation checks and qubit-wise-commutation checks O(1)-ish bit algebra,
+// which is what lets the expectation engine and the JW transform scale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+
+enum class PauliAxis : std::uint8_t { kI = 0, kX = 1, kY = 2, kZ = 3 };
+
+struct PauliString {
+  std::uint64_t x = 0;
+  std::uint64_t z = 0;
+
+  static constexpr int kMaxQubits = 64;
+
+  /// Identity on any register.
+  static PauliString identity() { return {}; }
+
+  /// Build from a text spec such as "XIZY" (leftmost character = qubit 0).
+  static PauliString from_string(const std::string& spec);
+
+  /// Single-axis string, e.g. single_axis(PauliAxis::kY, 3).
+  static PauliString single_axis(PauliAxis axis, int qubit);
+
+  PauliAxis axis(int qubit) const;
+  void set_axis(int qubit, PauliAxis axis);
+
+  bool is_identity() const { return x == 0 && z == 0; }
+
+  /// Number of non-identity positions.
+  int weight() const;
+
+  /// Index of the highest non-identity qubit plus one (0 for identity).
+  int min_qubits() const;
+
+  /// True when the strings commute as operators.
+  bool commutes_with(const PauliString& other) const;
+
+  /// True when the strings commute qubit-wise: at every position the axes
+  /// are equal or at least one is the identity. This is the grouping
+  /// criterion for shared measurement bases (paper §4.1).
+  bool qubitwise_commutes_with(const PauliString& other) const;
+
+  friend bool operator==(const PauliString&, const PauliString&) = default;
+
+  /// Render as e.g. "XIZY" over `num_qubits` positions.
+  std::string to_string(int num_qubits) const;
+};
+
+/// Product of two strings: out = phase * a * b, with phase in {1, i, -1, -i}.
+/// Returns the string; the phase is written to `phase`.
+PauliString multiply(const PauliString& a, const PauliString& b, cplx* phase);
+
+/// Hash functor for unordered containers keyed by PauliString.
+struct PauliStringHash {
+  std::size_t operator()(const PauliString& p) const {
+    const std::uint64_t h = p.x * 0x9E3779B97F4A7C15ull ^
+                            (p.z + 0x7F4A7C159E3779B9ull + (p.x << 6));
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+}  // namespace vqsim

@@ -1,0 +1,134 @@
+#include "pauli/pauli_sum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vqsim {
+
+PauliSum::PauliSum(int num_qubits, std::initializer_list<PauliTerm> terms)
+    : num_qubits_(num_qubits), terms_(terms) {
+  simplify();
+}
+
+void PauliSum::add_term(cplx coefficient, const PauliString& string) {
+  if (string.min_qubits() > num_qubits_)
+    throw std::out_of_range("PauliSum::add_term: string exceeds register");
+  terms_.push_back({coefficient, string});
+}
+
+void PauliSum::add_term(cplx coefficient, const std::string& spec) {
+  if (static_cast<int>(spec.size()) != num_qubits_)
+    throw std::invalid_argument("PauliSum::add_term: spec length mismatch");
+  add_term(coefficient, PauliString::from_string(spec));
+}
+
+void PauliSum::simplify(double tol) {
+  std::unordered_map<PauliString, cplx, PauliStringHash> acc;
+  acc.reserve(terms_.size());
+  for (const PauliTerm& t : terms_) acc[t.string] += t.coefficient;
+  std::vector<PauliTerm> merged;
+  merged.reserve(acc.size());
+  for (const auto& [s, c] : acc)
+    if (std::abs(c) > tol) merged.push_back({c, s});
+  // Deterministic order: by (z, x) masks.
+  std::sort(merged.begin(), merged.end(),
+            [](const PauliTerm& a, const PauliTerm& b) {
+              return a.string.z != b.string.z ? a.string.z < b.string.z
+                                              : a.string.x < b.string.x;
+            });
+  terms_ = std::move(merged);
+}
+
+PauliSum& PauliSum::operator+=(const PauliSum& rhs) {
+  num_qubits_ = std::max(num_qubits_, rhs.num_qubits_);
+  terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  simplify();
+  return *this;
+}
+
+PauliSum& PauliSum::operator-=(const PauliSum& rhs) {
+  num_qubits_ = std::max(num_qubits_, rhs.num_qubits_);
+  terms_.reserve(terms_.size() + rhs.terms_.size());
+  for (const PauliTerm& t : rhs.terms_)
+    terms_.push_back({-t.coefficient, t.string});
+  simplify();
+  return *this;
+}
+
+PauliSum& PauliSum::operator*=(cplx s) {
+  for (PauliTerm& t : terms_) t.coefficient *= s;
+  return *this;
+}
+
+PauliSum PauliSum::operator*(const PauliSum& rhs) const {
+  PauliSum out(std::max(num_qubits_, rhs.num_qubits_));
+  out.terms_.reserve(terms_.size() * rhs.terms_.size());
+  for (const PauliTerm& a : terms_) {
+    for (const PauliTerm& b : rhs.terms_) {
+      cplx phase;
+      const PauliString s = multiply(a.string, b.string, &phase);
+      out.terms_.push_back({a.coefficient * b.coefficient * phase, s});
+    }
+  }
+  out.simplify();
+  return out;
+}
+
+PauliSum PauliSum::adjoint() const {
+  PauliSum out(num_qubits_);
+  out.terms_.reserve(terms_.size());
+  for (const PauliTerm& t : terms_)
+    out.terms_.push_back({std::conj(t.coefficient), t.string});
+  return out;
+}
+
+PauliSum PauliSum::commutator(const PauliSum& rhs) const {
+  PauliSum out(std::max(num_qubits_, rhs.num_qubits_));
+  out.terms_.reserve(2 * terms_.size() * rhs.terms_.size());
+  for (const PauliTerm& a : terms_) {
+    for (const PauliTerm& b : rhs.terms_) {
+      // Commuting strings contribute nothing; anticommuting contribute 2ab.
+      if (a.string.commutes_with(b.string)) continue;
+      cplx phase;
+      const PauliString s = multiply(a.string, b.string, &phase);
+      out.terms_.push_back({2.0 * a.coefficient * b.coefficient * phase, s});
+    }
+  }
+  out.simplify();
+  return out;
+}
+
+bool PauliSum::is_hermitian(double tol) const {
+  for (const PauliTerm& t : terms_)
+    if (std::abs(t.coefficient.imag()) > tol) return false;
+  return true;
+}
+
+cplx PauliSum::identity_coefficient() const {
+  for (const PauliTerm& t : terms_)
+    if (t.string.is_identity()) return t.coefficient;
+  return {0.0, 0.0};
+}
+
+double PauliSum::one_norm() const {
+  double s = 0.0;
+  for (const PauliTerm& t : terms_) s += std::abs(t.coefficient);
+  return s;
+}
+
+std::string PauliSum::to_string() const {
+  std::ostringstream os;
+  for (const PauliTerm& t : terms_) {
+    os << "(" << t.coefficient.real();
+    if (std::abs(t.coefficient.imag()) > 0)
+      os << (t.coefficient.imag() >= 0 ? "+" : "") << t.coefficient.imag()
+         << "i";
+    os << ") " << t.string.to_string(num_qubits_) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vqsim

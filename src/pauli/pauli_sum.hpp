@@ -1,0 +1,74 @@
+// Weighted sums of Pauli strings — the observable type of the whole stack.
+//
+// Downfolded Hamiltonians arrive here via the Jordan-Wigner transform; the
+// VQE executors consume PauliSum as the measured observable (paper Fig. 2:
+// "Quantum Observable").
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace vqsim {
+
+struct PauliTerm {
+  cplx coefficient;
+  PauliString string;
+};
+
+class PauliSum {
+ public:
+  PauliSum() = default;
+  explicit PauliSum(int num_qubits) : num_qubits_(num_qubits) {}
+  PauliSum(int num_qubits, std::initializer_list<PauliTerm> terms);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+  const std::vector<PauliTerm>& terms() const { return terms_; }
+  const PauliTerm& operator[](std::size_t i) const { return terms_[i]; }
+
+  /// Append a term (no simplification; call simplify() when done).
+  void add_term(cplx coefficient, const PauliString& string);
+  void add_term(cplx coefficient, const std::string& spec);
+
+  /// Merge duplicate strings and drop terms with |coeff| <= tol.
+  void simplify(double tol = 1e-12);
+
+  PauliSum& operator+=(const PauliSum& rhs);
+  PauliSum& operator-=(const PauliSum& rhs);
+  PauliSum& operator*=(cplx s);
+  friend PauliSum operator+(PauliSum a, const PauliSum& b) { return a += b; }
+  friend PauliSum operator-(PauliSum a, const PauliSum& b) { return a -= b; }
+  friend PauliSum operator*(PauliSum a, cplx s) { return a *= s; }
+  friend PauliSum operator*(cplx s, PauliSum a) { return a *= s; }
+
+  /// Operator product (simplified).
+  PauliSum operator*(const PauliSum& rhs) const;
+
+  /// Hermitian conjugate.
+  PauliSum adjoint() const;
+
+  /// [this, rhs] = this*rhs - rhs*this (simplified).
+  PauliSum commutator(const PauliSum& rhs) const;
+
+  /// All coefficients real to `tol` (Hermitian observable check).
+  bool is_hermitian(double tol = 1e-10) const;
+
+  /// Coefficient of the identity string (0 if absent).
+  cplx identity_coefficient() const;
+
+  /// Sum of |coefficients| (useful for truncation diagnostics).
+  double one_norm() const;
+
+  /// Multi-line human-readable dump.
+  std::string to_string() const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<PauliTerm> terms_;
+};
+
+}  // namespace vqsim

@@ -1,0 +1,28 @@
+#include "qpe/dynamics.hpp"
+
+#include <stdexcept>
+
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+
+std::vector<DynamicsSample> evolve_observable(StateVector initial,
+                                              const PauliSum& hamiltonian,
+                                              const PauliSum& observable,
+                                              const DynamicsOptions& options) {
+  if (options.num_samples < 1 || options.total_time < 0.0)
+    throw std::invalid_argument("evolve_observable: bad options");
+  const double dt = options.total_time / options.num_samples;
+  const Circuit step = trotter_circuit(hamiltonian, dt, options.trotter);
+
+  std::vector<DynamicsSample> samples;
+  samples.reserve(static_cast<std::size_t>(options.num_samples) + 1);
+  samples.push_back({0.0, expectation(initial, observable)});
+  for (int k = 1; k <= options.num_samples; ++k) {
+    initial.apply_circuit(step);
+    samples.push_back({k * dt, expectation(initial, observable)});
+  }
+  return samples;
+}
+
+}  // namespace vqsim

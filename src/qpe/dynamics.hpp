@@ -1,0 +1,35 @@
+// Real-time observable dynamics under Trotterized evolution.
+//
+// Tracks <O>(t) along exp(-i H t) for Pauli-sum H and O. Beyond its use in
+// testing the Trotter machinery, this is the standard "quantum dynamics"
+// workload a state-vector simulator serves next to VQE/QPE.
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "qpe/trotter.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+
+struct DynamicsOptions {
+  double total_time = 1.0;
+  int num_samples = 10;       // observable evaluations along the evolution
+  TrotterOptions trotter{.steps = 1, .order = 2};  // per sample interval
+};
+
+struct DynamicsSample {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+/// Evolve `initial` (consumed by value) under H, sampling <observable> at
+/// uniform times. Sample 0 is t = 0.
+std::vector<DynamicsSample> evolve_observable(StateVector initial,
+                                              const PauliSum& hamiltonian,
+                                              const PauliSum& observable,
+                                              const DynamicsOptions& options);
+
+}  // namespace vqsim

@@ -1,0 +1,32 @@
+#include "qpe/qft.hpp"
+
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+
+Circuit qft_circuit(int num_qubits, int first, int count) {
+  if (first < 0 || count <= 0 || first + count > num_qubits)
+    throw std::invalid_argument("qft_circuit: window out of range");
+  Circuit c(num_qubits);
+  // Standard construction, processing from the most significant bit down;
+  // the trailing swaps restore little-endian bit order.
+  for (int j = count - 1; j >= 0; --j) {
+    const int qj = first + j;
+    c.h(qj);
+    for (int k = j - 1; k >= 0; --k) {
+      const int qk = first + k;
+      c.cp(kPi / static_cast<double>(1 << (j - k)), qk, qj);
+    }
+  }
+  for (int i = 0; i < count / 2; ++i)
+    c.swap(first + i, first + count - 1 - i);
+  return c;
+}
+
+Circuit inverse_qft_circuit(int num_qubits, int first, int count) {
+  return qft_circuit(num_qubits, first, count).inverse();
+}
+
+}  // namespace vqsim

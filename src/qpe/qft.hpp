@@ -1,0 +1,16 @@
+// Quantum Fourier transform circuits (QPE building block).
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace vqsim {
+
+/// QFT on qubits [first, first + count): |x> -> 1/sqrt(N) sum_y
+/// exp(2 pi i x y / N) |y> with the usual little-endian convention
+/// (qubit `first` is the least significant bit of x).
+Circuit qft_circuit(int num_qubits, int first, int count);
+
+/// Inverse QFT on the same window.
+Circuit inverse_qft_circuit(int num_qubits, int first, int count);
+
+}  // namespace vqsim

@@ -1,0 +1,87 @@
+#include "qpe/qpe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "qpe/qft.hpp"
+#include "sim/sampler.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+
+double energy_from_phase(double phase, double time) {
+  double signed_phase = phase - std::floor(phase);  // into [0, 1)
+  if (signed_phase > 0.5) signed_phase -= 1.0;
+  return -2.0 * kPi * signed_phase / time;
+}
+
+QpeResult run_qpe(const PauliSum& hamiltonian, const Circuit& preparation,
+                  const QpeOptions& options) {
+  const int n = hamiltonian.num_qubits();
+  const int m = options.ancilla_qubits;
+  if (m <= 0 || m > 20)
+    throw std::invalid_argument("run_qpe: bad ancilla count");
+  if (preparation.num_qubits() > n)
+    throw std::invalid_argument("run_qpe: preparation exceeds register");
+  const int total = n + m;
+
+  StateVector psi(total);
+  psi.apply_circuit(preparation);
+
+  // Hadamard fan-out on the ancillas.
+  for (int k = 0; k < m; ++k) {
+    Gate h;
+    h.kind = GateKind::kH;
+    h.q0 = n + k;
+    psi.apply_gate(h);
+  }
+
+  // Controlled powers: ancilla k controls exp(-i H t 2^k).
+  for (int k = 0; k < m; ++k) {
+    TrotterOptions trotter = options.trotter;
+    trotter.steps = options.trotter.steps * (1 << k);
+    const Circuit cu = controlled_trotter_circuit(
+        hamiltonian, options.time * static_cast<double>(1 << k), n + k,
+        total, trotter);
+    psi.apply_circuit(cu);
+  }
+
+  psi.apply_circuit(inverse_qft_circuit(total, n, m));
+
+  // Ancilla marginal distribution.
+  const idx anc_dim = pow2(static_cast<unsigned>(m));
+  std::vector<double> marginal(anc_dim, 0.0);
+  const cplx* a = psi.data();
+  for (idx i = 0; i < psi.dim(); ++i)
+    marginal[i >> n] += std::norm(a[i]);
+
+  QpeResult result;
+  idx best = 0;
+  for (idx y = 0; y < anc_dim; ++y)
+    if (marginal[y] > marginal[best]) best = y;
+  result.peak_probability = marginal[best];
+  result.phase =
+      static_cast<double>(best) / static_cast<double>(anc_dim);
+  result.energy = energy_from_phase(result.phase, options.time);
+
+  // Shot samples of the ancilla readout.
+  Rng rng(options.seed);
+  for (std::size_t s = 0; s < options.shots; ++s) {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    idx y = anc_dim - 1;
+    for (idx cand = 0; cand < anc_dim; ++cand) {
+      acc += marginal[cand];
+      if (u < acc) {
+        y = cand;
+        break;
+      }
+    }
+    ++result.counts[y];
+  }
+  return result;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,94 @@
+#include "qpe/trotter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pauli/exp_gadget.hpp"
+
+namespace vqsim {
+namespace {
+
+void append_step(Circuit* c, const PauliSum& h, double dt, int order) {
+  if (order == 1) {
+    for (const PauliTerm& term : h.terms())
+      append_exp_pauli(c, term.string, term.coefficient.real() * dt);
+    return;
+  }
+  if (order == 2) {
+    // Strang splitting: half step forward, half step in reverse term order.
+    for (const PauliTerm& term : h.terms())
+      append_exp_pauli(c, term.string, term.coefficient.real() * dt / 2.0);
+    for (auto it = h.terms().rbegin(); it != h.terms().rend(); ++it)
+      append_exp_pauli(c, it->string, it->coefficient.real() * dt / 2.0);
+    return;
+  }
+  // Fourth-order Suzuki recursion: S4(dt) = S2(p dt)^2 S2((1-4p) dt)
+  // S2(p dt)^2 with p = 1 / (4 - 4^(1/3)).
+  const double p = 1.0 / (4.0 - std::cbrt(4.0));
+  append_step(c, h, p * dt, 2);
+  append_step(c, h, p * dt, 2);
+  append_step(c, h, (1.0 - 4.0 * p) * dt, 2);
+  append_step(c, h, p * dt, 2);
+  append_step(c, h, p * dt, 2);
+}
+
+void append_controlled_step(Circuit* c, const PauliSum& h, double dt,
+                            int control, int order) {
+  if (order == 1) {
+    for (const PauliTerm& term : h.terms())
+      append_controlled_exp_pauli(c, control, term.string,
+                                  term.coefficient.real() * dt);
+    return;
+  }
+  if (order == 2) {
+    for (const PauliTerm& term : h.terms())
+      append_controlled_exp_pauli(c, control, term.string,
+                                  term.coefficient.real() * dt / 2.0);
+    for (auto it = h.terms().rbegin(); it != h.terms().rend(); ++it)
+      append_controlled_exp_pauli(c, control, it->string,
+                                  it->coefficient.real() * dt / 2.0);
+    return;
+  }
+  const double p = 1.0 / (4.0 - std::cbrt(4.0));
+  append_controlled_step(c, h, p * dt, control, 2);
+  append_controlled_step(c, h, p * dt, control, 2);
+  append_controlled_step(c, h, (1.0 - 4.0 * p) * dt, control, 2);
+  append_controlled_step(c, h, p * dt, control, 2);
+  append_controlled_step(c, h, p * dt, control, 2);
+}
+
+void check(const PauliSum& h, const TrotterOptions& options) {
+  if (!h.is_hermitian())
+    throw std::invalid_argument("trotter: Hamiltonian must be Hermitian");
+  if (options.steps <= 0 ||
+      (options.order != 1 && options.order != 2 && options.order != 4))
+    throw std::invalid_argument("trotter: bad options");
+}
+
+}  // namespace
+
+Circuit trotter_circuit(const PauliSum& h, double t,
+                        const TrotterOptions& options) {
+  check(h, options);
+  Circuit c(h.num_qubits());
+  const double dt = t / options.steps;
+  for (int s = 0; s < options.steps; ++s)
+    append_step(&c, h, dt, options.order);
+  return c;
+}
+
+Circuit controlled_trotter_circuit(const PauliSum& h, double t, int control,
+                                   int num_qubits,
+                                   const TrotterOptions& options) {
+  check(h, options);
+  if (control < h.num_qubits() || control >= num_qubits)
+    throw std::invalid_argument(
+        "controlled_trotter_circuit: control must be outside the register");
+  Circuit c(num_qubits);
+  const double dt = t / options.steps;
+  for (int s = 0; s < options.steps; ++s)
+    append_controlled_step(&c, h, dt, control, options.order);
+  return c;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,27 @@
+// Trotterized time evolution exp(-i H t) for Pauli-sum Hamiltonians.
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace vqsim {
+
+struct TrotterOptions {
+  int steps = 1;
+  int order = 1;  // 1 (Lie), 2 (Strang), or 4 (Suzuki)
+};
+
+/// Circuit approximating exp(-i H t). The identity component of H
+/// contributes only a global phase and is omitted (use the controlled
+/// variant when the phase matters).
+Circuit trotter_circuit(const PauliSum& h, double t,
+                        const TrotterOptions& options = {});
+
+/// Controlled exp(-i H t) with control qubit `control` (which must lie
+/// outside the observable's register). The identity component becomes a
+/// phase gate on the control — QPE needs that phase.
+Circuit controlled_trotter_circuit(const PauliSum& h, double t, int control,
+                                   int num_qubits,
+                                   const TrotterOptions& options = {});
+
+}  // namespace vqsim

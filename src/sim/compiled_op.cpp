@@ -1,0 +1,69 @@
+#include "sim/compiled_op.hpp"
+
+#include <bit>
+#include <map>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+
+namespace vqsim {
+
+CompiledPauliSum::CompiledPauliSum(const PauliSum& sum, int num_qubits)
+    : num_qubits_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > 20)
+    throw std::invalid_argument(
+        "CompiledPauliSum: register too large to precompile");
+  if (sum.num_qubits() > num_qubits)
+    throw std::invalid_argument("CompiledPauliSum: observable exceeds register");
+  dim_ = pow2(static_cast<unsigned>(num_qubits));
+
+  static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
+                                cplx{0, -1}};
+  std::map<std::uint64_t, std::size_t> family;
+  for (const PauliTerm& t : sum.terms()) {
+    const std::uint64_t xm = t.string.x;
+    const std::uint64_t zm = t.string.z;
+    auto [it, inserted] = family.try_emplace(xm, masks_.size());
+    if (inserted) {
+      masks_.push_back(xm);
+      diagonals_.emplace_back(dim_, cplx{0.0, 0.0});
+    }
+    AmpVector& d = diagonals_[it->second];
+    const cplx global = t.coefficient * kIPow[std::popcount(xm & zm) % 4];
+    parallel_for(dim_, [&](idx i) {
+      d[i] += global * (parity(i & zm) ? -1.0 : 1.0);
+    });
+  }
+}
+
+void CompiledPauliSum::apply(const StateVector& psi, StateVector* out) const {
+  if (out == nullptr || out->dim() != dim_ || psi.dim() != dim_)
+    throw std::invalid_argument("CompiledPauliSum::apply: dimension mismatch");
+  cplx* o = out->data();
+  const cplx* a = psi.data();
+  parallel_for(dim_, [&](idx i) { o[i] = cplx{0.0, 0.0}; });
+  for (std::size_t f = 0; f < masks_.size(); ++f) {
+    const std::uint64_t xm = masks_[f];
+    const cplx* d = diagonals_[f].data();
+    parallel_for(dim_, [&](idx i) { o[i ^ xm] += d[i] * a[i]; });
+  }
+}
+
+double CompiledPauliSum::expectation(const StateVector& psi) const {
+  if (psi.dim() != dim_)
+    throw std::invalid_argument(
+        "CompiledPauliSum::expectation: dimension mismatch");
+  const cplx* a = psi.data();
+  double e = 0.0;
+  for (std::size_t f = 0; f < masks_.size(); ++f) {
+    const std::uint64_t xm = masks_[f];
+    const cplx* d = diagonals_[f].data();
+    e += parallel_sum(dim_, [&](idx i) {
+      return (std::conj(a[i ^ xm]) * d[i] * a[i]).real();
+    });
+  }
+  return e;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,46 @@
+// Compiled Pauli-sum operator: batched application of an observable.
+//
+// A JW-transformed two-body Hamiltonian has many Pauli strings sharing the
+// same X-mask (a double excitation yields eight strings over one mask, and
+// every diagonal term shares the empty mask). Grouping by X-mask folds each
+// family into one dense "signed diagonal":
+//
+//   (H psi)[i ^ x] += d_x[i] * psi[i],   d_x[i] = sum_t c_t * phase_t(i)
+//
+// which turns term-by-term streaming into one pass per mask — the batching
+// NWQ-Sim uses to keep GPU cores saturated (paper §4.2.3). Speedup is about
+// the mean family size (~8x for chemistry Hamiltonians).
+#pragma once
+
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+
+class CompiledPauliSum {
+ public:
+  /// Precompile for a fixed register size (memory: masks * 2^n amplitudes;
+  /// intended for n <= 16).
+  CompiledPauliSum(const PauliSum& sum, int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  idx dim() const { return dim_; }
+  std::size_t mask_families() const { return masks_.size(); }
+
+  /// out = H |psi> (overwritten).
+  void apply(const StateVector& psi, StateVector* out) const;
+
+  /// <psi|H|psi> (H Hermitian; imaginary part discarded).
+  double expectation(const StateVector& psi) const;
+
+ private:
+  int num_qubits_ = 0;
+  idx dim_ = 0;
+  std::vector<std::uint64_t> masks_;
+  std::vector<AmpVector> diagonals_;  // one signed diagonal per mask
+};
+
+}  // namespace vqsim

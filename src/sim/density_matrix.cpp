@@ -1,0 +1,194 @@
+#include "sim/density_matrix.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+
+namespace vqsim {
+namespace {
+
+Mat2 conjugated(const Mat2& m) {
+  Mat2 out;
+  for (std::size_t i = 0; i < 4; ++i) out.m[i] = std::conj(m.m[i]);
+  return out;
+}
+
+Mat4 conjugated(const Mat4& m) {
+  Mat4 out;
+  for (std::size_t i = 0; i < 16; ++i) out.m[i] = std::conj(m.m[i]);
+  return out;
+}
+
+}  // namespace
+
+bool KrausChannel::is_trace_preserving(double tol) const {
+  Mat2 sum;
+  for (const Mat2& k : operators) sum = sum + k.adjoint() * k;
+  return sum.approx_equal(Mat2::identity(), tol);
+}
+
+KrausChannel KrausChannel::depolarizing(double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("depolarizing: bad probability");
+  KrausChannel c;
+  const double s0 = std::sqrt(1.0 - p);
+  const double s1 = std::sqrt(p / 3.0);
+  Mat2 i = Mat2::identity();
+  c.operators.push_back(i * cplx{s0, 0.0});
+  Mat2 x;
+  x(0, 1) = s1;
+  x(1, 0) = s1;
+  c.operators.push_back(x);
+  Mat2 y;
+  y(0, 1) = cplx{0.0, -s1};
+  y(1, 0) = cplx{0.0, s1};
+  c.operators.push_back(y);
+  Mat2 z;
+  z(0, 0) = s1;
+  z(1, 1) = -s1;
+  c.operators.push_back(z);
+  return c;
+}
+
+KrausChannel KrausChannel::amplitude_damping(double gamma) {
+  if (gamma < 0.0 || gamma > 1.0)
+    throw std::invalid_argument("amplitude_damping: bad rate");
+  KrausChannel c;
+  Mat2 k0;
+  k0(0, 0) = 1.0;
+  k0(1, 1) = std::sqrt(1.0 - gamma);
+  Mat2 k1;
+  k1(0, 1) = std::sqrt(gamma);
+  c.operators = {k0, k1};
+  return c;
+}
+
+KrausChannel KrausChannel::phase_damping(double gamma) {
+  if (gamma < 0.0 || gamma > 1.0)
+    throw std::invalid_argument("phase_damping: bad rate");
+  KrausChannel c;
+  Mat2 k0;
+  k0(0, 0) = 1.0;
+  k0(1, 1) = std::sqrt(1.0 - gamma);
+  Mat2 k1;
+  k1(1, 1) = std::sqrt(gamma);
+  c.operators = {k0, k1};
+  return c;
+}
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits), vectorized_(2 * num_qubits) {
+  if (num_qubits <= 0 || num_qubits > 13)
+    throw std::invalid_argument(
+        "DensityMatrix: register too large for exact open-system simulation");
+}
+
+DensityMatrix DensityMatrix::from_state(const StateVector& psi) {
+  DensityMatrix rho(psi.num_qubits());
+  const idx d = psi.dim();
+  AmpVector amps(d * d);
+  const cplx* a = psi.data();
+  parallel_for(d, [&](idx c) {
+    for (idx r = 0; r < d; ++r) amps[(c << psi.num_qubits()) | r] =
+        a[r] * std::conj(a[c]);
+  });
+  rho.vectorized_ = StateVector::from_amplitudes(std::move(amps));
+  return rho;
+}
+
+cplx DensityMatrix::element(idx row, idx col) const {
+  if (row >= dim() || col >= dim())
+    throw std::out_of_range("DensityMatrix::element");
+  return vectorized_.data()[(col << num_qubits_) | row];
+}
+
+void DensityMatrix::apply_gate(const Gate& gate) {
+  // Row side: the gate as-is. Column side: the conjugate matrix on the
+  // shifted qubits.
+  vectorized_.apply_gate(gate);
+  if (!gate.is_two_qubit()) {
+    vectorized_.apply_mat2(conjugated(gate_matrix2(gate)),
+                           gate.q0 + num_qubits_);
+  } else {
+    vectorized_.apply_mat4(conjugated(gate_matrix4(gate)),
+                           gate.q0 + num_qubits_, gate.q1 + num_qubits_);
+  }
+}
+
+void DensityMatrix::apply_circuit(const Circuit& circuit) {
+  if (circuit.num_qubits() > num_qubits_)
+    throw std::invalid_argument("DensityMatrix: register too small");
+  for (const Gate& g : circuit.gates()) apply_gate(g);
+}
+
+void DensityMatrix::apply_channel(const KrausChannel& channel, int qubit) {
+  if (qubit < 0 || qubit >= num_qubits_)
+    throw std::out_of_range("DensityMatrix::apply_channel");
+  if (channel.operators.empty())
+    throw std::invalid_argument("DensityMatrix: empty channel");
+
+  AmpVector accumulated(vectorized_.dim(), cplx{0.0, 0.0});
+  for (const Mat2& k : channel.operators) {
+    StateVector branch = vectorized_;
+    branch.apply_mat2(k, qubit);
+    branch.apply_mat2(conjugated(k), qubit + num_qubits_);
+    const cplx* b = branch.data();
+    parallel_for(branch.dim(), [&](idx i) { accumulated[i] += b[i]; });
+  }
+  vectorized_ = StateVector::from_amplitudes(std::move(accumulated));
+}
+
+double DensityMatrix::trace() const {
+  const cplx* a = vectorized_.data();
+  return parallel_sum(dim(), [&](idx i) {
+    return a[(i << num_qubits_) | i].real();
+  });
+}
+
+double DensityMatrix::purity() const {
+  // tr(rho^2) = sum_{r,c} rho_rc rho_cr = sum |rho_rc|^2 (Hermitian rho).
+  const cplx* a = vectorized_.data();
+  return parallel_sum(vectorized_.dim(),
+                      [&](idx i) { return std::norm(a[i]); });
+}
+
+cplx DensityMatrix::expectation_pauli(const PauliString& p) const {
+  if (p.min_qubits() > num_qubits_)
+    throw std::out_of_range("DensityMatrix::expectation_pauli");
+  // tr(rho P) = sum_k rho(k, k ^ x) * phase(k ^ x).
+  static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
+                                cplx{0, -1}};
+  const std::uint64_t xm = p.x;
+  const std::uint64_t zm = p.z;
+  const cplx global = kIPow[std::popcount(xm & zm) % 4];
+  const cplx* a = vectorized_.data();
+  cplx sum = 0.0;
+  for (idx k = 0; k < dim(); ++k) {
+    // P|k> = phase(k)|k ^ x|, so P_{k^x, k} = phase(k) and the trace picks
+    // rho_{k, k^x} * phase(k).
+    const idx i = k ^ xm;
+    const cplx phase = global * (parity(k & zm) ? -1.0 : 1.0);
+    sum += a[(i << num_qubits_) | k] * phase;
+  }
+  return sum;
+}
+
+double DensityMatrix::expectation(const PauliSum& h) const {
+  double e = 0.0;
+  for (const PauliTerm& t : h.terms())
+    e += (t.coefficient * expectation_pauli(t.string)).real();
+  return e;
+}
+
+double DensityMatrix::probability_one(int qubit) const {
+  const cplx* a = vectorized_.data();
+  const unsigned q = static_cast<unsigned>(qubit);
+  return parallel_sum(dim(), [&](idx i) {
+    return test_bit(i, q) ? a[(i << num_qubits_) | i].real() : 0.0;
+  });
+}
+
+}  // namespace vqsim

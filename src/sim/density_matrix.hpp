@@ -1,0 +1,69 @@
+// Density-matrix simulator — the DM-Sim role of NWQ-Sim (paper ref [7]).
+//
+// rho is stored vectorized: entry rho(r, c) lives at index (c << n) | r of a
+// 2n-qubit amplitude array, so a unitary U applies as U on the row qubits
+// [0, n) and conj(U) on the column qubits [n, 2n), reusing the optimized
+// state-vector kernels unchanged. Kraus channels apply as sums of such
+// two-sided products. Exact open-system evolution for n <= ~10 qubits; the
+// trajectory sampler (sim/noise.hpp) covers larger registers statistically
+// and is validated against this backend in the tests.
+#pragma once
+
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+
+/// A quantum channel as a set of Kraus operators (single-qubit).
+struct KrausChannel {
+  std::vector<Mat2> operators;
+
+  /// sum K^dag K = I to tolerance `tol`.
+  bool is_trace_preserving(double tol = 1e-10) const;
+
+  static KrausChannel depolarizing(double p);
+  static KrausChannel amplitude_damping(double gamma);
+  static KrausChannel phase_damping(double gamma);
+};
+
+class DensityMatrix {
+ public:
+  /// |0...0><0...0| over `num_qubits` qubits (costs 4^n amplitudes).
+  explicit DensityMatrix(int num_qubits);
+
+  /// rho = |psi><psi|.
+  static DensityMatrix from_state(const StateVector& psi);
+
+  int num_qubits() const { return num_qubits_; }
+  idx dim() const { return idx{1} << num_qubits_; }
+
+  cplx element(idx row, idx col) const;
+
+  /// Unitary evolution rho -> U rho U^dag.
+  void apply_gate(const Gate& gate);
+  void apply_circuit(const Circuit& circuit);
+
+  /// Channel application on one qubit: rho -> sum_k K_k rho K_k^dag.
+  void apply_channel(const KrausChannel& channel, int qubit);
+
+  double trace() const;
+  /// tr(rho^2): 1 for pure states, 1/2^n for the maximally mixed state.
+  double purity() const;
+
+  /// tr(rho P) for a Pauli string / Hermitian Pauli sum.
+  cplx expectation_pauli(const PauliString& p) const;
+  double expectation(const PauliSum& h) const;
+
+  /// P(qubit = 1) from the diagonal.
+  double probability_one(int qubit) const;
+
+ private:
+  const StateVector& vec() const { return vectorized_; }
+
+  int num_qubits_ = 0;
+  StateVector vectorized_;  // 2n qubits
+};
+
+}  // namespace vqsim

@@ -1,0 +1,96 @@
+#include "sim/expectation.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+
+namespace vqsim {
+
+double expectation_z_mask(const StateVector& psi, std::uint64_t mask) {
+  const cplx* a = psi.data();
+  return parallel_sum(psi.dim(), [&](idx i) {
+    const double p = std::norm(a[i]);
+    return parity(i & mask) ? -p : p;
+  });
+}
+
+cplx expectation_pauli(const StateVector& psi, const PauliString& p) {
+  if (p.min_qubits() > psi.num_qubits())
+    throw std::out_of_range("expectation_pauli: string exceeds register");
+  const std::uint64_t xm = p.x;
+  const std::uint64_t zm = p.z;
+  if (xm == 0) return {expectation_z_mask(psi, zm), 0.0};
+
+  static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
+                                cplx{0, -1}};
+  const cplx global = kIPow[std::popcount(xm & zm) % 4];
+  const cplx* a = psi.data();
+  // <psi|P|psi> = sum_i conj(a_{i^x}) * phase(i) * a_i.
+  double re = 0.0;
+  double im = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : re, im) if (psi.dim() > (idx{1} << 12))
+#endif
+  for (std::int64_t si = 0; si < static_cast<std::int64_t>(psi.dim()); ++si) {
+    const idx i = static_cast<idx>(si);
+    const cplx phase = global * (parity(i & zm) ? -1.0 : 1.0);
+    const cplx v = std::conj(a[i ^ xm]) * phase * a[i];
+    re += v.real();
+    im += v.imag();
+  }
+  return {re, im};
+}
+
+double expectation(const StateVector& psi, const PauliSum& h) {
+  double e = 0.0;
+  for (const PauliTerm& t : h.terms())
+    e += (t.coefficient * expectation_pauli(psi, t.string)).real();
+  return e;
+}
+
+void apply_pauli_sum(const PauliSum& h, const StateVector& psi,
+                     StateVector* out) {
+  if (out == nullptr || out->dim() != psi.dim())
+    throw std::invalid_argument("apply_pauli_sum: bad output state");
+  cplx* o = out->data();
+  const cplx* a = psi.data();
+  parallel_for(psi.dim(), [&](idx i) { o[i] = cplx{0.0, 0.0}; });
+
+  static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
+                                cplx{0, -1}};
+  for (const PauliTerm& t : h.terms()) {
+    const std::uint64_t xm = t.string.x;
+    const std::uint64_t zm = t.string.z;
+    const cplx global =
+        t.coefficient * kIPow[std::popcount(xm & zm) % 4];
+    // P|i> = phase(i)|i ^ x>  =>  (H psi)_j += phase(j ^ x) a_{j ^ x}.
+    parallel_for(psi.dim(), [&](idx j) {
+      const idx i = j ^ xm;
+      const cplx phase = global * (parity(i & zm) ? -1.0 : 1.0);
+      o[j] += phase * a[i];
+    });
+  }
+}
+
+DenseMatrix pauli_sum_matrix(const PauliSum& h, int num_qubits) {
+  if (num_qubits > 16)
+    throw std::invalid_argument("pauli_sum_matrix: register too large");
+  const std::size_t dim = static_cast<std::size_t>(1) << num_qubits;
+  DenseMatrix m(dim, dim);
+  static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
+                                cplx{0, -1}};
+  for (const PauliTerm& t : h.terms()) {
+    const std::uint64_t xm = t.string.x;
+    const std::uint64_t zm = t.string.z;
+    const cplx global = t.coefficient * kIPow[std::popcount(xm & zm) % 4];
+    for (std::size_t i = 0; i < dim; ++i) {
+      const cplx phase = global * (parity(i & zm) ? -1.0 : 1.0);
+      m(i ^ xm, i) += phase;
+    }
+  }
+  return m;
+}
+
+}  // namespace vqsim

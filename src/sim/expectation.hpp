@@ -1,0 +1,32 @@
+// Direct expectation-value engine (paper §4.2).
+//
+// Instead of sampling measurement outcomes, these routines evaluate
+// <psi|P|psi> exactly from the cached amplitudes with a parallel reduction —
+// the "direct expectation value calculation" NWQ-Sim uses to replace shot
+// sampling in the VQE inner loop.
+#pragma once
+
+#include "pauli/pauli_sum.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+
+/// <psi| Z^{mask} |psi> = sum_i |a_i|^2 (-1)^parity(i & mask).
+double expectation_z_mask(const StateVector& psi, std::uint64_t mask);
+
+/// Exact <psi|P|psi> for one Pauli string (no temporary state).
+cplx expectation_pauli(const StateVector& psi, const PauliString& p);
+
+/// Exact <psi|H|psi> for a Hermitian Pauli sum; imaginary parts (numerical
+/// noise for Hermitian H) are discarded.
+double expectation(const StateVector& psi, const PauliSum& h);
+
+/// out = H |psi| (out must have the same dimension; it is overwritten).
+void apply_pauli_sum(const PauliSum& h, const StateVector& psi,
+                     StateVector* out);
+
+/// Dense matrix of a Pauli sum over n qubits — reference-quality, O(4^n)
+/// memory; for tests and small exact diagonalizations only.
+DenseMatrix pauli_sum_matrix(const PauliSum& h, int num_qubits);
+
+}  // namespace vqsim

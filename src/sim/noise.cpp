@@ -1,0 +1,69 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+void apply_depolarizing(StateVector* psi, int qubit, double p, Rng& rng) {
+  if (rng.uniform() >= p) return;
+  const double which = rng.uniform();
+  const PauliAxis axis = which < 1.0 / 3.0   ? PauliAxis::kX
+                         : which < 2.0 / 3.0 ? PauliAxis::kY
+                                             : PauliAxis::kZ;
+  psi->apply_pauli(PauliString::single_axis(axis, qubit));
+}
+
+// Amplitude damping via Kraus sampling:
+//   K0 = [[1, 0], [0, sqrt(1-g)]],  K1 = [[0, sqrt(g)], [0, 0]].
+// Branch K1 fires with probability g * P(qubit = 1); each branch is applied
+// and renormalized.
+void apply_damping(StateVector* psi, int qubit, double gamma, Rng& rng) {
+  const double p1 = psi->probability_one(qubit);
+  const double p_decay = gamma * p1;
+  Mat2 k;
+  if (rng.uniform() < p_decay) {
+    k(0, 1) = std::sqrt(gamma);
+  } else {
+    k(0, 0) = 1.0;
+    k(1, 1) = std::sqrt(1.0 - gamma);
+  }
+  psi->apply_mat2(k, qubit);
+  psi->normalize();
+}
+
+}  // namespace
+
+void apply_noisy_circuit(StateVector* psi, const Circuit& circuit,
+                         const NoiseModel& model, Rng& rng) {
+  if (psi == nullptr) throw std::invalid_argument("apply_noisy_circuit");
+  for (const Gate& g : circuit.gates()) {
+    psi->apply_gate(g);
+    if (model.is_noiseless()) continue;
+    for (int q : {g.q0, g.q1}) {
+      if (q < 0) continue;
+      if (model.depolarizing > 0.0)
+        apply_depolarizing(psi, q, model.depolarizing, rng);
+      if (model.damping > 0.0) apply_damping(psi, q, model.damping, rng);
+    }
+  }
+}
+
+double noisy_expectation(const Circuit& circuit, const PauliSum& observable,
+                         const NoiseModel& model, std::size_t trajectories,
+                         Rng& rng) {
+  if (trajectories == 0)
+    throw std::invalid_argument("noisy_expectation: zero trajectories");
+  double acc = 0.0;
+  for (std::size_t t = 0; t < trajectories; ++t) {
+    StateVector psi(circuit.num_qubits());
+    apply_noisy_circuit(&psi, circuit, model, rng);
+    acc += expectation(psi, observable);
+  }
+  return acc / static_cast<double>(trajectories);
+}
+
+}  // namespace vqsim

@@ -1,0 +1,36 @@
+// Stochastic (quantum-trajectory) noise execution.
+//
+// NWQ-Sim's density-matrix backend models noisy devices; at statevector cost
+// we provide the trajectory-sampling equivalent: Kraus channels are applied
+// stochastically after each gate, and observables are averaged over
+// trajectories. Listed in DESIGN.md as the density-matrix substitution.
+#pragma once
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+
+struct NoiseModel {
+  /// Probability of a uniformly random X/Y/Z error on each operand qubit
+  /// after every gate (depolarizing channel, trajectory form).
+  double depolarizing = 0.0;
+  /// Amplitude-damping rate applied to each operand qubit after every gate.
+  double damping = 0.0;
+
+  bool is_noiseless() const { return depolarizing <= 0.0 && damping <= 0.0; }
+};
+
+/// Apply `circuit` under `model`, sampling one noise trajectory.
+void apply_noisy_circuit(StateVector* psi, const Circuit& circuit,
+                         const NoiseModel& model, Rng& rng);
+
+/// Average <H> over `trajectories` independent noisy executions starting
+/// from |0...0>.
+double noisy_expectation(const Circuit& circuit, const PauliSum& observable,
+                         const NoiseModel& model, std::size_t trajectories,
+                         Rng& rng);
+
+}  // namespace vqsim

@@ -1,0 +1,69 @@
+#include "sim/readout_error.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace vqsim {
+
+ReadoutErrorModel ReadoutErrorModel::uniform(int num_qubits, double p01,
+                                             double p10) {
+  if (num_qubits <= 0 || p01 < 0.0 || p10 < 0.0 || p01 + p10 >= 1.0)
+    throw std::invalid_argument("ReadoutErrorModel: bad parameters");
+  ReadoutErrorModel m;
+  m.p01.assign(static_cast<std::size_t>(num_qubits), p01);
+  m.p10.assign(static_cast<std::size_t>(num_qubits), p10);
+  return m;
+}
+
+idx ReadoutErrorModel::corrupt(idx outcome, Rng& rng) const {
+  for (int q = 0; q < num_qubits(); ++q) {
+    const bool bit = test_bit(outcome, static_cast<unsigned>(q));
+    const double flip =
+        bit ? p10[static_cast<std::size_t>(q)] : p01[static_cast<std::size_t>(q)];
+    if (rng.uniform() < flip) outcome ^= idx{1} << q;
+  }
+  return outcome;
+}
+
+double ReadoutErrorModel::parity_attenuation(std::uint64_t mask) const {
+  double factor = 1.0;
+  for (int q = 0; q < num_qubits(); ++q)
+    if ((mask >> q) & 1)
+      factor *= 1.0 - p01[static_cast<std::size_t>(q)] -
+                p10[static_cast<std::size_t>(q)];
+  return factor;
+}
+
+std::vector<idx> corrupt_samples(const std::vector<idx>& samples,
+                                 const ReadoutErrorModel& model, Rng& rng) {
+  std::vector<idx> out;
+  out.reserve(samples.size());
+  for (idx s : samples) out.push_back(model.corrupt(s, rng));
+  return out;
+}
+
+double mitigated_z_mask_expectation(const std::vector<idx>& corrupted,
+                                    std::uint64_t mask,
+                                    const ReadoutErrorModel& model) {
+  if (corrupted.empty())
+    throw std::invalid_argument("mitigated_z_mask_expectation: no samples");
+  for (int q = 0; q < model.num_qubits(); ++q)
+    if (((mask >> q) & 1) &&
+        std::abs(model.p01[static_cast<std::size_t>(q)] -
+                 model.p10[static_cast<std::size_t>(q)]) > 1e-12)
+      throw std::invalid_argument(
+          "mitigated_z_mask_expectation: asymmetric readout errors need a "
+          "full confusion-matrix inversion");
+  const double attenuation = model.parity_attenuation(mask);
+  if (attenuation <= 0.0)
+    throw std::invalid_argument(
+        "mitigated_z_mask_expectation: non-invertible readout model");
+  std::int64_t acc = 0;
+  for (idx s : corrupted) acc += parity(s & mask) ? -1 : 1;
+  const double raw =
+      static_cast<double>(acc) / static_cast<double>(corrupted.size());
+  return raw / attenuation;
+}
+
+}  // namespace vqsim

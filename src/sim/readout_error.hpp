@@ -1,0 +1,48 @@
+// Readout (measurement) error model and calibration-based mitigation.
+//
+// NISQ measurements misreport bits with asymmetric probabilities; the
+// standard mitigation builds the per-qubit confusion matrix from
+// calibration runs and applies its inverse to measured expectation values.
+// With uncorrelated SYMMETRIC per-qubit errors (p01 = p10) the Z-parity
+// expectation simply rescales by prod_q (1 - p01_q - p10_q), which is what
+// the mitigator inverts — exact in expectation, noise-amplifying in
+// variance. Asymmetric errors couple sub-parities and need the full
+// confusion-matrix inversion; the mitigator rejects them explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vqsim {
+
+struct ReadoutErrorModel {
+  /// P(read 1 | true 0) per qubit.
+  std::vector<double> p01;
+  /// P(read 0 | true 1) per qubit.
+  std::vector<double> p10;
+
+  static ReadoutErrorModel uniform(int num_qubits, double p01, double p10);
+
+  int num_qubits() const { return static_cast<int>(p01.size()); }
+
+  /// Corrupt one measured basis state.
+  idx corrupt(idx outcome, Rng& rng) const;
+
+  /// The factor by which <Z^mask> shrinks under this model.
+  double parity_attenuation(std::uint64_t mask) const;
+};
+
+/// Apply readout noise to a batch of sampled outcomes.
+std::vector<idx> corrupt_samples(const std::vector<idx>& samples,
+                                 const ReadoutErrorModel& model, Rng& rng);
+
+/// Mitigated estimate of <Z^mask> from corrupted samples: the raw parity
+/// mean divided by the model's attenuation factor.
+double mitigated_z_mask_expectation(const std::vector<idx>& corrupted,
+                                    std::uint64_t mask,
+                                    const ReadoutErrorModel& model);
+
+}  // namespace vqsim

@@ -1,0 +1,55 @@
+#include "sim/sampler.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+
+namespace vqsim {
+namespace {
+
+// Cumulative distribution over basis states (inclusive prefix sums).
+std::vector<double> cumulative(const StateVector& psi) {
+  std::vector<double> cdf(psi.dim());
+  double acc = 0.0;
+  const cplx* a = psi.data();
+  for (idx i = 0; i < psi.dim(); ++i) {
+    acc += std::norm(a[i]);
+    cdf[i] = acc;
+  }
+  // Guard against rounding: force the last entry to cover u in [0, 1).
+  if (!cdf.empty()) cdf.back() = std::max(cdf.back(), 1.0);
+  return cdf;
+}
+
+}  // namespace
+
+std::vector<idx> sample_states(const StateVector& psi, std::size_t shots,
+                               Rng& rng) {
+  const std::vector<double> cdf = cumulative(psi);
+  std::vector<idx> out;
+  out.reserve(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double u = rng.uniform();
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    out.push_back(static_cast<idx>(it - cdf.begin()));
+  }
+  return out;
+}
+
+std::map<idx, std::size_t> sample_counts(const StateVector& psi,
+                                         std::size_t shots, Rng& rng) {
+  std::map<idx, std::size_t> counts;
+  for (idx s : sample_states(psi, shots, rng)) ++counts[s];
+  return counts;
+}
+
+double sampled_z_mask_expectation(const StateVector& psi, std::uint64_t mask,
+                                  std::size_t shots, Rng& rng) {
+  if (shots == 0) return 0.0;
+  const std::vector<idx> states = sample_states(psi, shots, rng);
+  std::int64_t sum = 0;
+  for (idx s : states) sum += parity(s & mask) ? -1 : 1;
+  return static_cast<double>(sum) / static_cast<double>(shots);
+}
+
+}  // namespace vqsim

@@ -1,0 +1,30 @@
+// Shot sampling (paper §4.2.1, the "traditional sampling" baseline).
+//
+// Samples computational-basis outcomes from |psi|^2. The VQE sampling
+// executor uses this to estimate term expectations from measured bit
+// parities, exactly as a hardware backend would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+
+/// Draw `shots` basis states i with probability |a_i|^2.
+std::vector<idx> sample_states(const StateVector& psi, std::size_t shots,
+                               Rng& rng);
+
+/// Histogram variant of sample_states.
+std::map<idx, std::size_t> sample_counts(const StateVector& psi,
+                                         std::size_t shots, Rng& rng);
+
+/// Monte-Carlo estimate of <Z^mask> from `shots` samples: the mean of
+/// (-1)^parity(i & mask) over outcomes.
+double sampled_z_mask_expectation(const StateVector& psi, std::uint64_t mask,
+                                  std::size_t shots, Rng& rng);
+
+}  // namespace vqsim

@@ -1,0 +1,276 @@
+#include "sim/stabilizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+namespace {
+
+// Multiple-of-pi/2 detection for rotation angles; returns k in [0, 4) or -1.
+int quarter_turns(double theta) {
+  const double k = theta / (kPi / 2.0);
+  const double rounded = std::round(k);
+  if (std::abs(k - rounded) > 1e-9) return -1;
+  const long long ki = static_cast<long long>(rounded);
+  return static_cast<int>(((ki % 4) + 4) % 4);
+}
+
+}  // namespace
+
+StabilizerState::StabilizerState(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits <= 0 || num_qubits > 4096)
+    throw std::invalid_argument("StabilizerState: bad qubit count");
+  const std::size_t cells = static_cast<std::size_t>(2 * num_qubits) *
+                            static_cast<std::size_t>(num_qubits);
+  xs_.assign(cells, 0);
+  zs_.assign(cells, 0);
+  r_.assign(static_cast<std::size_t>(2 * num_qubits), 0);
+  // Destabilizer i = X_i, stabilizer i = Z_i.
+  for (int i = 0; i < num_qubits; ++i) {
+    xs_[index(i, i)] = 1;
+    zs_[index(num_qubits + i, i)] = 1;
+  }
+  scratch_x_.assign(static_cast<std::size_t>(num_qubits), 0);
+  scratch_z_.assign(static_cast<std::size_t>(num_qubits), 0);
+}
+
+int StabilizerState::g_phase(bool x1, bool z1, bool x2, bool z2) {
+  // Exponent of i from multiplying the Hermitian Paulis (x1,z1) * (x2,z2).
+  if (!x1 && !z1) return 0;
+  if (x1 && z1) return static_cast<int>(z2) - static_cast<int>(x2);  // Y
+  if (x1 && !z1)
+    return static_cast<int>(z2) * (2 * static_cast<int>(x2) - 1);  // X
+  return static_cast<int>(x2) * (1 - 2 * static_cast<int>(z2));    // Z
+}
+
+void StabilizerState::rowsum(int h, int i) {
+  int s = 2 * r_[static_cast<std::size_t>(h)] +
+          2 * r_[static_cast<std::size_t>(i)];
+  for (int q = 0; q < num_qubits_; ++q)
+    s += g_phase(x(i, q), z(i, q), x(h, q), z(h, q));
+  s = ((s % 4) + 4) % 4;
+  r_[static_cast<std::size_t>(h)] = static_cast<std::uint8_t>(s == 2);
+  for (int q = 0; q < num_qubits_; ++q) {
+    xs_[index(h, q)] ^= xs_[index(i, q)];
+    zs_[index(h, q)] ^= zs_[index(i, q)];
+  }
+}
+
+void StabilizerState::apply_h(int q) {
+  for (int row = 0; row < 2 * num_qubits_; ++row) {
+    r_[static_cast<std::size_t>(row)] ^=
+        xs_[index(row, q)] & zs_[index(row, q)];
+    std::swap(xs_[index(row, q)], zs_[index(row, q)]);
+  }
+}
+
+void StabilizerState::apply_s(int q) {
+  for (int row = 0; row < 2 * num_qubits_; ++row) {
+    r_[static_cast<std::size_t>(row)] ^=
+        xs_[index(row, q)] & zs_[index(row, q)];
+    zs_[index(row, q)] ^= xs_[index(row, q)];
+  }
+}
+
+void StabilizerState::apply_cx(int control, int target) {
+  for (int row = 0; row < 2 * num_qubits_; ++row) {
+    r_[static_cast<std::size_t>(row)] ^=
+        xs_[index(row, control)] & zs_[index(row, target)] &
+        (xs_[index(row, target)] ^ zs_[index(row, control)] ^ 1);
+    xs_[index(row, target)] ^= xs_[index(row, control)];
+    zs_[index(row, control)] ^= zs_[index(row, target)];
+  }
+}
+
+void StabilizerState::apply_cz(int control, int target) {
+  apply_h(target);
+  apply_cx(control, target);
+  apply_h(target);
+}
+
+void StabilizerState::apply_swap(int a, int b) {
+  apply_cx(a, b);
+  apply_cx(b, a);
+  apply_cx(a, b);
+}
+
+bool StabilizerState::try_apply_gate(const Gate& gate) {
+  const int q = gate.q0;
+  switch (gate.kind) {
+    case GateKind::kI:
+      return true;
+    case GateKind::kX:
+      apply_x(q);
+      return true;
+    case GateKind::kY:
+      apply_y(q);
+      return true;
+    case GateKind::kZ:
+      apply_z(q);
+      return true;
+    case GateKind::kH:
+      apply_h(q);
+      return true;
+    case GateKind::kS:
+      apply_s(q);
+      return true;
+    case GateKind::kSdg:
+      apply_sdg(q);
+      return true;
+    case GateKind::kSX:
+      apply_h(q);
+      apply_s(q);
+      apply_h(q);
+      return true;
+    case GateKind::kSXdg:
+      apply_h(q);
+      apply_sdg(q);
+      apply_h(q);
+      return true;
+    case GateKind::kRZ:
+    case GateKind::kP: {
+      const int k = quarter_turns(gate.params[0]);
+      if (k < 0) return false;
+      for (int i = 0; i < k; ++i) apply_s(q);
+      return true;
+    }
+    case GateKind::kRX: {
+      const int k = quarter_turns(gate.params[0]);
+      if (k < 0) return false;
+      if (k == 0) return true;
+      apply_h(q);
+      for (int i = 0; i < k; ++i) apply_s(q);
+      apply_h(q);
+      return true;
+    }
+    case GateKind::kRY: {
+      const int k = quarter_turns(gate.params[0]);
+      if (k < 0) return false;
+      switch (k) {
+        case 0: return true;
+        case 1: apply_h(q); apply_x(q); return true;  // RY(pi/2) = X H
+        case 2: apply_y(q); return true;
+        default: apply_h(q); apply_z(q); return true;  // RY(3pi/2) ~ Z H
+      }
+    }
+    case GateKind::kCX:
+      apply_cx(gate.q0, gate.q1);
+      return true;
+    case GateKind::kCZ:
+      apply_cz(gate.q0, gate.q1);
+      return true;
+    case GateKind::kCY:
+      apply_sdg(gate.q1);
+      apply_cx(gate.q0, gate.q1);
+      apply_s(gate.q1);
+      return true;
+    case GateKind::kSwap:
+      apply_swap(gate.q0, gate.q1);
+      return true;
+    case GateKind::kCP:
+    case GateKind::kCRZ: {
+      const int k = quarter_turns(gate.params[0]);
+      if (k == 0) return true;
+      if (k != 2) return false;
+      if (gate.kind == GateKind::kCRZ) apply_sdg(gate.q0);
+      apply_cz(gate.q0, gate.q1);
+      return true;
+    }
+    case GateKind::kRZZ:
+    case GateKind::kRXX:
+    case GateKind::kRYY: {
+      const int k = quarter_turns(gate.params[0]);
+      if (k < 0) return false;
+      const auto rotate = [&](bool undo) {
+        for (int qq : {gate.q0, gate.q1}) {
+          if (gate.kind == GateKind::kRXX) {
+            apply_h(qq);
+          } else if (gate.kind == GateKind::kRYY) {
+            if (undo) {
+              apply_h(qq);
+              apply_s(qq);
+            } else {
+              apply_sdg(qq);
+              apply_h(qq);
+            }
+          }
+        }
+      };
+      rotate(false);
+      apply_cx(gate.q0, gate.q1);
+      for (int i = 0; i < k; ++i) apply_s(gate.q1);
+      apply_cx(gate.q0, gate.q1);
+      rotate(true);
+      return true;
+    }
+    default:
+      return false;  // T, U3, CH, CRX, CRY, generic matrices
+  }
+}
+
+bool StabilizerState::try_apply_circuit(const Circuit& circuit) {
+  if (circuit.num_qubits() > num_qubits_)
+    throw std::invalid_argument("StabilizerState: register too small");
+  for (const Gate& g : circuit.gates())
+    if (!try_apply_gate(g)) return false;
+  return true;
+}
+
+double StabilizerState::expectation(const PauliString& p) const {
+  if (p.min_qubits() > num_qubits_)
+    throw std::out_of_range("StabilizerState::expectation");
+  const int n = num_qubits_;
+
+  auto anticommutes_with_row = [&](int row) {
+    int parity = 0;
+    for (int q = 0; q < n; ++q) {
+      const bool px = (p.x >> q) & 1;
+      const bool pz = (p.z >> q) & 1;
+      parity ^= (px & z(row, q)) ^ (pz & x(row, q));
+    }
+    return parity != 0;
+  };
+
+  // Anticommuting with any stabilizer => expectation 0.
+  for (int i = 0; i < n; ++i)
+    if (anticommutes_with_row(n + i)) return 0.0;
+
+  // P = +/- product of stabilizers whose destabilizer partner anticommutes
+  // with P. Accumulate the product with exact phase into the scratch row.
+  std::fill(scratch_x_.begin(), scratch_x_.end(), 0);
+  std::fill(scratch_z_.begin(), scratch_z_.end(), 0);
+  int s = 0;  // i-exponent
+  for (int i = 0; i < n; ++i) {
+    if (!anticommutes_with_row(i)) continue;
+    const int row = n + i;
+    s += 2 * r_[static_cast<std::size_t>(row)];
+    for (int q = 0; q < n; ++q)
+      s += g_phase(x(row, q), z(row, q), scratch_x_[static_cast<std::size_t>(q)],
+                   scratch_z_[static_cast<std::size_t>(q)]);
+    for (int q = 0; q < n; ++q) {
+      scratch_x_[static_cast<std::size_t>(q)] ^= xs_[index(row, q)];
+      scratch_z_[static_cast<std::size_t>(q)] ^= zs_[index(row, q)];
+    }
+  }
+  // The accumulated product must equal P as a Pauli word.
+  for (int q = 0; q < n; ++q) {
+    if (scratch_x_[static_cast<std::size_t>(q)] !=
+            static_cast<std::uint8_t>((p.x >> q) & 1) ||
+        scratch_z_[static_cast<std::size_t>(q)] !=
+            static_cast<std::uint8_t>((p.z >> q) & 1))
+      throw std::logic_error("StabilizerState: inconsistent tableau");
+  }
+  s = ((s % 4) + 4) % 4;
+  return s == 0 ? 1.0 : -1.0;
+}
+
+double StabilizerState::expectation(const PauliSum& h) const {
+  double e = 0.0;
+  for (const PauliTerm& t : h.terms())
+    e += t.coefficient.real() * expectation(t.string);
+  return e;
+}
+
+}  // namespace vqsim

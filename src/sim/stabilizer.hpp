@@ -1,0 +1,71 @@
+// Stabilizer (Clifford) simulator — Aaronson-Gottesman tableau.
+//
+// Clifford circuits simulate in polynomial time; the CAFQA bootstrap
+// (paper §6.1 related work, ref [11]) exploits this to search the Clifford
+// subspace of an ansatz classically and warm-start the continuous VQE.
+// This tableau tracks n stabilizer and n destabilizer generators with sign
+// bits; Pauli expectations evaluate exactly to -1, 0, or +1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace vqsim {
+
+class StabilizerState {
+ public:
+  /// |0...0> over `num_qubits` qubits (stabilizers Z_1..Z_n).
+  explicit StabilizerState(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+
+  // -- Clifford generators --------------------------------------------------
+  void apply_h(int q);
+  void apply_s(int q);
+  void apply_sdg(int q) { apply_s(q); apply_s(q); apply_s(q); }
+  void apply_x(int q) { apply_h(q); apply_z(q); apply_h(q); }
+  void apply_z(int q) { apply_s(q); apply_s(q); }
+  void apply_y(int q) { apply_z(q); apply_x(q); }  // up to global phase
+  void apply_cx(int control, int target);
+  void apply_cz(int control, int target);
+  void apply_swap(int a, int b);
+
+  /// Apply a gate if it is Clifford (including RX/RY/RZ/P at multiples of
+  /// pi/2); returns false for non-Clifford gates, leaving the state
+  /// untouched.
+  bool try_apply_gate(const Gate& gate);
+  /// Apply a whole circuit; returns false (state undefined) when any gate
+  /// is non-Clifford.
+  bool try_apply_circuit(const Circuit& circuit);
+
+  /// Exact <P> in {-1, 0, +1}.
+  double expectation(const PauliString& p) const;
+  /// Exact <H> for a Hermitian Pauli sum.
+  double expectation(const PauliSum& h) const;
+
+ private:
+  // Row r of the tableau: rows [0, n) destabilizers, [n, 2n) stabilizers.
+  bool x(int row, int q) const { return xs_[index(row, q)]; }
+  bool z(int row, int q) const { return zs_[index(row, q)]; }
+  std::size_t index(int row, int q) const {
+    return static_cast<std::size_t>(row) *
+               static_cast<std::size_t>(num_qubits_) +
+           static_cast<std::size_t>(q);
+  }
+  /// row_h *= row_i with exact phase tracking (CHP rowsum).
+  void rowsum(int h, int i);
+  static int g_phase(bool x1, bool z1, bool x2, bool z2);
+
+  int num_qubits_ = 0;
+  std::vector<std::uint8_t> xs_;  // 2n x n
+  std::vector<std::uint8_t> zs_;  // 2n x n
+  std::vector<std::uint8_t> r_;   // 2n sign bits
+  // Scratch row used by expectation (accumulates the stabilizer product).
+  mutable std::vector<std::uint8_t> scratch_x_;
+  mutable std::vector<std::uint8_t> scratch_z_;
+};
+
+}  // namespace vqsim

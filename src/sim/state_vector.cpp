@@ -1,0 +1,104 @@
+#include "sim/state_vector.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+
+namespace vqsim {
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > 40)
+    throw std::invalid_argument("StateVector: unsupported qubit count");
+  amp_.assign(pow2(static_cast<unsigned>(num_qubits)), cplx{0.0, 0.0});
+  amp_[0] = 1.0;
+}
+
+StateVector StateVector::from_amplitudes(AmpVector amplitudes) {
+  if (amplitudes.empty() || !std::has_single_bit(amplitudes.size()))
+    throw std::invalid_argument(
+        "StateVector::from_amplitudes: size must be a power of two");
+  StateVector sv(std::bit_width(amplitudes.size()) - 1);
+  sv.amp_ = std::move(amplitudes);
+  return sv;
+}
+
+void StateVector::reset() { set_basis_state(0); }
+
+void StateVector::set_basis_state(idx basis) {
+  if (basis >= amp_.size())
+    throw std::out_of_range("StateVector::set_basis_state");
+  parallel_for(amp_.size(), [&](idx i) { amp_[i] = cplx{0.0, 0.0}; });
+  amp_[basis] = 1.0;
+}
+
+void StateVector::apply_circuit(const Circuit& circuit) {
+  if (circuit.num_qubits() > num_qubits_)
+    throw std::invalid_argument("apply_circuit: register too small");
+  for (const Gate& g : circuit.gates()) apply_gate(g);
+}
+
+double StateVector::norm() const {
+  const double s = parallel_sum(
+      amp_.size(), [&](idx i) { return std::norm(amp_[i]); });
+  return std::sqrt(s);
+}
+
+void StateVector::normalize() {
+  const double n = norm();
+  if (n == 0.0) throw std::runtime_error("normalize: zero state");
+  const double inv = 1.0 / n;
+  parallel_for(amp_.size(), [&](idx i) { amp_[i] *= inv; });
+}
+
+cplx StateVector::inner_product(const StateVector& other) const {
+  if (other.dim() != dim())
+    throw std::invalid_argument("inner_product: dimension mismatch");
+  double re = 0.0;
+  double im = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : re, im) if (dim() > (idx{1} << 12))
+#endif
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim()); ++i) {
+    const cplx v = std::conj(amp_[static_cast<idx>(i)]) *
+                   other.amp_[static_cast<idx>(i)];
+    re += v.real();
+    im += v.imag();
+  }
+  return {re, im};
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner_product(other));
+}
+
+double StateVector::probability(idx basis) const {
+  if (basis >= amp_.size()) throw std::out_of_range("probability");
+  return std::norm(amp_[basis]);
+}
+
+double StateVector::probability_one(int qubit) const {
+  const unsigned q = static_cast<unsigned>(qubit);
+  return parallel_sum(amp_.size(), [&](idx i) {
+    return test_bit(i, q) ? std::norm(amp_[i]) : 0.0;
+  });
+}
+
+int StateVector::measure(int qubit, Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  const double keep = outcome == 1 ? p1 : 1.0 - p1;
+  const double inv = keep > 0.0 ? 1.0 / std::sqrt(keep) : 0.0;
+  const unsigned q = static_cast<unsigned>(qubit);
+  parallel_for(amp_.size(), [&](idx i) {
+    if (static_cast<int>(test_bit(i, q)) == outcome)
+      amp_[i] *= inv;
+    else
+      amp_[i] = cplx{0.0, 0.0};
+  });
+  return outcome;
+}
+
+}  // namespace vqsim

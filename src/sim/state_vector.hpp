@@ -1,0 +1,77 @@
+// Shared-memory state-vector simulator (the NWQ-Sim role, paper §4).
+//
+// Amplitudes live in one contiguous, cache-aligned array; gate kernels
+// enumerate the 2^(n-1) (or 2^(n-2)) amplitude groups in parallel with
+// OpenMP — the same index decomposition NWQ-Sim distributes across GPU
+// cores (see DESIGN.md substitution table).
+#pragma once
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "ir/circuit.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace vqsim {
+
+class StateVector {
+ public:
+  /// |0...0> over `num_qubits` qubits.
+  explicit StateVector(int num_qubits);
+
+  /// Adopt explicit amplitudes (size must be a power of two).
+  static StateVector from_amplitudes(AmpVector amplitudes);
+
+  int num_qubits() const { return num_qubits_; }
+  idx dim() const { return amp_.size(); }
+  cplx* data() { return amp_.data(); }
+  const cplx* data() const { return amp_.data(); }
+  const AmpVector& amplitudes() const { return amp_; }
+
+  /// Reset to |0...0>.
+  void reset();
+
+  /// Reset to the computational basis state |basis>.
+  void set_basis_state(idx basis);
+
+  // -- Gate application ----------------------------------------------------
+  void apply_gate(const Gate& gate);
+  void apply_circuit(const Circuit& circuit);
+
+  /// Generic single-qubit matrix on qubit `q`.
+  void apply_mat2(const Mat2& m, int q);
+  /// Generic two-qubit matrix on (q0 low slot, q1 high slot).
+  void apply_mat4(const Mat4& m, int q0, int q1);
+  /// Controlled single-qubit matrix (fast path used by controlled gates).
+  void apply_controlled_mat2(const Mat2& m, int control, int target);
+  /// Phase diag(1, e^{i phi}) on qubit `q` (fast diagonal path).
+  void apply_phase(double phi, int q);
+
+  // -- Pauli operations (direct, no circuit) -------------------------------
+  /// |psi> <- P |psi>.
+  void apply_pauli(const PauliString& p);
+  /// |psi> <- exp(-i theta P) |psi>, exact (P^2 = I).
+  void apply_exp_pauli(const PauliString& p, double theta);
+
+  // -- State queries -------------------------------------------------------
+  double norm() const;
+  void normalize();
+  cplx inner_product(const StateVector& other) const;
+  double fidelity(const StateVector& other) const;  // |<this|other>|^2
+  double probability(idx basis) const;
+  /// Probability that `qubit` reads 1.
+  double probability_one(int qubit) const;
+
+  /// Projective measurement of one qubit; collapses the state and returns
+  /// the outcome (0/1).
+  int measure(int qubit, Rng& rng);
+
+  /// Number of bytes held by the amplitude array (Fig. 1c).
+  std::size_t memory_bytes() const { return amp_.size() * sizeof(cplx); }
+
+ private:
+  int num_qubits_ = 0;
+  AmpVector amp_;
+};
+
+}  // namespace vqsim

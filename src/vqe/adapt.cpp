@@ -1,0 +1,165 @@
+#include "vqe/adapt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "chem/hartree_fock.hpp"
+#include "chem/uccsd.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+void apply_generator(StateVector* psi, const PauliSum& g, double theta) {
+  for (const PauliTerm& t : g.terms())
+    psi->apply_exp_pauli(t.string, theta * t.coefficient.real());
+}
+
+void apply_generator_inverse(StateVector* psi, const PauliSum& g,
+                             double theta) {
+  for (auto it = g.terms().rbegin(); it != g.terms().rend(); ++it)
+    psi->apply_exp_pauli(it->string, -theta * it->coefficient.real());
+}
+
+}  // namespace
+
+AdaptAnsatzState::AdaptAnsatzState(int num_qubits, idx reference_state,
+                                   const std::vector<PauliSum>* pool)
+    : num_qubits_(num_qubits), reference_(reference_state), pool_(pool) {
+  if (pool == nullptr)
+    throw std::invalid_argument("AdaptAnsatzState: null pool");
+}
+
+void AdaptAnsatzState::prepare(StateVector* psi,
+                               std::span<const std::size_t> sequence,
+                               std::span<const double> theta) const {
+  if (psi->num_qubits() != num_qubits_)
+    throw std::invalid_argument("AdaptAnsatzState::prepare: register size");
+  if (sequence.size() != theta.size())
+    throw std::invalid_argument("AdaptAnsatzState::prepare: length mismatch");
+  psi->set_basis_state(reference_);
+  for (std::size_t k = 0; k < sequence.size(); ++k)
+    apply_generator(psi, (*pool_)[sequence[k]], theta[k]);
+}
+
+void AdaptAnsatzState::gradient(const CompiledPauliSum& hamiltonian,
+                                std::span<const std::size_t> sequence,
+                                std::span<const double> theta,
+                                std::span<double> out) const {
+  const std::size_t K = sequence.size();
+  if (out.size() != K)
+    throw std::invalid_argument("AdaptAnsatzState::gradient: output size");
+
+  StateVector mu(num_qubits_);
+  prepare(&mu, sequence, theta);
+  StateVector nu(num_qubits_);
+  hamiltonian.apply(mu, &nu);  // nu = H |psi>
+
+  StateVector g_mu(num_qubits_);
+  for (std::size_t k = K; k-- > 0;) {
+    // g_k = 2 Im <nu_k | G_k | mu_k> with mu_k = U_k..U_1|ref>,
+    // nu_k = U_{k+1}^dag .. U_K^dag H|psi>.
+    apply_pauli_sum((*pool_)[sequence[k]], mu, &g_mu);
+    out[k] = 2.0 * nu.inner_product(g_mu).imag();
+    if (k > 0) {
+      apply_generator_inverse(&mu, (*pool_)[sequence[k]], theta[k]);
+      apply_generator_inverse(&nu, (*pool_)[sequence[k]], theta[k]);
+    }
+  }
+}
+
+AdaptVqe::AdaptVqe(PauliSum hamiltonian, int nelec, AdaptOptions options)
+    : hamiltonian_(std::move(hamiltonian)),
+      reference_(hf_basis_state(nelec)),
+      options_(options) {
+  const int nq = hamiltonian_.num_qubits();
+  for (const Excitation& ex : uccsd_excitations(nq, nelec))
+    pool_.push_back(excitation_generator_pauli(ex, nq));
+}
+
+AdaptVqe::AdaptVqe(PauliSum hamiltonian, idx reference_state,
+                   std::vector<PauliSum> pool, AdaptOptions options)
+    : hamiltonian_(std::move(hamiltonian)),
+      reference_(reference_state),
+      pool_(std::move(pool)),
+      options_(options) {
+  if (pool_.empty()) throw std::invalid_argument("AdaptVqe: empty pool");
+}
+
+AdaptResult AdaptVqe::run() {
+  const int nq = hamiltonian_.num_qubits();
+  AdaptAnsatzState ansatz(nq, reference_, &pool_);
+  const CompiledPauliSum h_compiled(hamiltonian_, nq);
+
+  AdaptResult result;
+  std::vector<std::size_t> sequence;
+  std::vector<double> theta;
+
+  StateVector psi(nq);
+  StateVector h_psi(nq);
+  StateVector g_psi(nq);
+
+  for (std::size_t it = 0; it < options_.max_operators; ++it) {
+    // Pool-gradient screening at the current optimum:
+    // g_p = -2 Im <G_p psi | H psi>.
+    ansatz.prepare(&psi, sequence, theta);
+    h_compiled.apply(psi, &h_psi);
+    double best_g = 0.0;
+    std::size_t best_p = 0;
+    for (std::size_t p = 0; p < pool_.size(); ++p) {
+      apply_pauli_sum(pool_[p], psi, &g_psi);
+      const double g = -2.0 * g_psi.inner_product(h_psi).imag();
+      if (std::abs(g) > std::abs(best_g)) {
+        best_g = g;
+        best_p = p;
+      }
+    }
+    if (std::abs(best_g) < options_.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    sequence.push_back(best_p);
+    theta.push_back(0.0);
+
+    // Full re-optimization with exact analytic gradients.
+    const ObjectiveFn objective = [&](std::span<const double> x) {
+      ansatz.prepare(&psi, sequence, x);
+      return h_compiled.expectation(psi);
+    };
+    const GradientFn grad = [&](std::span<const double> x,
+                                std::span<double> out) {
+      ansatz.gradient(h_compiled, sequence, x, out);
+    };
+    Adam inner(options_.inner, grad);
+    OptimizerResult opt = inner.minimize(objective, theta);
+    theta = opt.x;
+
+    AdaptIterationRecord rec;
+    rec.iteration = it + 1;
+    rec.pool_index = best_p;
+    rec.max_pool_gradient = std::abs(best_g);
+    rec.energy = opt.fval;
+    rec.parameters = theta.size();
+    result.iterations.push_back(rec);
+    result.energy = opt.fval;
+
+    if (!std::isnan(options_.reference_energy) &&
+        std::abs(opt.fval - options_.reference_energy) <
+            options_.reference_target) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.parameters = std::move(theta);
+  result.operator_sequence = std::move(sequence);
+  if (result.iterations.empty()) {
+    // Pool gradients vanished at the reference: report the reference energy.
+    ansatz.prepare(&psi, {}, {});
+    result.energy = expectation(psi, hamiltonian_);
+  }
+  return result;
+}
+
+}  // namespace vqsim

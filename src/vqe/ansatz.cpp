@@ -1,0 +1,77 @@
+#include "vqe/ansatz.hpp"
+
+#include <stdexcept>
+
+#include "chem/hartree_fock.hpp"
+
+namespace vqsim {
+
+HardwareEfficientAnsatz::HardwareEfficientAnsatz(int num_qubits, int layers,
+                                                 int nelec)
+    : num_qubits_(num_qubits), layers_(layers), nelec_(nelec) {
+  if (num_qubits < 2 || layers < 0 || nelec < 0 || nelec > num_qubits)
+    throw std::invalid_argument("HardwareEfficientAnsatz: bad shape");
+}
+
+std::size_t HardwareEfficientAnsatz::num_parameters() const {
+  return static_cast<std::size_t>(2 * num_qubits_ * (layers_ + 1));
+}
+
+Circuit HardwareEfficientAnsatz::circuit(
+    std::span<const double> theta) const {
+  if (theta.size() != num_parameters())
+    throw std::invalid_argument("HardwareEfficientAnsatz: parameter count");
+  Circuit c = hf_state_circuit(num_qubits_, nelec_);
+  std::size_t k = 0;
+  for (int layer = 0; layer <= layers_; ++layer) {
+    for (int q = 0; q < num_qubits_; ++q) {
+      c.ry(theta[k++], q);
+      c.rz(theta[k++], q);
+    }
+    if (layer < layers_)
+      for (int q = 0; q + 1 < num_qubits_; ++q) c.cx(q, q + 1);
+  }
+  return c;
+}
+
+void HardwareEfficientAnsatz::prepare(StateVector* psi,
+                                      std::span<const double> theta) const {
+  if (psi == nullptr || psi->num_qubits() != num_qubits_)
+    throw std::invalid_argument("HardwareEfficientAnsatz: bad state");
+  psi->set_basis_state(hf_basis_state(nelec_));
+  // Same operator as circuit(); rotations applied directly.
+  std::size_t k = 0;
+  for (int layer = 0; layer <= layers_; ++layer) {
+    for (int q = 0; q < num_qubits_; ++q) {
+      Gate ry;
+      ry.kind = GateKind::kRY;
+      ry.q0 = q;
+      ry.params[0] = theta[k++];
+      psi->apply_gate(ry);
+      Gate rz;
+      rz.kind = GateKind::kRZ;
+      rz.q0 = q;
+      rz.params[0] = theta[k++];
+      psi->apply_gate(rz);
+    }
+    if (layer < layers_) {
+      for (int q = 0; q + 1 < num_qubits_; ++q) {
+        Gate cx;
+        cx.kind = GateKind::kCX;
+        cx.q0 = q;
+        cx.q1 = q + 1;
+        psi->apply_gate(cx);
+      }
+    }
+  }
+}
+
+std::size_t HardwareEfficientAnsatz::gate_count() const {
+  const std::size_t rotations = num_parameters();
+  const std::size_t entanglers =
+      static_cast<std::size_t>(layers_) *
+      static_cast<std::size_t>(num_qubits_ - 1);
+  return static_cast<std::size_t>(nelec_) + rotations + entanglers;
+}
+
+}  // namespace vqsim

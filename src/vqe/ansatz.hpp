@@ -1,0 +1,81 @@
+// Parameterized-ansatz interface consumed by the VQE executors.
+//
+// Implementations must make prepare() and circuit() the *same* operator so
+// the cached-state fast path and the gate-level path are interchangeable
+// (tested as a property).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "chem/uccsd.hpp"
+#include "ir/circuit.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+
+class Ansatz {
+ public:
+  virtual ~Ansatz() = default;
+
+  virtual int num_qubits() const = 0;
+  virtual std::size_t num_parameters() const = 0;
+
+  /// Prepare the ansatz state from |0...0> in `psi` (fast path: may bypass
+  /// gate materialization).
+  virtual void prepare(StateVector* psi,
+                       std::span<const double> theta) const = 0;
+
+  /// The equivalent gate-level circuit.
+  virtual Circuit circuit(std::span<const double> theta) const = 0;
+
+  /// Gate count of circuit() (analytic where possible).
+  virtual std::size_t gate_count() const = 0;
+};
+
+/// Adapter exposing UccsdAnsatz through the interface.
+class UccsdAnsatzAdapter final : public Ansatz {
+ public:
+  UccsdAnsatzAdapter(int num_spin_orbitals, int nelec)
+      : impl_(num_spin_orbitals, nelec) {}
+  explicit UccsdAnsatzAdapter(UccsdAnsatz impl) : impl_(std::move(impl)) {}
+
+  const UccsdAnsatz& uccsd() const { return impl_; }
+
+  int num_qubits() const override { return impl_.num_qubits(); }
+  std::size_t num_parameters() const override {
+    return impl_.num_parameters();
+  }
+  void prepare(StateVector* psi,
+               std::span<const double> theta) const override {
+    impl_.apply(psi, theta);
+  }
+  Circuit circuit(std::span<const double> theta) const override {
+    return impl_.circuit(theta);
+  }
+  std::size_t gate_count() const override { return impl_.gate_count(); }
+
+ private:
+  UccsdAnsatz impl_;
+};
+
+/// Hardware-efficient ansatz (paper §6.1, Kandala et al.): `layers` of
+/// per-qubit RY+RZ rotations separated by linear-chain CX entanglers, on top
+/// of the HF determinant. 2 * num_qubits * (layers + 1) parameters.
+class HardwareEfficientAnsatz final : public Ansatz {
+ public:
+  HardwareEfficientAnsatz(int num_qubits, int layers, int nelec = 0);
+
+  int num_qubits() const override { return num_qubits_; }
+  std::size_t num_parameters() const override;
+  void prepare(StateVector* psi, std::span<const double> theta) const override;
+  Circuit circuit(std::span<const double> theta) const override;
+  std::size_t gate_count() const override;
+
+ private:
+  int num_qubits_ = 0;
+  int layers_ = 0;
+  int nelec_ = 0;
+};
+
+}  // namespace vqsim

@@ -1,0 +1,69 @@
+#include "vqe/batch.hpp"
+
+#include <stdexcept>
+
+#include "sim/compiled_op.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace vqsim {
+
+std::vector<double> evaluate_batch(
+    const Ansatz& ansatz, const PauliSum& observable,
+    const std::vector<std::vector<double>>& parameter_sets) {
+  const int nq = ansatz.num_qubits();
+  for (const auto& theta : parameter_sets)
+    if (theta.size() != ansatz.num_parameters())
+      throw std::invalid_argument("evaluate_batch: parameter count");
+
+  const CompiledPauliSum compiled(observable, nq);
+  std::vector<double> energies(parameter_sets.size(), 0.0);
+
+  const auto run_entry = [&](std::size_t i, StateVector& psi) {
+    ansatz.prepare(&psi, parameter_sets[i]);
+    energies[i] = compiled.expectation(psi);
+  };
+
+#ifdef _OPENMP
+  if (omp_get_max_threads() > 1 && parameter_sets.size() > 1) {
+#pragma omp parallel
+    {
+      StateVector psi(nq);
+#pragma omp for schedule(dynamic)
+      for (std::int64_t i = 0;
+           i < static_cast<std::int64_t>(parameter_sets.size()); ++i)
+        run_entry(static_cast<std::size_t>(i), psi);
+    }
+    return energies;
+  }
+#endif
+  StateVector psi(nq);
+  for (std::size_t i = 0; i < parameter_sets.size(); ++i) run_entry(i, psi);
+  return energies;
+}
+
+std::vector<double> batched_gradient(const Ansatz& ansatz,
+                                     const PauliSum& observable,
+                                     std::span<const double> theta,
+                                     double step) {
+  const std::size_t p = theta.size();
+  std::vector<std::vector<double>> batch;
+  batch.reserve(2 * p);
+  for (std::size_t k = 0; k < p; ++k) {
+    std::vector<double> plus(theta.begin(), theta.end());
+    plus[k] += step;
+    batch.push_back(std::move(plus));
+    std::vector<double> minus(theta.begin(), theta.end());
+    minus[k] -= step;
+    batch.push_back(std::move(minus));
+  }
+  const std::vector<double> e = evaluate_batch(ansatz, observable, batch);
+  std::vector<double> grad(p, 0.0);
+  for (std::size_t k = 0; k < p; ++k)
+    grad[k] = (e[2 * k] - e[2 * k + 1]) / (2.0 * step);
+  return grad;
+}
+
+}  // namespace vqsim

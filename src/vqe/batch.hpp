@@ -1,0 +1,30 @@
+// Batched circuit execution (paper §6.2 "future improvements": simulating
+// multiple VQE circuits simultaneously to raise utilization).
+//
+// A batch shares one precompiled (mask-batched) observable and per-thread
+// state buffers; entries are independent, so they parallelize across OpenMP
+// threads exactly like independent circuits across GPU kernels / nodes in
+// the paper's outlook.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace vqsim {
+
+/// Energies of the observable at each parameter set.
+std::vector<double> evaluate_batch(
+    const Ansatz& ansatz, const PauliSum& observable,
+    const std::vector<std::vector<double>>& parameter_sets);
+
+/// Central-difference gradient evaluated as ONE batch of 2 * P circuits
+/// (the batching use-case the paper sketches for VQE inner loops).
+std::vector<double> batched_gradient(const Ansatz& ansatz,
+                                     const PauliSum& observable,
+                                     std::span<const double> theta,
+                                     double step = 1e-5);
+
+}  // namespace vqsim

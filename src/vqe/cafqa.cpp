@@ -1,0 +1,81 @@
+#include "vqe/cafqa.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "sim/stabilizer.hpp"
+
+namespace vqsim {
+namespace {
+
+double clifford_energy(const Ansatz& ansatz, const PauliSum& h,
+                       const std::vector<double>& theta) {
+  StabilizerState state(ansatz.num_qubits());
+  if (!state.try_apply_circuit(ansatz.circuit(theta)))
+    throw std::invalid_argument(
+        "cafqa_bootstrap: ansatz is not Clifford at quarter-turn angles");
+  return state.expectation(h);
+}
+
+// One coordinate descent from `theta`; returns the local optimum in place.
+double coordinate_descent(const Ansatz& ansatz, const PauliSum& h,
+                          std::vector<double>* theta, int sweeps,
+                          std::size_t* evaluations) {
+  double energy = clifford_energy(ansatz, h, *theta);
+  ++*evaluations;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    bool improved = false;
+    for (std::size_t k = 0; k < theta->size(); ++k) {
+      const double original = (*theta)[k];
+      double best_value = energy;
+      double best_angle = original;
+      for (int quarter = 0; quarter < 4; ++quarter) {
+        const double angle = quarter * (kPi / 2.0);
+        if (angle == original) continue;
+        (*theta)[k] = angle;
+        const double e = clifford_energy(ansatz, h, *theta);
+        ++*evaluations;
+        if (e < best_value - 1e-12) {
+          best_value = e;
+          best_angle = angle;
+        }
+      }
+      (*theta)[k] = best_angle;
+      if (best_value < energy - 1e-12) {
+        energy = best_value;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return energy;
+}
+
+}  // namespace
+
+CafqaResult cafqa_bootstrap(const Ansatz& ansatz, const PauliSum& hamiltonian,
+                            const CafqaOptions& options) {
+  const std::size_t p = ansatz.num_parameters();
+  Rng rng(options.seed);
+  CafqaResult result;
+  result.energy = std::numeric_limits<double>::infinity();
+
+  const int restarts = std::max(1, options.restarts);
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    std::vector<double> theta(p, 0.0);
+    if (attempt > 0)
+      for (double& t : theta)
+        t = static_cast<double>(rng.uniform_index(4)) * (kPi / 2.0);
+    const double e = coordinate_descent(ansatz, hamiltonian, &theta,
+                                        options.sweeps,
+                                        &result.clifford_evaluations);
+    if (e < result.energy) {
+      result.energy = e;
+      result.parameters = std::move(theta);
+    }
+  }
+  return result;
+}
+
+}  // namespace vqsim

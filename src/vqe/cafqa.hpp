@@ -1,0 +1,40 @@
+// CAFQA-style Clifford bootstrap (paper §6.1 related work, ref [11]).
+//
+// Restricting a rotation ansatz to angles in {0, pi/2, pi, 3pi/2} makes
+// every circuit Clifford, so the energy evaluates in polynomial time on
+// the stabilizer simulator. A discrete coordinate-descent over that grid
+// finds the best Clifford point — typically recovering at least the
+// Hartree-Fock energy — whose angles then warm-start the continuous VQE.
+#pragma once
+
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace vqsim {
+
+struct CafqaOptions {
+  /// Coordinate-descent sweeps over all parameters.
+  int sweeps = 4;
+  /// Independent descents from random grid points (first start is always
+  /// all-zeros); the best result wins. Coordinate descent on a discrete
+  /// grid is order-trapped, so restarts matter.
+  int restarts = 4;
+  std::uint64_t seed = 23;
+};
+
+struct CafqaResult {
+  double energy = 0.0;
+  /// Angles (multiples of pi/2) — valid initial_parameters for run_vqe.
+  std::vector<double> parameters;
+  std::size_t clifford_evaluations = 0;
+};
+
+/// Discrete Clifford-space search. The ansatz must produce Clifford
+/// circuits at quarter-turn angles (true for HardwareEfficientAnsatz);
+/// throws std::invalid_argument if a grid circuit is not Clifford.
+CafqaResult cafqa_bootstrap(const Ansatz& ansatz, const PauliSum& hamiltonian,
+                            const CafqaOptions& options = {});
+
+}  // namespace vqsim

@@ -1,0 +1,33 @@
+#include "vqe/dist_executor.hpp"
+
+#include <stdexcept>
+
+namespace vqsim {
+
+DistributedExecutor::DistributedExecutor(const Ansatz& ansatz,
+                                         PauliSum observable, SimComm* comm)
+    : ansatz_(ansatz),
+      observable_(std::move(observable)),
+      state_(ansatz.num_qubits(), comm) {
+  if (observable_.num_qubits() > ansatz.num_qubits())
+    throw std::invalid_argument(
+        "DistributedExecutor: observable register exceeds ansatz");
+}
+
+double DistributedExecutor::evaluate(std::span<const double> theta) {
+  if (theta.size() != ansatz_.num_parameters())
+    throw std::invalid_argument("DistributedExecutor: parameter count");
+  ++stats_.energy_evaluations;
+
+  // The distributed backend consumes gate circuits (the fast amplitude-level
+  // prepare() path only exists on the shared-memory engine).
+  const Circuit circuit = ansatz_.circuit(theta);
+  state_.reset();
+  state_.apply_circuit(circuit);
+  ++stats_.ansatz_executions;
+  stats_.ansatz_gates += circuit.size();
+
+  return state_.expectation(observable_);
+}
+
+}  // namespace vqsim

@@ -1,0 +1,33 @@
+// VQE energy evaluation on the distributed (multi-rank) backend — the
+// paper's deployment mode: XACC drives NWQ-Sim across Perlmutter nodes.
+//
+// The ansatz runs as a gate circuit on the rank-partitioned state vector;
+// expectations use the distributed direct path (partner-slice pairing plus
+// allreduce). Results are bit-compatible with the shared-memory executor;
+// the communicator statistics expose the traffic the evaluation cost.
+#pragma once
+
+#include "dist/dist_state_vector.hpp"
+#include "vqe/executor.hpp"
+
+namespace vqsim {
+
+class DistributedExecutor final : public EnergyEvaluator {
+ public:
+  /// `comm` must outlive the executor.
+  DistributedExecutor(const Ansatz& ansatz, PauliSum observable,
+                      SimComm* comm);
+
+  double evaluate(std::span<const double> theta) override;
+  const ExecutorStats& stats() const override { return stats_; }
+
+  const CommStats& comm_stats() const { return state_.comm_stats(); }
+
+ private:
+  const Ansatz& ansatz_;
+  PauliSum observable_;
+  DistStateVector state_;
+  ExecutorStats stats_;
+};
+
+}  // namespace vqsim

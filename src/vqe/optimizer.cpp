@@ -1,0 +1,260 @@
+#include "vqe/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vqsim {
+namespace {
+
+void check_start(const std::vector<double>& x0) {
+  if (x0.empty())
+    throw std::invalid_argument("optimizer: empty starting point");
+}
+
+}  // namespace
+
+OptimizerResult NelderMead::minimize(const ObjectiveFn& f,
+                                     std::vector<double> x0) {
+  check_start(x0);
+  const std::size_t n = x0.size();
+  OptimizerResult result;
+
+  // Adaptive Nelder-Mead parameters (Gao & Han) — better behaved for the
+  // tens-of-parameters regime UCCSD produces.
+  const double nd = static_cast<double>(n);
+  const double alpha = 1.0;
+  const double beta = 1.0 + 2.0 / nd;
+  const double gamma = 0.75 - 1.0 / (2.0 * nd);
+  const double delta = 1.0 - 1.0 / nd;
+
+  std::size_t evals = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++evals;
+    return f(x);
+  };
+
+  // Initial simplex: x0 plus a step along each axis.
+  std::vector<std::vector<double>> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back(x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v = x0;
+    v[i] += options_.initial_step;
+    simplex.push_back(std::move(v));
+  }
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = eval(simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  while (evals < options_.max_evaluations) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+    result.history.push_back(fv[best]);
+    ++result.iterations;
+
+    // Convergence: spread of simplex values and vertices.
+    double fspread = std::abs(fv[worst] - fv[best]);
+    double xspread = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      xspread = std::max(xspread,
+                         std::abs(simplex[worst][i] - simplex[best][i]));
+    if (fspread < options_.fatol && xspread < options_.xatol) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t k = 0; k <= n; ++k) {
+      if (k == worst) continue;
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[k][i];
+    }
+    for (double& c : centroid) c /= nd;
+
+    auto blend = [&](double t) {
+      std::vector<double> x(n);
+      for (std::size_t i = 0; i < n; ++i)
+        x[i] = centroid[i] + t * (simplex[worst][i] - centroid[i]);
+      return x;
+    };
+
+    const std::vector<double> xr = blend(-alpha);  // reflection
+    const double fr = eval(xr);
+    if (fr < fv[order[0]]) {
+      const std::vector<double> xe = blend(-alpha * beta);  // expansion
+      const double fe = eval(xe);
+      if (fe < fr) {
+        simplex[worst] = xe;
+        fv[worst] = fe;
+      } else {
+        simplex[worst] = xr;
+        fv[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < fv[second_worst]) {
+      simplex[worst] = xr;
+      fv[worst] = fr;
+      continue;
+    }
+    // Contraction (outside if the reflection improved on the worst).
+    const bool outside = fr < fv[worst];
+    const std::vector<double> xc = blend(outside ? -alpha * gamma : gamma);
+    const double fc = eval(xc);
+    if (fc < std::min(fr, fv[worst])) {
+      simplex[worst] = xc;
+      fv[worst] = fc;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t k = 0; k <= n; ++k) {
+      if (k == best) continue;
+      for (std::size_t i = 0; i < n; ++i)
+        simplex[k][i] =
+            simplex[best][i] + delta * (simplex[k][i] - simplex[best][i]);
+      fv[k] = eval(simplex[k]);
+    }
+  }
+
+  const std::size_t best =
+      static_cast<std::size_t>(std::min_element(fv.begin(), fv.end()) -
+                               fv.begin());
+  result.x = simplex[best];
+  result.fval = fv[best];
+  result.evaluations = evals;
+  return result;
+}
+
+OptimizerResult Spsa::minimize(const ObjectiveFn& f, std::vector<double> x0) {
+  check_start(x0);
+  const std::size_t n = x0.size();
+  Rng rng(options_.seed);
+  OptimizerResult result;
+  std::vector<double> x = std::move(x0);
+  std::vector<double> best_x = x;
+  double best_f = f(x);
+  std::size_t evals = 1;
+
+  std::vector<double> delta(n);
+  std::vector<double> xp(n);
+  std::vector<double> xm(n);
+  for (std::size_t k = 0; k < options_.iterations; ++k) {
+    const double ak =
+        options_.a / std::pow(static_cast<double>(k + 1) + 50.0,
+                              options_.alpha);
+    const double ck =
+        options_.c / std::pow(static_cast<double>(k + 1), options_.gamma);
+    for (std::size_t i = 0; i < n; ++i) delta[i] = rng.rademacher();
+    for (std::size_t i = 0; i < n; ++i) {
+      xp[i] = x[i] + ck * delta[i];
+      xm[i] = x[i] - ck * delta[i];
+    }
+    const double fp = f(xp);
+    const double fm = f(xm);
+    evals += 2;
+    const double scale = (fp - fm) / (2.0 * ck);
+    for (std::size_t i = 0; i < n; ++i) x[i] -= ak * scale / delta[i];
+
+    const double fx = f(x);
+    ++evals;
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+    result.history.push_back(best_f);
+    ++result.iterations;
+  }
+  result.x = std::move(best_x);
+  result.fval = best_f;
+  result.evaluations = evals;
+  result.converged = true;  // fixed-budget method
+  return result;
+}
+
+OptimizerResult Adam::minimize(const ObjectiveFn& f, std::vector<double> x0) {
+  check_start(x0);
+  const std::size_t n = x0.size();
+  OptimizerResult result;
+  std::vector<double> x = std::move(x0);
+  std::vector<double> g(n, 0.0);
+  std::vector<double> m(n, 0.0);
+  std::vector<double> v(n, 0.0);
+  std::size_t evals = 0;
+
+  auto numeric_gradient = [&](std::span<const double> at,
+                              std::span<double> out) {
+    std::vector<double> probe(at.begin(), at.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double orig = probe[i];
+      probe[i] = orig + options_.fd_step;
+      const double fp = f(probe);
+      probe[i] = orig - options_.fd_step;
+      const double fm = f(probe);
+      probe[i] = orig;
+      evals += 2;
+      out[i] = (fp - fm) / (2.0 * options_.fd_step);
+    }
+  };
+
+  double fx = f(x);
+  ++evals;
+  double best_f = fx;
+  std::vector<double> best_x = x;
+  int stall = 0;
+
+  for (std::size_t t = 1; t <= options_.iterations; ++t) {
+    if (gradient_)
+      gradient_(x, g);
+    else
+      numeric_gradient(x, g);
+
+    double ginf = 0.0;
+    for (double gi : g) ginf = std::max(ginf, std::abs(gi));
+    if (ginf < options_.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    const double b1t = 1.0 - std::pow(options_.beta1, static_cast<double>(t));
+    const double b2t = 1.0 - std::pow(options_.beta2, static_cast<double>(t));
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * g[i];
+      v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * g[i] * g[i];
+      const double mhat = m[i] / b1t;
+      const double vhat = v[i] / b2t;
+      x[i] -= options_.learning_rate * mhat /
+              (std::sqrt(vhat) + options_.epsilon);
+    }
+    const double prev = fx;
+    fx = f(x);
+    ++evals;
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+    result.history.push_back(best_f);
+    ++result.iterations;
+
+    if (options_.objective_tolerance > 0.0) {
+      stall = std::abs(fx - prev) < options_.objective_tolerance ? stall + 1
+                                                                 : 0;
+      if (stall >= options_.patience) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  result.x = std::move(best_x);
+  result.fval = best_f;
+  result.evaluations = evals;
+  return result;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,104 @@
+// Classical optimizers for the VQE outer loop (paper §3.1 step 4).
+//
+// Nelder-Mead (derivative-free, the workhorse for small parameter counts),
+// SPSA (stochastic, robust to sampling noise), and Adam driven by either a
+// user-supplied analytic gradient or central differences.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vqsim {
+
+using ObjectiveFn = std::function<double(std::span<const double>)>;
+/// Writes grad(f)(x) into the second argument (same length as x).
+using GradientFn =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+struct OptimizerResult {
+  std::vector<double> x;
+  double fval = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  std::vector<double> history;  // best-so-far objective per iteration
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual OptimizerResult minimize(const ObjectiveFn& f,
+                                   std::vector<double> x0) = 0;
+};
+
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 20000;
+  double xatol = 1e-8;   // simplex spread tolerance
+  double fatol = 1e-10;  // objective spread tolerance
+  double initial_step = 0.1;
+};
+
+class NelderMead final : public Optimizer {
+ public:
+  explicit NelderMead(NelderMeadOptions options = {}) : options_(options) {}
+  OptimizerResult minimize(const ObjectiveFn& f,
+                           std::vector<double> x0) override;
+
+ private:
+  NelderMeadOptions options_;
+};
+
+struct SpsaOptions {
+  std::size_t iterations = 300;
+  double a = 0.1;    // step-size scale
+  double c = 0.05;   // perturbation scale
+  double alpha = 0.602;
+  double gamma = 0.101;
+  std::uint64_t seed = 11;
+};
+
+class Spsa final : public Optimizer {
+ public:
+  explicit Spsa(SpsaOptions options = {}) : options_(options) {}
+  OptimizerResult minimize(const ObjectiveFn& f,
+                           std::vector<double> x0) override;
+
+ private:
+  SpsaOptions options_;
+};
+
+struct AdamOptions {
+  std::size_t iterations = 200;
+  double learning_rate = 0.05;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double gradient_tolerance = 1e-7;  // stop when ||g||_inf falls below
+  double fd_step = 1e-5;             // central-difference step (no gradient)
+  /// Stop when |f_t - f_{t-1}| stays below this for `patience` consecutive
+  /// iterations (0 disables). This is what makes warm starts cheap: a seed
+  /// near the optimum exits almost immediately.
+  double objective_tolerance = 0.0;
+  int patience = 5;
+};
+
+class Adam final : public Optimizer {
+ public:
+  /// Central-difference gradient.
+  explicit Adam(AdamOptions options = {}) : options_(options) {}
+  /// Analytic gradient.
+  Adam(AdamOptions options, GradientFn gradient)
+      : options_(options), gradient_(std::move(gradient)) {}
+
+  OptimizerResult minimize(const ObjectiveFn& f,
+                           std::vector<double> x0) override;
+
+ private:
+  AdamOptions options_;
+  GradientFn gradient_;
+};
+
+}  // namespace vqsim

@@ -1,0 +1,51 @@
+#include "vqe/pools.hpp"
+
+#include <unordered_set>
+
+#include "chem/uccsd.hpp"
+
+namespace vqsim {
+
+std::vector<PauliSum> uccsd_pool(int num_spin_orbitals, int nelec) {
+  std::vector<PauliSum> pool;
+  for (const Excitation& ex : uccsd_excitations(num_spin_orbitals, nelec))
+    pool.push_back(excitation_generator_pauli(ex, num_spin_orbitals));
+  return pool;
+}
+
+std::vector<PauliSum> qubit_pool(int num_spin_orbitals, int nelec) {
+  std::unordered_set<PauliString, PauliStringHash> seen;
+  std::vector<PauliSum> pool;
+  for (const PauliSum& g : uccsd_pool(num_spin_orbitals, nelec)) {
+    for (const PauliTerm& t : g.terms()) {
+      if (!seen.insert(t.string).second) continue;
+      PauliSum op(num_spin_orbitals);
+      op.add_term(1.0, t.string);
+      pool.push_back(std::move(op));
+    }
+  }
+  return pool;
+}
+
+std::vector<PauliSum> minimal_qubit_pool(int num_spin_orbitals, int nelec) {
+  std::unordered_set<PauliString, PauliStringHash> seen;
+  std::vector<PauliSum> pool;
+  for (const PauliSum& g : uccsd_pool(num_spin_orbitals, nelec)) {
+    for (const PauliTerm& t : g.terms()) {
+      // Strip the JW Z chains: keep only the X/Y pattern. The stripped
+      // string must still flip parity (odd number of Ys) to generate a
+      // real rotation out of a real reference.
+      PauliString stripped;
+      stripped.x = t.string.x;
+      stripped.z = t.string.z & t.string.x;  // keep Z only where Y was
+      if (stripped.is_identity()) continue;
+      if (!seen.insert(stripped).second) continue;
+      PauliSum op(num_spin_orbitals);
+      op.add_term(1.0, stripped);
+      pool.push_back(std::move(op));
+    }
+  }
+  return pool;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,25 @@
+// ADAPT-VQE operator pools.
+//
+// * uccsd_pool: the fermionic singles+doubles generators (the paper's §5.3
+//   configuration).
+// * qubit_pool: Qubit-ADAPT (paper ref [16], Tang et al.): the individual
+//   Pauli strings of the fermionic generators, each its own pool element.
+//   Shallower per-layer circuits at the cost of more iterations — the
+//   trade-off bench/ablation_pool measures.
+// * minimal_qubit_pool: qubit pool restricted to strings with Z chains
+//   stripped (the hardware-efficient variant of ref [16]).
+#pragma once
+
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+
+namespace vqsim {
+
+std::vector<PauliSum> uccsd_pool(int num_spin_orbitals, int nelec);
+
+std::vector<PauliSum> qubit_pool(int num_spin_orbitals, int nelec);
+
+std::vector<PauliSum> minimal_qubit_pool(int num_spin_orbitals, int nelec);
+
+}  // namespace vqsim

@@ -1,0 +1,28 @@
+#include "vqe/sweep.hpp"
+
+namespace vqsim {
+
+SweepResult run_vqe_sweep(const Ansatz& ansatz,
+                          const ObservableFactory& factory,
+                          const std::vector<double>& xs,
+                          const SweepOptions& options) {
+  SweepResult sweep;
+  sweep.points.reserve(xs.size());
+  std::vector<double> seed;  // previous optimum (empty = HF start)
+
+  for (double x : xs) {
+    VqeOptions vqe_options = options.vqe;
+    if (options.warm_start && !seed.empty())
+      vqe_options.initial_parameters = seed;
+
+    SweepPoint point;
+    point.x = x;
+    point.result = run_vqe(ansatz, factory(x), vqe_options);
+    sweep.total_evaluations += point.result.evaluations;
+    if (options.warm_start) seed = point.result.parameters;
+    sweep.points.push_back(std::move(point));
+  }
+  return sweep;
+}
+
+}  // namespace vqsim

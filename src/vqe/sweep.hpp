@@ -1,0 +1,45 @@
+// Incremental-optimization VQE sweeps (paper §6.2 "future improvements":
+// "the optimal parameters from the previous executions can be used to warm
+// start the next round").
+//
+// A sweep runs VQE over a family of Hamiltonians sharing one ansatz shape
+// (e.g. a molecule along a bond-stretch coordinate). With warm starts each
+// point seeds the optimizer at the previous optimum; the ablation bench
+// measures the saved energy evaluations.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "vqe/vqe.hpp"
+
+namespace vqsim {
+
+/// Produces the observable for sweep parameter `x` (e.g. the JW Hamiltonian
+/// of a molecule at bond length x).
+using ObservableFactory = std::function<PauliSum(double x)>;
+
+struct SweepPoint {
+  double x = 0.0;
+  VqeResult result;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  std::size_t total_evaluations = 0;
+};
+
+struct SweepOptions {
+  VqeOptions vqe;
+  /// Seed each point with the previous optimum (true) or the HF point
+  /// (false, the cold baseline).
+  bool warm_start = true;
+};
+
+/// Run VQE at every x in `xs` with a shared ansatz.
+SweepResult run_vqe_sweep(const Ansatz& ansatz,
+                          const ObservableFactory& factory,
+                          const std::vector<double>& xs,
+                          const SweepOptions& options = {});
+
+}  // namespace vqsim

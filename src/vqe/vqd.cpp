@@ -1,0 +1,65 @@
+#include "vqe/vqd.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/compiled_op.hpp"
+
+namespace vqsim {
+
+VqdResult run_vqd(const Ansatz& ansatz, const PauliSum& hamiltonian,
+                  const VqdOptions& options) {
+  if (options.num_states < 1)
+    throw std::invalid_argument("run_vqd: need at least one state");
+  const int nq = ansatz.num_qubits();
+  const CompiledPauliSum compiled(hamiltonian, nq);
+
+  VqdResult result;
+  std::vector<StateVector> found;  // deflated states
+
+  StateVector psi(nq);
+  for (int k = 0; k < options.num_states; ++k) {
+    const ObjectiveFn objective = [&](std::span<const double> theta) {
+      ansatz.prepare(&psi, theta);
+      double value = compiled.expectation(psi);
+      for (const StateVector& prev : found)
+        value += options.beta * psi.fidelity(prev);
+      return value;
+    };
+
+    std::unique_ptr<Optimizer> opt;
+    switch (options.vqe.optimizer) {
+      case OptimizerKind::kNelderMead:
+        opt = std::make_unique<NelderMead>(options.vqe.nelder_mead);
+        break;
+      case OptimizerKind::kSpsa:
+        opt = std::make_unique<Spsa>(options.vqe.spsa);
+        break;
+      case OptimizerKind::kAdam:
+        opt = std::make_unique<Adam>(options.vqe.adam);
+        break;
+    }
+
+    std::vector<double> x0 = options.vqe.initial_parameters;
+    if (x0.empty()) x0.assign(ansatz.num_parameters(), 0.0);
+    // Higher states: kick the seed far from the previous optimum — at the
+    // previous optimum the penalty gradient vanishes exactly (saddle), and
+    // product-exponential ansaetze typically reach orthogonal states a
+    // quarter-period away.
+    if (k > 0)
+      for (std::size_t i = 0; i < x0.size(); ++i)
+        x0[i] += (i % 2 == 0 ? 1.0 : -1.0) * kPi /
+                 (4.0 + static_cast<double>(k - 1));
+
+    const OptimizerResult r = opt->minimize(objective, std::move(x0));
+
+    ansatz.prepare(&psi, r.x);
+    result.energies.push_back(compiled.expectation(psi));  // penalty-free
+    result.parameters.push_back(r.x);
+    result.evaluations.push_back(r.evaluations);
+    found.push_back(psi);
+  }
+  return result;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,31 @@
+// Variational quantum deflation: excited states from VQE.
+//
+// State k minimizes <H> + beta * sum_{j<k} |<psi(theta)|psi_j>|^2, pushing
+// the optimizer out of the span of the already-found states. A standard
+// XACC-level algorithm; here it rides the cached-state executor machinery
+// (the overlap penalties are exact amplitude inner products).
+#pragma once
+
+#include <vector>
+
+#include "vqe/vqe.hpp"
+
+namespace vqsim {
+
+struct VqdOptions {
+  int num_states = 2;
+  /// Overlap penalty weight; must exceed the spectral gaps of interest.
+  double beta = 10.0;
+  VqeOptions vqe;
+};
+
+struct VqdResult {
+  std::vector<double> energies;  // ascending by construction
+  std::vector<std::vector<double>> parameters;
+  std::vector<std::size_t> evaluations;
+};
+
+VqdResult run_vqd(const Ansatz& ansatz, const PauliSum& hamiltonian,
+                  const VqdOptions& options = {});
+
+}  // namespace vqsim

@@ -1,0 +1,52 @@
+#include "vqe/vqe.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace vqsim {
+
+VqeResult run_vqe(EnergyEvaluator& executor, std::size_t num_parameters,
+                  const VqeOptions& options) {
+  std::vector<double> x0 = options.initial_parameters;
+  if (x0.empty()) x0.assign(num_parameters, 0.0);
+  if (x0.size() != num_parameters)
+    throw std::invalid_argument("run_vqe: initial parameter count");
+
+  const ObjectiveFn objective = [&executor](std::span<const double> theta) {
+    return executor.evaluate(theta);
+  };
+
+  std::unique_ptr<Optimizer> opt;
+  switch (options.optimizer) {
+    case OptimizerKind::kNelderMead:
+      opt = std::make_unique<NelderMead>(options.nelder_mead);
+      break;
+    case OptimizerKind::kSpsa:
+      opt = std::make_unique<Spsa>(options.spsa);
+      break;
+    case OptimizerKind::kAdam:
+      opt = std::make_unique<Adam>(options.adam);
+      break;
+  }
+
+  const OptimizerResult r = opt->minimize(objective, std::move(x0));
+
+  VqeResult result;
+  result.energy = r.fval;
+  result.parameters = r.x;
+  result.evaluations = r.evaluations;
+  result.converged = r.converged;
+  result.history = r.history;
+  result.executor_stats = executor.stats();
+  return result;
+}
+
+VqeResult run_vqe(const Ansatz& ansatz, const PauliSum& hamiltonian,
+                  const VqeOptions& options) {
+  SimulatorExecutor executor(ansatz, hamiltonian, options.executor);
+  VqeResult result = run_vqe(executor, ansatz.num_parameters(), options);
+  result.cost_model = model_energy_evaluation(ansatz, hamiltonian);
+  return result;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,44 @@
+// VQE driver: ansatz + observable + executor + classical optimizer
+// (the XACC-role workflow of paper §3.1).
+#pragma once
+
+#include <optional>
+
+#include "vqe/executor.hpp"
+#include "vqe/optimizer.hpp"
+
+namespace vqsim {
+
+enum class OptimizerKind { kNelderMead, kSpsa, kAdam };
+
+struct VqeOptions {
+  OptimizerKind optimizer = OptimizerKind::kNelderMead;
+  NelderMeadOptions nelder_mead;
+  SpsaOptions spsa;
+  AdamOptions adam;
+  ExecutorOptions executor;
+  /// Starting parameters (zeros — the HF point — when empty).
+  std::vector<double> initial_parameters;
+};
+
+struct VqeResult {
+  double energy = 0.0;
+  std::vector<double> parameters;
+  std::size_t evaluations = 0;
+  bool converged = false;
+  std::vector<double> history;  // best energy per optimizer iteration
+  ExecutorStats executor_stats;
+  EnergyEvaluationModel cost_model;  // Fig. 3 gate model for this problem
+};
+
+/// Minimize <H> over the ansatz parameters (shared-memory executor).
+VqeResult run_vqe(const Ansatz& ansatz, const PauliSum& hamiltonian,
+                  const VqeOptions& options = {});
+
+/// Same driver over a caller-supplied executor (e.g. DistributedExecutor);
+/// `num_parameters` sizes the default zero seed. The result's cost_model is
+/// left empty (the executor owns the cost story).
+VqeResult run_vqe(EnergyEvaluator& executor, std::size_t num_parameters,
+                  const VqeOptions& options = {});
+
+}  // namespace vqsim

@@ -1,0 +1,54 @@
+#include "vqe/zne.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vqsim {
+
+double richardson_extrapolate(const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("richardson_extrapolate: bad inputs");
+  // Lagrange interpolation evaluated at x = 0.
+  double value = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double weight = 1.0;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      const double denom = xs[i] - xs[j];
+      if (denom == 0.0)
+        throw std::invalid_argument(
+            "richardson_extrapolate: duplicate scale");
+      weight *= -xs[j] / denom;
+    }
+    value += weight * ys[i];
+  }
+  return value;
+}
+
+ZneResult zero_noise_extrapolation(const Circuit& circuit,
+                                   const PauliSum& observable,
+                                   const NoiseModel& model,
+                                   const ZneOptions& options) {
+  if (options.scales.size() < 2)
+    throw std::invalid_argument(
+        "zero_noise_extrapolation: need at least two scales");
+  ZneResult result;
+  result.scales = options.scales;
+  Rng rng(options.seed);
+  for (double scale : options.scales) {
+    if (scale <= 0.0)
+      throw std::invalid_argument(
+          "zero_noise_extrapolation: scales must be positive");
+    NoiseModel scaled = model;
+    scaled.depolarizing = std::min(1.0, model.depolarizing * scale);
+    scaled.damping = std::min(1.0, model.damping * scale);
+    result.measured.push_back(noisy_expectation(
+        circuit, observable, scaled, options.trajectories, rng));
+  }
+  result.mitigated =
+      richardson_extrapolate(result.scales, result.measured);
+  return result;
+}
+
+}  // namespace vqsim

@@ -1,0 +1,45 @@
+// Zero-noise extrapolation (ZNE) for noisy expectation values.
+//
+// Run the same circuit at amplified noise levels (lambda = 1, 2, 3, ...)
+// and extrapolate the observable back to lambda = 0 with a polynomial
+// (Richardson) fit — the standard error-mitigation companion to the
+// trajectory noise model of sim/noise.hpp.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/noise.hpp"
+
+namespace vqsim {
+
+struct ZneOptions {
+  /// Noise amplification factors; must be distinct and positive.
+  std::vector<double> scales = {1.0, 2.0, 3.0};
+  /// Trajectories per scale.
+  std::size_t trajectories = 400;
+  std::uint64_t seed = 31;
+};
+
+struct ZneResult {
+  double mitigated = 0.0;              // extrapolated lambda -> 0 value
+  std::vector<double> measured;        // one per scale
+  std::vector<double> scales;
+};
+
+/// Richardson extrapolation to zero noise of <observable> under `model`
+/// scaled by each factor (depolarizing and damping rates multiply; scaled
+/// rates are clamped to valid probabilities).
+ZneResult zero_noise_extrapolation(const Circuit& circuit,
+                                   const PauliSum& observable,
+                                   const NoiseModel& model,
+                                   const ZneOptions& options = {});
+
+/// Exact-degree polynomial extrapolation helper: value at x = 0 of the
+/// unique polynomial through (xs, ys). Exposed for tests.
+double richardson_extrapolate(const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+}  // namespace vqsim

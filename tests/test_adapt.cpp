@@ -1,0 +1,126 @@
+#include "vqe/adapt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/hartree_fock.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "chem/uccsd.hpp"
+#include "common/rng.hpp"
+#include "downfold/downfold.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+TEST(Adapt, GradientSweepMatchesFiniteDifferences) {
+  const PauliSum h = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+  std::vector<PauliSum> pool;
+  for (const Excitation& ex : uccsd_excitations(4, 2))
+    pool.push_back(excitation_generator_pauli(ex, 4));
+  const AdaptAnsatzState state(4, hf_basis_state(2), &pool);
+  const CompiledPauliSum hc(h, 4);
+
+  const std::vector<std::size_t> seq = {2, 0, 1, 2};
+  Rng rng(81);
+  std::vector<double> theta(seq.size());
+  for (double& t : theta) t = rng.uniform(-0.4, 0.4);
+
+  std::vector<double> analytic(seq.size());
+  state.gradient(hc, seq, theta, analytic);
+
+  StateVector psi(4);
+  const double eps = 1e-6;
+  for (std::size_t k = 0; k < seq.size(); ++k) {
+    std::vector<double> tp = theta;
+    tp[k] += eps;
+    state.prepare(&psi, seq, tp);
+    const double fp = expectation(psi, h);
+    tp[k] -= 2 * eps;
+    state.prepare(&psi, seq, tp);
+    const double fm = expectation(psi, h);
+    EXPECT_NEAR(analytic[k], (fp - fm) / (2 * eps), 1e-6) << "k=" << k;
+  }
+}
+
+TEST(Adapt, H2ConvergesToFci) {
+  const FermionOp hf = molecular_hamiltonian(h2_sto3g());
+  const PauliSum h = jordan_wigner(hf);
+  const double e_fci = fci_ground_state(hf, 4, 2).energy;
+
+  AdaptOptions opts;
+  opts.max_operators = 6;
+  opts.gradient_tolerance = 1e-6;
+  AdaptVqe adapt(h, 2, opts);
+  const AdaptResult r = adapt.run();
+  EXPECT_NEAR(r.energy, e_fci, 1e-6);
+  // H2 needs exactly one double excitation.
+  EXPECT_LE(r.iterations.size(), 3u);
+}
+
+TEST(Adapt, EnergyDecreasesMonotonically) {
+  const MolecularIntegrals ints = water_like(4, 4);
+  const PauliSum h = jordan_wigner(molecular_hamiltonian(ints));
+  AdaptOptions opts;
+  opts.max_operators = 6;
+  opts.inner.iterations = 150;
+  AdaptVqe adapt(h, 4, opts);
+  const AdaptResult r = adapt.run();
+  ASSERT_FALSE(r.iterations.empty());
+  for (std::size_t i = 1; i < r.iterations.size(); ++i)
+    EXPECT_LE(r.iterations[i].energy, r.iterations[i - 1].energy + 1e-7);
+  // One parameter per iteration (paper: "+1 layer per iteration").
+  for (std::size_t i = 0; i < r.iterations.size(); ++i)
+    EXPECT_EQ(r.iterations[i].parameters, i + 1);
+}
+
+TEST(Adapt, DownfoldedSystemReachesChemicalAccuracy) {
+  // An 8-qubit downfolded water-like system: the miniature of Fig. 5.
+  const MolecularIntegrals ints = water_like(6, 6);
+  const DownfoldResult df = hermitian_downfold(ints, ActiveSpace{1, 4});
+  ASSERT_EQ(df.n_active_spin_orbitals, 8);
+  const double e_fci =
+      fci_ground_state(df.h_eff, 8, df.n_active_electrons).energy;
+  const PauliSum h = jordan_wigner(df.h_eff);
+
+  AdaptOptions opts;
+  opts.max_operators = 15;
+  opts.reference_energy = e_fci;
+  opts.reference_target = kChemicalAccuracy;
+  opts.inner.iterations = 250;
+  AdaptVqe adapt(h, df.n_active_electrons, opts);
+  const AdaptResult r = adapt.run();
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, e_fci, kChemicalAccuracy);
+  EXPECT_GE(r.energy, e_fci - 1e-8);  // variational
+}
+
+TEST(Adapt, StopsOnVanishingGradients) {
+  // A diagonal Hamiltonian whose ground state IS the HF determinant: every
+  // pool gradient vanishes at the reference and ADAPT must stop at once.
+  PauliSum h(4);
+  h.add_term(1.0, "ZIII");
+  h.add_term(1.0, "IZII");
+  h.add_term(-1.0, "IIZI");
+  h.add_term(-1.0, "IIIZ");
+  AdaptOptions opts;
+  opts.max_operators = 5;
+  AdaptVqe adapt(h, 2, opts);
+  const AdaptResult r = adapt.run();
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.iterations.empty());
+  StateVector hf(4);
+  hf.set_basis_state(hf_basis_state(2));
+  EXPECT_NEAR(r.energy, expectation(hf, h), 1e-12);
+}
+
+TEST(Adapt, CustomPoolConstructorValidates) {
+  PauliSum h(2);
+  h.add_term(1.0, "ZZ");
+  EXPECT_THROW(AdaptVqe(h, 0, std::vector<PauliSum>{}, AdaptOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

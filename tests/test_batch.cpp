@@ -1,0 +1,102 @@
+#include "vqe/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/rng.hpp"
+#include "sim/expectation.hpp"
+#include "vqe/pools.hpp"
+
+namespace vqsim {
+namespace {
+
+struct Fixture {
+  PauliSum h = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+  UccsdAnsatzAdapter ansatz{4, 2};
+};
+
+TEST(Batch, MatchesSequentialEvaluation) {
+  Fixture f;
+  Rng rng(501);
+  std::vector<std::vector<double>> batch;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> theta(f.ansatz.num_parameters());
+    for (double& t : theta) t = rng.uniform(-0.5, 0.5);
+    batch.push_back(std::move(theta));
+  }
+  const std::vector<double> energies = evaluate_batch(f.ansatz, f.h, batch);
+  ASSERT_EQ(energies.size(), batch.size());
+  StateVector psi(4);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    f.ansatz.prepare(&psi, batch[i]);
+    EXPECT_NEAR(energies[i], expectation(psi, f.h), 1e-10) << i;
+  }
+}
+
+TEST(Batch, GradientMatchesPerEntryDifferences) {
+  Fixture f;
+  Rng rng(502);
+  std::vector<double> theta(f.ansatz.num_parameters());
+  for (double& t : theta) t = rng.uniform(-0.3, 0.3);
+
+  const std::vector<double> grad = batched_gradient(f.ansatz, f.h, theta);
+  ASSERT_EQ(grad.size(), theta.size());
+
+  StateVector psi(4);
+  const double eps = 1e-5;
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    std::vector<double> tp = theta;
+    tp[k] += eps;
+    f.ansatz.prepare(&psi, tp);
+    const double fp = expectation(psi, f.h);
+    tp[k] -= 2 * eps;
+    f.ansatz.prepare(&psi, tp);
+    const double fm = expectation(psi, f.h);
+    EXPECT_NEAR(grad[k], (fp - fm) / (2 * eps), 1e-7) << k;
+  }
+}
+
+TEST(Batch, RejectsMismatchedParameterCounts) {
+  Fixture f;
+  EXPECT_THROW(evaluate_batch(f.ansatz, f.h, {{0.1}}),
+               std::invalid_argument);
+}
+
+TEST(Pools, UccsdPoolSizesMatchExcitations) {
+  EXPECT_EQ(uccsd_pool(4, 2).size(), 3u);   // 2 singles + 1 double
+  EXPECT_EQ(uccsd_pool(8, 4).size(), 26u);  // 8 singles + 18 doubles
+}
+
+TEST(Pools, QubitPoolElementsAreSingleStrings) {
+  const auto pool = qubit_pool(4, 2);
+  EXPECT_GT(pool.size(), uccsd_pool(4, 2).size());
+  for (const PauliSum& op : pool) {
+    ASSERT_EQ(op.size(), 1u);
+    EXPECT_TRUE(op.is_hermitian());
+    EXPECT_FALSE(op[0].string.is_identity());
+  }
+}
+
+TEST(Pools, MinimalQubitPoolStripsZChains) {
+  for (const PauliSum& op : minimal_qubit_pool(6, 2)) {
+    ASSERT_EQ(op.size(), 1u);
+    const PauliString& s = op[0].string;
+    // No pure-Z positions: z bits only where x bits are (i.e. Y).
+    EXPECT_EQ(s.z & ~s.x, 0u);
+  }
+}
+
+TEST(Pools, QubitPoolStringsAnticommuteWithReferenceParity) {
+  // Every pool string must have an odd number of Ys — otherwise
+  // exp(-i theta P) acting on a real reference cannot change the energy to
+  // first order (standard qubit-ADAPT requirement).
+  for (const PauliSum& op : qubit_pool(4, 2)) {
+    const PauliString& s = op[0].string;
+    const int num_y = std::popcount(s.x & s.z);
+    EXPECT_EQ(num_y % 2, 1) << s.to_string(4);
+  }
+}
+
+}  // namespace
+}  // namespace vqsim

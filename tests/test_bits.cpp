@@ -1,0 +1,99 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+
+namespace vqsim {
+namespace {
+
+TEST(Bits, InsertZeroBitBasics) {
+  EXPECT_EQ(insert_zero_bit(0b0, 0), 0u);
+  EXPECT_EQ(insert_zero_bit(0b1, 0), 0b10u);
+  EXPECT_EQ(insert_zero_bit(0b101, 1), 0b1001u);
+  EXPECT_EQ(insert_zero_bit(0b111, 3), 0b0111u);
+  EXPECT_EQ(insert_zero_bit(0b111, 0), 0b1110u);
+}
+
+TEST(Bits, InsertZeroBitEnumeratesPairsExactly) {
+  // Inserting a zero bit at position q over k in [0, 2^(n-1)) must produce
+  // every n-bit index with bit q clear, exactly once.
+  const unsigned n = 6;
+  for (unsigned q = 0; q < n; ++q) {
+    std::vector<bool> seen(pow2(n), false);
+    for (idx k = 0; k < pow2(n - 1); ++k) {
+      const idx i = insert_zero_bit(k, q);
+      ASSERT_LT(i, pow2(n));
+      EXPECT_FALSE(test_bit(i, q));
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+}
+
+TEST(Bits, InsertTwoZeroBitsOrderIndependent) {
+  for (idx v = 0; v < 64; ++v)
+    for (unsigned p = 0; p < 6; ++p)
+      for (unsigned q = 0; q < 6; ++q) {
+        if (p == q) continue;
+        EXPECT_EQ(insert_two_zero_bits(v, p, q), insert_two_zero_bits(v, q, p));
+      }
+}
+
+TEST(Bits, InsertTwoZeroBitsClearsBoth) {
+  for (idx v = 0; v < 256; ++v) {
+    const idx r = insert_two_zero_bits(v, 2, 5);
+    EXPECT_FALSE(test_bit(r, 2));
+    EXPECT_FALSE(test_bit(r, 5));
+  }
+}
+
+TEST(Bits, Parity) {
+  EXPECT_EQ(parity(0), 0);
+  EXPECT_EQ(parity(0b1), 1);
+  EXPECT_EQ(parity(0b11), 0);
+  EXPECT_EQ(parity(0b10110), 1);
+}
+
+TEST(Bits, SetAndTest) {
+  idx v = 0;
+  v = set_bit(v, 3);
+  EXPECT_TRUE(test_bit(v, 3));
+  EXPECT_FALSE(test_bit(v, 2));
+}
+
+TEST(Aligned, VectorIsCacheAligned) {
+  AmpVector v(1024);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, RademacherIsSigned) {
+  Rng rng(2);
+  int plus = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double r = rng.rademacher();
+    EXPECT_TRUE(r == 1.0 || r == -1.0);
+    if (r > 0) ++plus;
+  }
+  EXPECT_GT(plus, 400);
+  EXPECT_LT(plus, 600);
+}
+
+}  // namespace
+}  // namespace vqsim

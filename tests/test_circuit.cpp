@@ -1,0 +1,133 @@
+#include "ir/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ir/qasm.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+namespace {
+
+Circuit random_circuit(int num_qubits, std::size_t gates, Rng& rng) {
+  Circuit c(num_qubits);
+  for (std::size_t i = 0; i < gates; ++i) {
+    const int q0 = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(num_qubits)));
+    int q1 = q0;
+    while (q1 == q0)
+      q1 = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    switch (rng.uniform_index(8)) {
+      case 0: c.h(q0); break;
+      case 1: c.rx(rng.uniform(-3, 3), q0); break;
+      case 2: c.rz(rng.uniform(-3, 3), q0); break;
+      case 3: c.t(q0); break;
+      case 4: c.cx(q0, q1); break;
+      case 5: c.cz(q0, q1); break;
+      case 6: c.ry(rng.uniform(-3, 3), q0); break;
+      default: c.rzz(rng.uniform(-3, 3), q0, q1); break;
+    }
+  }
+  return c;
+}
+
+TEST(Circuit, BuilderAndCounts) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).rz(0.5, 2).cx(1, 2).x(0);
+  EXPECT_EQ(c.size(), 5u);
+  const GateCounts counts = c.counts();
+  EXPECT_EQ(counts.total, 5u);
+  EXPECT_EQ(counts.one_qubit, 3u);
+  EXPECT_EQ(counts.two_qubit, 2u);
+  EXPECT_EQ(counts.by_name.at("cx"), 2u);
+}
+
+TEST(Circuit, Depth) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);  // depth 1
+  EXPECT_EQ(c.depth(), 1u);
+  c.cx(0, 1);  // depth 2
+  EXPECT_EQ(c.depth(), 2u);
+  c.cx(1, 2);  // depth 3
+  EXPECT_EQ(c.depth(), 3u);
+  c.h(0);  // still 3: qubit 0 free at level 2
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, ValidatesOperands) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), std::out_of_range);
+  EXPECT_THROW(c.cx(0, 0), std::invalid_argument);
+  EXPECT_THROW(c.cx(0, 5), std::out_of_range);
+}
+
+TEST(Circuit, InverseUndoesOnState) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Circuit c = random_circuit(4, 40, rng);
+    StateVector psi(4);
+    psi.apply_circuit(c);
+    psi.apply_circuit(c.inverse());
+    EXPECT_NEAR(psi.probability(0), 1.0, 1e-10) << "trial " << trial;
+  }
+}
+
+TEST(Circuit, AppendConcatenates) {
+  Circuit a(2);
+  a.h(0);
+  Circuit b(2);
+  b.cx(0, 1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].kind, GateKind::kCX);
+}
+
+TEST(Qasm, EmitContainsHeaderAndGates) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).rz(0.25, 1);
+  const std::string text = to_qasm(c);
+  EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(text.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(text.find("h q[0];"), std::string::npos);
+  EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(text.find("rz(0.25) q[1];"), std::string::npos);
+}
+
+TEST(Qasm, RoundTripPreservesSemantics) {
+  Rng rng(32);
+  const Circuit c = random_circuit(4, 60, rng);
+  const Circuit back = from_qasm(to_qasm(c));
+  ASSERT_EQ(back.size(), c.size());
+  StateVector p1(4);
+  p1.apply_circuit(c);
+  StateVector p2(4);
+  p2.apply_circuit(back);
+  EXPECT_NEAR(p1.fidelity(p2), 1.0, 1e-12);
+}
+
+TEST(Qasm, ParsesAngleExpressions) {
+  const Circuit c = from_qasm(
+      "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\n"
+      "ry(2*pi) q[0];\n");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0].params[0], kPi / 2, 1e-15);
+  EXPECT_NEAR(c[1].params[0], -kPi, 1e-15);
+  EXPECT_NEAR(c[2].params[0], 2 * kPi, 1e-15);
+}
+
+TEST(Qasm, RejectsMalformedInput) {
+  EXPECT_THROW(from_qasm("h q[0];"), std::invalid_argument);  // no qreg
+  EXPECT_THROW(from_qasm("qreg q[2];\nfrob q[0];"), std::invalid_argument);
+  EXPECT_THROW(from_qasm("qreg q[2];\nrz(0.5,0.5) q[0];"),
+               std::invalid_argument);
+}
+
+TEST(Qasm, GenericMatrixGatesNotRepresentable) {
+  Circuit c(1);
+  c.mat1(0, Mat2::identity());
+  EXPECT_THROW(to_qasm(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,173 @@
+#include "sim/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/expectation.hpp"
+#include "sim/noise.hpp"
+
+namespace vqsim {
+namespace {
+
+StateVector random_state(int n, Rng& rng) {
+  AmpVector amps(idx{1} << n);
+  for (cplx& a : amps) a = rng.normal_cplx();
+  StateVector sv = StateVector::from_amplitudes(std::move(amps));
+  sv.normalize();
+  return sv;
+}
+
+PauliSum random_hermitian_sum(int n, std::size_t terms, Rng& rng) {
+  PauliSum h(n);
+  for (std::size_t t = 0; t < terms; ++t) {
+    PauliString s;
+    for (int q = 0; q < n; ++q)
+      s.set_axis(q, static_cast<PauliAxis>(rng.uniform_index(4)));
+    h.add_term(rng.normal(), s);
+  }
+  h.simplify();
+  return h;
+}
+
+TEST(KrausChannel, StandardChannelsAreTracePreserving) {
+  EXPECT_TRUE(KrausChannel::depolarizing(0.0).is_trace_preserving());
+  EXPECT_TRUE(KrausChannel::depolarizing(0.3).is_trace_preserving());
+  EXPECT_TRUE(KrausChannel::depolarizing(1.0).is_trace_preserving());
+  EXPECT_TRUE(KrausChannel::amplitude_damping(0.25).is_trace_preserving());
+  EXPECT_TRUE(KrausChannel::phase_damping(0.4).is_trace_preserving());
+  EXPECT_THROW(KrausChannel::depolarizing(-0.1), std::invalid_argument);
+  EXPECT_THROW(KrausChannel::amplitude_damping(1.5), std::invalid_argument);
+}
+
+TEST(DensityMatrix, PureStateBasics) {
+  DensityMatrix rho(2);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-14);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-14);
+  EXPECT_NEAR(std::abs(rho.element(0, 0) - cplx{1.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(DensityMatrix, MatchesStateVectorOnUnitaryCircuits) {
+  Rng rng(401);
+  const int n = 4;
+  Circuit c(n);
+  for (int i = 0; i < 40; ++i) {
+    const int q0 = static_cast<int>(rng.uniform_index(n));
+    const int q1 = (q0 + 1 + static_cast<int>(rng.uniform_index(n - 1))) % n;
+    if (rng.uniform() < 0.5)
+      c.u3(rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), q0);
+    else
+      c.cx(q0, q1);
+  }
+  StateVector psi(n);
+  psi.apply_circuit(c);
+  DensityMatrix rho(n);
+  rho.apply_circuit(c);
+
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+  const PauliSum h = random_hermitian_sum(n, 20, rng);
+  EXPECT_NEAR(rho.expectation(h), expectation(psi, h), 1e-9);
+  EXPECT_NEAR(rho.probability_one(2), psi.probability_one(2), 1e-10);
+}
+
+TEST(DensityMatrix, FromStateReproducesOuterProduct) {
+  Rng rng(402);
+  const StateVector psi = random_state(3, rng);
+  const DensityMatrix rho = DensityMatrix::from_state(psi);
+  for (idx r = 0; r < 8; ++r)
+    for (idx c = 0; c < 8; ++c)
+      EXPECT_NEAR(std::abs(rho.element(r, c) -
+                           psi.data()[r] * std::conj(psi.data()[c])),
+                  0.0, 1e-12);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, FullDepolarizingGivesMaximallyMixed) {
+  DensityMatrix rho(1);
+  Gate h;
+  h.kind = GateKind::kH;
+  h.q0 = 0;
+  rho.apply_gate(h);
+  rho.apply_channel(KrausChannel::depolarizing(1.0), 0);
+  // p = 1 depolarizing: rho -> (rho + X rho X + Y rho Y + Z rho Z)/3, whose
+  // fixed point family includes I/2 — for any input it lands on a state
+  // with purity <= 1, and repeated application converges to I/2.
+  for (int i = 0; i < 20; ++i)
+    rho.apply_channel(KrausChannel::depolarizing(0.75), 0);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-6);
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+  EXPECT_NEAR(rho.expectation(z), 0.0, 1e-8);
+}
+
+TEST(DensityMatrix, AmplitudeDampingFixedPoint) {
+  DensityMatrix rho(1);
+  Gate x;
+  x.kind = GateKind::kX;
+  x.q0 = 0;
+  rho.apply_gate(x);  // |1><1|
+  EXPECT_NEAR(rho.probability_one(0), 1.0, 1e-12);
+  for (int i = 0; i < 60; ++i)
+    rho.apply_channel(KrausChannel::amplitude_damping(0.2), 0);
+  // Decays to the ground state.
+  EXPECT_NEAR(rho.probability_one(0), 0.0, 1e-5);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-4);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherenceKeepsPopulations) {
+  DensityMatrix rho(1);
+  Gate h;
+  h.kind = GateKind::kH;
+  h.q0 = 0;
+  rho.apply_gate(h);  // |+><+|
+  for (int i = 0; i < 50; ++i)
+    rho.apply_channel(KrausChannel::phase_damping(0.3), 0);
+  PauliSum x(1);
+  x.add_term(1.0, "X");
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+  // Coherence decays as (1 - gamma)^(steps/2) ~ 1.3e-4 after 50 steps.
+  EXPECT_NEAR(rho.expectation(x), 0.0, 1e-3);
+  EXPECT_NEAR(rho.expectation(z), 0.0, 1e-10); // populations untouched
+  EXPECT_NEAR(rho.probability_one(0), 0.5, 1e-10);
+}
+
+TEST(DensityMatrix, TrajectoryAverageConvergesToExactChannel) {
+  // Cross-validation of the two noise backends: the trajectory sampler's
+  // depolarizing noise must statistically reproduce the exact Kraus
+  // evolution of the density matrix.
+  const int n = 2;
+  Circuit c(n);
+  c.h(0).cx(0, 1).rz(0.7, 1).h(1);
+  const double p = 0.05;
+
+  // Exact: channel after every gate on each operand qubit.
+  DensityMatrix rho(n);
+  for (const Gate& g : c.gates()) {
+    rho.apply_gate(g);
+    for (int q : {g.q0, g.q1}) {
+      if (q < 0) continue;
+      rho.apply_channel(KrausChannel::depolarizing(p), q);
+    }
+  }
+
+  PauliSum h(n);
+  h.add_term(1.0, "ZZ");
+  h.add_term(0.5, "XI");
+  const double exact = rho.expectation(h);
+
+  NoiseModel model;
+  model.depolarizing = p;
+  Rng rng(403);
+  const double sampled = noisy_expectation(c, h, model, 4000, rng);
+  EXPECT_NEAR(sampled, exact, 0.04);
+}
+
+TEST(DensityMatrix, RejectsOversizedRegisters) {
+  EXPECT_THROW(DensityMatrix(14), std::invalid_argument);
+  EXPECT_THROW(DensityMatrix(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,150 @@
+#include "dist/dist_state_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+Circuit random_circuit(int num_qubits, std::size_t gates, Rng& rng) {
+  Circuit c(num_qubits);
+  for (std::size_t i = 0; i < gates; ++i) {
+    const int q0 = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    int q1 = q0;
+    while (q1 == q0)
+      q1 = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    switch (rng.uniform_index(6)) {
+      case 0: c.h(q0); break;
+      case 1: c.u3(rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), q0); break;
+      case 2: c.cx(q0, q1); break;
+      case 3: c.cz(q0, q1); break;
+      case 4: c.swap(q0, q1); break;
+      default: c.rzz(rng.uniform(-3, 3), q0, q1); break;
+    }
+  }
+  return c;
+}
+
+class DistRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistRanks, MatchesSingleNodeSimulatorOnRandomCircuits) {
+  const int ranks = GetParam();
+  const int n = 6;
+  Rng rng(61 + static_cast<std::uint64_t>(ranks));
+  const Circuit c = random_circuit(n, 120, rng);
+
+  StateVector reference(n);
+  reference.apply_circuit(c);
+
+  SimComm comm(ranks);
+  DistStateVector dist(n, &comm);
+  dist.apply_circuit(c);
+  const StateVector gathered = dist.gather();
+
+  for (idx i = 0; i < reference.dim(); ++i)
+    ASSERT_NEAR(std::abs(gathered.data()[i] - reference.data()[i]), 0.0,
+                1e-11)
+        << "amplitude " << i << " ranks " << ranks;
+}
+
+TEST_P(DistRanks, ExpectationMatchesSingleNode) {
+  const int ranks = GetParam();
+  const int n = 6;
+  Rng rng(71 + static_cast<std::uint64_t>(ranks));
+  const Circuit c = random_circuit(n, 80, rng);
+
+  StateVector reference(n);
+  reference.apply_circuit(c);
+  SimComm comm(ranks);
+  DistStateVector dist(n, &comm);
+  dist.apply_circuit(c);
+
+  PauliSum h(n);
+  h.add_term(0.7, "ZZIIII");
+  h.add_term(-0.4, "XIXIII");
+  h.add_term(0.2, "IIYYII");
+  h.add_term(1.1, "ZIIIIZ");   // touches the top (global) qubit
+  h.add_term(-0.6, "XIIIIX");  // X on a global qubit: cross-rank pairing
+  h.add_term(0.3, "IIIIYY");   // fully in the global-qubit range
+
+  EXPECT_NEAR(dist.expectation(h), expectation(reference, h), 1e-10);
+  EXPECT_NEAR(dist.norm(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, DistRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST(Dist, GlobalQubitGateMovesTraffic) {
+  const int n = 5;
+  SimComm comm(4);  // 2 rank bits -> qubits 3, 4 are global
+  DistStateVector dist(n, &comm);
+  Circuit local(n);
+  local.h(0).cx(0, 1);
+  dist.apply_circuit(local);
+  EXPECT_EQ(dist.comm_stats().amplitudes_exchanged, 0u);
+
+  Circuit global(n);
+  global.h(4);
+  dist.apply_circuit(global);
+  EXPECT_GT(dist.comm_stats().amplitudes_exchanged, 0u);
+}
+
+TEST(Dist, TwoQubitGateAcrossGlobalBoundary) {
+  const int n = 5;
+  SimComm comm(4);
+  DistStateVector dist(n, &comm);
+  StateVector reference(n);
+
+  Circuit c(n);
+  c.h(0).h(3).cx(3, 1).cx(4, 3).rzz(0.7, 4, 0).swap(3, 4);
+  dist.apply_circuit(c);
+  reference.apply_circuit(c);
+  const StateVector gathered = dist.gather();
+  for (idx i = 0; i < reference.dim(); ++i)
+    ASSERT_NEAR(std::abs(gathered.data()[i] - reference.data()[i]), 0.0,
+                1e-11);
+}
+
+TEST(Dist, SetBasisState) {
+  SimComm comm(4);
+  DistStateVector dist(6, &comm);
+  dist.set_basis_state(45);
+  const StateVector g = dist.gather();
+  EXPECT_NEAR(g.probability(45), 1.0, 1e-14);
+}
+
+TEST(Dist, ZMaskExpectationSplitsRankBits) {
+  SimComm comm(4);
+  DistStateVector dist(6, &comm);
+  dist.set_basis_state(0b110001);
+  // mask straddling local (low 4) and rank (high 2) bits.
+  EXPECT_NEAR(dist.expectation_z_mask(0b100001), 1.0, 1e-14);
+  EXPECT_NEAR(dist.expectation_z_mask(0b010000), -1.0, 1e-14);
+}
+
+TEST(Dist, RequiresScratchRoom) {
+  SimComm comm(8);
+  EXPECT_THROW(DistStateVector(4, &comm), std::invalid_argument);
+}
+
+TEST(Comm, RejectsBadConfigurations) {
+  EXPECT_THROW(SimComm(3), std::invalid_argument);
+  EXPECT_THROW(SimComm(0), std::invalid_argument);
+  SimComm comm(2);
+  std::vector<cplx> a(4), b(3);
+  EXPECT_THROW(comm.exchange(0, a, 1, b), std::invalid_argument);
+  std::vector<cplx> c(4);
+  EXPECT_THROW(comm.exchange(0, a, 0, c), std::invalid_argument);
+}
+
+TEST(Comm, AllreduceSums) {
+  SimComm comm(4);
+  EXPECT_NEAR(comm.allreduce_sum(std::vector<double>{1, 2, 3, 4}), 10.0, 1e-15);
+  EXPECT_EQ(comm.stats().allreduces, 1u);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,179 @@
+#include "downfold/downfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/fci.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "downfold/mp2.hpp"
+
+namespace vqsim {
+namespace {
+
+TEST(ActiveSpace, ProjectionPreservesHfEnergy) {
+  // Freezing no orbitals and keeping everything is the identity.
+  const MolecularIntegrals full = water_like(4, 4);
+  const MolecularIntegrals same = project_active(full, ActiveSpace{0, 4});
+  EXPECT_NEAR(same.hartree_fock_energy(), full.hartree_fock_energy(), 1e-10);
+
+  // Frozen-core folding preserves the HF energy (frozen orbitals stay
+  // doubly occupied in the reference).
+  const MolecularIntegrals folded = project_active(full, ActiveSpace{1, 3});
+  EXPECT_EQ(folded.nelec, 2);
+  EXPECT_NEAR(folded.hartree_fock_energy(), full.hartree_fock_energy(), 1e-10);
+}
+
+TEST(ActiveSpace, RejectsBadWindows) {
+  const MolecularIntegrals full = water_like(4, 4);
+  EXPECT_THROW(project_active(full, ActiveSpace{0, 5}), std::invalid_argument);
+  EXPECT_THROW(project_active(full, ActiveSpace{3, 1}), std::invalid_argument);
+  EXPECT_THROW(project_active(full, ActiveSpace{0, 0}), std::invalid_argument);
+}
+
+TEST(ActiveSpace, BareDownfoldEqualsIntegralProjection) {
+  // Order-0 downfolding (no sigma) must produce exactly the operator from
+  // frozen-core integral folding: two independent code paths, one answer.
+  const MolecularIntegrals full = water_like(5, 6);
+  const ActiveSpace space{1, 3};
+
+  DownfoldOptions opts;
+  opts.commutator_order = 0;
+  const DownfoldResult df = hermitian_downfold(full, space, opts);
+
+  const MolecularIntegrals projected = project_active(full, space);
+  const FermionOp direct = molecular_hamiltonian(projected);
+
+  PauliSum diff = jordan_wigner(df.h_eff) - jordan_wigner(direct);
+  diff.simplify(1e-9);
+  EXPECT_TRUE(diff.empty()) << diff.to_string();
+}
+
+TEST(Mp2, EnergyIsNegativeAndBoundedByFci) {
+  for (const MolecularIntegrals& ints : {h2_sto3g(), water_like(5, 6)}) {
+    const double e2 = mp2_energy(ints);
+    EXPECT_LT(e2, 0.0);
+    // MP2 magnitude is the right order of the true correlation energy.
+    const double e_fci =
+        fci_ground_state(molecular_hamiltonian(ints), 2 * ints.norb,
+                         ints.nelec)
+            .energy;
+    const double corr = e_fci - ints.hartree_fock_energy();
+    EXPECT_LT(corr, 0.0);
+    EXPECT_LT(std::abs(e2), 3.0 * std::abs(corr) + 1e-6);
+    EXPECT_GT(std::abs(e2), 0.1 * std::abs(corr));
+  }
+}
+
+TEST(Mp2, H2RecoversMostOfCorrelation) {
+  const MolecularIntegrals ints = h2_sto3g();
+  const double e2 = mp2_energy(ints);
+  // Known H2/STO-3G MP2 correlation is about -0.013 Ha.
+  EXPECT_NEAR(e2, -0.013, 0.005);
+}
+
+TEST(Mp2, SigmaIsAntiHermitianAndExternal) {
+  const MolecularIntegrals ints = water_like(5, 6);
+  const ActiveSpace space{1, 3};
+  const FermionOp sigma = external_sigma(ints, space);
+  EXPECT_FALSE(sigma.empty());
+
+  // Anti-Hermitian: sigma + sigma^dag = 0.
+  FermionOp sum = sigma + sigma.adjoint();
+  sum.simplify(1e-12);
+  EXPECT_TRUE(sum.empty());
+
+  // Every term touches at least one external spin orbital.
+  for (const FermionTerm& t : sigma.terms()) {
+    bool external = false;
+    for (const LadderOp& op : t.ops)
+      if (!space.is_active_spin(op.mode)) external = true;
+    EXPECT_TRUE(external);
+  }
+}
+
+TEST(Downfold, EffectiveHamiltonianIsHermitianAndNumberConserving) {
+  const MolecularIntegrals ints = water_like(5, 6);
+  const DownfoldResult r = hermitian_downfold(ints, ActiveSpace{1, 3});
+  EXPECT_TRUE(r.h_eff.conserves_particle_number());
+  // Compare as operators: reorder both sides to a common normal form (the
+  // adjoint of a canonical product is not itself canonical).
+  NormalOrderSpec plain;
+  plain.coefficient_threshold = 1e-9;
+  const FermionOp diff =
+      (r.h_eff - r.h_eff.adjoint()).normal_ordered(plain);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(r.n_active_spin_orbitals, 6);
+  EXPECT_EQ(r.n_active_electrons, 4);
+  EXPECT_GT(r.sigma_terms, 0u);
+}
+
+// The paper's §2 headline: downfolding reduces active-space errors by
+// orders of magnitude compared to bare Hamiltonian truncation.
+struct DownfoldCase {
+  int norb;
+  int nelec;
+  int n_frozen;
+  int n_active;
+};
+
+class DownfoldImproves : public ::testing::TestWithParam<DownfoldCase> {};
+
+TEST_P(DownfoldImproves, SecondOrderBeatsBareTruncation) {
+  const DownfoldCase& dc = GetParam();
+  const MolecularIntegrals ints = water_like(dc.norb, dc.nelec);
+  const ActiveSpace space{dc.n_frozen, dc.n_active};
+
+  const double e_full =
+      fci_ground_state(molecular_hamiltonian(ints), 2 * ints.norb, ints.nelec)
+          .energy;
+
+  auto active_energy = [&](int order) {
+    DownfoldOptions opts;
+    opts.commutator_order = order;
+    const DownfoldResult r = hermitian_downfold(ints, space, opts);
+    return fci_ground_state(r.h_eff, r.n_active_spin_orbitals,
+                            r.n_active_electrons)
+        .energy;
+  };
+
+  const double err_bare = std::abs(active_energy(0) - e_full);
+  const double err_downfolded = std::abs(active_energy(2) - e_full);
+  EXPECT_LT(err_downfolded, 0.5 * err_bare)
+      << "bare " << err_bare << " downfolded " << err_downfolded;
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, DownfoldImproves,
+                         ::testing::Values(DownfoldCase{4, 4, 0, 2},
+                                           DownfoldCase{4, 4, 0, 3},
+                                           DownfoldCase{5, 6, 1, 3},
+                                           DownfoldCase{5, 4, 0, 3}));
+
+TEST(Downfold, RejectsBadOrder) {
+  const MolecularIntegrals ints = water_like(4, 4);
+  DownfoldOptions opts;
+  opts.commutator_order = 3;
+  EXPECT_THROW(hermitian_downfold(ints, ActiveSpace{0, 2}, opts),
+               std::invalid_argument);
+}
+
+TEST(Downfold, ConfineToActiveRemapsModes) {
+  FermionOp op(10);
+  op.add_scalar(2.5);
+  op.add_term(1.0, {FermionOp::create(4), FermionOp::annihilate(5)});  // active
+  op.add_term(1.0, {FermionOp::create(0), FermionOp::annihilate(4)});  // external
+  const ActiveSpace space{2, 2};  // spin orbitals 4..7 active
+  const FermionOp confined = confine_to_active(op, space);
+  EXPECT_EQ(confined.num_modes(), 4);
+  EXPECT_NEAR(confined.scalar().real(), 2.5, 1e-14);
+  ASSERT_EQ(confined.size(), 2u);  // scalar + remapped hop
+  for (const FermionTerm& t : confined.terms()) {
+    if (t.ops.empty()) continue;
+    EXPECT_EQ(t.ops[0].mode, 0);
+    EXPECT_EQ(t.ops[1].mode, 1);
+  }
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,173 @@
+#include "chem/encodings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chem/molecules.hpp"
+#include "linalg/jacobi.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+using F = FermionOp;
+
+class EncodingTest : public ::testing::TestWithParam<FermionEncoding> {};
+
+TEST_P(EncodingTest, CanonicalAnticommutators) {
+  const FermionEncoding enc = GetParam();
+  const int n = 4;
+  for (int p = 0; p < n; ++p)
+    for (int q = 0; q < n; ++q) {
+      const PauliSum ap = encode_ladder(F::annihilate(p), n, enc);
+      const PauliSum aqd = encode_ladder(F::create(q), n, enc);
+      PauliSum anti = ap * aqd + aqd * ap;
+      anti.simplify();
+      if (p == q) {
+        ASSERT_EQ(anti.size(), 1u) << "enc=" << static_cast<int>(enc);
+        EXPECT_TRUE(anti[0].string.is_identity());
+        EXPECT_NEAR(std::abs(anti[0].coefficient - cplx{1.0, 0.0}), 0.0,
+                    1e-13);
+      } else {
+        EXPECT_TRUE(anti.empty()) << p << "," << q;
+      }
+      const PauliSum aq = encode_ladder(F::annihilate(q), n, enc);
+      PauliSum anti2 = ap * aq + aq * ap;
+      anti2.simplify();
+      EXPECT_TRUE(anti2.empty()) << p << "," << q;
+    }
+}
+
+TEST_P(EncodingTest, NumberOperatorEigenstates) {
+  // <occ| n_j |occ> over the encoded basis state equals the occupation bit.
+  const FermionEncoding enc = GetParam();
+  const int n = 4;
+  for (std::uint64_t occ = 0; occ < 16; ++occ) {
+    StateVector psi(n);
+    psi.set_basis_state(encode_occupation(occ, n, enc));
+    for (int j = 0; j < n; ++j) {
+      F number;
+      number.add_term(1.0, {F::create(j), F::annihilate(j)});
+      const PauliSum nj = PauliSum(n) += encode(number, enc);
+      const double expected = (occ >> j) & 1 ? 1.0 : 0.0;
+      EXPECT_NEAR(expectation(psi, nj), expected, 1e-12)
+          << "occ=" << occ << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, EncodingTest,
+                         ::testing::Values(FermionEncoding::kJordanWigner,
+                                           FermionEncoding::kParity,
+                                           FermionEncoding::kBravyiKitaev));
+
+TEST(BravyiKitaev, SpectrumMatchesJordanWigner) {
+  const FermionOp h = molecular_hamiltonian(h2_sto3g());
+  const PauliSum jw = encode(h, FermionEncoding::kJordanWigner);
+  const PauliSum bk = encode(h, FermionEncoding::kBravyiKitaev);
+  const EigenSystem a = hermitian_eigensystem(pauli_sum_matrix(jw, 4));
+  const EigenSystem b = hermitian_eigensystem(pauli_sum_matrix(bk, 4));
+  for (std::size_t i = 0; i < a.eigenvalues.size(); ++i)
+    EXPECT_NEAR(a.eigenvalues[i], b.eigenvalues[i], 1e-9) << i;
+}
+
+TEST(BravyiKitaev, HartreeFockEnergyAgrees) {
+  const MolecularIntegrals ints = h2_sto3g();
+  const FermionOp h = molecular_hamiltonian(ints);
+  const PauliSum bk = encode(h, FermionEncoding::kBravyiKitaev);
+  StateVector hf(4);
+  hf.set_basis_state(encode_occupation(hf_occupation_mask(ints.nelec), 4,
+                                       FermionEncoding::kBravyiKitaev));
+  EXPECT_NEAR(expectation(hf, bk), ints.hartree_fock_energy(), 1e-9);
+}
+
+TEST(BravyiKitaev, AnticommutatorsAtNonPowerOfTwoSizes) {
+  // The Fenwick arithmetic must hold for registers that are not powers of
+  // two (the classic source of BK implementation bugs).
+  for (int n : {3, 5, 6, 7}) {
+    for (int p = 0; p < n; ++p)
+      for (int q = 0; q < n; ++q) {
+        const PauliSum ap =
+            encode_ladder(F::annihilate(p), n, FermionEncoding::kBravyiKitaev);
+        const PauliSum aqd =
+            encode_ladder(F::create(q), n, FermionEncoding::kBravyiKitaev);
+        PauliSum anti = ap * aqd + aqd * ap;
+        anti.simplify();
+        if (p == q) {
+          ASSERT_EQ(anti.size(), 1u) << "n=" << n << " p=" << p;
+          EXPECT_TRUE(anti[0].string.is_identity());
+          EXPECT_NEAR(std::abs(anti[0].coefficient - cplx{1.0, 0.0}), 0.0,
+                      1e-13);
+        } else {
+          EXPECT_TRUE(anti.empty()) << "n=" << n << " " << p << "," << q;
+        }
+      }
+  }
+}
+
+TEST(BravyiKitaev, LadderSupportIsLogarithmic) {
+  // At 32 modes the JW image of a_31 touches 32 qubits; the BK image must
+  // stay O(log n).
+  const int n = 32;
+  const PauliSum jw =
+      encode_ladder(F::annihilate(n - 1), n, FermionEncoding::kJordanWigner);
+  const PauliSum bk =
+      encode_ladder(F::annihilate(n - 1), n, FermionEncoding::kBravyiKitaev);
+  int jw_max = 0;
+  for (const PauliTerm& t : jw.terms()) jw_max = std::max(jw_max, t.string.weight());
+  int bk_max = 0;
+  for (const PauliTerm& t : bk.terms()) bk_max = std::max(bk_max, t.string.weight());
+  EXPECT_EQ(jw_max, n);
+  EXPECT_LE(bk_max, 10);  // ~2 log2(n)
+}
+
+TEST(ParityEncoding, SpectrumMatchesJordanWigner) {
+  // Same operator, different encoding: identical eigenvalue multisets.
+  const FermionOp h = molecular_hamiltonian(h2_sto3g());
+  const PauliSum jw = encode(h, FermionEncoding::kJordanWigner);
+  const PauliSum parity = encode(h, FermionEncoding::kParity);
+
+  const EigenSystem a = hermitian_eigensystem(pauli_sum_matrix(jw, 4));
+  const EigenSystem b = hermitian_eigensystem(pauli_sum_matrix(parity, 4));
+  ASSERT_EQ(a.eigenvalues.size(), b.eigenvalues.size());
+  for (std::size_t i = 0; i < a.eigenvalues.size(); ++i)
+    EXPECT_NEAR(a.eigenvalues[i], b.eigenvalues[i], 1e-9) << i;
+}
+
+TEST(ParityEncoding, HartreeFockEnergyAgrees) {
+  const MolecularIntegrals ints = h2_sto3g();
+  const FermionOp h = molecular_hamiltonian(ints);
+  const PauliSum parity = encode(h, FermionEncoding::kParity);
+  StateVector hf(4);
+  hf.set_basis_state(
+      encode_occupation(hf_occupation_mask(ints.nelec), 4,
+                        FermionEncoding::kParity));
+  EXPECT_NEAR(expectation(hf, parity), ints.hartree_fock_energy(), 1e-9);
+}
+
+TEST(ParityEncoding, OccupationReadoutIsTwoLocal) {
+  // The defining locality trade-off: parity number operators touch at most
+  // two qubits (vs JW's single qubit but O(n) ladder chains).
+  const int n = 6;
+  for (int j = 0; j < n; ++j) {
+    F number;
+    number.add_term(1.0, {F::create(j), F::annihilate(j)});
+    const PauliSum nj = encode(number, FermionEncoding::kParity);
+    for (const PauliTerm& t : nj.terms())
+      EXPECT_LE(t.string.weight(), 2) << "j=" << j;
+  }
+}
+
+TEST(ParityEncoding, OccupationEncodingRoundTrip) {
+  EXPECT_EQ(encode_occupation(0b0000, 4, FermionEncoding::kParity), 0b0000u);
+  EXPECT_EQ(encode_occupation(0b0001, 4, FermionEncoding::kParity), 0b1111u);
+  EXPECT_EQ(encode_occupation(0b0011, 4, FermionEncoding::kParity), 0b0001u);
+  // occ = modes {0, 2}: prefix parities 1, 1, 0, 0 -> 0b0011.
+  EXPECT_EQ(encode_occupation(0b0101, 4, FermionEncoding::kParity), 0b0011u);
+  EXPECT_EQ(encode_occupation(0b0101, 4, FermionEncoding::kJordanWigner),
+            0b0101u);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,150 @@
+#include "vqe/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/rng.hpp"
+#include "sim/compiled_op.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+struct H2Problem {
+  PauliSum hamiltonian;
+  UccsdAnsatzAdapter ansatz{4, 2};
+  std::vector<double> theta;
+
+  H2Problem() {
+    hamiltonian = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+    Rng rng(71);
+    theta.resize(ansatz.num_parameters());
+    for (double& t : theta) t = rng.uniform(-0.2, 0.2);
+  }
+};
+
+TEST(Executor, AllModesAgreeOnExactEnergies) {
+  H2Problem p;
+  ExecutorOptions direct;
+  direct.mode = ExpectationMode::kDirect;
+  SimulatorExecutor e1(p.ansatz, p.hamiltonian, direct);
+
+  ExecutorOptions rotation;
+  rotation.mode = ExpectationMode::kBasisRotation;
+  SimulatorExecutor e2(p.ansatz, p.hamiltonian, rotation);
+
+  ExecutorOptions noncaching = rotation;
+  noncaching.cache_ansatz_state = false;
+  SimulatorExecutor e3(p.ansatz, p.hamiltonian, noncaching);
+
+  const double v1 = e1.evaluate(p.theta);
+  const double v2 = e2.evaluate(p.theta);
+  const double v3 = e3.evaluate(p.theta);
+  EXPECT_NEAR(v1, v2, 1e-10);
+  EXPECT_NEAR(v1, v3, 1e-10);
+}
+
+TEST(Executor, SamplingConvergesToDirect) {
+  H2Problem p;
+  ExecutorOptions direct;
+  SimulatorExecutor exact(p.ansatz, p.hamiltonian, direct);
+  const double truth = exact.evaluate(p.theta);
+
+  ExecutorOptions sampling;
+  sampling.mode = ExpectationMode::kSampling;
+  sampling.shots = 200000;
+  SimulatorExecutor sampled(p.ansatz, p.hamiltonian, sampling);
+  EXPECT_NEAR(sampled.evaluate(p.theta), truth, 0.02);
+
+  sampling.shots = 100;
+  sampling.seed = 99;
+  SimulatorExecutor noisy(p.ansatz, p.hamiltonian, sampling);
+  // Few shots: still a bounded estimate (|H|_1 bound), typically worse.
+  EXPECT_LE(std::abs(noisy.evaluate(p.theta)), p.hamiltonian.one_norm());
+}
+
+TEST(Executor, CachingRunsAnsatzOncePerEvaluation) {
+  H2Problem p;
+  ExecutorOptions cached;
+  cached.mode = ExpectationMode::kBasisRotation;
+  SimulatorExecutor e(p.ansatz, p.hamiltonian, cached);
+  e.evaluate(p.theta);
+  e.evaluate(p.theta);
+  EXPECT_EQ(e.stats().energy_evaluations, 2u);
+  EXPECT_EQ(e.stats().ansatz_executions, 2u);  // once per evaluation
+
+  ExecutorOptions uncached = cached;
+  uncached.cache_ansatz_state = false;
+  SimulatorExecutor e2(p.ansatz, p.hamiltonian, uncached);
+  e2.evaluate(p.theta);
+  const auto groups = group_qubitwise_commuting(p.hamiltonian);
+  EXPECT_EQ(e2.stats().ansatz_executions, groups.size());  // once per group
+  EXPECT_GT(e2.stats().ansatz_gates, e.stats().ansatz_gates);
+}
+
+TEST(Executor, GateCostModelReproducesFig3Ordering) {
+  H2Problem p;
+  const EnergyEvaluationModel m =
+      model_energy_evaluation(p.ansatz, p.hamiltonian);
+  EXPECT_EQ(m.num_terms, p.hamiltonian.size());
+  EXPECT_GT(m.num_groups, 0u);
+  EXPECT_LE(m.num_groups, m.num_terms);
+  // Caching must save orders of magnitude once terms >> 1 (paper §5.1).
+  EXPECT_GT(m.non_caching_gates(), 10 * m.caching_gates());
+  // Consistency: the non-caching count is exactly terms x ansatz + bases.
+  EXPECT_EQ(m.non_caching_gates(),
+            m.num_terms * m.ansatz_gates + m.basis_gates_terms);
+}
+
+TEST(Executor, BasisRotationGateCount) {
+  EXPECT_EQ(basis_rotation_gate_count(PauliString::from_string("XYZI")), 3u);
+  EXPECT_EQ(basis_rotation_gate_count(PauliString::from_string("ZZZZ")), 0u);
+  EXPECT_EQ(basis_rotation_gate_count(PauliString::identity()), 0u);
+}
+
+TEST(Executor, RejectsMismatchedParameters) {
+  H2Problem p;
+  SimulatorExecutor e(p.ansatz, p.hamiltonian, {});
+  std::vector<double> wrong(p.theta.size() + 2, 0.0);
+  EXPECT_THROW(e.evaluate(wrong), std::invalid_argument);
+}
+
+TEST(CompiledOp, MatchesStreamingApplication) {
+  Rng rng(72);
+  PauliSum h(5);
+  for (int t = 0; t < 40; ++t) {
+    PauliString s;
+    for (int q = 0; q < 5; ++q)
+      s.set_axis(q, static_cast<PauliAxis>(rng.uniform_index(4)));
+    h.add_term(rng.normal(), s);
+  }
+  h.simplify();
+
+  AmpVector amps(32);
+  for (cplx& a : amps) a = rng.normal_cplx();
+  StateVector psi = StateVector::from_amplitudes(std::move(amps));
+  psi.normalize();
+
+  const CompiledPauliSum compiled(h, 5);
+  EXPECT_LE(compiled.mask_families(), h.size());
+  StateVector out1(5);
+  StateVector out2(5);
+  compiled.apply(psi, &out1);
+  apply_pauli_sum(h, psi, &out2);
+  for (idx i = 0; i < 32; ++i)
+    EXPECT_NEAR(std::abs(out1.data()[i] - out2.data()[i]), 0.0, 1e-11);
+  EXPECT_NEAR(compiled.expectation(psi), expectation(psi, h), 1e-11);
+}
+
+TEST(CompiledOp, MergesChemistryMaskFamilies) {
+  const PauliSum h = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+  const CompiledPauliSum compiled(h, 4);
+  // 15 terms collapse into far fewer X-mask families (all-diagonal terms
+  // share the empty mask; each double-excitation family shares one mask).
+  EXPECT_LT(compiled.mask_families(), h.size() / 2);
+}
+
+}  // namespace
+}  // namespace vqsim

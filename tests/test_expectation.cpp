@@ -1,0 +1,134 @@
+#include "sim/expectation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pauli/basis_change.hpp"
+#include "pauli/grouping.hpp"
+
+namespace vqsim {
+namespace {
+
+StateVector random_state(int n, Rng& rng) {
+  AmpVector amps(idx{1} << n);
+  for (cplx& a : amps) a = rng.normal_cplx();
+  StateVector sv = StateVector::from_amplitudes(std::move(amps));
+  sv.normalize();
+  return sv;
+}
+
+PauliSum random_hermitian_sum(int n, std::size_t terms, Rng& rng) {
+  PauliSum h(n);
+  for (std::size_t t = 0; t < terms; ++t) {
+    PauliString s;
+    for (int q = 0; q < n; ++q)
+      s.set_axis(q, static_cast<PauliAxis>(rng.uniform_index(4)));
+    h.add_term(rng.normal(), s);
+  }
+  h.simplify();
+  return h;
+}
+
+TEST(Expectation, PauliMatchesDenseMatrix) {
+  Rng rng(201);
+  const int n = 5;
+  const StateVector psi = random_state(n, rng);
+  std::vector<cplx> v(psi.data(), psi.data() + psi.dim());
+  for (int trial = 0; trial < 20; ++trial) {
+    PauliString s;
+    for (int q = 0; q < n; ++q)
+      s.set_axis(q, static_cast<PauliAxis>(rng.uniform_index(4)));
+    PauliSum p(n);
+    p.add_term(1.0, s);
+    const std::vector<cplx> pv = pauli_sum_matrix(p, n).apply(v);
+    cplx expected = 0.0;
+    for (idx i = 0; i < psi.dim(); ++i) expected += std::conj(v[i]) * pv[i];
+    const cplx got = expectation_pauli(psi, s);
+    EXPECT_NEAR(std::abs(got - expected), 0.0, 1e-11) << s.to_string(n);
+  }
+}
+
+TEST(Expectation, HermitianSumIsRealAndMatchesMatrix) {
+  Rng rng(202);
+  const int n = 4;
+  const StateVector psi = random_state(n, rng);
+  const PauliSum h = random_hermitian_sum(n, 25, rng);
+  ASSERT_TRUE(h.is_hermitian());
+
+  std::vector<cplx> v(psi.data(), psi.data() + psi.dim());
+  const std::vector<cplx> hv = pauli_sum_matrix(h, n).apply(v);
+  cplx expected = 0.0;
+  for (idx i = 0; i < psi.dim(); ++i) expected += std::conj(v[i]) * hv[i];
+  EXPECT_NEAR(expected.imag(), 0.0, 1e-11);
+  EXPECT_NEAR(expectation(psi, h), expected.real(), 1e-11);
+}
+
+TEST(Expectation, ZMaskOnBasisStates) {
+  StateVector sv(3);
+  sv.set_basis_state(0b101);
+  EXPECT_NEAR(expectation_z_mask(sv, 0b001), -1.0, 1e-14);
+  EXPECT_NEAR(expectation_z_mask(sv, 0b010), 1.0, 1e-14);
+  EXPECT_NEAR(expectation_z_mask(sv, 0b101), 1.0, 1e-14);
+  EXPECT_NEAR(expectation_z_mask(sv, 0b111), 1.0, 1e-14);
+  EXPECT_NEAR(expectation_z_mask(sv, 0b110), -1.0, 1e-14);
+}
+
+TEST(Expectation, ApplyPauliSumMatchesMatrix) {
+  Rng rng(203);
+  const int n = 4;
+  const StateVector psi = random_state(n, rng);
+  const PauliSum h = random_hermitian_sum(n, 15, rng);
+  StateVector out(n);
+  apply_pauli_sum(h, psi, &out);
+
+  std::vector<cplx> v(psi.data(), psi.data() + psi.dim());
+  const std::vector<cplx> hv = pauli_sum_matrix(h, n).apply(v);
+  for (idx i = 0; i < psi.dim(); ++i)
+    EXPECT_NEAR(std::abs(out.data()[i] - hv[i]), 0.0, 1e-11);
+}
+
+TEST(Expectation, BasisRotationPathAgreesWithDirect) {
+  // The §4.1 measurement path (rotate then read Z-parities) must agree with
+  // the §4.2 direct path on every group of a QWC grouping.
+  Rng rng(204);
+  const int n = 5;
+  const StateVector psi = random_state(n, rng);
+  const PauliSum h = random_hermitian_sum(n, 30, rng);
+  const auto groups = group_qubitwise_commuting(h);
+
+  double direct = 0.0;
+  double rotated = 0.0;
+  for (const MeasurementGroup& g : groups) {
+    StateVector work = psi;
+    work.apply_circuit(basis_change_circuit(g.basis, n));
+    for (std::size_t ti : g.term_indices) {
+      const PauliTerm& t = h[ti];
+      direct +=
+          (t.coefficient * expectation_pauli(psi, t.string)).real();
+      if (t.string.is_identity())
+        rotated += t.coefficient.real();
+      else
+        rotated += t.coefficient.real() *
+                   expectation_z_mask(work, z_mask_after_rotation(t.string));
+    }
+  }
+  EXPECT_NEAR(direct, rotated, 1e-10);
+  EXPECT_NEAR(direct, expectation(psi, h), 1e-10);
+}
+
+TEST(Expectation, PauliSumMatrixIsHermitianForHermitianSum) {
+  Rng rng(205);
+  const PauliSum h = random_hermitian_sum(3, 12, rng);
+  EXPECT_TRUE(pauli_sum_matrix(h, 3).is_hermitian(1e-12));
+}
+
+TEST(Expectation, EigenvalueBoundsByOneNorm) {
+  Rng rng(206);
+  const int n = 3;
+  const PauliSum h = random_hermitian_sum(n, 10, rng);
+  const StateVector psi = random_state(n, rng);
+  EXPECT_LE(std::abs(expectation(psi, h)), h.one_norm() + 1e-10);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,108 @@
+#include "chem/fci.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/molecules.hpp"
+
+namespace vqsim {
+namespace {
+
+using F = FermionOp;
+
+std::size_t binomial(int n, int k) {
+  double r = 1.0;
+  for (int i = 0; i < k; ++i)
+    r = r * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  return static_cast<std::size_t>(std::llround(r));
+}
+
+TEST(Fci, SectorDimension) {
+  EXPECT_EQ(sector_determinants(4, 2).size(), binomial(4, 2));
+  EXPECT_EQ(sector_determinants(8, 4).size(), binomial(8, 4));
+  EXPECT_EQ(sector_determinants(12, 8).size(), binomial(12, 8));
+  EXPECT_EQ(sector_determinants(5, 0).size(), 1u);
+}
+
+TEST(Fci, ApplyLadderSigns) {
+  // a^dag_2 on |0b011>: two occupied modes below -> sign +1 (parity even).
+  std::uint64_t mask = 0b011;
+  int sign = 1;
+  ASSERT_TRUE(apply_ladder(F::create(2), &mask, &sign));
+  EXPECT_EQ(mask, 0b111u);
+  EXPECT_EQ(sign, 1);
+
+  // a_1 on |0b111>: one occupied mode below -> sign flips.
+  sign = 1;
+  ASSERT_TRUE(apply_ladder(F::annihilate(1), &mask, &sign));
+  EXPECT_EQ(mask, 0b101u);
+  EXPECT_EQ(sign, -1);
+
+  // a_1 again vanishes.
+  EXPECT_FALSE(apply_ladder(F::annihilate(1), &mask, &sign));
+  // a^dag_0 on occupied vanishes.
+  EXPECT_FALSE(apply_ladder(F::create(0), &mask, &sign));
+}
+
+TEST(Fci, TwoSiteHubbardAnalytic) {
+  // Half-filled two-site Hubbard: E0 = U/2 - sqrt((U/2)^2 + 4 t^2).
+  const double t = 1.0;
+  const double u = 4.0;
+  const FermionOp h = molecular_hamiltonian(hubbard_chain(2, 2, t, u));
+  const FciResult r = fci_ground_state(h, 4, 2);
+  const double expected = u / 2.0 - std::sqrt(u * u / 4.0 + 4.0 * t * t);
+  EXPECT_NEAR(r.energy, expected, 1e-10);
+}
+
+TEST(Fci, H2Sto3gGroundEnergyMatchesLiterature) {
+  const FermionOp h = molecular_hamiltonian(h2_sto3g());
+  const FciResult r = fci_ground_state(h, 4, 2);
+  // Known FCI total energy of H2/STO-3G at R = 0.7414 A: about -1.1373 Ha.
+  EXPECT_NEAR(r.energy, -1.1373, 2e-3);
+  // Variational: below the HF energy (about -1.1167 Ha).
+  EXPECT_LT(r.energy, h2_sto3g().hartree_fock_energy() - 1e-3);
+}
+
+TEST(Fci, DenseAndSparsePathsAgree) {
+  const FermionOp h = molecular_hamiltonian(hubbard_chain(3, 2, 1.0, 2.0));
+  const DenseMatrix dense = sector_matrix_dense(h, 6, 2);
+  const CsrMatrix sparse = sector_matrix(h, 6, 2);
+  ASSERT_EQ(dense.rows(), sparse.rows());
+  std::vector<cplx> x(dense.cols());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = cplx{std::cos(0.1 * static_cast<double>(i)),
+                std::sin(0.2 * static_cast<double>(i))};
+  const std::vector<cplx> yd = dense.apply(x);
+  const std::vector<cplx> ys = sparse.apply(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(yd[i] - ys[i]), 0.0, 1e-12);
+}
+
+TEST(Fci, SectorMatrixIsHermitian) {
+  const FermionOp h = molecular_hamiltonian(water_like(4, 4));
+  EXPECT_TRUE(sector_matrix(h, 8, 4).is_hermitian(1e-9));
+}
+
+TEST(Fci, GroundStateIsNormalizedEigenvector) {
+  const FermionOp h = molecular_hamiltonian(hubbard_chain(3, 4, 1.0, 3.0));
+  const FciResult r = fci_ground_state(h, 6, 4);
+  double norm = 0.0;
+  for (const cplx& a : r.ground_state) norm += std::norm(a);
+  EXPECT_NEAR(norm, 1.0, 1e-10);
+
+  const DenseMatrix m = sector_matrix_dense(h, 6, 4);
+  const std::vector<cplx> hv = m.apply(r.ground_state);
+  for (std::size_t i = 0; i < hv.size(); ++i)
+    EXPECT_NEAR(std::abs(hv[i] - r.energy * r.ground_state[i]), 0.0, 1e-7);
+}
+
+TEST(Fci, WaterLikeCorrelationEnergyIsNegative) {
+  const MolecularIntegrals ints = water_like(5, 6);
+  const FermionOp h = molecular_hamiltonian(ints);
+  const FciResult r = fci_ground_state(h, 10, 6);
+  EXPECT_LT(r.energy, ints.hartree_fock_energy() + 1e-10);
+}
+
+}  // namespace
+}  // namespace vqsim

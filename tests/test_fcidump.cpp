@@ -1,0 +1,100 @@
+#include "chem/fcidump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "qpe/trotter.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+namespace {
+
+TEST(Fcidump, RoundTripH2) {
+  const MolecularIntegrals original = h2_sto3g();
+  const MolecularIntegrals back = from_fcidump(to_fcidump(original));
+  EXPECT_EQ(back.norb, original.norb);
+  EXPECT_EQ(back.nelec, original.nelec);
+  EXPECT_NEAR(back.e_core, original.e_core, 1e-14);
+  for (int p = 0; p < 2; ++p)
+    for (int q = 0; q < 2; ++q) {
+      EXPECT_NEAR(back.one_body(p, q), original.one_body(p, q), 1e-14);
+      for (int r = 0; r < 2; ++r)
+        for (int s = 0; s < 2; ++s)
+          EXPECT_NEAR(back.two_body(p, q, r, s),
+                      original.two_body(p, q, r, s), 1e-14);
+    }
+}
+
+TEST(Fcidump, RoundTripPreservesFciEnergy) {
+  const MolecularIntegrals original = water_like(4, 4);
+  const MolecularIntegrals back = from_fcidump(to_fcidump(original));
+  const double e1 =
+      fci_ground_state(molecular_hamiltonian(original), 8, 4).energy;
+  const double e2 =
+      fci_ground_state(molecular_hamiltonian(back), 8, 4).energy;
+  EXPECT_NEAR(e1, e2, 1e-10);
+}
+
+TEST(Fcidump, HeaderFields) {
+  const std::string text = to_fcidump(h2_sto3g());
+  EXPECT_NE(text.find("&FCI NORB=2,NELEC=2"), std::string::npos);
+  EXPECT_NE(text.find("&END"), std::string::npos);
+}
+
+TEST(Fcidump, RejectsMissingHeader) {
+  EXPECT_THROW(from_fcidump("no header here\n1.0 1 1 0 0\n"),
+               std::invalid_argument);
+}
+
+TEST(Fcidump, ParsesExternalStyleFile) {
+  // Hand-written file in the Molpro style with extra whitespace.
+  const std::string text =
+      "&FCI NORB= 2,NELEC=2,MS2=0,\n ORBSYM=1,1,\n ISYM=1,\n&END\n"
+      "  0.5000000000000000E+00   1   1   1   1\n"
+      " -0.2500000000000000E+00   2   1   0   0\n"
+      "  0.7000000000000000E+00   0   0   0   0\n";
+  const MolecularIntegrals m = from_fcidump(text);
+  EXPECT_NEAR(m.two_body(0, 0, 0, 0), 0.5, 1e-14);
+  EXPECT_NEAR(m.one_body(1, 0), -0.25, 1e-14);
+  EXPECT_NEAR(m.one_body(0, 1), -0.25, 1e-14);  // symmetrized
+  EXPECT_NEAR(m.e_core, 0.7, 1e-14);
+}
+
+TEST(Trotter, FourthOrderBeatsSecondOrder) {
+  PauliSum h(2);
+  h.add_term(0.8, "XI");
+  h.add_term(0.6, "ZZ");
+  h.add_term(-0.4, "IY");
+  const double t = 1.0;
+
+  StateVector exact(2);
+  exact.set_basis_state(1);
+  exact.apply_circuit(trotter_circuit(h, t, {.steps = 4096, .order = 2}));
+
+  auto infidelity = [&](int steps, int order) {
+    StateVector psi(2);
+    psi.set_basis_state(1);
+    psi.apply_circuit(trotter_circuit(h, t, {.steps = steps, .order = order}));
+    return 1.0 - psi.fidelity(exact);
+  };
+
+  const double e2 = infidelity(4, 2);
+  const double e4 = infidelity(4, 4);
+  EXPECT_LT(e4, e2 / 50.0);  // vastly better at equal step count
+  // Order scaling: infidelity ~ (error)^2 ~ dt^8 for order 4.
+  const double e4_coarse = infidelity(2, 4);
+  const double e4_fine = infidelity(4, 4);
+  EXPECT_GT(e4_coarse / e4_fine, 60.0);  // ideally 2^8 = 256, allow slack
+}
+
+TEST(Trotter, RejectsUnsupportedOrder) {
+  PauliSum h(1);
+  h.add_term(1.0, "X");
+  EXPECT_THROW(trotter_circuit(h, 1.0, {.steps = 1, .order = 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

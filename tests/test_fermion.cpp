@@ -1,0 +1,174 @@
+#include "chem/fermion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/integrals.hpp"
+#include "chem/molecules.hpp"
+
+namespace vqsim {
+namespace {
+
+using F = FermionOp;
+
+TEST(Fermion, AnnihilationOnCreationContracts) {
+  // a_0 a^dag_0 = 1 - a^dag_0 a_0 (vacuum normal order).
+  F op;
+  op.add_term(1.0, {F::annihilate(0), F::create(0)});
+  const F no = op.normal_ordered();
+  ASSERT_EQ(no.size(), 2u);
+  EXPECT_NEAR(no.scalar().real(), 1.0, 1e-14);
+  // The other term is -a^dag_0 a_0.
+  for (const FermionTerm& t : no.terms()) {
+    if (t.ops.empty()) continue;
+    ASSERT_EQ(t.ops.size(), 2u);
+    EXPECT_TRUE(t.ops[0].creation);
+    EXPECT_FALSE(t.ops[1].creation);
+    EXPECT_NEAR(t.coefficient.real(), -1.0, 1e-14);
+  }
+}
+
+TEST(Fermion, DistinctModesAnticommute) {
+  // a_0 a^dag_1 = -a^dag_1 a_0 (no contraction).
+  F op;
+  op.add_term(1.0, {F::annihilate(0), F::create(1)});
+  const F no = op.normal_ordered();
+  ASSERT_EQ(no.size(), 1u);
+  EXPECT_NEAR(no.terms()[0].coefficient.real(), -1.0, 1e-14);
+}
+
+TEST(Fermion, PauliExclusionKillsRepeatedOps) {
+  F op;
+  op.add_term(1.0, {F::create(2), F::create(2)});
+  EXPECT_TRUE(op.normal_ordered().empty());
+  F op2;
+  op2.add_term(1.0, {F::annihilate(3), F::annihilate(3)});
+  EXPECT_TRUE(op2.normal_ordered().empty());
+}
+
+TEST(Fermion, NumberOperatorAgainstFermiVacuum) {
+  // Against an occupied reference, a^dag_0 a_0 = 1 - a_0 a^dag_0:
+  // the quasi-normal form has scalar 1 (its HF expectation).
+  F number;
+  number.add_term(1.0, {F::create(0), F::annihilate(0)});
+  NormalOrderSpec occ_spec;
+  occ_spec.occupation_mask = 0b1;
+  const F no = number.normal_ordered(occ_spec);
+  EXPECT_NEAR(no.scalar().real(), 1.0, 1e-14);
+
+  // Against the true vacuum the scalar vanishes.
+  EXPECT_NEAR(number.normal_ordered().scalar().real(), 0.0, 1e-14);
+}
+
+TEST(Fermion, AdjointReversesAndConjugates) {
+  F op;
+  op.add_term(cplx{0.0, 2.0}, {F::create(1), F::annihilate(0)});
+  const F adj = op.adjoint();
+  ASSERT_EQ(adj.size(), 1u);
+  const FermionTerm& t = adj.terms()[0];
+  EXPECT_NEAR(std::abs(t.coefficient - cplx{0.0, -2.0}), 0.0, 1e-14);
+  ASSERT_EQ(t.ops.size(), 2u);
+  EXPECT_TRUE(t.ops[0].creation);
+  EXPECT_EQ(t.ops[0].mode, 0);
+  EXPECT_FALSE(t.ops[1].creation);
+  EXPECT_EQ(t.ops[1].mode, 1);
+}
+
+TEST(Fermion, CommutatorOfNumberOperatorsVanishes) {
+  F n0;
+  n0.add_term(1.0, {F::create(0), F::annihilate(0)});
+  F n1;
+  n1.add_term(1.0, {F::create(1), F::annihilate(1)});
+  EXPECT_TRUE(n0.commutator(n1, {}).empty());
+}
+
+TEST(Fermion, RankTruncationDropsHighRankProducts) {
+  F op;
+  op.add_term(1.0, {F::create(0), F::create(1), F::create(2),
+                    F::annihilate(3), F::annihilate(4), F::annihilate(5)});
+  NormalOrderSpec spec;
+  spec.max_ops = 4;
+  EXPECT_TRUE(op.normal_ordered(spec).empty());
+  spec.max_ops = 6;
+  EXPECT_EQ(op.normal_ordered(spec).size(), 1u);
+}
+
+TEST(Fermion, ConservesParticleNumberDetection) {
+  F balanced;
+  balanced.add_term(1.0, {F::create(0), F::annihilate(1)});
+  EXPECT_TRUE(balanced.conserves_particle_number());
+  F unbalanced;
+  unbalanced.add_term(1.0, {F::create(0)});
+  EXPECT_FALSE(unbalanced.conserves_particle_number());
+}
+
+TEST(Fermion, HfScalarOfQuasiNormalHamiltonianIsHfEnergy) {
+  // The scalar of H quasi-normal-ordered against the HF determinant is
+  // exactly <HF|H|HF>.
+  for (const MolecularIntegrals& ints :
+       {h2_sto3g(), hubbard_chain(3, 2, 1.0, 2.0)}) {
+    const FermionOp h = molecular_hamiltonian(ints);
+    NormalOrderSpec spec;
+    spec.occupation_mask = hf_occupation_mask(ints.nelec);
+    const FermionOp no = h.normal_ordered(spec);
+    EXPECT_NEAR(no.scalar().real(), ints.hartree_fock_energy(), 1e-9);
+  }
+}
+
+TEST(Fermion, NormalOrderingIsIdempotent) {
+  F op;
+  op.add_term(0.5, {F::annihilate(2), F::create(0), F::annihilate(1),
+                    F::create(2)});
+  NormalOrderSpec spec;
+  spec.occupation_mask = 0b011;
+  const F once = op.normal_ordered(spec);
+  const F twice = once.normal_ordered(spec);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once.terms()[i].ops.size(), twice.terms()[i].ops.size());
+    EXPECT_NEAR(std::abs(once.terms()[i].coefficient -
+                         twice.terms()[i].coefficient),
+                0.0, 1e-12);
+  }
+}
+
+TEST(Integrals, SymmetrySettersProduceValidSet) {
+  MolecularIntegrals m = MolecularIntegrals::zero(3, 2);
+  m.set_two_body(0, 1, 2, 2, 0.25);
+  EXPECT_NEAR(m.two_body(1, 0, 2, 2), 0.25, 1e-15);
+  EXPECT_NEAR(m.two_body(2, 2, 0, 1), 0.25, 1e-15);
+  EXPECT_NEAR(m.two_body(2, 2, 1, 0), 0.25, 1e-15);
+  EXPECT_NEAR(m.symmetry_violation(), 0.0, 1e-15);
+}
+
+TEST(Integrals, WaterLikeIsSymmetric) {
+  const MolecularIntegrals m = water_like(6, 8);
+  EXPECT_NEAR(m.symmetry_violation(), 0.0, 1e-13);
+}
+
+TEST(Integrals, WaterLikeFockSpectrumMatchesTargets) {
+  const MolecularIntegrals m = water_like(6, 8);
+  // The generator back-solves the diagonal so eps_p = F_pp by construction.
+  EXPECT_NEAR(m.orbital_energy(0), -20.55, 1e-10);
+  EXPECT_NEAR(m.orbital_energy(5), 0.19, 1e-10);
+  // Occupied-virtual gap is positive.
+  EXPECT_LT(m.orbital_energy(3), m.orbital_energy(4) + 1e-12);
+}
+
+TEST(Integrals, MolecularHamiltonianIsHermitianAndBalanced) {
+  const FermionOp h = molecular_hamiltonian(h2_sto3g());
+  EXPECT_TRUE(h.conserves_particle_number());
+  // H - H^dag must vanish.
+  FermionOp diff = h - h.adjoint();
+  diff.simplify(1e-12);
+  EXPECT_TRUE(diff.empty());
+}
+
+TEST(Integrals, HubbardHamiltonianShape) {
+  const MolecularIntegrals m = hubbard_chain(2, 2, 1.0, 4.0);
+  EXPECT_NEAR(m.one_body(0, 1), -1.0, 1e-15);
+  EXPECT_NEAR(m.two_body(0, 0, 0, 0), 4.0, 1e-15);
+  EXPECT_NEAR(m.two_body(1, 1, 1, 1), 4.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace vqsim

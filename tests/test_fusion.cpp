@@ -1,0 +1,200 @@
+#include "ir/passes/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ir/passes/cancel.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+namespace {
+
+Circuit random_circuit(int num_qubits, std::size_t gates, double two_qubit_frac,
+                       Rng& rng) {
+  Circuit c(num_qubits);
+  for (std::size_t i = 0; i < gates; ++i) {
+    const int q0 = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    int q1 = q0;
+    while (q1 == q0)
+      q1 = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    if (rng.uniform() < two_qubit_frac) {
+      switch (rng.uniform_index(3)) {
+        case 0: c.cx(q0, q1); break;
+        case 1: c.cz(q0, q1); break;
+        default: c.rzz(rng.uniform(-3, 3), q0, q1); break;
+      }
+    } else {
+      switch (rng.uniform_index(5)) {
+        case 0: c.h(q0); break;
+        case 1: c.rx(rng.uniform(-3, 3), q0); break;
+        case 2: c.rz(rng.uniform(-3, 3), q0); break;
+        case 3: c.t(q0); break;
+        default: c.s(q0); break;
+      }
+    }
+  }
+  return c;
+}
+
+double fused_fidelity(const Circuit& c, const FusionOptions& opts = {}) {
+  const Circuit fused = fuse_gates(c, opts);
+  StateVector a(c.num_qubits());
+  a.apply_circuit(c);
+  StateVector b(c.num_qubits());
+  b.apply_circuit(fused);
+  return a.fidelity(b);
+}
+
+struct FusionCase {
+  int qubits;
+  std::size_t gates;
+  double two_qubit_frac;
+  std::uint64_t seed;
+};
+
+class FusionEquivalence : public ::testing::TestWithParam<FusionCase> {};
+
+TEST_P(FusionEquivalence, PreservesSemantics) {
+  const FusionCase& fc = GetParam();
+  Rng rng(fc.seed);
+  const Circuit c = random_circuit(fc.qubits, fc.gates, fc.two_qubit_frac, rng);
+  EXPECT_NEAR(fused_fidelity(c), 1.0, 1e-10);
+}
+
+TEST_P(FusionEquivalence, ReducesGateCount) {
+  const FusionCase& fc = GetParam();
+  Rng rng(fc.seed + 1000);
+  const Circuit c = random_circuit(fc.qubits, fc.gates, fc.two_qubit_frac, rng);
+  FusionStats stats;
+  fuse_gates(c, {}, &stats);
+  EXPECT_EQ(stats.gates_before, c.size());
+  EXPECT_LE(stats.gates_after, stats.gates_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FusionEquivalence,
+    ::testing::Values(FusionCase{2, 30, 0.3, 1}, FusionCase{3, 60, 0.3, 2},
+                      FusionCase{4, 120, 0.4, 3}, FusionCase{5, 200, 0.5, 4},
+                      FusionCase{6, 300, 0.2, 5}, FusionCase{6, 300, 0.7, 6},
+                      FusionCase{7, 150, 0.0, 7}, FusionCase{4, 80, 1.0, 8}));
+
+TEST(Fusion, SingleQubitRunCollapsesToOneGate) {
+  Circuit c(1);
+  c.h(0).t(0).rz(0.3, 0).s(0).rx(0.2, 0);
+  FusionStats stats;
+  const Circuit fused = fuse_gates(c, {}, &stats);
+  EXPECT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].kind, GateKind::kMat1);
+}
+
+TEST(Fusion, InversePairDropsToIdentity) {
+  Circuit c(1);
+  c.h(0).h(0);
+  FusionStats stats;
+  const Circuit fused = fuse_gates(c, {}, &stats);
+  EXPECT_EQ(fused.size(), 0u);
+  EXPECT_EQ(stats.groups_dropped_identity, 1u);
+}
+
+TEST(Fusion, AbsorbsOneQubitGatesIntoTwoQubitGroup) {
+  Circuit c(2);
+  c.h(0).h(1).cx(0, 1).rz(0.5, 1);
+  const Circuit fused = fuse_gates(c);
+  EXPECT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].kind, GateKind::kMat2);
+  EXPECT_NEAR(fused_fidelity(c), 1.0, 1e-12);
+}
+
+TEST(Fusion, MergesConsecutiveGatesOnSamePair) {
+  Circuit c(2);
+  c.cx(0, 1).cz(1, 0).cx(1, 0).rzz(0.3, 0, 1);
+  const Circuit fused = fuse_gates(c);
+  EXPECT_EQ(fused.size(), 1u);
+  EXPECT_NEAR(fused_fidelity(c), 1.0, 1e-12);
+}
+
+TEST(Fusion, KeepsSingletonsReadable) {
+  Circuit c(3);
+  c.h(0).cx(1, 2);
+  const Circuit fused = fuse_gates(c);
+  ASSERT_EQ(fused.size(), 2u);
+  // Neither group had a partner, so the original mnemonics survive.
+  EXPECT_TRUE(fused[0].kind == GateKind::kH || fused[1].kind == GateKind::kH);
+}
+
+TEST(Fusion, SingletonRewriteWhenDisabled) {
+  Circuit c(1);
+  c.h(0);
+  FusionOptions opts;
+  opts.keep_singletons = false;
+  const Circuit fused = fuse_gates(c, opts);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].kind, GateKind::kMat1);
+}
+
+TEST(Fusion, UccsdLikeGadgetReduction) {
+  // A Pauli-gadget-shaped circuit (basis rotations + ladder + RZ) must fuse
+  // by more than 40% — the Fig. 4 regime.
+  Circuit c(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    c.h(0).h(1).h(2).h(3);
+    c.cx(0, 1).cx(1, 2).cx(2, 3);
+    c.rz(0.1 * (rep + 1), 3);
+    c.cx(2, 3).cx(1, 2).cx(0, 1);
+    c.h(0).h(1).h(2).h(3);
+  }
+  FusionStats stats;
+  fuse_gates(c, {}, &stats);
+  EXPECT_GT(stats.reduction(), 0.4);
+  EXPECT_NEAR(fused_fidelity(c), 1.0, 1e-10);
+}
+
+TEST(Cancel, RemovesAdjacentInversePairs) {
+  Circuit c(2);
+  c.h(0).h(0).cx(0, 1).cx(0, 1).s(1).sdg(1).t(0).tdg(0);
+  CancelStats stats;
+  const Circuit out = cancel_gates(c, &stats);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(stats.pairs_cancelled, 4u);
+}
+
+TEST(Cancel, MergesRotations) {
+  Circuit c(1);
+  c.rz(0.3, 0).rz(0.4, 0).rz(-0.7, 0);
+  CancelStats stats;
+  const Circuit out = cancel_gates(c, &stats);
+  EXPECT_EQ(out.size(), 0u);  // angles sum to zero
+  EXPECT_EQ(stats.rotations_merged, 2u);
+}
+
+TEST(Cancel, RespectsInterveningGates) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).h(0);  // H...H separated by a CX touching qubit 0
+  const Circuit out = cancel_gates(c);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Cancel, SymmetricGatesCancelAcrossOperandOrder) {
+  Circuit c(2);
+  c.cz(0, 1).cz(1, 0).swap(0, 1).swap(1, 0);
+  const Circuit out = cancel_gates(c);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Cancel, PreservesSemanticsOnRandomCircuits) {
+  Rng rng(41);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Circuit c = random_circuit(5, 150, 0.4, rng);
+    const Circuit out = cancel_gates(c);
+    StateVector a(5);
+    a.apply_circuit(c);
+    StateVector b(5);
+    b.apply_circuit(out);
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,152 @@
+#include "ir/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vqsim {
+namespace {
+
+Gate make(GateKind kind, int q0 = 0, int q1 = 1,
+          std::array<double, 3> params = {0.3, 0.0, 0.0}) {
+  Gate g;
+  g.kind = kind;
+  g.q0 = q0;
+  g.q1 = gate_arity(kind) == 2 ? q1 : -1;
+  g.params = params;
+  return g;
+}
+
+const std::vector<GateKind> kAllOneQubit = {
+    GateKind::kI,  GateKind::kX,   GateKind::kY,  GateKind::kZ,
+    GateKind::kH,  GateKind::kS,   GateKind::kSdg, GateKind::kT,
+    GateKind::kTdg, GateKind::kSX, GateKind::kSXdg, GateKind::kRX,
+    GateKind::kRY, GateKind::kRZ,  GateKind::kP,  GateKind::kU3};
+
+const std::vector<GateKind> kAllTwoQubit = {
+    GateKind::kCX,  GateKind::kCY,  GateKind::kCZ,  GateKind::kCH,
+    GateKind::kSwap, GateKind::kCRX, GateKind::kCRY, GateKind::kCRZ,
+    GateKind::kCP,  GateKind::kRXX, GateKind::kRYY, GateKind::kRZZ};
+
+class OneQubitGate : public ::testing::TestWithParam<GateKind> {};
+class TwoQubitGate : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(OneQubitGate, MatrixIsUnitary) {
+  const Gate g = make(GetParam(), 0, 1, {0.7, -0.4, 1.3});
+  EXPECT_TRUE(gate_matrix2(g).is_unitary()) << gate_name(GetParam());
+}
+
+TEST_P(OneQubitGate, InverseComposesToIdentity) {
+  const Gate g = make(GetParam(), 0, 1, {0.7, -0.4, 1.3});
+  const Gate inv = inverse_gate(g);
+  EXPECT_TRUE((gate_matrix2(inv) * gate_matrix2(g))
+                  .approx_equal(Mat2::identity(), 1e-12))
+      << gate_name(GetParam());
+}
+
+TEST_P(OneQubitGate, Arity) { EXPECT_EQ(gate_arity(GetParam()), 1); }
+
+TEST_P(TwoQubitGate, MatrixIsUnitary) {
+  const Gate g = make(GetParam(), 0, 1, {0.7, 0.0, 0.0});
+  EXPECT_TRUE(gate_matrix4(g).is_unitary()) << gate_name(GetParam());
+}
+
+TEST_P(TwoQubitGate, InverseComposesToIdentity) {
+  const Gate g = make(GetParam(), 0, 1, {0.7, 0.0, 0.0});
+  const Gate inv = inverse_gate(g);
+  EXPECT_TRUE((gate_matrix4(inv) * gate_matrix4(g))
+                  .approx_equal(Mat4::identity(), 1e-12))
+      << gate_name(GetParam());
+}
+
+TEST_P(TwoQubitGate, Arity) { EXPECT_EQ(gate_arity(GetParam()), 2); }
+
+INSTANTIATE_TEST_SUITE_P(AllGates, OneQubitGate,
+                         ::testing::ValuesIn(kAllOneQubit));
+INSTANTIATE_TEST_SUITE_P(AllGates, TwoQubitGate,
+                         ::testing::ValuesIn(kAllTwoQubit));
+
+TEST(GateMatrix, PauliAlgebra) {
+  const Mat2 x = gate_matrix2(make(GateKind::kX));
+  const Mat2 y = gate_matrix2(make(GateKind::kY));
+  const Mat2 z = gate_matrix2(make(GateKind::kZ));
+  // XY = iZ.
+  EXPECT_TRUE((x * y).approx_equal(z * cplx{0.0, 1.0}, 1e-14));
+  // HXH = Z.
+  const Mat2 h = gate_matrix2(make(GateKind::kH));
+  EXPECT_TRUE((h * x * h).approx_equal(z, 1e-14));
+  // S^2 = Z, T^2 = S.
+  const Mat2 s = gate_matrix2(make(GateKind::kS));
+  const Mat2 t = gate_matrix2(make(GateKind::kT));
+  EXPECT_TRUE((s * s).approx_equal(z, 1e-14));
+  EXPECT_TRUE((t * t).approx_equal(s, 1e-14));
+  // SX^2 = X.
+  const Mat2 sx = gate_matrix2(make(GateKind::kSX));
+  EXPECT_TRUE((sx * sx).approx_equal(x, 1e-14));
+}
+
+TEST(GateMatrix, RotationsAtSpecialAngles) {
+  // RZ(pi) = -i Z; RX(pi) = -i X; RY(2 pi) = -I.
+  const Mat2 z = gate_matrix2(make(GateKind::kZ));
+  const Mat2 rz = gate_matrix2(make(GateKind::kRZ, 0, 1, {kPi, 0, 0}));
+  EXPECT_TRUE(rz.approx_equal(z * cplx{0.0, -1.0}, 1e-14));
+  const Mat2 x = gate_matrix2(make(GateKind::kX));
+  const Mat2 rx = gate_matrix2(make(GateKind::kRX, 0, 1, {kPi, 0, 0}));
+  EXPECT_TRUE(rx.approx_equal(x * cplx{0.0, -1.0}, 1e-14));
+  const Mat2 ry2pi = gate_matrix2(make(GateKind::kRY, 0, 1, {2 * kPi, 0, 0}));
+  EXPECT_TRUE(ry2pi.approx_equal(Mat2::identity() * cplx{-1.0, 0.0}, 1e-14));
+}
+
+TEST(GateMatrix, CxActionOnBasis) {
+  // Control = q0 (low bit). Input |q1 q0> = |01> (index 1) -> |11> (index 3).
+  const Mat4 cx = gate_matrix4(make(GateKind::kCX));
+  EXPECT_NEAR(std::abs(cx(3, 1) - cplx{1.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(cx(1, 3) - cplx{1.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(cx(0, 0) - cplx{1.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(cx(2, 2) - cplx{1.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(GateMatrix, SwapMatrix) {
+  const Mat4 sw = gate_matrix4(make(GateKind::kSwap));
+  EXPECT_NEAR(std::abs(sw(2, 1) - cplx{1.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(sw(1, 2) - cplx{1.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(GateMatrix, RzzIsDiagonalPauliExponential) {
+  const double theta = 0.37;
+  const Mat4 rzz = gate_matrix4(make(GateKind::kRZZ, 0, 1, {theta, 0, 0}));
+  const cplx em = std::exp(-kI * (theta / 2));
+  const cplx ep = std::exp(kI * (theta / 2));
+  EXPECT_NEAR(std::abs(rzz(0, 0) - em), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(rzz(1, 1) - ep), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(rzz(2, 2) - ep), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(rzz(3, 3) - em), 0.0, 1e-14);
+}
+
+TEST(GateNames, RoundTrip) {
+  for (GateKind k : kAllOneQubit)
+    EXPECT_EQ(gate_kind_from_name(gate_name(k)), k);
+  for (GateKind k : kAllTwoQubit)
+    EXPECT_EQ(gate_kind_from_name(gate_name(k)), k);
+  EXPECT_THROW(gate_kind_from_name("nope"), std::invalid_argument);
+}
+
+TEST(GenericGates, PayloadRoundTrip) {
+  Mat2 m = gate_matrix2(make(GateKind::kH));
+  const Gate g = make_mat1_gate(2, m);
+  EXPECT_TRUE(gate_matrix2(g).approx_equal(m));
+  const Gate inv = inverse_gate(g);
+  EXPECT_TRUE((gate_matrix2(inv) * m).approx_equal(Mat2::identity(), 1e-12));
+}
+
+TEST(GateToString, Format) {
+  EXPECT_EQ(gate_to_string(make(GateKind::kCX, 2, 5)), "cx q2, q5");
+  const std::string rz = gate_to_string(make(GateKind::kRZ, 3, -1, {0.5, 0, 0}));
+  EXPECT_EQ(rz, "rz(0.5) q3");
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,166 @@
+#include "pauli/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pauli/basis_change.hpp"
+#include "pauli/exp_gadget.hpp"
+#include "sim/expectation.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+namespace {
+
+PauliSum random_sum(int n, std::size_t terms, Rng& rng) {
+  PauliSum h(n);
+  for (std::size_t t = 0; t < terms; ++t) {
+    PauliString s;
+    for (int q = 0; q < n; ++q)
+      s.set_axis(q, static_cast<PauliAxis>(rng.uniform_index(4)));
+    h.add_term(rng.normal(), s);
+  }
+  h.simplify();
+  return h;
+}
+
+TEST(Grouping, CoversEveryTermExactlyOnce) {
+  Rng rng(51);
+  const PauliSum h = random_sum(6, 40, rng);
+  const auto groups = group_qubitwise_commuting(h);
+  std::vector<int> seen(h.size(), 0);
+  for (const MeasurementGroup& g : groups)
+    for (std::size_t ti : g.term_indices) ++seen[ti];
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_EQ(seen[i], 1);
+}
+
+TEST(Grouping, MembersQwcWithTheirBasis) {
+  Rng rng(52);
+  const PauliSum h = random_sum(6, 40, rng);
+  for (const MeasurementGroup& g : group_qubitwise_commuting(h))
+    for (std::size_t ti : g.term_indices)
+      EXPECT_TRUE(h[ti].string.qubitwise_commutes_with(g.basis));
+}
+
+TEST(Grouping, AllZTermsShareOneGroup) {
+  PauliSum h(3);
+  h.add_term(1.0, "ZII");
+  h.add_term(1.0, "IZI");
+  h.add_term(1.0, "ZZZ");
+  h.add_term(1.0, "IIZ");
+  EXPECT_EQ(group_qubitwise_commuting(h).size(), 1u);
+}
+
+TEST(Grouping, ConflictingAxesSplit) {
+  PauliSum h(1);
+  h.add_term(1.0, "X");
+  h.add_term(1.0, "Y");
+  h.add_term(1.0, "Z");
+  EXPECT_EQ(group_qubitwise_commuting(h).size(), 3u);
+}
+
+TEST(Grouping, NeverMoreGroupsThanTerms) {
+  Rng rng(53);
+  const PauliSum h = random_sum(5, 60, rng);
+  EXPECT_LE(group_qubitwise_commuting(h).size(), h.size());
+}
+
+TEST(BasisChange, RotatesXAndYOntoZ) {
+  // After the rotation, the original string acts diagonally: its expectation
+  // equals the Z-mask parity expectation in the rotated frame.
+  Rng rng(54);
+  for (const char* spec : {"XX", "YY", "XY", "ZX", "YZ"}) {
+    AmpVector amps(4);
+    for (cplx& a : amps) a = rng.normal_cplx();
+    StateVector psi = StateVector::from_amplitudes(std::move(amps));
+    psi.normalize();
+
+    const PauliString s = PauliString::from_string(spec);
+    const cplx direct = expectation_pauli(psi, s);
+
+    StateVector rotated = psi;
+    rotated.apply_circuit(basis_change_circuit(s, 2));
+    const double via_mask =
+        expectation_z_mask(rotated, z_mask_after_rotation(s));
+    EXPECT_NEAR(direct.real(), via_mask, 1e-11) << spec;
+  }
+}
+
+TEST(BasisChange, InverseUndoes) {
+  Rng rng(55);
+  AmpVector amps(8);
+  for (cplx& a : amps) a = rng.normal_cplx();
+  StateVector psi = StateVector::from_amplitudes(std::move(amps));
+  psi.normalize();
+  const StateVector original = psi;
+  const PauliString s = PauliString::from_string("XYZ");
+  psi.apply_circuit(basis_change_circuit(s, 3));
+  psi.apply_circuit(inverse_basis_change_circuit(s, 3));
+  EXPECT_NEAR(psi.fidelity(original), 1.0, 1e-12);
+}
+
+TEST(ExpGadget, MatchesDirectExponential) {
+  Rng rng(56);
+  for (const char* spec : {"XYZ", "ZZI", "IYX", "XII", "YYY"}) {
+    const double theta = rng.uniform(-2, 2);
+    AmpVector amps(8);
+    for (cplx& a : amps) a = rng.normal_cplx();
+    StateVector a = StateVector::from_amplitudes(std::move(amps));
+    a.normalize();
+    StateVector b = a;
+
+    const PauliString s = PauliString::from_string(spec);
+    Circuit c(3);
+    append_exp_pauli(&c, s, theta);
+    a.apply_circuit(c);
+    b.apply_exp_pauli(s, theta);
+
+    const cplx overlap = a.inner_product(b);
+    EXPECT_NEAR(std::abs(overlap), 1.0, 1e-11) << spec;
+    // Not just up to phase: the gadget reproduces exp(-i theta P) exactly.
+    EXPECT_NEAR(std::abs(overlap - cplx{1.0, 0.0}), 0.0, 1e-11) << spec;
+  }
+}
+
+TEST(ExpGadget, GateCountFormulaMatchesEmission) {
+  for (const char* spec : {"XYZ", "ZZI", "IYX", "XII", "YYY", "ZIZ"}) {
+    const PauliString s = PauliString::from_string(spec);
+    Circuit c(3);
+    append_exp_pauli(&c, s, 0.37);
+    EXPECT_EQ(c.size(), exp_pauli_gate_count(s)) << spec;
+  }
+  EXPECT_EQ(exp_pauli_gate_count(PauliString::identity()), 0u);
+}
+
+TEST(ExpGadget, ControlledVariantControls) {
+  // Control |0>: identity on the target register. Control |1>: the gadget.
+  const PauliString s = PauliString::from_string("XY");
+  const double theta = 0.61;
+  Rng rng(57);
+  AmpVector amps(4);
+  for (cplx& a : amps) a = rng.normal_cplx();
+  StateVector target = StateVector::from_amplitudes(std::move(amps));
+  target.normalize();
+
+  // Build |0>_c (x) |psi> and |1>_c (x) |psi> on 3 qubits (control = 2).
+  for (int cbit = 0; cbit < 2; ++cbit) {
+    AmpVector full(8, cplx{0.0, 0.0});
+    for (idx i = 0; i < 4; ++i)
+      full[(static_cast<idx>(cbit) << 2) | i] = target.data()[i];
+    StateVector psi = StateVector::from_amplitudes(std::move(full));
+
+    Circuit c(3);
+    append_controlled_exp_pauli(&c, 2, s, theta);
+    psi.apply_circuit(c);
+
+    StateVector expected = target;
+    if (cbit == 1) expected.apply_exp_pauli(s, theta);
+    for (idx i = 0; i < 4; ++i)
+      EXPECT_NEAR(std::abs(psi.data()[(static_cast<idx>(cbit) << 2) | i] -
+                           expected.data()[i]),
+                  0.0, 1e-11)
+          << "control=" << cbit;
+  }
+}
+
+}  // namespace
+}  // namespace vqsim

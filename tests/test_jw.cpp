@@ -1,0 +1,105 @@
+#include "chem/jordan_wigner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/hartree_fock.hpp"
+#include "chem/molecules.hpp"
+#include "linalg/jacobi.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+using F = FermionOp;
+
+PauliSum jw_single(const LadderOp& op, int n) { return jw_ladder(op, n); }
+
+TEST(JordanWigner, CanonicalAnticommutators) {
+  // {a_p, a^dag_q} = delta_pq; {a_p, a_q} = 0.
+  const int n = 4;
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      const PauliSum ap = jw_single(F::annihilate(p), n);
+      const PauliSum aqd = jw_single(F::create(q), n);
+      PauliSum anti = ap * aqd + aqd * ap;
+      anti.simplify();
+      if (p == q) {
+        ASSERT_EQ(anti.size(), 1u) << p << "," << q;
+        EXPECT_TRUE(anti[0].string.is_identity());
+        EXPECT_NEAR(std::abs(anti[0].coefficient - cplx{1.0, 0.0}), 0.0,
+                    1e-13);
+      } else {
+        EXPECT_TRUE(anti.empty()) << p << "," << q;
+      }
+
+      const PauliSum aq = jw_single(F::annihilate(q), n);
+      PauliSum anti2 = ap * aq + aq * ap;
+      anti2.simplify();
+      EXPECT_TRUE(anti2.empty()) << p << "," << q;
+    }
+  }
+}
+
+TEST(JordanWigner, NumberOperatorIsHalfOneMinusZ) {
+  F number;
+  number.add_term(1.0, {F::create(2), F::annihilate(2)});
+  PauliSum p = jordan_wigner(number);
+  // Expect 0.5 I - 0.5 Z_2.
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p.identity_coefficient().real(), 0.5, 1e-14);
+  for (const PauliTerm& t : p.terms()) {
+    if (t.string.is_identity()) continue;
+    EXPECT_EQ(t.string, PauliString::from_string("IIZ"));
+    EXPECT_NEAR(t.coefficient.real(), -0.5, 1e-14);
+  }
+}
+
+TEST(JordanWigner, HoppingTermIsHermitian) {
+  F hop;
+  hop.add_term(1.0, {F::create(0), F::annihilate(3)});
+  hop.add_term(1.0, {F::create(3), F::annihilate(0)});
+  const PauliSum p = jordan_wigner(hop);
+  EXPECT_TRUE(p.is_hermitian());
+  // Hopping across modes 0..3 must carry the Z string on modes 1, 2.
+  for (const PauliTerm& t : p.terms()) {
+    EXPECT_EQ(t.string.axis(1), PauliAxis::kZ);
+    EXPECT_EQ(t.string.axis(2), PauliAxis::kZ);
+  }
+}
+
+TEST(JordanWigner, MolecularHamiltonianHermitian) {
+  const PauliSum h = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+  EXPECT_TRUE(h.is_hermitian(1e-10));
+  EXPECT_EQ(h.num_qubits(), 4);
+  // The classic H2/STO-3G qubit Hamiltonian has 15 terms.
+  EXPECT_EQ(h.size(), 15u);
+}
+
+TEST(JordanWigner, SpectrumMatchesDeterminantFci) {
+  // Dense diagonalization of the JW matrix restricted to the 2-electron
+  // sector must agree with the determinant-basis FCI solver.
+  const FermionOp h_fermion = molecular_hamiltonian(h2_sto3g());
+  const PauliSum h_qubit = jordan_wigner(h_fermion);
+  const DenseMatrix m = pauli_sum_matrix(h_qubit, 4);
+  const EigenSystem all = hermitian_eigensystem(m);
+
+  const FciResult fci = fci_ground_state(h_fermion, 4, 2);
+  // FCI ground energy appears in the full JW spectrum.
+  double best = 1e9;
+  for (double e : all.eigenvalues) best = std::min(best, std::abs(e - fci.energy));
+  EXPECT_LT(best, 1e-9);
+}
+
+TEST(JordanWigner, HfExpectationMatchesIntegralFormula) {
+  for (const MolecularIntegrals& ints :
+       {h2_sto3g(), water_like(4, 4), hubbard_chain(3, 4, 1.0, 2.0)}) {
+    const PauliSum h = jordan_wigner(molecular_hamiltonian(ints));
+    StateVector hf(2 * ints.norb);
+    hf.set_basis_state(hf_basis_state(ints.nelec));
+    EXPECT_NEAR(expectation(hf, h), ints.hartree_fock_energy(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vqsim

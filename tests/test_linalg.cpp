@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+
+namespace vqsim {
+namespace {
+
+Mat2 random_mat2(Rng& rng) {
+  Mat2 m;
+  for (auto& v : m.m) v = rng.normal_cplx();
+  return m;
+}
+
+Mat4 random_mat4(Rng& rng) {
+  Mat4 m;
+  for (auto& v : m.m) v = rng.normal_cplx();
+  return m;
+}
+
+TEST(Mat2, IdentityAndMultiply) {
+  Rng rng(3);
+  const Mat2 a = random_mat2(rng);
+  EXPECT_TRUE((a * Mat2::identity()).approx_equal(a));
+  EXPECT_TRUE((Mat2::identity() * a).approx_equal(a));
+}
+
+TEST(Mat2, AdjointInvolution) {
+  Rng rng(4);
+  const Mat2 a = random_mat2(rng);
+  EXPECT_TRUE(a.adjoint().adjoint().approx_equal(a));
+}
+
+TEST(Mat2, AdjointReversesProducts) {
+  Rng rng(5);
+  const Mat2 a = random_mat2(rng);
+  const Mat2 b = random_mat2(rng);
+  EXPECT_TRUE((a * b).adjoint().approx_equal(b.adjoint() * a.adjoint()));
+}
+
+TEST(Mat4, IdentityAndMultiply) {
+  Rng rng(6);
+  const Mat4 a = random_mat4(rng);
+  EXPECT_TRUE((a * Mat4::identity()).approx_equal(a));
+  EXPECT_TRUE((Mat4::identity() * a).approx_equal(a));
+}
+
+TEST(Mat4, KronMatchesElementwiseDefinition) {
+  Rng rng(7);
+  const Mat2 a = random_mat2(rng);
+  const Mat2 b = random_mat2(rng);
+  const Mat4 k = kron(a, b);
+  for (int ra = 0; ra < 2; ++ra)
+    for (int rb = 0; rb < 2; ++rb)
+      for (int ca = 0; ca < 2; ++ca)
+        for (int cb = 0; cb < 2; ++cb)
+          EXPECT_NEAR(std::abs(k(ra * 2 + rb, ca * 2 + cb) -
+                               a(ra, ca) * b(rb, cb)),
+                      0.0, 1e-14);
+}
+
+TEST(Mat4, KronMixedProduct) {
+  // (a (x) b)(c (x) d) = (a c) (x) (b d).
+  Rng rng(8);
+  const Mat2 a = random_mat2(rng);
+  const Mat2 b = random_mat2(rng);
+  const Mat2 c = random_mat2(rng);
+  const Mat2 d = random_mat2(rng);
+  EXPECT_TRUE((kron(a, b) * kron(c, d)).approx_equal(kron(a * c, b * d), 1e-10));
+}
+
+TEST(Mat4, EmbedLowHighCommute) {
+  Rng rng(9);
+  const Mat2 a = random_mat2(rng);
+  const Mat2 b = random_mat2(rng);
+  EXPECT_TRUE((embed_low(a) * embed_high(b))
+                  .approx_equal(embed_high(b) * embed_low(a), 1e-10));
+  EXPECT_TRUE((embed_low(a) * embed_high(b)).approx_equal(kron(b, a), 1e-10));
+}
+
+TEST(Mat4, SwapQubitOrderIsInvolution) {
+  Rng rng(10);
+  const Mat4 a = random_mat4(rng);
+  EXPECT_TRUE(swap_qubit_order(swap_qubit_order(a)).approx_equal(a));
+}
+
+TEST(Mat4, SwapQubitOrderSwapsKronFactors) {
+  Rng rng(11);
+  const Mat2 a = random_mat2(rng);
+  const Mat2 b = random_mat2(rng);
+  EXPECT_TRUE(swap_qubit_order(kron(a, b)).approx_equal(kron(b, a), 1e-12));
+}
+
+TEST(DenseMatrix, MultiplyAndApplyAgree) {
+  Rng rng(12);
+  DenseMatrix a(5, 7);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 7; ++j) a(i, j) = rng.normal_cplx();
+  std::vector<cplx> x(7);
+  for (auto& v : x) v = rng.normal_cplx();
+  DenseMatrix xm(7, 1);
+  for (std::size_t j = 0; j < 7; ++j) xm(j, 0) = x[j];
+  const std::vector<cplx> y = a.apply(x);
+  const DenseMatrix ym = a * xm;
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(std::abs(y[i] - ym(i, 0)), 0.0, 1e-12);
+}
+
+TEST(DenseMatrix, HermitianCheck) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = cplx{0.0, 1.0};
+  a(1, 0) = cplx{0.0, -1.0};
+  a(1, 1) = -2.0;
+  EXPECT_TRUE(a.is_hermitian());
+  a(1, 0) = cplx{0.0, 1.0};
+  EXPECT_FALSE(a.is_hermitian());
+}
+
+TEST(DenseMatrix, KronDimensions) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(4, 5);
+  const DenseMatrix k = kron(a, b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_EQ(k.cols(), 15u);
+}
+
+TEST(Csr, FromTripletsMergesDuplicates) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 3, {0, 0, 1, 2}, {1, 1, 2, 0}, {cplx{1.0, 0}, cplx{2.0, 0}, cplx{3.0, 0}, cplx{4.0, 0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  const std::vector<cplx> y = m.apply({1.0, 1.0, 1.0});
+  EXPECT_NEAR(y[0].real(), 3.0, 1e-14);
+  EXPECT_NEAR(y[1].real(), 3.0, 1e-14);
+  EXPECT_NEAR(y[2].real(), 4.0, 1e-14);
+}
+
+TEST(Csr, MatchesDenseOnRandomMatrix) {
+  Rng rng(13);
+  const std::size_t n = 16;
+  DenseMatrix d(n, n);
+  std::vector<std::size_t> is;
+  std::vector<std::size_t> js;
+  std::vector<cplx> vs;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.uniform() < 0.7) continue;  // sparse
+      const cplx v = rng.normal_cplx();
+      d(i, j) = v;
+      is.push_back(i);
+      js.push_back(j);
+      vs.push_back(v);
+    }
+  const CsrMatrix s = CsrMatrix::from_triplets(n, n, is, js, vs);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = rng.normal_cplx();
+  const std::vector<cplx> yd = d.apply(x);
+  const std::vector<cplx> ys = s.apply(x);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(yd[i] - ys[i]), 0.0, 1e-12);
+}
+
+TEST(Csr, HermitianDetection) {
+  const CsrMatrix herm = CsrMatrix::from_triplets(
+      2, 2, {0, 1}, {1, 0}, {cplx{0.0, 2.0}, cplx{0.0, -2.0}});
+  EXPECT_TRUE(herm.is_hermitian());
+  const CsrMatrix nonherm = CsrMatrix::from_triplets(
+      2, 2, {0, 1}, {1, 0}, {cplx{0.0, 2.0}, cplx{0.0, 2.0}});
+  EXPECT_FALSE(nonherm.is_hermitian());
+}
+
+TEST(Csr, RejectsBadTriplets) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {5}, {0}, {cplx{1.0, 0}}),
+               std::out_of_range);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {0, 1}, {0}, {cplx{1.0, 0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,128 @@
+#include "vqe/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vqsim {
+namespace {
+
+double quadratic(std::span<const double> x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - static_cast<double>(i + 1);
+    s += (1.0 + static_cast<double>(i)) * d * d;
+  }
+  return s;
+}
+
+double rosenbrock(std::span<const double> x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = x[i + 1] - x[i] * x[i];
+    const double b = 1.0 - x[i];
+    s += 100.0 * a * a + b * b;
+  }
+  return s;
+}
+
+TEST(NelderMead, QuadraticBowl) {
+  NelderMead nm;
+  const OptimizerResult r = nm.minimize(quadratic, {0.0, 0.0, 0.0});
+  EXPECT_LT(r.fval, 1e-10);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-4);
+  EXPECT_NEAR(r.x[2], 3.0, 1e-4);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(NelderMead, Rosenbrock2d) {
+  NelderMeadOptions opts;
+  opts.max_evaluations = 5000;
+  NelderMead nm(opts);
+  const OptimizerResult r = nm.minimize(rosenbrock, {-1.2, 1.0});
+  EXPECT_LT(r.fval, 1e-8);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HistoryIsMonotone) {
+  NelderMead nm;
+  const OptimizerResult r = nm.minimize(quadratic, {5.0, -3.0});
+  for (std::size_t i = 1; i < r.history.size(); ++i)
+    EXPECT_LE(r.history[i], r.history[i - 1] + 1e-12);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  NelderMeadOptions opts;
+  opts.max_evaluations = 50;
+  NelderMead nm(opts);
+  const OptimizerResult r = nm.minimize(rosenbrock, {-1.2, 1.0, 0.5, 2.0});
+  EXPECT_LE(r.evaluations, 60u);  // budget plus at most one simplex rebuild
+}
+
+TEST(Spsa, QuadraticBowlApproximately) {
+  SpsaOptions opts;
+  opts.iterations = 2000;
+  opts.a = 0.4;
+  Spsa spsa(opts);
+  const OptimizerResult r = spsa.minimize(quadratic, {0.0, 0.0});
+  EXPECT_LT(r.fval, 0.05);
+}
+
+TEST(Spsa, DeterministicAcrossRuns) {
+  SpsaOptions opts;
+  opts.iterations = 100;
+  const OptimizerResult a = Spsa(opts).minimize(quadratic, {0.0, 0.0});
+  const OptimizerResult b = Spsa(opts).minimize(quadratic, {0.0, 0.0});
+  EXPECT_EQ(a.fval, b.fval);
+}
+
+TEST(Adam, NumericGradientQuadratic) {
+  AdamOptions opts;
+  opts.iterations = 500;
+  opts.learning_rate = 0.1;
+  Adam adam(opts);
+  const OptimizerResult r = adam.minimize(quadratic, {0.0, 0.0, 0.0});
+  EXPECT_LT(r.fval, 1e-4);
+}
+
+TEST(Adam, AnalyticGradientConvergesFaster) {
+  const GradientFn grad = [](std::span<const double> x, std::span<double> g) {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      g[i] = 2.0 * (1.0 + static_cast<double>(i)) *
+             (x[i] - static_cast<double>(i + 1));
+  };
+  AdamOptions opts;
+  opts.iterations = 800;
+  opts.learning_rate = 0.1;
+  Adam adam(opts, grad);
+  const OptimizerResult r = adam.minimize(quadratic, {0.0, 0.0, 0.0});
+  EXPECT_LT(r.fval, 1e-6);
+  // Analytic gradients: 1 objective evaluation per iteration plus the
+  // initial one, no finite-difference probes.
+  EXPECT_LE(r.evaluations, opts.iterations + 1);
+}
+
+TEST(Adam, StopsOnFlatGradient) {
+  const GradientFn grad = [](std::span<const double>, std::span<double> g) {
+    for (double& v : g) v = 0.0;
+  };
+  Adam adam(AdamOptions{}, grad);
+  const OptimizerResult r =
+      adam.minimize([](std::span<const double>) { return 1.0; }, {0.3});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(Optimizers, RejectEmptyStart) {
+  NelderMead nm;
+  EXPECT_THROW(nm.minimize(quadratic, {}), std::invalid_argument);
+  Spsa spsa;
+  EXPECT_THROW(spsa.minimize(quadratic, {}), std::invalid_argument);
+  Adam adam;
+  EXPECT_THROW(adam.minimize(quadratic, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

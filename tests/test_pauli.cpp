@@ -1,0 +1,166 @@
+#include "pauli/pauli_string.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pauli/pauli_sum.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+// All sixteen single-qubit products P * Q with expected result and phase.
+struct ProductCase {
+  char a;
+  char b;
+  char result;
+  cplx phase;
+};
+
+const ProductCase kProducts[] = {
+    {'I', 'I', 'I', {1, 0}},  {'I', 'X', 'X', {1, 0}},
+    {'I', 'Y', 'Y', {1, 0}},  {'I', 'Z', 'Z', {1, 0}},
+    {'X', 'I', 'X', {1, 0}},  {'X', 'X', 'I', {1, 0}},
+    {'X', 'Y', 'Z', {0, 1}},  {'X', 'Z', 'Y', {0, -1}},
+    {'Y', 'I', 'Y', {1, 0}},  {'Y', 'X', 'Z', {0, -1}},
+    {'Y', 'Y', 'I', {1, 0}},  {'Y', 'Z', 'X', {0, 1}},
+    {'Z', 'I', 'Z', {1, 0}},  {'Z', 'X', 'Y', {0, 1}},
+    {'Z', 'Y', 'X', {0, -1}}, {'Z', 'Z', 'I', {1, 0}},
+};
+
+class PauliProduct : public ::testing::TestWithParam<ProductCase> {};
+
+TEST_P(PauliProduct, SingleQubitTable) {
+  const ProductCase& pc = GetParam();
+  const PauliString a = PauliString::from_string(std::string(1, pc.a));
+  const PauliString b = PauliString::from_string(std::string(1, pc.b));
+  cplx phase;
+  const PauliString r = multiply(a, b, &phase);
+  EXPECT_EQ(r, PauliString::from_string(std::string(1, pc.result)));
+  EXPECT_NEAR(std::abs(phase - pc.phase), 0.0, 1e-15)
+      << pc.a << pc.b << " expected phase (" << pc.phase.real() << ","
+      << pc.phase.imag() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, PauliProduct,
+                         ::testing::ValuesIn(kProducts));
+
+TEST(PauliString, FromToString) {
+  const PauliString p = PauliString::from_string("XIZY");
+  EXPECT_EQ(p.to_string(4), "XIZY");
+  EXPECT_EQ(p.axis(0), PauliAxis::kX);
+  EXPECT_EQ(p.axis(1), PauliAxis::kI);
+  EXPECT_EQ(p.axis(2), PauliAxis::kZ);
+  EXPECT_EQ(p.axis(3), PauliAxis::kY);
+  EXPECT_EQ(p.weight(), 3);
+  EXPECT_EQ(p.min_qubits(), 4);
+}
+
+TEST(PauliString, CommutationRules) {
+  const auto X = PauliString::from_string("X");
+  const auto Y = PauliString::from_string("Y");
+  const auto Z = PauliString::from_string("Z");
+  EXPECT_FALSE(X.commutes_with(Y));
+  EXPECT_FALSE(Y.commutes_with(Z));
+  EXPECT_FALSE(X.commutes_with(Z));
+  EXPECT_TRUE(X.commutes_with(X));
+  // XX and YY commute (two anticommuting positions).
+  EXPECT_TRUE(PauliString::from_string("XX").commutes_with(
+      PauliString::from_string("YY")));
+  // XI and YZ anticommute (one anticommuting position).
+  EXPECT_FALSE(PauliString::from_string("XI").commutes_with(
+      PauliString::from_string("YZ")));
+}
+
+TEST(PauliString, QubitwiseCommutation) {
+  const auto a = PauliString::from_string("XIZ");
+  EXPECT_TRUE(a.qubitwise_commutes_with(PauliString::from_string("XIZ")));
+  EXPECT_TRUE(a.qubitwise_commutes_with(PauliString::from_string("IIZ")));
+  EXPECT_TRUE(a.qubitwise_commutes_with(PauliString::from_string("XII")));
+  EXPECT_FALSE(a.qubitwise_commutes_with(PauliString::from_string("ZIZ")));
+  // XX vs YY commute globally but NOT qubit-wise.
+  EXPECT_FALSE(PauliString::from_string("XX").qubitwise_commutes_with(
+      PauliString::from_string("YY")));
+}
+
+TEST(PauliString, MultiplyAssociativity) {
+  const auto a = PauliString::from_string("XYZI");
+  const auto b = PauliString::from_string("YYXZ");
+  const auto c = PauliString::from_string("ZIXY");
+  cplx p1, p2, p3, p4;
+  const PauliString ab = multiply(a, b, &p1);
+  const PauliString ab_c = multiply(ab, c, &p2);
+  const PauliString bc = multiply(b, c, &p3);
+  const PauliString a_bc = multiply(a, bc, &p4);
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_NEAR(std::abs(p1 * p2 - p3 * p4), 0.0, 1e-15);
+}
+
+TEST(PauliSum, SimplifyMergesAndPrunes) {
+  PauliSum s(2);
+  s.add_term(0.5, "XZ");
+  s.add_term(0.5, "XZ");
+  s.add_term(1e-15, "YY");
+  s.simplify();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(std::abs(s[0].coefficient - cplx{1.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(PauliSum, ArithmeticAgainstDenseMatrices) {
+  PauliSum a(2);
+  a.add_term(0.7, "XZ");
+  a.add_term(-0.2, "YI");
+  PauliSum b(2);
+  b.add_term(1.1, "ZZ");
+  b.add_term(0.4, "IX");
+
+  const DenseMatrix ma = pauli_sum_matrix(a, 2);
+  const DenseMatrix mb = pauli_sum_matrix(b, 2);
+  EXPECT_LT((pauli_sum_matrix(a + b, 2) - (ma + mb)).max_abs_diff(
+                DenseMatrix(4, 4)),
+            1e-13);
+  EXPECT_LT((pauli_sum_matrix(a * b, 2) - (ma * mb)).max_abs_diff(
+                DenseMatrix(4, 4)),
+            1e-13);
+  EXPECT_LT((pauli_sum_matrix(a.commutator(b), 2) -
+             (ma * mb - mb * ma)).max_abs_diff(DenseMatrix(4, 4)),
+            1e-13);
+}
+
+TEST(PauliSum, CommutatorIdentity) {
+  // [Z, X] = 2iY.
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+  PauliSum x(1);
+  x.add_term(1.0, "X");
+  const PauliSum c = z.commutator(x);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].string, PauliString::from_string("Y"));
+  EXPECT_NEAR(std::abs(c[0].coefficient - cplx{0.0, 2.0}), 0.0, 1e-14);
+}
+
+TEST(PauliSum, HermiticityCheck) {
+  PauliSum h(1);
+  h.add_term(0.5, "X");
+  EXPECT_TRUE(h.is_hermitian());
+  h.add_term(cplx{0.0, 0.3}, "Z");
+  EXPECT_FALSE(h.is_hermitian());
+  EXPECT_TRUE((h * h.adjoint()).is_hermitian(1e-9));
+}
+
+TEST(PauliSum, IdentityCoefficientAndNorm) {
+  PauliSum s(2);
+  s.add_term(3.5, "II");
+  s.add_term(-1.0, "XZ");
+  EXPECT_NEAR(s.identity_coefficient().real(), 3.5, 1e-14);
+  EXPECT_NEAR(s.one_norm(), 4.5, 1e-14);
+}
+
+TEST(PauliSum, AddTermValidatesRegister) {
+  PauliSum s(2);
+  EXPECT_THROW(s.add_term(1.0, PauliString::from_string("IIX")),
+               std::out_of_range);
+  EXPECT_THROW(s.add_term(1.0, "X"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

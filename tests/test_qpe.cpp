@@ -1,0 +1,163 @@
+#include "qpe/qpe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/fci.hpp"
+#include "chem/hartree_fock.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "qpe/qft.hpp"
+#include "sim/expectation.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+namespace {
+
+TEST(Qft, TransformsBasisStateToUniformPhases) {
+  // QFT|x> amplitudes: exp(2 pi i x y / N) / sqrt(N).
+  const int m = 4;
+  const idx N = idx{1} << m;
+  for (idx x : {idx{0}, idx{3}, idx{9}}) {
+    StateVector psi(m);
+    psi.set_basis_state(x);
+    psi.apply_circuit(qft_circuit(m, 0, m));
+    for (idx y = 0; y < N; ++y) {
+      const cplx expected =
+          std::exp(cplx{0.0, 2.0 * kPi * static_cast<double>(x * y) /
+                                 static_cast<double>(N)}) /
+          std::sqrt(static_cast<double>(N));
+      EXPECT_NEAR(std::abs(psi.data()[y] - expected), 0.0, 1e-10)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(Qft, InverseUndoes) {
+  StateVector psi(5);
+  psi.set_basis_state(19);
+  psi.apply_circuit(qft_circuit(5, 1, 4));
+  psi.apply_circuit(inverse_qft_circuit(5, 1, 4));
+  EXPECT_NEAR(psi.probability(19), 1.0, 1e-10);
+}
+
+TEST(Trotter, FirstOrderErrorShrinksWithSteps) {
+  // H = X0 + Z0 Z1: non-commuting terms, so Trotter error is visible.
+  PauliSum h(2);
+  h.add_term(0.8, "XI");
+  h.add_term(0.6, "ZZ");
+  const double t = 1.0;
+
+  // Exact evolution via dense exponentiation through eigen-decomposition.
+  const DenseMatrix hm = pauli_sum_matrix(h, 2);
+  StateVector ref(2);
+  ref.set_basis_state(1);
+  // exp(-iHt)|psi> by spectral decomposition (2-qubit, cheap).
+  // Use many second-order steps as "exact".
+  StateVector exact(2);
+  exact.set_basis_state(1);
+  exact.apply_circuit(trotter_circuit(h, t, {.steps = 4096, .order = 2}));
+
+  auto error = [&](int steps, int order) {
+    StateVector psi(2);
+    psi.set_basis_state(1);
+    psi.apply_circuit(trotter_circuit(h, t, {.steps = steps, .order = order}));
+    return 1.0 - psi.fidelity(exact);
+  };
+
+  const double e1 = error(1, 1);
+  const double e4 = error(4, 1);
+  const double e16 = error(16, 1);
+  EXPECT_GT(e1, e4);
+  EXPECT_GT(e4, e16);
+  // First order: error ~ 1/steps (fidelity deficit ~ 1/steps^2).
+  EXPECT_NEAR(e4 / e16, 16.0, 10.0);
+
+  // Second order beats first order at equal step count.
+  EXPECT_LT(error(4, 2), e4);
+}
+
+TEST(Trotter, CommutingTermsAreExact) {
+  PauliSum h(2);
+  h.add_term(0.5, "ZI");
+  h.add_term(0.25, "ZZ");
+  StateVector a(2);
+  a.set_basis_state(2);
+  a.apply_circuit(trotter_circuit(h, 0.9, {.steps = 1, .order = 1}));
+  StateVector b(2);
+  b.set_basis_state(2);
+  b.apply_circuit(trotter_circuit(h, 0.9, {.steps = 50, .order = 2}));
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-10);
+}
+
+TEST(EnergyFromPhase, SignedUnfolding) {
+  EXPECT_NEAR(energy_from_phase(0.0, 1.0), 0.0, 1e-14);
+  EXPECT_NEAR(energy_from_phase(0.25, 1.0), -kPi / 2, 1e-12);
+  EXPECT_NEAR(energy_from_phase(0.75, 1.0), kPi / 2, 1e-12);
+  EXPECT_NEAR(energy_from_phase(0.75, 2.0), kPi / 4, 1e-12);
+}
+
+TEST(Qpe, ExactEigenstateDiagonalHamiltonian) {
+  // H = 0.7 Z0 with eigenstate |1>: E = -0.7 exactly representable when
+  // t = 2 pi * k / (E * 2^m) style alignment is not needed because we pick
+  // a phase that lands on the grid: choose t so that -E t / (2 pi) = 3/16.
+  PauliSum h(1);
+  h.add_term(0.7, "Z");
+  const double energy = -0.7;  // eigenvalue on |1>
+  const int m = 4;
+  const double t = (3.0 / 16.0) * 2.0 * kPi / (-energy);
+
+  Circuit prep(1);
+  prep.x(0);
+  QpeOptions opts;
+  opts.ancilla_qubits = m;
+  opts.time = t;
+  opts.trotter = {.steps = 1, .order = 1};
+  const QpeResult r = run_qpe(h, prep, opts);
+  EXPECT_NEAR(r.phase, 3.0 / 16.0, 1e-10);
+  EXPECT_NEAR(r.energy, energy, 1e-10);
+  EXPECT_GT(r.peak_probability, 0.99);
+}
+
+TEST(Qpe, H2GroundEnergyFromHartreeFockPreparation) {
+  const FermionOp hf_op = molecular_hamiltonian(h2_sto3g());
+  const double e_fci = fci_ground_state(hf_op, 4, 2).energy;
+  PauliSum h = jordan_wigner(hf_op);
+
+  // Shift the spectrum so the ground state sits near zero and the window
+  // (-pi/t, pi/t] comfortably contains it.
+  const double shift = h2_sto3g().hartree_fock_energy();
+  PauliSum shifted = h;
+  PauliSum ident(4);
+  ident.add_term(-shift, PauliString::identity());
+  shifted += ident;
+
+  QpeOptions opts;
+  opts.ancilla_qubits = 6;
+  opts.time = 16.0;  // resolution 2 pi / (t 2^m) ~ 6 mHa
+  opts.trotter = {.steps = 16, .order = 2};
+  const QpeResult r =
+      run_qpe(shifted, hf_state_circuit(4, 2), opts);
+
+  const double resolution = 2.0 * kPi / (opts.time * (1 << opts.ancilla_qubits));
+  EXPECT_NEAR(r.energy + shift, e_fci, 2.0 * resolution);
+  // HF has strong overlap with the H2 ground state, so the peak dominates.
+  EXPECT_GT(r.peak_probability, 0.5);
+  EXPECT_FALSE(r.counts.empty());
+}
+
+TEST(Qpe, RejectsBadConfigurations) {
+  PauliSum h(1);
+  h.add_term(1.0, "Z");
+  Circuit prep(1);
+  QpeOptions opts;
+  opts.ancilla_qubits = 0;
+  EXPECT_THROW(run_qpe(h, prep, opts), std::invalid_argument);
+  EXPECT_THROW(
+      controlled_trotter_circuit(h, 1.0, /*control=*/0, /*num_qubits=*/2),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

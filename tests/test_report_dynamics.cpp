@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/report.hpp"
+#include "chem/molecules.hpp"
+#include "qpe/dynamics.hpp"
+
+namespace vqsim {
+namespace {
+
+TEST(Report, VqeReportRoundTripsKeyNumbers) {
+  WorkflowConfig config;
+  config.molecule = h2_sto3g();
+  config.algorithm = WorkflowAlgorithm::kVqe;
+  const WorkflowReport report = run_workflow(config);
+  const std::string json = report_to_json(report);
+
+  double v = 0.0;
+  ASSERT_TRUE(json_get_number(json, "qubits", &v));
+  EXPECT_EQ(v, 4.0);
+  ASSERT_TRUE(json_get_number(json, "energy", &v));
+  EXPECT_NEAR(v, report.energy, 1e-9);
+  ASSERT_TRUE(json_get_number(json, "fci_energy", &v));
+  EXPECT_NEAR(v, *report.fci_energy, 1e-9);
+  ASSERT_TRUE(json_get_number(json, "non_caching_gates", &v));
+  EXPECT_EQ(static_cast<std::size_t>(v),
+            report.vqe->cost_model.non_caching_gates());
+  EXPECT_NE(json.find("\"history\":["), std::string::npos);
+  EXPECT_FALSE(json_get_number(json, "no_such_key", &v));
+}
+
+TEST(Report, AdaptAndQpeSectionsPresent) {
+  WorkflowConfig config;
+  config.molecule = h2_sto3g();
+  config.algorithm = WorkflowAlgorithm::kAdaptVqe;
+  config.adapt.max_operators = 4;
+  const std::string adapt_json = report_to_json(run_workflow(config));
+  EXPECT_NE(adapt_json.find("\"adapt\":{"), std::string::npos);
+  EXPECT_NE(adapt_json.find("\"pool_index\":"), std::string::npos);
+
+  config.algorithm = WorkflowAlgorithm::kQpe;
+  config.qpe.ancilla_qubits = 4;
+  config.qpe.time = 8.0;
+  config.qpe.trotter = {.steps = 4, .order = 2};
+  const std::string qpe_json = report_to_json(run_workflow(config));
+  EXPECT_NE(qpe_json.find("\"qpe\":{"), std::string::npos);
+  double v = 0.0;
+  EXPECT_TRUE(json_get_number(qpe_json, "peak_probability", &v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(Dynamics, RabiOscillationUnderXField) {
+  // H = (w/2) X on one qubit starting in |0>: <Z>(t) = cos(w t) exactly.
+  const double w = 1.3;
+  PauliSum h(1);
+  h.add_term(w / 2.0, "X");
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+
+  DynamicsOptions opts;
+  opts.total_time = 4.0;
+  opts.num_samples = 16;
+  opts.trotter = {.steps = 1, .order = 1};  // single term: exact
+
+  const auto samples = evolve_observable(StateVector(1), h, z, opts);
+  ASSERT_EQ(samples.size(), 17u);
+  for (const DynamicsSample& s : samples)
+    EXPECT_NEAR(s.value, std::cos(w * s.time), 1e-10) << "t=" << s.time;
+}
+
+TEST(Dynamics, EnergyIsConservedUnderOwnEvolution) {
+  // <H> is invariant under exp(-iHt) (to Trotter error).
+  PauliSum h(2);
+  h.add_term(0.8, "XI");
+  h.add_term(0.5, "ZZ");
+  h.add_term(-0.3, "IY");
+
+  StateVector psi(2);
+  Circuit prep(2);
+  prep.h(0).cx(0, 1).rz(0.3, 1);
+  psi.apply_circuit(prep);
+
+  DynamicsOptions opts;
+  opts.total_time = 2.0;
+  opts.num_samples = 8;
+  opts.trotter = {.steps = 64, .order = 2};
+  const auto samples = evolve_observable(psi, h, h, opts);
+  for (const DynamicsSample& s : samples)
+    EXPECT_NEAR(s.value, samples.front().value, 1e-5) << "t=" << s.time;
+}
+
+TEST(Dynamics, RejectsBadOptions) {
+  PauliSum h(1);
+  h.add_term(1.0, "X");
+  DynamicsOptions opts;
+  opts.num_samples = 0;
+  EXPECT_THROW(evolve_observable(StateVector(1), h, h, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

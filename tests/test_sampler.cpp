@@ -1,0 +1,115 @@
+#include "sim/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/expectation.hpp"
+#include "sim/noise.hpp"
+
+namespace vqsim {
+namespace {
+
+TEST(Sampler, BasisStateIsDeterministic) {
+  StateVector sv(3);
+  sv.set_basis_state(6);
+  Rng rng(301);
+  for (idx s : sample_states(sv, 100, rng)) EXPECT_EQ(s, 6u);
+}
+
+TEST(Sampler, BellStateFrequencies) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  Rng rng(302);
+  const auto counts = sample_counts(sv, 10000, rng);
+  EXPECT_EQ(counts.count(0b01), 0u);
+  EXPECT_EQ(counts.count(0b10), 0u);
+  const double f00 = static_cast<double>(counts.at(0b00)) / 10000.0;
+  EXPECT_NEAR(f00, 0.5, 0.03);
+}
+
+TEST(Sampler, ZMaskEstimateConvergesToDirect) {
+  StateVector sv(3);
+  Circuit c(3);
+  c.ry(0.7, 0).ry(1.1, 1).cx(0, 2);
+  sv.apply_circuit(c);
+  const std::uint64_t mask = 0b101;
+  const double exact = expectation_z_mask(sv, mask);
+  Rng rng(303);
+  const double few = sampled_z_mask_expectation(sv, mask, 100, rng);
+  const double many = sampled_z_mask_expectation(sv, mask, 100000, rng);
+  EXPECT_NEAR(many, exact, 0.01);
+  // Statistical error shrinks with shots (loose sanity check).
+  EXPECT_LE(std::abs(many - exact), std::abs(few - exact) + 0.02);
+}
+
+TEST(Sampler, ShotCountRespected) {
+  StateVector sv(2);
+  Rng rng(304);
+  EXPECT_EQ(sample_states(sv, 1234, rng).size(), 1234u);
+  EXPECT_EQ(sampled_z_mask_expectation(sv, 1, 0, rng), 0.0);
+}
+
+TEST(Noise, NoiselessMatchesExactExecution) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).rz(0.4, 1);
+  PauliSum h(2);
+  h.add_term(1.0, "ZZ");
+  Rng rng(305);
+  StateVector exact(2);
+  exact.apply_circuit(c);
+  EXPECT_NEAR(noisy_expectation(c, h, NoiseModel{}, 3, rng),
+              expectation(exact, h), 1e-12);
+}
+
+TEST(Noise, DepolarizingShrinksCoherence) {
+  // <ZZ> of a Bell state is 1 exactly; depolarizing noise must shrink it.
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  PauliSum h(2);
+  h.add_term(1.0, "ZZ");
+  Rng rng(306);
+  NoiseModel noisy;
+  noisy.depolarizing = 0.2;
+  const double e = noisy_expectation(c, h, noisy, 400, rng);
+  EXPECT_LT(e, 0.95);
+  EXPECT_GT(e, -0.5);
+}
+
+TEST(Noise, AmplitudeDampingDecaysExcitedPopulation) {
+  // |1> through a long identity-like circuit with damping decays toward |0>.
+  Circuit c(1);
+  c.x(0);
+  for (int i = 0; i < 20; ++i) c.id(0);
+  // id gates don't trigger kernels, so damp via repeated z (acts as no-op
+  // unitary with noise attached after each gate).
+  Circuit c2(1);
+  c2.x(0);
+  for (int i = 0; i < 20; ++i) {
+    c2.z(0);
+    c2.z(0);
+  }
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+  Rng rng(307);
+  NoiseModel damping;
+  damping.damping = 0.1;
+  const double e = noisy_expectation(c2, z, damping, 300, rng);
+  // Without noise <Z> = -1 (excited); damping pushes toward +1 (ground).
+  EXPECT_GT(e, -0.5);
+}
+
+TEST(Noise, RejectsZeroTrajectories) {
+  Circuit c(1);
+  c.x(0);
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+  Rng rng(308);
+  EXPECT_THROW(noisy_expectation(c, z, NoiseModel{}, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,145 @@
+#include "chem/scf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/fci.hpp"
+#include "chem/gaussian.hpp"
+#include "chem/molecules.hpp"
+
+namespace vqsim {
+namespace {
+
+constexpr double kH2Bond = 1.4011;  // bohr (0.7414 Angstrom)
+
+TEST(Gaussian, BoysFunctionLimits) {
+  EXPECT_NEAR(boys_f0(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(boys_f0(1e-14), 1.0, 1e-10);
+  // Large-argument asymptote: F0(t) -> sqrt(pi)/2 / sqrt(t).
+  EXPECT_NEAR(boys_f0(100.0), 0.5 * std::sqrt(kPi / 100.0), 1e-12);
+  // Continuity across the series/closed-form switch.
+  EXPECT_NEAR(boys_f0(1e-12), boys_f0(2e-12), 1e-10);
+}
+
+TEST(Gaussian, NormalizedSelfOverlap) {
+  const ContractedGaussian g = sto3g_1s({0, 0, 0}, 1.24);
+  // STO-3G contraction of normalized primitives: self-overlap ~ 1.
+  EXPECT_NEAR(overlap(g, g), 1.0, 1e-6);
+}
+
+TEST(Gaussian, OverlapDecaysWithDistance) {
+  const ContractedGaussian a = sto3g_1s({0, 0, 0}, 1.24);
+  double prev = 1.0;
+  for (double r : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const ContractedGaussian b = sto3g_1s({0, 0, r}, 1.24);
+    const double s = overlap(a, b);
+    EXPECT_LT(s, prev);
+    EXPECT_GT(s, 0.0);
+    prev = s;
+  }
+}
+
+TEST(Gaussian, HydrogenAtomEnergy) {
+  // One STO-3G 1s function with zeta = 1.0: <T> + <V> should be close to
+  // the variational minimum -0.5 Ha less the basis-set error (~0.005).
+  const ContractedGaussian g = sto3g_1s({0, 0, 0}, 1.0);
+  const double t = kinetic(g, g);
+  const double v = -nuclear_attraction(g, g, {0, 0, 0});
+  EXPECT_NEAR(t + v, -0.495, 0.005);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(v, 0.0);
+}
+
+TEST(Gaussian, EriPermutationSymmetry) {
+  const ContractedGaussian a = sto3g_1s({0, 0, 0}, 1.24);
+  const ContractedGaussian b = sto3g_1s({0, 0, 1.4}, 1.24);
+  const double abab = electron_repulsion(a, b, a, b);
+  EXPECT_NEAR(abab, electron_repulsion(b, a, a, b), 1e-12);
+  EXPECT_NEAR(abab, electron_repulsion(a, b, b, a), 1e-12);
+  EXPECT_NEAR(electron_repulsion(a, a, b, b),
+              electron_repulsion(b, b, a, a), 1e-12);
+}
+
+TEST(Scf, H2ReproducesLiteratureIntegrals) {
+  // The whole point: the ab-initio pipeline must regenerate the hard-coded
+  // Szabo-Ostlund H2/STO-3G MO integrals used everywhere else.
+  const MolecularIntegrals computed =
+      molecule_from_atoms(h2_geometry(kH2Bond), 2);
+  const MolecularIntegrals reference = h2_sto3g();
+
+  EXPECT_NEAR(computed.e_core, reference.e_core, 1e-4);
+  EXPECT_NEAR(computed.one_body(0, 0), reference.one_body(0, 0), 2e-3);
+  EXPECT_NEAR(computed.one_body(1, 1), reference.one_body(1, 1), 2e-3);
+  EXPECT_NEAR(computed.two_body(0, 0, 0, 0), reference.two_body(0, 0, 0, 0),
+              2e-3);
+  EXPECT_NEAR(computed.two_body(1, 1, 1, 1), reference.two_body(1, 1, 1, 1),
+              2e-3);
+  EXPECT_NEAR(computed.two_body(0, 0, 1, 1), reference.two_body(0, 0, 1, 1),
+              2e-3);
+  EXPECT_NEAR(std::abs(computed.two_body(0, 1, 0, 1)),
+              std::abs(reference.two_body(0, 1, 0, 1)), 2e-3);
+  // Symmetry-forbidden integrals vanish.
+  EXPECT_NEAR(computed.two_body(0, 1, 0, 0), 0.0, 1e-8);
+}
+
+TEST(Scf, H2EnergiesMatchLiterature) {
+  const AoIntegrals ao = compute_ao_integrals(h2_geometry(kH2Bond));
+  const ScfResult scf = run_rhf(ao, 2);
+  ASSERT_TRUE(scf.converged);
+  EXPECT_NEAR(scf.hf_energy, -1.1167, 2e-3);
+
+  const MolecularIntegrals mo = mo_integrals(ao, scf, 2);
+  EXPECT_NEAR(mo.hartree_fock_energy(), scf.hf_energy, 1e-8);
+  const double e_fci = fci_ground_state(molecular_hamiltonian(mo), 4, 2).energy;
+  EXPECT_NEAR(e_fci, -1.1373, 2e-3);
+}
+
+TEST(Scf, H2DissociationCurveShape) {
+  // FCI curve: minimum near equilibrium, rising toward the separated-atom
+  // limit of two STO-3G hydrogens (2 x -0.4666 Ha).
+  double e_eq = 0.0;
+  double e_stretch = 0.0;
+  double e_far = 0.0;
+  for (double r : {kH2Bond, 3.0, 8.0}) {
+    const MolecularIntegrals mo = molecule_from_atoms(h2_geometry(r), 2);
+    const double e = fci_ground_state(molecular_hamiltonian(mo), 4, 2).energy;
+    if (r == kH2Bond) e_eq = e;
+    if (r == 3.0) e_stretch = e;
+    if (r == 8.0) e_far = e;
+  }
+  EXPECT_LT(e_eq, e_stretch);
+  EXPECT_LT(e_stretch, e_far + 1e-6);
+  // Separated atoms: E(H, STO-3G, zeta=1.24) each ~ -0.4666 Ha.
+  EXPECT_NEAR(e_far, 2 * -0.4666, 5e-3);
+}
+
+TEST(Scf, HehPlusBound) {
+  // HeH+ (2 electrons): SCF converges and correlates below HF.
+  const MolecularIntegrals mo =
+      molecule_from_atoms(heh_plus_geometry(1.4632), 2);
+  const double e_hf = mo.hartree_fock_energy();
+  const double e_fci = fci_ground_state(molecular_hamiltonian(mo), 4, 2).energy;
+  EXPECT_LT(e_fci, e_hf);
+  // Szabo-Ostlund report about -2.86 Ha HF for this geometry/basis.
+  EXPECT_NEAR(e_hf, -2.86, 0.05);
+}
+
+TEST(Scf, H4ChainRuns) {
+  const MolecularIntegrals mo =
+      molecule_from_atoms(h4_chain_geometry(1.8), 4);
+  EXPECT_EQ(mo.norb, 4);
+  const double e_hf = mo.hartree_fock_energy();
+  const double e_fci = fci_ground_state(molecular_hamiltonian(mo), 8, 4).energy;
+  EXPECT_LT(e_fci, e_hf - 1e-3);  // stretched chain: sizable correlation
+}
+
+TEST(Scf, RejectsBadElectronCounts) {
+  const AoIntegrals ao = compute_ao_integrals(h2_geometry(kH2Bond));
+  EXPECT_THROW(run_rhf(ao, 3), std::invalid_argument);
+  EXPECT_THROW(run_rhf(ao, 0), std::invalid_argument);
+  EXPECT_THROW(run_rhf(ao, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chem/fci.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "chem/spin.hpp"
+#include "chem/uccsd.hpp"
+#include "common/rng.hpp"
+#include "linalg/jacobi.hpp"
+#include "sim/expectation.hpp"
+#include "vqe/vqd.hpp"
+
+namespace vqsim {
+namespace {
+
+double basis_expectation(const PauliSum& op, idx basis, int nq) {
+  StateVector psi(nq);
+  psi.set_basis_state(basis);
+  return expectation(psi, op);
+}
+
+TEST(Spin, DeterminantEigenvalues) {
+  const int norb = 2;
+  const PauliSum sz = jordan_wigner(sz_operator(norb));
+  const PauliSum s2 = jordan_wigner(s_squared_operator(norb));
+
+  // |alpha_0>: s = 1/2 -> Sz = 1/2, S^2 = 3/4.
+  EXPECT_NEAR(basis_expectation(sz, 0b0001, 4), 0.5, 1e-12);
+  EXPECT_NEAR(basis_expectation(s2, 0b0001, 4), 0.75, 1e-12);
+  // |alpha_0 beta_0>: closed shell -> Sz = 0, S^2 = 0.
+  EXPECT_NEAR(basis_expectation(sz, 0b0011, 4), 0.0, 1e-12);
+  EXPECT_NEAR(basis_expectation(s2, 0b0011, 4), 0.0, 1e-12);
+  // |alpha_0 alpha_1>: triplet -> Sz = 1, S^2 = 2.
+  EXPECT_NEAR(basis_expectation(sz, 0b0101, 4), 1.0, 1e-12);
+  EXPECT_NEAR(basis_expectation(s2, 0b0101, 4), 2.0, 1e-12);
+  // |beta_0 beta_1>: Sz = -1, S^2 = 2.
+  EXPECT_NEAR(basis_expectation(sz, 0b1010, 4), -1.0, 1e-12);
+  EXPECT_NEAR(basis_expectation(s2, 0b1010, 4), 2.0, 1e-12);
+}
+
+TEST(Spin, OperatorsCommuteWithMolecularHamiltonian) {
+  const PauliSum h = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+  const PauliSum sz = jordan_wigner(sz_operator(2));
+  const PauliSum s2 = jordan_wigner(s_squared_operator(2));
+  EXPECT_TRUE(h.commutator(sz).empty());
+  PauliSum c2 = h.commutator(s2);
+  c2.simplify(1e-9);
+  EXPECT_TRUE(c2.empty());
+}
+
+TEST(Spin, H2GroundStateIsSinglet) {
+  const FermionOp hf = molecular_hamiltonian(h2_sto3g());
+  const FciResult fci = fci_ground_state(hf, 4, 2);
+  // Build the ground state over the full register and evaluate S^2.
+  const auto dets = sector_determinants(4, 2);
+  AmpVector amps(16, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < dets.size(); ++i)
+    amps[dets[i]] = fci.ground_state[i];
+  StateVector psi = StateVector::from_amplitudes(std::move(amps));
+  const PauliSum s2 = jordan_wigner(s_squared_operator(2));
+  EXPECT_NEAR(expectation(psi, s2), 0.0, 1e-8);
+}
+
+TEST(Spin, UccsdPreservesSz) {
+  const UccsdAnsatz ansatz(6, 2);
+  Rng rng(701);
+  std::vector<double> theta(ansatz.num_parameters());
+  for (double& t : theta) t = rng.uniform(-0.5, 0.5);
+  StateVector psi(6);
+  ansatz.apply(&psi, theta);
+  const PauliSum sz = jordan_wigner(sz_operator(3));
+  EXPECT_NEAR(expectation(psi, sz), 0.0, 1e-10);
+  const PauliSum sz2 = sz * sz;
+  EXPECT_NEAR(expectation(psi, sz2), 0.0, 1e-9);  // zero variance
+}
+
+TEST(Vqd, H2GroundAndExcitedStatesWithExpressiveAnsatz) {
+  const FermionOp hf = molecular_hamiltonian(h2_sto3g());
+  const PauliSum h = jordan_wigner(hf);
+  const EigenSystem full = hermitian_eigensystem(pauli_sum_matrix(h, 4));
+
+  // The hardware-efficient ansatz spans all symmetry sectors, so the
+  // deflated state can reach the true first excited level.
+  const HardwareEfficientAnsatz ansatz(4, 2, 2);
+  VqdOptions opts;
+  opts.num_states = 2;
+  opts.beta = 10.0;
+  opts.vqe.nelder_mead.max_evaluations = 20000;
+  opts.vqe.nelder_mead.initial_step = 0.3;
+  const VqdResult r = run_vqd(ansatz, h, opts);
+
+  ASSERT_EQ(r.energies.size(), 2u);
+  EXPECT_NEAR(r.energies[0], full.eigenvalues.front(), 1e-5);
+  EXPECT_NEAR(r.energies[1], full.eigenvalues[1], 1e-4);
+}
+
+TEST(Vqd, SymmetryRestrictedAnsatzFindsConstrainedMinimum) {
+  // With the particle/Sz-conserving UCCSD ansatz the true first excited
+  // levels (other symmetry sectors) are unreachable; VQD returns the
+  // minimum orthogonal to the ground state *within the manifold* — above
+  // the ground state, below the reachable doubly-excited determinant.
+  const FermionOp hf = molecular_hamiltonian(h2_sto3g());
+  const PauliSum h = jordan_wigner(hf);
+
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqdOptions opts;
+  opts.num_states = 2;
+  opts.beta = 10.0;
+  opts.vqe.nelder_mead.max_evaluations = 4000;
+  const VqdResult r = run_vqd(ansatz, h, opts);
+
+  EXPECT_NEAR(r.energies[0], -1.13729, 1e-4);
+  EXPECT_GT(r.energies[1], r.energies[0] + 0.1);
+  EXPECT_LT(r.energies[1], 0.0);
+}
+
+TEST(Vqd, RejectsBadOptions) {
+  const PauliSum h(2);
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqdOptions opts;
+  opts.num_states = 0;
+  EXPECT_THROW(run_vqd(ansatz, h, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,177 @@
+#include "sim/stabilizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/rng.hpp"
+#include "sim/expectation.hpp"
+#include "vqe/cafqa.hpp"
+#include "vqe/vqe.hpp"
+
+namespace vqsim {
+namespace {
+
+Circuit random_clifford_circuit(int num_qubits, std::size_t gates, Rng& rng) {
+  Circuit c(num_qubits);
+  for (std::size_t i = 0; i < gates; ++i) {
+    const int q0 = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    int q1 = q0;
+    while (q1 == q0)
+      q1 = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(num_qubits)));
+    switch (rng.uniform_index(9)) {
+      case 0: c.h(q0); break;
+      case 1: c.s(q0); break;
+      case 2: c.sdg(q0); break;
+      case 3: c.x(q0); break;
+      case 4: c.cx(q0, q1); break;
+      case 5: c.cz(q0, q1); break;
+      case 6: c.swap(q0, q1); break;
+      case 7: c.ry(kPi / 2 * static_cast<double>(rng.uniform_index(4)), q0); break;
+      default: c.rz(kPi / 2 * static_cast<double>(rng.uniform_index(4)), q0); break;
+    }
+  }
+  return c;
+}
+
+PauliString random_pauli(int n, Rng& rng) {
+  PauliString s;
+  for (int q = 0; q < n; ++q)
+    s.set_axis(q, static_cast<PauliAxis>(rng.uniform_index(4)));
+  return s;
+}
+
+TEST(Stabilizer, InitialStateStabilizedByZ) {
+  StabilizerState state(3);
+  EXPECT_EQ(state.expectation(PauliString::from_string("ZII")), 1.0);
+  EXPECT_EQ(state.expectation(PauliString::from_string("IZZ")), 1.0);
+  EXPECT_EQ(state.expectation(PauliString::from_string("XII")), 0.0);
+  EXPECT_EQ(state.expectation(PauliString::identity()), 1.0);
+}
+
+TEST(Stabilizer, BellStateCorrelations) {
+  StabilizerState state(2);
+  state.apply_h(0);
+  state.apply_cx(0, 1);
+  EXPECT_EQ(state.expectation(PauliString::from_string("XX")), 1.0);
+  EXPECT_EQ(state.expectation(PauliString::from_string("ZZ")), 1.0);
+  EXPECT_EQ(state.expectation(PauliString::from_string("YY")), -1.0);
+  EXPECT_EQ(state.expectation(PauliString::from_string("ZI")), 0.0);
+  EXPECT_EQ(state.expectation(PauliString::from_string("XI")), 0.0);
+}
+
+TEST(Stabilizer, SignTracking) {
+  // X|0> = |1>: <Z> = -1.
+  StabilizerState state(1);
+  state.apply_x(0);
+  EXPECT_EQ(state.expectation(PauliString::from_string("Z")), -1.0);
+  // S|+> has <Y> = +1.
+  StabilizerState plus(1);
+  plus.apply_h(0);
+  plus.apply_s(0);
+  EXPECT_EQ(plus.expectation(PauliString::from_string("Y")), 1.0);
+  EXPECT_EQ(plus.expectation(PauliString::from_string("X")), 0.0);
+}
+
+TEST(Stabilizer, MatchesStateVectorOnRandomCliffordCircuits) {
+  Rng rng(801);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 4;
+    const Circuit c = random_clifford_circuit(n, 60, rng);
+
+    StabilizerState tableau(n);
+    ASSERT_TRUE(tableau.try_apply_circuit(c));
+    StateVector psi(n);
+    psi.apply_circuit(c);
+
+    for (int k = 0; k < 25; ++k) {
+      const PauliString p = random_pauli(n, rng);
+      const double exact = expectation_pauli(psi, p).real();
+      EXPECT_NEAR(tableau.expectation(p), exact, 1e-10)
+          << "trial " << trial << " " << p.to_string(n);
+    }
+  }
+}
+
+TEST(Stabilizer, RejectsNonCliffordGates) {
+  StabilizerState state(2);
+  Gate t;
+  t.kind = GateKind::kT;
+  t.q0 = 0;
+  EXPECT_FALSE(state.try_apply_gate(t));
+  Gate rz;
+  rz.kind = GateKind::kRZ;
+  rz.q0 = 0;
+  rz.params[0] = 0.3;
+  EXPECT_FALSE(state.try_apply_gate(rz));
+  rz.params[0] = kPi / 2;
+  EXPECT_TRUE(state.try_apply_gate(rz));
+}
+
+TEST(Stabilizer, TwoQubitRotationFamiliesAtQuarterTurns) {
+  Rng rng(802);
+  for (GateKind kind : {GateKind::kRXX, GateKind::kRYY, GateKind::kRZZ}) {
+    for (int k = 0; k < 4; ++k) {
+      Circuit prep = random_clifford_circuit(3, 20, rng);
+      Gate g;
+      g.kind = kind;
+      g.q0 = 0;
+      g.q1 = 2;
+      g.params[0] = k * kPi / 2;
+      Circuit c = prep;
+      c.add(g);
+
+      StabilizerState tableau(3);
+      ASSERT_TRUE(tableau.try_apply_circuit(c));
+      StateVector psi(3);
+      psi.apply_circuit(c);
+      for (int t = 0; t < 10; ++t) {
+        const PauliString p = random_pauli(3, rng);
+        EXPECT_NEAR(tableau.expectation(p), expectation_pauli(psi, p).real(),
+                    1e-10)
+            << gate_name(kind) << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Cafqa, RecoversHartreeFockOnH2) {
+  const MolecularIntegrals ints = h2_sto3g();
+  const PauliSum h = jordan_wigner(molecular_hamiltonian(ints));
+  const HardwareEfficientAnsatz ansatz(4, 2, /*nelec=*/0);
+  const CafqaResult r = cafqa_bootstrap(ansatz, h);
+  // The Clifford grid contains the HF determinant (X gates are Clifford),
+  // so the discrete optimum is at least as good.
+  EXPECT_LE(r.energy, ints.hartree_fock_energy() + 1e-9);
+  EXPECT_GT(r.clifford_evaluations, 0u);
+}
+
+TEST(Cafqa, WarmStartsContinuousVqe) {
+  const FermionOp hf = molecular_hamiltonian(h2_sto3g());
+  const PauliSum h = jordan_wigner(hf);
+  const double e_fci = fci_ground_state(hf, 4, 2).energy;
+
+  const HardwareEfficientAnsatz ansatz(4, 2, 0);
+  const CafqaResult boot = cafqa_bootstrap(ansatz, h);
+
+  VqeOptions opts;
+  opts.initial_parameters = boot.parameters;
+  opts.nelder_mead.max_evaluations = 8000;
+  opts.nelder_mead.initial_step = 0.2;
+  const VqeResult r = run_vqe(ansatz, h, opts);
+  EXPECT_NEAR(r.energy, e_fci, 1e-4);
+  EXPECT_LE(r.energy, boot.energy + 1e-9);  // VQE refines the bootstrap
+}
+
+TEST(Cafqa, RejectsNonCliffordAnsatz) {
+  PauliSum h(4);
+  h.add_term(1.0, "ZZII");
+  const UccsdAnsatzAdapter uccsd(4, 2);  // gadget angles are not quarter-turn
+  EXPECT_THROW(cafqa_bootstrap(uccsd, h), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,237 @@
+#include "sim/state_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+// Dense reference: embed a gate into the full 2^n matrix by kron products
+// and apply it to a copy of the state.
+DenseMatrix embed_gate(const Gate& g, int num_qubits) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  DenseMatrix full = DenseMatrix::identity(dim);
+  if (!g.is_two_qubit()) {
+    const Mat2 m = gate_matrix2(g);
+    DenseMatrix result(dim, dim);
+    for (std::size_t i = 0; i < dim; ++i)
+      for (int bi = 0; bi < 2; ++bi) {
+        const std::size_t j =
+            (i & ~(std::size_t{1} << g.q0)) |
+            (static_cast<std::size_t>(bi) << g.q0);
+        const int row_bit = (i >> g.q0) & 1;
+        result(i, j) += m(row_bit, bi);
+      }
+    return result;
+  }
+  const Mat4 m = gate_matrix4(g);
+  DenseMatrix result(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const int r = static_cast<int>(((i >> g.q1) & 1) * 2 + ((i >> g.q0) & 1));
+    for (int cc = 0; cc < 4; ++cc) {
+      std::size_t j = i & ~(std::size_t{1} << g.q0) & ~(std::size_t{1} << g.q1);
+      j |= static_cast<std::size_t>(cc & 1) << g.q0;
+      j |= static_cast<std::size_t>((cc >> 1) & 1) << g.q1;
+      result(i, j) += m(r, cc);
+    }
+  }
+  return result;
+}
+
+StateVector random_state(int n, Rng& rng) {
+  AmpVector amps(idx{1} << n);
+  for (cplx& a : amps) a = rng.normal_cplx();
+  StateVector sv = StateVector::from_amplitudes(std::move(amps));
+  sv.normalize();
+  return sv;
+}
+
+double state_diff(const StateVector& sv, const std::vector<cplx>& ref) {
+  double d = 0.0;
+  for (idx i = 0; i < sv.dim(); ++i)
+    d = std::max(d, std::abs(sv.data()[i] - ref[i]));
+  return d;
+}
+
+struct GateCase {
+  GateKind kind;
+  int q0;
+  int q1;
+  double theta;
+};
+
+class KernelVsDense : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(KernelVsDense, MatchesEmbeddedMatrix) {
+  const GateCase& gc = GetParam();
+  const int n = 5;
+  Rng rng(101);
+  StateVector sv = random_state(n, rng);
+  std::vector<cplx> ref(sv.data(), sv.data() + sv.dim());
+
+  Gate g;
+  g.kind = gc.kind;
+  g.q0 = gc.q0;
+  g.q1 = gc.q1;
+  g.params[0] = gc.theta;
+
+  const DenseMatrix full = embed_gate(g, n);
+  ref = full.apply(ref);
+  sv.apply_gate(g);
+  EXPECT_LT(state_diff(sv, ref), 1e-12)
+      << gate_name(gc.kind) << " q0=" << gc.q0 << " q1=" << gc.q1;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelVsDense,
+    ::testing::Values(
+        GateCase{GateKind::kH, 0, -1, 0}, GateCase{GateKind::kH, 4, -1, 0},
+        GateCase{GateKind::kX, 2, -1, 0}, GateCase{GateKind::kY, 3, -1, 0},
+        GateCase{GateKind::kZ, 1, -1, 0}, GateCase{GateKind::kS, 2, -1, 0},
+        GateCase{GateKind::kT, 0, -1, 0},
+        GateCase{GateKind::kRX, 1, -1, 0.77},
+        GateCase{GateKind::kRY, 2, -1, -1.2},
+        GateCase{GateKind::kRZ, 3, -1, 2.5},
+        GateCase{GateKind::kP, 4, -1, 0.9},
+        GateCase{GateKind::kSX, 1, -1, 0},
+        GateCase{GateKind::kCX, 0, 1, 0}, GateCase{GateKind::kCX, 1, 0, 0},
+        GateCase{GateKind::kCX, 4, 2, 0}, GateCase{GateKind::kCZ, 2, 4, 0},
+        GateCase{GateKind::kCY, 3, 0, 0}, GateCase{GateKind::kCH, 0, 4, 0},
+        GateCase{GateKind::kSwap, 1, 3, 0},
+        GateCase{GateKind::kCRZ, 2, 0, 1.1},
+        GateCase{GateKind::kCRX, 0, 3, -0.6},
+        GateCase{GateKind::kCRY, 4, 1, 0.4},
+        GateCase{GateKind::kCP, 3, 2, 2.2},
+        GateCase{GateKind::kRXX, 0, 2, 0.8},
+        GateCase{GateKind::kRYY, 1, 4, -0.9},
+        GateCase{GateKind::kRZZ, 2, 3, 1.4}));
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(sv.probability(0), 1.0, 1e-15);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-15);
+}
+
+TEST(StateVector, SetBasisState) {
+  StateVector sv(3);
+  sv.set_basis_state(5);
+  EXPECT_NEAR(sv.probability(5), 1.0, 1e-15);
+  EXPECT_THROW(sv.set_basis_state(8), std::out_of_range);
+}
+
+TEST(StateVector, NormPreservedByRandomCircuit) {
+  Rng rng(102);
+  StateVector sv(6);
+  Circuit c(6);
+  for (int i = 0; i < 200; ++i) {
+    const int q0 = static_cast<int>(rng.uniform_index(6));
+    int q1 = (q0 + 1 + static_cast<int>(rng.uniform_index(5))) % 6;
+    if (rng.uniform() < 0.5)
+      c.u3(rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), q0);
+    else
+      c.cx(q0, q1);
+  }
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probability(0b00), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability(0b11), 0.5, 1e-12);
+  EXPECT_NEAR(sv.probability(0b01), 0.0, 1e-12);
+  EXPECT_NEAR(sv.probability(0b10), 0.0, 1e-12);
+}
+
+TEST(StateVector, ApplyPauliMatchesMatrix) {
+  Rng rng(103);
+  const int n = 4;
+  for (const char* spec : {"XIZY", "ZZII", "YYYY", "IXII"}) {
+    StateVector sv = random_state(n, rng);
+    std::vector<cplx> ref(sv.data(), sv.data() + sv.dim());
+    PauliSum p(n);
+    p.add_term(1.0, spec);
+    ref = pauli_sum_matrix(p, n).apply(ref);
+    sv.apply_pauli(PauliString::from_string(spec));
+    EXPECT_LT(state_diff(sv, ref), 1e-12) << spec;
+  }
+}
+
+TEST(StateVector, ApplyExpPauliMatchesCosSinFormula) {
+  Rng rng(104);
+  const int n = 4;
+  for (const char* spec : {"XIZY", "ZZII", "IYXI", "ZIII", "IIZZ"}) {
+    const double theta = rng.uniform(-2, 2);
+    StateVector sv = random_state(n, rng);
+    std::vector<cplx> ref(sv.data(), sv.data() + sv.dim());
+
+    // exp(-i theta P) = cos(theta) I - i sin(theta) P.
+    PauliSum p(n);
+    p.add_term(1.0, spec);
+    const DenseMatrix pm = pauli_sum_matrix(p, n);
+    const DenseMatrix u =
+        DenseMatrix::identity(1u << n) * cplx{std::cos(theta), 0.0} +
+        pm * cplx{0.0, -std::sin(theta)};
+    ref = u.apply(ref);
+
+    sv.apply_exp_pauli(PauliString::from_string(spec), theta);
+    EXPECT_LT(state_diff(sv, ref), 1e-12) << spec;
+  }
+}
+
+TEST(StateVector, ExpPauliIdentityIsGlobalPhase) {
+  StateVector sv(2);
+  sv.apply_exp_pauli(PauliString::identity(), 0.7);
+  EXPECT_NEAR(std::abs(sv.data()[0] - std::exp(cplx{0.0, -0.7})), 0.0, 1e-14);
+}
+
+TEST(StateVector, MeasureCollapsesAndIsStatistical) {
+  Rng rng(105);
+  int ones = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    StateVector sv(1);
+    Gate ry;
+    ry.kind = GateKind::kRY;
+    ry.q0 = 0;
+    ry.params[0] = 2.0 * std::acos(std::sqrt(0.3));  // P(1) = 0.7
+    sv.apply_gate(ry);
+    const int outcome = sv.measure(0, rng);
+    ones += outcome;
+    // Collapsed.
+    EXPECT_NEAR(sv.probability_one(0), static_cast<double>(outcome), 1e-12);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.7, 0.05);
+}
+
+TEST(StateVector, InnerProductAndFidelity) {
+  Rng rng(106);
+  StateVector a = random_state(3, rng);
+  EXPECT_NEAR(a.fidelity(a), 1.0, 1e-12);
+  StateVector b = random_state(3, rng);
+  const cplx ab = a.inner_product(b);
+  const cplx ba = b.inner_product(a);
+  EXPECT_NEAR(std::abs(ab - std::conj(ba)), 0.0, 1e-12);
+  EXPECT_LE(std::abs(ab), 1.0 + 1e-12);
+}
+
+TEST(StateVector, RejectsBadConstruction) {
+  AmpVector three(3);
+  EXPECT_THROW(StateVector::from_amplitudes(std::move(three)),
+               std::invalid_argument);
+  EXPECT_THROW(StateVector(-1), std::invalid_argument);
+}
+
+TEST(StateVector, MemoryBytesMatchesFig1cModel) {
+  StateVector sv(10);
+  EXPECT_EQ(sv.memory_bytes(), (std::size_t{1} << 10) * 16);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,132 @@
+#include "chem/uccsd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/hartree_fock.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/rng.hpp"
+#include "sim/expectation.hpp"
+
+namespace vqsim {
+namespace {
+
+std::size_t count_singles(int nso, int ne) {
+  std::size_t n = 0;
+  for (int i = 0; i < ne; ++i)
+    for (int a = ne; a < nso; ++a)
+      if ((i & 1) == (a & 1)) ++n;
+  return n;
+}
+
+TEST(Uccsd, ExcitationCounts) {
+  // 4 spin orbitals, 2 electrons: 2 singles (one per spin), 1 double.
+  const auto ex = uccsd_excitations(4, 2);
+  std::size_t singles = 0;
+  std::size_t doubles = 0;
+  for (const Excitation& e : ex) (e.is_single() ? singles : doubles)++;
+  EXPECT_EQ(singles, 2u);
+  EXPECT_EQ(doubles, 1u);
+
+  const auto ex8 = uccsd_excitations(8, 4);
+  std::size_t singles8 = 0;
+  for (const Excitation& e : ex8)
+    if (e.is_single()) ++singles8;
+  EXPECT_EQ(singles8, count_singles(8, 4));
+  EXPECT_GT(ex8.size(), singles8);
+}
+
+TEST(Uccsd, GeneratorsAreHermitianWithRealCoefficients) {
+  for (const Excitation& ex : uccsd_excitations(6, 2)) {
+    const PauliSum g = excitation_generator_pauli(ex, 6);
+    EXPECT_TRUE(g.is_hermitian(1e-12));
+    EXPECT_FALSE(g.empty());
+    // Strings of one generator pairwise commute (exact factorization).
+    for (std::size_t i = 0; i < g.size(); ++i)
+      for (std::size_t j = i + 1; j < g.size(); ++j)
+        EXPECT_TRUE(g[i].string.commutes_with(g[j].string));
+  }
+}
+
+TEST(Uccsd, CircuitAndDirectApplyAgree) {
+  const UccsdAnsatz ansatz(4, 2);
+  Rng rng(91);
+  std::vector<double> theta(ansatz.num_parameters());
+  for (double& t : theta) t = rng.uniform(-0.3, 0.3);
+
+  StateVector via_circuit(4);
+  via_circuit.apply_circuit(ansatz.circuit(theta));
+  StateVector via_apply(4);
+  ansatz.apply(&via_apply, theta);
+  const cplx overlap = via_circuit.inner_product(via_apply);
+  EXPECT_NEAR(std::abs(overlap - cplx{1.0, 0.0}), 0.0, 1e-10);
+}
+
+TEST(Uccsd, GateCountMatchesMaterializedCircuit) {
+  for (int nso : {4, 6, 8}) {
+    const UccsdAnsatz ansatz(nso, nso / 2 % 2 == 0 ? nso / 2 : nso / 2 + 1);
+    std::vector<double> theta(ansatz.num_parameters(), 0.1);
+    EXPECT_EQ(ansatz.gate_count(), ansatz.circuit(theta).size()) << nso;
+  }
+}
+
+TEST(Uccsd, PreservesParticleNumber) {
+  const int nso = 6;
+  const int ne = 2;
+  const UccsdAnsatz ansatz(nso, ne);
+  Rng rng(92);
+  std::vector<double> theta(ansatz.num_parameters());
+  for (double& t : theta) t = rng.uniform(-0.5, 0.5);
+  StateVector psi(nso);
+  ansatz.apply(&psi, theta);
+
+  // Total number operator expectation stays at ne.
+  FermionOp number(nso);
+  for (int p = 0; p < nso; ++p)
+    number.add_term(1.0, {FermionOp::create(p), FermionOp::annihilate(p)});
+  const PauliSum n_qubit = jordan_wigner(number);
+  EXPECT_NEAR(expectation(psi, n_qubit), static_cast<double>(ne), 1e-9);
+
+  // And the number *variance* vanishes: the state stays in the sector.
+  const PauliSum n2 = n_qubit * n_qubit;
+  EXPECT_NEAR(expectation(psi, n2), static_cast<double>(ne * ne), 1e-8);
+}
+
+TEST(Uccsd, ZeroParametersGiveHartreeFock) {
+  const UccsdAnsatz ansatz(6, 4);
+  std::vector<double> theta(ansatz.num_parameters(), 0.0);
+  StateVector psi(6);
+  ansatz.apply(&psi, theta);
+  EXPECT_NEAR(psi.probability(hf_basis_state(4)), 1.0, 1e-12);
+}
+
+TEST(Uccsd, EnergyIsVariationalBound) {
+  // For any parameters, <H> >= E_FCI (property over random parameter sets).
+  const MolecularIntegrals ints = h2_sto3g();
+  const FermionOp hf = molecular_hamiltonian(ints);
+  const PauliSum h = jordan_wigner(hf);
+  const double e_fci = fci_ground_state(hf, 4, 2).energy;
+
+  const UccsdAnsatz ansatz(4, 2);
+  Rng rng(93);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> theta(ansatz.num_parameters());
+    for (double& t : theta) t = rng.uniform(-1.5, 1.5);
+    StateVector psi(4);
+    ansatz.apply(&psi, theta);
+    EXPECT_GE(expectation(psi, h), e_fci - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Uccsd, RejectsBadParameters) {
+  const UccsdAnsatz ansatz(4, 2);
+  StateVector psi(4);
+  std::vector<double> wrong(ansatz.num_parameters() + 1, 0.0);
+  EXPECT_THROW(ansatz.apply(&psi, wrong), std::invalid_argument);
+  EXPECT_THROW(uccsd_excitations(4, 3), std::invalid_argument);
+  EXPECT_THROW(uccsd_excitations(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,120 @@
+#include "vqe/vqe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+
+namespace vqsim {
+namespace {
+
+struct H2Fixture {
+  PauliSum hamiltonian = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+  double e_fci =
+      fci_ground_state(molecular_hamiltonian(h2_sto3g()), 4, 2).energy;
+  double e_hf = h2_sto3g().hartree_fock_energy();
+};
+
+TEST(Vqe, H2UccsdReachesFciWithNelderMead) {
+  H2Fixture f;
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqeOptions opts;
+  const VqeResult r = run_vqe(ansatz, f.hamiltonian, opts);
+  // UCCSD is exact for 2 electrons: chemical accuracy and far beyond.
+  EXPECT_NEAR(r.energy, f.e_fci, 1e-6);
+  EXPECT_GE(r.energy, f.e_fci - 1e-9);  // variational
+  EXPECT_LT(r.energy, f.e_hf - 1e-3);   // recovers correlation
+}
+
+TEST(Vqe, H2WithAdamOptimizer) {
+  H2Fixture f;
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqeOptions opts;
+  opts.optimizer = OptimizerKind::kAdam;
+  opts.adam.iterations = 300;
+  opts.adam.learning_rate = 0.1;
+  const VqeResult r = run_vqe(ansatz, f.hamiltonian, opts);
+  EXPECT_NEAR(r.energy, f.e_fci, 1e-4);
+}
+
+TEST(Vqe, H2WithSpsaRecoversMostCorrelation) {
+  H2Fixture f;
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqeOptions opts;
+  opts.optimizer = OptimizerKind::kSpsa;
+  opts.spsa.iterations = 800;
+  const VqeResult r = run_vqe(ansatz, f.hamiltonian, opts);
+  // Stochastic optimizer: looser bar, but must beat HF clearly.
+  EXPECT_LT(r.energy, f.e_hf - 0.005);
+}
+
+TEST(Vqe, SamplingModeApproachesExactOptimum) {
+  H2Fixture f;
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqeOptions opts;
+  opts.executor.mode = ExpectationMode::kSampling;
+  opts.executor.shots = 50000;
+  opts.nelder_mead.max_evaluations = 400;
+  const VqeResult r = run_vqe(ansatz, f.hamiltonian, opts);
+  EXPECT_NEAR(r.energy, f.e_fci, 0.05);
+}
+
+TEST(Vqe, HardwareEfficientAnsatzBeatsHartreeFock) {
+  H2Fixture f;
+  const HardwareEfficientAnsatz ansatz(4, 2, 2);
+  VqeOptions opts;
+  opts.nelder_mead.max_evaluations = 6000;
+  opts.nelder_mead.initial_step = 0.3;
+  const VqeResult r = run_vqe(ansatz, f.hamiltonian, opts);
+  EXPECT_LT(r.energy, f.e_hf - 1e-3);
+  EXPECT_GE(r.energy, f.e_fci - 1e-9);
+}
+
+TEST(Vqe, ResultCarriesCostModelAndStats) {
+  H2Fixture f;
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqeOptions opts;
+  opts.nelder_mead.max_evaluations = 100;
+  const VqeResult r = run_vqe(ansatz, f.hamiltonian, opts);
+  EXPECT_EQ(r.executor_stats.energy_evaluations, r.evaluations);
+  EXPECT_GT(r.cost_model.non_caching_gates(), r.cost_model.caching_gates());
+  EXPECT_FALSE(r.history.empty());
+}
+
+TEST(Vqe, HubbardDimerExactInMolecularOrbitalBasis) {
+  // Half-filled two-site Hubbard expressed in the bonding/antibonding (MO)
+  // basis, where the doubly-occupied bonding orbital is the proper
+  // reference determinant: (pq|rs) = U/4 (1 + (-1)^{p+q+r+s}).
+  const double t = 1.0;
+  const double u = 4.0;
+  MolecularIntegrals mo = MolecularIntegrals::zero(2, 2);
+  mo.set_one_body(0, 0, -t);
+  mo.set_one_body(1, 1, t);
+  for (int p = 0; p < 2; ++p)
+    for (int q = 0; q < 2; ++q)
+      for (int r = 0; r < 2; ++r)
+        for (int s = 0; s < 2; ++s)
+          if ((p + q + r + s) % 2 == 0) mo.set_two_body(p, q, r, s, u / 2.0);
+
+  const FermionOp h_fermion = molecular_hamiltonian(mo);
+  const double e_fci = fci_ground_state(h_fermion, 4, 2).energy;
+  // Analytic ground energy of the Hubbard dimer.
+  EXPECT_NEAR(e_fci, u / 2.0 - std::sqrt(u * u / 4.0 + 4.0 * t * t), 1e-10);
+
+  const PauliSum h = jordan_wigner(h_fermion);
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  const VqeResult r = run_vqe(ansatz, h, {});
+  EXPECT_NEAR(r.energy, e_fci, 1e-6);
+}
+
+TEST(Vqe, RejectsBadInitialParameters) {
+  H2Fixture f;
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqeOptions opts;
+  opts.initial_parameters = {0.1};  // wrong length
+  EXPECT_THROW(run_vqe(ansatz, f.hamiltonian, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -1,0 +1,74 @@
+#include "api/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chem/molecules.hpp"
+
+namespace vqsim {
+namespace {
+
+TEST(Workflow, H2VqeEndToEnd) {
+  WorkflowConfig config;
+  config.molecule = h2_sto3g();
+  config.algorithm = WorkflowAlgorithm::kVqe;
+  const WorkflowReport report = run_workflow(config);
+
+  EXPECT_EQ(report.qubits, 4);
+  EXPECT_EQ(report.electrons, 2);
+  EXPECT_EQ(report.pauli_terms, 15u);
+  EXPECT_LT(report.measurement_groups, report.pauli_terms);
+  ASSERT_TRUE(report.fci_energy.has_value());
+  EXPECT_NEAR(report.energy, *report.fci_energy, 1e-6);
+  EXPECT_LT(report.energy, report.hf_energy - 1e-3);
+  ASSERT_TRUE(report.vqe.has_value());
+  EXPECT_GT(report.vqe->cost_model.non_caching_gates(),
+            report.vqe->cost_model.caching_gates());
+}
+
+TEST(Workflow, DownfoldedAdaptVqe) {
+  WorkflowConfig config;
+  config.molecule = water_like(6, 6);
+  config.active = ActiveSpace{1, 4};  // 8 qubits
+  config.algorithm = WorkflowAlgorithm::kAdaptVqe;
+  config.adapt.max_operators = 15;
+  config.adapt.inner.iterations = 250;
+  config.adapt.reference_target = kChemicalAccuracy;
+  const WorkflowReport report = run_workflow(config);
+
+  EXPECT_EQ(report.qubits, 8);
+  EXPECT_EQ(report.electrons, 4);
+  ASSERT_TRUE(report.fci_energy.has_value());
+  ASSERT_TRUE(report.adapt.has_value());
+  EXPECT_NEAR(report.energy, *report.fci_energy, kChemicalAccuracy);
+  EXPECT_FALSE(report.adapt->iterations.empty());
+}
+
+TEST(Workflow, H2Qpe) {
+  WorkflowConfig config;
+  config.molecule = h2_sto3g();
+  config.algorithm = WorkflowAlgorithm::kQpe;
+  config.qpe.ancilla_qubits = 6;
+  config.qpe.time = 4.0;
+  config.qpe.trotter = {.steps = 4, .order = 2};
+  const WorkflowReport report = run_workflow(config);
+
+  ASSERT_TRUE(report.qpe.has_value());
+  ASSERT_TRUE(report.fci_energy.has_value());
+  // QPE resolves E within a couple of grid cells; the HF-dominated peak may
+  // also land on the HF energy, which is within a few resolution cells here.
+  const double resolution =
+      2.0 * kPi / (config.qpe.time * (1 << config.qpe.ancilla_qubits));
+  EXPECT_NEAR(report.energy, *report.fci_energy, 4.0 * resolution);
+}
+
+TEST(Workflow, SkipsFciWhenDisabled) {
+  WorkflowConfig config;
+  config.molecule = h2_sto3g();
+  config.compute_fci_reference = false;
+  config.vqe.nelder_mead.max_evaluations = 50;
+  const WorkflowReport report = run_workflow(config);
+  EXPECT_FALSE(report.fci_energy.has_value());
+}
+
+}  // namespace
+}  // namespace vqsim
