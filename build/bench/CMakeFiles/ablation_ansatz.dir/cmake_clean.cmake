@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ansatz.dir/ablation_ansatz.cpp.o"
+  "CMakeFiles/ablation_ansatz.dir/ablation_ansatz.cpp.o.d"
+  "ablation_ansatz"
+  "ablation_ansatz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ansatz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

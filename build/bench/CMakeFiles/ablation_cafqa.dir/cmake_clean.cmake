@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cafqa.dir/ablation_cafqa.cpp.o"
+  "CMakeFiles/ablation_cafqa.dir/ablation_cafqa.cpp.o.d"
+  "ablation_cafqa"
+  "ablation_cafqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cafqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

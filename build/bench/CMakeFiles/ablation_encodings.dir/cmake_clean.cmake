@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_encodings.dir/ablation_encodings.cpp.o"
+  "CMakeFiles/ablation_encodings.dir/ablation_encodings.cpp.o.d"
+  "ablation_encodings"
+  "ablation_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

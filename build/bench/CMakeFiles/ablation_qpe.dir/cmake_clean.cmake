@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qpe.dir/ablation_qpe.cpp.o"
+  "CMakeFiles/ablation_qpe.dir/ablation_qpe.cpp.o.d"
+  "ablation_qpe"
+  "ablation_qpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_ansatz_gates.dir/fig1a_ansatz_gates.cpp.o"
+  "CMakeFiles/fig1a_ansatz_gates.dir/fig1a_ansatz_gates.cpp.o.d"
+  "fig1a_ansatz_gates"
+  "fig1a_ansatz_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_ansatz_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_pauli_terms.dir/fig1b_pauli_terms.cpp.o"
+  "CMakeFiles/fig1b_pauli_terms.dir/fig1b_pauli_terms.cpp.o.d"
+  "fig1b_pauli_terms"
+  "fig1b_pauli_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_pauli_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

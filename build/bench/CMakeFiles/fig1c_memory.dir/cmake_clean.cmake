@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_memory.dir/fig1c_memory.cpp.o"
+  "CMakeFiles/fig1c_memory.dir/fig1c_memory.cpp.o.d"
+  "fig1c_memory"
+  "fig1c_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_caching.dir/fig3_caching.cpp.o"
+  "CMakeFiles/fig3_caching.dir/fig3_caching.cpp.o.d"
+  "fig3_caching"
+  "fig3_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_adapt_vqe.dir/fig5_adapt_vqe.cpp.o"
+  "CMakeFiles/fig5_adapt_vqe.dir/fig5_adapt_vqe.cpp.o.d"
+  "fig5_adapt_vqe"
+  "fig5_adapt_vqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_adapt_vqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_caching.dir/perf_caching.cpp.o"
+  "CMakeFiles/perf_caching.dir/perf_caching.cpp.o.d"
+  "perf_caching"
+  "perf_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

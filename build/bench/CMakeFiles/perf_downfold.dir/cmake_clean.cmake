@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_downfold.dir/perf_downfold.cpp.o"
+  "CMakeFiles/perf_downfold.dir/perf_downfold.cpp.o.d"
+  "perf_downfold"
+  "perf_downfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_downfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_expectation.dir/perf_expectation.cpp.o"
+  "CMakeFiles/perf_expectation.dir/perf_expectation.cpp.o.d"
+  "perf_expectation"
+  "perf_expectation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_expectation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

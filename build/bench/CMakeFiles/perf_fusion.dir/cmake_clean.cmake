@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fusion.dir/perf_fusion.cpp.o"
+  "CMakeFiles/perf_fusion.dir/perf_fusion.cpp.o.d"
+  "perf_fusion"
+  "perf_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_water.dir/adapt_water.cpp.o"
+  "CMakeFiles/adapt_water.dir/adapt_water.cpp.o.d"
+  "adapt_water"
+  "adapt_water.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_water.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sim.dir/distributed_sim.cpp.o"
+  "CMakeFiles/distributed_sim.dir/distributed_sim.cpp.o.d"
+  "distributed_sim"
+  "distributed_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

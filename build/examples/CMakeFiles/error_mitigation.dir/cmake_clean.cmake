@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_mitigation.dir/error_mitigation.cpp.o"
+  "CMakeFiles/error_mitigation.dir/error_mitigation.cpp.o.d"
+  "error_mitigation"
+  "error_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

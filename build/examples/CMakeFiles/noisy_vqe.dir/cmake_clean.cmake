@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_vqe.dir/noisy_vqe.cpp.o"
+  "CMakeFiles/noisy_vqe.dir/noisy_vqe.cpp.o.d"
+  "noisy_vqe"
+  "noisy_vqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_vqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

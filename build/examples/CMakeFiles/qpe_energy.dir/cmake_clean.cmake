@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpe_energy.dir/qpe_energy.cpp.o"
+  "CMakeFiles/qpe_energy.dir/qpe_energy.cpp.o.d"
+  "qpe_energy"
+  "qpe_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpe_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

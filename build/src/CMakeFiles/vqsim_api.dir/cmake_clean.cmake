@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_api.dir/api/report.cpp.o"
+  "CMakeFiles/vqsim_api.dir/api/report.cpp.o.d"
+  "CMakeFiles/vqsim_api.dir/api/workflow.cpp.o"
+  "CMakeFiles/vqsim_api.dir/api/workflow.cpp.o.d"
+  "libvqsim_api.a"
+  "libvqsim_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

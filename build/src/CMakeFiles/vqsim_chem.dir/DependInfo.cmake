@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/encodings.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/encodings.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/encodings.cpp.o.d"
+  "/root/repo/src/chem/fci.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/fci.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/fci.cpp.o.d"
+  "/root/repo/src/chem/fcidump.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/fcidump.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/fcidump.cpp.o.d"
+  "/root/repo/src/chem/fermion.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/fermion.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/fermion.cpp.o.d"
+  "/root/repo/src/chem/gaussian.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/gaussian.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/gaussian.cpp.o.d"
+  "/root/repo/src/chem/hartree_fock.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/hartree_fock.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/hartree_fock.cpp.o.d"
+  "/root/repo/src/chem/integrals.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/integrals.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/integrals.cpp.o.d"
+  "/root/repo/src/chem/jordan_wigner.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/jordan_wigner.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/jordan_wigner.cpp.o.d"
+  "/root/repo/src/chem/molecules.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/molecules.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/molecules.cpp.o.d"
+  "/root/repo/src/chem/scf.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/scf.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/scf.cpp.o.d"
+  "/root/repo/src/chem/spin.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/spin.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/spin.cpp.o.d"
+  "/root/repo/src/chem/uccsd.cpp" "src/CMakeFiles/vqsim_chem.dir/chem/uccsd.cpp.o" "gcc" "src/CMakeFiles/vqsim_chem.dir/chem/uccsd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

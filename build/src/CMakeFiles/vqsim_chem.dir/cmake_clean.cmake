@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_chem.dir/chem/encodings.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/encodings.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/fci.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/fci.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/fcidump.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/fcidump.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/fermion.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/fermion.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/gaussian.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/gaussian.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/hartree_fock.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/hartree_fock.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/integrals.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/integrals.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/jordan_wigner.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/jordan_wigner.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/molecules.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/molecules.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/scf.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/scf.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/spin.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/spin.cpp.o.d"
+  "CMakeFiles/vqsim_chem.dir/chem/uccsd.cpp.o"
+  "CMakeFiles/vqsim_chem.dir/chem/uccsd.cpp.o.d"
+  "libvqsim_chem.a"
+  "libvqsim_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

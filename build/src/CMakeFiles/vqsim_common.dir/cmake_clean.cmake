@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_common.dir/common/log.cpp.o"
+  "CMakeFiles/vqsim_common.dir/common/log.cpp.o.d"
+  "libvqsim_common.a"
+  "libvqsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/comm.cpp" "src/CMakeFiles/vqsim_dist.dir/dist/comm.cpp.o" "gcc" "src/CMakeFiles/vqsim_dist.dir/dist/comm.cpp.o.d"
+  "/root/repo/src/dist/dist_state_vector.cpp" "src/CMakeFiles/vqsim_dist.dir/dist/dist_state_vector.cpp.o" "gcc" "src/CMakeFiles/vqsim_dist.dir/dist/dist_state_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

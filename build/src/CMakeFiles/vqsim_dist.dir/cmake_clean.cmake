@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_dist.dir/dist/comm.cpp.o"
+  "CMakeFiles/vqsim_dist.dir/dist/comm.cpp.o.d"
+  "CMakeFiles/vqsim_dist.dir/dist/dist_state_vector.cpp.o"
+  "CMakeFiles/vqsim_dist.dir/dist/dist_state_vector.cpp.o.d"
+  "libvqsim_dist.a"
+  "libvqsim_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_downfold.dir/downfold/active_space.cpp.o"
+  "CMakeFiles/vqsim_downfold.dir/downfold/active_space.cpp.o.d"
+  "CMakeFiles/vqsim_downfold.dir/downfold/downfold.cpp.o"
+  "CMakeFiles/vqsim_downfold.dir/downfold/downfold.cpp.o.d"
+  "CMakeFiles/vqsim_downfold.dir/downfold/mp2.cpp.o"
+  "CMakeFiles/vqsim_downfold.dir/downfold/mp2.cpp.o.d"
+  "libvqsim_downfold.a"
+  "libvqsim_downfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_downfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

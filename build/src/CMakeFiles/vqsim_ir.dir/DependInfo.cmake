@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/circuit.cpp" "src/CMakeFiles/vqsim_ir.dir/ir/circuit.cpp.o" "gcc" "src/CMakeFiles/vqsim_ir.dir/ir/circuit.cpp.o.d"
+  "/root/repo/src/ir/gate.cpp" "src/CMakeFiles/vqsim_ir.dir/ir/gate.cpp.o" "gcc" "src/CMakeFiles/vqsim_ir.dir/ir/gate.cpp.o.d"
+  "/root/repo/src/ir/passes/cancel.cpp" "src/CMakeFiles/vqsim_ir.dir/ir/passes/cancel.cpp.o" "gcc" "src/CMakeFiles/vqsim_ir.dir/ir/passes/cancel.cpp.o.d"
+  "/root/repo/src/ir/passes/fusion.cpp" "src/CMakeFiles/vqsim_ir.dir/ir/passes/fusion.cpp.o" "gcc" "src/CMakeFiles/vqsim_ir.dir/ir/passes/fusion.cpp.o.d"
+  "/root/repo/src/ir/passes/mapping.cpp" "src/CMakeFiles/vqsim_ir.dir/ir/passes/mapping.cpp.o" "gcc" "src/CMakeFiles/vqsim_ir.dir/ir/passes/mapping.cpp.o.d"
+  "/root/repo/src/ir/qasm.cpp" "src/CMakeFiles/vqsim_ir.dir/ir/qasm.cpp.o" "gcc" "src/CMakeFiles/vqsim_ir.dir/ir/qasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

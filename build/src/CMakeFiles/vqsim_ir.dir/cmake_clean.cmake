@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_ir.dir/ir/circuit.cpp.o"
+  "CMakeFiles/vqsim_ir.dir/ir/circuit.cpp.o.d"
+  "CMakeFiles/vqsim_ir.dir/ir/gate.cpp.o"
+  "CMakeFiles/vqsim_ir.dir/ir/gate.cpp.o.d"
+  "CMakeFiles/vqsim_ir.dir/ir/passes/cancel.cpp.o"
+  "CMakeFiles/vqsim_ir.dir/ir/passes/cancel.cpp.o.d"
+  "CMakeFiles/vqsim_ir.dir/ir/passes/fusion.cpp.o"
+  "CMakeFiles/vqsim_ir.dir/ir/passes/fusion.cpp.o.d"
+  "CMakeFiles/vqsim_ir.dir/ir/passes/mapping.cpp.o"
+  "CMakeFiles/vqsim_ir.dir/ir/passes/mapping.cpp.o.d"
+  "CMakeFiles/vqsim_ir.dir/ir/qasm.cpp.o"
+  "CMakeFiles/vqsim_ir.dir/ir/qasm.cpp.o.d"
+  "libvqsim_ir.a"
+  "libvqsim_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/csr.cpp" "src/CMakeFiles/vqsim_linalg.dir/linalg/csr.cpp.o" "gcc" "src/CMakeFiles/vqsim_linalg.dir/linalg/csr.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/vqsim_linalg.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/vqsim_linalg.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/jacobi.cpp" "src/CMakeFiles/vqsim_linalg.dir/linalg/jacobi.cpp.o" "gcc" "src/CMakeFiles/vqsim_linalg.dir/linalg/jacobi.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "src/CMakeFiles/vqsim_linalg.dir/linalg/lanczos.cpp.o" "gcc" "src/CMakeFiles/vqsim_linalg.dir/linalg/lanczos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

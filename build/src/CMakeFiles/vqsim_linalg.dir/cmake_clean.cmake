@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_linalg.dir/linalg/csr.cpp.o"
+  "CMakeFiles/vqsim_linalg.dir/linalg/csr.cpp.o.d"
+  "CMakeFiles/vqsim_linalg.dir/linalg/dense.cpp.o"
+  "CMakeFiles/vqsim_linalg.dir/linalg/dense.cpp.o.d"
+  "CMakeFiles/vqsim_linalg.dir/linalg/jacobi.cpp.o"
+  "CMakeFiles/vqsim_linalg.dir/linalg/jacobi.cpp.o.d"
+  "CMakeFiles/vqsim_linalg.dir/linalg/lanczos.cpp.o"
+  "CMakeFiles/vqsim_linalg.dir/linalg/lanczos.cpp.o.d"
+  "libvqsim_linalg.a"
+  "libvqsim_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pauli/basis_change.cpp" "src/CMakeFiles/vqsim_pauli.dir/pauli/basis_change.cpp.o" "gcc" "src/CMakeFiles/vqsim_pauli.dir/pauli/basis_change.cpp.o.d"
+  "/root/repo/src/pauli/exp_gadget.cpp" "src/CMakeFiles/vqsim_pauli.dir/pauli/exp_gadget.cpp.o" "gcc" "src/CMakeFiles/vqsim_pauli.dir/pauli/exp_gadget.cpp.o.d"
+  "/root/repo/src/pauli/grouping.cpp" "src/CMakeFiles/vqsim_pauli.dir/pauli/grouping.cpp.o" "gcc" "src/CMakeFiles/vqsim_pauli.dir/pauli/grouping.cpp.o.d"
+  "/root/repo/src/pauli/pauli_string.cpp" "src/CMakeFiles/vqsim_pauli.dir/pauli/pauli_string.cpp.o" "gcc" "src/CMakeFiles/vqsim_pauli.dir/pauli/pauli_string.cpp.o.d"
+  "/root/repo/src/pauli/pauli_sum.cpp" "src/CMakeFiles/vqsim_pauli.dir/pauli/pauli_sum.cpp.o" "gcc" "src/CMakeFiles/vqsim_pauli.dir/pauli/pauli_sum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

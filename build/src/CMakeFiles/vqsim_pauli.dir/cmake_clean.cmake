@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_pauli.dir/pauli/basis_change.cpp.o"
+  "CMakeFiles/vqsim_pauli.dir/pauli/basis_change.cpp.o.d"
+  "CMakeFiles/vqsim_pauli.dir/pauli/exp_gadget.cpp.o"
+  "CMakeFiles/vqsim_pauli.dir/pauli/exp_gadget.cpp.o.d"
+  "CMakeFiles/vqsim_pauli.dir/pauli/grouping.cpp.o"
+  "CMakeFiles/vqsim_pauli.dir/pauli/grouping.cpp.o.d"
+  "CMakeFiles/vqsim_pauli.dir/pauli/pauli_string.cpp.o"
+  "CMakeFiles/vqsim_pauli.dir/pauli/pauli_string.cpp.o.d"
+  "CMakeFiles/vqsim_pauli.dir/pauli/pauli_sum.cpp.o"
+  "CMakeFiles/vqsim_pauli.dir/pauli/pauli_sum.cpp.o.d"
+  "libvqsim_pauli.a"
+  "libvqsim_pauli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_pauli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpe/dynamics.cpp" "src/CMakeFiles/vqsim_qpe.dir/qpe/dynamics.cpp.o" "gcc" "src/CMakeFiles/vqsim_qpe.dir/qpe/dynamics.cpp.o.d"
+  "/root/repo/src/qpe/qft.cpp" "src/CMakeFiles/vqsim_qpe.dir/qpe/qft.cpp.o" "gcc" "src/CMakeFiles/vqsim_qpe.dir/qpe/qft.cpp.o.d"
+  "/root/repo/src/qpe/qpe.cpp" "src/CMakeFiles/vqsim_qpe.dir/qpe/qpe.cpp.o" "gcc" "src/CMakeFiles/vqsim_qpe.dir/qpe/qpe.cpp.o.d"
+  "/root/repo/src/qpe/trotter.cpp" "src/CMakeFiles/vqsim_qpe.dir/qpe/trotter.cpp.o" "gcc" "src/CMakeFiles/vqsim_qpe.dir/qpe/trotter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_qpe.dir/qpe/dynamics.cpp.o"
+  "CMakeFiles/vqsim_qpe.dir/qpe/dynamics.cpp.o.d"
+  "CMakeFiles/vqsim_qpe.dir/qpe/qft.cpp.o"
+  "CMakeFiles/vqsim_qpe.dir/qpe/qft.cpp.o.d"
+  "CMakeFiles/vqsim_qpe.dir/qpe/qpe.cpp.o"
+  "CMakeFiles/vqsim_qpe.dir/qpe/qpe.cpp.o.d"
+  "CMakeFiles/vqsim_qpe.dir/qpe/trotter.cpp.o"
+  "CMakeFiles/vqsim_qpe.dir/qpe/trotter.cpp.o.d"
+  "libvqsim_qpe.a"
+  "libvqsim_qpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_qpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

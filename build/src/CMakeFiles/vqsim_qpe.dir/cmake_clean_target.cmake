@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvqsim_qpe.a"
+)

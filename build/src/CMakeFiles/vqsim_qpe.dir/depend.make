@@ -1,0 +1,2 @@
+# Empty dependencies file for vqsim_qpe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/compiled_op.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/compiled_op.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/compiled_op.cpp.o.d"
+  "/root/repo/src/sim/density_matrix.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/density_matrix.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/expectation.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/expectation.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/expectation.cpp.o.d"
+  "/root/repo/src/sim/kernels.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/kernels.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/kernels.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/sim/readout_error.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/readout_error.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/readout_error.cpp.o.d"
+  "/root/repo/src/sim/sampler.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/sampler.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/sampler.cpp.o.d"
+  "/root/repo/src/sim/stabilizer.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/stabilizer.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/stabilizer.cpp.o.d"
+  "/root/repo/src/sim/state_vector.cpp" "src/CMakeFiles/vqsim_sim.dir/sim/state_vector.cpp.o" "gcc" "src/CMakeFiles/vqsim_sim.dir/sim/state_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

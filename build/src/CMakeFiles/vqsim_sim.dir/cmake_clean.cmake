@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_sim.dir/sim/compiled_op.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/compiled_op.cpp.o.d"
+  "CMakeFiles/vqsim_sim.dir/sim/density_matrix.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/density_matrix.cpp.o.d"
+  "CMakeFiles/vqsim_sim.dir/sim/expectation.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/expectation.cpp.o.d"
+  "CMakeFiles/vqsim_sim.dir/sim/kernels.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/kernels.cpp.o.d"
+  "CMakeFiles/vqsim_sim.dir/sim/noise.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/noise.cpp.o.d"
+  "CMakeFiles/vqsim_sim.dir/sim/readout_error.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/readout_error.cpp.o.d"
+  "CMakeFiles/vqsim_sim.dir/sim/sampler.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/sampler.cpp.o.d"
+  "CMakeFiles/vqsim_sim.dir/sim/stabilizer.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/stabilizer.cpp.o.d"
+  "CMakeFiles/vqsim_sim.dir/sim/state_vector.cpp.o"
+  "CMakeFiles/vqsim_sim.dir/sim/state_vector.cpp.o.d"
+  "libvqsim_sim.a"
+  "libvqsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vqe/adapt.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/adapt.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/adapt.cpp.o.d"
+  "/root/repo/src/vqe/ansatz.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/ansatz.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/ansatz.cpp.o.d"
+  "/root/repo/src/vqe/batch.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/batch.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/batch.cpp.o.d"
+  "/root/repo/src/vqe/cafqa.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/cafqa.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/cafqa.cpp.o.d"
+  "/root/repo/src/vqe/dist_executor.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/dist_executor.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/dist_executor.cpp.o.d"
+  "/root/repo/src/vqe/executor.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/executor.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/executor.cpp.o.d"
+  "/root/repo/src/vqe/optimizer.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/optimizer.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/optimizer.cpp.o.d"
+  "/root/repo/src/vqe/pools.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/pools.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/pools.cpp.o.d"
+  "/root/repo/src/vqe/sweep.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/sweep.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/sweep.cpp.o.d"
+  "/root/repo/src/vqe/vqd.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/vqd.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/vqd.cpp.o.d"
+  "/root/repo/src/vqe/vqe.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/vqe.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/vqe.cpp.o.d"
+  "/root/repo/src/vqe/zne.cpp" "src/CMakeFiles/vqsim_vqe.dir/vqe/zne.cpp.o" "gcc" "src/CMakeFiles/vqsim_vqe.dir/vqe/zne.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_vqe.dir/vqe/adapt.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/adapt.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/ansatz.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/ansatz.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/batch.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/batch.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/cafqa.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/cafqa.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/dist_executor.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/dist_executor.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/executor.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/executor.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/optimizer.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/optimizer.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/pools.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/pools.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/sweep.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/sweep.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/vqd.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/vqd.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/vqe.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/vqe.cpp.o.d"
+  "CMakeFiles/vqsim_vqe.dir/vqe/zne.cpp.o"
+  "CMakeFiles/vqsim_vqe.dir/vqe/zne.cpp.o.d"
+  "libvqsim_vqe.a"
+  "libvqsim_vqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_vqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_downfold.dir/test_downfold.cpp.o"
+  "CMakeFiles/test_downfold.dir/test_downfold.cpp.o.d"
+  "test_downfold"
+  "test_downfold.pdb"
+  "test_downfold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_downfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expectation.dir/test_expectation.cpp.o"
+  "CMakeFiles/test_expectation.dir/test_expectation.cpp.o.d"
+  "test_expectation"
+  "test_expectation.pdb"
+  "test_expectation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expectation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcidump.dir/test_fcidump.cpp.o"
+  "CMakeFiles/test_fcidump.dir/test_fcidump.cpp.o.d"
+  "test_fcidump"
+  "test_fcidump.pdb"
+  "test_fcidump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcidump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fermion.dir/test_fermion.cpp.o"
+  "CMakeFiles/test_fermion.dir/test_fermion.cpp.o.d"
+  "test_fermion"
+  "test_fermion.pdb"
+  "test_fermion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fermion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jw.dir/test_jw.cpp.o"
+  "CMakeFiles/test_jw.dir/test_jw.cpp.o.d"
+  "test_jw"
+  "test_jw.pdb"
+  "test_jw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_dynamics.dir/test_report_dynamics.cpp.o"
+  "CMakeFiles/test_report_dynamics.dir/test_report_dynamics.cpp.o.d"
+  "test_report_dynamics"
+  "test_report_dynamics.pdb"
+  "test_report_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_vqd.dir/test_spin_vqd.cpp.o"
+  "CMakeFiles/test_spin_vqd.dir/test_spin_vqd.cpp.o.d"
+  "test_spin_vqd"
+  "test_spin_vqd.pdb"
+  "test_spin_vqd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_vqd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_uccsd.cpp" "tests/CMakeFiles/test_uccsd.dir/test_uccsd.cpp.o" "gcc" "tests/CMakeFiles/test_uccsd.dir/test_uccsd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vqsim_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_downfold.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_vqe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_qpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vqsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

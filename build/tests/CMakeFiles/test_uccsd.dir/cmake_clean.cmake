@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uccsd.dir/test_uccsd.cpp.o"
+  "CMakeFiles/test_uccsd.dir/test_uccsd.cpp.o.d"
+  "test_uccsd"
+  "test_uccsd.pdb"
+  "test_uccsd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uccsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

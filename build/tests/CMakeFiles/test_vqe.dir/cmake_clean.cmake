@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vqe.dir/test_vqe.cpp.o"
+  "CMakeFiles/test_vqe.dir/test_vqe.cpp.o.d"
+  "test_vqe"
+  "test_vqe.pdb"
+  "test_vqe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

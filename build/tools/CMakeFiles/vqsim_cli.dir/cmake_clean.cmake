@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqsim_cli.dir/vqsim_cli.cpp.o"
+  "CMakeFiles/vqsim_cli.dir/vqsim_cli.cpp.o.d"
+  "vqsim_cli"
+  "vqsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
