@@ -1,0 +1,101 @@
+// Virtual-QPU pool throughput: worker count x batch size sweep.
+//
+// Each batch entry is one VQE energy-evaluation job (UCCSD ansatz on the
+// H2O-like active space) submitted through the VirtualQpuPool — the paper's
+// §6.2 outlook of simulating many VQE circuits simultaneously. For every
+// (workers, batch) cell we report throughput plus the pool's queue
+// telemetry as one BENCH JSON line per cell, and assert that the energies
+// are identical across worker counts (the runtime's determinism contract).
+//
+// On a single-core container the sweep still exercises real threads; the
+// wall-clock curve then documents scheduling overhead rather than speedup,
+// exactly like the OpenMP thread sweep in perf_scaling.
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "downfold/active_space.hpp"
+#include "runtime/virtual_qpu.hpp"
+#include "vqe/ansatz.hpp"
+
+int main() {
+  using namespace vqsim;
+
+  const MolecularIntegrals act =
+      project_active(water_like(16, 10), ActiveSpace{2, 4});
+  const PauliSum h = jordan_wigner(molecular_hamiltonian(act));
+  const UccsdAnsatzAdapter ansatz(2 * 4, act.nelec);
+
+  std::printf("# perf_virtual_qpu: energy jobs through the virtual-QPU pool\n");
+  std::printf("# %d qubits, %zu Pauli terms, %zu parameters per job\n",
+              ansatz.num_qubits(), h.size(), ansatz.num_parameters());
+
+  std::vector<double> reference;  // energies from the first cell, per entry
+
+  for (const int workers : {1, 2, 4, 8}) {
+    for (const std::size_t batch : {8u, 32u, 128u}) {
+      Rng rng(1234);  // same parameter stream for every cell
+      std::vector<std::vector<double>> sets;
+      for (std::size_t i = 0; i < batch; ++i) {
+        std::vector<double> theta(ansatz.num_parameters());
+        for (double& t : theta) t = rng.uniform(-0.4, 0.4);
+        sets.push_back(std::move(theta));
+      }
+
+      runtime::VirtualQpuPool pool =
+          runtime::make_statevector_pool(workers, workers, 16);
+      WallTimer timer;
+      std::vector<std::future<double>> futures;
+      futures.reserve(batch);
+      for (const auto& theta : sets)
+        futures.push_back(pool.submit_energy(ansatz, h, theta));
+      std::vector<double> energies;
+      energies.reserve(batch);
+      for (auto& f : futures) energies.push_back(f.get());
+      pool.wait_all();
+      const double wall = timer.seconds();
+
+      // Determinism gate: every cell reproduces the first cell's energies
+      // bit-for-bit on the shared prefix.
+      if (reference.empty()) reference = energies;
+      for (std::size_t i = 0;
+           i < std::min(reference.size(), energies.size()); ++i) {
+        if (energies[i] != reference[i]) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: workers=%d batch=%zu "
+                       "entry=%zu\n",
+                       workers, batch, i);
+          return EXIT_FAILURE;
+        }
+      }
+
+      const runtime::PoolCounters counters = pool.counters();
+      double queue_wait_mean_ms = 0.0;
+      double exec_mean_ms = 0.0;
+      if (counters.jobs_completed > 0) {
+        queue_wait_mean_ms = 1e3 * counters.total_queue_wait_seconds /
+                             static_cast<double>(counters.jobs_completed);
+        exec_mean_ms = 1e3 * counters.total_execution_seconds /
+                       static_cast<double>(counters.jobs_completed);
+      }
+      std::printf(
+          "BENCH {\"bench\":\"virtual_qpu\",\"workers\":%d,"
+          "\"batch\":%zu,\"wall_s\":%.6f,\"jobs_per_s\":%.1f,"
+          "\"queue_depth_high_water\":%zu,\"queue_wait_mean_ms\":%.3f,"
+          "\"exec_mean_ms\":%.3f,\"jobs_completed\":%llu,"
+          "\"jobs_failed\":%llu}\n",
+          workers, batch, wall, static_cast<double>(batch) / wall,
+          counters.queue_depth_high_water, queue_wait_mean_ms, exec_mean_ms,
+          static_cast<unsigned long long>(counters.jobs_completed),
+          static_cast<unsigned long long>(counters.jobs_failed));
+      std::fflush(stdout);
+    }
+  }
+  return EXIT_SUCCESS;
+}

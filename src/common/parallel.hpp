@@ -31,14 +31,42 @@ inline void set_threads(int n) {
 #endif
 }
 
+/// True on threads that are currently executing inside a vqsim::runtime
+/// thread-pool worker. The parallel-for helpers consult this flag and fall
+/// back to serial execution so a pool task that reaches an OpenMP region
+/// does not oversubscribe the machine (workers * omp threads); the pool
+/// itself is already the parallelism.
+inline bool& this_thread_in_pool_worker() {
+  thread_local bool flag = false;
+  return flag;
+}
+
+inline bool in_pool_worker() { return this_thread_in_pool_worker(); }
+
+/// RAII marker set by thread-pool workers for the lifetime of the worker
+/// loop (and usable by tests to fake worker context).
+class PoolWorkerScope {
+ public:
+  PoolWorkerScope() : previous_(this_thread_in_pool_worker()) {
+    this_thread_in_pool_worker() = true;
+  }
+  ~PoolWorkerScope() { this_thread_in_pool_worker() = previous_; }
+  PoolWorkerScope(const PoolWorkerScope&) = delete;
+  PoolWorkerScope& operator=(const PoolWorkerScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Parallel loop over [0, n); body must be safe to run concurrently.
 /// Falls back to a serial loop below `grain` iterations — the fork/join
-/// overhead dominates tiny state vectors.
+/// overhead dominates tiny state vectors — and inside pool workers (see
+/// in_pool_worker()).
 template <typename Body>
 void parallel_for(std::uint64_t n, Body&& body,
                   std::uint64_t grain = 1u << 15) {
 #ifdef _OPENMP
-  if (n >= grain) {
+  if (n >= grain && !in_pool_worker()) {
     const std::int64_t sn = static_cast<std::int64_t>(n);
 #pragma omp parallel for schedule(static)
     for (std::int64_t i = 0; i < sn; ++i) {
@@ -52,13 +80,39 @@ void parallel_for(std::uint64_t n, Body&& body,
   for (std::uint64_t i = 0; i < n; ++i) body(i);
 }
 
+/// Parallel loop over the rectangle [0, rows) x [0, cols); body(r, c) must
+/// be safe to run concurrently. The flattened index space is collapsed into
+/// one OpenMP loop so thin-but-tall and wide-but-short iterations both
+/// balance; the same grain and in-worker guards as parallel_for apply.
+template <typename Body>
+void parallel_for_2d(std::uint64_t rows, std::uint64_t cols, Body&& body,
+                     std::uint64_t grain = 1u << 15) {
+  const std::uint64_t n = rows * cols;
+  if (cols == 0) return;
+#ifdef _OPENMP
+  if (n >= grain && !in_pool_worker()) {
+    const std::int64_t sn = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < sn; ++i) {
+      const std::uint64_t u = static_cast<std::uint64_t>(i);
+      body(u / cols, u % cols);
+    }
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::uint64_t r = 0; r < rows; ++r)
+    for (std::uint64_t c = 0; c < cols; ++c) body(r, c);
+}
+
 /// Parallel sum-reduction of `term(i)` over [0, n).
 template <typename Term>
 double parallel_sum(std::uint64_t n, Term&& term,
                     std::uint64_t grain = 1u << 15) {
   double total = 0.0;
 #ifdef _OPENMP
-  if (n >= grain) {
+  if (n >= grain && !in_pool_worker()) {
     const std::int64_t sn = static_cast<std::int64_t>(n);
 #pragma omp parallel for schedule(static) reduction(+ : total)
     for (std::int64_t i = 0; i < sn; ++i) {

@@ -1,0 +1,207 @@
+#include "runtime/backend.hpp"
+
+#include <stdexcept>
+
+#include "dist/dist_state_vector.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/expectation.hpp"
+#include "sim/stabilizer.hpp"
+
+namespace vqsim::runtime {
+namespace {
+
+void require_noiseless(const NoiseModel& noise, const char* backend) {
+  if (!noise.is_noiseless())
+    throw std::invalid_argument(std::string(backend) +
+                                " backend: noise models unsupported");
+}
+
+void require_fits(int num_qubits, int max_qubits, const char* backend) {
+  if (num_qubits > max_qubits)
+    throw std::invalid_argument(std::string(backend) + " backend: " +
+                                std::to_string(num_qubits) +
+                                " qubits exceed capability ceiling " +
+                                std::to_string(max_qubits));
+}
+
+}  // namespace
+
+bool backend_can_run(const BackendCaps& caps, const JobRequirements& req) {
+  if (req.num_qubits > caps.max_qubits) return false;
+  if (req.needs_noise && !caps.supports_noise) return false;
+  if (req.needs_exact && !caps.supports_exact_expectation) return false;
+  if (req.needs_state && !caps.supports_statevector_output) return false;
+  if (caps.clifford_only && !req.clifford_only) return false;
+  return true;
+}
+
+// -- StateVectorBackend ------------------------------------------------------
+
+StateVectorBackend::StateVectorBackend(int max_qubits)
+    : max_qubits_(max_qubits) {}
+
+BackendCaps StateVectorBackend::caps() const {
+  return BackendCaps{.max_qubits = max_qubits_,
+                     .supports_noise = false,
+                     .supports_exact_expectation = true,
+                     .supports_statevector_output = true,
+                     .clifford_only = false};
+}
+
+StateVector StateVectorBackend::run_circuit(const Circuit& circuit) {
+  require_fits(circuit.num_qubits(), max_qubits_, name());
+  StateVector psi(circuit.num_qubits());
+  psi.apply_circuit(circuit);
+  return psi;
+}
+
+double StateVectorBackend::expectation(const Circuit& circuit,
+                                       const PauliSum& observable,
+                                       const NoiseModel& noise) {
+  require_noiseless(noise, name());
+  require_fits(circuit.num_qubits(), max_qubits_, name());
+  StateVector psi(circuit.num_qubits());
+  psi.apply_circuit(circuit);
+  return vqsim::expectation(psi, observable);
+}
+
+double StateVectorBackend::energy(const Ansatz& ansatz,
+                                  const PauliSum& observable,
+                                  std::span<const double> theta) {
+  require_fits(ansatz.num_qubits(), max_qubits_, name());
+  // Same arithmetic as SimulatorExecutor's direct path (prepare + direct
+  // expectation), so pool energies are bit-identical to the sequential
+  // executor — the determinism contract the runtime tests pin down.
+  StateVector psi(ansatz.num_qubits());
+  ansatz.prepare(&psi, theta);
+  return vqsim::expectation(psi, observable);
+}
+
+// -- DensityMatrixBackend ----------------------------------------------------
+
+DensityMatrixBackend::DensityMatrixBackend(int max_qubits)
+    : max_qubits_(max_qubits) {}
+
+BackendCaps DensityMatrixBackend::caps() const {
+  return BackendCaps{.max_qubits = max_qubits_,
+                     .supports_noise = true,
+                     .supports_exact_expectation = true,
+                     .supports_statevector_output = false,
+                     .clifford_only = false};
+}
+
+StateVector DensityMatrixBackend::run_circuit(const Circuit&) {
+  throw std::logic_error(
+      "density_matrix backend: state-vector output unsupported");
+}
+
+double DensityMatrixBackend::expectation(const Circuit& circuit,
+                                         const PauliSum& observable,
+                                         const NoiseModel& noise) {
+  require_fits(circuit.num_qubits(), max_qubits_, name());
+  DensityMatrix rho(circuit.num_qubits());
+  // Exact open-system counterpart of sim/noise.cpp's trajectory model: the
+  // same per-gate, per-operand-qubit channels, applied as Kraus sums.
+  const KrausChannel depol =
+      noise.depolarizing > 0.0 ? KrausChannel::depolarizing(noise.depolarizing)
+                               : KrausChannel{};
+  const KrausChannel damp =
+      noise.damping > 0.0 ? KrausChannel::amplitude_damping(noise.damping)
+                          : KrausChannel{};
+  for (const Gate& g : circuit.gates()) {
+    rho.apply_gate(g);
+    if (noise.is_noiseless()) continue;
+    for (int q : {g.q0, g.q1}) {
+      if (q < 0) continue;
+      if (noise.depolarizing > 0.0) rho.apply_channel(depol, q);
+      if (noise.damping > 0.0) rho.apply_channel(damp, q);
+    }
+  }
+  return rho.expectation(observable);
+}
+
+double DensityMatrixBackend::energy(const Ansatz& ansatz,
+                                    const PauliSum& observable,
+                                    std::span<const double> theta) {
+  require_fits(ansatz.num_qubits(), max_qubits_, name());
+  return expectation(ansatz.circuit(theta), observable, NoiseModel{});
+}
+
+// -- StabilizerBackend -------------------------------------------------------
+
+StabilizerBackend::StabilizerBackend(int max_qubits)
+    : max_qubits_(max_qubits) {}
+
+BackendCaps StabilizerBackend::caps() const {
+  return BackendCaps{.max_qubits = max_qubits_,
+                     .supports_noise = false,
+                     .supports_exact_expectation = true,
+                     .supports_statevector_output = false,
+                     .clifford_only = true};
+}
+
+StateVector StabilizerBackend::run_circuit(const Circuit&) {
+  throw std::logic_error(
+      "stabilizer backend: state-vector output unsupported");
+}
+
+double StabilizerBackend::expectation(const Circuit& circuit,
+                                      const PauliSum& observable,
+                                      const NoiseModel& noise) {
+  require_noiseless(noise, name());
+  require_fits(circuit.num_qubits(), max_qubits_, name());
+  StabilizerState state(circuit.num_qubits());
+  if (!state.try_apply_circuit(circuit))
+    throw std::invalid_argument(
+        "stabilizer backend: circuit contains non-Clifford gates");
+  return state.expectation(observable);
+}
+
+double StabilizerBackend::energy(const Ansatz& ansatz,
+                                 const PauliSum& observable,
+                                 std::span<const double> theta) {
+  // Valid exactly at Clifford parameter points (the CAFQA bootstrap).
+  require_fits(ansatz.num_qubits(), max_qubits_, name());
+  return expectation(ansatz.circuit(theta), observable, NoiseModel{});
+}
+
+// -- DistStateVectorBackend --------------------------------------------------
+
+DistStateVectorBackend::DistStateVectorBackend(int num_ranks, int max_qubits)
+    : comm_(num_ranks), max_qubits_(max_qubits) {}
+
+BackendCaps DistStateVectorBackend::caps() const {
+  return BackendCaps{.max_qubits = max_qubits_,
+                     .supports_noise = false,
+                     .supports_exact_expectation = true,
+                     .supports_statevector_output = true,
+                     .clifford_only = false};
+}
+
+StateVector DistStateVectorBackend::run_circuit(const Circuit& circuit) {
+  require_fits(circuit.num_qubits(), max_qubits_, name());
+  DistStateVector psi(circuit.num_qubits(), &comm_);
+  psi.apply_circuit(circuit);
+  return psi.gather();
+}
+
+double DistStateVectorBackend::expectation(const Circuit& circuit,
+                                           const PauliSum& observable,
+                                           const NoiseModel& noise) {
+  require_noiseless(noise, name());
+  require_fits(circuit.num_qubits(), max_qubits_, name());
+  DistStateVector psi(circuit.num_qubits(), &comm_);
+  psi.apply_circuit(circuit);
+  return psi.expectation(observable);
+}
+
+double DistStateVectorBackend::energy(const Ansatz& ansatz,
+                                      const PauliSum& observable,
+                                      std::span<const double> theta) {
+  require_fits(ansatz.num_qubits(), max_qubits_, name());
+  DistStateVector psi(ansatz.num_qubits(), &comm_);
+  psi.apply_circuit(ansatz.circuit(theta));
+  return psi.expectation(observable);
+}
+
+}  // namespace vqsim::runtime

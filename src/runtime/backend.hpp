@@ -1,0 +1,144 @@
+// Backend virtualization: one uniform QPU interface over every simulator in
+// the repo (the XACC "accelerator virtualization" idea of Claudino et al.,
+// arXiv:2406.03466, mapped onto our substitution table).
+//
+// A QpuBackend advertises capabilities (register size, noise fidelity,
+// exact-expectation support, Clifford restriction) and executes the three
+// job kinds. Adapters wrap the existing executors unchanged:
+//   StateVectorBackend   -> sim::StateVector        (NWQ-Sim role)
+//   DensityMatrixBackend -> sim::DensityMatrix      (DM-Sim role, exact noise)
+//   StabilizerBackend    -> sim::StabilizerState    (Clifford-only, CAFQA)
+//   DistStateVectorBackend -> dist::DistStateVector over a private SimComm
+//                             (SV-Sim multi-node role)
+// A backend instance is NOT internally synchronized: the pool guarantees at
+// most one job executes on a given backend at a time.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dist/comm.hpp"
+#include "runtime/job.hpp"
+#include "sim/state_vector.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace vqsim::runtime {
+
+/// What a backend can do; matched against JobRequirements at dispatch.
+struct BackendCaps {
+  int max_qubits = 0;
+  /// Noise models are honoured (exact open-system evolution); backends
+  /// without this flag reject jobs whose NoiseModel is non-trivial.
+  bool supports_noise = false;
+  /// Expectations are exact (not shot-estimated).
+  bool supports_exact_expectation = true;
+  /// run_circuit() can return the final state vector.
+  bool supports_statevector_output = true;
+  /// Only Clifford circuits execute (stabilizer tableau).
+  bool clifford_only = false;
+};
+
+/// True when a backend with `caps` can execute a job with `req`.
+bool backend_can_run(const BackendCaps& caps, const JobRequirements& req);
+
+class QpuBackend {
+ public:
+  virtual ~QpuBackend() = default;
+
+  virtual const char* name() const = 0;
+  virtual BackendCaps caps() const = 0;
+
+  /// Run `circuit` from |0...0> and return the final state.
+  virtual StateVector run_circuit(const Circuit& circuit) = 0;
+
+  /// <observable> after running `circuit` from |0...0> under `noise`
+  /// (noise must be trivial unless caps().supports_noise).
+  virtual double expectation(const Circuit& circuit,
+                             const PauliSum& observable,
+                             const NoiseModel& noise) = 0;
+
+  /// Full VQE energy evaluation: <observable> at ansatz(theta). Matches the
+  /// SimulatorExecutor direct path bit-for-bit on exact backends.
+  virtual double energy(const Ansatz& ansatz, const PauliSum& observable,
+                        std::span<const double> theta) = 0;
+};
+
+/// Shared-memory state-vector simulator (the NWQ-Sim role).
+class StateVectorBackend final : public QpuBackend {
+ public:
+  explicit StateVectorBackend(int max_qubits = 28);
+
+  const char* name() const override { return "statevector"; }
+  BackendCaps caps() const override;
+  StateVector run_circuit(const Circuit& circuit) override;
+  double expectation(const Circuit& circuit, const PauliSum& observable,
+                     const NoiseModel& noise) override;
+  double energy(const Ansatz& ansatz, const PauliSum& observable,
+                std::span<const double> theta) override;
+
+ private:
+  int max_qubits_;
+};
+
+/// Exact open-system simulator (the DM-Sim role): the only backend that
+/// honours NoiseModels faithfully. Costs 4^n amplitudes, so the qubit
+/// ceiling is small.
+class DensityMatrixBackend final : public QpuBackend {
+ public:
+  explicit DensityMatrixBackend(int max_qubits = 10);
+
+  const char* name() const override { return "density_matrix"; }
+  BackendCaps caps() const override;
+  StateVector run_circuit(const Circuit& circuit) override;
+  double expectation(const Circuit& circuit, const PauliSum& observable,
+                     const NoiseModel& noise) override;
+  double energy(const Ansatz& ansatz, const PauliSum& observable,
+                std::span<const double> theta) override;
+
+ private:
+  int max_qubits_;
+};
+
+/// Aaronson-Gottesman tableau: polynomial-time, Clifford circuits only
+/// (the CAFQA bootstrap backend).
+class StabilizerBackend final : public QpuBackend {
+ public:
+  explicit StabilizerBackend(int max_qubits = 64);
+
+  const char* name() const override { return "stabilizer"; }
+  BackendCaps caps() const override;
+  StateVector run_circuit(const Circuit& circuit) override;
+  double expectation(const Circuit& circuit, const PauliSum& observable,
+                     const NoiseModel& noise) override;
+  double energy(const Ansatz& ansatz, const PauliSum& observable,
+                std::span<const double> theta) override;
+
+ private:
+  int max_qubits_;
+};
+
+/// Rank-partitioned distributed state vector over a private in-process
+/// communicator (the SV-Sim multi-node role). Each job sees a fresh
+/// DistStateVector; the accumulated CommStats expose the traffic the
+/// virtualized "cluster" moved.
+class DistStateVectorBackend final : public QpuBackend {
+ public:
+  explicit DistStateVectorBackend(int num_ranks, int max_qubits = 24);
+
+  const char* name() const override { return "dist_statevector"; }
+  BackendCaps caps() const override;
+  StateVector run_circuit(const Circuit& circuit) override;
+  double expectation(const Circuit& circuit, const PauliSum& observable,
+                     const NoiseModel& noise) override;
+  double energy(const Ansatz& ansatz, const PauliSum& observable,
+                std::span<const double> theta) override;
+
+  const CommStats& comm_stats() const { return comm_.stats(); }
+
+ private:
+  SimComm comm_;
+  int max_qubits_;
+};
+
+}  // namespace vqsim::runtime

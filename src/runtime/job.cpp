@@ -1,0 +1,14 @@
+#include "runtime/job.hpp"
+
+namespace vqsim::runtime {
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kCircuitRun: return "circuit_run";
+    case JobKind::kExpectation: return "expectation";
+    case JobKind::kEnergy: return "energy";
+  }
+  return "unknown";
+}
+
+}  // namespace vqsim::runtime

@@ -1,0 +1,74 @@
+// Typed jobs accepted by the virtual-QPU pool.
+//
+// Three job kinds mirror the paper's workflow layers: raw circuit execution
+// (returns the final state), Pauli-sum expectation of a circuit (optionally
+// under a noise model), and a full VQE energy evaluation (ansatz + parameter
+// vector + observable — the unit the §6.2 outlook wants batched across
+// simulators). Every job carries requirements that the pool matches against
+// backend capabilities, and every completed job leaves a telemetry record
+// (queue wait, execution time, which backend ran it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/noise.hpp"
+
+namespace vqsim::runtime {
+
+enum class JobKind : std::uint8_t {
+  kCircuitRun,   // run a circuit, return the final StateVector
+  kExpectation,  // run a circuit, return <observable>
+  kEnergy,       // full VQE energy evaluation at one parameter set
+};
+
+const char* to_string(JobKind kind);
+
+/// Lower value = dispatched first. FIFO within a priority class.
+enum class JobPriority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
+/// What a job needs from the backend that runs it; matched against
+/// BackendCaps by the pool's dispatcher.
+struct JobRequirements {
+  int num_qubits = 0;
+  /// Job carries a non-trivial NoiseModel: the backend must model noise
+  /// faithfully (density-matrix evolution), not ignore it.
+  bool needs_noise = false;
+  /// Result must be the exact expectation/state, not a sampled estimate
+  /// (excludes Clifford-only backends for general circuits).
+  bool needs_exact = true;
+  /// The job returns the final state vector (circuit-run jobs): only
+  /// backends with state-vector output qualify.
+  bool needs_state = false;
+  /// The job's circuit is promised Clifford-only, unlocking stabilizer
+  /// backends.
+  bool clifford_only = false;
+};
+
+/// Per-submission knobs.
+struct JobOptions {
+  JobPriority priority = JobPriority::kNormal;
+  /// Applied after every gate on each operand qubit (ignored when
+  /// noiseless). A non-trivial model routes the job to a noise-capable
+  /// backend.
+  NoiseModel noise;
+  /// Promise the circuit is Clifford so stabilizer backends qualify.
+  bool clifford_only = false;
+};
+
+/// Record of one completed (or failed) job, kept by the pool.
+struct JobTelemetry {
+  std::uint64_t job_id = 0;
+  JobKind kind = JobKind::kCircuitRun;
+  JobPriority priority = JobPriority::kNormal;
+  int backend_id = -1;          // index into the pool's QPU list
+  std::string backend_name;
+  double queue_wait_seconds = 0.0;  // submit -> dispatch
+  double execution_seconds = 0.0;   // dispatch -> completion
+  bool failed = false;              // exception delivered via the future
+};
+
+}  // namespace vqsim::runtime

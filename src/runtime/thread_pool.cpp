@@ -1,0 +1,131 @@
+#include "runtime/thread_pool.hpp"
+
+#include "common/parallel.hpp"
+
+namespace vqsim::runtime {
+namespace {
+
+// Identity of the current thread within its pool (-1 off-pool). Used to
+// route nested submissions to the calling worker's own deque and to start
+// steal scans away from self.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local int t_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers <= 0) {
+    num_workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_workers <= 0) num_workers = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::in_worker() { return in_pool_worker(); }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (stopping_.load(std::memory_order_acquire))
+    throw std::runtime_error("ThreadPool: submit after shutdown");
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (t_pool == this && t_worker_index >= 0) {
+    // Nested submission: LIFO onto our own deque (depth-first locality).
+    Worker& w = *workers_[static_cast<std::size_t>(t_worker_index)];
+    std::lock_guard lock(w.mutex);
+    w.deque.push_front(std::move(task));
+  } else {
+    const std::size_t target =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    Worker& w = *workers_[target];
+    std::lock_guard lock(w.mutex);
+    w.deque.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Pairing the notify with the sleep mutex closes the missed-wakeup race
+    // against workers evaluating their sleep predicate.
+    std::lock_guard lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_claim(int self, std::function<void()>* out) {
+  Worker& own = *workers_[static_cast<std::size_t>(self)];
+  {
+    std::lock_guard lock(own.mutex);
+    if (!own.deque.empty()) {
+      *out = std::move(own.deque.front());
+      own.deque.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  const int n = num_workers();
+  for (int off = 1; off < n; ++off) {
+    Worker& victim = *workers_[static_cast<std::size_t>((self + off) % n)];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      *out = std::move(victim.deque.back());
+      victim.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int index) {
+  PoolWorkerScope worker_scope;
+  t_pool = this;
+  t_worker_index = index;
+
+  std::function<void()> task;
+  for (;;) {
+    if (try_claim(index, &task)) {
+      task();
+      task = nullptr;  // release captured state before sleeping
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(sleep_mutex_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return queued_.load(std::memory_order_acquire) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(sleep_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(sleep_mutex_);
+    if (joined_) return;
+    joined_ = true;
+    stopping_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+}  // namespace vqsim::runtime

@@ -1,0 +1,100 @@
+// Work-stealing thread pool — the execution substrate of the virtual-QPU
+// runtime (paper §6.2 outlook: simulate many VQE circuits simultaneously).
+//
+// Each worker owns a deque: its own submissions push/pop LIFO at the front
+// (cache locality for nested task trees), external submissions round-robin
+// onto the backs, and an idle worker steals from the *back* of a victim's
+// deque — the classic Cilk/TBB discipline that keeps stolen work coarse.
+// Tasks return futures; shutdown is graceful (queued work drains before the
+// workers join). Workers mark themselves via common/parallel.hpp's
+// in_pool_worker() flag so OpenMP helpers reached from inside a task run
+// serially instead of oversubscribing the machine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vqsim::runtime {
+
+class ThreadPool {
+ public:
+  /// `num_workers` <= 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_workers = 0);
+
+  /// Graceful: drains queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is one of this process's pool workers.
+  static bool in_worker();
+
+  /// Schedule `fn` and return a future for its result. Exceptions thrown by
+  /// `fn` propagate through the future. Safe to call from inside a task
+  /// (the task is pushed onto the calling worker's own deque).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Block until every task submitted so far has finished executing.
+  void wait_idle();
+
+  /// Stop accepting work, drain queued tasks, join workers. Idempotent;
+  /// called by the destructor.
+  void shutdown();
+
+  /// Telemetry: tasks fully executed / tasks that ran on a worker other
+  /// than the deque they were queued on.
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_stolen() const {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    std::mutex mutex;
+  };
+
+  void enqueue(std::function<void()> task);
+  void worker_loop(int index);
+  /// Pop from own front, else steal from another worker's back.
+  bool try_claim(int self, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::condition_variable idle_cv_;
+
+  std::atomic<std::uint64_t> next_queue_{0};
+  std::atomic<std::uint64_t> queued_{0};     // tasks sitting in deques
+  std::atomic<std::uint64_t> in_flight_{0};  // queued + executing
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+  std::atomic<bool> stopping_{false};
+  bool joined_ = false;
+};
+
+}  // namespace vqsim::runtime

@@ -1,0 +1,300 @@
+#include "runtime/virtual_qpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/parallel.hpp"
+
+namespace vqsim::runtime {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+std::string describe(const JobRequirements& req) {
+  std::string s = std::to_string(req.num_qubits) + " qubits";
+  if (req.needs_noise) s += ", noise";
+  if (req.needs_exact) s += ", exact";
+  if (req.needs_state) s += ", statevector output";
+  if (req.clifford_only) s += ", clifford";
+  return s;
+}
+
+}  // namespace
+
+VirtualQpuPool::VirtualQpuPool(std::vector<std::unique_ptr<QpuBackend>> qpus,
+                               int workers)
+    : pool_(workers) {
+  if (qpus.empty())
+    throw std::invalid_argument("VirtualQpuPool: empty QPU fleet");
+  qpus_.reserve(qpus.size());
+  for (auto& backend : qpus) {
+    if (!backend)
+      throw std::invalid_argument("VirtualQpuPool: null backend");
+    VirtualQpu q;
+    q.caps = backend->caps();
+    q.backend = std::move(backend);
+    qpus_.push_back(std::move(q));
+  }
+}
+
+VirtualQpuPool::~VirtualQpuPool() {
+  resume_dispatch();
+  wait_all();
+}
+
+void VirtualQpuPool::enqueue(JobKind kind, JobRequirements requirements,
+                             JobOptions options,
+                             std::function<bool(QpuBackend&)> execute) {
+  bool feasible = false;
+  for (const VirtualQpu& q : qpus_)
+    if (backend_can_run(q.caps, requirements)) {
+      feasible = true;
+      break;
+    }
+  if (!feasible)
+    throw std::invalid_argument(
+        std::string("VirtualQpuPool: no backend in the fleet can run this ") +
+        to_string(kind) + " job (requires " + describe(requirements) +
+        "); rejected at submission");
+
+  std::lock_guard lock(mutex_);
+  PendingJob job;
+  job.id = next_job_id_++;
+  job.kind = kind;
+  job.priority = options.priority;
+  job.requirements = requirements;
+  job.execute = std::move(execute);
+  job.submit_time = Clock::now();
+  pending_.push_back(std::move(job));
+  ++counters_.jobs_submitted;
+  counters_.queue_depth_high_water =
+      std::max(counters_.queue_depth_high_water, pending_.size());
+  pump_locked();
+}
+
+void VirtualQpuPool::pump_locked() {
+  if (paused_) return;
+  for (;;) {
+    // Highest-priority (lowest enum value), earliest-submitted job that has
+    // an idle capable QPU right now. Jobs whose capable QPUs are all busy
+    // are skipped, so a small job may overtake a blocked big one without
+    // starving it (its turn recurs on every completion).
+    std::size_t best = pending_.size();
+    int best_qpu = -1;
+    for (std::size_t j = 0; j < pending_.size(); ++j) {
+      if (best < pending_.size() &&
+          pending_[j].priority >= pending_[best].priority)
+        continue;
+      for (std::size_t q = 0; q < qpus_.size(); ++q) {
+        if (qpus_[q].busy) continue;
+        if (!backend_can_run(qpus_[q].caps, pending_[j].requirements))
+          continue;
+        best = j;
+        best_qpu = static_cast<int>(q);
+        break;
+      }
+    }
+    if (best_qpu < 0) return;
+
+    PendingJob job = std::move(pending_[best]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+    qpus_[static_cast<std::size_t>(best_qpu)].busy = true;
+    ++dispatched_;
+    pool_.submit([this, job = std::move(job), best_qpu]() mutable {
+      run_job(std::move(job), best_qpu);
+    });
+  }
+}
+
+void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
+  VirtualQpu& qpu = qpus_[static_cast<std::size_t>(backend_id)];
+  const Clock::time_point start = Clock::now();
+  const bool ok = job.execute(*qpu.backend);
+  const Clock::time_point end = Clock::now();
+
+  JobTelemetry record;
+  record.job_id = job.id;
+  record.kind = job.kind;
+  record.priority = job.priority;
+  record.backend_id = backend_id;
+  record.backend_name = qpu.backend->name();
+  record.queue_wait_seconds = seconds_since(job.submit_time, start);
+  record.execution_seconds = seconds_since(start, end);
+  record.failed = !ok;
+
+  {
+    std::lock_guard lock(mutex_);
+    qpu.busy = false;
+    ++qpu.jobs_run;
+    qpu.busy_seconds += record.execution_seconds;
+    ++counters_.jobs_completed;
+    if (!ok) ++counters_.jobs_failed;
+    counters_.total_queue_wait_seconds += record.queue_wait_seconds;
+    counters_.total_execution_seconds += record.execution_seconds;
+    telemetry_.push_back(std::move(record));
+    pump_locked();
+  }
+  all_done_cv_.notify_all();
+}
+
+std::future<double> VirtualQpuPool::submit_energy(const Ansatz& ansatz,
+                                                  const PauliSum& observable,
+                                                  std::vector<double> theta,
+                                                  JobOptions options) {
+  JobRequirements req;
+  req.num_qubits = ansatz.num_qubits();
+  req.needs_noise = false;
+  req.needs_exact = true;
+  req.clifford_only = options.clifford_only;
+  auto promise = std::make_shared<std::promise<double>>();
+  std::future<double> future = promise->get_future();
+  enqueue(JobKind::kEnergy, req, options,
+          [promise, &ansatz, &observable,
+           theta = std::move(theta)](QpuBackend& backend) {
+            try {
+              promise->set_value(backend.energy(ansatz, observable, theta));
+              return true;
+            } catch (...) {
+              promise->set_exception(std::current_exception());
+              return false;
+            }
+          });
+  return future;
+}
+
+std::future<double> VirtualQpuPool::submit_expectation(Circuit circuit,
+                                                       PauliSum observable,
+                                                       JobOptions options) {
+  JobRequirements req;
+  req.num_qubits = circuit.num_qubits();
+  req.needs_noise = !options.noise.is_noiseless();
+  req.needs_exact = true;
+  req.clifford_only = options.clifford_only;
+  auto promise = std::make_shared<std::promise<double>>();
+  std::future<double> future = promise->get_future();
+  enqueue(JobKind::kExpectation, req, options,
+          [promise, circuit = std::move(circuit),
+           observable = std::move(observable),
+           noise = options.noise](QpuBackend& backend) {
+            try {
+              promise->set_value(
+                  backend.expectation(circuit, observable, noise));
+              return true;
+            } catch (...) {
+              promise->set_exception(std::current_exception());
+              return false;
+            }
+          });
+  return future;
+}
+
+std::future<StateVector> VirtualQpuPool::submit_circuit(Circuit circuit,
+                                                        JobOptions options) {
+  JobRequirements req;
+  req.num_qubits = circuit.num_qubits();
+  req.needs_noise = !options.noise.is_noiseless();
+  req.needs_exact = true;
+  req.needs_state = true;
+  req.clifford_only = options.clifford_only;
+  auto promise = std::make_shared<std::promise<StateVector>>();
+  std::future<StateVector> future = promise->get_future();
+  enqueue(JobKind::kCircuitRun, req, options,
+          [promise, circuit = std::move(circuit)](QpuBackend& backend) {
+            try {
+              promise->set_value(backend.run_circuit(circuit));
+              return true;
+            } catch (...) {
+              promise->set_exception(std::current_exception());
+              return false;
+            }
+          });
+  return future;
+}
+
+void VirtualQpuPool::pause_dispatch() {
+  std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void VirtualQpuPool::resume_dispatch() {
+  std::lock_guard lock(mutex_);
+  paused_ = false;
+  pump_locked();
+}
+
+void VirtualQpuPool::wait_all() {
+  std::unique_lock lock(mutex_);
+  all_done_cv_.wait(lock, [this] {
+    return pending_.empty() && dispatched_ == counters_.jobs_completed;
+  });
+}
+
+std::size_t VirtualQpuPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+PoolCounters VirtualQpuPool::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::vector<BackendUtilization> VirtualQpuPool::utilization() const {
+  std::lock_guard lock(mutex_);
+  std::vector<BackendUtilization> out;
+  out.reserve(qpus_.size());
+  for (std::size_t i = 0; i < qpus_.size(); ++i) {
+    BackendUtilization u;
+    u.backend_id = static_cast<int>(i);
+    u.name = qpus_[i].backend->name();
+    u.jobs_run = qpus_[i].jobs_run;
+    u.busy_seconds = qpus_[i].busy_seconds;
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+std::vector<JobTelemetry> VirtualQpuPool::telemetry() const {
+  std::lock_guard lock(mutex_);
+  return telemetry_;
+}
+
+void VirtualQpuPool::clear_telemetry() {
+  std::lock_guard lock(mutex_);
+  telemetry_.clear();
+}
+
+VirtualQpuPool make_statevector_pool(int num_qpus, int workers,
+                                     int max_qubits) {
+  if (num_qpus <= 0)
+    throw std::invalid_argument("make_statevector_pool: need >= 1 QPU");
+  std::vector<std::unique_ptr<QpuBackend>> fleet;
+  fleet.reserve(static_cast<std::size_t>(num_qpus));
+  for (int i = 0; i < num_qpus; ++i)
+    fleet.push_back(std::make_unique<StateVectorBackend>(max_qubits));
+  return VirtualQpuPool(std::move(fleet), workers);
+}
+
+VirtualQpuPool& default_qpu_pool() {
+  // Intentionally immortal: joining worker threads during static
+  // destruction is a classic shutdown hazard.
+  static VirtualQpuPool* pool = [] {
+    const int n = std::max(1, hardware_threads());
+    return new VirtualQpuPool(
+        [&] {
+          std::vector<std::unique_ptr<QpuBackend>> fleet;
+          fleet.reserve(static_cast<std::size_t>(n));
+          for (int i = 0; i < n; ++i)
+            fleet.push_back(std::make_unique<StateVectorBackend>());
+          return fleet;
+        }(),
+        n);
+  }();
+  return *pool;
+}
+
+}  // namespace vqsim::runtime

@@ -1,0 +1,170 @@
+// VirtualQpuPool — an asynchronous execution service over N virtual QPUs.
+//
+// The pool owns a fleet of QpuBackend instances (the "virtual QPUs" of the
+// XACC platform-virtualization model, arXiv:2406.03466) and a work-stealing
+// thread pool. Typed jobs (circuit run / Pauli-sum expectation / VQE energy
+// evaluation) enter a priority+FIFO queue; the dispatcher matches each job's
+// requirements against backend capabilities and hands the highest-priority
+// dispatchable job to the first idle capable QPU. Callers get futures;
+// every completed job leaves a telemetry record and feeds pool counters
+// (queue-depth high-water mark, per-backend utilization, wait/exec totals).
+//
+// Results are deterministic and worker-count-independent: jobs are pure
+// (each builds its own simulator state) and in-worker OpenMP regions run
+// serially (common/parallel.hpp guard), so the same job set produces
+// bit-identical results on 1, 2, or 8 workers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/backend.hpp"
+#include "runtime/job.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace vqsim::runtime {
+
+/// Aggregate pool statistics (monotonic over the pool's lifetime).
+struct PoolCounters {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;  // includes failed jobs
+  std::uint64_t jobs_failed = 0;
+  std::size_t queue_depth_high_water = 0;
+  double total_queue_wait_seconds = 0.0;
+  double total_execution_seconds = 0.0;
+};
+
+/// Per-virtual-QPU utilization.
+struct BackendUtilization {
+  int backend_id = -1;
+  std::string name;
+  std::uint64_t jobs_run = 0;
+  double busy_seconds = 0.0;
+};
+
+class VirtualQpuPool {
+ public:
+  /// Takes ownership of the QPU fleet. `workers` <= 0 selects the hardware
+  /// concurrency. Effective parallelism is min(workers, qpus.size()).
+  explicit VirtualQpuPool(std::vector<std::unique_ptr<QpuBackend>> qpus,
+                          int workers = 0);
+
+  /// Drains every pending/executing job before tearing down.
+  ~VirtualQpuPool();
+
+  VirtualQpuPool(const VirtualQpuPool&) = delete;
+  VirtualQpuPool& operator=(const VirtualQpuPool&) = delete;
+
+  int num_qpus() const { return static_cast<int>(qpus_.size()); }
+  int num_workers() const { return pool_.num_workers(); }
+
+  // -- Job submission --------------------------------------------------------
+  // Submission throws std::invalid_argument immediately when NO backend in
+  // the fleet could ever satisfy the job's requirements (over-capacity,
+  // noise on a noise-free fleet, ...). Execution-time errors arrive through
+  // the returned future instead.
+
+  /// Full VQE energy evaluation at one parameter set. `ansatz` and
+  /// `observable` must outlive the future's completion.
+  std::future<double> submit_energy(const Ansatz& ansatz,
+                                    const PauliSum& observable,
+                                    std::vector<double> theta,
+                                    JobOptions options = {});
+
+  /// <observable> after running `circuit` from |0...0> (optionally under
+  /// options.noise — a non-trivial model requires a noise-capable backend).
+  std::future<double> submit_expectation(Circuit circuit, PauliSum observable,
+                                         JobOptions options = {});
+
+  /// Run `circuit` and return the final state vector.
+  std::future<StateVector> submit_circuit(Circuit circuit,
+                                          JobOptions options = {});
+
+  // -- Flow control ----------------------------------------------------------
+
+  /// Hold queued jobs (submissions still accepted). With dispatch paused a
+  /// whole batch can be queued and then released in strict priority order.
+  void pause_dispatch();
+  void resume_dispatch();
+
+  /// Block until every submitted job has completed (or failed).
+  void wait_all();
+
+  // -- Introspection ---------------------------------------------------------
+
+  std::size_t queue_depth() const;
+  PoolCounters counters() const;
+  std::vector<BackendUtilization> utilization() const;
+  /// Completed-job records, in completion order.
+  std::vector<JobTelemetry> telemetry() const;
+  void clear_telemetry();
+
+  const QpuBackend& qpu(int backend_id) const {
+    return *qpus_[static_cast<std::size_t>(backend_id)].backend;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct VirtualQpu {
+    std::unique_ptr<QpuBackend> backend;
+    BackendCaps caps;  // cached: capability checks without touching backend
+    bool busy = false;
+    std::uint64_t jobs_run = 0;
+    double busy_seconds = 0.0;
+  };
+
+  struct PendingJob {
+    std::uint64_t id = 0;
+    JobKind kind = JobKind::kCircuitRun;
+    JobPriority priority = JobPriority::kNormal;
+    JobRequirements requirements;
+    /// Runs the payload on the chosen backend and fulfils the job's
+    /// promise (value or exception); returns false when it delivered an
+    /// exception.
+    std::function<bool(QpuBackend&)> execute;
+    Clock::time_point submit_time;
+  };
+
+  /// Reject-or-enqueue; shared tail of the typed submit_* front-ends.
+  void enqueue(JobKind kind, JobRequirements requirements, JobOptions options,
+               std::function<bool(QpuBackend&)> execute);
+  /// Dispatch every (priority, FIFO)-ordered job that has an idle capable
+  /// QPU. Caller holds mutex_.
+  void pump_locked();
+  void run_job(PendingJob job, int backend_id);
+
+  std::vector<VirtualQpu> qpus_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable all_done_cv_;
+  std::deque<PendingJob> pending_;
+  bool paused_ = false;
+  std::uint64_t next_job_id_ = 0;
+  std::uint64_t dispatched_ = 0;  // jobs handed to the thread pool so far
+  PoolCounters counters_;
+  std::vector<JobTelemetry> telemetry_;
+
+  // Declared last: destroyed first, so no worker outlives the state above.
+  ThreadPool pool_;
+};
+
+/// Convenience fleet: `num_qpus` identical shared-memory state-vector QPUs.
+VirtualQpuPool make_statevector_pool(int num_qpus, int workers = 0,
+                                     int max_qubits = 28);
+
+/// Process-wide lazily-constructed pool used by vqe/batch.cpp when the
+/// caller does not supply one: hardware-concurrency workers over an equal
+/// fleet of state-vector QPUs.
+VirtualQpuPool& default_qpu_pool();
+
+}  // namespace vqsim::runtime

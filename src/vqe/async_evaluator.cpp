@@ -1,0 +1,69 @@
+#include "vqe/async_evaluator.hpp"
+
+#include <stdexcept>
+
+namespace vqsim {
+
+AsyncEnergyEvaluator::AsyncEnergyEvaluator(const Ansatz& ansatz,
+                                           PauliSum observable,
+                                           runtime::VirtualQpuPool* pool)
+    : ansatz_(ansatz),
+      observable_(std::move(observable)),
+      pool_(pool != nullptr ? pool : &runtime::default_qpu_pool()) {
+  if (observable_.num_qubits() > ansatz.num_qubits())
+    throw std::invalid_argument(
+        "AsyncEnergyEvaluator: observable register exceeds ansatz");
+}
+
+std::future<double> AsyncEnergyEvaluator::evaluate_async(
+    std::vector<double> theta, runtime::JobPriority priority) {
+  if (theta.size() != ansatz_.num_parameters())
+    throw std::invalid_argument("AsyncEnergyEvaluator: parameter count");
+  ++stats_.energy_evaluations;
+  ++stats_.ansatz_executions;
+  stats_.ansatz_gates += ansatz_.gate_count();
+  runtime::JobOptions options;
+  options.priority = priority;
+  return pool_->submit_energy(ansatz_, observable_, std::move(theta),
+                              options);
+}
+
+double AsyncEnergyEvaluator::evaluate(std::span<const double> theta) {
+  return evaluate_async({theta.begin(), theta.end()}).get();
+}
+
+std::vector<double> AsyncEnergyEvaluator::gradient(
+    std::span<const double> theta, double step) {
+  const std::size_t p = theta.size();
+  std::vector<std::future<double>> probes;
+  probes.reserve(2 * p);
+  for (std::size_t k = 0; k < p; ++k) {
+    std::vector<double> plus(theta.begin(), theta.end());
+    plus[k] += step;
+    probes.push_back(evaluate_async(std::move(plus)));
+    std::vector<double> minus(theta.begin(), theta.end());
+    minus[k] -= step;
+    probes.push_back(evaluate_async(std::move(minus)));
+  }
+  std::vector<double> grad(p, 0.0);
+  for (std::size_t k = 0; k < p; ++k) {
+    const double plus = probes[2 * k].get();
+    const double minus = probes[2 * k + 1].get();
+    grad[k] = (plus - minus) / (2.0 * step);
+  }
+  return grad;
+}
+
+ObjectiveFn AsyncEnergyEvaluator::objective_fn() {
+  return [this](std::span<const double> theta) { return evaluate(theta); };
+}
+
+GradientFn AsyncEnergyEvaluator::gradient_fn(double step) {
+  return [this, step](std::span<const double> theta,
+                      std::span<double> out) {
+    const std::vector<double> g = gradient(theta, step);
+    for (std::size_t i = 0; i < g.size(); ++i) out[i] = g[i];
+  };
+}
+
+}  // namespace vqsim

@@ -1,53 +1,51 @@
 #include "vqe/batch.hpp"
 
+#include <future>
 #include <stdexcept>
 
-#include "sim/compiled_op.hpp"
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include "common/parallel.hpp"
+#include "sim/expectation.hpp"
 
 namespace vqsim {
 
 std::vector<double> evaluate_batch(
     const Ansatz& ansatz, const PauliSum& observable,
-    const std::vector<std::vector<double>>& parameter_sets) {
+    const std::vector<std::vector<double>>& parameter_sets,
+    runtime::VirtualQpuPool* pool) {
   const int nq = ansatz.num_qubits();
   for (const auto& theta : parameter_sets)
     if (theta.size() != ansatz.num_parameters())
       throw std::invalid_argument("evaluate_batch: parameter count");
 
-  const CompiledPauliSum compiled(observable, nq);
   std::vector<double> energies(parameter_sets.size(), 0.0);
 
-  const auto run_entry = [&](std::size_t i, StateVector& psi) {
-    ansatz.prepare(&psi, parameter_sets[i]);
-    energies[i] = compiled.expectation(psi);
-  };
-
-#ifdef _OPENMP
-  if (omp_get_max_threads() > 1 && parameter_sets.size() > 1) {
-#pragma omp parallel
-    {
-      StateVector psi(nq);
-#pragma omp for schedule(dynamic)
-      for (std::int64_t i = 0;
-           i < static_cast<std::int64_t>(parameter_sets.size()); ++i)
-        run_entry(static_cast<std::size_t>(i), psi);
+  // Inside a pool worker (a job that itself batches) the pool would be
+  // waiting on itself: run inline, same as the nested parallel_for guard.
+  if (in_pool_worker()) {
+    StateVector psi(nq);
+    for (std::size_t i = 0; i < parameter_sets.size(); ++i) {
+      ansatz.prepare(&psi, parameter_sets[i]);
+      energies[i] = expectation(psi, observable);
     }
     return energies;
   }
-#endif
-  StateVector psi(nq);
-  for (std::size_t i = 0; i < parameter_sets.size(); ++i) run_entry(i, psi);
+
+  runtime::VirtualQpuPool& qpool =
+      pool != nullptr ? *pool : runtime::default_qpu_pool();
+  std::vector<std::future<double>> futures;
+  futures.reserve(parameter_sets.size());
+  for (const auto& theta : parameter_sets)
+    futures.push_back(qpool.submit_energy(ansatz, observable, theta));
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    energies[i] = futures[i].get();
   return energies;
 }
 
 std::vector<double> batched_gradient(const Ansatz& ansatz,
                                      const PauliSum& observable,
                                      std::span<const double> theta,
-                                     double step) {
+                                     double step,
+                                     runtime::VirtualQpuPool* pool) {
   const std::size_t p = theta.size();
   std::vector<std::vector<double>> batch;
   batch.reserve(2 * p);
@@ -59,7 +57,8 @@ std::vector<double> batched_gradient(const Ansatz& ansatz,
     minus[k] -= step;
     batch.push_back(std::move(minus));
   }
-  const std::vector<double> e = evaluate_batch(ansatz, observable, batch);
+  const std::vector<double> e =
+      evaluate_batch(ansatz, observable, batch, pool);
   std::vector<double> grad(p, 0.0);
   for (std::size_t k = 0; k < p; ++k)
     grad[k] = (e[2 * k] - e[2 * k + 1]) / (2.0 * step);

@@ -1,30 +1,38 @@
 // Batched circuit execution (paper §6.2 "future improvements": simulating
 // multiple VQE circuits simultaneously to raise utilization).
 //
-// A batch shares one precompiled (mask-batched) observable and per-thread
-// state buffers; entries are independent, so they parallelize across OpenMP
-// threads exactly like independent circuits across GPU kernels / nodes in
-// the paper's outlook.
+// Each parameter set becomes one energy job submitted through the
+// virtual-QPU pool (runtime/virtual_qpu.hpp): entries are independent, so
+// they spread across the pool's workers exactly like independent circuits
+// across GPU kernels / nodes in the paper's outlook. Called with no pool,
+// the process-wide default pool serves the batch; called from *inside* a
+// pool worker the batch runs inline (serially) instead of deadlocking on
+// its own executor.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "pauli/pauli_sum.hpp"
+#include "runtime/virtual_qpu.hpp"
 #include "vqe/ansatz.hpp"
 
 namespace vqsim {
 
-/// Energies of the observable at each parameter set.
+/// Energies of the observable at each parameter set, evaluated as one batch
+/// of independent jobs on `pool` (default pool when null). Results are
+/// deterministic and independent of the pool's worker count.
 std::vector<double> evaluate_batch(
     const Ansatz& ansatz, const PauliSum& observable,
-    const std::vector<std::vector<double>>& parameter_sets);
+    const std::vector<std::vector<double>>& parameter_sets,
+    runtime::VirtualQpuPool* pool = nullptr);
 
 /// Central-difference gradient evaluated as ONE batch of 2 * P circuits
 /// (the batching use-case the paper sketches for VQE inner loops).
 std::vector<double> batched_gradient(const Ansatz& ansatz,
                                      const PauliSum& observable,
                                      std::span<const double> theta,
-                                     double step = 1e-5);
+                                     double step = 1e-5,
+                                     runtime::VirtualQpuPool* pool = nullptr);
 
 }  // namespace vqsim

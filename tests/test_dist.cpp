@@ -146,5 +146,49 @@ TEST(Comm, AllreduceSums) {
   EXPECT_EQ(comm.stats().allreduces, 1u);
 }
 
+TEST(Comm, RejectsNonPowerOfTwoRankCounts) {
+  for (int bad : {3, 5, 6, 7, 12, 24}) {
+    EXPECT_THROW(SimComm comm(bad), std::invalid_argument) << bad;
+  }
+  for (int good : {1, 2, 4, 8, 16}) {
+    SimComm comm(good);
+    EXPECT_EQ(comm.num_ranks(), good);
+  }
+}
+
+TEST(Comm, StatsAccountExchangeAndAllreduceSequence) {
+  SimComm comm(4);
+  EXPECT_EQ(comm.stats().point_to_point_messages, 0u);
+  EXPECT_EQ(comm.stats().amplitudes_exchanged, 0u);
+  EXPECT_EQ(comm.stats().allreduces, 0u);
+
+  // One pairwise exchange of 4 amplitudes: each side posts one message,
+  // moving 2 * 4 amplitudes in total.
+  std::vector<cplx> a(4, cplx{1.0, 0.0});
+  std::vector<cplx> b(4, cplx{0.0, 2.0});
+  comm.exchange(0, a, 1, b);
+  EXPECT_EQ(comm.stats().point_to_point_messages, 2u);
+  EXPECT_EQ(comm.stats().amplitudes_exchanged, 8u);
+  EXPECT_EQ(a[0], (cplx{0.0, 2.0}));  // payloads actually swapped
+  EXPECT_EQ(b[0], (cplx{1.0, 0.0}));
+
+  // A second, smaller exchange accumulates.
+  std::vector<cplx> c(2), d(2);
+  comm.exchange(2, c, 3, d);
+  EXPECT_EQ(comm.stats().point_to_point_messages, 4u);
+  EXPECT_EQ(comm.stats().amplitudes_exchanged, 12u);
+
+  // Allreduces count separately: one double, one complex.
+  comm.allreduce_sum(std::vector<double>{1, 1, 1, 1});
+  comm.allreduce_sum(std::vector<cplx>(4, cplx{0.5, 0.5}));
+  EXPECT_EQ(comm.stats().allreduces, 2u);
+  EXPECT_EQ(comm.stats().point_to_point_messages, 4u);  // unaffected
+
+  comm.reset_stats();
+  EXPECT_EQ(comm.stats().point_to_point_messages, 0u);
+  EXPECT_EQ(comm.stats().amplitudes_exchanged, 0u);
+  EXPECT_EQ(comm.stats().allreduces, 0u);
+}
+
 }  // namespace
 }  // namespace vqsim

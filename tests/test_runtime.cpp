@@ -1,0 +1,403 @@
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/virtual_qpu.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/expectation.hpp"
+#include "vqe/async_evaluator.hpp"
+#include "vqe/batch.hpp"
+#include "vqe/executor.hpp"
+
+namespace vqsim {
+namespace {
+
+using runtime::BackendCaps;
+using runtime::DensityMatrixBackend;
+using runtime::DistStateVectorBackend;
+using runtime::JobOptions;
+using runtime::JobPriority;
+using runtime::JobTelemetry;
+using runtime::QpuBackend;
+using runtime::StabilizerBackend;
+using runtime::StateVectorBackend;
+using runtime::ThreadPool;
+using runtime::VirtualQpuPool;
+
+// -- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPool, FuturesCarryResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  EXPECT_EQ(pool.tasks_executed(), 64u);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedSubmissionCompletes) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    // Fire-and-record nested tasks; do NOT block on their futures from
+    // inside a worker.
+    auto counter = std::make_shared<std::atomic<int>>(0);
+    for (int i = 0; i < 8; ++i)
+      pool.submit([counter] { counter->fetch_add(1); });
+    return counter;
+  });
+  auto counter = outer.get();
+  pool.wait_idle();
+  EXPECT_EQ(counter->load(), 8);
+}
+
+TEST(ThreadPool, WorkersAreMarkedForNestedParallelGuard) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+  ThreadPool pool(2);
+  auto flag = pool.submit([] { return ThreadPool::in_worker(); });
+  EXPECT_TRUE(flag.get());
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i)
+      pool.submit([&executed] { executed.fetch_add(1); });
+    // Destructor must run every queued task before joining.
+  }
+  EXPECT_EQ(executed.load(), 32);
+}
+
+TEST(ParallelFor2d, CoversRectangleSeriallyAndInWorkerScope) {
+  std::vector<int> hits(6 * 4, 0);
+  parallel_for_2d(6, 4, [&](std::uint64_t r, std::uint64_t c) {
+    ++hits[r * 4 + c];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  PoolWorkerScope scope;  // forces the serial fallback path
+  EXPECT_TRUE(in_pool_worker());
+  std::fill(hits.begin(), hits.end(), 0);
+  parallel_for_2d(
+      6, 4, [&](std::uint64_t r, std::uint64_t c) { ++hits[r * 4 + c]; },
+      /*grain=*/1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// -- VirtualQpuPool: determinism and parity ----------------------------------
+
+struct H2Fixture {
+  PauliSum h = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+  UccsdAnsatzAdapter ansatz{4, 2};
+
+  std::vector<std::vector<double>> parameter_sets(int count,
+                                                  std::uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<std::vector<double>> sets;
+    for (int i = 0; i < count; ++i) {
+      std::vector<double> theta(ansatz.num_parameters());
+      for (double& t : theta) t = rng.uniform(-0.5, 0.5);
+      sets.push_back(std::move(theta));
+    }
+    return sets;
+  }
+};
+
+TEST(VirtualQpuPool, EnergiesBitIdenticalToSequentialExecutorAcrossWorkers) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(16, 901);
+
+  // Sequential reference: the SimulatorExecutor direct path.
+  std::vector<double> reference;
+  {
+    SimulatorExecutor exec(f.ansatz, f.h);
+    for (const auto& theta : sets) reference.push_back(exec.evaluate(theta));
+  }
+
+  for (int workers : {1, 2, 8}) {
+    VirtualQpuPool pool =
+        runtime::make_statevector_pool(workers, workers, 28);
+    std::vector<std::future<double>> futures;
+    for (const auto& theta : sets)
+      futures.push_back(pool.submit_energy(f.ansatz, f.h, theta));
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      const double e = futures[i].get();
+      // Bit-identical, not just close: jobs are pure and in-worker OpenMP
+      // regions are serialized, so worker count cannot perturb the result.
+      EXPECT_EQ(e, reference[i]) << "workers=" << workers << " entry=" << i;
+    }
+    pool.wait_all();  // futures resolve before the counters are bumped
+    const auto counters = pool.counters();
+    EXPECT_EQ(counters.jobs_submitted, sets.size());
+    EXPECT_EQ(counters.jobs_completed, sets.size());
+    EXPECT_EQ(counters.jobs_failed, 0u);
+  }
+}
+
+TEST(VirtualQpuPool, BatchedEvaluationMatchesDirectExpectation) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(12, 903);
+  VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 28);
+  const std::vector<double> energies =
+      evaluate_batch(f.ansatz, f.h, sets, &pool);
+  ASSERT_EQ(energies.size(), sets.size());
+  StateVector psi(4);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    f.ansatz.prepare(&psi, sets[i]);
+    EXPECT_EQ(energies[i], expectation(psi, f.h)) << i;
+  }
+}
+
+TEST(VirtualQpuPool, NestedBatchFromWorkerContextRunsInline) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(4, 905);
+  const std::vector<double> outside = evaluate_batch(f.ansatz, f.h, sets);
+  PoolWorkerScope scope;  // simulate being inside a pool job
+  const std::vector<double> inside = evaluate_batch(f.ansatz, f.h, sets);
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    EXPECT_EQ(outside[i], inside[i]) << i;
+}
+
+// -- Capability dispatch -----------------------------------------------------
+
+std::vector<std::unique_ptr<QpuBackend>> mixed_fleet() {
+  std::vector<std::unique_ptr<QpuBackend>> fleet;
+  fleet.push_back(std::make_unique<StateVectorBackend>(20));
+  fleet.push_back(std::make_unique<DensityMatrixBackend>(8));
+  return fleet;
+}
+
+TEST(VirtualQpuPool, NoisyJobRoutesToDensityMatrixBackend) {
+  VirtualQpuPool pool(mixed_fleet(), 2);
+
+  Circuit c(1);
+  c.x(0);
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+
+  JobOptions noisy;
+  noisy.noise.depolarizing = 0.3;
+  const double value =
+      pool.submit_expectation(c, z, noisy).get();
+  // One depolarizing channel after X on |0>: <Z> = (1 - 4p/3) * (-1).
+  EXPECT_NEAR(value, -(1.0 - 4.0 * 0.3 / 3.0), 1e-12);
+
+  pool.wait_all();  // the future resolves before the telemetry record lands
+  const std::vector<JobTelemetry> log = pool.telemetry();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].backend_name, "density_matrix");
+  EXPECT_FALSE(log[0].failed);
+
+  // A noiseless job prefers the first capable QPU: the state vector.
+  const double exact = pool.submit_expectation(c, z).get();
+  EXPECT_EQ(exact, -1.0);
+  pool.wait_all();
+  EXPECT_EQ(pool.telemetry().back().backend_name, "statevector");
+}
+
+TEST(VirtualQpuPool, CliffordJobRoutesToStabilizerBackend) {
+  std::vector<std::unique_ptr<QpuBackend>> fleet;
+  fleet.push_back(std::make_unique<StabilizerBackend>(32));
+  VirtualQpuPool pool(std::move(fleet), 1);
+
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  PauliSum zz(2);
+  zz.add_term(1.0, "ZZ");
+
+  // Unflagged jobs cannot run anywhere in this fleet.
+  EXPECT_THROW(pool.submit_expectation(bell, zz), std::invalid_argument);
+
+  JobOptions clifford;
+  clifford.clifford_only = true;
+  EXPECT_EQ(pool.submit_expectation(bell, zz, clifford).get(), 1.0);
+  pool.wait_all();
+  EXPECT_EQ(pool.telemetry().back().backend_name, "stabilizer");
+}
+
+TEST(VirtualQpuPool, DistributedBackendMatchesSharedMemory) {
+  std::vector<std::unique_ptr<QpuBackend>> fleet;
+  fleet.push_back(std::make_unique<DistStateVectorBackend>(4, 16));
+  VirtualQpuPool pool(std::move(fleet), 1);
+
+  Circuit c(5);
+  c.h(0).cx(0, 1).cx(1, 4).rz(0.7, 4).cx(0, 3);
+  PauliSum h(5);
+  h.add_term(0.8, "ZIIIZ");
+  h.add_term(-0.3, "XIIIX");
+
+  StateVector reference(5);
+  reference.apply_circuit(c);
+
+  EXPECT_NEAR(pool.submit_expectation(c, h).get(),
+              expectation(reference, h), 1e-10);
+
+  const StateVector state = pool.submit_circuit(c).get();
+  for (idx i = 0; i < reference.dim(); ++i)
+    EXPECT_NEAR(std::abs(state.data()[i] - reference.data()[i]), 0.0, 1e-11);
+}
+
+TEST(VirtualQpuPool, OverCapacityJobRejectedWithClearError) {
+  VirtualQpuPool pool(mixed_fleet(), 1);  // state vector capped at 20 qubits
+  Circuit big(24);
+  big.h(0);
+  PauliSum obs(24);
+  obs.add_term(1.0, "ZIIIIIIIIIIIIIIIIIIIIIII");
+  try {
+    pool.submit_expectation(big, obs);
+    FAIL() << "expected rejection";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no backend"), std::string::npos) << message;
+    EXPECT_NE(message.find("24 qubits"), std::string::npos) << message;
+  }
+
+  // Noise beyond the density-matrix ceiling (8 qubits) is also infeasible.
+  Circuit mid(12);
+  mid.h(0);
+  PauliSum obs12(12);
+  obs12.add_term(1.0, "ZIIIIIIIIIII");
+  JobOptions noisy;
+  noisy.noise.damping = 0.1;
+  EXPECT_THROW(pool.submit_expectation(mid, obs12, noisy),
+               std::invalid_argument);
+}
+
+TEST(VirtualQpuPool, ExecutionTimeErrorsArriveThroughFuture) {
+  std::vector<std::unique_ptr<QpuBackend>> fleet;
+  fleet.push_back(std::make_unique<StabilizerBackend>(8));
+  VirtualQpuPool pool(std::move(fleet), 1);
+
+  Circuit non_clifford(1);
+  non_clifford.t(0);
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+  JobOptions lie;
+  lie.clifford_only = true;  // promise broken at execution time
+  auto f = pool.submit_expectation(non_clifford, z, lie);
+  EXPECT_THROW(f.get(), std::invalid_argument);
+  pool.wait_all();
+  EXPECT_EQ(pool.counters().jobs_failed, 1u);
+  EXPECT_TRUE(pool.telemetry().back().failed);
+}
+
+// -- Scheduling --------------------------------------------------------------
+
+TEST(VirtualQpuPool, PriorityClassesDispatchInOrder) {
+  VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  Circuit c(1);
+  c.h(0);
+  PauliSum x(1);
+  x.add_term(1.0, "X");
+
+  pool.pause_dispatch();
+  std::vector<std::future<double>> futures;
+  auto submit = [&](JobPriority p) {
+    JobOptions o;
+    o.priority = p;
+    futures.push_back(pool.submit_expectation(c, x, o));
+  };
+  submit(JobPriority::kLow);
+  submit(JobPriority::kLow);
+  submit(JobPriority::kNormal);
+  submit(JobPriority::kHigh);
+  submit(JobPriority::kHigh);
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  pool.resume_dispatch();
+  pool.wait_all();
+  for (auto& f : futures) EXPECT_NEAR(f.get(), 1.0, 1e-12);
+
+  const std::vector<JobTelemetry> log = pool.telemetry();
+  ASSERT_EQ(log.size(), 5u);
+  // Single worker + single QPU: completion order == dispatch order.
+  EXPECT_EQ(log[0].priority, JobPriority::kHigh);
+  EXPECT_EQ(log[1].priority, JobPriority::kHigh);
+  EXPECT_LT(log[0].job_id, log[1].job_id);  // FIFO within a class
+  EXPECT_EQ(log[2].priority, JobPriority::kNormal);
+  EXPECT_EQ(log[3].priority, JobPriority::kLow);
+  EXPECT_EQ(log[4].priority, JobPriority::kLow);
+  EXPECT_LT(log[3].job_id, log[4].job_id);
+
+  const auto counters = pool.counters();
+  EXPECT_EQ(counters.queue_depth_high_water, 5u);
+  EXPECT_GE(counters.total_execution_seconds, 0.0);
+}
+
+TEST(VirtualQpuPool, UtilizationAccountsEveryJob) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(10, 907);
+  VirtualQpuPool pool = runtime::make_statevector_pool(4, 4, 28);
+  std::vector<std::future<double>> futures;
+  for (const auto& theta : sets)
+    futures.push_back(pool.submit_energy(f.ansatz, f.h, theta));
+  for (auto& fu : futures) fu.get();
+  pool.wait_all();
+
+  std::uint64_t jobs = 0;
+  for (const auto& u : pool.utilization()) jobs += u.jobs_run;
+  EXPECT_EQ(jobs, sets.size());
+  for (const JobTelemetry& t : pool.telemetry()) {
+    EXPECT_GE(t.queue_wait_seconds, 0.0);
+    EXPECT_GE(t.execution_seconds, 0.0);
+    EXPECT_GE(t.backend_id, 0);
+    EXPECT_LT(t.backend_id, 4);
+  }
+}
+
+// -- AsyncEnergyEvaluator ----------------------------------------------------
+
+TEST(AsyncEnergyEvaluator, GradientMatchesBatchedGradient) {
+  H2Fixture f;
+  Rng rng(911);
+  std::vector<double> theta(f.ansatz.num_parameters());
+  for (double& t : theta) t = rng.uniform(-0.3, 0.3);
+
+  VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 28);
+  AsyncEnergyEvaluator async(f.ansatz, f.h, &pool);
+
+  const std::vector<double> overlapped = async.gradient(theta);
+  const std::vector<double> reference =
+      batched_gradient(f.ansatz, f.h, theta, 1e-5, &pool);
+  ASSERT_EQ(overlapped.size(), reference.size());
+  for (std::size_t k = 0; k < reference.size(); ++k)
+    EXPECT_EQ(overlapped[k], reference[k]) << k;
+
+  EXPECT_EQ(async.evaluate(theta),
+            SimulatorExecutor(f.ansatz, f.h).evaluate(theta));
+  EXPECT_GT(async.stats().energy_evaluations, 0u);
+}
+
+TEST(AsyncEnergyEvaluator, DrivesAdamThroughOverlappedGradients) {
+  H2Fixture f;
+  VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 28);
+  AsyncEnergyEvaluator async(f.ansatz, f.h, &pool);
+
+  AdamOptions options;
+  options.iterations = 40;
+  options.learning_rate = 0.1;
+  Adam adam(options, async.gradient_fn());
+  const OptimizerResult result = adam.minimize(
+      async.objective_fn(), std::vector<double>(f.ansatz.num_parameters()));
+  // H2/STO-3G ground state at -1.137 Ha; HF sits at -1.117.
+  EXPECT_LT(result.fval, -1.13);
+}
+
+}  // namespace
+}  // namespace vqsim
