@@ -14,8 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <limits>
+#include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "chem/jordan_wigner.hpp"
 #include "chem/molecules.hpp"
 #include "common/rng.hpp"
@@ -95,6 +98,66 @@ int main() {
           static_cast<unsigned long long>(counters.jobs_completed),
           static_cast<unsigned long long>(counters.jobs_failed));
       std::fflush(stdout);
+    }
+  }
+
+  // -- Submit-time rejection taxonomy ---------------------------------------
+  // The analyze verifier rejects malformed or infeasible jobs at submission;
+  // callers distinguish the failure classes by structured DiagCode instead
+  // of string matching. One BENCH line per class: the codes observed and
+  // the pure-CPU rejection latency (verification + diagnostics).
+  {
+    runtime::VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 16);
+    PauliSum z1(1);
+    z1.add_term(1.0, "Z");
+
+    const auto classify = [&](const char* label, Circuit circuit,
+                              PauliSum observable,
+                              runtime::JobOptions options) {
+      WallTimer timer;
+      std::string codes;
+      bool rejected = false;
+      try {
+        pool.submit_expectation(std::move(circuit), std::move(observable),
+                                options);
+      } catch (const analyze::VerificationError& e) {
+        rejected = true;
+        for (const analyze::Diagnostic& d : e.diagnostics()) {
+          const std::string quoted =
+              std::string("\"") + analyze::to_string(d.code) + "\"";
+          if (codes.find(quoted) != std::string::npos) continue;
+          if (!codes.empty()) codes += ",";
+          codes += quoted;
+        }
+      }
+      std::printf(
+          "BENCH {\"bench\":\"virtual_qpu_rejection\",\"case\":\"%s\","
+          "\"rejected\":%s,\"reject_us\":%.2f,\"codes\":[%s]}\n",
+          label, rejected ? "true" : "false", 1e6 * timer.seconds(),
+          codes.c_str());
+      std::fflush(stdout);
+    };
+
+    Circuit infeasible(30);
+    infeasible.h(0);
+    PauliSum obs30(30);
+    obs30.add_term(1.0, std::string("Z") + std::string(29, 'I'));
+    classify("infeasible_register", std::move(infeasible), std::move(obs30),
+             {});
+
+    Circuit nan_rotation(1);
+    nan_rotation.rz(std::numeric_limits<double>::quiet_NaN(), 0);
+    classify("non_finite_parameter", std::move(nan_rotation), z1, {});
+
+    Circuit non_clifford(1);
+    non_clifford.t(0);
+    runtime::JobOptions promise;
+    promise.clifford_only = true;
+    classify("broken_clifford_promise", std::move(non_clifford), z1, promise);
+
+    if (pool.counters().jobs_submitted != 0) {
+      std::fprintf(stderr, "REJECTION FAILURE: a malformed job was enqueued\n");
+      return EXIT_FAILURE;
     }
   }
   return EXIT_SUCCESS;

@@ -1,0 +1,127 @@
+#include "analyze/diagnostic.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace vqsim::analyze {
+namespace {
+
+std::string build_what(const std::string& context,
+                       const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream os;
+  os << context;
+  std::size_t errors = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::kError) ++errors;
+  os << " (" << errors << (errors == 1 ? " error)" : " errors)");
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    os << "; " << to_string(d);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kQubitOutOfRange: return "qubit_out_of_range";
+    case DiagCode::kOperandArityMismatch: return "operand_arity_mismatch";
+    case DiagCode::kDuplicateOperand: return "duplicate_operand";
+    case DiagCode::kNonFiniteParameter: return "non_finite_parameter";
+    case DiagCode::kMissingMatrixPayload: return "missing_matrix_payload";
+    case DiagCode::kNonUnitaryMatrix: return "non_unitary_matrix";
+    case DiagCode::kGateAfterMeasurement: return "gate_after_measurement";
+    case DiagCode::kNonCliffordGate: return "non_clifford_gate";
+    case DiagCode::kCancellingPair: return "cancelling_pair";
+    case DiagCode::kRedundantRotation: return "redundant_rotation";
+    case DiagCode::kDeadGate: return "dead_gate";
+    case DiagCode::kUnusedQubit: return "unused_qubit";
+    case DiagCode::kDuplicateMeasurement: return "duplicate_measurement";
+    case DiagCode::kRegisterTooLarge: return "register_too_large";
+    case DiagCode::kNoiseUnsupported: return "noise_unsupported";
+    case DiagCode::kExactnessUnsupported: return "exactness_unsupported";
+    case DiagCode::kStateOutputUnsupported: return "state_output_unsupported";
+    case DiagCode::kCliffordOnlyBackend: return "clifford_only_backend";
+    case DiagCode::kNoCapableBackend: return "no_capable_backend";
+  }
+  return "?";
+}
+
+std::string to_string(const Diagnostic& diagnostic) {
+  std::ostringstream os;
+  os << to_string(diagnostic.severity) << " [" << to_string(diagnostic.code)
+     << "]";
+  if (diagnostic.gate_index >= 0) os << " @gate " << diagnostic.gate_index;
+  if (diagnostic.qubit >= 0) os << " (q" << diagnostic.qubit << ")";
+  os << ": " << diagnostic.message;
+  return os.str();
+}
+
+std::string render_diagnostics(std::span<const Diagnostic> diagnostics) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) os << to_string(d) << "\n";
+  return os.str();
+}
+
+bool has_errors(std::span<const Diagnostic> diagnostics) {
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::kError) return true;
+  return false;
+}
+
+std::size_t count_severity(std::span<const Diagnostic> diagnostics,
+                           Severity severity) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+void DiagnosticSink::error(DiagCode code, std::ptrdiff_t gate_index, int qubit,
+                           std::string message) {
+  report({Severity::kError, code, gate_index, qubit, std::move(message)});
+}
+
+void DiagnosticSink::warning(DiagCode code, std::ptrdiff_t gate_index,
+                             int qubit, std::string message) {
+  report({Severity::kWarning, code, gate_index, qubit, std::move(message)});
+}
+
+void DiagnosticSink::note(DiagCode code, std::ptrdiff_t gate_index, int qubit,
+                          std::string message) {
+  report({Severity::kNote, code, gate_index, qubit, std::move(message)});
+}
+
+bool DiagnosticCollector::has_errors() const {
+  return analyze::has_errors(diagnostics_);
+}
+
+std::size_t DiagnosticCollector::error_count() const {
+  return count_severity(diagnostics_, Severity::kError);
+}
+
+std::size_t DiagnosticCollector::warning_count() const {
+  return count_severity(diagnostics_, Severity::kWarning);
+}
+
+VerificationError::VerificationError(const std::string& context,
+                                     std::vector<Diagnostic> diagnostics)
+    : std::invalid_argument(build_what(context, diagnostics)),
+      diagnostics_(std::move(diagnostics)) {}
+
+void throw_if_errors(const std::vector<Diagnostic>& diagnostics,
+                     const std::string& context) {
+  if (has_errors(diagnostics)) throw VerificationError(context, diagnostics);
+}
+
+}  // namespace vqsim::analyze

@@ -1,0 +1,136 @@
+// Reusable diagnostics engine for static analyses over ir::Circuit.
+//
+// A Diagnostic is one finding: severity, a stable machine-readable code,
+// an optional gate-index location (index into Circuit::gates(), -1 for
+// whole-circuit findings), an optional qubit, and a human-readable message.
+// Passes report into a DiagnosticSink; DiagnosticCollector is the standard
+// accumulating sink. VerificationError carries the structured findings
+// through the existing std::invalid_argument-based error contracts, so
+// callers that only catch std::invalid_argument keep working while new
+// callers can inspect the codes (e.g. distinguish a capability mismatch
+// from a malformed circuit at VirtualQpuPool::submit time).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vqsim::analyze {
+
+enum class Severity : std::uint8_t {
+  kNote = 0,     // context attached to another finding
+  kWarning = 1,  // suspicious but executable (attached to job telemetry)
+  kError = 2,    // the circuit/job must not be dispatched
+};
+
+const char* to_string(Severity severity);
+
+/// Stable defect taxonomy. Codes are append-only: tools and tests key on
+/// them, so renumbering is a breaking change.
+enum class DiagCode : std::uint8_t {
+  // Structural circuit defects (verifier errors).
+  kQubitOutOfRange,       // operand or measurement outside the register
+  kOperandArityMismatch,  // missing/extra qubit operand for the gate kind
+  kDuplicateOperand,      // two-qubit gate with q0 == q1
+  kNonFiniteParameter,    // NaN/Inf gate angle or matrix entry
+  kMissingMatrixPayload,  // kMat1/kMat2 without its matrix
+  kNonUnitaryMatrix,      // custom/fused matrix fails the U†U = I check
+  kGateAfterMeasurement,  // gate touches an already-measured qubit
+  kNonCliffordGate,       // circuit promised Clifford contains a non-Clifford
+  // Lint findings (verifier warnings).
+  kCancellingPair,        // adjacent gate pairs cancel exactly
+  kRedundantRotation,     // consecutive same-axis rotations merge
+  kDeadGate,              // identity / zero-angle rotation
+  kUnusedQubit,           // register qubit never touched
+  kDuplicateMeasurement,  // qubit measured more than once
+  // Backend-capability mismatches (job vs runtime::QpuBackend caps).
+  kRegisterTooLarge,         // job qubits exceed the backend ceiling
+  kNoiseUnsupported,         // noisy job on a pure-state backend
+  kExactnessUnsupported,     // exact expectation on a sampling backend
+  kStateOutputUnsupported,   // state-vector output not available
+  kCliffordOnlyBackend,      // stabilizer backend needs the Clifford promise
+  kNoCapableBackend,         // no backend in the fleet satisfies the job
+};
+
+const char* to_string(DiagCode code);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  DiagCode code = DiagCode::kQubitOutOfRange;
+  /// Index into Circuit::gates() the finding anchors to; -1 when the
+  /// finding concerns the whole circuit (or no circuit at all).
+  std::ptrdiff_t gate_index = -1;
+  /// Offending qubit when meaningful, -1 otherwise.
+  int qubit = -1;
+  std::string message;
+};
+
+/// One-line rendering: "error [non_unitary_matrix] @gate 3 (q1): ...".
+std::string to_string(const Diagnostic& diagnostic);
+
+/// Multi-line rendering, one diagnostic per line.
+std::string render_diagnostics(std::span<const Diagnostic> diagnostics);
+
+bool has_errors(std::span<const Diagnostic> diagnostics);
+std::size_t count_severity(std::span<const Diagnostic> diagnostics,
+                           Severity severity);
+
+/// Where passes deposit findings.
+class DiagnosticSink {
+ public:
+  virtual ~DiagnosticSink() = default;
+  virtual void report(Diagnostic diagnostic) = 0;
+
+  // Convenience front-ends.
+  void error(DiagCode code, std::ptrdiff_t gate_index, int qubit,
+             std::string message);
+  void warning(DiagCode code, std::ptrdiff_t gate_index, int qubit,
+               std::string message);
+  void note(DiagCode code, std::ptrdiff_t gate_index, int qubit,
+            std::string message);
+};
+
+/// The standard accumulating sink.
+class DiagnosticCollector final : public DiagnosticSink {
+ public:
+  void report(Diagnostic diagnostic) override {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::vector<Diagnostic> take() { return std::move(diagnostics_); }
+
+  bool empty() const { return diagnostics_.empty(); }
+  bool has_errors() const;
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  std::string render() const { return render_diagnostics(diagnostics_); }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Thrown when error-severity diagnostics block an operation. Derives from
+/// std::invalid_argument so pre-existing catch sites (tests, callers of
+/// VirtualQpuPool::submit_*) keep working; what() embeds the rendered
+/// errors after `context`.
+class VerificationError : public std::invalid_argument {
+ public:
+  VerificationError(const std::string& context,
+                    std::vector<Diagnostic> diagnostics);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Throws VerificationError(context, diagnostics) when any diagnostic has
+/// error severity; otherwise a no-op.
+void throw_if_errors(const std::vector<Diagnostic>& diagnostics,
+                     const std::string& context);
+
+}  // namespace vqsim::analyze

@@ -1,0 +1,369 @@
+#include "analyze/verifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "ir/passes/cancel.hpp"
+
+namespace vqsim::analyze {
+namespace {
+
+bool is_single_param_rotation(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+    case GateKind::kCP:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool gate_touches(const Gate& g, int qubit) {
+  return g.q0 == qubit || (g.is_two_qubit() && g.q1 == qubit);
+}
+
+// -- Structural passes -------------------------------------------------------
+
+/// Qubit-index bounds and operand-shape consistency: every operand inside
+/// the register, two-qubit gates with two distinct operands, one-qubit
+/// gates without a stray second operand.
+class OperandBoundsPass final : public VerifyPass {
+ public:
+  const char* name() const override { return "operand-bounds"; }
+  void run(const Circuit& circuit, const VerifyOptions&,
+           DiagnosticSink& sink) const override {
+    const int n = circuit.num_qubits();
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit[i];
+      const auto gi = static_cast<std::ptrdiff_t>(i);
+      if (g.q0 < 0 || g.q0 >= n)
+        sink.error(DiagCode::kQubitOutOfRange, gi, g.q0,
+                   "operand q0 = " + std::to_string(g.q0) +
+                       " outside the " + std::to_string(n) +
+                       "-qubit register");
+      if (!g.is_two_qubit()) {
+        if (g.q1 >= 0)
+          sink.error(DiagCode::kOperandArityMismatch, gi, g.q1,
+                     "single-qubit gate '" + std::string(gate_name(g.kind)) +
+                         "' carries a second operand q1 = " +
+                         std::to_string(g.q1));
+        continue;
+      }
+      if (g.q1 < 0) {
+        sink.error(DiagCode::kOperandArityMismatch, gi, -1,
+                   "two-qubit gate '" + std::string(gate_name(g.kind)) +
+                       "' is missing its second operand");
+        continue;
+      }
+      if (g.q1 >= n)
+        sink.error(DiagCode::kQubitOutOfRange, gi, g.q1,
+                   "operand q1 = " + std::to_string(g.q1) +
+                       " outside the " + std::to_string(n) +
+                       "-qubit register");
+      if (g.q1 == g.q0)
+        sink.error(DiagCode::kDuplicateOperand, gi, g.q0,
+                   "two-qubit gate '" + std::string(gate_name(g.kind)) +
+                       "' uses qubit " + std::to_string(g.q0) + " twice");
+    }
+  }
+};
+
+/// NaN/Inf angle parameters and missing / non-finite matrix payloads.
+class ParameterPass final : public VerifyPass {
+ public:
+  const char* name() const override { return "parameters"; }
+  void run(const Circuit& circuit, const VerifyOptions&,
+           DiagnosticSink& sink) const override {
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit[i];
+      const auto gi = static_cast<std::ptrdiff_t>(i);
+      const int np = gate_num_params(g.kind);
+      for (int p = 0; p < np; ++p) {
+        const double v = g.params[static_cast<std::size_t>(p)];
+        if (!std::isfinite(v))
+          sink.error(DiagCode::kNonFiniteParameter, gi, g.q0,
+                     "parameter " + std::to_string(p) + " of '" +
+                         std::string(gate_name(g.kind)) +
+                         "' is not finite");
+      }
+      if (g.kind == GateKind::kMat1) {
+        if (!g.mat1) {
+          sink.error(DiagCode::kMissingMatrixPayload, gi, g.q0,
+                     "mat1 gate has no matrix payload");
+        } else if (!finite_entries(g.mat1->m.data(), 4)) {
+          sink.error(DiagCode::kNonFiniteParameter, gi, g.q0,
+                     "mat1 payload contains non-finite entries");
+        }
+      }
+      if (g.kind == GateKind::kMat2) {
+        if (!g.mat2) {
+          sink.error(DiagCode::kMissingMatrixPayload, gi, g.q0,
+                     "mat2 gate has no matrix payload");
+        } else if (!finite_entries(g.mat2->m.data(), 16)) {
+          sink.error(DiagCode::kNonFiniteParameter, gi, g.q0,
+                     "mat2 payload contains non-finite entries");
+        }
+      }
+    }
+  }
+
+ private:
+  static bool finite_entries(const cplx* data, int n) {
+    for (int i = 0; i < n; ++i)
+      if (!std::isfinite(data[i].real()) || !std::isfinite(data[i].imag()))
+        return false;
+    return true;
+  }
+};
+
+/// ‖U†U − I‖_max check on custom/fused matrix gates (the compiled ops the
+/// fusion pass emits are kMat1/kMat2 too, so a broken fusion product is
+/// caught here before dispatch).
+class UnitarityPass final : public VerifyPass {
+ public:
+  const char* name() const override { return "unitarity"; }
+  void run(const Circuit& circuit, const VerifyOptions& options,
+           DiagnosticSink& sink) const override {
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit[i];
+      const auto gi = static_cast<std::ptrdiff_t>(i);
+      if (g.kind == GateKind::kMat1 && g.mat1 &&
+          !g.mat1->is_unitary(options.unitary_tolerance))
+        sink.error(DiagCode::kNonUnitaryMatrix, gi, g.q0,
+                   "mat1 payload fails the unitarity check (max "
+                   "|U†U - I| entry exceeds " +
+                       format(options.unitary_tolerance) + ")");
+      if (g.kind == GateKind::kMat2 && g.mat2 &&
+          !g.mat2->is_unitary(options.unitary_tolerance))
+        sink.error(DiagCode::kNonUnitaryMatrix, gi, g.q0,
+                   "mat2 payload fails the unitarity check (max "
+                   "|U†U - I| entry exceeds " +
+                       format(options.unitary_tolerance) + ")");
+    }
+  }
+
+ private:
+  static std::string format(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+};
+
+/// Measurement hazards: a gate acting on an already-measured qubit would
+/// silently invalidate the recorded outcome, and double measurements are
+/// almost always an authoring mistake.
+class MeasurementOrderPass final : public VerifyPass {
+ public:
+  const char* name() const override { return "measurement-order"; }
+  void run(const Circuit& circuit, const VerifyOptions&,
+           DiagnosticSink& sink) const override {
+    const auto& measurements = circuit.measurements();
+    if (measurements.empty()) return;
+    const int n = circuit.num_qubits();
+    std::vector<char> measured(static_cast<std::size_t>(std::max(n, 1)), 0);
+    for (const Measurement& m : measurements) {
+      if (m.qubit < 0 || m.qubit >= n) {
+        sink.error(DiagCode::kQubitOutOfRange, -1, m.qubit,
+                   "measurement of qubit " + std::to_string(m.qubit) +
+                       " outside the " + std::to_string(n) +
+                       "-qubit register");
+        continue;
+      }
+      if (measured[static_cast<std::size_t>(m.qubit)]) {
+        sink.warning(DiagCode::kDuplicateMeasurement, -1, m.qubit,
+                     "qubit " + std::to_string(m.qubit) +
+                         " is measured more than once");
+        continue;
+      }
+      measured[static_cast<std::size_t>(m.qubit)] = 1;
+      for (std::size_t gi = m.position; gi < circuit.size(); ++gi) {
+        if (!gate_touches(circuit[gi], m.qubit)) continue;
+        sink.error(DiagCode::kGateAfterMeasurement,
+                   static_cast<std::ptrdiff_t>(gi), m.qubit,
+                   "gate '" + gate_to_string(circuit[gi]) +
+                       "' acts on qubit " + std::to_string(m.qubit) +
+                       " after it was measured");
+        break;  // one finding per measurement, not per trailing gate
+      }
+    }
+  }
+};
+
+/// Enforces the Clifford promise: every gate must be in the stabilizer
+/// backend's accepted set (ir::gate_is_clifford).
+class CliffordPromisePass final : public VerifyPass {
+ public:
+  const char* name() const override { return "clifford-promise"; }
+  void run(const Circuit& circuit, const VerifyOptions&,
+           DiagnosticSink& sink) const override {
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit[i];
+      if (gate_is_clifford(g)) continue;
+      sink.error(DiagCode::kNonCliffordGate, static_cast<std::ptrdiff_t>(i),
+                 g.q0,
+                 "non-Clifford gate '" + gate_to_string(g) +
+                     "' in a circuit promised Clifford-only");
+    }
+  }
+};
+
+// -- Lint passes (well-formed circuits only) ---------------------------------
+
+/// Reuses ir::cancel_gates as an analysis: if the cancellation pass would
+/// delete or merge gates, the circuit is dispatching avoidable work.
+/// Restricted to the prefix before the first measurement — cancellation
+/// across a measurement boundary is not sound.
+class CancellationLintPass final : public VerifyPass {
+ public:
+  const char* name() const override { return "cancellation"; }
+  bool lint() const override { return true; }
+  void run(const Circuit& circuit, const VerifyOptions& options,
+           DiagnosticSink& sink) const override {
+    std::size_t limit = circuit.size();
+    for (const Measurement& m : circuit.measurements())
+      limit = std::min(limit, m.position);
+    Circuit prefix(circuit.num_qubits());
+    const Circuit* target = &circuit;
+    if (limit < circuit.size()) {
+      prefix.reserve(limit);
+      for (std::size_t i = 0; i < limit; ++i) prefix.add(circuit[i]);
+      target = &prefix;
+    }
+    if (target->empty()) return;
+    CancelStats stats;
+    cancel_gates(*target, &stats, options.angle_tolerance);
+    if (stats.pairs_cancelled > 0)
+      sink.warning(DiagCode::kCancellingPair, -1, -1,
+                   std::to_string(stats.pairs_cancelled) +
+                       " adjacent gate pair(s) cancel exactly; run "
+                       "ir::cancel_gates before dispatch");
+    if (stats.rotations_merged > 0)
+      sink.warning(DiagCode::kRedundantRotation, -1, -1,
+                   std::to_string(stats.rotations_merged) +
+                       " consecutive same-axis rotation(s) merge into one");
+  }
+};
+
+/// Identity gates and zero-angle rotations execute as expensive no-ops.
+class DeadGatePass final : public VerifyPass {
+ public:
+  const char* name() const override { return "dead-gates"; }
+  bool lint() const override { return true; }
+  void run(const Circuit& circuit, const VerifyOptions& options,
+           DiagnosticSink& sink) const override {
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit[i];
+      const auto gi = static_cast<std::ptrdiff_t>(i);
+      if (g.kind == GateKind::kI)
+        sink.warning(DiagCode::kDeadGate, gi, g.q0, "identity gate");
+      else if (is_single_param_rotation(g.kind) &&
+               std::abs(g.params[0]) <= options.angle_tolerance)
+        sink.warning(DiagCode::kDeadGate, gi, g.q0,
+                     "zero-angle '" + std::string(gate_name(g.kind)) +
+                         "' rotation");
+    }
+  }
+};
+
+/// Register qubits no gate or measurement ever touches: usually a sizing
+/// mistake, and on the state-vector backends each one doubles the memory.
+class UnusedQubitPass final : public VerifyPass {
+ public:
+  const char* name() const override { return "unused-qubits"; }
+  bool lint() const override { return true; }
+  void run(const Circuit& circuit, const VerifyOptions&,
+           DiagnosticSink& sink) const override {
+    const int n = circuit.num_qubits();
+    if (n == 0) return;
+    std::vector<char> touched(static_cast<std::size_t>(n), 0);
+    for (const Gate& g : circuit.gates()) {
+      touched[static_cast<std::size_t>(g.q0)] = 1;
+      if (g.is_two_qubit()) touched[static_cast<std::size_t>(g.q1)] = 1;
+    }
+    for (const Measurement& m : circuit.measurements())
+      touched[static_cast<std::size_t>(m.qubit)] = 1;
+    for (int q = 0; q < n; ++q)
+      if (!touched[static_cast<std::size_t>(q)])
+        sink.warning(DiagCode::kUnusedQubit, -1, q,
+                     "qubit " + std::to_string(q) +
+                         " is never touched by a gate or measurement");
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<VerifyPass>> standard_passes(
+    const VerifyOptions& options) {
+  std::vector<std::unique_ptr<VerifyPass>> passes;
+  passes.push_back(std::make_unique<OperandBoundsPass>());
+  passes.push_back(std::make_unique<ParameterPass>());
+  passes.push_back(std::make_unique<UnitarityPass>());
+  passes.push_back(std::make_unique<MeasurementOrderPass>());
+  if (options.clifford_promised)
+    passes.push_back(std::make_unique<CliffordPromisePass>());
+  passes.push_back(std::make_unique<CancellationLintPass>());
+  passes.push_back(std::make_unique<DeadGatePass>());
+  passes.push_back(std::make_unique<UnusedQubitPass>());
+  return passes;
+}
+
+std::vector<Diagnostic> verify_circuit(const Circuit& circuit,
+                                       const VerifyOptions& options) {
+  DiagnosticCollector collector;
+  for (const auto& pass : standard_passes(options)) {
+    if (pass->lint() && (!options.lint || collector.has_errors())) continue;
+    pass->run(circuit, options, collector);
+  }
+  return collector.take();
+}
+
+bool circuit_is_clifford(const Circuit& circuit) {
+  for (const Gate& g : circuit.gates())
+    if (!gate_is_clifford(g)) return false;
+  return true;
+}
+
+void check_backend_compatibility(const JobDemands& demands,
+                                 const BackendTarget& target,
+                                 DiagnosticSink& sink, Severity severity) {
+  const auto emit = [&](DiagCode code, std::string detail) {
+    Diagnostic d;
+    d.severity = severity;
+    d.code = code;
+    d.message = "backend '" + target.name + "': " + std::move(detail);
+    sink.report(std::move(d));
+  };
+  if (demands.num_qubits > target.max_qubits)
+    emit(DiagCode::kRegisterTooLarge,
+         "job needs " + std::to_string(demands.num_qubits) +
+             " qubits, capability ceiling is " +
+             std::to_string(target.max_qubits));
+  if (demands.needs_noise && !target.supports_noise)
+    emit(DiagCode::kNoiseUnsupported,
+         "noisy job needs exact open-system evolution; this backend "
+         "ignores noise models");
+  if (demands.needs_exact && !target.supports_exact_expectation)
+    emit(DiagCode::kExactnessUnsupported,
+         "job needs exact expectations; this backend only samples");
+  if (demands.needs_state && !target.supports_statevector_output)
+    emit(DiagCode::kStateOutputUnsupported,
+         "job returns the final state vector; this backend cannot "
+         "produce one");
+  if (target.clifford_only && !demands.clifford_promised)
+    emit(DiagCode::kCliffordOnlyBackend,
+         "stabilizer backend runs only jobs promised Clifford-only");
+}
+
+}  // namespace vqsim::analyze

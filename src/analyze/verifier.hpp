@@ -1,0 +1,97 @@
+// Pass-based static circuit verifier.
+//
+// verify_circuit() runs a fixed pipeline of analysis passes over an
+// ir::Circuit and returns structured diagnostics — the compile-time gate the
+// XACC platform-virtualization model applies before a program ever reaches
+// an accelerator (arXiv:2406.03466). Structural passes (operand bounds,
+// parameter sanity, unitarity of custom matrices, measurement ordering,
+// the optional Clifford promise) emit errors; lint passes (cancellation,
+// dead gates, unused qubits) emit warnings and only run on structurally
+// clean circuits, since they walk per-qubit gate chains that presume valid
+// operands.
+//
+// Hooked in at three layers: VirtualQpuPool::submit_* (errors reject the
+// job at enqueue, warnings ride on its telemetry), the VQE executors
+// (ansatz structure verified once at construction, not per parameter set),
+// and ir::from_qasm (imported text is verified on parse).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "ir/circuit.hpp"
+
+namespace vqsim::analyze {
+
+struct VerifyOptions {
+  /// Max |(U†U - I)| entry tolerated for kMat1/kMat2 payloads.
+  double unitary_tolerance = 1e-9;
+  /// Angle threshold for dead-rotation / cancellation findings (matches
+  /// ir::cancel_gates' default).
+  double angle_tolerance = 1e-12;
+  /// Run the warning-severity lint passes (cancellation, dead gates,
+  /// unused qubits). Executors turn this off: an ansatz at theta = 0 is
+  /// legitimately full of zero-angle rotations.
+  bool lint = true;
+  /// The circuit was promised Clifford-only (stabilizer dispatch): any
+  /// non-Clifford gate is an error.
+  bool clifford_promised = false;
+};
+
+/// One analysis over a circuit. Passes must not mutate global state and
+/// must tolerate any Gate contents (including out-of-range operands) unless
+/// lint() is true, in which case the driver guarantees a structurally clean
+/// circuit.
+class VerifyPass {
+ public:
+  virtual ~VerifyPass() = default;
+  virtual const char* name() const = 0;
+  /// Lint passes emit warnings and are skipped when a structural pass
+  /// already reported an error.
+  virtual bool lint() const { return false; }
+  virtual void run(const Circuit& circuit, const VerifyOptions& options,
+                   DiagnosticSink& sink) const = 0;
+};
+
+/// The standard pipeline (structural passes first, lint passes last).
+std::vector<std::unique_ptr<VerifyPass>> standard_passes(
+    const VerifyOptions& options);
+
+/// Run the standard pipeline and collect every finding.
+std::vector<Diagnostic> verify_circuit(const Circuit& circuit,
+                                       const VerifyOptions& options = {});
+
+/// True when every gate is recognized Clifford (ir::gate_is_clifford).
+bool circuit_is_clifford(const Circuit& circuit);
+
+// -- Backend-capability analysis --------------------------------------------
+// Mirror of runtime::BackendCaps / JobRequirements kept dependency-free so
+// the analyzer does not link the runtime (the runtime links the analyzer).
+
+struct BackendTarget {
+  std::string name;
+  int max_qubits = 0;
+  bool supports_noise = false;
+  bool supports_exact_expectation = true;
+  bool supports_statevector_output = true;
+  bool clifford_only = false;
+};
+
+struct JobDemands {
+  int num_qubits = 0;
+  bool needs_noise = false;
+  bool needs_exact = true;
+  bool needs_state = false;
+  bool clifford_promised = false;
+};
+
+/// Reports one diagnostic (at `severity`) per capability `target` cannot
+/// meet; reports nothing when the target can run the job.
+void check_backend_compatibility(const JobDemands& demands,
+                                 const BackendTarget& target,
+                                 DiagnosticSink& sink,
+                                 Severity severity = Severity::kError);
+
+}  // namespace vqsim::analyze

@@ -1,0 +1,32 @@
+// Debug invariant hooks for the simulators, compiled in by the
+// VQSIM_CHECK_INVARIANTS cmake option (off by default — the checks cost a
+// full pass over the state per applied op).
+//
+// Checked invariants:
+//  * StateVector::apply_circuit — the 2-norm is preserved by every gate
+//    (every IR gate is unitary, so any drift is a kernel bug);
+//  * DensityMatrix::apply_circuit / apply_channel — the trace is preserved
+//    (unitaries and trace-preserving channels) and rho stays Hermitian;
+//  * StabilizerState — the tableau keeps its symplectic structure
+//    (destabilizer i anticommutes with stabilizer i only).
+//
+// tools/run_sanitizers.sh enables the option in its ASan+UBSan ctest
+// configuration, so every tier-1 test doubles as an invariant sweep there.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vqsim {
+
+#if defined(VQSIM_CHECK_INVARIANTS)
+inline constexpr bool kCheckInvariants = true;
+#else
+inline constexpr bool kCheckInvariants = false;
+#endif
+
+[[noreturn]] inline void invariant_failure(const std::string& what) {
+  throw std::logic_error("invariant violation: " + what);
+}
+
+}  // namespace vqsim

@@ -1,0 +1,80 @@
+// Clang thread-safety-analysis shim (no-op on other compilers).
+//
+// The virtual-QPU runtime is mutex-heavy; these macros let Clang's
+// -Wthread-safety prove the lock discipline at compile time (which member is
+// guarded by which mutex, which private helpers require the lock held).
+// GCC has no equivalent analysis, so the attributes expand to nothing there
+// and the annotated code builds identically. tools/run_static_analysis.sh
+// performs the enforcing build (-Wthread-safety -Werror=thread-safety) when
+// a clang++ is available.
+//
+// std::mutex is not a capability-annotated type under libstdc++, so the
+// runtime locks through the annotated vqsim::Mutex wrapper below (plus the
+// scoped vqsim::MutexLock guard). Condition variables use
+// std::condition_variable_any over std::unique_lock<vqsim::Mutex>; functions
+// whose wait predicates read guarded members through such a lock are outside
+// what the analysis can follow and carry VQSIM_NO_THREAD_SAFETY_ANALYSIS.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define VQSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VQSIM_THREAD_ANNOTATION(x)
+#endif
+
+#define VQSIM_CAPABILITY(x) VQSIM_THREAD_ANNOTATION(capability(x))
+#define VQSIM_SCOPED_CAPABILITY VQSIM_THREAD_ANNOTATION(scoped_lockable)
+#define VQSIM_GUARDED_BY(x) VQSIM_THREAD_ANNOTATION(guarded_by(x))
+#define VQSIM_PT_GUARDED_BY(x) VQSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define VQSIM_REQUIRES(...) \
+  VQSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VQSIM_EXCLUDES(...) \
+  VQSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define VQSIM_ACQUIRE(...) \
+  VQSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VQSIM_TRY_ACQUIRE(...) \
+  VQSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define VQSIM_RELEASE(...) \
+  VQSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VQSIM_RETURN_CAPABILITY(x) \
+  VQSIM_THREAD_ANNOTATION(lock_returned(x))
+#define VQSIM_NO_THREAD_SAFETY_ANALYSIS \
+  VQSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vqsim {
+
+/// std::mutex with the capability annotation the analysis needs. Satisfies
+/// BasicLockable/Lockable, so std::unique_lock<Mutex> and
+/// std::condition_variable_any work unchanged.
+class VQSIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VQSIM_ACQUIRE() { m_.lock(); }
+  void unlock() VQSIM_RELEASE() { m_.unlock(); }
+  bool try_lock() VQSIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over vqsim::Mutex (the annotated std::lock_guard analogue).
+class VQSIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) VQSIM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() VQSIM_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace vqsim

@@ -27,6 +27,7 @@ void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
   if (payload_a.size() != payload_b.size())
     throw std::invalid_argument("SimComm::exchange: size mismatch");
   std::swap(payload_a, payload_b);
+  MutexLock lock(stats_mutex_);
   stats_.point_to_point_messages += 2;
   stats_.amplitudes_exchanged += 2 * payload_a.size();
 }
@@ -34,7 +35,10 @@ void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
 double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
   if (static_cast<int>(per_rank.size()) != num_ranks_)
     throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
-  ++stats_.allreduces;
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.allreduces;
+  }
   double s = 0.0;
   for (double v : per_rank) s += v;
   return s;
@@ -43,7 +47,10 @@ double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
 cplx SimComm::allreduce_sum(const std::vector<cplx>& per_rank) {
   if (static_cast<int>(per_rank.size()) != num_ranks_)
     throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
-  ++stats_.allreduces;
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.allreduces;
+  }
   cplx s = 0.0;
   for (const cplx& v : per_rank) s += v;
   return s;

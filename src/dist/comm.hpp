@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace vqsim {
@@ -38,15 +39,24 @@ class SimComm {
   double allreduce_sum(const std::vector<double>& per_rank);
   cplx allreduce_sum(const std::vector<cplx>& per_rank);
 
-  const CommStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Snapshot of the traffic counters. Returned by value so the caller's
+  /// copy stays coherent while other threads keep communicating.
+  CommStats stats() const {
+    MutexLock lock(stats_mutex_);
+    return stats_;
+  }
+  void reset_stats() {
+    MutexLock lock(stats_mutex_);
+    stats_ = {};
+  }
 
  private:
   void check_rank(int rank) const;
 
   int num_ranks_ = 1;
   int rank_bits_ = 0;
-  CommStats stats_;
+  mutable Mutex stats_mutex_;
+  CommStats stats_ VQSIM_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace vqsim

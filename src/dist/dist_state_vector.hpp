@@ -48,7 +48,7 @@ class DistStateVector {
   /// Reassemble the full state on "rank 0" (validation only).
   StateVector gather() const;
 
-  const CommStats& comm_stats() const { return comm_->stats(); }
+  CommStats comm_stats() const { return comm_->stats(); }
 
  private:
   bool is_local(int qubit) const { return qubit < local_qubits_; }

@@ -24,6 +24,13 @@ Circuit& Circuit::add(Gate g) {
   return *this;
 }
 
+Circuit& Circuit::measure(int q) {
+  if (q < 0 || q >= num_qubits_)
+    throw std::out_of_range("Circuit::measure: qubit out of range");
+  measurements_.push_back(Measurement{q, gates_.size()});
+  return *this;
+}
+
 Circuit& Circuit::u3(double theta, double phi, double lambda, int q) {
   Gate g;
   g.kind = GateKind::kU3;
@@ -35,8 +42,11 @@ Circuit& Circuit::u3(double theta, double phi, double lambda, int q) {
 Circuit& Circuit::append(const Circuit& other) {
   if (other.num_qubits_ > num_qubits_)
     throw std::invalid_argument("Circuit::append: qubit count mismatch");
+  const std::size_t offset = gates_.size();
   gates_.reserve(gates_.size() + other.gates_.size());
   for (const Gate& g : other.gates_) gates_.push_back(g);
+  for (const Measurement& m : other.measurements_)
+    measurements_.push_back(Measurement{m.qubit, m.position + offset});
   return *this;
 }
 

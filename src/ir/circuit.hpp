@@ -18,6 +18,15 @@ struct GateCounts {
   std::map<std::string, std::size_t> by_name;
 };
 
+/// Terminal measurement marker: `qubit` is measured after `position` gates
+/// have executed (position == size() means "after the whole circuit").
+/// Measurements are markers for serialization and static analysis — the
+/// simulators' sampling paths stay separate (sim/sampler.hpp).
+struct Measurement {
+  int qubit = -1;
+  std::size_t position = 0;
+};
+
 class Circuit {
  public:
   Circuit() = default;
@@ -30,10 +39,27 @@ class Circuit {
   const Gate& operator[](std::size_t i) const { return gates_[i]; }
 
   void reserve(std::size_t n) { gates_.reserve(n); }
-  void clear() { gates_.clear(); }
+  void clear() {
+    gates_.clear();
+    measurements_.clear();
+  }
 
   /// Append a gate; validates qubit operands against num_qubits().
   Circuit& add(Gate g);
+
+  /// Append a gate without operand validation. For pass/test authors that
+  /// need to construct deliberately malformed circuits for the analyze
+  /// verifier; everything else should use add().
+  Circuit& add_unchecked(Gate g) {
+    gates_.push_back(std::move(g));
+    return *this;
+  }
+
+  /// Record a measurement of `q` at the current circuit position.
+  Circuit& measure(int q);
+  const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
 
   // -- Fluent builders for the full gate set -------------------------------
   Circuit& id(int q) { return add_fixed(GateKind::kI, q); }
@@ -91,10 +117,12 @@ class Circuit {
     return add(make_mat2_gate(q0, q1, m));
   }
 
-  /// Append every gate of `other` (qubit counts must match).
+  /// Append every gate of `other` (qubit counts must match); `other`'s
+  /// measurement markers come along, offset past this circuit's gates.
   Circuit& append(const Circuit& other);
 
   /// Exact inverse circuit (gates reversed and individually inverted).
+  /// Measurements are not invertible and are dropped.
   Circuit inverse() const;
 
   /// Gate statistics.
@@ -111,6 +139,7 @@ class Circuit {
 
   int num_qubits_ = 0;
   std::vector<Gate> gates_;
+  std::vector<Measurement> measurements_;
 };
 
 }  // namespace vqsim

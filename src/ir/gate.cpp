@@ -344,6 +344,50 @@ Gate inverse_gate(const Gate& g) {
   }
 }
 
+bool gate_is_clifford(const Gate& g) {
+  // Multiple-of-pi/2 detection matching sim/stabilizer.cpp's quarter_turns
+  // (same 1e-9 tolerance); returns k in [0, 4) or -1.
+  const auto quarter_turns = [](double theta) -> int {
+    if (!std::isfinite(theta)) return -1;
+    const double k = theta / (kPi / 2.0);
+    const double rounded = std::round(k);
+    if (std::abs(k - rounded) > 1e-9) return -1;
+    const long long ki = static_cast<long long>(rounded);
+    return static_cast<int>(((ki % 4) + 4) % 4);
+  };
+  switch (g.kind) {
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kSX:
+    case GateKind::kSXdg:
+    case GateKind::kCX:
+    case GateKind::kCY:
+    case GateKind::kCZ:
+    case GateKind::kSwap:
+      return true;
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+      return quarter_turns(g.params[0]) >= 0;
+    case GateKind::kCP:
+    case GateKind::kCRZ: {
+      const int k = quarter_turns(g.params[0]);
+      return k == 0 || k == 2;  // identity or controlled-Z (up to phase)
+    }
+    default:
+      return false;  // T, Tdg, U3, CH, CRX, CRY, generic matrices
+  }
+}
+
 std::string gate_to_string(const Gate& g) {
   std::ostringstream os;
   os << gate_name(g.kind);

@@ -89,6 +89,13 @@ Mat4 gate_matrix4(const Gate& g);
 /// invert to their adjoint payloads).
 Gate inverse_gate(const Gate& g);
 
+/// True when the gate is recognized as Clifford — exactly the set
+/// sim::StabilizerState::try_apply_gate executes (fixed Clifford gates, and
+/// the rotation family at multiples of pi/2 within 1e-9). Generic matrix
+/// gates are conservatively non-Clifford. Used by the analyze verifier to
+/// police the `clifford_only` job promise before stabilizer dispatch.
+bool gate_is_clifford(const Gate& g);
+
 /// Human-readable one-line description, e.g. "cx q0, q1" or "rz(0.5) q3".
 std::string gate_to_string(const Gate& g);
 

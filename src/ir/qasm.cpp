@@ -1,11 +1,13 @@
 #include "ir/qasm.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "analyze/verifier.hpp"
 #include "common/types.hpp"
 
 namespace vqsim {
@@ -74,7 +76,27 @@ std::string to_qasm(const Circuit& circuit) {
   os << "OPENQASM 2.0;\n";
   os << "include \"qelib1.inc\";\n";
   os << "qreg q[" << circuit.num_qubits() << "];\n";
-  for (const Gate& g : circuit.gates()) {
+  if (!circuit.measurements().empty())
+    os << "creg c[" << circuit.num_qubits() << "];\n";
+  // Measurement markers interleave with gates by position: emit every
+  // measurement recorded before gate index i right before that gate.
+  std::vector<Measurement> measurements(circuit.measurements());
+  std::stable_sort(measurements.begin(), measurements.end(),
+                   [](const Measurement& a, const Measurement& b) {
+                     return a.position < b.position;
+                   });
+  std::size_t next_measurement = 0;
+  const auto emit_measurements_before = [&](std::size_t gate_index) {
+    while (next_measurement < measurements.size() &&
+           measurements[next_measurement].position <= gate_index) {
+      const int q = measurements[next_measurement].qubit;
+      os << "measure q[" << q << "] -> c[" << q << "];\n";
+      ++next_measurement;
+    }
+  };
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    emit_measurements_before(i);
+    const Gate& g = circuit[i];
     if (g.kind == GateKind::kMat1 || g.kind == GateKind::kMat2)
       throw std::invalid_argument(
           "to_qasm: generic matrix gates are not representable");
@@ -92,6 +114,7 @@ std::string to_qasm(const Circuit& circuit) {
     if (g.is_two_qubit()) os << ",q[" << g.q1 << "]";
     os << ";\n";
   }
+  emit_measurements_before(circuit.size());
   return os.str();
 }
 
@@ -121,9 +144,19 @@ Circuit from_qasm(const std::string& text) {
       have_qreg = true;
       continue;
     }
-    if (line.rfind("creg", 0) == 0 || line.rfind("barrier", 0) == 0 ||
-        line.rfind("measure", 0) == 0)
+    if (line.rfind("creg", 0) == 0 || line.rfind("barrier", 0) == 0)
       continue;
+    if (line.rfind("measure", 0) == 0) {
+      if (!have_qreg)
+        throw std::invalid_argument("qasm: measure before qreg");
+      // "measure q[i] -> c[j]": the classical target is positional only.
+      const auto arrow = line.find("->");
+      const std::string operand = strip(
+          line.substr(7, arrow == std::string::npos ? std::string::npos
+                                                    : arrow - 7));
+      circuit.measure(parse_qubit(operand));
+      continue;
+    }
     if (!have_qreg) throw std::invalid_argument("qasm: gate before qreg");
 
     // "name(params) operands" or "name operands".
@@ -163,6 +196,14 @@ Circuit from_qasm(const std::string& text) {
     if (qs.size() > 1) g.q1 = parse_qubit(qs[1]);
     circuit.add(g);
   }
+  // Verify on parse: imported text is untrusted, so structurally bad
+  // circuits (non-finite angles from expressions like "0/0", gates touching
+  // measured qubits) are rejected here rather than mid-execution. Lint
+  // findings are not errors and do not block import.
+  analyze::VerifyOptions options;
+  options.lint = false;
+  analyze::throw_if_errors(analyze::verify_circuit(circuit, options),
+                           "from_qasm: parsed circuit failed verification");
   return circuit;
 }
 

@@ -1,6 +1,7 @@
 #include "runtime/backend.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "dist/dist_state_vector.hpp"
 #include "sim/density_matrix.hpp"
@@ -33,6 +34,28 @@ bool backend_can_run(const BackendCaps& caps, const JobRequirements& req) {
   if (req.needs_state && !caps.supports_statevector_output) return false;
   if (caps.clifford_only && !req.clifford_only) return false;
   return true;
+}
+
+analyze::BackendTarget to_analyze_target(const BackendCaps& caps,
+                                         std::string name) {
+  analyze::BackendTarget target;
+  target.name = std::move(name);
+  target.max_qubits = caps.max_qubits;
+  target.supports_noise = caps.supports_noise;
+  target.supports_exact_expectation = caps.supports_exact_expectation;
+  target.supports_statevector_output = caps.supports_statevector_output;
+  target.clifford_only = caps.clifford_only;
+  return target;
+}
+
+analyze::JobDemands to_analyze_demands(const JobRequirements& req) {
+  analyze::JobDemands demands;
+  demands.num_qubits = req.num_qubits;
+  demands.needs_noise = req.needs_noise;
+  demands.needs_exact = req.needs_exact;
+  demands.needs_state = req.needs_state;
+  demands.clifford_promised = req.clifford_only;
+  return demands;
 }
 
 // -- StateVectorBackend ------------------------------------------------------

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "analyze/verifier.hpp"
 #include "dist/comm.hpp"
 #include "runtime/job.hpp"
 #include "sim/state_vector.hpp"
@@ -41,6 +42,13 @@ struct BackendCaps {
 
 /// True when a backend with `caps` can execute a job with `req`.
 bool backend_can_run(const BackendCaps& caps, const JobRequirements& req);
+
+/// Bridges into the analyzer's dependency-free capability model, so pool
+/// rejections can explain per-backend why a job does not fit
+/// (analyze::check_backend_compatibility).
+analyze::BackendTarget to_analyze_target(const BackendCaps& caps,
+                                         std::string name);
+analyze::JobDemands to_analyze_demands(const JobRequirements& req);
 
 class QpuBackend {
  public:
@@ -134,7 +142,7 @@ class DistStateVectorBackend final : public QpuBackend {
   double energy(const Ansatz& ansatz, const PauliSum& observable,
                 std::span<const double> theta) override;
 
-  const CommStats& comm_stats() const { return comm_.stats(); }
+  CommStats comm_stats() const { return comm_.stats(); }
 
  private:
   SimComm comm_;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "ir/circuit.hpp"
 #include "pauli/pauli_sum.hpp"
 #include "sim/noise.hpp"
@@ -69,6 +70,9 @@ struct JobTelemetry {
   double queue_wait_seconds = 0.0;  // submit -> dispatch
   double execution_seconds = 0.0;   // dispatch -> completion
   bool failed = false;              // exception delivered via the future
+  /// Warning-severity findings from the submit-time circuit verification
+  /// (error-severity findings reject the job instead of enqueueing it).
+  std::vector<analyze::Diagnostic> warnings;
 };
 
 }  // namespace vqsim::runtime

@@ -37,20 +37,20 @@ void ThreadPool::enqueue(std::function<void()> task) {
   if (t_pool == this && t_worker_index >= 0) {
     // Nested submission: LIFO onto our own deque (depth-first locality).
     Worker& w = *workers_[static_cast<std::size_t>(t_worker_index)];
-    std::lock_guard lock(w.mutex);
+    MutexLock lock(w.mutex);
     w.deque.push_front(std::move(task));
   } else {
     const std::size_t target =
         next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
     Worker& w = *workers_[target];
-    std::lock_guard lock(w.mutex);
+    MutexLock lock(w.mutex);
     w.deque.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
   {
     // Pairing the notify with the sleep mutex closes the missed-wakeup race
     // against workers evaluating their sleep predicate.
-    std::lock_guard lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
   }
   sleep_cv_.notify_one();
 }
@@ -58,7 +58,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
 bool ThreadPool::try_claim(int self, std::function<void()>* out) {
   Worker& own = *workers_[static_cast<std::size_t>(self)];
   {
-    std::lock_guard lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.deque.empty()) {
       *out = std::move(own.deque.front());
       own.deque.pop_front();
@@ -69,7 +69,7 @@ bool ThreadPool::try_claim(int self, std::function<void()>* out) {
   const int n = num_workers();
   for (int off = 1; off < n; ++off) {
     Worker& victim = *workers_[static_cast<std::size_t>((self + off) % n)];
-    std::lock_guard lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.deque.empty()) {
       *out = std::move(victim.deque.back());
       victim.deque.pop_back();
@@ -93,12 +93,12 @@ void ThreadPool::worker_loop(int index) {
       task = nullptr;  // release captured state before sleeping
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(sleep_mutex_);
+        MutexLock lock(sleep_mutex_);
         idle_cv_.notify_all();
       }
       continue;
     }
-    std::unique_lock lock(sleep_mutex_);
+    std::unique_lock<Mutex> lock(sleep_mutex_);
     sleep_cv_.wait(lock, [this] {
       return queued_.load(std::memory_order_acquire) > 0 ||
              stopping_.load(std::memory_order_acquire);
@@ -110,7 +110,7 @@ void ThreadPool::worker_loop(int index) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(sleep_mutex_);
+  std::unique_lock<Mutex> lock(sleep_mutex_);
   idle_cv_.wait(lock, [this] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
@@ -118,7 +118,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     if (joined_) return;
     joined_ = true;
     stopping_.store(true, std::memory_order_release);

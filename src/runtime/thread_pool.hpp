@@ -18,10 +18,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace vqsim::runtime {
 
@@ -72,8 +73,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::deque<std::function<void()>> deque;
-    std::mutex mutex;
+    Mutex mutex;
+    std::deque<std::function<void()>> deque VQSIM_GUARDED_BY(mutex);
   };
 
   void enqueue(std::function<void()> task);
@@ -84,9 +85,11 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
-  std::condition_variable idle_cv_;
+  /// Guards joined_ and serializes the sleep/idle wakeup protocol; the wait
+  /// predicates themselves read only atomics.
+  Mutex sleep_mutex_;
+  std::condition_variable_any sleep_cv_;
+  std::condition_variable_any idle_cv_;
 
   std::atomic<std::uint64_t> next_queue_{0};
   std::atomic<std::uint64_t> queued_{0};     // tasks sitting in deques
@@ -94,7 +97,7 @@ class ThreadPool {
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> tasks_stolen_{0};
   std::atomic<bool> stopping_{false};
-  bool joined_ = false;
+  bool joined_ VQSIM_GUARDED_BY(sleep_mutex_) = false;
 };
 
 }  // namespace vqsim::runtime

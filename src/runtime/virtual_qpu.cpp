@@ -1,9 +1,11 @@
 #include "runtime/virtual_qpu.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "analyze/verifier.hpp"
 #include "common/parallel.hpp"
 
 namespace vqsim::runtime {
@@ -46,8 +48,23 @@ VirtualQpuPool::~VirtualQpuPool() {
   wait_all();
 }
 
+std::vector<analyze::Diagnostic> VirtualQpuPool::verify_submission(
+    const Circuit& circuit, const JobOptions& options, JobKind kind) const {
+  analyze::VerifyOptions verify_options;
+  verify_options.clifford_promised = options.clifford_only;
+  std::vector<analyze::Diagnostic> diagnostics =
+      analyze::verify_circuit(circuit, verify_options);
+  if (analyze::has_errors(diagnostics))
+    throw analyze::VerificationError(
+        std::string("VirtualQpuPool: ") + to_string(kind) +
+            " job rejected at submission: circuit failed static verification",
+        std::move(diagnostics));
+  return diagnostics;  // warnings/notes only; attached to telemetry
+}
+
 void VirtualQpuPool::enqueue(JobKind kind, JobRequirements requirements,
                              JobOptions options,
+                             std::vector<analyze::Diagnostic> warnings,
                              std::function<bool(QpuBackend&)> execute) {
   bool feasible = false;
   for (const VirtualQpu& q : qpus_)
@@ -55,13 +72,29 @@ void VirtualQpuPool::enqueue(JobKind kind, JobRequirements requirements,
       feasible = true;
       break;
     }
-  if (!feasible)
-    throw std::invalid_argument(
+  if (!feasible) {
+    // Structured rejection: the summary error keeps the original message
+    // shape; one note per backend explains which capability failed, so
+    // callers can distinguish over-capacity from a Clifford/noise mismatch.
+    analyze::DiagnosticCollector diagnostics;
+    diagnostics.error(
+        analyze::DiagCode::kNoCapableBackend, -1, -1,
+        std::string("no backend in the fleet can run this ") +
+            to_string(kind) + " job (requires " + describe(requirements) +
+            "); rejected at submission");
+    const analyze::JobDemands demands = to_analyze_demands(requirements);
+    for (const VirtualQpu& q : qpus_)
+      analyze::check_backend_compatibility(
+          demands, to_analyze_target(q.caps, q.backend->name()), diagnostics,
+          analyze::Severity::kNote);
+    throw analyze::VerificationError(
         std::string("VirtualQpuPool: no backend in the fleet can run this ") +
-        to_string(kind) + " job (requires " + describe(requirements) +
-        "); rejected at submission");
+            to_string(kind) + " job (requires " + describe(requirements) +
+            "); rejected at submission",
+        diagnostics.take());
+  }
 
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   PendingJob job;
   job.id = next_job_id_++;
   job.kind = kind;
@@ -69,6 +102,7 @@ void VirtualQpuPool::enqueue(JobKind kind, JobRequirements requirements,
   job.requirements = requirements;
   job.execute = std::move(execute);
   job.submit_time = Clock::now();
+  job.warnings = std::move(warnings);
   pending_.push_back(std::move(job));
   ++counters_.jobs_submitted;
   counters_.queue_depth_high_water =
@@ -125,9 +159,10 @@ void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
   record.queue_wait_seconds = seconds_since(job.submit_time, start);
   record.execution_seconds = seconds_since(start, end);
   record.failed = !ok;
+  record.warnings = std::move(job.warnings);
 
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     qpu.busy = false;
     ++qpu.jobs_run;
     qpu.busy_seconds += record.execution_seconds;
@@ -152,7 +187,7 @@ std::future<double> VirtualQpuPool::submit_energy(const Ansatz& ansatz,
   req.clifford_only = options.clifford_only;
   auto promise = std::make_shared<std::promise<double>>();
   std::future<double> future = promise->get_future();
-  enqueue(JobKind::kEnergy, req, options,
+  enqueue(JobKind::kEnergy, req, options, {},
           [promise, &ansatz, &observable,
            theta = std::move(theta)](QpuBackend& backend) {
             try {
@@ -174,9 +209,11 @@ std::future<double> VirtualQpuPool::submit_expectation(Circuit circuit,
   req.needs_noise = !options.noise.is_noiseless();
   req.needs_exact = true;
   req.clifford_only = options.clifford_only;
+  std::vector<analyze::Diagnostic> warnings =
+      verify_submission(circuit, options, JobKind::kExpectation);
   auto promise = std::make_shared<std::promise<double>>();
   std::future<double> future = promise->get_future();
-  enqueue(JobKind::kExpectation, req, options,
+  enqueue(JobKind::kExpectation, req, options, std::move(warnings),
           [promise, circuit = std::move(circuit),
            observable = std::move(observable),
            noise = options.noise](QpuBackend& backend) {
@@ -200,9 +237,11 @@ std::future<StateVector> VirtualQpuPool::submit_circuit(Circuit circuit,
   req.needs_exact = true;
   req.needs_state = true;
   req.clifford_only = options.clifford_only;
+  std::vector<analyze::Diagnostic> warnings =
+      verify_submission(circuit, options, JobKind::kCircuitRun);
   auto promise = std::make_shared<std::promise<StateVector>>();
   std::future<StateVector> future = promise->get_future();
-  enqueue(JobKind::kCircuitRun, req, options,
+  enqueue(JobKind::kCircuitRun, req, options, std::move(warnings),
           [promise, circuit = std::move(circuit)](QpuBackend& backend) {
             try {
               promise->set_value(backend.run_circuit(circuit));
@@ -216,35 +255,37 @@ std::future<StateVector> VirtualQpuPool::submit_circuit(Circuit circuit,
 }
 
 void VirtualQpuPool::pause_dispatch() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   paused_ = true;
 }
 
 void VirtualQpuPool::resume_dispatch() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   paused_ = false;
   pump_locked();
 }
 
-void VirtualQpuPool::wait_all() {
-  std::unique_lock lock(mutex_);
+// The wait predicate reads guarded members through a std::unique_lock the
+// analysis cannot follow; the lock IS held whenever the predicate runs.
+void VirtualQpuPool::wait_all() VQSIM_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<Mutex> lock(mutex_);
   all_done_cv_.wait(lock, [this] {
     return pending_.empty() && dispatched_ == counters_.jobs_completed;
   });
 }
 
 std::size_t VirtualQpuPool::queue_depth() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return pending_.size();
 }
 
 PoolCounters VirtualQpuPool::counters() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 
 std::vector<BackendUtilization> VirtualQpuPool::utilization() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<BackendUtilization> out;
   out.reserve(qpus_.size());
   for (std::size_t i = 0; i < qpus_.size(); ++i) {
@@ -259,12 +300,12 @@ std::vector<BackendUtilization> VirtualQpuPool::utilization() const {
 }
 
 std::vector<JobTelemetry> VirtualQpuPool::telemetry() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return telemetry_;
 }
 
 void VirtualQpuPool::clear_telemetry() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   telemetry_.clear();
 }
 

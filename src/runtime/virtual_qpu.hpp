@@ -22,11 +22,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/job.hpp"
 #include "runtime/thread_pool.hpp"
@@ -68,10 +69,14 @@ class VirtualQpuPool {
   int num_workers() const { return pool_.num_workers(); }
 
   // -- Job submission --------------------------------------------------------
-  // Submission throws std::invalid_argument immediately when NO backend in
-  // the fleet could ever satisfy the job's requirements (over-capacity,
-  // noise on a noise-free fleet, ...). Execution-time errors arrive through
-  // the returned future instead.
+  // Submission-time verification (the analyze layer): circuit-carrying jobs
+  // run the static verifier, and every job is feasibility-checked against
+  // the fleet. Error-severity findings throw analyze::VerificationError
+  // (derives from std::invalid_argument) carrying the structured
+  // diagnostics — a circuit defect and a capability mismatch are
+  // distinguishable by DiagCode. Warning-severity findings attach to the
+  // job's telemetry record. Execution-time errors still arrive through the
+  // returned future.
 
   /// Full VQE energy evaluation at one parameter set. `ansatz` and
   /// `observable` must outlive the future's completion.
@@ -133,26 +138,40 @@ class VirtualQpuPool {
     /// exception.
     std::function<bool(QpuBackend&)> execute;
     Clock::time_point submit_time;
+    /// Submit-time verifier warnings, forwarded to JobTelemetry.
+    std::vector<analyze::Diagnostic> warnings;
   };
 
+  /// Static verification of a circuit-carrying submission. Error findings
+  /// throw analyze::VerificationError; the returned warnings ride on the
+  /// job's telemetry.
+  std::vector<analyze::Diagnostic> verify_submission(
+      const Circuit& circuit, const JobOptions& options, JobKind kind) const;
   /// Reject-or-enqueue; shared tail of the typed submit_* front-ends.
   void enqueue(JobKind kind, JobRequirements requirements, JobOptions options,
+               std::vector<analyze::Diagnostic> warnings,
                std::function<bool(QpuBackend&)> execute);
   /// Dispatch every (priority, FIFO)-ordered job that has an idle capable
-  /// QPU. Caller holds mutex_.
-  void pump_locked();
+  /// QPU.
+  void pump_locked() VQSIM_REQUIRES(mutex_);
   void run_job(PendingJob job, int backend_id);
 
+  // The fleet vector itself is fixed after construction and each backend
+  // runs at most one job at a time (dispatch marks it busy under mutex_
+  // before the unsynchronized execute), so qpus_ carries no guard; the
+  // per-QPU scheduling fields (busy, jobs_run, busy_seconds) are only
+  // mutated with mutex_ held.
   std::vector<VirtualQpu> qpus_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable all_done_cv_;
-  std::deque<PendingJob> pending_;
-  bool paused_ = false;
-  std::uint64_t next_job_id_ = 0;
-  std::uint64_t dispatched_ = 0;  // jobs handed to the thread pool so far
-  PoolCounters counters_;
-  std::vector<JobTelemetry> telemetry_;
+  mutable Mutex mutex_;
+  std::condition_variable_any all_done_cv_;
+  std::deque<PendingJob> pending_ VQSIM_GUARDED_BY(mutex_);
+  bool paused_ VQSIM_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_job_id_ VQSIM_GUARDED_BY(mutex_) = 0;
+  /// Jobs handed to the thread pool so far.
+  std::uint64_t dispatched_ VQSIM_GUARDED_BY(mutex_) = 0;
+  PoolCounters counters_ VQSIM_GUARDED_BY(mutex_);
+  std::vector<JobTelemetry> telemetry_ VQSIM_GUARDED_BY(mutex_);
 
   // Declared last: destroyed first, so no worker outlives the state above.
   ThreadPool pool_;

@@ -1,10 +1,13 @@
 #include "sim/density_matrix.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "common/bits.hpp"
+#include "common/invariants.hpp"
 #include "common/parallel.hpp"
 
 namespace vqsim {
@@ -20,6 +23,29 @@ Mat4 conjugated(const Mat4& m) {
   Mat4 out;
   for (std::size_t i = 0; i < 16; ++i) out.m[i] = std::conj(m.m[i]);
   return out;
+}
+
+// Debug-only (VQSIM_CHECK_INVARIANTS) physicality checks. Trace is O(d);
+// hermiticity walks the d^2 elements, comparable to one gate application.
+[[maybe_unused]] void check_trace(const DensityMatrix& rho, double expected,
+                                  const char* where) {
+  const double t = rho.trace();
+  if (std::abs(t - expected) > 1e-6 * std::max(1.0, std::abs(expected)))
+    invariant_failure(std::string(where) + ": trace drifted from " +
+                      std::to_string(expected) + " to " + std::to_string(t));
+}
+
+[[maybe_unused]] void check_hermitian(const DensityMatrix& rho,
+                                      const char* where) {
+  for (idx r = 0; r < rho.dim(); ++r)
+    for (idx c = r; c < rho.dim(); ++c) {
+      const cplx upper = rho.element(r, c);
+      const cplx lower = rho.element(c, r);
+      if (std::abs(upper - std::conj(lower)) > 1e-9)
+        invariant_failure(std::string(where) +
+                          ": density matrix is not Hermitian at (" +
+                          std::to_string(r) + ", " + std::to_string(c) + ")");
+    }
 }
 
 }  // namespace
@@ -121,6 +147,17 @@ void DensityMatrix::apply_gate(const Gate& gate) {
 void DensityMatrix::apply_circuit(const Circuit& circuit) {
   if (circuit.num_qubits() > num_qubits_)
     throw std::invalid_argument("DensityMatrix: register too small");
+  if constexpr (kCheckInvariants) {
+    // Unitary evolution preserves the trace gate by gate; hermiticity is
+    // checked once at the end (it costs a full d^2 sweep).
+    const double trace_before = trace();
+    for (const Gate& g : circuit.gates()) {
+      apply_gate(g);
+      check_trace(*this, trace_before, "DensityMatrix::apply_circuit");
+    }
+    check_hermitian(*this, "DensityMatrix::apply_circuit");
+    return;
+  }
   for (const Gate& g : circuit.gates()) apply_gate(g);
 }
 
@@ -129,6 +166,9 @@ void DensityMatrix::apply_channel(const KrausChannel& channel, int qubit) {
     throw std::out_of_range("DensityMatrix::apply_channel");
   if (channel.operators.empty())
     throw std::invalid_argument("DensityMatrix: empty channel");
+
+  [[maybe_unused]] double trace_before = 0.0;
+  if constexpr (kCheckInvariants) trace_before = trace();
 
   AmpVector accumulated(vectorized_.dim(), cplx{0.0, 0.0});
   for (const Mat2& k : channel.operators) {
@@ -139,6 +179,14 @@ void DensityMatrix::apply_channel(const KrausChannel& channel, int qubit) {
     parallel_for(branch.dim(), [&](idx i) { accumulated[i] += b[i]; });
   }
   vectorized_ = StateVector::from_amplitudes(std::move(accumulated));
+
+  if constexpr (kCheckInvariants) {
+    // Trace is only conserved when sum_k K^dag K = I; non-TP channels (e.g.
+    // a bare Kraus branch) legitimately shrink it.
+    if (channel.is_trace_preserving(1e-9))
+      check_trace(*this, trace_before, "DensityMatrix::apply_channel");
+    check_hermitian(*this, "DensityMatrix::apply_channel");
+  }
 }
 
 double DensityMatrix::trace() const {

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "common/invariants.hpp"
 #include "common/types.hpp"
 
 namespace vqsim {
@@ -215,7 +217,34 @@ bool StabilizerState::try_apply_circuit(const Circuit& circuit) {
     throw std::invalid_argument("StabilizerState: register too small");
   for (const Gate& g : circuit.gates())
     if (!try_apply_gate(g)) return false;
+  if constexpr (kCheckInvariants) check_tableau();
   return true;
+}
+
+void StabilizerState::check_tableau() const {
+  const int n = num_qubits_;
+  const auto anticommute = [&](int a, int b) {
+    int s = 0;
+    for (int q = 0; q < n; ++q)
+      s ^= (x(a, q) & z(b, q)) ^ (z(a, q) & x(b, q));
+    return s != 0;
+  };
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (anticommute(i, j))
+        invariant_failure("StabilizerState: destabilizers " +
+                          std::to_string(i) + " and " + std::to_string(j) +
+                          " anticommute");
+      if (anticommute(n + i, n + j))
+        invariant_failure("StabilizerState: stabilizers " +
+                          std::to_string(i) + " and " + std::to_string(j) +
+                          " anticommute");
+      if (anticommute(i, n + j) != (i == j))
+        invariant_failure("StabilizerState: symplectic pairing broken for "
+                          "destabilizer " +
+                          std::to_string(i) + " vs stabilizer " +
+                          std::to_string(j));
+    }
 }
 
 double StabilizerState::expectation(const PauliString& p) const {

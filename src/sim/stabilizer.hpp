@@ -58,6 +58,9 @@ class StabilizerState {
   /// row_h *= row_i with exact phase tracking (CHP rowsum).
   void rowsum(int h, int i);
   static int g_phase(bool x1, bool z1, bool x2, bool z2);
+  /// Debug-only (VQSIM_CHECK_INVARIANTS): the tableau must stay symplectic —
+  /// destabilizer i anticommutes with stabilizer i and with nothing else.
+  void check_tableau() const;
 
   int num_qubits_ = 0;
   std::vector<std::uint8_t> xs_;  // 2n x n

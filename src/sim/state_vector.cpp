@@ -1,10 +1,13 @@
 #include "sim/state_vector.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "common/bits.hpp"
+#include "common/invariants.hpp"
 #include "common/parallel.hpp"
 
 namespace vqsim {
@@ -37,6 +40,25 @@ void StateVector::set_basis_state(idx basis) {
 void StateVector::apply_circuit(const Circuit& circuit) {
   if (circuit.num_qubits() > num_qubits_)
     throw std::invalid_argument("apply_circuit: register too small");
+  if constexpr (kCheckInvariants) {
+    // Every gate is unitary, so it must *preserve* the norm (not force it to
+    // 1 — callers may run circuits on deliberately unnormalized states, e.g.
+    // the vectorized density matrix whose norm is sqrt(purity)).
+    const double norm_before = norm();
+    std::size_t i = 0;
+    for (const Gate& g : circuit.gates()) {
+      apply_gate(g);
+      const double n = norm();
+      if (std::abs(n - norm_before) > 1e-6 * std::max(1.0, norm_before))
+        invariant_failure("StateVector::apply_circuit: gate " +
+                          std::to_string(i) + " (" + gate_to_string(g) +
+                          ") changed the norm from " +
+                          std::to_string(norm_before) + " to " +
+                          std::to_string(n));
+      ++i;
+    }
+    return;
+  }
   for (const Gate& g : circuit.gates()) apply_gate(g);
 }
 

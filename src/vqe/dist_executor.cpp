@@ -1,6 +1,9 @@
 #include "vqe/dist_executor.hpp"
 
 #include <stdexcept>
+#include <vector>
+
+#include "analyze/verifier.hpp"
 
 namespace vqsim {
 
@@ -12,6 +15,17 @@ DistributedExecutor::DistributedExecutor(const Ansatz& ansatz,
   if (observable_.num_qubits() > ansatz.num_qubits())
     throw std::invalid_argument(
         "DistributedExecutor: observable register exceeds ansatz");
+  // Same once-per-structure discipline as SimulatorExecutor: the circuit
+  // shape is theta-independent, so one pass at theta = 0 covers every
+  // evaluate(). Lint stays off at the all-zeros point.
+  analyze::VerifyOptions verify_options;
+  verify_options.lint = false;
+  const std::vector<double> theta0(ansatz.num_parameters(), 0.0);
+  ansatz_diagnostics_ =
+      analyze::verify_circuit(ansatz.circuit(theta0), verify_options);
+  analyze::throw_if_errors(
+      ansatz_diagnostics_,
+      "DistributedExecutor: ansatz circuit failed static verification");
 }
 
 double DistributedExecutor::evaluate(std::span<const double> theta) {

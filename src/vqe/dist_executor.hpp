@@ -7,6 +7,7 @@
 // the communicator statistics expose the traffic the evaluation cost.
 #pragma once
 
+#include "analyze/diagnostic.hpp"
 #include "dist/dist_state_vector.hpp"
 #include "vqe/executor.hpp"
 
@@ -21,11 +22,17 @@ class DistributedExecutor final : public EnergyEvaluator {
   double evaluate(std::span<const double> theta) override;
   const ExecutorStats& stats() const override { return stats_; }
 
-  const CommStats& comm_stats() const { return state_.comm_stats(); }
+  CommStats comm_stats() const { return state_.comm_stats(); }
+
+  /// Warnings/notes from the one-time ansatz verification.
+  std::span<const analyze::Diagnostic> ansatz_diagnostics() const {
+    return ansatz_diagnostics_;
+  }
 
  private:
   const Ansatz& ansatz_;
   PauliSum observable_;
+  std::vector<analyze::Diagnostic> ansatz_diagnostics_;
   DistStateVector state_;
   ExecutorStats stats_;
 };

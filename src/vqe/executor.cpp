@@ -1,7 +1,9 @@
 #include "vqe/executor.hpp"
 
 #include <stdexcept>
+#include <vector>
 
+#include "analyze/verifier.hpp"
 #include "common/bits.hpp"
 #include "pauli/basis_change.hpp"
 #include "sim/expectation.hpp"
@@ -52,6 +54,19 @@ SimulatorExecutor::SimulatorExecutor(const Ansatz& ansatz,
   if (observable_.num_qubits() > ansatz.num_qubits())
     throw std::invalid_argument(
         "SimulatorExecutor: observable register exceeds ansatz");
+  if (options_.verify_ansatz) {
+    // Verified once per circuit structure, not per parameter set. Lint
+    // passes stay off: rotations legitimately vanish at particular theta
+    // (the verification point is all-zeros).
+    analyze::VerifyOptions verify_options;
+    verify_options.lint = false;
+    const std::vector<double> theta0(ansatz.num_parameters(), 0.0);
+    ansatz_diagnostics_ =
+        analyze::verify_circuit(ansatz.circuit(theta0), verify_options);
+    analyze::throw_if_errors(
+        ansatz_diagnostics_,
+        "SimulatorExecutor: ansatz circuit failed static verification");
+  }
 }
 
 void SimulatorExecutor::run_ansatz(std::span<const double> theta) {

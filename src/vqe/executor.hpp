@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 
+#include "analyze/diagnostic.hpp"
 #include "common/rng.hpp"
 #include "pauli/grouping.hpp"
 #include "pauli/pauli_sum.hpp"
@@ -82,6 +83,9 @@ struct ExecutorOptions {
   /// Shots per group for kSampling.
   std::size_t shots = 4096;
   std::uint64_t seed = 7;
+  /// Statically verify the ansatz circuit once at construction. The circuit
+  /// *structure* is theta-independent, so one pass covers every evaluate().
+  bool verify_ansatz = true;
 };
 
 /// Standard executor over the shared-memory simulator.
@@ -96,6 +100,12 @@ class SimulatorExecutor final : public EnergyEvaluator {
   /// The state cached by the last evaluate() (valid when caching is on).
   const StateVector& cached_state() const { return psi_; }
 
+  /// Warnings/notes from the one-time ansatz verification (empty when
+  /// verification is disabled or the circuit is clean).
+  std::span<const analyze::Diagnostic> ansatz_diagnostics() const {
+    return ansatz_diagnostics_;
+  }
+
  private:
   double evaluate_direct();
   double evaluate_grouped(std::span<const double> theta);
@@ -106,6 +116,7 @@ class SimulatorExecutor final : public EnergyEvaluator {
   PauliSum observable_;
   std::vector<MeasurementGroup> groups_;
   ExecutorOptions options_;
+  std::vector<analyze::Diagnostic> ansatz_diagnostics_;
   ExecutorStats stats_;
   StateVector psi_;
   Rng rng_;

@@ -1,0 +1,502 @@
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/diagnostic.hpp"
+#include "analyze/verifier.hpp"
+#include "common/types.hpp"
+#include "ir/circuit.hpp"
+#include "ir/gate.hpp"
+#include "ir/qasm.hpp"
+#include "sim/stabilizer.hpp"
+
+namespace vqsim {
+namespace {
+
+using analyze::DiagCode;
+using analyze::Diagnostic;
+using analyze::DiagnosticCollector;
+using analyze::Severity;
+using analyze::VerificationError;
+using analyze::VerifyOptions;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::size_t count_code(const std::vector<Diagnostic>& diagnostics,
+                       DiagCode code) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.code == code) ++n;
+  return n;
+}
+
+// -- Clean circuits -----------------------------------------------------------
+
+TEST(Verifier, CleanCircuitProducesNoDiagnostics) {
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  bell.measure(0).measure(1);
+  EXPECT_TRUE(analyze::verify_circuit(bell).empty());
+
+  Circuit rotations(3);
+  rotations.rx(0.3, 0).ry(-1.2, 1).rzz(0.8, 1, 2).cx(0, 2);
+  EXPECT_TRUE(analyze::verify_circuit(rotations).empty());
+}
+
+// -- Operand bounds / arity ---------------------------------------------------
+
+TEST(Verifier, QubitOutOfRangeDetected) {
+  Circuit c(2);
+  Gate g;
+  g.kind = GateKind::kH;
+  g.q0 = 3;
+  c.add_unchecked(g);
+  const auto diagnostics = analyze::verify_circuit(c);
+  ASSERT_EQ(count_code(diagnostics, DiagCode::kQubitOutOfRange), 1u);
+  const Diagnostic& d = diagnostics.front();
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.gate_index, 0);
+  EXPECT_EQ(d.qubit, 3);
+}
+
+TEST(Verifier, QubitInRangeNotFlagged) {
+  Circuit c(2);
+  c.h(1).cx(1, 0);
+  EXPECT_EQ(count_code(analyze::verify_circuit(c), DiagCode::kQubitOutOfRange),
+            0u);
+}
+
+TEST(Verifier, ArityMismatchDetected) {
+  Circuit c(2);
+  Gate stray;
+  stray.kind = GateKind::kH;
+  stray.q0 = 0;
+  stray.q1 = 1;  // single-qubit gate with a second operand
+  c.add_unchecked(stray);
+  Gate missing;
+  missing.kind = GateKind::kCX;
+  missing.q0 = 0;  // two-qubit gate without its second operand
+  c.add_unchecked(missing);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kOperandArityMismatch), 2u);
+}
+
+TEST(Verifier, CorrectAritiesNotFlagged) {
+  Circuit c(2);
+  c.x(0).swap(0, 1);
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(c), DiagCode::kOperandArityMismatch),
+      0u);
+}
+
+TEST(Verifier, DuplicateOperandDetected) {
+  Circuit c(2);
+  Gate g;
+  g.kind = GateKind::kCX;
+  g.q0 = 1;
+  g.q1 = 1;
+  c.add_unchecked(g);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kDuplicateOperand), 1u);
+
+  Circuit ok(2);
+  ok.cx(0, 1);
+  EXPECT_EQ(count_code(analyze::verify_circuit(ok), DiagCode::kDuplicateOperand),
+            0u);
+}
+
+// -- Parameters / matrices ----------------------------------------------------
+
+TEST(Verifier, NonFiniteAngleDetected) {
+  Circuit c(1);
+  c.rz(kNaN, 0);
+  EXPECT_EQ(count_code(analyze::verify_circuit(c), DiagCode::kNonFiniteParameter),
+            1u);
+
+  Circuit inf(1);
+  inf.rx(kInf, 0);
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(inf), DiagCode::kNonFiniteParameter),
+      1u);
+
+  Circuit ok(1);
+  ok.rz(0.25, 0);
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(ok), DiagCode::kNonFiniteParameter),
+      0u);
+}
+
+TEST(Verifier, NonFiniteMatrixEntryDetected) {
+  Mat2 bad = Mat2::identity();
+  bad(0, 0) = cplx{kNaN, 0.0};
+  Circuit c(1);
+  c.mat1(0, bad);
+  EXPECT_EQ(count_code(analyze::verify_circuit(c), DiagCode::kNonFiniteParameter),
+            1u);
+}
+
+TEST(Verifier, MissingMatrixPayloadDetected) {
+  Circuit c(1);
+  Gate g;
+  g.kind = GateKind::kMat1;
+  g.q0 = 0;
+  c.add_unchecked(g);  // no mat1 payload attached
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kMissingMatrixPayload), 1u);
+
+  Circuit ok(1);
+  ok.mat1(0, Mat2::identity());
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(ok), DiagCode::kMissingMatrixPayload),
+      0u);
+}
+
+TEST(Verifier, NonUnitaryMatrixDetected) {
+  const Mat2 scaled = Mat2::identity() * cplx{2.0, 0.0};
+  Circuit c(1);
+  c.mat1(0, scaled);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kNonUnitaryMatrix), 1u);
+
+  Circuit ok(1);
+  ok.mat1(0, gate_matrix2(Gate{GateKind::kH, 0}));
+  EXPECT_EQ(count_code(analyze::verify_circuit(ok), DiagCode::kNonUnitaryMatrix),
+            0u);
+}
+
+// -- Measurement ordering -----------------------------------------------------
+
+TEST(Verifier, GateAfterMeasurementDetected) {
+  Circuit c(2);
+  c.h(0);
+  c.measure(0);
+  c.x(0);  // invalidates the recorded outcome
+  const auto diagnostics = analyze::verify_circuit(c);
+  ASSERT_EQ(count_code(diagnostics, DiagCode::kGateAfterMeasurement), 1u);
+  for (const Diagnostic& d : diagnostics)
+    if (d.code == DiagCode::kGateAfterMeasurement) {
+      EXPECT_EQ(d.severity, Severity::kError);
+      EXPECT_EQ(d.qubit, 0);
+      EXPECT_EQ(d.gate_index, 1);
+    }
+}
+
+TEST(Verifier, GateOnOtherQubitAfterMeasurementAllowed) {
+  Circuit c(2);
+  c.h(0);
+  c.measure(0);
+  c.x(1);  // different qubit: fine
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(c), DiagCode::kGateAfterMeasurement),
+      0u);
+}
+
+TEST(Verifier, DuplicateMeasurementWarned) {
+  Circuit c(1);
+  c.h(0);
+  c.measure(0).measure(0);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kDuplicateMeasurement), 1u);
+  EXPECT_FALSE(analyze::has_errors(diagnostics));
+
+  Circuit ok(2);
+  ok.h(0).cx(0, 1);
+  ok.measure(0).measure(1);
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(ok), DiagCode::kDuplicateMeasurement),
+      0u);
+}
+
+TEST(Verifier, MeasurementOutOfRangeIsError) {
+  Circuit c(1);
+  c.h(0);
+  EXPECT_THROW(c.measure(5), std::out_of_range);
+}
+
+// -- Clifford promise ---------------------------------------------------------
+
+TEST(Verifier, CliffordPromiseViolationDetected) {
+  Circuit c(1);
+  c.t(0);
+  VerifyOptions promised;
+  promised.clifford_promised = true;
+  const auto diagnostics = analyze::verify_circuit(c, promised);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kNonCliffordGate), 1u);
+
+  // Without the promise the same circuit is fine.
+  EXPECT_EQ(count_code(analyze::verify_circuit(c), DiagCode::kNonCliffordGate),
+            0u);
+
+  // Clifford circuits satisfy the promise, including quarter-turn rotations.
+  Circuit clifford(2);
+  clifford.h(0).s(1).cx(0, 1).rz(kPi / 2.0, 0);
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(clifford, promised),
+                 DiagCode::kNonCliffordGate),
+      0u);
+}
+
+TEST(GateIsClifford, AgreesWithStabilizerAcceptance) {
+  // Every gate the verifier calls Clifford must be executable on the
+  // tableau, and vice versa — the promise check must mirror the backend.
+  Circuit probe(2);
+  probe.x(0).y(0).z(0).h(0).s(0).sdg(0).sx(0).sxdg(0);
+  probe.t(0).tdg(0);
+  probe.cx(0, 1).cy(0, 1).cz(0, 1).swap(0, 1).ch(0, 1);
+  for (double theta : {0.0, kPi / 2.0, kPi, -kPi / 2.0, 0.3, 1.0})
+    probe.rx(theta, 0).ry(theta, 0).rz(theta, 0).p(theta, 0).rzz(theta, 0, 1);
+  for (const Gate& g : probe.gates()) {
+    StabilizerState state(2);
+    EXPECT_EQ(gate_is_clifford(g), state.try_apply_gate(g))
+        << gate_to_string(g);
+  }
+}
+
+TEST(GateIsClifford, NonFiniteAngleIsNotClifford) {
+  Gate g;
+  g.kind = GateKind::kRZ;
+  g.q0 = 0;
+  g.params[0] = kNaN;
+  EXPECT_FALSE(gate_is_clifford(g));
+}
+
+// -- Lint passes --------------------------------------------------------------
+
+TEST(Verifier, CancellingPairWarned) {
+  Circuit c(1);
+  c.h(0).h(0);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kCancellingPair), 1u);
+  EXPECT_FALSE(analyze::has_errors(diagnostics));
+
+  Circuit ok(1);
+  ok.h(0).x(0);
+  EXPECT_EQ(count_code(analyze::verify_circuit(ok), DiagCode::kCancellingPair),
+            0u);
+}
+
+TEST(Verifier, RedundantRotationWarned) {
+  Circuit c(1);
+  c.rz(0.3, 0).rz(0.4, 0);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kRedundantRotation), 1u);
+
+  Circuit ok(1);
+  ok.rz(0.3, 0).h(0).rz(0.4, 0);
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(ok), DiagCode::kRedundantRotation),
+      0u);
+}
+
+TEST(Verifier, CancellationLintStopsAtMeasurementBoundary) {
+  // An h...h pair straddling a measurement must NOT be reported: cancelling
+  // across the boundary would change the recorded outcome.
+  Circuit straddle(2);
+  straddle.h(0);
+  straddle.measure(1);
+  straddle.h(0);
+  const auto diagnostics = analyze::verify_circuit(straddle);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kCancellingPair), 0u);
+}
+
+TEST(Verifier, DeadGateWarned) {
+  Circuit c(1);
+  c.id(0).rx(0.0, 0);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kDeadGate), 2u);
+
+  Circuit ok(1);
+  ok.rx(0.4, 0);
+  EXPECT_EQ(count_code(analyze::verify_circuit(ok), DiagCode::kDeadGate), 0u);
+}
+
+TEST(Verifier, UnusedQubitWarned) {
+  Circuit c(3);
+  c.h(0);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kUnusedQubit), 2u);
+
+  // A measurement counts as touching the qubit.
+  Circuit measured(2);
+  measured.h(0);
+  measured.measure(1);
+  EXPECT_EQ(count_code(analyze::verify_circuit(measured), DiagCode::kUnusedQubit),
+            0u);
+}
+
+TEST(Verifier, LintSkippedWhenStructuralErrorsPresent) {
+  Circuit c(1);
+  c.h(0).h(0);  // would lint as a cancelling pair...
+  Gate bad;
+  bad.kind = GateKind::kX;
+  bad.q0 = 9;  // ...but the structural error wins
+  c.add_unchecked(bad);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_GE(count_code(diagnostics, DiagCode::kQubitOutOfRange), 1u);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kCancellingPair), 0u);
+}
+
+TEST(Verifier, LintDisabledByOption) {
+  Circuit c(2);
+  c.h(0).h(0).id(1);
+  VerifyOptions options;
+  options.lint = false;
+  EXPECT_TRUE(analyze::verify_circuit(c, options).empty());
+}
+
+// -- Diagnostics engine -------------------------------------------------------
+
+TEST(Diagnostics, RenderingAndCounters) {
+  DiagnosticCollector collector;
+  collector.error(DiagCode::kNonUnitaryMatrix, 3, 1, "bad payload");
+  collector.warning(DiagCode::kDeadGate, 0, 0, "identity gate");
+  collector.note(DiagCode::kRegisterTooLarge, -1, -1, "context");
+  EXPECT_TRUE(collector.has_errors());
+  EXPECT_EQ(collector.error_count(), 1u);
+  EXPECT_EQ(collector.warning_count(), 1u);
+
+  const std::string line = analyze::to_string(collector.diagnostics()[0]);
+  EXPECT_NE(line.find("error"), std::string::npos) << line;
+  EXPECT_NE(line.find("non_unitary_matrix"), std::string::npos) << line;
+  EXPECT_NE(line.find("bad payload"), std::string::npos) << line;
+
+  const std::string rendered = collector.render();
+  EXPECT_NE(rendered.find("dead_gate"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("register_too_large"), std::string::npos) << rendered;
+}
+
+TEST(Diagnostics, VerificationErrorCarriesStructuredFindings) {
+  Circuit c(1);
+  c.rz(kNaN, 0);
+  const auto diagnostics = analyze::verify_circuit(c);
+  try {
+    analyze::throw_if_errors(diagnostics, "test context");
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& e) {
+    EXPECT_EQ(count_code(e.diagnostics(), DiagCode::kNonFiniteParameter), 1u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test context"), std::string::npos) << what;
+    EXPECT_NE(what.find("non_finite_parameter"), std::string::npos) << what;
+  }
+  // Derivation keeps std::invalid_argument catch sites working.
+  EXPECT_THROW(analyze::throw_if_errors(diagnostics, "ctx"),
+               std::invalid_argument);
+  // No errors -> no throw.
+  analyze::throw_if_errors({}, "ctx");
+}
+
+// -- Backend-capability analysis ----------------------------------------------
+
+analyze::BackendTarget stabilizer_target() {
+  analyze::BackendTarget t;
+  t.name = "stabilizer";
+  t.max_qubits = 64;
+  t.supports_noise = false;
+  t.supports_exact_expectation = true;
+  t.supports_statevector_output = false;
+  t.clifford_only = true;
+  return t;
+}
+
+TEST(BackendCompatibility, EachMismatchGetsItsOwnCode) {
+  analyze::JobDemands demands;
+  demands.num_qubits = 80;
+  demands.needs_noise = true;
+  demands.needs_state = true;
+  demands.clifford_promised = false;
+  DiagnosticCollector sink;
+  analyze::check_backend_compatibility(demands, stabilizer_target(), sink);
+  const auto& ds = sink.diagnostics();
+  EXPECT_EQ(count_code(ds, DiagCode::kRegisterTooLarge), 1u);
+  EXPECT_EQ(count_code(ds, DiagCode::kNoiseUnsupported), 1u);
+  EXPECT_EQ(count_code(ds, DiagCode::kStateOutputUnsupported), 1u);
+  EXPECT_EQ(count_code(ds, DiagCode::kCliffordOnlyBackend), 1u);
+}
+
+TEST(BackendCompatibility, CompatibleJobReportsNothing) {
+  analyze::JobDemands demands;
+  demands.num_qubits = 12;
+  demands.clifford_promised = true;
+  DiagnosticCollector sink;
+  analyze::check_backend_compatibility(demands, stabilizer_target(), sink);
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(BackendCompatibility, SeverityIsCallerChosen) {
+  analyze::JobDemands demands;
+  demands.num_qubits = 80;
+  DiagnosticCollector sink;
+  analyze::check_backend_compatibility(demands, stabilizer_target(), sink,
+                                       Severity::kNote);
+  ASSERT_FALSE(sink.empty());
+  EXPECT_FALSE(sink.has_errors());
+  for (const Diagnostic& d : sink.diagnostics())
+    EXPECT_EQ(d.severity, Severity::kNote);
+}
+
+// -- QASM integration ---------------------------------------------------------
+
+TEST(QasmVerify, MeasurementsRoundTrip) {
+  Circuit c(2);
+  c.h(0);
+  c.measure(0);
+  c.x(1);
+  c.measure(1);
+  const std::string text = to_qasm(c);
+  EXPECT_NE(text.find("creg c[2];"), std::string::npos) << text;
+  EXPECT_NE(text.find("measure q[0] -> c[0];"), std::string::npos) << text;
+
+  const Circuit parsed = from_qasm(text);
+  ASSERT_EQ(parsed.size(), c.size());
+  ASSERT_EQ(parsed.measurements().size(), 2u);
+  EXPECT_EQ(parsed.measurements()[0].qubit, 0);
+  EXPECT_EQ(parsed.measurements()[0].position, 1u);
+  EXPECT_EQ(parsed.measurements()[1].qubit, 1);
+  EXPECT_EQ(parsed.measurements()[1].position, 2u);
+}
+
+TEST(QasmVerify, NonFiniteAngleRejectedOnParse) {
+  const std::string text =
+      "OPENQASM 2.0;\n"
+      "qreg q[1];\n"
+      "rz(0/0) q[0];\n";
+  try {
+    from_qasm(text);
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& e) {
+    EXPECT_EQ(count_code(e.diagnostics(), DiagCode::kNonFiniteParameter), 1u);
+  }
+}
+
+TEST(QasmVerify, GateAfterMeasurementRejectedOnParse) {
+  const std::string text =
+      "OPENQASM 2.0;\n"
+      "qreg q[1];\n"
+      "creg c[1];\n"
+      "h q[0];\n"
+      "measure q[0] -> c[0];\n"
+      "x q[0];\n";
+  try {
+    from_qasm(text);
+    FAIL() << "expected VerificationError";
+  } catch (const VerificationError& e) {
+    EXPECT_EQ(count_code(e.diagnostics(), DiagCode::kGateAfterMeasurement), 1u);
+  }
+}
+
+TEST(QasmVerify, LintFindingsDoNotBlockImport) {
+  const std::string text =
+      "OPENQASM 2.0;\n"
+      "qreg q[2];\n"
+      "h q[0];\n"
+      "h q[0];\n";  // cancelling pair: a warning, not an import error
+  const Circuit parsed = from_qasm(text);
+  EXPECT_EQ(parsed.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vqsim

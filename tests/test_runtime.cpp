@@ -1,10 +1,12 @@
 #include <atomic>
 #include <future>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "analyze/diagnostic.hpp"
 #include "chem/jordan_wigner.hpp"
 #include "chem/molecules.hpp"
 #include "common/parallel.hpp"
@@ -32,6 +34,16 @@ using runtime::StabilizerBackend;
 using runtime::StateVectorBackend;
 using runtime::ThreadPool;
 using runtime::VirtualQpuPool;
+
+using analyze::DiagCode;
+using analyze::VerificationError;
+
+bool has_code(const std::vector<analyze::Diagnostic>& diagnostics,
+              DiagCode code) {
+  for (const analyze::Diagnostic& d : diagnostics)
+    if (d.code == code) return true;
+  return false;
+}
 
 // -- ThreadPool --------------------------------------------------------------
 
@@ -263,10 +275,14 @@ TEST(VirtualQpuPool, OverCapacityJobRejectedWithClearError) {
   try {
     pool.submit_expectation(big, obs);
     FAIL() << "expected rejection";
-  } catch (const std::invalid_argument& e) {
+  } catch (const VerificationError& e) {
     const std::string message = e.what();
     EXPECT_NE(message.find("no backend"), std::string::npos) << message;
     EXPECT_NE(message.find("24 qubits"), std::string::npos) << message;
+    // Structured taxonomy: the summary error plus one note per backend
+    // explaining exactly which capability failed.
+    EXPECT_TRUE(has_code(e.diagnostics(), DiagCode::kNoCapableBackend));
+    EXPECT_TRUE(has_code(e.diagnostics(), DiagCode::kRegisterTooLarge));
   }
 
   // Noise beyond the density-matrix ceiling (8 qubits) is also infeasible.
@@ -280,7 +296,7 @@ TEST(VirtualQpuPool, OverCapacityJobRejectedWithClearError) {
                std::invalid_argument);
 }
 
-TEST(VirtualQpuPool, ExecutionTimeErrorsArriveThroughFuture) {
+TEST(VirtualQpuPool, NonCliffordJobRejectedAtSubmitWithDiagnostic) {
   std::vector<std::unique_ptr<QpuBackend>> fleet;
   fleet.push_back(std::make_unique<StabilizerBackend>(8));
   VirtualQpuPool pool(std::move(fleet), 1);
@@ -289,9 +305,66 @@ TEST(VirtualQpuPool, ExecutionTimeErrorsArriveThroughFuture) {
   non_clifford.t(0);
   PauliSum z(1);
   z.add_term(1.0, "Z");
+  JobOptions clifford;
+  clifford.clifford_only = true;  // promise the verifier can refute
+  try {
+    pool.submit_expectation(non_clifford, z, clifford);
+    FAIL() << "expected submit-time rejection";
+  } catch (const VerificationError& e) {
+    EXPECT_TRUE(has_code(e.diagnostics(), DiagCode::kNonCliffordGate))
+        << e.what();
+  }
+  // Rejected before enqueue: nothing was submitted, nothing executed.
+  EXPECT_EQ(pool.counters().jobs_submitted, 0u);
+  EXPECT_EQ(pool.counters().jobs_failed, 0u);
+  EXPECT_TRUE(pool.telemetry().empty());
+}
+
+TEST(VirtualQpuPool, MalformedCircuitRejectedAtSubmit) {
+  VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  Circuit bad(1);
+  bad.rz(std::numeric_limits<double>::quiet_NaN(), 0);
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+  try {
+    pool.submit_expectation(bad, z);
+    FAIL() << "expected submit-time rejection";
+  } catch (const VerificationError& e) {
+    EXPECT_TRUE(has_code(e.diagnostics(), DiagCode::kNonFiniteParameter))
+        << e.what();
+  }
+  EXPECT_EQ(pool.counters().jobs_submitted, 0u);
+}
+
+TEST(VirtualQpuPool, SubmitTimeWarningsRideOnTelemetry) {
+  VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  Circuit redundant(1);
+  redundant.h(0).h(0);  // executable, but lints as a cancelling pair
+  PauliSum z(1);
+  z.add_term(1.0, "Z");
+  EXPECT_NEAR(pool.submit_expectation(redundant, z).get(), 1.0, 1e-12);
+  pool.wait_all();
+  const std::vector<JobTelemetry> log = pool.telemetry();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log[0].failed);
+  EXPECT_TRUE(has_code(log[0].warnings, DiagCode::kCancellingPair));
+}
+
+TEST(VirtualQpuPool, ExecutionTimeErrorsArriveThroughFuture) {
+  // Energy jobs carry no circuit at submit time (the ansatz materializes per
+  // theta inside the backend), so a broken Clifford promise only surfaces at
+  // execution — through the future, with the failure recorded in telemetry.
+  std::vector<std::unique_ptr<QpuBackend>> fleet;
+  fleet.push_back(std::make_unique<StabilizerBackend>(8));
+  VirtualQpuPool pool(std::move(fleet), 1);
+
+  HardwareEfficientAnsatz ansatz(2, 1);
+  PauliSum z(2);
+  z.add_term(1.0, "ZI");
+  std::vector<double> theta(ansatz.num_parameters(), 0.3);  // non-Clifford
   JobOptions lie;
   lie.clifford_only = true;  // promise broken at execution time
-  auto f = pool.submit_expectation(non_clifford, z, lie);
+  auto f = pool.submit_energy(ansatz, z, theta, lie);
   EXPECT_THROW(f.get(), std::invalid_argument);
   pool.wait_all();
   EXPECT_EQ(pool.counters().jobs_failed, 1u);

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the runtime, two passes:
+#
+#   TSan       -- -fsanitize=thread build of the concurrent layer, running
+#                 the runtime + dist test binaries (any data race fails).
+#   ASan+UBSan -- VQSIM_SANITIZE="address;undefined" build with the debug
+#                 physicality invariants (VQSIM_CHECK_INVARIANTS) compiled
+#                 in, running the full ctest suite.
+#
+# Usage: tools/run_sanitizers.sh [--tsan-only|--asan-only] [build-dir-prefix]
+#   build-dir-prefix defaults to <repo>/build; the passes build into
+#   <prefix>-tsan and <prefix>-asan.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+mode=all
+case "${1:-}" in
+  --tsan-only) mode=tsan; shift ;;
+  --asan-only) mode=asan; shift ;;
+esac
+prefix="${1:-${repo_root}/build}"
+
+run_tsan() {
+  local build_dir="${prefix}-tsan"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVQSIM_SANITIZE=thread \
+    -DVQSIM_BUILD_BENCH=OFF \
+    -DVQSIM_BUILD_EXAMPLES=OFF
+
+  cmake --build "${build_dir}" -j --target test_runtime test_dist
+
+  TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}" \
+    "${build_dir}/tests/test_runtime"
+  TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}" \
+    "${build_dir}/tests/test_dist"
+
+  echo "TSan pass OK: zero data races reported."
+}
+
+run_asan() {
+  local build_dir="${prefix}-asan"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVQSIM_SANITIZE="address;undefined" \
+    -DVQSIM_CHECK_INVARIANTS=ON \
+    -DVQSIM_BUILD_BENCH=OFF \
+    -DVQSIM_BUILD_EXAMPLES=OFF
+
+  cmake --build "${build_dir}" -j
+
+  # detect_leaks=0: default_qpu_pool() is intentionally immortal (joining
+  # worker threads during static destruction is a shutdown hazard), which
+  # LSan would report as a leak.
+  ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ctest --test-dir "${build_dir}" --output-on-failure -j 2
+
+  echo "ASan+UBSan pass OK (invariant checks enabled)."
+}
+
+case "${mode}" in
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all)
+    run_tsan
+    run_asan
+    echo "All sanitizer passes OK."
+    ;;
+esac

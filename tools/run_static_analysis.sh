@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Static-analysis gate, two passes:
+#
+#   1. Clang thread-safety build: configure with -DVQSIM_THREAD_SAFETY=ON
+#      (adds -Wthread-safety -Werror=thread-safety) and compile the
+#      annotated concurrency layer. Any lock-discipline violation in
+#      runtime/thread_pool, runtime/virtual_qpu, runtime/job, or dist/comm
+#      is a compile error.
+#   2. clang-tidy over the library sources using the repo-root .clang-tidy
+#      (bugprone-*, performance-*, concurrency-*; warnings are errors), so
+#      a new warning fails the script.
+#
+# Both passes need the Clang toolchain. When clang++/clang-tidy are not
+# installed the corresponding pass is skipped with a NOTICE and the script
+# still exits 0 — the annotations compile away to nothing off Clang, so a
+# GCC-only environment simply has nothing to check.
+#
+# Usage: tools/run_static_analysis.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-static-analysis}"
+
+have_clang=0
+if command -v clang++ >/dev/null 2>&1; then
+  have_clang=1
+  echo "== Pass 1: clang -Wthread-safety -Werror build =="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DVQSIM_THREAD_SAFETY=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DVQSIM_BUILD_TESTS=OFF \
+    -DVQSIM_BUILD_BENCH=OFF \
+    -DVQSIM_BUILD_EXAMPLES=OFF
+  cmake --build "${build_dir}" -j
+  echo "Thread-safety build OK: no lock-discipline violations."
+else
+  echo "NOTICE: clang++ not found; skipping the thread-safety analysis" \
+       "build (VQSIM_THREAD_SAFETY needs Clang)."
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ "${have_clang}" -eq 0 ]; then
+    # clang-tidy only needs a compilation database, which any compiler's
+    # configure can produce.
+    cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DVQSIM_BUILD_TESTS=OFF \
+      -DVQSIM_BUILD_BENCH=OFF \
+      -DVQSIM_BUILD_EXAMPLES=OFF
+  fi
+  echo "== Pass 2: clang-tidy (config: .clang-tidy, warnings are errors) =="
+  mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+  clang-tidy -p "${build_dir}" --quiet "${sources[@]}"
+  echo "clang-tidy OK: no warnings."
+else
+  echo "NOTICE: clang-tidy not found; skipping the tidy pass."
+fi
+
+echo "Static analysis done."

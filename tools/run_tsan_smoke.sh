@@ -1,28 +1,6 @@
 #!/usr/bin/env bash
-# TSan smoke gate for the concurrent runtime: build with -fsanitize=thread
-# and run the runtime + dist test binaries. Any reported data race fails the
-# script (TSAN_OPTIONS halt_on_error + the tests' own exit codes).
-#
-# Usage: tools/run_tsan_smoke.sh [build-dir]   (default: build-tsan)
-set -euo pipefail
-
-repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-${repo_root}/build-tsan}"
-
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DVQSIM_SANITIZE=thread \
-  -DVQSIM_BUILD_BENCH=OFF \
-  -DVQSIM_BUILD_EXAMPLES=OFF
-
-cmake --build "${build_dir}" -j --target test_runtime test_dist
-
-export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}"
-
-echo "== test_runtime (TSan) =="
-"${build_dir}/tests/test_runtime"
-
-echo "== test_dist (TSan) =="
-"${build_dir}/tests/test_dist"
-
-echo "TSan smoke passed: zero data races reported."
+# Back-compat shim: the TSan smoke is now the first pass of
+# tools/run_sanitizers.sh (which adds an ASan+UBSan pass over the full
+# suite). Prefer calling that script directly.
+exec "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/run_sanitizers.sh" \
+  --tsan-only "$@"
