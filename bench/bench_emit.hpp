@@ -1,0 +1,135 @@
+// Shared emitter for the machine-readable benchmark protocol.
+//
+// Every bench that reports data rows goes through BenchEmitter instead of
+// hand-rolled printf: each row is printed to stdout as the established
+// `BENCH {...}` single-line JSON (greppable, diffable in CI logs) and also
+// collected into `BENCH_<suite>.json` — a JSON array of the same objects —
+// so tools/run_benchmarks.sh can aggregate results without parsing logs.
+// Serialization rides on the telemetry JSON writer; numeric stdout
+// formatting is caller-controlled so converted benches keep their exact
+// historical output.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json_writer.hpp"
+
+namespace vqsim::bench {
+
+class BenchEmitter {
+ public:
+  /// Chainable row builder. The suite name is always the first field
+  /// ("bench":"<suite>"), matching the historical line shape.
+  class Row {
+   public:
+    Row& field(std::string_view key, std::string_view v) {
+      w_.key(key);
+      w_.value(v);
+      return *this;
+    }
+    Row& field(std::string_view key, const char* v) {
+      return field(key, std::string_view(v));
+    }
+    /// `fmt` controls the printed precision (defaults to round-trip).
+    /// Non-finite values serialize as null.
+    Row& field(std::string_view key, double v, const char* fmt = "%.17g") {
+      w_.key(key);
+      if (!std::isfinite(v)) {
+        w_.raw("null");
+        return *this;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), fmt, v);
+      w_.raw(buf);
+      return *this;
+    }
+    Row& field(std::string_view key, bool v) {
+      w_.key(key);
+      w_.value(v);
+      return *this;
+    }
+    template <class T,
+              std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                               int> = 0>
+    Row& field(std::string_view key, T v) {
+      w_.key(key);
+      if constexpr (std::is_signed_v<T>)
+        w_.value(static_cast<std::int64_t>(v));
+      else
+        w_.value(static_cast<std::uint64_t>(v));
+      return *this;
+    }
+    /// Splice pre-serialized JSON (e.g. an array) as the field value.
+    Row& raw_field(std::string_view key, std::string_view json) {
+      w_.key(key);
+      w_.raw(json);
+      return *this;
+    }
+
+    /// Print the `BENCH {...}` stdout line and archive the row.
+    void emit() {
+      w_.end_object();
+      std::string json = w_.take();
+      std::printf("BENCH %s\n", json.c_str());
+      std::fflush(stdout);
+      owner_->rows_.push_back(std::move(json));
+    }
+
+   private:
+    friend class BenchEmitter;
+    explicit Row(BenchEmitter* owner) : owner_(owner) {
+      w_.begin_object();
+      w_.key("bench");
+      w_.value(owner_->suite_);
+    }
+
+    BenchEmitter* owner_;
+    telemetry::JsonWriter w_;
+  };
+
+  /// Rows accumulate under `BENCH_<suite>.json` in the working directory
+  /// (or `$VQSIM_BENCH_DIR/` when set — how run_benchmarks.sh collects).
+  explicit BenchEmitter(std::string suite) : suite_(std::move(suite)) {}
+
+  BenchEmitter(const BenchEmitter&) = delete;
+  BenchEmitter& operator=(const BenchEmitter&) = delete;
+
+  ~BenchEmitter() { write(); }
+
+  Row row() { return Row(this); }
+
+  /// Write (or rewrite) the JSON array file. Called automatically on
+  /// destruction; safe to call early for long-running sweeps.
+  void write() {
+    if (rows_.empty()) return;
+    telemetry::JsonWriter w;
+    w.begin_array();
+    for (const std::string& r : rows_) w.raw(r);
+    w.end_array();
+    std::ofstream out(path());
+    if (out) out << w.str() << '\n';
+  }
+
+  std::string path() const {
+    std::string dir;
+    if (const char* env = std::getenv("VQSIM_BENCH_DIR"); env && *env) {
+      dir = env;
+      if (dir.back() != '/') dir += '/';
+    }
+    return dir + "BENCH_" + suite_ + ".json";
+  }
+
+ private:
+  std::string suite_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace vqsim::bench

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_emit.hpp"
 #include "chem/jordan_wigner.hpp"
 #include "chem/molecules.hpp"
 #include "chem/uccsd.hpp"
@@ -25,6 +26,7 @@ int main() {
               "non_caching", "caching", "savings_x", "log10_x");
   const MolecularIntegrals full = water_like(16, 10);
   WallTimer total;
+  bench::BenchEmitter emitter("caching");
   for (int nact = 6; nact <= 15; ++nact) {
     const int nq = 2 * nact;
     const MolecularIntegrals act =
@@ -37,6 +39,13 @@ int main() {
     std::printf("%-8d %-10zu %-14zu %-14zu %-14.1f %-8.2f\n", nq, m.num_terms,
                 m.non_caching_gates(), m.caching_gates(), savings,
                 std::log10(savings));
+    emitter.row()
+        .field("qubits", nq)
+        .field("terms", m.num_terms)
+        .field("non_caching_gates", m.non_caching_gates())
+        .field("caching_gates", m.caching_gates())
+        .field("savings_x", savings, "%.1f")
+        .emit();
   }
   std::printf("# generated in %.2f s\n", total.seconds());
   return 0;

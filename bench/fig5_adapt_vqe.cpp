@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_emit.hpp"
 #include "chem/fci.hpp"
 #include "chem/jordan_wigner.hpp"
 #include "chem/molecules.hpp"
@@ -49,6 +50,7 @@ int main() {
               adapt.pool().size());
 
   const AdaptResult r = adapt.run();
+  bench::BenchEmitter emitter("adapt_vqe");
   std::printf("%-10s %-12s %-14s %-14s %-8s\n", "iteration", "layers",
               "energy_Ha", "dE_Ha", "chem_acc");
   for (const AdaptIterationRecord& it : r.iterations) {
@@ -56,6 +58,14 @@ int main() {
     std::printf("%-10zu %-12zu %-14.8f %-14.6f %-8s\n", it.iteration,
                 it.parameters, it.energy, de,
                 de < kChemicalAccuracy ? "yes" : "no");
+    emitter.row()
+        .field("iteration", it.iteration)
+        .field("layers", it.parameters)
+        .field("energy_ha", it.energy, "%.8f")
+        .field("de_ha", de, "%.6f")
+        .field("max_pool_gradient", it.max_pool_gradient, "%.6f")
+        .field("chem_acc", de < kChemicalAccuracy)
+        .emit();
   }
   std::printf("# converged=%s, final dE=%.6f Ha, wall=%.1f s\n",
               r.converged ? "yes" : "no", r.energy - e_fci, total.seconds());

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analyze/diagnostic.hpp"
+#include "bench_emit.hpp"
 #include "chem/jordan_wigner.hpp"
 #include "chem/molecules.hpp"
 #include "common/rng.hpp"
@@ -40,6 +41,7 @@ int main() {
               ansatz.num_qubits(), h.size(), ansatz.num_parameters());
 
   std::vector<double> reference;  // energies from the first cell, per entry
+  bench::BenchEmitter sweep("virtual_qpu");
 
   for (const int workers : {1, 2, 4, 8}) {
     for (const std::size_t batch : {8u, 32u, 128u}) {
@@ -87,17 +89,17 @@ int main() {
         exec_mean_ms = 1e3 * counters.total_execution_seconds /
                        static_cast<double>(counters.jobs_completed);
       }
-      std::printf(
-          "BENCH {\"bench\":\"virtual_qpu\",\"workers\":%d,"
-          "\"batch\":%zu,\"wall_s\":%.6f,\"jobs_per_s\":%.1f,"
-          "\"queue_depth_high_water\":%zu,\"queue_wait_mean_ms\":%.3f,"
-          "\"exec_mean_ms\":%.3f,\"jobs_completed\":%llu,"
-          "\"jobs_failed\":%llu}\n",
-          workers, batch, wall, static_cast<double>(batch) / wall,
-          counters.queue_depth_high_water, queue_wait_mean_ms, exec_mean_ms,
-          static_cast<unsigned long long>(counters.jobs_completed),
-          static_cast<unsigned long long>(counters.jobs_failed));
-      std::fflush(stdout);
+      sweep.row()
+          .field("workers", workers)
+          .field("batch", batch)
+          .field("wall_s", wall, "%.6f")
+          .field("jobs_per_s", static_cast<double>(batch) / wall, "%.1f")
+          .field("queue_depth_high_water", counters.queue_depth_high_water)
+          .field("queue_wait_mean_ms", queue_wait_mean_ms, "%.3f")
+          .field("exec_mean_ms", exec_mean_ms, "%.3f")
+          .field("jobs_completed", counters.jobs_completed)
+          .field("jobs_failed", counters.jobs_failed)
+          .emit();
     }
   }
 
@@ -110,6 +112,7 @@ int main() {
     runtime::VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 16);
     PauliSum z1(1);
     z1.add_term(1.0, "Z");
+    bench::BenchEmitter rejection("virtual_qpu_rejection");
 
     const auto classify = [&](const char* label, Circuit circuit,
                               PauliSum observable,
@@ -130,12 +133,12 @@ int main() {
           codes += quoted;
         }
       }
-      std::printf(
-          "BENCH {\"bench\":\"virtual_qpu_rejection\",\"case\":\"%s\","
-          "\"rejected\":%s,\"reject_us\":%.2f,\"codes\":[%s]}\n",
-          label, rejected ? "true" : "false", 1e6 * timer.seconds(),
-          codes.c_str());
-      std::fflush(stdout);
+      rejection.row()
+          .field("case", label)
+          .field("rejected", rejected)
+          .field("reject_us", 1e6 * timer.seconds(), "%.2f")
+          .raw_field("codes", "[" + codes + "]")
+          .emit();
     };
 
     Circuit infeasible(30);

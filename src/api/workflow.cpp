@@ -1,56 +1,75 @@
 #include "api/workflow.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "chem/fci.hpp"
 #include "chem/hartree_fock.hpp"
 #include "chem/jordan_wigner.hpp"
 #include "pauli/grouping.hpp"
 #include "sim/expectation.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vqe/ansatz.hpp"
 
 namespace vqsim {
 
 WorkflowReport run_workflow(const WorkflowConfig& config) {
   WorkflowReport report;
+  VQSIM_SPAN(/*cat=*/"api", "run_workflow");
 
   // 1. Downfolding (paper §2) or the bare full-space Hamiltonian.
   FermionOp h_fermion;
   int electrons = 0;
-  if (config.active.n_active > 0) {
-    const DownfoldResult df =
-        hermitian_downfold(config.molecule, config.active, config.downfold);
-    h_fermion = df.h_eff;
-    electrons = df.n_active_electrons;
-    report.qubits = df.n_active_spin_orbitals;
-  } else {
-    h_fermion = molecular_hamiltonian(config.molecule);
-    electrons = config.molecule.nelec;
-    report.qubits = 2 * config.molecule.norb;
+  {
+    VQSIM_SPAN(/*cat=*/"api", "downfold");
+    if (config.active.n_active > 0) {
+      const DownfoldResult df =
+          hermitian_downfold(config.molecule, config.active, config.downfold);
+      h_fermion = df.h_eff;
+      electrons = df.n_active_electrons;
+      report.qubits = df.n_active_spin_orbitals;
+    } else {
+      h_fermion = molecular_hamiltonian(config.molecule);
+      electrons = config.molecule.nelec;
+      report.qubits = 2 * config.molecule.norb;
+    }
   }
   report.electrons = electrons;
 
   // 2. XACC-role transformation to a qubit observable.
-  PauliSum observable = jordan_wigner(h_fermion);
+  PauliSum observable = [&] {
+    VQSIM_SPAN(/*cat=*/"api", "jordan_wigner");
+    return jordan_wigner(h_fermion);
+  }();
   if (observable.num_qubits() < report.qubits) {
     // Pad the register (e.g. when the highest orbital never appears).
     observable = PauliSum(report.qubits) += observable;
   }
   report.pauli_terms = observable.size();
   report.measurement_groups = group_qubitwise_commuting(observable).size();
+  if (VQSIM_TRACING())
+    VQSIM_INSTANT(/*cat=*/"api", "observable",
+                  "{\"qubits\":" + std::to_string(report.qubits) +
+                      ",\"terms\":" + std::to_string(report.pauli_terms) +
+                      ",\"groups\":" +
+                      std::to_string(report.measurement_groups) + "}");
 
   // HF reference energy of the executed Hamiltonian.
   {
+    VQSIM_SPAN(/*cat=*/"api", "hf_reference");
     StateVector hf(report.qubits);
     hf.set_basis_state(hf_basis_state(electrons));
     report.hf_energy = expectation(hf, observable);
   }
 
-  if (config.compute_fci_reference)
+  if (config.compute_fci_reference) {
+    VQSIM_SPAN(/*cat=*/"api", "fci_reference");
     report.fci_energy =
         fci_ground_state(h_fermion, report.qubits, electrons).energy;
+  }
 
   // 3. Algorithm execution on the simulator backend.
+  VQSIM_SPAN(/*cat=*/"api", "algorithm");
   switch (config.algorithm) {
     case WorkflowAlgorithm::kVqe: {
       const UccsdAnsatzAdapter ansatz(report.qubits, electrons);

@@ -2,7 +2,10 @@
 
 #include <bit>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 
@@ -26,19 +29,27 @@ void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
     throw std::invalid_argument("SimComm::exchange: self-exchange");
   if (payload_a.size() != payload_b.size())
     throw std::invalid_argument("SimComm::exchange: size mismatch");
+  VQSIM_SPAN_NAMED(span, "dist", "exchange");
+  if (span.active())
+    span.set_args("{\"amplitudes\":" + std::to_string(2 * payload_a.size()) +
+                  ",\"ranks\":[" + std::to_string(rank_a) + "," +
+                  std::to_string(rank_b) + "]}");
   std::swap(payload_a, payload_b);
-  MutexLock lock(stats_mutex_);
-  stats_.point_to_point_messages += 2;
-  stats_.amplitudes_exchanged += 2 * payload_a.size();
+  messages_.add(2);
+  amplitudes_.add(2 * payload_a.size());
+  VQSIM_COUNTER(c_messages, "comm.messages_total");
+  VQSIM_COUNTER_ADD(c_messages, 2);
+  VQSIM_COUNTER(c_bytes, "comm.bytes_total");
+  VQSIM_COUNTER_ADD(c_bytes, 2 * payload_a.size() * sizeof(cplx));
 }
 
 double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
   if (static_cast<int>(per_rank.size()) != num_ranks_)
     throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
-  {
-    MutexLock lock(stats_mutex_);
-    ++stats_.allreduces;
-  }
+  VQSIM_SPAN(/*cat=*/"dist", "allreduce");
+  allreduces_.inc();
+  VQSIM_COUNTER(c_allreduces, "comm.allreduces_total");
+  VQSIM_COUNTER_INC(c_allreduces);
   double s = 0.0;
   for (double v : per_rank) s += v;
   return s;
@@ -47,10 +58,10 @@ double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
 cplx SimComm::allreduce_sum(const std::vector<cplx>& per_rank) {
   if (static_cast<int>(per_rank.size()) != num_ranks_)
     throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
-  {
-    MutexLock lock(stats_mutex_);
-    ++stats_.allreduces;
-  }
+  VQSIM_SPAN(/*cat=*/"dist", "allreduce");
+  allreduces_.inc();
+  VQSIM_COUNTER(c_allreduces, "comm.allreduces_total");
+  VQSIM_COUNTER_INC(c_allreduces);
   cplx s = 0.0;
   for (const cplx& v : per_rank) s += v;
   return s;

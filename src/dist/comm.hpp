@@ -5,14 +5,21 @@
 // communicator executes rank exchanges in-process while preserving the
 // *logic* real transports require: explicit staging buffers (no aliasing of
 // remote memory), pairwise exchanges, reduction trees, and traffic
-// accounting. DESIGN.md documents this substitution.
+// accounting.  DESIGN.md documents this substitution.
+//
+// Traffic counters are wait-free sharded atomics (telemetry/sharded.hpp):
+// the old mutex-guarded CommStats serialized every exchange through one
+// lock, which is exactly the hot path a gate over the global register hits
+// num_ranks/2 times per gate. stats() sums the shards without blocking
+// writers; the same totals are mirrored into the global MetricsRegistry
+// ("comm.*" series) when telemetry hooks are compiled in.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
+#include "telemetry/sharded.hpp"
 
 namespace vqsim {
 
@@ -39,15 +46,15 @@ class SimComm {
   double allreduce_sum(const std::vector<double>& per_rank);
   cplx allreduce_sum(const std::vector<cplx>& per_rank);
 
-  /// Snapshot of the traffic counters. Returned by value so the caller's
-  /// copy stays coherent while other threads keep communicating.
+  /// Snapshot of the traffic counters (relaxed shard sums: never blocks
+  /// communicating threads; exact once they are quiescent).
   CommStats stats() const {
-    MutexLock lock(stats_mutex_);
-    return stats_;
+    return {messages_.value(), amplitudes_.value(), allreduces_.value()};
   }
   void reset_stats() {
-    MutexLock lock(stats_mutex_);
-    stats_ = {};
+    messages_.reset();
+    amplitudes_.reset();
+    allreduces_.reset();
   }
 
  private:
@@ -55,8 +62,9 @@ class SimComm {
 
   int num_ranks_ = 1;
   int rank_bits_ = 0;
-  mutable Mutex stats_mutex_;
-  CommStats stats_ VQSIM_GUARDED_BY(stats_mutex_);
+  telemetry::ShardedCounter messages_;
+  telemetry::ShardedCounter amplitudes_;
+  telemetry::ShardedCounter allreduces_;
 };
 
 }  // namespace vqsim

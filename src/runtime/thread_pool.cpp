@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
 #include "common/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim::runtime {
 namespace {
@@ -75,6 +76,8 @@ bool ThreadPool::try_claim(int self, std::function<void()>* out) {
       victim.deque.pop_back();
       queued_.fetch_sub(1, std::memory_order_relaxed);
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      VQSIM_COUNTER(c_stolen, "pool.tasks_stolen_total");
+      VQSIM_COUNTER_INC(c_stolen);
       return true;
     }
   }
@@ -92,6 +95,8 @@ void ThreadPool::worker_loop(int index) {
       task();
       task = nullptr;  // release captured state before sleeping
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      VQSIM_COUNTER(c_executed, "pool.tasks_executed_total");
+      VQSIM_COUNTER_INC(c_executed);
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         MutexLock lock(sleep_mutex_);
         idle_cv_.notify_all();

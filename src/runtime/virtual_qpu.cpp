@@ -7,6 +7,7 @@
 
 #include "analyze/verifier.hpp"
 #include "common/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim::runtime {
 namespace {
@@ -107,6 +108,10 @@ void VirtualQpuPool::enqueue(JobKind kind, JobRequirements requirements,
   ++counters_.jobs_submitted;
   counters_.queue_depth_high_water =
       std::max(counters_.queue_depth_high_water, pending_.size());
+  VQSIM_COUNTER(c_submitted, "pool.jobs_submitted_total");
+  VQSIM_COUNTER_INC(c_submitted);
+  VQSIM_GAUGE(g_depth, "pool.queue_depth");
+  VQSIM_GAUGE_SET(g_depth, static_cast<std::int64_t>(pending_.size()));
   pump_locked();
 }
 
@@ -138,6 +143,8 @@ void VirtualQpuPool::pump_locked() {
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
     qpus_[static_cast<std::size_t>(best_qpu)].busy = true;
     ++dispatched_;
+    VQSIM_GAUGE(g_depth, "pool.queue_depth");
+    VQSIM_GAUGE_SET(g_depth, static_cast<std::int64_t>(pending_.size()));
     pool_.submit([this, job = std::move(job), best_qpu]() mutable {
       run_job(std::move(job), best_qpu);
     });
@@ -147,7 +154,15 @@ void VirtualQpuPool::pump_locked() {
 void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
   VirtualQpu& qpu = qpus_[static_cast<std::size_t>(backend_id)];
   const Clock::time_point start = Clock::now();
-  const bool ok = job.execute(*qpu.backend);
+  bool ok = false;
+  {
+    VQSIM_SPAN_NAMED(span, "runtime", "job_execute");
+    if (span.active())
+      span.set_args(std::string("{\"kind\":\"") + to_string(job.kind) +
+                    "\",\"backend\":\"" + qpu.backend->name() + "\",\"id\":" +
+                    std::to_string(job.id) + "}");
+    ok = job.execute(*qpu.backend);
+  }
   const Clock::time_point end = Clock::now();
 
   JobTelemetry record;
@@ -160,6 +175,17 @@ void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
   record.execution_seconds = seconds_since(start, end);
   record.failed = !ok;
   record.warnings = std::move(job.warnings);
+
+  VQSIM_HISTOGRAM(h_wait, "pool.queue_wait_seconds");
+  VQSIM_HISTOGRAM_OBSERVE(h_wait, record.queue_wait_seconds);
+  VQSIM_HISTOGRAM(h_exec, "pool.execute_seconds");
+  VQSIM_HISTOGRAM_OBSERVE(h_exec, record.execution_seconds);
+  VQSIM_COUNTER(c_completed, "pool.jobs_completed_total");
+  VQSIM_COUNTER_INC(c_completed);
+  if (!ok) {
+    VQSIM_COUNTER(c_failed, "pool.jobs_failed_total");
+    VQSIM_COUNTER_INC(c_failed);
+  }
 
   {
     MutexLock lock(mutex_);

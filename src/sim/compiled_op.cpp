@@ -6,6 +6,7 @@
 
 #include "common/bits.hpp"
 #include "common/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 
@@ -40,6 +41,13 @@ CompiledPauliSum::CompiledPauliSum(const PauliSum& sum, int num_qubits)
 void CompiledPauliSum::apply(const StateVector& psi, StateVector* out) const {
   if (out == nullptr || out->dim() != dim_ || psi.dim() != dim_)
     throw std::invalid_argument("CompiledPauliSum::apply: dimension mismatch");
+  VQSIM_SPAN(/*cat=*/"sim", "fused_apply");
+  VQSIM_COUNTER(c_applies, "sim.fused_applies_total");
+  VQSIM_COUNTER_INC(c_applies);
+  VQSIM_COUNTER(c_families, "sim.fused_mask_families_total");
+  VQSIM_COUNTER_ADD(c_families, masks_.size());
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, (masks_.size() + 1) * dim_);
   cplx* o = out->data();
   const cplx* a = psi.data();
   parallel_for(dim_, [&](idx i) { o[i] = cplx{0.0, 0.0}; });
@@ -54,6 +62,10 @@ double CompiledPauliSum::expectation(const StateVector& psi) const {
   if (psi.dim() != dim_)
     throw std::invalid_argument(
         "CompiledPauliSum::expectation: dimension mismatch");
+  VQSIM_COUNTER(c_evals, "sim.fused_expectations_total");
+  VQSIM_COUNTER_INC(c_evals);
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, masks_.size() * dim_);
   const cplx* a = psi.data();
   double e = 0.0;
   for (std::size_t f = 0; f < masks_.size(); ++f) {

@@ -6,18 +6,46 @@
 // threads and we map onto OpenMP (paper §4, "distributing parallel
 // simulation of gates and state updates across thousands of cores").
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "common/bits.hpp"
 #include "common/parallel.hpp"
 #include "sim/state_vector.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 
+#if !defined(VQSIM_TELEMETRY_DISABLED)
+namespace {
+
+// Per-gate-kind apply counters ("sim.gates.cx_total", ...), registered once
+// and indexed by GateKind so the dispatch hot path is one table load plus a
+// sharded add. kMat2 is the highest enumerator.
+telemetry::Counter& gate_kind_counter(GateKind kind) {
+  static const auto table = [] {
+    std::array<telemetry::Counter*, static_cast<std::size_t>(GateKind::kMat2) +
+                                        1>
+        t{};
+    for (std::size_t k = 0; k < t.size(); ++k)
+      t[k] = &telemetry::MetricsRegistry::global().counter(
+          std::string("sim.gates.") + gate_name(static_cast<GateKind>(k)) +
+          "_total");
+    return t;
+  }();
+  return *table[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+#endif  // !VQSIM_TELEMETRY_DISABLED
+
 void StateVector::apply_mat2(const Mat2& m, int q) {
   if (q < 0 || q >= num_qubits_) throw std::out_of_range("apply_mat2: qubit");
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, amp_.size());
   const unsigned uq = static_cast<unsigned>(q);
   const idx stride = pow2(uq);
   cplx* a = amp_.data();
@@ -35,6 +63,8 @@ void StateVector::apply_mat2(const Mat2& m, int q) {
 void StateVector::apply_mat4(const Mat4& m, int q0, int q1) {
   if (q0 < 0 || q0 >= num_qubits_ || q1 < 0 || q1 >= num_qubits_ || q0 == q1)
     throw std::out_of_range("apply_mat4: qubits");
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, amp_.size());
   const unsigned u0 = static_cast<unsigned>(q0);
   const unsigned u1 = static_cast<unsigned>(q1);
   const idx s0 = pow2(u0);  // low slot of the 4x4 index
@@ -62,6 +92,8 @@ void StateVector::apply_controlled_mat2(const Mat2& m, int control,
   if (control < 0 || control >= num_qubits_ || target < 0 ||
       target >= num_qubits_ || control == target)
     throw std::out_of_range("apply_controlled_mat2: qubits");
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, amp_.size() / 2);
   const unsigned uc = static_cast<unsigned>(control);
   const unsigned ut = static_cast<unsigned>(target);
   const idx cbit = pow2(uc);
@@ -83,6 +115,8 @@ void StateVector::apply_controlled_mat2(const Mat2& m, int control,
 
 void StateVector::apply_phase(double phi, int q) {
   if (q < 0 || q >= num_qubits_) throw std::out_of_range("apply_phase");
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, amp_.size());
   const unsigned uq = static_cast<unsigned>(q);
   const cplx e = std::exp(kI * phi);
   cplx* a = amp_.data();
@@ -94,6 +128,10 @@ void StateVector::apply_phase(double phi, int q) {
 void StateVector::apply_pauli(const PauliString& p) {
   if (p.min_qubits() > num_qubits_)
     throw std::out_of_range("apply_pauli: string exceeds register");
+  VQSIM_COUNTER(c_applies, "sim.pauli_applies_total");
+  VQSIM_COUNTER_INC(c_applies);
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, amp_.size());
   const std::uint64_t xm = p.x;
   const std::uint64_t zm = p.z;
   static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
@@ -125,6 +163,14 @@ void StateVector::apply_pauli(const PauliString& p) {
 void StateVector::apply_exp_pauli(const PauliString& p, double theta) {
   if (p.min_qubits() > num_qubits_)
     throw std::out_of_range("apply_exp_pauli: string exceeds register");
+  // The exp-Pauli rotation is the whole-register kernel UCCSD/ADAPT state
+  // preparation is built from (it bypasses apply_circuit), so it carries its
+  // own span — without it a pure-UCCSD trace would show no sim activity.
+  VQSIM_SPAN(/*cat=*/"sim", "exp_pauli");
+  VQSIM_COUNTER(c_applies, "sim.exp_pauli_applies_total");
+  VQSIM_COUNTER_INC(c_applies);
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, amp_.size());
   const std::uint64_t xm = p.x;
   const std::uint64_t zm = p.z;
   const double c = std::cos(theta);
@@ -162,6 +208,11 @@ void StateVector::apply_exp_pauli(const PauliString& p, double theta) {
 }
 
 void StateVector::apply_gate(const Gate& g) {
+#if !defined(VQSIM_TELEMETRY_DISABLED)
+  VQSIM_COUNTER(c_gates, "sim.gates_total");
+  c_gates.inc();
+  gate_kind_counter(g.kind).inc();
+#endif
   switch (g.kind) {
     case GateKind::kI:
       return;

@@ -9,6 +9,7 @@
 #include "common/bits.hpp"
 #include "common/invariants.hpp"
 #include "common/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 
@@ -40,6 +41,10 @@ void StateVector::set_basis_state(idx basis) {
 void StateVector::apply_circuit(const Circuit& circuit) {
   if (circuit.num_qubits() > num_qubits_)
     throw std::invalid_argument("apply_circuit: register too small");
+  VQSIM_SPAN_NAMED(span, "sim", "apply_circuit");
+  if (span.active())
+    span.set_args("{\"gates\":" + std::to_string(circuit.size()) +
+                  ",\"qubits\":" + std::to_string(num_qubits_) + "}");
   if constexpr (kCheckInvariants) {
     // Every gate is unitary, so it must *preserve* the norm (not force it to
     // 1 — callers may run circuits on deliberately unnormalized states, e.g.

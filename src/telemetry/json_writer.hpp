@@ -1,0 +1,123 @@
+// Minimal JSON emitter shared by the telemetry exports and bench_emit.
+//
+// Hand-rolled on purpose: the container bakes in no JSON library, and the
+// two producers (metrics snapshots, Chrome trace events) only need objects,
+// arrays, strings, and finite numbers. Non-finite doubles serialize as null
+// (JSON has no NaN/Inf), matching what Perfetto and jq accept.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace vqsim::telemetry {
+
+inline void json_escape_into(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  json_escape_into(out, s);
+  out += '"';
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Streaming writer for nested objects/arrays. The caller is responsible
+/// for balanced begin/end calls; commas are inserted automatically.
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    comma();
+    out_ += json_quote(k);
+    out_ += ':';
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) { raw(json_quote(v)); }
+  void value(const char* v) { raw(json_quote(v)); }
+  void value(double v) { raw(json_number(v)); }
+  void value(std::uint64_t v) { raw(std::to_string(v)); }
+  void value(std::int64_t v) { raw(std::to_string(v)); }
+  void value(int v) { raw(std::to_string(v)); }
+  void value(bool v) { raw(v ? "true" : "false"); }
+  /// Splice pre-serialized JSON (e.g. a nested snapshot) verbatim.
+  void raw(std::string_view json) {
+    comma();
+    out_ += json;
+    pending_value_ = false;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    pending_value_ = false;
+    first_ = true;
+  }
+  void close(char c) {
+    out_ += c;
+    first_ = false;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value directly after its key: no comma
+    }
+    if (!first_ && !out_.empty() && out_.back() != '{' && out_.back() != '[')
+      out_ += ',';
+    first_ = false;
+  }
+
+  std::string out_;
+  bool first_ = true;
+  bool pending_value_ = false;
+};
+
+}  // namespace vqsim::telemetry

@@ -1,0 +1,257 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/json_writer.hpp"
+
+namespace vqsim::telemetry {
+
+const std::vector<double>& default_time_buckets() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 1e2 * 1.5; decade *= 10) {
+      b.push_back(decade);
+      b.push_back(2 * decade);
+      b.push_back(5 * decade);
+    }
+    b.resize(b.size() - 2);  // stop at 1e2
+    return b;
+  }();
+  return buckets;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  const double target = q / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Target rank falls in bucket b. +Inf bucket clamps to the last finite
+    // bound (we cannot interpolate into an unbounded interval).
+    if (b >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    const double frac =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+  cells_ = std::vector<std::atomic<std::uint64_t>>(
+      kShards * (bounds_.size() + 1));
+}
+
+void Histogram::observe(double v) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t columns = bounds_.size() + 1;
+  cells_[this_thread_shard() * columns + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.inc();
+  sum_.add(v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  const std::size_t columns = bounds_.size() + 1;
+  s.counts.assign(columns, 0);
+  for (std::size_t shard = 0; shard < kShards; ++shard)
+    for (std::size_t b = 0; b < columns; ++b)
+      s.counts[b] +=
+          cells_[shard * columns + b].load(std::memory_order_relaxed);
+  s.count = count_.value();
+  s.sum = sum_.value();
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  count_.reset();
+  sum_.reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Immortal for the same reason as default_qpu_pool(): instrumentation in
+  // static destructors (pool teardown) must find it alive.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  MutexLock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  MutexLock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& bounds) {
+  MutexLock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  MutexLock lock(mutex_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    s.counters.push_back({name, c->value()});
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    s.gauges.push_back({name, g->value(), g->high_water()});
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs = h->snapshot();
+    hs.name = name;
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  MutexLock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; we map '.' and any
+/// other outsider to '_' and prefix the exporter namespace.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "vqsim_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const CounterSnapshot& c : counters) {
+    const std::string n = prometheus_name(c.name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    const std::string n = prometheus_name(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(g.value) + "\n";
+    out += "# TYPE " + n + "_high_water gauge\n";
+    out += n + "_high_water " + std::to_string(g.high_water) + "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string n = prometheus_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? json_number(h.bounds[b]) : "+Inf";
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += n + "_sum " + json_number(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const CounterSnapshot& c : counters) {
+    w.key(c.name);
+    w.value(c.value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const GaugeSnapshot& g : gauges) {
+    w.key(g.name);
+    w.begin_object();
+    w.key("value");
+    w.value(static_cast<std::int64_t>(g.value));
+    w.key("high_water");
+    w.value(static_cast<std::int64_t>(g.high_water));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const HistogramSnapshot& h : histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("mean");
+    w.value(h.mean());
+    w.key("p50");
+    w.value(h.percentile(50));
+    w.key("p90");
+    w.value(h.percentile(90));
+    w.key("p99");
+    w.value(h.percentile(99));
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      w.begin_object();
+      w.key("le");
+      if (b < h.bounds.size())
+        w.value(h.bounds[b]);
+      else
+        w.value("+Inf");
+      w.key("count");
+      w.value(h.counts[b]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace vqsim::telemetry

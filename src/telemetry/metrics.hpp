@@ -1,0 +1,166 @@
+// MetricsRegistry — named counters, gauges, and fixed-bucket histograms.
+//
+// Registration (name -> cell lookup) takes a mutex once; the returned
+// references are stable for the registry's lifetime, so instrumentation
+// sites cache them in function-local statics and the steady-state hot path
+// is a single wait-free sharded add (telemetry/sharded.hpp). Snapshots,
+// Prometheus-style text exposition, and JSON export read the shards with
+// relaxed ordering and never block writers.
+//
+// The registry is instantiable (the VirtualQpuPool owns one per pool, and
+// tests build throwaway instances); MetricsRegistry::global() is the
+// process-wide instance every layer's instrumentation macros write to.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "telemetry/sharded.hpp"
+
+namespace vqsim::telemetry {
+
+/// Monotonic counter. add()/inc() are wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n) { cells_.add(n); }
+  void inc() { cells_.inc(); }
+  std::uint64_t value() const { return cells_.value(); }
+  void reset() { cells_.reset(); }
+
+ private:
+  ShardedCounter cells_;
+};
+
+/// Last-writer-wins signed gauge (queue depths, fleet sizes). set() also
+/// tracks the high-water mark so "deepest the queue ever got" survives the
+/// sawtooth.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (v > hw && !high_water_.compare_exchange_weak(
+                         hw, v, std::memory_order_relaxed,
+                         std::memory_order_relaxed)) {
+    }
+  }
+  void add(std::int64_t d) { set(value_.load(std::memory_order_relaxed) + d); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    high_water_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> high_water_{0};
+};
+
+/// Upper bucket bounds (strictly increasing, seconds) for duration
+/// histograms: a 1-2-5 ladder from 1 us to 100 s. Samples above the last
+/// bound land in the implicit +Inf bucket.
+const std::vector<double>& default_time_buckets();
+
+/// Merged (cross-shard) view of one histogram, produced by snapshot().
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;        // finite upper bounds
+  std::vector<std::uint64_t> counts; // bounds.size() + 1 (last = +Inf)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Percentile estimate (q in [0, 100]) by linear interpolation inside the
+  /// containing bucket. Returns 0 for an empty histogram; samples in the
+  /// +Inf bucket clamp to the last finite bound.
+  double percentile(double q) const;
+};
+
+/// Fixed-bucket histogram with per-shard bucket counts: observe() does one
+/// branch-free bucket search plus two wait-free adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.value(); }
+  double sum() const { return sum_.value(); }
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  /// Sharded bucket matrix: shard-major so one thread's observes stay on
+  /// its own lines. bounds_.size() + 1 columns (+Inf last).
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  ShardedCounter count_;
+  ShardedDouble sum_;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Prometheus text exposition (metric names sanitized, vqsim_ prefix).
+  std::string to_prometheus() const;
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry targeted by the instrumentation macros.
+  static MetricsRegistry& global();
+
+  /// Find-or-create; the reference stays valid for the registry's lifetime.
+  /// Re-registering a histogram name ignores the new bounds.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& bounds =
+                           default_time_buckets());
+
+  /// Relaxed-read snapshot of every registered series, names sorted.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every registered series (names stay registered). Test support;
+  /// exact only while writers are quiescent.
+  void reset();
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      VQSIM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      VQSIM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      VQSIM_GUARDED_BY(mutex_);
+};
+
+}  // namespace vqsim::telemetry

@@ -1,0 +1,88 @@
+// Umbrella header + instrumentation hooks for vqsim::telemetry.
+//
+// Every layer instruments through these macros, never through the classes
+// directly, so one build flag controls the cost story:
+//
+//   VQSIM_TELEMETRY=ON  (default) — counter hooks are one wait-free sharded
+//     add; span hooks are one relaxed atomic load while tracing is off.
+//   VQSIM_TELEMETRY=OFF — the macros expand to nothing: instrumented code
+//     compiles to exactly the uninstrumented binary (true zero cost). The
+//     telemetry *library* still builds (SimComm's lock-free stats and the
+//     pool's per-pool registry use it as plain code), only the cross-layer
+//     hooks vanish.
+//
+// Naming convention for series: "<layer>.<what>[_total|_seconds]", e.g.
+// "sim.gates_total", "comm.bytes_total", "pool.queue_wait_seconds".
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace vqsim::telemetry {
+
+#if defined(VQSIM_TELEMETRY_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Stand-in for Span in VQSIM_TELEMETRY=OFF builds: call sites that name
+/// their span and attach args compile against this and fold away.
+struct NullSpan {
+  void set_args(const std::string&) {}
+  bool active() const { return false; }
+};
+
+}  // namespace vqsim::telemetry
+
+#define VQSIM_TM_CONCAT2(a, b) a##b
+#define VQSIM_TM_CONCAT(a, b) VQSIM_TM_CONCAT2(a, b)
+
+#if !defined(VQSIM_TELEMETRY_DISABLED)
+
+/// Declare-and-cache a handle into the global registry. Registration runs
+/// once (function-local static); afterwards the name binds to a stable
+/// reference and the per-call cost is the initialized-static check.
+#define VQSIM_COUNTER(var, name)                     \
+  static ::vqsim::telemetry::Counter& var =          \
+      ::vqsim::telemetry::MetricsRegistry::global().counter(name)
+#define VQSIM_GAUGE(var, name)                       \
+  static ::vqsim::telemetry::Gauge& var =            \
+      ::vqsim::telemetry::MetricsRegistry::global().gauge(name)
+#define VQSIM_HISTOGRAM(var, name)                   \
+  static ::vqsim::telemetry::Histogram& var =        \
+      ::vqsim::telemetry::MetricsRegistry::global().histogram(name)
+
+#define VQSIM_COUNTER_ADD(var, n) (var).add(n)
+#define VQSIM_COUNTER_INC(var) (var).inc()
+#define VQSIM_GAUGE_SET(var, v) (var).set(v)
+#define VQSIM_HISTOGRAM_OBSERVE(var, v) (var).observe(v)
+
+/// RAII span covering the rest of the enclosing scope.
+#define VQSIM_SPAN(cat, name)                        \
+  ::vqsim::telemetry::Span VQSIM_TM_CONCAT(vqsim_span_, __LINE__)(cat, name)
+/// Span bound to a local so the site can set_args() before it closes.
+#define VQSIM_SPAN_NAMED(var, cat, name) ::vqsim::telemetry::Span var(cat, name)
+#define VQSIM_INSTANT(cat, name, args_json) \
+  ::vqsim::telemetry::Tracer::instant(cat, name, args_json)
+/// True while a trace is being collected; guard arg-building work with it.
+#define VQSIM_TRACING() ::vqsim::telemetry::Tracer::enabled()
+
+#else  // VQSIM_TELEMETRY_DISABLED
+
+// The value expressions still parse (and are discarded as constant-foldable
+// dead code when the site guards them with VQSIM_TRACING()), so OFF builds
+// stay warning-clean without #ifdefs at the instrumentation sites.
+#define VQSIM_COUNTER(var, name)
+#define VQSIM_GAUGE(var, name)
+#define VQSIM_HISTOGRAM(var, name)
+#define VQSIM_COUNTER_ADD(var, n) ((void)(n))
+#define VQSIM_COUNTER_INC(var) ((void)0)
+#define VQSIM_GAUGE_SET(var, v) ((void)(v))
+#define VQSIM_HISTOGRAM_OBSERVE(var, v) ((void)(v))
+#define VQSIM_SPAN(cat, name) ((void)0)
+#define VQSIM_SPAN_NAMED(var, cat, name) ::vqsim::telemetry::NullSpan var
+#define VQSIM_INSTANT(cat, name, args_json) ((void)(args_json))
+#define VQSIM_TRACING() false
+
+#endif

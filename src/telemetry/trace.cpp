@@ -1,0 +1,240 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/thread_annotations.hpp"
+#include "telemetry/json_writer.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sharded.hpp"
+
+namespace vqsim::telemetry {
+namespace {
+
+/// Per-thread event ring. Capacity trades memory for window length: 32k
+/// events x ~100 B is ~3 MiB per *tracing* thread, and only threads that
+/// record while tracing is enabled ever allocate one.
+constexpr std::size_t kRingCapacity = 1u << 15;
+
+struct ThreadRing {
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;  // ring once full
+  std::size_t next = 0;            // write cursor
+  bool wrapped = false;
+  std::uint64_t dropped = 0;
+
+  void push(TraceEvent e) {
+    if (events.size() < kRingCapacity) {
+      events.push_back(std::move(e));
+      next = events.size() % kRingCapacity;
+      return;
+    }
+    events[next] = std::move(e);
+    next = (next + 1) % kRingCapacity;
+    wrapped = true;
+    ++dropped;
+  }
+};
+
+struct TracerState {
+  Mutex mutex;
+  /// shared_ptr keeps rings of exited threads alive for the final export.
+  std::vector<std::shared_ptr<ThreadRing>> rings VQSIM_GUARDED_BY(mutex);
+  std::string path VQSIM_GUARDED_BY(mutex);
+};
+
+TracerState& state() {
+  // Immortal: spans may fire from static destructors (pool teardown) and
+  // the atexit flush runs after main.
+  static TracerState* s = new TracerState();
+  return *s;
+}
+
+ThreadRing& this_thread_ring() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    r->tid = static_cast<std::uint32_t>(this_thread_index());
+    TracerState& s = state();
+    MutexLock lock(s.mutex);
+    s.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void atexit_flush() {
+  if (Tracer::enabled()) Tracer::stop_and_write();
+}
+
+/// VQSIM_TRACE=<path> turns tracing on for the whole process lifetime.
+struct EnvInit {
+  EnvInit() {
+    trace_epoch();  // pin the epoch to load time
+    if (const char* path = std::getenv("VQSIM_TRACE");
+        path != nullptr && path[0] != '\0')
+      Tracer::start(path);
+  }
+};
+const EnvInit env_init;
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void Tracer::start(std::string path) {
+  {
+    TracerState& s = state();
+    MutexLock lock(s.mutex);
+    if (!path.empty()) s.path = std::move(path);
+  }
+  static std::atomic<bool> atexit_registered{false};
+  if (!atexit_registered.exchange(true)) std::atexit(atexit_flush);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop_and_write() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::string path;
+  {
+    TracerState& s = state();
+    MutexLock lock(s.mutex);
+    path = s.path;
+  }
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    log_error("telemetry: cannot open trace file '", path, "'");
+    return;
+  }
+  write(out);
+  clear();
+  log_info("telemetry: wrote Chrome trace to ", path);
+}
+
+void Tracer::stop_and_discard() {
+  enabled_.store(false, std::memory_order_relaxed);
+  clear();
+}
+
+void Tracer::record(TraceEvent event) {
+  // Re-check under no lock: a ring push after stop is harmless (the events
+  // sit in the buffer until the next write or clear).
+  this_thread_ring().push(std::move(event));
+}
+
+void Tracer::instant(const char* category, std::string_view name,
+                     std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::string(name);
+  e.category = category;
+  e.phase = 'i';
+  e.ts_ns = now_ns();
+  e.args_json = std::move(args_json);
+  record(std::move(e));
+}
+
+std::size_t Tracer::buffered_events() {
+  TracerState& s = state();
+  MutexLock lock(s.mutex);
+  std::size_t n = 0;
+  for (const auto& ring : s.rings) n += ring->events.size();
+  return n;
+}
+
+std::uint64_t Tracer::dropped_events() {
+  TracerState& s = state();
+  MutexLock lock(s.mutex);
+  std::uint64_t n = 0;
+  for (const auto& ring : s.rings) n += ring->dropped;
+  return n;
+}
+
+void Tracer::clear() {
+  TracerState& s = state();
+  MutexLock lock(s.mutex);
+  for (auto& ring : s.rings) {
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+    ring->dropped = 0;
+  }
+}
+
+void Tracer::write(std::ostream& out) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  {
+    TracerState& s = state();
+    MutexLock lock(s.mutex);
+    for (const auto& ring : s.rings) {
+      // Oldest-first: [next, end) then [0, next) once wrapped.
+      const std::size_t n = ring->events.size();
+      const std::size_t first = ring->wrapped ? ring->next : 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const TraceEvent& e = ring->events[(first + k) % n];
+        w.begin_object();
+        w.key("name");
+        w.value(e.name);
+        w.key("cat");
+        w.value(e.category);
+        w.key("ph");
+        w.value(std::string_view(&e.phase, 1));
+        w.key("ts");  // Chrome trace timestamps are microseconds
+        w.value(static_cast<double>(e.ts_ns) / 1e3);
+        if (e.phase == 'X') {
+          w.key("dur");
+          w.value(static_cast<double>(e.dur_ns) / 1e3);
+        } else {
+          w.key("s");
+          w.value("t");  // instant scope: thread
+        }
+        w.key("pid");
+        w.value(1);
+        w.key("tid");
+        w.value(static_cast<std::uint64_t>(e.tid));
+        if (!e.args_json.empty()) {
+          w.key("args");
+          w.raw(e.args_json);
+        }
+        w.end_object();
+      }
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("otherData");
+  w.begin_object();
+  w.key("producer");
+  w.value("vqsim::telemetry");
+  w.key("dropped_events");
+  w.value(dropped_events());
+  w.end_object();
+  w.key("metrics");
+  w.raw(MetricsRegistry::global().snapshot().to_json());
+  w.end_object();
+  out << w.str() << "\n";
+}
+
+}  // namespace vqsim::telemetry

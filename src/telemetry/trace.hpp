@@ -1,0 +1,119 @@
+// Span tracer — nestable RAII spans into per-thread ring buffers, exported
+// as Chrome trace-event JSON (open the file in Perfetto / chrome://tracing).
+//
+// Design for the disabled-but-compiled-in case (the common one): enabled()
+// is a single relaxed atomic load, and an inactive Span constructor does
+// nothing else — no clock read, no allocation. When tracing is on, each
+// thread records complete events ('ph':'X') into its own fixed-capacity
+// ring buffer with no locking; the ring overwrites its oldest events when
+// full (dropped count reported in the export), so a runaway trace degrades
+// to "most recent window" instead of unbounded memory.
+//
+// Enablement: programmatic (Tracer::start/stop_and_write) or the
+// VQSIM_TRACE=<path> environment variable, which turns tracing on at load
+// and flushes the file at process exit. The exported JSON carries the
+// global MetricsRegistry snapshot under "metrics" alongside "traceEvents".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace vqsim::telemetry {
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "";  // must point at a string literal
+  char phase = 'X';           // 'X' complete, 'i' instant
+  std::uint64_t ts_ns = 0;    // since process trace epoch
+  std::uint64_t dur_ns = 0;   // 'X' only
+  std::uint32_t tid = 0;
+  std::string args_json;      // pre-serialized {"k":v,...} or empty
+};
+
+class Tracer {
+ public:
+  /// Fast path for every instrumentation site.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Enable collection; events buffer in memory until a write call. A path
+  /// given here (or via VQSIM_TRACE) is flushed automatically at exit.
+  static void start(std::string path = {});
+  /// Disable collection and, when a path is known, write the trace file.
+  static void stop_and_write();
+  /// Disable collection and discard everything buffered so far.
+  static void stop_and_discard();
+
+  /// Serialize the Chrome trace JSON (plus metrics snapshot) to `out`.
+  static void write(std::ostream& out);
+  /// Events currently buffered across all threads (approximate while
+  /// writers are active). Test support.
+  static std::size_t buffered_events();
+  /// Events overwritten because a ring filled.
+  static std::uint64_t dropped_events();
+  static void clear();
+
+  /// Record an instant event ('i'). args_json is spliced verbatim into the
+  /// event's "args" object; pass "" for none.
+  static void instant(const char* category, std::string_view name,
+                      std::string args_json = {});
+
+  /// Nanoseconds since the process trace epoch.
+  static std::uint64_t now_ns();
+
+ private:
+  friend class Span;
+  static void record(TraceEvent event);
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII complete-event span. Construction snapshots the clock when tracing
+/// is enabled; destruction records the event into the calling thread's
+/// ring. Spans nest by scope, which is exactly Chrome's stacking rule for
+/// same-thread 'X' events.
+class Span {
+ public:
+  Span(const char* category, std::string_view name)
+      : active_(Tracer::enabled()) {
+    if (!active_) return;
+    category_ = category;
+    name_ = name;
+    start_ns_ = Tracer::now_ns();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach pre-serialized JSON object members ({"k":v} content without the
+  /// braces is NOT accepted — pass the full object, e.g. via JsonWriter).
+  void set_args(std::string args_json) {
+    if (active_) args_json_ = std::move(args_json);
+  }
+
+  bool active() const { return active_; }
+
+  ~Span() {
+    if (!active_) return;
+    TraceEvent e;
+    e.name = std::move(name_);
+    e.category = category_;
+    e.phase = 'X';
+    e.ts_ns = start_ns_;
+    e.dur_ns = Tracer::now_ns() - start_ns_;
+    e.args_json = std::move(args_json_);
+    Tracer::record(std::move(e));
+  }
+
+ private:
+  bool active_;
+  const char* category_ = "";
+  std::string name_;
+  std::string args_json_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace vqsim::telemetry

@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "chem/hartree_fock.hpp"
 #include "chem/uccsd.hpp"
 #include "sim/expectation.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 namespace {
@@ -100,6 +102,9 @@ AdaptResult AdaptVqe::run() {
   StateVector g_psi(nq);
 
   for (std::size_t it = 0; it < options_.max_operators; ++it) {
+    VQSIM_SPAN_NAMED(iter_span, "vqe", "adapt_iteration");
+    VQSIM_COUNTER(c_iters, "adapt.iterations_total");
+    VQSIM_COUNTER_INC(c_iters);
     // Pool-gradient screening at the current optimum:
     // g_p = -2 Im <G_p psi | H psi>.
     ansatz.prepare(&psi, sequence, theta);
@@ -143,6 +148,12 @@ AdaptResult AdaptVqe::run() {
     rec.parameters = theta.size();
     result.iterations.push_back(rec);
     result.energy = opt.fval;
+    if (iter_span.active())
+      iter_span.set_args(
+          "{\"iter\":" + std::to_string(rec.iteration) +
+          ",\"energy\":" + std::to_string(rec.energy) +
+          ",\"max_pool_gradient\":" + std::to_string(rec.max_pool_gradient) +
+          ",\"pool_index\":" + std::to_string(rec.pool_index) + "}");
 
     if (!std::isnan(options_.reference_energy) &&
         std::abs(opt.fval - options_.reference_energy) <

@@ -8,6 +8,7 @@
 #include "pauli/basis_change.hpp"
 #include "sim/expectation.hpp"
 #include "sim/sampler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 
@@ -73,12 +74,17 @@ void SimulatorExecutor::run_ansatz(std::span<const double> theta) {
   ansatz_.prepare(&psi_, theta);
   ++stats_.ansatz_executions;
   stats_.ansatz_gates += ansatz_.gate_count();
+  VQSIM_COUNTER(c_ansatz, "vqe.ansatz_executions_total");
+  VQSIM_COUNTER_INC(c_ansatz);
 }
 
 double SimulatorExecutor::evaluate(std::span<const double> theta) {
   if (theta.size() != ansatz_.num_parameters())
     throw std::invalid_argument("SimulatorExecutor: parameter count");
   ++stats_.energy_evaluations;
+  VQSIM_SPAN(/*cat=*/"vqe", "energy_evaluation");
+  VQSIM_COUNTER(c_evals, "vqe.energy_evaluations_total");
+  VQSIM_COUNTER_INC(c_evals);
 
   if (options_.mode == ExpectationMode::kDirect &&
       options_.cache_ansatz_state) {

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 namespace {
@@ -11,6 +14,28 @@ namespace {
 void check_start(const std::vector<double>& x0) {
   if (x0.empty())
     throw std::invalid_argument("optimizer: empty starting point");
+}
+
+// Per-iteration trace breadcrumb ("i" instant event) plus the shared
+// optimizer counters. `grad_norm` < 0 means "not a gradient method".
+void record_iteration(const char* name, std::size_t iter, double value,
+                      std::size_t evals, double grad_norm = -1.0) {
+  if (VQSIM_TRACING()) {
+    std::string args = "{\"iter\":" + std::to_string(iter) +
+                       ",\"value\":" + std::to_string(value) +
+                       ",\"evals\":" + std::to_string(evals);
+    if (grad_norm >= 0.0)
+      args += ",\"grad_norm\":" + std::to_string(grad_norm);
+    args += "}";
+    VQSIM_INSTANT(/*cat=*/"vqe", name, args);
+  }
+  VQSIM_COUNTER(c_iters, "optimizer.iterations_total");
+  VQSIM_COUNTER_INC(c_iters);
+}
+
+void record_result(const OptimizerResult& result) {
+  VQSIM_COUNTER(c_evals, "optimizer.evaluations_total");
+  VQSIM_COUNTER_ADD(c_evals, result.evaluations);
 }
 
 }  // namespace
@@ -57,6 +82,8 @@ OptimizerResult NelderMead::minimize(const ObjectiveFn& f,
     const std::size_t second_worst = order[n - 1];
     result.history.push_back(fv[best]);
     ++result.iterations;
+    record_iteration("nelder_mead_iteration", result.iterations, fv[best],
+                     evals);
 
     // Convergence: spread of simplex values and vertices.
     double fspread = std::abs(fv[worst] - fv[best]);
@@ -128,6 +155,7 @@ OptimizerResult NelderMead::minimize(const ObjectiveFn& f,
   result.x = simplex[best];
   result.fval = fv[best];
   result.evaluations = evals;
+  record_result(result);
   return result;
 }
 
@@ -169,11 +197,13 @@ OptimizerResult Spsa::minimize(const ObjectiveFn& f, std::vector<double> x0) {
     }
     result.history.push_back(best_f);
     ++result.iterations;
+    record_iteration("spsa_iteration", result.iterations, best_f, evals);
   }
   result.x = std::move(best_x);
   result.fval = best_f;
   result.evaluations = evals;
   result.converged = true;  // fixed-budget method
+  record_result(result);
   return result;
 }
 
@@ -240,6 +270,8 @@ OptimizerResult Adam::minimize(const ObjectiveFn& f, std::vector<double> x0) {
     }
     result.history.push_back(best_f);
     ++result.iterations;
+    record_iteration("adam_iteration", result.iterations, best_f, evals,
+                     ginf);
 
     if (options_.objective_tolerance > 0.0) {
       stall = std::abs(fx - prev) < options_.objective_tolerance ? stall + 1
@@ -254,6 +286,7 @@ OptimizerResult Adam::minimize(const ObjectiveFn& f, std::vector<double> x0) {
   result.x = std::move(best_x);
   result.fval = best_f;
   result.evaluations = evals;
+  record_result(result);
   return result;
 }
 

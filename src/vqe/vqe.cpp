@@ -2,6 +2,9 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 
@@ -13,7 +16,11 @@ VqeResult run_vqe(EnergyEvaluator& executor, std::size_t num_parameters,
     throw std::invalid_argument("run_vqe: initial parameter count");
 
   const ObjectiveFn objective = [&executor](std::span<const double> theta) {
-    return executor.evaluate(theta);
+    const double energy = executor.evaluate(theta);
+    if (VQSIM_TRACING())
+      VQSIM_INSTANT(/*cat=*/"vqe", "energy",
+                    "{\"energy\":" + std::to_string(energy) + "}");
+    return energy;
   };
 
   std::unique_ptr<Optimizer> opt;
@@ -29,6 +36,9 @@ VqeResult run_vqe(EnergyEvaluator& executor, std::size_t num_parameters,
       break;
   }
 
+  VQSIM_SPAN_NAMED(span, "vqe", "run_vqe");
+  if (span.active())
+    span.set_args("{\"parameters\":" + std::to_string(num_parameters) + "}");
   const OptimizerResult r = opt->minimize(objective, std::move(x0));
 
   VqeResult result;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "sim/expectation.hpp"
 
@@ -188,6 +192,41 @@ TEST(Comm, StatsAccountExchangeAndAllreduceSequence) {
   EXPECT_EQ(comm.stats().point_to_point_messages, 0u);
   EXPECT_EQ(comm.stats().amplitudes_exchanged, 0u);
   EXPECT_EQ(comm.stats().allreduces, 0u);
+}
+
+TEST(Comm, StatsExactUnderConcurrentTraffic) {
+  // The stats path is lock-free sharded atomics (it used to serialize every
+  // exchange through a mutex); this test is the TSan subject for that path
+  // (tools/run_sanitizers.sh runs test_dist under -fsanitize=thread) and
+  // checks that concurrent updates lose nothing.
+  SimComm comm(8);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2000;
+  constexpr std::size_t kAmps = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&comm, t] {
+      // Distinct rank pair per thread: payload buffers are thread-local,
+      // only the stats cells are shared.
+      const int rank_a = (2 * t) % 8;
+      const int rank_b = (2 * t + 1) % 8;
+      std::vector<cplx> a(kAmps), b(kAmps);
+      for (int i = 0; i < kIterations; ++i) {
+        comm.exchange(rank_a, a, rank_b, b);
+        comm.allreduce_sum(std::vector<double>(8, 1.0));
+      }
+    });
+  for (auto& t : threads) t.join();
+
+  const CommStats stats = comm.stats();
+  EXPECT_EQ(stats.point_to_point_messages,
+            std::uint64_t{2} * kThreads * kIterations);
+  EXPECT_EQ(stats.amplitudes_exchanged,
+            std::uint64_t{2} * kAmps * kThreads * kIterations);
+  EXPECT_EQ(stats.allreduces, std::uint64_t{kThreads} * kIterations);
+
+  comm.reset_stats();
+  EXPECT_EQ(comm.stats().point_to_point_messages, 0u);
 }
 
 }  // namespace

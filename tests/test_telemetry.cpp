@@ -1,0 +1,509 @@
+// vqsim::telemetry — registry exactness under concurrency, histogram
+// percentile edge cases, exporter validity (Prometheus + JSON + Chrome
+// trace), and end-to-end trace capture across the instrumented layers.
+//
+// The file compiles and passes under both VQSIM_TELEMETRY=ON and =OFF: the
+// telemetry classes exist in both builds, only the cross-layer hook macros
+// vanish, so the hook-driven end-to-end tests skip themselves when
+// telemetry::kEnabled is false.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/comm.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "runtime/virtual_qpu.hpp"
+#include "telemetry/telemetry.hpp"
+#include "vqe/ansatz.hpp"
+#include "vqe/vqe.hpp"
+
+namespace vqsim {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::HistogramSnapshot;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+using telemetry::Span;
+using telemetry::Tracer;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader — enough structure to assert on the
+// exporters without a JSON dependency. Throws std::runtime_error on
+// malformed input, which is itself the "export is valid JSON" assertion.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      v.string = string();
+      return v;
+    }
+    if (consume_word("true")) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume_word("null")) return v;
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) fail("short \\u escape");
+            pos_ += 4;   // decoded code point not needed by the tests
+            out += '?';
+            break;
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    auto in_number = [&] {
+      if (pos_ >= text_.size()) return false;
+      const char c = text_[pos_];
+      return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+             c == '+' || c == '.' || c == 'e' || c == 'E';
+    };
+    while (in_number()) ++pos_;
+    if (pos_ == start) fail("expected value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(std::string_view text) { return JsonParser(text).parse(); }
+
+// ---------------------------------------------------------------------------
+// Registry primitives under concurrency: increments must sum exactly.
+
+TEST(TelemetryCounter, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        c.add(3);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread * 4);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TelemetryGauge, TracksValueAndHighWater) {
+  Gauge g;
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.high_water(), 12);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(g.high_water(), 12);
+}
+
+TEST(TelemetryHistogram, ConcurrentObservationsCountExactly) {
+  Histogram h({1.0, 2.0, 5.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(0.5 + static_cast<double>((t + i) % 4) * 2.0);
+    });
+  for (auto& t : threads) t.join();
+
+  const std::uint64_t total = std::uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(h.count(), total);
+  const HistogramSnapshot snap = h.snapshot();
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : snap.counts) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, total);
+  // Values cycle 0.5, 2.5, 4.5, 6.5: one quarter per bucket of
+  // (-inf,1], (2,5], (2,5], (5,inf) -> bucket 0 gets 1/4, bucket 2 gets 2/4.
+  EXPECT_EQ(snap.counts[0], total / 4);
+  EXPECT_EQ(snap.counts[2], total / 2);
+  EXPECT_EQ(snap.counts[3], total / 4);
+}
+
+TEST(TelemetryHistogram, PercentileEdgeCases) {
+  Histogram h({1.0, 2.0, 5.0});
+  // Empty histogram: every percentile is 0.
+  EXPECT_EQ(h.snapshot().percentile(50.0), 0.0);
+
+  // All samples in the first bucket: interpolation stays within [0, 1].
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_GE(snap.percentile(0.0), 0.0);
+  EXPECT_LE(snap.percentile(100.0), 1.0);
+  EXPECT_LE(snap.percentile(50.0), 1.0);
+
+  // Overflow samples clamp to the last finite bound.
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.observe(1000.0);
+  snap = h.snapshot();
+  EXPECT_EQ(snap.percentile(50.0), 5.0);
+  EXPECT_EQ(snap.percentile(99.9), 5.0);
+
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_EQ(snap.percentile(-10.0), snap.percentile(0.0));
+  EXPECT_EQ(snap.percentile(250.0), snap.percentile(100.0));
+
+  // Mixed distribution: median lands in the right bucket.
+  h.reset();
+  for (int i = 0; i < 50; ++i) h.observe(0.5);   // bucket (..,1]
+  for (int i = 0; i < 50; ++i) h.observe(4.0);   // bucket (2,5]
+  snap = h.snapshot();
+  const double p75 = snap.percentile(75.0);
+  EXPECT_GT(p75, 2.0);
+  EXPECT_LE(p75, 5.0);
+}
+
+TEST(TelemetryRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.a_total");
+  Counter& b = reg.counter("x.a_total");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+
+  Histogram& h1 = reg.histogram("x.h_seconds", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("x.h_seconds", {9.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(TelemetryRegistry, SnapshotExportsParseAndContainSeries) {
+  MetricsRegistry reg;
+  reg.counter("sim.gates_total").add(42);
+  reg.gauge("pool.queue_depth").set(3);
+  Histogram& h = reg.histogram("pool.execute_seconds", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(5.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+
+  // JSON export parses and carries the values.
+  const JsonValue json = parse_json(snap.to_json());
+  EXPECT_EQ(json.at("counters").at("sim.gates_total").number, 42.0);
+  EXPECT_EQ(json.at("gauges").at("pool.queue_depth").at("value").number, 3.0);
+  const JsonValue& hist = json.at("histograms").at("pool.execute_seconds");
+  EXPECT_EQ(hist.at("count").number, 2.0);
+
+  // Prometheus exposition: sanitized names, TYPE lines, +Inf bucket.
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE vqsim_sim_gates_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("vqsim_sim_gates_total 42"), std::string::npos);
+  EXPECT_NE(prom.find("vqsim_pool_execute_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("vqsim_pool_execute_seconds_count 2"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: spans nest, export is Chrome-trace JSON, rings bound memory.
+
+struct TraceEventView {
+  std::string name;
+  std::string cat;
+  std::string ph;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+std::vector<TraceEventView> exported_events() {
+  std::ostringstream oss;
+  Tracer::write(oss);
+  const JsonValue root = parse_json(oss.str());
+  std::vector<TraceEventView> out;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    TraceEventView v;
+    v.name = e.at("name").string;
+    v.cat = e.at("cat").string;
+    v.ph = e.at("ph").string;
+    v.ts = e.at("ts").number;
+    if (e.has("dur")) v.dur = e.at("dur").number;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(TelemetryTracer, SpanNestingAndOrderingInExport) {
+  Tracer::clear();
+  Tracer::start();
+  {
+    Span outer("test", "outer");
+    {
+      Span inner("test", "inner");
+      inner.set_args("{\"k\":1}");
+    }
+    Span sibling("test", "sibling");
+  }
+  Tracer::instant("test", "marker", "{\"n\":2}");
+  const std::vector<TraceEventView> events = exported_events();
+  Tracer::stop_and_discard();
+
+  ASSERT_EQ(events.size(), 4u);
+  // Ring order is record order: spans close inner-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "sibling");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[3].name, "marker");
+  EXPECT_EQ(events[3].ph, "i");
+
+  // Chrome's same-thread stacking rule: the inner 'X' interval must sit
+  // fully inside the outer one.
+  const TraceEventView& inner = events[0];
+  const TraceEventView& outer = events[2];
+  EXPECT_EQ(inner.ph, "X");
+  EXPECT_GE(inner.ts, outer.ts);
+  EXPECT_LE(inner.ts + inner.dur, outer.ts + outer.dur + 1e-6);
+}
+
+TEST(TelemetryTracer, InactiveSpansRecordNothing) {
+  Tracer::stop_and_discard();
+  Tracer::clear();
+  {
+    Span s("test", "ignored");
+    EXPECT_FALSE(s.active());
+  }
+  Tracer::instant("test", "ignored");
+  EXPECT_EQ(Tracer::buffered_events(), 0u);
+}
+
+TEST(TelemetryTracer, RingOverflowCountsDroppedEvents) {
+  Tracer::clear();
+  Tracer::start();
+  for (int i = 0; i < (1 << 15) + 100; ++i) Tracer::instant("test", "e");
+  EXPECT_GT(Tracer::dropped_events(), 0u);
+  EXPECT_LE(Tracer::buffered_events(), std::size_t{1} << 15);
+  Tracer::stop_and_discard();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a small VQE run with a pool job and a SimComm exchange leaves
+// a parseable, non-empty Chrome trace covering all four instrumented layers.
+// Hook-driven, so it requires the VQSIM_TELEMETRY=ON build.
+
+TEST(TelemetryEndToEnd, SmallVqeRunProducesFourLayerTrace) {
+  if constexpr (!telemetry::kEnabled)
+    GTEST_SKIP() << "telemetry hooks compiled out (VQSIM_TELEMETRY=OFF)";
+
+  Tracer::clear();
+  Tracer::start();
+
+  // vqe + sim layers: a 4-qubit UCCSD VQE with a tiny evaluation budget.
+  PauliSum h(4);
+  h.add_term(-1.0, "ZIII");
+  h.add_term(0.5, "IZII");
+  h.add_term(0.25, "XXII");
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  VqeOptions options;
+  options.optimizer = OptimizerKind::kNelderMead;
+  options.nelder_mead.max_evaluations = 20;
+  const VqeResult r = run_vqe(ansatz, h, options);
+  EXPECT_GT(r.evaluations, 0u);
+
+  // The UCCSD prepare path applies exp-Pauli kernels directly; also run the
+  // compiled circuit form so the per-gate counters/span get exercised.
+  const std::vector<double> circuit_theta(ansatz.num_parameters(), 0.05);
+  StateVector psi(4);
+  psi.apply_circuit(ansatz.circuit(circuit_theta));
+
+  // runtime layer: one energy job through a virtual-QPU pool.
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  const std::vector<double> theta(ansatz.num_parameters(), 0.1);
+  EXPECT_TRUE(std::isfinite(pool.submit_energy(ansatz, h, theta).get()));
+  pool.wait_all();
+
+  // dist layer: a pairwise exchange.
+  SimComm comm(2);
+  std::vector<cplx> a(8, cplx{1.0, 0.0});
+  std::vector<cplx> b(8, cplx{0.0, 1.0});
+  comm.exchange(0, a, 1, b);
+
+  std::ostringstream oss;
+  Tracer::write(oss);
+  Tracer::stop_and_discard();
+
+  const JsonValue root = parse_json(oss.str());
+  const std::vector<JsonValue>& events = root.at("traceEvents").array;
+  ASSERT_FALSE(events.empty());
+
+  std::map<std::string, int> by_category;
+  for (const JsonValue& e : events) ++by_category[e.at("cat").string];
+  EXPECT_GT(by_category["sim"], 0) << "gate/fused-op spans missing";
+  EXPECT_GT(by_category["vqe"], 0) << "VQE spans/instants missing";
+  EXPECT_GT(by_category["runtime"], 0) << "pool job span missing";
+  EXPECT_GT(by_category["dist"], 0) << "SimComm exchange span missing";
+
+  // The export embeds the metrics snapshot; the sim counters must have
+  // advanced during the run.
+  const JsonValue& counters = root.at("metrics").at("counters");
+  ASSERT_TRUE(counters.has("sim.gates_total"));
+  EXPECT_GT(counters.at("sim.gates_total").number, 0.0);
+  ASSERT_TRUE(counters.has("sim.exp_pauli_applies_total"));
+  EXPECT_GT(counters.at("sim.exp_pauli_applies_total").number, 0.0);
+  EXPECT_TRUE(counters.has("vqe.energy_evaluations_total"));
+  EXPECT_TRUE(counters.has("pool.jobs_completed_total"));
+  EXPECT_TRUE(counters.has("comm.messages_total"));
+}
+
+TEST(TelemetryEndToEnd, GlobalRegistryMirrorsCommStats) {
+  if constexpr (!telemetry::kEnabled)
+    GTEST_SKIP() << "telemetry hooks compiled out (VQSIM_TELEMETRY=OFF)";
+
+  Counter& messages = MetricsRegistry::global().counter("comm.messages_total");
+  const std::uint64_t before = messages.value();
+  SimComm comm(2);
+  std::vector<cplx> a(4), b(4);
+  comm.exchange(0, a, 1, b);
+  EXPECT_EQ(messages.value(), before + 2);
+  EXPECT_EQ(comm.stats().point_to_point_messages, 2u);
+}
+
+}  // namespace
+}  // namespace vqsim

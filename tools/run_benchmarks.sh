@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Benchmark harness: Release build, machine-readable results, determinism
+# gate.
+#
+#   1. Configures + builds the bench targets in Release mode.
+#   2. Runs the BENCH-protocol binaries (bench/bench_emit.hpp). Each drops a
+#      BENCH_<suite>.json next to its stdout table; perf_virtual_qpu doubles
+#      as the determinism gate — it exits non-zero if any worker-count cell
+#      reproduces different energies, which aborts this script.
+#   3. Runs the google-benchmark perf_* binaries with JSON output.
+#   4. Aggregates every BENCH_*.json into one BENCH_baseline.json keyed by
+#      suite, for regression diffing across commits.
+#
+# Usage: tools/run_benchmarks.sh [--quick] [build-dir] [out-dir]
+#   --quick     skip the slow targets (fig5_adapt_vqe, google-benchmark set)
+#   build-dir   defaults to <repo>/build-bench
+#   out-dir     defaults to <repo>/bench-results
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+  shift
+fi
+build_dir="${1:-${repo_root}/build-bench}"
+out_dir="${2:-${repo_root}/bench-results}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DVQSIM_BUILD_BENCH=ON
+
+bench_targets=(perf_virtual_qpu fig3_caching)
+gbench_targets=(perf_gate_kernels perf_fusion perf_expectation perf_caching)
+if [[ "${quick}" == 0 ]]; then
+  bench_targets+=(fig5_adapt_vqe)
+fi
+cmake --build "${build_dir}" -j --target "${bench_targets[@]}" \
+  $([[ "${quick}" == 0 ]] && echo "${gbench_targets[@]}")
+
+mkdir -p "${out_dir}"
+export VQSIM_BENCH_DIR="${out_dir}"
+
+# BENCH-protocol binaries. set -e turns perf_virtual_qpu's determinism /
+# rejection failures (non-zero exit) into a harness failure.
+for target in "${bench_targets[@]}"; do
+  echo "== ${target}"
+  "${build_dir}/bench/${target}" | tee "${out_dir}/${target}.log"
+done
+
+# google-benchmark microbenchmarks (JSON sidecar per binary).
+if [[ "${quick}" == 0 ]]; then
+  for target in "${gbench_targets[@]}"; do
+    echo "== ${target}"
+    "${build_dir}/bench/${target}" \
+      --benchmark_out="${out_dir}/GBENCH_${target}.json" \
+      --benchmark_out_format=json
+  done
+fi
+
+# Aggregate the suite files into one object: {"suites":{"<name>":[rows]}}.
+# Every BENCH_<suite>.json is a complete JSON array, so plain concatenation
+# produces valid JSON without needing a JSON tool in the container.
+baseline="${out_dir}/BENCH_baseline.json"
+{
+  printf '{"suites":{'
+  first=1
+  for f in "${out_dir}"/BENCH_*.json; do
+    [[ "$(basename "$f")" == "BENCH_baseline.json" ]] && continue
+    suite="$(basename "$f" .json)"
+    suite="${suite#BENCH_}"
+    [[ "${first}" == 0 ]] && printf ','
+    first=0
+    printf '"%s":' "${suite}"
+    tr -d '\n' < "$f"
+  done
+  printf '}}\n'
+} > "${baseline}"
+
+echo "Benchmark results aggregated into ${baseline}"

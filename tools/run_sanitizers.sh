@@ -23,18 +23,24 @@ prefix="${1:-${repo_root}/build}"
 
 run_tsan() {
   local build_dir="${prefix}-tsan"
+  # VQSIM_TELEMETRY=ON (the default) is pinned explicitly: this pass is the
+  # race gate for the sharded counters, ring-buffer tracer, and the lock-free
+  # SimComm stats path, so the hooks must be compiled in.
   cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVQSIM_SANITIZE=thread \
+    -DVQSIM_TELEMETRY=ON \
     -DVQSIM_BUILD_BENCH=OFF \
     -DVQSIM_BUILD_EXAMPLES=OFF
 
-  cmake --build "${build_dir}" -j --target test_runtime test_dist
+  cmake --build "${build_dir}" -j --target test_runtime test_dist test_telemetry
 
   TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}" \
     "${build_dir}/tests/test_runtime"
   TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}" \
     "${build_dir}/tests/test_dist"
+  TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}" \
+    "${build_dir}/tests/test_telemetry"
 
   echo "TSan pass OK: zero data races reported."
 }
