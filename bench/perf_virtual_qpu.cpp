@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "analyze/diagnostic.hpp"
 #include "bench_emit.hpp"
 #include "chem/jordan_wigner.hpp"
@@ -25,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "downfold/active_space.hpp"
+#include "resilience/fault_injection.hpp"
 #include "runtime/virtual_qpu.hpp"
 #include "vqe/ansatz.hpp"
 
@@ -161,6 +164,105 @@ int main() {
     if (pool.counters().jobs_submitted != 0) {
       std::fprintf(stderr, "REJECTION FAILURE: a malformed job was enqueued\n");
       return EXIT_FAILURE;
+    }
+  }
+
+  // -- Fault-rate sweep ------------------------------------------------------
+  // Resilience overhead under a seeded transient-fault plan on the
+  // "qpu.execute" site: what does retrying cost when 0% / 5% / 20% of
+  // execution attempts fail? One BENCH line per fault rate: completion
+  // rate (must stay 1.0 — the retry layer absorbs every injected fault),
+  // p95 per-job latency (queue wait + execution across attempts), and the
+  // retry overhead (re-dispatch events per job).
+  {
+    constexpr std::size_t kJobs = 200;
+    Rng rng(1234);
+    std::vector<std::vector<double>> sets;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      std::vector<double> theta(ansatz.num_parameters());
+      for (double& t : theta) t = rng.uniform(-0.4, 0.4);
+      sets.push_back(std::move(theta));
+    }
+
+    std::vector<double> fault_reference;
+    bench::BenchEmitter faults("virtual_qpu_faults");
+    for (const double fault_rate : {0.0, 0.05, 0.20}) {
+      resilience::FaultPlan plan;
+      plan.seed = 20240805;
+      resilience::FaultRule rule;
+      rule.site = "qpu.execute";
+      rule.probability = fault_rate;
+      plan.rules.push_back(rule);
+      resilience::ScopedFaultPlan scoped(plan);
+
+      runtime::VirtualQpuPool pool = runtime::make_statevector_pool(4, 4, 16);
+      runtime::JobOptions options;
+      options.retry.max_attempts = 8;
+      options.retry.initial_backoff = std::chrono::microseconds(50);
+      WallTimer timer;
+      std::vector<std::future<double>> futures;
+      futures.reserve(kJobs);
+      for (const auto& theta : sets)
+        futures.push_back(pool.submit_energy(ansatz, h, theta, options));
+      std::vector<double> energies;
+      energies.reserve(kJobs);
+      for (auto& f : futures) energies.push_back(f.get());
+      pool.wait_all();
+      const double wall = timer.seconds();
+
+      // Faults must be invisible to callers: same energies at every rate.
+      if (fault_reference.empty()) fault_reference = energies;
+      for (std::size_t i = 0; i < kJobs; ++i) {
+        if (energies[i] != fault_reference[i]) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION under faults: rate=%.2f "
+                       "entry=%zu\n",
+                       fault_rate, i);
+          return EXIT_FAILURE;
+        }
+      }
+
+      std::vector<double> latency_ms;
+      latency_ms.reserve(kJobs);
+      for (const runtime::JobTelemetry& t : pool.telemetry())
+        latency_ms.push_back(1e3 *
+                             (t.queue_wait_seconds + t.execution_seconds));
+      std::sort(latency_ms.begin(), latency_ms.end());
+      const double p95 =
+          latency_ms.empty()
+              ? 0.0
+              : latency_ms[std::min(latency_ms.size() - 1,
+                                    latency_ms.size() * 95 / 100)];
+
+      const runtime::PoolCounters counters = pool.counters();
+      faults.row()
+          .field("fault_rate", fault_rate, "%.2f")
+          .field("jobs", kJobs)
+          .field("completion_rate",
+                 static_cast<double>(counters.jobs_completed -
+                                     counters.jobs_failed) /
+                     static_cast<double>(kJobs),
+                 "%.4f")
+          .field("wall_s", wall, "%.6f")
+          .field("jobs_per_s", static_cast<double>(kJobs) / wall, "%.1f")
+          .field("latency_p95_ms", p95, "%.3f")
+          .field("retries_per_job",
+                 static_cast<double>(counters.jobs_retried) /
+                     static_cast<double>(kJobs),
+                 "%.4f")
+          .field("jobs_recovered", counters.jobs_recovered)
+          .field("jobs_failed", counters.jobs_failed)
+          .field("breaker_open_events", counters.breaker_open_events)
+          .emit();
+
+      if (counters.jobs_failed != 0) {
+        std::fprintf(stderr,
+                     "RESILIENCE FAILURE: %llu terminal failures at "
+                     "rate=%.2f\n",
+                     static_cast<unsigned long long>(counters.jobs_failed),
+                     fault_rate);
+        return EXIT_FAILURE;
+      }
     }
   }
   return EXIT_SUCCESS;

@@ -73,7 +73,12 @@ WorkflowReport run_workflow(const WorkflowConfig& config) {
   switch (config.algorithm) {
     case WorkflowAlgorithm::kVqe: {
       const UccsdAnsatzAdapter ansatz(report.qubits, electrons);
-      report.vqe = run_vqe(ansatz, observable, config.vqe);
+      VqeOptions opts = config.vqe;
+      if (!config.checkpoint_path.empty()) {
+        opts.checkpoint.path = config.checkpoint_path;
+        opts.checkpoint.resume = true;
+      }
+      report.vqe = run_vqe(ansatz, observable, opts);
       report.energy = report.vqe->energy;
       break;
     }
@@ -81,6 +86,10 @@ WorkflowReport run_workflow(const WorkflowConfig& config) {
       AdaptOptions opts = config.adapt;
       if (report.fci_energy && std::isnan(opts.reference_energy))
         opts.reference_energy = *report.fci_energy;
+      if (!config.checkpoint_path.empty()) {
+        opts.checkpoint.path = config.checkpoint_path;
+        opts.checkpoint.resume = true;
+      }
       AdaptVqe adapt(observable, electrons, opts);
       report.adapt = adapt.run();
       report.energy = report.adapt->energy;

@@ -32,6 +32,12 @@ struct WorkflowConfig {
   QpeOptions qpe;
   /// Compute the exact (sector-FCI) reference of the executed Hamiltonian.
   bool compute_fci_reference = true;
+  /// Non-empty: periodically snapshot the variational algorithm's state to
+  /// this file and resume from it when it already exists, so a crashed
+  /// workflow restarted with the same config continues instead of starting
+  /// over. Applies to kAdaptVqe and to kVqe with the Adam optimizer
+  /// (overrides vqe.checkpoint / adapt.checkpoint).
+  std::string checkpoint_path;
 };
 
 struct WorkflowReport {

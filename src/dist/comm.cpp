@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "resilience/fault_injection.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim {
@@ -29,6 +30,10 @@ void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
     throw std::invalid_argument("SimComm::exchange: self-exchange");
   if (payload_a.size() != payload_b.size())
     throw std::invalid_argument("SimComm::exchange: size mismatch");
+  // Fault site "comm.exchange": a rule's detail selects either endpoint
+  // rank; the invocation counter indexes exchange steps, so a scheduled
+  // rule kills exactly the Nth exchange of a run.
+  VQSIM_FAULT_POINT("comm.exchange", rank_a, rank_b);
   VQSIM_SPAN_NAMED(span, "dist", "exchange");
   if (span.active())
     span.set_args("{\"amplitudes\":" + std::to_string(2 * payload_a.size()) +
@@ -46,6 +51,7 @@ void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
 double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
   if (static_cast<int>(per_rank.size()) != num_ranks_)
     throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
+  VQSIM_FAULT_POINT("comm.allreduce");
   VQSIM_SPAN(/*cat=*/"dist", "allreduce");
   allreduces_.inc();
   VQSIM_COUNTER(c_allreduces, "comm.allreduces_total");
@@ -58,6 +64,7 @@ double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
 cplx SimComm::allreduce_sum(const std::vector<cplx>& per_rank) {
   if (static_cast<int>(per_rank.size()) != num_ranks_)
     throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
+  VQSIM_FAULT_POINT("comm.allreduce");
   VQSIM_SPAN(/*cat=*/"dist", "allreduce");
   allreduces_.inc();
   VQSIM_COUNTER(c_allreduces, "comm.allreduces_total");

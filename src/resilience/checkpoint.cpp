@@ -1,0 +1,85 @@
+#include "resilience/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json_writer.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vqsim::resilience {
+
+void write_checkpoint(const std::string& path, const std::string& kind,
+                      const std::string& payload_json) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("format");
+  w.value("vqsim-checkpoint");
+  w.key("version");
+  w.value(kCheckpointVersion);
+  w.key("kind");
+  w.value(kind);
+  w.key("payload");
+  w.raw(payload_json);
+  w.end_object();
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw CheckpointError("checkpoint: cannot open '" + tmp +
+                            "' for writing");
+    out << w.str();
+    out.flush();
+    if (!out)
+      throw CheckpointError("checkpoint: write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: rename to '" + path + "' failed");
+  }
+  VQSIM_COUNTER(c_written, "resilience.checkpoints_written_total");
+  VQSIM_COUNTER_INC(c_written);
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+telemetry::JsonValue read_checkpoint(const std::string& path,
+                                     const std::string& expected_kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw CheckpointError("checkpoint: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  telemetry::JsonValue doc = [&] {
+    try {
+      return telemetry::JsonValue::parse(text);
+    } catch (const telemetry::JsonParseError& e) {
+      throw CheckpointError("checkpoint: '" + path +
+                            "' is not valid JSON: " + e.what());
+    }
+  }();
+
+  if (!doc.has("format") || doc.at("format").as_string() != "vqsim-checkpoint")
+    throw CheckpointError("checkpoint: '" + path +
+                          "' is not a vqsim checkpoint");
+  const auto version = static_cast<int>(doc.at("version").as_number());
+  if (version != kCheckpointVersion)
+    throw CheckpointError("checkpoint: '" + path + "' has version " +
+                          std::to_string(version) + ", expected " +
+                          std::to_string(kCheckpointVersion));
+  if (doc.at("kind").as_string() != expected_kind)
+    throw CheckpointError("checkpoint: '" + path + "' holds a '" +
+                          doc.at("kind").as_string() + "' snapshot, not '" +
+                          expected_kind + "'");
+  VQSIM_COUNTER(c_read, "resilience.checkpoints_restored_total");
+  VQSIM_COUNTER_INC(c_read);
+  return doc.at("payload");
+}
+
+}  // namespace vqsim::resilience

@@ -1,0 +1,63 @@
+// Checkpoint envelope + atomic file I/O (resilience layer, part 4).
+//
+// A vqsim checkpoint is one JSON document:
+//
+//   {"format":"vqsim-checkpoint","version":1,"kind":"<producer>",
+//    "payload":{...}}
+//
+// The envelope (format marker, schema version, producer kind) is owned
+// here; the payload schema is owned by the producer (vqe/adapt encode and
+// decode their own state with telemetry's JsonWriter / JsonReader).
+// Doubles serialize through json_number's %.17g and parse through strtod,
+// so restored optimizer/ansatz state is bit-identical — run_vqe / run_adapt
+// resumed from a snapshot reproduce the uninterrupted run exactly.
+//
+// Files are written atomically (temp file + rename) so a crash mid-write
+// never leaves a truncated checkpoint behind the resume path.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/json_reader.hpp"
+
+namespace vqsim::resilience {
+
+inline constexpr int kCheckpointVersion = 1;
+
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-run checkpoint knobs, embedded in VqeOptions / AdaptOptions.
+struct CheckpointOptions {
+  /// Snapshot file path; empty disables checkpointing entirely.
+  std::string path;
+  /// Write a snapshot every K completed iterations (outer iterations for
+  /// ADAPT, optimizer iterations for VQE). 0 behaves like 1.
+  std::size_t every_k = 1;
+  /// Restore from `path` before running when the file exists; a missing
+  /// file starts fresh (first run and resumed run share one config).
+  bool resume = false;
+
+  bool enabled() const { return !path.empty(); }
+  std::size_t stride() const { return every_k == 0 ? 1 : every_k; }
+};
+
+/// Wrap a pre-serialized JSON payload in the versioned envelope and write
+/// it atomically to `path`. Throws CheckpointError on I/O failure.
+void write_checkpoint(const std::string& path, const std::string& kind,
+                      const std::string& payload_json);
+
+/// True when `path` exists and is readable.
+bool checkpoint_exists(const std::string& path);
+
+/// Read `path`, validate the envelope (format marker, version, kind) and
+/// return the parsed payload. Throws CheckpointError on missing file,
+/// malformed JSON, or a foreign/mismatched envelope.
+telemetry::JsonValue read_checkpoint(const std::string& path,
+                                     const std::string& expected_kind);
+
+}  // namespace vqsim::resilience

@@ -1,0 +1,65 @@
+#include "resilience/circuit_breaker.hpp"
+
+namespace vqsim::resilience {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::would_admit(Clock::time_point now) const {
+  if (!policy_.enabled) return true;
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return now >= open_until_;  // quarantine elapsed: probe allowed
+    case BreakerState::kHalfOpen:
+      return !probe_in_flight_;
+  }
+  return true;
+}
+
+void CircuitBreaker::acquire(Clock::time_point now) {
+  if (!policy_.enabled) return;
+  if (state_ == BreakerState::kOpen && now >= open_until_)
+    state_ = BreakerState::kHalfOpen;
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = true;
+}
+
+void CircuitBreaker::on_success() {
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+bool CircuitBreaker::on_failure(Clock::time_point now) {
+  ++consecutive_failures_;
+  const bool failed_probe =
+      policy_.enabled && state_ == BreakerState::kHalfOpen;
+  probe_in_flight_ = false;
+  if (!policy_.enabled) return false;
+  if (failed_probe || consecutive_failures_ >= policy_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    open_until_ = now + policy_.open_duration;
+    ++opens_;
+    return true;
+  }
+  return false;
+}
+
+BreakerState CircuitBreaker::state(Clock::time_point now) const {
+  if (state_ == BreakerState::kOpen && now >= open_until_ &&
+      policy_.enabled)
+    return BreakerState::kHalfOpen;
+  return state_;
+}
+
+}  // namespace vqsim::resilience

@@ -1,0 +1,66 @@
+// Per-backend circuit breaker (resilience layer, part 3).
+//
+// Classic three-state breaker: CLOSED backends take traffic normally; after
+// `failure_threshold` consecutive failures the breaker OPENs and the
+// dispatcher stops routing jobs there for `open_duration` (quarantine); the
+// first admission after the quarantine elapses runs as a HALF-OPEN probe —
+// success closes the breaker, failure re-opens it for another quarantine
+// window. The state machine is pure (time is injected by the caller) and
+// not internally synchronized: VirtualQpuPool drives it under its own
+// mutex, and unit tests drive it with synthetic clocks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vqsim::resilience {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState state);
+
+struct CircuitBreakerPolicy {
+  bool enabled = true;
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Quarantine window after opening; the first admission afterwards is
+  /// the half-open probe.
+  std::chrono::milliseconds open_duration{25};
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(CircuitBreakerPolicy policy = {})
+      : policy_(policy) {}
+
+  /// Would a job be admitted at `now`? Non-mutating (dispatch scans with
+  /// this, then commits with acquire() on the chosen backend only).
+  bool would_admit(Clock::time_point now) const;
+
+  /// Commit an admission decided by would_admit(). Transitions
+  /// OPEN -> HALF_OPEN when the quarantine elapsed and marks the probe
+  /// in flight so concurrent dispatches cannot double-probe.
+  void acquire(Clock::time_point now);
+
+  /// Outcome of an admitted job. on_failure returns true when this
+  /// failure opened (or re-opened) the breaker.
+  void on_success();
+  bool on_failure(Clock::time_point now);
+
+  BreakerState state(Clock::time_point now) const;
+  int consecutive_failures() const { return consecutive_failures_; }
+  std::uint64_t opens() const { return opens_; }
+  Clock::time_point open_until() const { return open_until_; }
+
+ private:
+  CircuitBreakerPolicy policy_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  std::uint64_t opens_ = 0;
+  bool probe_in_flight_ = false;
+  Clock::time_point open_until_{};
+};
+
+}  // namespace vqsim::resilience

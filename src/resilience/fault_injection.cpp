@@ -1,0 +1,134 @@
+#include "resilience/fault_injection.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vqsim::resilience {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kPermanent:
+      return "permanent";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  MutexLock lock(mutex_);
+  plan_ = std::move(plan);
+  counters_.clear();
+  injected_ = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  MutexLock lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+  plan_.rules.clear();
+  counters_.clear();
+}
+
+std::uint64_t FaultInjector::invocations(std::string_view site) const {
+  MutexLock lock(mutex_);
+  auto it = counters_.find(std::string(site));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultInjector::faults_injected() const {
+  MutexLock lock(mutex_);
+  return injected_;
+}
+
+namespace {
+
+// splitmix64: strong enough to decorrelate (seed, site, invocation) and
+// fully deterministic across platforms.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+double fault_uniform(std::uint64_t seed, std::string_view site,
+                     std::uint64_t invocation) {
+  const std::uint64_t h = mix64(mix64(seed ^ fnv1a(site)) ^ invocation);
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::check_slow(std::string_view site, int detail_a,
+                               int detail_b) {
+  FaultKind kind = FaultKind::kTransient;
+  std::chrono::milliseconds stall{0};
+  std::string message;
+  bool fire = false;
+  {
+    MutexLock lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    const std::uint64_t invocation = counters_[std::string(site)]++;
+    for (const FaultRule& rule : plan_.rules) {
+      if (rule.site != site) continue;
+      if (rule.detail >= 0 && rule.detail != detail_a &&
+          rule.detail != detail_b)
+        continue;
+      bool triggered = false;
+      for (std::uint64_t at : rule.at_invocations)
+        if (at == invocation) {
+          triggered = true;
+          break;
+        }
+      if (!triggered && rule.probability > 0.0)
+        triggered =
+            fault_uniform(plan_.seed, site, invocation) < rule.probability;
+      if (!triggered) continue;
+      fire = true;
+      kind = rule.kind;
+      stall = rule.stall;
+      message = rule.message.empty()
+                    ? std::string("injected ") + to_string(rule.kind) +
+                          " fault at " + std::string(site) + "#" +
+                          std::to_string(invocation)
+                    : rule.message;
+      ++injected_;
+      break;  // first matching rule wins
+    }
+  }
+  if (!fire) return;
+
+  VQSIM_COUNTER(c_injected, "resilience.faults_injected_total");
+  VQSIM_COUNTER_INC(c_injected);
+  switch (kind) {
+    case FaultKind::kTransient:
+      throw TransientFault(message);
+    case FaultKind::kPermanent:
+      throw PermanentFault(message);
+    case FaultKind::kStall:
+      std::this_thread::sleep_for(stall);
+      return;
+  }
+}
+
+}  // namespace vqsim::resilience

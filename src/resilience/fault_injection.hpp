@@ -1,0 +1,141 @@
+// Deterministic fault-injection substrate (resilience layer, part 1).
+//
+// Quantum-HPC middleware treats transient backend failures, stragglers, and
+// interconnect hiccups as the norm (arXiv:2403.05828); this injector lets
+// the test suite and benchmarks *manufacture* those conditions on demand,
+// reproducibly. A FaultPlan is a seeded list of rules bound to named fault
+// sites ("qpu.execute", "comm.exchange", "adapt.iteration", ...). Each site
+// keeps an invocation counter; a rule fires either on scheduled invocation
+// indices (exact, thread-order-independent per site) or as a seeded
+// Bernoulli draw hashed from (seed, site, invocation#) — deterministic for
+// a given per-site invocation sequence, no shared RNG stream to race on.
+//
+// The hooks are compiled in unconditionally. Disarmed cost is one relaxed
+// atomic load (the same discipline as the telemetry span hooks), so
+// production binaries carry the probes for free.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace vqsim::resilience {
+
+/// A recoverable failure: the operation may succeed if simply re-executed
+/// (lost message, preempted node, transient allocator pressure).
+class TransientFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An unrecoverable failure: re-execution on the same input cannot help
+/// (corrupted backend, unsupported operation discovered late).
+class PermanentFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultKind : std::uint8_t {
+  kTransient,  // throw TransientFault
+  kPermanent,  // throw PermanentFault
+  kStall,      // sleep for `stall` (straggler), then continue normally
+};
+
+const char* to_string(FaultKind kind);
+
+/// One arm of a plan. A rule matches an invocation of its site when
+/// (a) the site name is equal, (b) `detail` filtering passes (negative
+/// detail in the rule = match anything), and (c) either the invocation
+/// index is listed in `at_invocations` or a Bernoulli draw with
+/// `probability` succeeds.
+struct FaultRule {
+  std::string site;
+  FaultKind kind = FaultKind::kTransient;
+  /// Per-invocation trigger probability in [0, 1]; 0 disables the
+  /// Bernoulli path (scheduled triggers still apply).
+  double probability = 0.0;
+  /// Exact 0-based site-invocation indices that trigger (in addition to
+  /// the Bernoulli draw). Sorted or not — membership is what matters.
+  std::vector<std::uint64_t> at_invocations;
+  /// Site-specific selector: backend id for "qpu.execute", rank for
+  /// "comm.exchange". -1 matches every invocation.
+  int detail = -1;
+  /// Sleep duration for kStall rules.
+  std::chrono::milliseconds stall{0};
+  /// Optional message override for the thrown fault.
+  std::string message;
+};
+
+struct FaultPlan {
+  /// Seeds the Bernoulli hash; two plans with different seeds produce
+  /// independent fault patterns over the same invocation sequence.
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+};
+
+/// Process-wide injector. arm() installs a plan and zeroes every site
+/// counter; disarm() restores the zero-cost path. check() is the hook the
+/// instrumented layers call.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  void arm(FaultPlan plan);
+  void disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Fault hook. `detail_a`/`detail_b` are site-specific selectors (e.g.
+  /// the two ranks of a pairwise exchange; a rule's `detail` matches if it
+  /// equals either). Counts one invocation of `site` while armed, then
+  /// throws / stalls if a rule fires. No-op (one relaxed load) otherwise.
+  void check(std::string_view site, int detail_a = -1, int detail_b = -1) {
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    check_slow(site, detail_a, detail_b);
+  }
+
+  /// Invocations counted at `site` since the last arm(). 0 when disarmed.
+  std::uint64_t invocations(std::string_view site) const;
+  /// Faults actually delivered (thrown or stalled) since the last arm().
+  std::uint64_t faults_injected() const;
+
+ private:
+  FaultInjector() = default;
+  void check_slow(std::string_view site, int detail_a, int detail_b);
+
+  mutable Mutex mutex_;
+  FaultPlan plan_ VQSIM_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::uint64_t> counters_
+      VQSIM_GUARDED_BY(mutex_);
+  std::uint64_t injected_ VQSIM_GUARDED_BY(mutex_) = 0;
+  std::atomic<bool> armed_{false};
+};
+
+/// RAII plan installer for tests: arms on construction, disarms on scope
+/// exit (even when the test body throws).
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) {
+    FaultInjector::instance().arm(std::move(plan));
+  }
+  ~ScopedFaultPlan() { FaultInjector::instance().disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+/// Deterministic uniform in [0, 1) from (seed, site, invocation index):
+/// the Bernoulli draw behind probabilistic rules. Exposed for tests.
+double fault_uniform(std::uint64_t seed, std::string_view site,
+                     std::uint64_t invocation);
+
+}  // namespace vqsim::resilience
+
+/// Instrumentation shorthand mirroring the telemetry hook style.
+#define VQSIM_FAULT_POINT(...) \
+  ::vqsim::resilience::FaultInjector::instance().check(__VA_ARGS__)

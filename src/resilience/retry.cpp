@@ -1,0 +1,58 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resilience/fault_injection.hpp"
+
+namespace vqsim::resilience {
+
+std::chrono::microseconds backoff_delay(const RetryPolicy& policy,
+                                        int attempt, std::uint64_t job_id) {
+  if (attempt <= 0) return std::chrono::microseconds{0};
+  double nominal = static_cast<double>(policy.initial_backoff.count()) *
+                   std::pow(policy.backoff_multiplier, attempt - 1);
+  nominal = std::min(nominal,
+                     static_cast<double>(policy.max_backoff.count()));
+  // Deterministic jitter in [-jitter_fraction, +jitter_fraction] of the
+  // nominal delay, hashed from (seed, job, attempt).
+  const double u = fault_uniform(policy.jitter_seed ^ job_id, "retry.jitter",
+                                 static_cast<std::uint64_t>(attempt));
+  const double jitter = policy.jitter_fraction * (2.0 * u - 1.0);
+  const double delayed = std::max(0.0, nominal * (1.0 + jitter));
+  return std::chrono::microseconds{static_cast<std::int64_t>(delayed)};
+}
+
+bool is_retryable(const std::exception_ptr& error) {
+  if (!error) return false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientFault&) {
+    return true;
+  } catch (const PermanentFault&) {
+    return false;
+  } catch (const DeadlineExceeded&) {
+    return false;
+  } catch (const std::invalid_argument&) {
+    return false;  // includes analyze::VerificationError
+  } catch (const std::logic_error&) {
+    return false;
+  } catch (const std::bad_alloc&) {
+    return false;  // retrying under memory pressure rarely helps in-process
+  } catch (...) {
+    return true;
+  }
+}
+
+std::string describe_error(const std::exception_ptr& error) {
+  if (!error) return {};
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace vqsim::resilience

@@ -1,0 +1,62 @@
+// Retry policy + retryable-error classification (resilience layer, part 2).
+//
+// Every virtual-QPU job carries a RetryPolicy: how many execution attempts
+// it may consume, how long to back off between them (exponential with
+// deterministic jitter — no shared RNG, the jitter hashes from the job id
+// and attempt index), and whether a retry should prefer a backend that has
+// not already failed the job (failover). Classification draws the
+// transient/permanent line: TransientFault and generic runtime errors are
+// worth re-executing; PermanentFault and program errors
+// (invalid_argument / logic_error, which include the analyze layer's
+// VerificationError) are not — the same input would fail the same way.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace vqsim::resilience {
+
+/// Delivered to a job's future when its deadline expires before the job
+/// produces a value (while queued, or between retry attempts).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct RetryPolicy {
+  /// Total execution attempts (first try included). 1 = never retry.
+  int max_attempts = 3;
+  /// Backoff before retry k (k >= 1): initial * multiplier^(k-1), capped
+  /// at max_backoff, then jittered by +/- jitter_fraction deterministically.
+  std::chrono::microseconds initial_backoff{500};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds max_backoff{50000};
+  /// Fraction of the nominal delay used as symmetric jitter amplitude
+  /// (decorrelates retry storms without an RNG stream).
+  double jitter_fraction = 0.25;
+  std::uint64_t jitter_seed = 0x7265747279ull;  // "retry"
+  /// Prefer a backend that has not failed this job yet when re-dispatching
+  /// (falls back to any capable backend when none qualifies).
+  bool failover = true;
+};
+
+/// Backoff before attempt `attempt` (1-based count of *completed* failed
+/// attempts) of job `job_id`. Deterministic: same policy/job/attempt in,
+/// same delay out.
+std::chrono::microseconds backoff_delay(const RetryPolicy& policy,
+                                        int attempt, std::uint64_t job_id);
+
+/// True when re-executing the failed operation could plausibly succeed.
+/// TransientFault -> yes; PermanentFault -> no; std::invalid_argument and
+/// other logic errors -> no (deterministic program error); any other
+/// exception -> yes (the conservative stance real middleware takes toward
+/// unclassified I/O-ish failures).
+bool is_retryable(const std::exception_ptr& error);
+
+/// Human-readable rendering of an exception_ptr for telemetry records.
+std::string describe_error(const std::exception_ptr& error);
+
+}  // namespace vqsim::resilience

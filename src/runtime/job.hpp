@@ -9,6 +9,7 @@
 // (queue wait, execution time, which backend ran it).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "analyze/diagnostic.hpp"
 #include "ir/circuit.hpp"
 #include "pauli/pauli_sum.hpp"
+#include "resilience/retry.hpp"
 #include "sim/noise.hpp"
 
 namespace vqsim::runtime {
@@ -58,18 +60,42 @@ struct JobOptions {
   NoiseModel noise;
   /// Promise the circuit is Clifford so stabilizer backends qualify.
   bool clifford_only = false;
+  /// Attempts / backoff / failover behaviour when execution fails with a
+  /// retryable error. The default allows two retries; set max_attempts=1
+  /// to restore fail-fast delivery.
+  resilience::RetryPolicy retry;
+  /// Cooperative per-job deadline measured from submission; zero disables.
+  /// Checked at dispatch boundaries (queue pop, retry re-queue), never by
+  /// preempting a running backend: an expired job's future receives
+  /// resilience::DeadlineExceeded.
+  std::chrono::milliseconds deadline{0};
 };
 
-/// Record of one completed (or failed) job, kept by the pool.
+/// Record of one completed (or failed) job, kept by the pool. Exactly one
+/// record lands per job, at its *terminal* outcome — a job that fails
+/// transiently and then succeeds on retry appears once, as a success, with
+/// the recovery visible in `attempts` / `backend_history` / the last
+/// `error_message`.
 struct JobTelemetry {
   std::uint64_t job_id = 0;
   JobKind kind = JobKind::kCircuitRun;
   JobPriority priority = JobPriority::kNormal;
-  int backend_id = -1;          // index into the pool's QPU list
+  int backend_id = -1;          // backend of the final attempt (-1: none ran)
   std::string backend_name;
-  double queue_wait_seconds = 0.0;  // submit -> dispatch
-  double execution_seconds = 0.0;   // dispatch -> completion
+  double queue_wait_seconds = 0.0;  // submit -> first dispatch
+  double execution_seconds = 0.0;   // execution time summed over attempts
   bool failed = false;              // exception delivered via the future
+  /// Execution attempts consumed (0 when the job expired in the queue).
+  int attempts = 0;
+  /// Backends that failed earlier attempts, in failure order (the final
+  /// attempt's backend is `backend_id`, not repeated here).
+  std::vector<int> backend_history;
+  /// what() of the last execution error — the failure reason for failed
+  /// jobs, the recovered-from fault for retried successes. Empty for
+  /// clean first-attempt successes.
+  std::string error_message;
+  /// The job's deadline expired (failed is also set).
+  bool deadline_exceeded = false;
   /// Warning-severity findings from the submit-time circuit verification
   /// (error-severity findings reject the job instead of enqueueing it).
   std::vector<analyze::Diagnostic> warnings;

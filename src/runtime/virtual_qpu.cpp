@@ -7,6 +7,7 @@
 
 #include "analyze/verifier.hpp"
 #include "common/parallel.hpp"
+#include "resilience/fault_injection.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim::runtime {
@@ -42,11 +43,27 @@ VirtualQpuPool::VirtualQpuPool(std::vector<std::unique_ptr<QpuBackend>> qpus,
     q.backend = std::move(backend);
     qpus_.push_back(std::move(q));
   }
+  timer_ = std::thread([this] { timer_loop(); });
 }
 
-VirtualQpuPool::~VirtualQpuPool() {
-  resume_dispatch();
+VirtualQpuPool::~VirtualQpuPool() { shutdown(); }
+
+void VirtualQpuPool::shutdown() {
+  {
+    MutexLock lock(mutex_);
+    paused_ = false;
+    shutdown_ = true;
+    pump_locked(Clock::now());
+  }
+  all_done_cv_.notify_all();
   wait_all();
+  {
+    MutexLock lock(mutex_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  pool_.shutdown();
 }
 
 std::vector<analyze::Diagnostic> VirtualQpuPool::verify_submission(
@@ -63,10 +80,11 @@ std::vector<analyze::Diagnostic> VirtualQpuPool::verify_submission(
   return diagnostics;  // warnings/notes only; attached to telemetry
 }
 
-void VirtualQpuPool::enqueue(JobKind kind, JobRequirements requirements,
-                             JobOptions options,
-                             std::vector<analyze::Diagnostic> warnings,
-                             std::function<bool(QpuBackend&)> execute) {
+void VirtualQpuPool::enqueue(
+    JobKind kind, JobRequirements requirements, JobOptions options,
+    std::vector<analyze::Diagnostic> warnings,
+    std::function<std::exception_ptr(QpuBackend&)> execute,
+    std::function<void(std::exception_ptr)> fail) {
   bool feasible = false;
   for (const VirtualQpu& q : qpus_)
     if (backend_can_run(q.caps, requirements)) {
@@ -96,13 +114,21 @@ void VirtualQpuPool::enqueue(JobKind kind, JobRequirements requirements,
   }
 
   MutexLock lock(mutex_);
+  if (shutdown_)
+    throw std::runtime_error(
+        "VirtualQpuPool: submission after shutdown() was rejected");
   PendingJob job;
   job.id = next_job_id_++;
   job.kind = kind;
   job.priority = options.priority;
   job.requirements = requirements;
   job.execute = std::move(execute);
+  job.fail = std::move(fail);
   job.submit_time = Clock::now();
+  job.not_before = job.submit_time;
+  if (options.deadline.count() > 0)
+    job.deadline = job.submit_time + options.deadline;
+  job.retry = options.retry;
   job.warnings = std::move(warnings);
   pending_.push_back(std::move(job));
   ++counters_.jobs_submitted;
@@ -112,94 +138,290 @@ void VirtualQpuPool::enqueue(JobKind kind, JobRequirements requirements,
   VQSIM_COUNTER_INC(c_submitted);
   VQSIM_GAUGE(g_depth, "pool.queue_depth");
   VQSIM_GAUGE_SET(g_depth, static_cast<std::int64_t>(pending_.size()));
-  pump_locked();
+  pump_locked(Clock::now());
 }
 
-void VirtualQpuPool::pump_locked() {
-  if (paused_) return;
+void VirtualQpuPool::finish_failed_locked(PendingJob job, int backend_id,
+                                          std::exception_ptr error,
+                                          double exec_seconds,
+                                          bool deadline_hit) {
+  JobTelemetry record;
+  record.job_id = job.id;
+  record.kind = job.kind;
+  record.priority = job.priority;
+  record.backend_id = backend_id;
+  if (backend_id >= 0)
+    record.backend_name =
+        qpus_[static_cast<std::size_t>(backend_id)].backend->name();
+  record.queue_wait_seconds =
+      job.first_dispatch_wait_seconds >= 0.0
+          ? job.first_dispatch_wait_seconds
+          : seconds_since(job.submit_time, Clock::now());
+  record.execution_seconds = job.prior_execution_seconds + exec_seconds;
+  record.failed = true;
+  record.attempts = job.attempts;
+  record.backend_history = std::move(job.backend_history);
+  record.error_message = deadline_hit
+                             ? resilience::describe_error(error)
+                             : job.last_error;
+  record.deadline_exceeded = deadline_hit;
+  record.warnings = std::move(job.warnings);
+
+  ++counters_.jobs_completed;
+  ++counters_.jobs_failed;
+  if (deadline_hit) ++counters_.deadline_exceeded;
+  counters_.total_queue_wait_seconds += record.queue_wait_seconds;
+  counters_.total_execution_seconds += record.execution_seconds;
+
+  VQSIM_COUNTER(c_completed, "pool.jobs_completed_total");
+  VQSIM_COUNTER_INC(c_completed);
+  VQSIM_COUNTER(c_failed, "pool.jobs_failed_total");
+  VQSIM_COUNTER_INC(c_failed);
+  if (deadline_hit) {
+    VQSIM_COUNTER(c_deadline, "pool.deadline_exceeded_total");
+    VQSIM_COUNTER_INC(c_deadline);
+  }
+  VQSIM_HISTOGRAM(h_wait, "pool.queue_wait_seconds");
+  VQSIM_HISTOGRAM_OBSERVE(h_wait, record.queue_wait_seconds);
+
+  telemetry_.push_back(std::move(record));
+  job.fail(error);
+}
+
+void VirtualQpuPool::pump_locked(Clock::time_point now) {
+  // Cooperative deadline enforcement for queued jobs: an expired job never
+  // reaches a backend; its future receives DeadlineExceeded.
+  for (std::size_t j = 0; j < pending_.size();) {
+    if (pending_[j].deadline <= now) {
+      PendingJob job = std::move(pending_[j]);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j));
+      auto error = std::make_exception_ptr(resilience::DeadlineExceeded(
+          "VirtualQpuPool: job " + std::to_string(job.id) +
+          " deadline exceeded" +
+          (job.last_error.empty() ? std::string()
+                                  : "; last error: " + job.last_error)));
+      finish_failed_locked(std::move(job), -1, std::move(error), 0.0,
+                           /*deadline_hit=*/true);
+    } else {
+      ++j;
+    }
+  }
+  if (paused_) {
+    // No dispatch while paused, but queued jobs still carry deadlines the
+    // timer thread must arm. Skipping this notify loses the wakeup when a
+    // deadline job is enqueued while the timer sits in an untimed wait
+    // (its last pump predates the job), and the deadline never fires.
+    timer_cv_.notify_all();
+    return;
+  }
+
   for (;;) {
-    // Highest-priority (lowest enum value), earliest-submitted job that has
-    // an idle capable QPU right now. Jobs whose capable QPUs are all busy
+    // Highest-priority (lowest enum value), earliest-submitted job that is
+    // past its backoff gate and has an idle capable QPU admitted by its
+    // breaker right now. Jobs whose capable QPUs are all busy/quarantined
     // are skipped, so a small job may overtake a blocked big one without
     // starving it (its turn recurs on every completion).
+    const auto pick_backend = [&](const PendingJob& job) {
+      int fallback = -1;
+      for (std::size_t q = 0; q < qpus_.size(); ++q) {
+        if (qpus_[q].busy) continue;
+        if (!backend_can_run(qpus_[q].caps, job.requirements)) continue;
+        if (!qpus_[q].breaker.would_admit(now)) continue;
+        const bool failed_before =
+            std::find(job.backend_history.begin(), job.backend_history.end(),
+                      static_cast<int>(q)) != job.backend_history.end();
+        // Failover preference: a backend that has not failed this job yet
+        // wins over one that has; the latter is kept as a fallback so a
+        // single-backend fleet still retries.
+        if (!job.retry.failover || !failed_before)
+          return static_cast<int>(q);
+        if (fallback < 0) fallback = static_cast<int>(q);
+      }
+      return fallback;
+    };
+
     std::size_t best = pending_.size();
     int best_qpu = -1;
     for (std::size_t j = 0; j < pending_.size(); ++j) {
+      if (pending_[j].not_before > now) continue;  // backing off
       if (best < pending_.size() &&
           pending_[j].priority >= pending_[best].priority)
         continue;
-      for (std::size_t q = 0; q < qpus_.size(); ++q) {
-        if (qpus_[q].busy) continue;
-        if (!backend_can_run(qpus_[q].caps, pending_[j].requirements))
-          continue;
-        best = j;
-        best_qpu = static_cast<int>(q);
-        break;
-      }
+      const int qpu = pick_backend(pending_[j]);
+      if (qpu < 0) continue;
+      best = j;
+      best_qpu = qpu;
     }
-    if (best_qpu < 0) return;
+    if (best_qpu < 0) break;
 
     PendingJob job = std::move(pending_[best]);
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
     qpus_[static_cast<std::size_t>(best_qpu)].busy = true;
-    ++dispatched_;
+    qpus_[static_cast<std::size_t>(best_qpu)].breaker.acquire(now);
+    if (job.first_dispatch_wait_seconds < 0.0)
+      job.first_dispatch_wait_seconds = seconds_since(job.submit_time, now);
+    ++in_flight_;
     VQSIM_GAUGE(g_depth, "pool.queue_depth");
     VQSIM_GAUGE_SET(g_depth, static_cast<std::int64_t>(pending_.size()));
     pool_.submit([this, job = std::move(job), best_qpu]() mutable {
       run_job(std::move(job), best_qpu);
     });
   }
+  // Backoff expiries, breaker reopen probes, and queued-job deadlines are
+  // timer events; recompute the wakeup whenever the queue changed.
+  timer_cv_.notify_all();
 }
 
 void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
   VirtualQpu& qpu = qpus_[static_cast<std::size_t>(backend_id)];
   const Clock::time_point start = Clock::now();
-  bool ok = false;
+  std::exception_ptr error;
   {
     VQSIM_SPAN_NAMED(span, "runtime", "job_execute");
     if (span.active())
       span.set_args(std::string("{\"kind\":\"") + to_string(job.kind) +
                     "\",\"backend\":\"" + qpu.backend->name() + "\",\"id\":" +
-                    std::to_string(job.id) + "}");
-    ok = job.execute(*qpu.backend);
+                    std::to_string(job.id) + ",\"attempt\":" +
+                    std::to_string(job.attempts + 1) + "}");
+    try {
+      // The injector's "qpu.execute" site makes any backend fail or stall
+      // on demand (detail = backend id); disarmed cost is one relaxed load.
+      resilience::FaultInjector::instance().check("qpu.execute", backend_id);
+      error = job.execute(*qpu.backend);
+    } catch (...) {
+      error = std::current_exception();
+    }
   }
   const Clock::time_point end = Clock::now();
+  const double exec_seconds = seconds_since(start, end);
+  ++job.attempts;
 
-  JobTelemetry record;
-  record.job_id = job.id;
-  record.kind = job.kind;
-  record.priority = job.priority;
-  record.backend_id = backend_id;
-  record.backend_name = qpu.backend->name();
-  record.queue_wait_seconds = seconds_since(job.submit_time, start);
-  record.execution_seconds = seconds_since(start, end);
-  record.failed = !ok;
-  record.warnings = std::move(job.warnings);
-
-  VQSIM_HISTOGRAM(h_wait, "pool.queue_wait_seconds");
-  VQSIM_HISTOGRAM_OBSERVE(h_wait, record.queue_wait_seconds);
   VQSIM_HISTOGRAM(h_exec, "pool.execute_seconds");
-  VQSIM_HISTOGRAM_OBSERVE(h_exec, record.execution_seconds);
-  VQSIM_COUNTER(c_completed, "pool.jobs_completed_total");
-  VQSIM_COUNTER_INC(c_completed);
-  if (!ok) {
-    VQSIM_COUNTER(c_failed, "pool.jobs_failed_total");
-    VQSIM_COUNTER_INC(c_failed);
-  }
+  VQSIM_HISTOGRAM_OBSERVE(h_exec, exec_seconds);
 
   {
     MutexLock lock(mutex_);
     qpu.busy = false;
     ++qpu.jobs_run;
-    qpu.busy_seconds += record.execution_seconds;
-    ++counters_.jobs_completed;
-    if (!ok) ++counters_.jobs_failed;
-    counters_.total_queue_wait_seconds += record.queue_wait_seconds;
-    counters_.total_execution_seconds += record.execution_seconds;
-    telemetry_.push_back(std::move(record));
-    pump_locked();
+    qpu.busy_seconds += exec_seconds;
+    --in_flight_;
+
+    if (!error) {
+      qpu.breaker.on_success();
+
+      JobTelemetry record;
+      record.job_id = job.id;
+      record.kind = job.kind;
+      record.priority = job.priority;
+      record.backend_id = backend_id;
+      record.backend_name = qpu.backend->name();
+      record.queue_wait_seconds = job.first_dispatch_wait_seconds;
+      record.execution_seconds = job.prior_execution_seconds + exec_seconds;
+      record.failed = false;
+      record.attempts = job.attempts;
+      record.backend_history = std::move(job.backend_history);
+      record.error_message = std::move(job.last_error);
+      record.warnings = std::move(job.warnings);
+
+      ++counters_.jobs_completed;
+      if (job.attempts > 1) ++counters_.jobs_recovered;
+      counters_.total_queue_wait_seconds += record.queue_wait_seconds;
+      counters_.total_execution_seconds += record.execution_seconds;
+      VQSIM_COUNTER(c_completed, "pool.jobs_completed_total");
+      VQSIM_COUNTER_INC(c_completed);
+      VQSIM_HISTOGRAM(h_wait, "pool.queue_wait_seconds");
+      VQSIM_HISTOGRAM_OBSERVE(h_wait, record.queue_wait_seconds);
+      telemetry_.push_back(std::move(record));
+      pump_locked(end);
+    } else {
+      job.last_error = resilience::describe_error(error);
+      job.prior_execution_seconds += exec_seconds;
+      if (qpu.breaker.on_failure(end)) {
+        ++counters_.breaker_open_events;
+        VQSIM_COUNTER(c_breaker, "pool.breaker_open_total");
+        VQSIM_COUNTER_INC(c_breaker);
+      }
+      std::int64_t open_now = 0;
+      for (const VirtualQpu& q : qpus_)
+        if (q.breaker.state(end) == resilience::BreakerState::kOpen)
+          ++open_now;
+      VQSIM_GAUGE(g_open, "pool.breakers_open");
+      VQSIM_GAUGE_SET(g_open, open_now);
+
+      const bool retryable = resilience::is_retryable(error);
+      const bool attempts_left = job.attempts < job.retry.max_attempts;
+      const auto backoff =
+          resilience::backoff_delay(job.retry, job.attempts, job.id);
+      const Clock::time_point resume_at = end + backoff;
+      if (retryable && attempts_left && resume_at < job.deadline) {
+        job.backend_history.push_back(backend_id);
+        job.not_before = resume_at;
+        ++counters_.jobs_retried;
+        VQSIM_COUNTER(c_retries, "pool.retries_total");
+        VQSIM_COUNTER_INC(c_retries);
+        pending_.push_back(std::move(job));
+        pump_locked(end);  // another admitted backend may be idle already
+      } else if (retryable && attempts_left) {
+        // The backoff would overrun the deadline: expire now instead of
+        // burning a doomed attempt.
+        auto deadline_error =
+            std::make_exception_ptr(resilience::DeadlineExceeded(
+                "VirtualQpuPool: job " + std::to_string(job.id) +
+                " deadline exceeded after " + std::to_string(job.attempts) +
+                " attempt(s); last error: " + job.last_error));
+        finish_failed_locked(std::move(job), backend_id,
+                             std::move(deadline_error), 0.0,
+                             /*deadline_hit=*/true);
+        pump_locked(end);
+      } else {
+        finish_failed_locked(std::move(job), backend_id, error, 0.0,
+                             /*deadline_hit=*/false);
+        pump_locked(end);
+      }
+    }
   }
   all_done_cv_.notify_all();
+}
+
+// The wait predicates read guarded members through a std::unique_lock the
+// analysis cannot follow; the lock IS held whenever the predicates run.
+void VirtualQpuPool::timer_loop() VQSIM_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<Mutex> lock(mutex_);
+  while (!timer_stop_) {
+    // Pump and compute the next wakeup from the SAME time snapshot. The
+    // wakeup only keeps events strictly after `now` (a due event the pump
+    // could not dispatch is blocked on a busy backend or an in-flight
+    // probe, and the completion pump covers those) — so an event that
+    // lands between this snapshot and the wait must still count as
+    // "future". Taking a second, fresher Clock::now() here would silently
+    // drop such an event and sleep forever on it (lost-wakeup race; with
+    // microsecond retry backoffs the window is hit in practice).
+    const Clock::time_point now = Clock::now();
+    pump_locked(now);
+    all_done_cv_.notify_all();  // pump may have expired queued jobs
+    const Clock::time_point next = next_timer_event_locked(now);
+    if (next == Clock::time_point::max())
+      timer_cv_.wait(lock);
+    else
+      timer_cv_.wait_until(lock, next);
+  }
+}
+
+VirtualQpuPool::Clock::time_point VirtualQpuPool::next_timer_event_locked(
+    Clock::time_point now) const {
+  Clock::time_point next = Clock::time_point::max();
+  const auto consider = [&](Clock::time_point t) {
+    if (t > now && t < next) next = t;
+  };
+  for (const PendingJob& job : pending_) {
+    consider(job.not_before);
+    consider(job.deadline);
+  }
+  if (!pending_.empty())
+    for (const VirtualQpu& q : qpus_)
+      if (q.breaker.state(now) == resilience::BreakerState::kOpen)
+        consider(q.breaker.open_until());
+  return next;
 }
 
 std::future<double> VirtualQpuPool::submit_energy(const Ansatz& ansatz,
@@ -214,15 +436,17 @@ std::future<double> VirtualQpuPool::submit_energy(const Ansatz& ansatz,
   auto promise = std::make_shared<std::promise<double>>();
   std::future<double> future = promise->get_future();
   enqueue(JobKind::kEnergy, req, options, {},
-          [promise, &ansatz, &observable,
-           theta = std::move(theta)](QpuBackend& backend) {
+          [promise, &ansatz, &observable, theta = std::move(theta)](
+              QpuBackend& backend) -> std::exception_ptr {
             try {
               promise->set_value(backend.energy(ansatz, observable, theta));
-              return true;
+              return nullptr;
             } catch (...) {
-              promise->set_exception(std::current_exception());
-              return false;
+              return std::current_exception();
             }
+          },
+          [promise](std::exception_ptr error) {
+            promise->set_exception(std::move(error));
           });
   return future;
 }
@@ -242,15 +466,17 @@ std::future<double> VirtualQpuPool::submit_expectation(Circuit circuit,
   enqueue(JobKind::kExpectation, req, options, std::move(warnings),
           [promise, circuit = std::move(circuit),
            observable = std::move(observable),
-           noise = options.noise](QpuBackend& backend) {
+           noise = options.noise](QpuBackend& backend) -> std::exception_ptr {
             try {
               promise->set_value(
                   backend.expectation(circuit, observable, noise));
-              return true;
+              return nullptr;
             } catch (...) {
-              promise->set_exception(std::current_exception());
-              return false;
+              return std::current_exception();
             }
+          },
+          [promise](std::exception_ptr error) {
+            promise->set_exception(std::move(error));
           });
   return future;
 }
@@ -268,14 +494,18 @@ std::future<StateVector> VirtualQpuPool::submit_circuit(Circuit circuit,
   auto promise = std::make_shared<std::promise<StateVector>>();
   std::future<StateVector> future = promise->get_future();
   enqueue(JobKind::kCircuitRun, req, options, std::move(warnings),
-          [promise, circuit = std::move(circuit)](QpuBackend& backend) {
+          [promise,
+           circuit = std::move(circuit)](QpuBackend& backend)
+              -> std::exception_ptr {
             try {
               promise->set_value(backend.run_circuit(circuit));
-              return true;
+              return nullptr;
             } catch (...) {
-              promise->set_exception(std::current_exception());
-              return false;
+              return std::current_exception();
             }
+          },
+          [promise](std::exception_ptr error) {
+            promise->set_exception(std::move(error));
           });
   return future;
 }
@@ -288,7 +518,7 @@ void VirtualQpuPool::pause_dispatch() {
 void VirtualQpuPool::resume_dispatch() {
   MutexLock lock(mutex_);
   paused_ = false;
-  pump_locked();
+  pump_locked(Clock::now());
 }
 
 // The wait predicate reads guarded members through a std::unique_lock the
@@ -296,8 +526,14 @@ void VirtualQpuPool::resume_dispatch() {
 void VirtualQpuPool::wait_all() VQSIM_NO_THREAD_SAFETY_ANALYSIS {
   std::unique_lock<Mutex> lock(mutex_);
   all_done_cv_.wait(lock, [this] {
-    return pending_.empty() && dispatched_ == counters_.jobs_completed;
+    return pending_.empty() && in_flight_ == 0;
   });
+}
+
+void VirtualQpuPool::set_breaker_policy(
+    resilience::CircuitBreakerPolicy policy) {
+  MutexLock lock(mutex_);
+  for (VirtualQpu& q : qpus_) q.breaker = resilience::CircuitBreaker(policy);
 }
 
 std::size_t VirtualQpuPool::queue_depth() const {
@@ -321,6 +557,23 @@ std::vector<BackendUtilization> VirtualQpuPool::utilization() const {
     u.jobs_run = qpus_[i].jobs_run;
     u.busy_seconds = qpus_[i].busy_seconds;
     out.push_back(std::move(u));
+  }
+  return out;
+}
+
+std::vector<BackendHealth> VirtualQpuPool::health() const {
+  MutexLock lock(mutex_);
+  const Clock::time_point now = Clock::now();
+  std::vector<BackendHealth> out;
+  out.reserve(qpus_.size());
+  for (std::size_t i = 0; i < qpus_.size(); ++i) {
+    BackendHealth h;
+    h.backend_id = static_cast<int>(i);
+    h.name = qpus_[i].backend->name();
+    h.breaker = qpus_[i].breaker.state(now);
+    h.consecutive_failures = qpus_[i].breaker.consecutive_failures();
+    h.breaker_opens = qpus_[i].breaker.opens();
+    out.push_back(std::move(h));
   }
   return out;
 }

@@ -13,6 +13,16 @@
 // (each builds its own simulator state) and in-worker OpenMP regions run
 // serially (common/parallel.hpp guard), so the same job set produces
 // bit-identical results on 1, 2, or 8 workers.
+//
+// Resilience (the vqsim::resilience layer, wired through here): execution
+// failures are classified transient/permanent; transient failures retry
+// with exponential backoff + deterministic jitter under the job's
+// RetryPolicy, preferring failover to a backend that has not failed the
+// job yet. Each backend carries a circuit breaker (consecutive-failure
+// quarantine -> half-open probe -> close) so a sick QPU stops taking
+// traffic, and per-job deadlines expire cooperatively at dispatch
+// boundaries. A dedicated timer thread wakes the dispatcher for backoff
+// expiries, breaker reopen probes, and queued-job deadlines.
 #pragma once
 
 #include <chrono>
@@ -24,10 +34,12 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analyze/diagnostic.hpp"
 #include "common/thread_annotations.hpp"
+#include "resilience/circuit_breaker.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/job.hpp"
 #include "runtime/thread_pool.hpp"
@@ -35,10 +47,19 @@
 namespace vqsim::runtime {
 
 /// Aggregate pool statistics (monotonic over the pool's lifetime).
+/// `jobs_completed` counts terminal outcomes (every submitted job lands
+/// here exactly once, success or failure); `jobs_failed` counts terminal
+/// failures only — a job that fails transiently and then succeeds on
+/// retry is one completion, zero failures, with the recovery visible in
+/// `jobs_retried` / `jobs_recovered`.
 struct PoolCounters {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;  // includes failed jobs
-  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_failed = 0;     // terminal failures only
+  std::uint64_t jobs_retried = 0;    // re-dispatch events after a failure
+  std::uint64_t jobs_recovered = 0;  // successes that needed >= 1 retry
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t breaker_open_events = 0;
   std::size_t queue_depth_high_water = 0;
   double total_queue_wait_seconds = 0.0;
   double total_execution_seconds = 0.0;
@@ -50,6 +71,15 @@ struct BackendUtilization {
   std::string name;
   std::uint64_t jobs_run = 0;
   double busy_seconds = 0.0;
+};
+
+/// Per-virtual-QPU resilience snapshot.
+struct BackendHealth {
+  int backend_id = -1;
+  std::string name;
+  resilience::BreakerState breaker = resilience::BreakerState::kClosed;
+  int consecutive_failures = 0;
+  std::uint64_t breaker_opens = 0;
 };
 
 class VirtualQpuPool {
@@ -104,11 +134,25 @@ class VirtualQpuPool {
   /// Block until every submitted job has completed (or failed).
   void wait_all();
 
+  /// Drain every queued/executing job (dispatch resumes if paused), then
+  /// stop the service: later submissions throw std::runtime_error.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  // -- Resilience configuration ----------------------------------------------
+
+  /// Replace the breaker policy on every backend (resets breaker state).
+  /// Takes effect for subsequent dispatches; existing in-flight jobs keep
+  /// running.
+  void set_breaker_policy(resilience::CircuitBreakerPolicy policy);
+
   // -- Introspection ---------------------------------------------------------
 
   std::size_t queue_depth() const;
   PoolCounters counters() const;
   std::vector<BackendUtilization> utilization() const;
+  /// Breaker state / consecutive-failure count per backend.
+  std::vector<BackendHealth> health() const;
   /// Completed-job records, in completion order.
   std::vector<JobTelemetry> telemetry() const;
   void clear_telemetry();
@@ -126,6 +170,7 @@ class VirtualQpuPool {
     bool busy = false;
     std::uint64_t jobs_run = 0;
     double busy_seconds = 0.0;
+    resilience::CircuitBreaker breaker;
   };
 
   struct PendingJob {
@@ -133,11 +178,29 @@ class VirtualQpuPool {
     JobKind kind = JobKind::kCircuitRun;
     JobPriority priority = JobPriority::kNormal;
     JobRequirements requirements;
-    /// Runs the payload on the chosen backend and fulfils the job's
-    /// promise (value or exception); returns false when it delivered an
-    /// exception.
-    std::function<bool(QpuBackend&)> execute;
+    /// Runs the payload on the chosen backend. On success it fulfils the
+    /// job's promise (value) and returns nullptr; on failure it leaves
+    /// the promise untouched and returns the exception — the pool decides
+    /// whether to retry or deliver it through `fail`.
+    std::function<std::exception_ptr(QpuBackend&)> execute;
+    /// Delivers a terminal failure to the job's future.
+    std::function<void(std::exception_ptr)> fail;
     Clock::time_point submit_time;
+    /// Earliest dispatch time (retry backoff gate).
+    Clock::time_point not_before;
+    /// Absolute deadline (time_point::max() = none).
+    Clock::time_point deadline = Clock::time_point::max();
+    resilience::RetryPolicy retry;
+    /// Execution attempts consumed so far.
+    int attempts = 0;
+    /// Backends whose attempts failed, in order.
+    std::vector<int> backend_history;
+    /// what() of the most recent execution error.
+    std::string last_error;
+    /// Execution seconds summed over failed attempts.
+    double prior_execution_seconds = 0.0;
+    /// submit -> first dispatch (filled on the first attempt).
+    double first_dispatch_wait_seconds = -1.0;
     /// Submit-time verifier warnings, forwarded to JobTelemetry.
     std::vector<analyze::Diagnostic> warnings;
   };
@@ -150,28 +213,47 @@ class VirtualQpuPool {
   /// Reject-or-enqueue; shared tail of the typed submit_* front-ends.
   void enqueue(JobKind kind, JobRequirements requirements, JobOptions options,
                std::vector<analyze::Diagnostic> warnings,
-               std::function<bool(QpuBackend&)> execute);
+               std::function<std::exception_ptr(QpuBackend&)> execute,
+               std::function<void(std::exception_ptr)> fail);
   /// Dispatch every (priority, FIFO)-ordered job that has an idle capable
-  /// QPU.
-  void pump_locked() VQSIM_REQUIRES(mutex_);
+  /// QPU admitted by its breaker; expires queued jobs past their deadline.
+  void pump_locked(Clock::time_point now) VQSIM_REQUIRES(mutex_);
+  /// Fail `job` terminally (records telemetry, bumps counters, fulfils the
+  /// promise with `error`). `backend_id` < 0 when no backend ran it.
+  void finish_failed_locked(PendingJob job, int backend_id,
+                            std::exception_ptr error, double exec_seconds,
+                            bool deadline_hit) VQSIM_REQUIRES(mutex_);
   void run_job(PendingJob job, int backend_id);
+  /// Wakes the dispatcher at the earliest backoff / breaker-reopen /
+  /// deadline event while jobs are queued.
+  void timer_loop();
+  /// Earliest timer event strictly after `now` — which must be the same
+  /// snapshot the preceding pump_locked() used, or events landing between
+  /// the two reads get dropped and slept through (lost wakeup).
+  Clock::time_point next_timer_event_locked(Clock::time_point now) const
+      VQSIM_REQUIRES(mutex_);
 
   // The fleet vector itself is fixed after construction and each backend
   // runs at most one job at a time (dispatch marks it busy under mutex_
   // before the unsynchronized execute), so qpus_ carries no guard; the
-  // per-QPU scheduling fields (busy, jobs_run, busy_seconds) are only
-  // mutated with mutex_ held.
+  // per-QPU scheduling fields (busy, jobs_run, busy_seconds, breaker) are
+  // only mutated with mutex_ held.
   std::vector<VirtualQpu> qpus_;
 
   mutable Mutex mutex_;
   std::condition_variable_any all_done_cv_;
+  std::condition_variable_any timer_cv_;
   std::deque<PendingJob> pending_ VQSIM_GUARDED_BY(mutex_);
   bool paused_ VQSIM_GUARDED_BY(mutex_) = false;
+  bool shutdown_ VQSIM_GUARDED_BY(mutex_) = false;
+  bool timer_stop_ VQSIM_GUARDED_BY(mutex_) = false;
   std::uint64_t next_job_id_ VQSIM_GUARDED_BY(mutex_) = 0;
-  /// Jobs handed to the thread pool so far.
-  std::uint64_t dispatched_ VQSIM_GUARDED_BY(mutex_) = 0;
+  /// Jobs handed to the thread pool and not yet finalized or re-queued.
+  std::uint64_t in_flight_ VQSIM_GUARDED_BY(mutex_) = 0;
   PoolCounters counters_ VQSIM_GUARDED_BY(mutex_);
   std::vector<JobTelemetry> telemetry_ VQSIM_GUARDED_BY(mutex_);
+
+  std::thread timer_;
 
   // Declared last: destroyed first, so no worker outlives the state above.
   ThreadPool pool_;

@@ -1,0 +1,325 @@
+// Minimal JSON reader — the inverse of json_writer.hpp, added for the
+// resilience layer's checkpoint files.
+//
+// Hand-rolled for the same reason the writer is: the container bakes in no
+// JSON library, and checkpoints only need objects, arrays, strings, finite
+// numbers, booleans, and null. Numbers parse through strtod, so the
+// writer's %.17g doubles round-trip bit-exactly — the property the
+// checkpoint/resume bit-parity contract rests on.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vqsim::telemetry {
+
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed JSON document node. Keyed lookups throw JsonParseError on
+/// missing members / type mismatches so checkpoint loaders fail loudly on
+/// corrupt or foreign files instead of resuming from garbage.
+class JsonValue {
+ public:
+  enum class Kind : unsigned char {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool as_bool() const {
+    require(Kind::kBool, "bool");
+    return bool_;
+  }
+  double as_number() const {
+    require(Kind::kNumber, "number");
+    return number_;
+  }
+  std::uint64_t as_uint() const {
+    return static_cast<std::uint64_t>(as_number());
+  }
+  const std::string& as_string() const {
+    require(Kind::kString, "string");
+    return string_;
+  }
+  const std::vector<JsonValue>& as_array() const {
+    require(Kind::kArray, "array");
+    return array_;
+  }
+
+  bool has(const std::string& key) const {
+    require(Kind::kObject, "object");
+    return object_.count(key) != 0;
+  }
+  const JsonValue& at(const std::string& key) const {
+    require(Kind::kObject, "object");
+    auto it = object_.find(key);
+    if (it == object_.end())
+      throw JsonParseError("json: missing key '" + key + "'");
+    return it->second;
+  }
+
+  static JsonValue parse(std::string_view text);
+
+  // -- construction (used by the parser) --------------------------------
+  static JsonValue make_null() { return JsonValue(Kind::kNull); }
+  static JsonValue make_bool(bool v) {
+    JsonValue j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+  static JsonValue make_number(double v) {
+    JsonValue j(Kind::kNumber);
+    j.number_ = v;
+    return j;
+  }
+  static JsonValue make_string(std::string v) {
+    JsonValue j(Kind::kString);
+    j.string_ = std::move(v);
+    return j;
+  }
+  static JsonValue make_array(std::vector<JsonValue> v) {
+    JsonValue j(Kind::kArray);
+    j.array_ = std::move(v);
+    return j;
+  }
+  static JsonValue make_object(std::map<std::string, JsonValue> v) {
+    JsonValue j(Kind::kObject);
+    j.object_ = std::move(v);
+    return j;
+  }
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+  void require(Kind kind, const char* what) const {
+    if (kind_ != kind)
+      throw JsonParseError(std::string("json: expected ") + what);
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw JsonParseError("json: trailing characters at offset " +
+                           std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonParseError("json: " + why + " at offset " +
+                         std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::make_bool(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::make_bool(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::make_null();
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // The writer only emits \u00XX control escapes; decode the
+          // low byte and encode anything else as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    return JsonValue::make_number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline JsonValue JsonValue::parse(std::string_view text) {
+  return detail::JsonParser(text).parse_document();
+}
+
+}  // namespace vqsim::telemetry

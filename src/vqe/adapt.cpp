@@ -6,7 +6,9 @@
 
 #include "chem/hartree_fock.hpp"
 #include "chem/uccsd.hpp"
+#include "resilience/fault_injection.hpp"
 #include "sim/expectation.hpp"
+#include "telemetry/json_writer.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim {
@@ -101,7 +103,80 @@ AdaptResult AdaptVqe::run() {
   StateVector h_psi(nq);
   StateVector g_psi(nq);
 
-  for (std::size_t it = 0; it < options_.max_operators; ++it) {
+  // Outer-iteration checkpointing: the snapshot is (sequence, theta,
+  // records). The inner Adam optimizer starts fresh from the restored
+  // theta every outer iteration, so nothing else is live across the
+  // boundary and a resumed run is bit-identical to the uninterrupted one.
+  const resilience::CheckpointOptions& ckpt = options_.checkpoint;
+  const auto save_checkpoint = [&](std::size_t completed_iterations) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.key("iteration");
+    w.value(static_cast<std::uint64_t>(completed_iterations));
+    w.key("energy");
+    w.value(result.energy);
+    w.key("sequence");
+    w.begin_array();
+    for (std::size_t s : sequence) w.value(static_cast<std::uint64_t>(s));
+    w.end_array();
+    w.key("theta");
+    w.begin_array();
+    for (double v : theta) w.value(v);
+    w.end_array();
+    w.key("records");
+    w.begin_array();
+    for (const AdaptIterationRecord& r : result.iterations) {
+      w.begin_object();
+      w.key("iteration");
+      w.value(static_cast<std::uint64_t>(r.iteration));
+      w.key("pool_index");
+      w.value(static_cast<std::uint64_t>(r.pool_index));
+      w.key("max_pool_gradient");
+      w.value(r.max_pool_gradient);
+      w.key("energy");
+      w.value(r.energy);
+      w.key("parameters");
+      w.value(static_cast<std::uint64_t>(r.parameters));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    resilience::write_checkpoint(ckpt.path, "adapt", w.str());
+  };
+
+  std::size_t start_it = 0;
+  if (ckpt.enabled() && ckpt.resume &&
+      resilience::checkpoint_exists(ckpt.path)) {
+    const telemetry::JsonValue p =
+        resilience::read_checkpoint(ckpt.path, "adapt");
+    start_it = static_cast<std::size_t>(p.at("iteration").as_uint());
+    result.energy = p.at("energy").as_number();
+    sequence.clear();
+    for (const telemetry::JsonValue& s : p.at("sequence").as_array())
+      sequence.push_back(static_cast<std::size_t>(s.as_uint()));
+    theta.clear();
+    for (const telemetry::JsonValue& v : p.at("theta").as_array())
+      theta.push_back(v.as_number());
+    for (const telemetry::JsonValue& r : p.at("records").as_array()) {
+      AdaptIterationRecord rec;
+      rec.iteration = static_cast<std::size_t>(r.at("iteration").as_uint());
+      rec.pool_index = static_cast<std::size_t>(r.at("pool_index").as_uint());
+      rec.max_pool_gradient = r.at("max_pool_gradient").as_number();
+      rec.energy = r.at("energy").as_number();
+      rec.parameters = static_cast<std::size_t>(r.at("parameters").as_uint());
+      result.iterations.push_back(rec);
+    }
+    for (std::size_t s : sequence)
+      if (s >= pool_.size())
+        throw resilience::CheckpointError(
+            "adapt checkpoint: pool index out of range (different pool?)");
+    if (sequence.size() != theta.size())
+      throw resilience::CheckpointError(
+          "adapt checkpoint: sequence/theta length mismatch");
+  }
+
+  for (std::size_t it = start_it; it < options_.max_operators; ++it) {
+    VQSIM_FAULT_POINT("adapt.iteration", static_cast<int>(it));
     VQSIM_SPAN_NAMED(iter_span, "vqe", "adapt_iteration");
     VQSIM_COUNTER(c_iters, "adapt.iterations_total");
     VQSIM_COUNTER_INC(c_iters);
@@ -154,6 +229,9 @@ AdaptResult AdaptVqe::run() {
           ",\"energy\":" + std::to_string(rec.energy) +
           ",\"max_pool_gradient\":" + std::to_string(rec.max_pool_gradient) +
           ",\"pool_index\":" + std::to_string(rec.pool_index) + "}");
+
+    if (ckpt.enabled() && (it + 1) % ckpt.stride() == 0)
+      save_checkpoint(it + 1);
 
     if (!std::isnan(options_.reference_energy) &&
         std::abs(opt.fval - options_.reference_energy) <

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "pauli/pauli_sum.hpp"
+#include "resilience/checkpoint.hpp"
 #include "sim/compiled_op.hpp"
 #include "sim/state_vector.hpp"
 #include "vqe/optimizer.hpp"
@@ -30,6 +31,13 @@ struct AdaptOptions {
   /// the Fig. 5 reproduction (1 mHa chemical accuracy).
   double reference_energy = std::numeric_limits<double>::quiet_NaN();
   double reference_target = 1e-3;
+  /// Snapshot (operator sequence, theta, iteration records) every
+  /// `checkpoint.every_k` outer iterations. With `checkpoint.resume`, a run
+  /// restarted after a crash picks up at the next outer iteration and
+  /// reproduces the uninterrupted run bit-identically: the inner Adam
+  /// optimizer starts fresh each outer iteration from the restored theta,
+  /// so outer-iteration granularity loses no optimizer state.
+  resilience::CheckpointOptions checkpoint;
 };
 
 struct AdaptIterationRecord {

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "resilience/fault_injection.hpp"
+#include "telemetry/json_writer.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim {
@@ -36,6 +38,24 @@ void record_iteration(const char* name, std::size_t iter, double value,
 void record_result(const OptimizerResult& result) {
   VQSIM_COUNTER(c_evals, "optimizer.evaluations_total");
   VQSIM_COUNTER_ADD(c_evals, result.evaluations);
+}
+
+void write_vector(telemetry::JsonWriter& w, const char* key,
+                  const std::vector<double>& v) {
+  w.key(key);
+  w.begin_array();
+  for (double x : v) w.value(x);
+  w.end_array();
+}
+
+std::vector<double> read_vector(const telemetry::JsonValue& payload,
+                                const char* key) {
+  const auto& items = payload.at(key).as_array();
+  std::vector<double> out;
+  out.reserve(items.size());
+  for (const telemetry::JsonValue& item : items)
+    out.push_back(item.as_number());
+  return out;
 }
 
 }  // namespace
@@ -232,13 +252,68 @@ OptimizerResult Adam::minimize(const ObjectiveFn& f, std::vector<double> x0) {
     }
   };
 
-  double fx = f(x);
-  ++evals;
-  double best_f = fx;
-  std::vector<double> best_x = x;
+  double fx = 0.0;
+  double best_f = 0.0;
+  std::vector<double> best_x;
   int stall = 0;
+  std::size_t t_start = 1;
 
-  for (std::size_t t = 1; t <= options_.iterations; ++t) {
+  // Everything the loop body reads or writes is in the snapshot, so a
+  // resumed run replays the uninterrupted iteration sequence exactly
+  // (doubles round-trip bit-exactly through %.17g + strtod).
+  const resilience::CheckpointOptions& ckpt = options_.checkpoint;
+  const auto save_checkpoint = [&](std::size_t t) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.key("t");
+    w.value(static_cast<std::uint64_t>(t));
+    w.key("evaluations");
+    w.value(static_cast<std::uint64_t>(evals));
+    w.key("stall");
+    w.value(stall);
+    w.key("fx");
+    w.value(fx);
+    w.key("best_f");
+    w.value(best_f);
+    write_vector(w, "x", x);
+    write_vector(w, "m", m);
+    write_vector(w, "v", v);
+    write_vector(w, "best_x", best_x);
+    write_vector(w, "history", result.history);
+    w.end_object();
+    resilience::write_checkpoint(ckpt.path, "adam", w.str());
+  };
+
+  bool restored = false;
+  if (ckpt.enabled() && ckpt.resume &&
+      resilience::checkpoint_exists(ckpt.path)) {
+    const telemetry::JsonValue p =
+        resilience::read_checkpoint(ckpt.path, "adam");
+    x = read_vector(p, "x");
+    if (x.size() != n)
+      throw resilience::CheckpointError(
+          "adam checkpoint: parameter count mismatch");
+    m = read_vector(p, "m");
+    v = read_vector(p, "v");
+    best_x = read_vector(p, "best_x");
+    result.history = read_vector(p, "history");
+    fx = p.at("fx").as_number();
+    best_f = p.at("best_f").as_number();
+    stall = static_cast<int>(p.at("stall").as_number());
+    evals = static_cast<std::size_t>(p.at("evaluations").as_uint());
+    t_start = static_cast<std::size_t>(p.at("t").as_uint()) + 1;
+    result.iterations = result.history.size();
+    restored = true;
+  }
+  if (!restored) {
+    fx = f(x);
+    ++evals;
+    best_f = fx;
+    best_x = x;
+  }
+
+  for (std::size_t t = t_start; t <= options_.iterations; ++t) {
+    VQSIM_FAULT_POINT("optimizer.adam.iteration", static_cast<int>(t));
     if (gradient_)
       gradient_(x, g);
     else
@@ -281,6 +356,7 @@ OptimizerResult Adam::minimize(const ObjectiveFn& f, std::vector<double> x0) {
         break;
       }
     }
+    if (ckpt.enabled() && t % ckpt.stride() == 0) save_checkpoint(t);
   }
 
   result.x = std::move(best_x);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "resilience/checkpoint.hpp"
 
 namespace vqsim {
 
@@ -83,6 +84,11 @@ struct AdamOptions {
   /// near the optimum exits almost immediately.
   double objective_tolerance = 0.0;
   int patience = 5;
+  /// Snapshot the full optimizer state (x, moments, best-so-far, counters)
+  /// every `checkpoint.every_k` iterations; with `checkpoint.resume` a run
+  /// restarted after a crash continues bit-identically to the uninterrupted
+  /// run (doubles round-trip exactly through the JSON snapshot).
+  resilience::CheckpointOptions checkpoint{};
 };
 
 class Adam final : public Optimizer {

@@ -26,14 +26,21 @@ VqeResult run_vqe(EnergyEvaluator& executor, std::size_t num_parameters,
   std::unique_ptr<Optimizer> opt;
   switch (options.optimizer) {
     case OptimizerKind::kNelderMead:
-      opt = std::make_unique<NelderMead>(options.nelder_mead);
-      break;
     case OptimizerKind::kSpsa:
-      opt = std::make_unique<Spsa>(options.spsa);
+      if (options.checkpoint.enabled())
+        throw std::invalid_argument(
+            "run_vqe: checkpointing requires the Adam optimizer");
+      opt = options.optimizer == OptimizerKind::kNelderMead
+                ? std::unique_ptr<Optimizer>(
+                      std::make_unique<NelderMead>(options.nelder_mead))
+                : std::make_unique<Spsa>(options.spsa);
       break;
-    case OptimizerKind::kAdam:
-      opt = std::make_unique<Adam>(options.adam);
+    case OptimizerKind::kAdam: {
+      AdamOptions adam = options.adam;
+      if (options.checkpoint.enabled()) adam.checkpoint = options.checkpoint;
+      opt = std::make_unique<Adam>(adam);
       break;
+    }
   }
 
   VQSIM_SPAN_NAMED(span, "vqe", "run_vqe");

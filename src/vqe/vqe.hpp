@@ -19,6 +19,10 @@ struct VqeOptions {
   ExecutorOptions executor;
   /// Starting parameters (zeros — the HF point — when empty).
   std::vector<double> initial_parameters;
+  /// Periodic optimizer-state snapshots + crash resume. Only the Adam
+  /// optimizer checkpoints (Nelder-Mead / SPSA reject an enabled config):
+  /// run_vqe copies this into the Adam options, overriding adam.checkpoint.
+  resilience::CheckpointOptions checkpoint;
 };
 
 struct VqeResult {

@@ -347,6 +347,8 @@ TEST(VirtualQpuPool, SubmitTimeWarningsRideOnTelemetry) {
   const std::vector<JobTelemetry> log = pool.telemetry();
   ASSERT_EQ(log.size(), 1u);
   EXPECT_FALSE(log[0].failed);
+  EXPECT_EQ(log[0].attempts, 1);           // clean first-attempt success
+  EXPECT_TRUE(log[0].error_message.empty());
   EXPECT_TRUE(has_code(log[0].warnings, DiagCode::kCancellingPair));
 }
 
@@ -368,7 +370,13 @@ TEST(VirtualQpuPool, ExecutionTimeErrorsArriveThroughFuture) {
   EXPECT_THROW(f.get(), std::invalid_argument);
   pool.wait_all();
   EXPECT_EQ(pool.counters().jobs_failed, 1u);
-  EXPECT_TRUE(pool.telemetry().back().failed);
+  EXPECT_EQ(pool.counters().jobs_retried, 0u);  // invalid_argument: no retry
+  const JobTelemetry record = pool.telemetry().back();
+  EXPECT_TRUE(record.failed);
+  EXPECT_EQ(record.attempts, 1);
+  EXPECT_FALSE(record.error_message.empty());
+  EXPECT_FALSE(record.deadline_exceeded);
+  EXPECT_TRUE(record.backend_history.empty());
 }
 
 // -- Scheduling --------------------------------------------------------------

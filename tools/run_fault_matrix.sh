@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Fault-tolerance gate: the resilience layer under memory sanitizers plus a
+# randomized fault-schedule sweep.
+#
+#   1. ASan+UBSan build (invariant checks on) running the tier-1 suite with
+#      the resilience tests included — every injected-fault path, retry,
+#      breaker transition, and checkpoint resume runs under the sanitizers.
+#   2. Seeded fault-schedule sweep: the 200-job / 20%-transient-fault
+#      acceptance scenario re-runs under a list of fault-plan seeds
+#      (VQSIM_FAULT_SEED), each producing a different Bernoulli fault
+#      pattern over the same job stream. Every schedule must complete 100%
+#      with zero caller-visible failures on 1/2/8 workers.
+#
+# Usage: tools/run_fault_matrix.sh [build-dir] [seed...]
+#   build-dir defaults to <repo>/build-fault; extra args are fault seeds
+#   (defaults: 1 7 42 20240805 987654321).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-fault}"
+shift || true
+seeds=("$@")
+if [ "${#seeds[@]}" -eq 0 ]; then
+  seeds=(1 7 42 20240805 987654321)
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVQSIM_SANITIZE="address;undefined" \
+  -DVQSIM_CHECK_INVARIANTS=ON \
+  -DVQSIM_BUILD_BENCH=OFF \
+  -DVQSIM_BUILD_EXAMPLES=OFF
+
+cmake --build "${build_dir}" -j
+
+# detect_leaks=0: default_qpu_pool() is intentionally immortal (see
+# run_sanitizers.sh).
+export ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+
+echo "== tier-1 suite (resilience tests included) under ASan+UBSan =="
+ctest --test-dir "${build_dir}" --output-on-failure -j 2
+
+echo "== randomized fault-schedule sweep (${#seeds[@]} seeds) =="
+for seed in "${seeds[@]}"; do
+  echo "-- fault seed ${seed}"
+  VQSIM_FAULT_SEED="${seed}" "${build_dir}/tests/test_resilience" \
+    --gtest_filter='PoolResilience.AcceptanceBatchCompletesUnderTwentyPercentFaults'
+done
+
+echo "Fault matrix OK: every seeded schedule completed 100% under sanitizers."
