@@ -1,18 +1,39 @@
 // Scaling behaviour of the simulator backends.
 //
-// (a) OpenMP thread sweep on the shared-memory backend (on this container
+// (a) Comm-volume sweep of the communication-avoiding layout on a UCCSD
+//     circuit: the same 12-qubit ansatz runs under the naive per-gate
+//     lowering and under a planned persistent-layout schedule at 4/8 ranks
+//     (>= 2 global qubits), emitting BENCH rows with the measured exchange
+//     volume and acting as a determinism + comm-volume gate: the binary
+//     exits non-zero if either mode deviates from the single-rank reference
+//     by one amplitude bit or the planned path fails the >= 2x
+//     traffic-reduction bar.
+// (b) OpenMP thread sweep on the shared-memory backend (on this container
 //     nproc may be 1; the sweep still documents the knob the paper turns on
 //     Perlmutter nodes).
-// (b) Simulated-rank sweep of the distributed (SV-Sim role) backend on a
+// (c) Simulated-rank sweep of the distributed (SV-Sim role) backend on a
 //     fixed problem: rank count changes the communication volume exactly as
 //     node count does on the real machine; the counters report amplitudes
 //     exchanged per circuit.
+//
+// This binary owns main(): the BENCH-protocol gate in (a) runs first, then
+// the google-benchmark suite.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_emit.hpp"
+#include "chem/uccsd.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "dist/dist_state_vector.hpp"
+#include "ir/passes/layout.hpp"
+#include "sim/expectation.hpp"
 #include "sim/state_vector.hpp"
 
 namespace {
@@ -35,6 +56,138 @@ Circuit random_circuit(int num_qubits, std::size_t gates, std::uint64_t seed) {
       c.u3(rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), q0);
   }
   return c;
+}
+
+// Pauli sum over the full register, including terms on the rank-axis
+// qubits, so the distributed expectation path is part of the gate.
+PauliSum scaling_observable(int num_qubits) {
+  PauliSum h(num_qubits);
+  const auto term = [&](double coeff, int q0, char a0, int q1, char a1) {
+    std::string spec(static_cast<std::size_t>(num_qubits), 'I');
+    spec[static_cast<std::size_t>(q0)] = a0;
+    spec[static_cast<std::size_t>(q1)] = a1;
+    h.add_term(coeff, spec);
+  };
+  term(0.7, 0, 'Z', 1, 'Z');
+  term(-0.4, 0, 'X', num_qubits - 1, 'X');
+  term(0.2, num_qubits - 2, 'Z', num_qubits - 1, 'Z');
+  term(0.5, num_qubits / 2, 'Y', num_qubits / 2 + 1, 'Y');
+  return h;
+}
+
+// The comm-volume + determinism gate. Returns the number of failed checks.
+int run_comm_volume_gate() {
+  const int nq = 12;
+  const UccsdAnsatz ansatz(nq, 6);
+  Rng rng(5);
+  std::vector<double> theta(ansatz.num_parameters());
+  for (double& t : theta) t = rng.uniform(-0.2, 0.2);
+  const Circuit circuit = ansatz.circuit(theta);
+  const PauliSum h = scaling_observable(nq);
+
+  // Single-rank anchor: both distributed modes must reproduce these
+  // amplitudes bit-for-bit (they run the same shard kernels).
+  StateVector reference(nq);
+  reference.apply_circuit(circuit);
+
+  bench::BenchEmitter emitter("dist_comm");
+  int failures = 0;
+  for (const int ranks : {4, 8}) {
+    SimComm naive_comm(ranks);
+    DistStateVector naive(nq, &naive_comm,
+                          DistStateVector::CommMode::kNaivePerGate);
+    naive.apply_circuit(circuit);
+    // Snapshot circuit traffic before expectation() adds Pauli-exchange
+    // traffic on top — the plan accounts for the circuit only.
+    const CommStats naive_circuit_stats = naive_comm.stats();
+    const double energy_naive = naive.expectation(h);
+    const StateVector state_naive = naive.gather();
+
+    SimComm planned_comm(ranks);
+    DistStateVector planned(nq, &planned_comm);
+    const LayoutPlan plan =
+        plan_layout(circuit, nq, planned.local_qubits());
+    planned.apply_circuit(circuit, plan);
+    const CommStats planned_circuit_stats = planned_comm.stats();
+    const double energy_planned = planned.expectation(h);
+    const StateVector state_planned = planned.gather();
+
+    // Determinism: both comm modes must reproduce the single-rank state
+    // bit-for-bit (same kernel arithmetic, only the data movement differs).
+    double max_amp_diff = 0.0;
+    for (idx i = 0; i < reference.dim(); ++i) {
+      max_amp_diff = std::max(
+          max_amp_diff,
+          std::abs(reference.data()[i] - state_planned.data()[i]));
+      max_amp_diff = std::max(
+          max_amp_diff,
+          std::abs(reference.data()[i] - state_naive.data()[i]));
+    }
+    // Energies over the gathered states share one arithmetic path, so they
+    // must agree exactly; the distributed energies differ only by
+    // rank-order-of-summation and get a tight tolerance.
+    const double energy_gathered_naive = expectation(state_naive, h);
+    const double energy_gathered_planned = expectation(state_planned, h);
+
+    const std::uint64_t amps_naive = naive_circuit_stats.amplitudes_exchanged;
+    const std::uint64_t amps_planned =
+        planned_circuit_stats.amplitudes_exchanged;
+
+    emitter.row()
+        .field("ranks", ranks)
+        .field("local_qubits", planned.local_qubits())
+        .field("gates", circuit.size())
+        .field("amps_naive", amps_naive)
+        .field("amps_planned", amps_planned)
+        .field("msgs_naive", naive_circuit_stats.point_to_point_messages)
+        .field("msgs_planned", planned_circuit_stats.point_to_point_messages)
+        .field("swaps_planned", plan.stats.swaps_planned)
+        .field("swaps_avoided", plan.stats.swaps_avoided)
+        .field("amp_reduction", plan.stats.amplitude_reduction(), "%.4f")
+        .field("energy_naive", energy_naive)
+        .field("energy_planned", energy_planned)
+        .field("max_amp_diff", max_amp_diff)
+        .emit();
+
+    if (max_amp_diff != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL ranks=%d: distributed state deviates from the "
+                   "single-rank reference (max_amp_diff=%.3e)\n",
+                   ranks, max_amp_diff);
+      ++failures;
+    }
+    if (energy_gathered_naive != energy_gathered_planned) {
+      std::fprintf(stderr,
+                   "FAIL ranks=%d: gathered-state energies differ "
+                   "(%.17g vs %.17g)\n",
+                   ranks, energy_gathered_naive, energy_gathered_planned);
+      ++failures;
+    }
+    if (std::abs(energy_naive - energy_planned) > 1e-10) {
+      std::fprintf(stderr,
+                   "FAIL ranks=%d: distributed energies differ (%.17g vs "
+                   "%.17g)\n",
+                   ranks, energy_naive, energy_planned);
+      ++failures;
+    }
+    if (amps_planned * 2 > amps_naive) {
+      std::fprintf(stderr,
+                   "FAIL ranks=%d: layout scheduling below the 2x comm bar "
+                   "(naive=%llu planned=%llu)\n",
+                   ranks, static_cast<unsigned long long>(amps_naive),
+                   static_cast<unsigned long long>(amps_planned));
+      ++failures;
+    }
+    // Plan accounting must match the traffic the communicator measured.
+    if (amps_planned != plan.stats.planned_amplitudes ||
+        amps_naive != plan.stats.naive_amplitudes) {
+      std::fprintf(stderr,
+                   "FAIL ranks=%d: LayoutStats out of sync with CommStats\n",
+                   ranks);
+      ++failures;
+    }
+  }
+  return failures;
 }
 
 void BM_ThreadSweep(benchmark::State& state) {
@@ -70,6 +223,30 @@ void BM_DistributedRankSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedRankSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
+void BM_DistributedCommMode(benchmark::State& state) {
+  // Naive vs planned traffic on the same circuit (ranks fixed at 4).
+  const bool planned = state.range(0) != 0;
+  const int nq = 16;
+  const Circuit c = random_circuit(nq, 64, 23);
+  for (auto _ : state) {
+    SimComm comm(4);
+    if (planned) {
+      DistStateVector sv(nq, &comm);
+      sv.apply_circuit(c, plan_layout(c, nq, sv.local_qubits()));
+      benchmark::DoNotOptimize(sv.norm());
+    } else {
+      DistStateVector sv(nq, &comm,
+                         DistStateVector::CommMode::kNaivePerGate);
+      sv.apply_circuit(c);
+      benchmark::DoNotOptimize(sv.norm());
+    }
+    state.counters["amps_exchanged"] =
+        static_cast<double>(comm.stats().amplitudes_exchanged);
+  }
+  state.counters["planned"] = planned ? 1 : 0;
+}
+BENCHMARK(BM_DistributedCommMode)->Arg(0)->Arg(1);
+
 void BM_GateThroughputVsQubits(benchmark::State& state) {
   const int nq = static_cast<int>(state.range(0));
   const Circuit c = random_circuit(nq, 32, 29);
@@ -84,3 +261,15 @@ void BM_GateThroughputVsQubits(benchmark::State& state) {
 BENCHMARK(BM_GateThroughputVsQubits)->DenseRange(14, 24, 2);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // The comm-volume gate runs unconditionally — its BENCH rows feed
+  // tools/run_benchmarks.sh and its exit code is the regression gate.
+  const int gate_failures = run_comm_volume_gate();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return gate_failures == 0 ? 0 : 1;
+}

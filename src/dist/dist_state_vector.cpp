@@ -1,15 +1,19 @@
 #include "dist/dist_state_vector.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim {
 
-DistStateVector::DistStateVector(int num_qubits, SimComm* comm)
-    : num_qubits_(num_qubits), comm_(comm) {
+DistStateVector::DistStateVector(int num_qubits, SimComm* comm, CommMode mode)
+    : num_qubits_(num_qubits), comm_(comm), mode_(mode) {
   if (comm == nullptr)
     throw std::invalid_argument("DistStateVector: null communicator");
   local_qubits_ = num_qubits - comm->rank_bits();
@@ -24,6 +28,53 @@ DistStateVector::DistStateVector(int num_qubits, SimComm* comm)
   for (int r = 1; r < comm->num_ranks(); ++r) {
     local_[static_cast<std::size_t>(r)].data()[0] = cplx{0.0, 0.0};
   }
+  layout_.resize(static_cast<std::size_t>(num_qubits_));
+  inv_layout_.resize(static_cast<std::size_t>(num_qubits_));
+  reset_layout();
+  // Staging capacity for the largest payload (a full shard slice): after
+  // this, the per-gate exchange path never touches the allocator.
+  const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
+  stage_a_.reserve(static_cast<std::size_t>(local_dim));
+  stage_b_.reserve(static_cast<std::size_t>(local_dim));
+}
+
+void DistStateVector::reset_layout() {
+  std::iota(layout_.begin(), layout_.end(), 0);
+  std::iota(inv_layout_.begin(), inv_layout_.end(), 0);
+  greedy_cursor_ = 0;
+}
+
+bool DistStateVector::layout_is_identity() const {
+  for (int q = 0; q < num_qubits_; ++q)
+    if (layout_[static_cast<std::size_t>(q)] != q) return false;
+  return true;
+}
+
+std::uint64_t DistStateVector::map_mask(std::uint64_t logical_mask) const {
+  std::uint64_t phys = 0;
+  while (logical_mask != 0) {
+    const int b = std::countr_zero(logical_mask);
+    logical_mask &= logical_mask - 1;
+    if (b < num_qubits_)
+      phys |= std::uint64_t{1} << layout_[static_cast<std::size_t>(b)];
+  }
+  return phys;
+}
+
+idx DistStateVector::to_logical_index(idx physical) const {
+  idx logical = 0;
+  for (int l = 0; l < num_qubits_; ++l)
+    if (test_bit(physical,
+                 static_cast<unsigned>(layout_[static_cast<std::size_t>(l)])))
+      logical = set_bit(logical, static_cast<unsigned>(l));
+  return logical;
+}
+
+std::vector<cplx>& DistStateVector::ensure_scratch(std::vector<cplx>& buf,
+                                                   idx n) {
+  if (buf.capacity() < static_cast<std::size_t>(n)) ++scratch_allocations_;
+  buf.resize(static_cast<std::size_t>(n));
+  return buf;
 }
 
 void DistStateVector::reset() { set_basis_state(0); }
@@ -32,6 +83,7 @@ void DistStateVector::set_basis_state(idx basis) {
   const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
   if (basis >= local_dim * static_cast<idx>(num_ranks()))
     throw std::out_of_range("DistStateVector::set_basis_state");
+  reset_layout();
   const int owner = static_cast<int>(basis >> local_qubits_);
   for (int r = 0; r < num_ranks(); ++r) {
     StateVector& shard = local_[static_cast<std::size_t>(r)];
@@ -48,15 +100,78 @@ void DistStateVector::apply_circuit(const Circuit& circuit) {
   for (const Gate& g : circuit.gates()) apply_gate(g);
 }
 
-void DistStateVector::apply_mat2_local(const Mat2& m, int q) {
-  for (StateVector& shard : local_) shard.apply_mat2(m, q);
+void DistStateVector::apply_circuit(const Circuit& circuit,
+                                    const LayoutPlan& plan) {
+  if (mode_ != CommMode::kPersistentLayout)
+    throw std::invalid_argument(
+        "apply_circuit: comm plans require CommMode::kPersistentLayout");
+  if (circuit.num_qubits() > num_qubits_)
+    throw std::invalid_argument("apply_circuit: register too small");
+  if (plan.num_qubits != num_qubits_ || plan.local_qubits != local_qubits_)
+    throw std::invalid_argument(
+        "apply_circuit: plan targets a different register partition");
+  if (plan.steps.size() != circuit.size())
+    throw std::invalid_argument("apply_circuit: plan/circuit length mismatch");
+  if (plan.initial_layout.empty() ? !layout_is_identity()
+                                  : plan.initial_layout != layout_)
+    throw std::logic_error(
+        "apply_circuit: plan assumes a different starting layout");
+
+  for (std::size_t i = 0; i < circuit.size(); ++i)
+    apply_gate_persistent(circuit[i], &plan.steps[i]);
+
+  VQSIM_COUNTER(c_planned, "comm.exchanges_planned");
+  VQSIM_COUNTER_ADD(c_planned, plan.stats.planned_exchanges);
+  VQSIM_COUNTER(c_avoided, "comm.exchanges_avoided");
+  VQSIM_COUNTER_ADD(c_avoided,
+                    plan.stats.naive_exchanges - plan.stats.planned_exchanges);
 }
 
-void DistStateVector::apply_mat2_global(const Mat2& m, int q) {
-  // Partner ranks differ in this qubit's rank bit. Rank pairs (a: bit=0,
-  // b: bit=1) hold the (amp0, amp1) halves element-wise: exchange b's whole
-  // slice, combine, exchange back the updated halves.
-  const int gb = global_bit(q);
+void DistStateVector::apply_gate(const Gate& gate) {
+  if (mode_ == CommMode::kNaivePerGate)
+    apply_gate_naive(gate);
+  else
+    apply_gate_persistent(gate, nullptr);
+}
+
+// -- Physical-space primitives -----------------------------------------------
+
+namespace {
+
+// Eigenvalues of a diagonal gate, derived by running the gate through the
+// shared-memory kernels on an all-ones probe. The rank-axis shortcut then
+// scales by exactly the values StateVector::apply_gate would multiply —
+// e.g. CZ's exp(i*pi), whose imaginary part is not exactly zero — keeping
+// distributed execution bit-identical to the single-rank reference.
+// Probe index bit 0 carries the gate's q0, bit 1 its q1.
+std::array<cplx, 4> probe_diagonal(const Gate& gate) {
+  const int nq = gate.is_two_qubit() ? 2 : 1;
+  AmpVector amps(std::size_t{1} << nq, cplx{1.0, 0.0});
+  StateVector probe = StateVector::from_amplitudes(std::move(amps));
+  Gate g = gate;
+  g.q0 = 0;
+  if (g.is_two_qubit()) g.q1 = 1;
+  probe.apply_gate(g);
+  std::array<cplx, 4> d{cplx{1.0, 0.0}, cplx{1.0, 0.0}, cplx{1.0, 0.0},
+                        cplx{1.0, 0.0}};
+  for (int k = 0; k < (1 << nq); ++k)
+    d[static_cast<std::size_t>(k)] = probe.data()[k];
+  return d;
+}
+
+}  // namespace
+
+void DistStateVector::apply_local_gate(const Gate& gate, int p0, int p1) {
+  Gate g = gate;
+  g.q0 = p0;
+  if (g.is_two_qubit()) g.q1 = p1;
+  for (StateVector& shard : local_) shard.apply_gate(g);
+}
+
+void DistStateVector::apply_mat2_global_phys(const Mat2& m, int gb) {
+  // Partner ranks differ in this index bit. Rank pairs (a: bit=0, b: bit=1)
+  // hold the (amp0, amp1) halves element-wise: exchange b's whole slice,
+  // combine, each side recomputing from its staged copy.
   for (int a = 0; a < num_ranks(); ++a) {
     if ((a >> gb) & 1) continue;
     const int b = a | (1 << gb);
@@ -64,20 +179,22 @@ void DistStateVector::apply_mat2_global(const Mat2& m, int q) {
     StateVector& sb = local_[static_cast<std::size_t>(b)];
     const idx n = sa.dim();
 
-    // Stage: each side sends its full slice to the other.
-    std::vector<cplx> from_a(sa.data(), sa.data() + n);
-    std::vector<cplx> from_b(sb.data(), sb.data() + n);
+    // Stage: each side sends its full slice to the other (reusable
+    // per-instance buffers; exchange swaps the payloads in place, as a
+    // sendrecv would).
+    std::vector<cplx>& from_a = ensure_scratch(stage_a_, n);
+    std::vector<cplx>& from_b = ensure_scratch(stage_b_, n);
+    std::copy(sa.data(), sa.data() + n, from_a.begin());
+    std::copy(sb.data(), sb.data() + n, from_b.begin());
     comm_->exchange(a, from_a, b, from_b);
-    // After the exchange, from_a holds b's slice and from_b holds a's slice
-    // (payloads swapped in place, as a sendrecv would).
     const std::vector<cplx>& remote_for_a = from_a;  // b's amplitudes
     const std::vector<cplx>& remote_for_b = from_b;  // a's amplitudes
 
     cplx* pa = sa.data();
     cplx* pb = sb.data();
     for (idx i = 0; i < n; ++i) {
-      const cplx a0 = pa[i];           // qubit bit = 0 amplitude
-      const cplx a1 = remote_for_a[i]; // qubit bit = 1 amplitude
+      const cplx a0 = pa[i];            // index bit = 0 amplitude
+      const cplx a1 = remote_for_a[i];  // index bit = 1 amplitude
       pa[i] = m(0, 0) * a0 + m(0, 1) * a1;
       // Rank b recomputes independently from its own staged copy.
       const cplx b0 = remote_for_b[i];
@@ -87,12 +204,11 @@ void DistStateVector::apply_mat2_global(const Mat2& m, int q) {
   }
 }
 
-void DistStateVector::swap_global_local(int global_qubit, int local_qubit) {
+void DistStateVector::swap_global_local_phys(int gb, int local_phys) {
   // SWAP(g, l) moves amplitudes between (rank g-bit, local l-bit) = (0, 1)
   // and (1, 0). Each rank in a partner pair ships the half-slice whose
   // l-bit disagrees with its g-bit.
-  const int gb = global_bit(global_qubit);
-  const unsigned lq = static_cast<unsigned>(local_qubit);
+  const unsigned lq = static_cast<unsigned>(local_phys);
   const idx lbit = pow2(lq);
   for (int a = 0; a < num_ranks(); ++a) {
     if ((a >> gb) & 1) continue;
@@ -101,8 +217,8 @@ void DistStateVector::swap_global_local(int global_qubit, int local_qubit) {
     StateVector& sb = local_[static_cast<std::size_t>(b)];
     const idx half = sa.dim() / 2;
 
-    std::vector<cplx> send_a(half);  // a's l=1 half
-    std::vector<cplx> send_b(half);  // b's l=0 half
+    std::vector<cplx>& send_a = ensure_scratch(stage_a_, half);  // a's l=1
+    std::vector<cplx>& send_b = ensure_scratch(stage_b_, half);  // b's l=0
     cplx* pa = sa.data();
     cplx* pb = sb.data();
     for (idx k = 0; k < half; ++k) {
@@ -120,54 +236,197 @@ void DistStateVector::swap_global_local(int global_qubit, int local_qubit) {
   }
 }
 
+void DistStateVector::apply_diag1_phys(const Gate& gate, int phys) {
+  // Diagonal on a rank-axis bit: each shard scales by the eigenvalue its
+  // rank bit selects. Zero communication.
+  const std::array<cplx, 4> d = probe_diagonal(gate);
+  const int gb = global_bit(phys);
+  for (int r = 0; r < num_ranks(); ++r) {
+    const cplx e = ((r >> gb) & 1) ? d[1] : d[0];
+    StateVector& shard = local_[static_cast<std::size_t>(r)];
+    cplx* a = shard.data();
+    const idx n = shard.dim();
+    for (idx i = 0; i < n; ++i) a[i] *= e;
+  }
+}
+
+void DistStateVector::apply_diag2_phys(const Gate& gate, int p0, int p1) {
+  // Two-qubit diagonal with at least one operand on the rank axis: the
+  // eigenvalue index mixes rank bits and local bits; still zero comm.
+  const std::array<cplx, 4> d = probe_diagonal(gate);
+  for (int r = 0; r < num_ranks(); ++r) {
+    const int b0r =
+        is_local_phys(p0) ? -1 : ((r >> global_bit(p0)) & 1);
+    const int b1r =
+        is_local_phys(p1) ? -1 : ((r >> global_bit(p1)) & 1);
+    StateVector& shard = local_[static_cast<std::size_t>(r)];
+    cplx* a = shard.data();
+    const idx n = shard.dim();
+    for (idx i = 0; i < n; ++i) {
+      const int b0 = b0r >= 0 ? b0r : static_cast<int>((i >> p0) & 1);
+      const int b1 = b1r >= 0 ? b1r : static_cast<int>((i >> p1) & 1);
+      a[i] *= d[(b1 << 1) | b0];
+    }
+  }
+}
+
+void DistStateVector::move_to_local(int logical_q, int slot) {
+  const int gp = layout_[static_cast<std::size_t>(logical_q)];
+  swap_global_local_phys(global_bit(gp), slot);
+  const int evicted = inv_layout_[static_cast<std::size_t>(slot)];
+  layout_[static_cast<std::size_t>(logical_q)] = slot;
+  inv_layout_[static_cast<std::size_t>(slot)] = logical_q;
+  layout_[static_cast<std::size_t>(evicted)] = gp;
+  inv_layout_[static_cast<std::size_t>(gp)] = evicted;
+  VQSIM_COUNTER(c_swaps, "dist.layout_swaps");
+  VQSIM_COUNTER_INC(c_swaps);
+}
+
 int DistStateVector::pick_scratch(int avoid0, int avoid1) const {
   for (int q = 0; q < local_qubits_; ++q)
     if (q != avoid0 && q != avoid1) return q;
   throw std::runtime_error("DistStateVector: no scratch qubit available");
 }
 
-void DistStateVector::apply_gate(const Gate& gate) {
+int DistStateVector::pick_victim_greedy(int exclude0, int exclude1) {
+  // Round-robin over the local slots so repeated lowerings spread their
+  // evictions instead of thrashing slot 0.
+  for (int step = 0; step < local_qubits_; ++step) {
+    const int p = (greedy_cursor_ + step) % local_qubits_;
+    if (p == exclude0 || p == exclude1) continue;
+    greedy_cursor_ = (p + 1) % local_qubits_;
+    return p;
+  }
+  throw std::runtime_error("DistStateVector: no scratch qubit available");
+}
+
+// -- Gate lowering -----------------------------------------------------------
+
+void DistStateVector::apply_gate_naive(const Gate& gate) {
+  // The seed lowering, kept as the comm-volume baseline: every global
+  // two-qubit operand pays swap-in/gate/swap-out, every global single-qubit
+  // gate pays a full-slice exchange, diagonals get no shortcut.
   if (!gate.is_two_qubit()) {
     if (gate.kind == GateKind::kI) return;
-    const Mat2 m = gate_matrix2(gate);
-    if (is_local(gate.q0))
-      apply_mat2_local(m, gate.q0);
-    else
-      apply_mat2_global(m, gate.q0);
+    if (is_local_phys(gate.q0)) {
+      apply_local_gate(gate, gate.q0);
+    } else if (gate_is_diagonal(gate)) {
+      // The baseline still pays the full-slice exchange (no shortcut), but
+      // the combine uses the probe-derived eigenvalues rather than the
+      // textbook matrix: StateVector's phase kernels multiply by exp(i*phi),
+      // whose off-axis component is not bitwise the matrix entry, and the
+      // baseline must stay bit-identical to the single-rank reference.
+      const std::array<cplx, 4> d = probe_diagonal(gate);
+      Mat2 m = Mat2::zero();
+      m(0, 0) = d[0];
+      m(1, 1) = d[1];
+      apply_mat2_global_phys(m, global_bit(gate.q0));
+    } else {
+      apply_mat2_global_phys(gate_matrix2(gate), global_bit(gate.q0));
+    }
     return;
   }
 
   int q0 = gate.q0;
   int q1 = gate.q1;
   // Lower global operands onto local scratch qubits via distributed swaps.
-  std::vector<std::pair<int, int>> swaps;  // (global, scratch) to undo
-  if (!is_local(q0)) {
+  std::vector<std::pair<int, int>> swaps;  // (global bit, scratch) to undo
+  if (!is_local_phys(q0)) {
     const int s = pick_scratch(q1 < local_qubits_ ? q1 : -1, -1);
-    swap_global_local(q0, s);
-    swaps.emplace_back(q0, s);
+    swap_global_local_phys(global_bit(q0), s);
+    swaps.emplace_back(global_bit(q0), s);
     q0 = s;
   }
-  if (!is_local(q1)) {
+  if (!is_local_phys(q1)) {
     const int s = pick_scratch(q0, swaps.empty() ? -1 : swaps.back().second);
-    swap_global_local(q1, s);
-    swaps.emplace_back(q1, s);
+    swap_global_local_phys(global_bit(q1), s);
+    swaps.emplace_back(global_bit(q1), s);
     q1 = s;
   }
 
-  const Mat4 m = gate_matrix4(gate);
-  for (StateVector& shard : local_) shard.apply_mat4(m, q0, q1);
+  apply_local_gate(gate, q0, q1);
 
   for (auto it = swaps.rbegin(); it != swaps.rend(); ++it)
-    swap_global_local(it->first, it->second);
+    swap_global_local_phys(it->first, it->second);
 }
+
+void DistStateVector::apply_gate_persistent(const Gate& gate,
+                                            const LayoutStep* step) {
+  if (!gate.is_two_qubit()) {
+    if (gate.kind == GateKind::kI) return;
+    const int p0 = layout_[static_cast<std::size_t>(gate.q0)];
+    if (is_local_phys(p0)) {
+      if (step != nullptr && step->action[0] >= 0)
+        throw std::logic_error("DistStateVector: layout plan out of sync");
+      apply_local_gate(gate, p0);
+      return;
+    }
+    if (gate_is_diagonal(gate)) {
+      apply_diag1_phys(gate, p0);
+      return;
+    }
+    if (step != nullptr) {
+      const int slot = step->action[0];
+      if (slot < 0)
+        throw std::logic_error("DistStateVector: layout plan out of sync");
+      move_to_local(gate.q0, slot);
+      apply_local_gate(gate, slot);
+    } else {
+      // Greedy path: a lone global 1q gate runs in place (seed cost); the
+      // planner is the one with the lookahead to justify a swap-in.
+      apply_mat2_global_phys(gate_matrix2(gate), global_bit(p0));
+    }
+    return;
+  }
+
+  const int p0 = layout_[static_cast<std::size_t>(gate.q0)];
+  const int p1 = layout_[static_cast<std::size_t>(gate.q1)];
+  if (gate_is_diagonal(gate) &&
+      (!is_local_phys(p0) || !is_local_phys(p1))) {
+    apply_diag2_phys(gate, p0, p1);
+    return;
+  }
+
+  int q0p = p0;
+  int q1p = p1;
+  if (!is_local_phys(q0p)) {
+    const int slot =
+        step != nullptr
+            ? step->action[0]
+            : pick_victim_greedy(is_local_phys(q1p) ? q1p : -1, -1);
+    if (slot < 0)
+      throw std::logic_error("DistStateVector: layout plan out of sync");
+    move_to_local(gate.q0, slot);
+    q0p = slot;
+  } else if (step != nullptr && step->action[0] >= 0) {
+    throw std::logic_error("DistStateVector: layout plan out of sync");
+  }
+  if (!is_local_phys(q1p)) {
+    const int slot = step != nullptr ? step->action[1]
+                                     : pick_victim_greedy(q0p, -1);
+    if (slot < 0 || slot == q0p)
+      throw std::logic_error("DistStateVector: layout plan out of sync");
+    move_to_local(gate.q1, slot);
+    q1p = slot;
+  } else if (step != nullptr && step->action[1] >= 0) {
+    throw std::logic_error("DistStateVector: layout plan out of sync");
+  }
+
+  apply_local_gate(gate, q0p, q1p);
+}
+
+// -- Read-side operations (all remapped through the layout) ------------------
 
 double DistStateVector::expectation_z_mask(std::uint64_t mask) {
   const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
-  const std::uint64_t local_mask = mask & (local_dim - 1);
+  const std::uint64_t pmask = map_mask(mask);
+  const std::uint64_t local_mask = pmask & (local_dim - 1);
+  // Loop-invariant rank-axis bits of the mask, hoisted out of the per-rank
+  // loop.
+  const std::uint64_t rank_bits =
+      (pmask >> local_qubits_) & static_cast<std::uint64_t>(num_ranks() - 1);
   std::vector<double> partial(static_cast<std::size_t>(num_ranks()));
   for (int r = 0; r < num_ranks(); ++r) {
-    const std::uint64_t rank_bits =
-        (mask >> local_qubits_) & static_cast<std::uint64_t>(num_ranks() - 1);
     const double rank_sign =
         parity(static_cast<idx>(r) & rank_bits) ? -1.0 : 1.0;
     const cplx* a = local_[static_cast<std::size_t>(r)].data();
@@ -185,8 +444,8 @@ cplx DistStateVector::expectation_pauli(const PauliString& p) {
   if (p.min_qubits() > num_qubits_)
     throw std::out_of_range("expectation_pauli: string exceeds register");
   const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
-  const std::uint64_t xm = p.x;
-  const std::uint64_t zm = p.z;
+  const std::uint64_t xm = map_mask(p.x);
+  const std::uint64_t zm = map_mask(p.z);
   const std::uint64_t x_local = xm & (local_dim - 1);
   const std::uint64_t x_rank = xm >> local_qubits_;
 
@@ -194,30 +453,42 @@ cplx DistStateVector::expectation_pauli(const PauliString& p) {
                                 cplx{0, -1}};
   const cplx global = kIPow[std::popcount(xm & zm) % 4];
 
+  // Phase 1: when the X mask crosses the rank axis, each unordered partner
+  // pair posts exactly one sendrecv-style exchange serving both endpoints.
+  // Every remote amplitude moves through SimComm::exchange — no direct
+  // reads of the partner shard — so CommStats::amplitudes_exchanged is
+  // exact and independent of which side of the pair is visited first.
+  if (x_rank != 0) {
+    if (pauli_inbox_.size() != static_cast<std::size_t>(num_ranks()))
+      pauli_inbox_.resize(static_cast<std::size_t>(num_ranks()));
+    pauli_inbox_filled_.assign(static_cast<std::size_t>(num_ranks()), 0);
+    for (int step = 0; step < num_ranks(); ++step) {
+      const int r = reverse_pair_iteration_ ? num_ranks() - 1 - step : step;
+      if (pauli_inbox_filled_[static_cast<std::size_t>(r)]) continue;
+      const int partner = r ^ static_cast<int>(x_rank);
+      std::vector<cplx>& mine =
+          ensure_scratch(pauli_inbox_[static_cast<std::size_t>(r)], local_dim);
+      std::vector<cplx>& theirs = ensure_scratch(
+          pauli_inbox_[static_cast<std::size_t>(partner)], local_dim);
+      const cplx* ar = local_[static_cast<std::size_t>(r)].data();
+      const cplx* ap = local_[static_cast<std::size_t>(partner)].data();
+      std::copy(ar, ar + local_dim, mine.begin());
+      std::copy(ap, ap + local_dim, theirs.begin());
+      comm_->exchange(r, mine, partner, theirs);
+      // After the swap each inbox holds the slice its rank received.
+      pauli_inbox_filled_[static_cast<std::size_t>(r)] = 1;
+      pauli_inbox_filled_[static_cast<std::size_t>(partner)] = 1;
+    }
+  }
+
+  // Phase 2: per-rank accumulation against the received slice (or the own
+  // shard when the X mask stays below the rank axis).
   std::vector<cplx> partial(static_cast<std::size_t>(num_ranks()),
                             cplx{0.0, 0.0});
   for (int r = 0; r < num_ranks(); ++r) {
-    const int partner = r ^ static_cast<int>(x_rank);
     const cplx* a = local_[static_cast<std::size_t>(r)].data();
-
-    // The partner slice holding the a_{i^x} amplitudes; when the X mask
-    // stays local the partner is the rank itself (no staging needed).
-    std::vector<cplx> staged;
-    const cplx* remote = a;
-    if (partner != r) {
-      // Stage a copy of this rank's slice to the partner and vice versa;
-      // only the lower rank of each pair drives the exchange bookkeeping.
-      staged.assign(local_[static_cast<std::size_t>(partner)].data(),
-                    local_[static_cast<std::size_t>(partner)].data() +
-                        local_dim);
-      if (r < partner) {
-        std::vector<cplx> mine(a, a + local_dim);
-        comm_->exchange(r, mine, partner, staged);
-        staged = std::move(mine);  // after swap, `mine` holds partner data
-      }
-      remote = staged.data();
-    }
-
+    const cplx* remote =
+        x_rank == 0 ? a : pauli_inbox_[static_cast<std::size_t>(r)].data();
     cplx s{0.0, 0.0};
     for (idx l = 0; l < local_dim; ++l) {
       const idx i = (static_cast<idx>(r) << local_qubits_) | l;
@@ -248,13 +519,57 @@ double DistStateVector::norm() {
   return std::sqrt(comm_->allreduce_sum(partial));
 }
 
+std::vector<idx> DistStateVector::sample(Rng& rng, std::size_t shots) {
+  const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
+  // Rank probability masses, shared through one allreduce (the collective a
+  // real deployment needs before routing shots to owners).
+  std::vector<double> weight(static_cast<std::size_t>(num_ranks()));
+  for (int r = 0; r < num_ranks(); ++r) {
+    const cplx* a = local_[static_cast<std::size_t>(r)].data();
+    double s = 0.0;
+    for (idx i = 0; i < local_dim; ++i) s += std::norm(a[i]);
+    weight[static_cast<std::size_t>(r)] = s;
+  }
+  const double total = comm_->allreduce_sum(weight);
+
+  std::vector<idx> out;
+  out.reserve(shots);
+  for (std::size_t shot = 0; shot < shots; ++shot) {
+    double u = rng.uniform() * total;
+    int r = num_ranks() - 1;
+    for (int cand = 0; cand < num_ranks(); ++cand) {
+      if (u < weight[static_cast<std::size_t>(cand)]) {
+        r = cand;
+        break;
+      }
+      u -= weight[static_cast<std::size_t>(cand)];
+    }
+    const cplx* a = local_[static_cast<std::size_t>(r)].data();
+    idx pick = local_dim - 1;
+    for (idx i = 0; i < local_dim; ++i) {
+      const double pi = std::norm(a[i]);
+      if (u < pi) {
+        pick = i;
+        break;
+      }
+      u -= pi;
+    }
+    out.push_back(
+        to_logical_index((static_cast<idx>(r) << local_qubits_) | pick));
+  }
+  return out;
+}
+
 StateVector DistStateVector::gather() const {
   AmpVector amps(pow2(static_cast<unsigned>(num_qubits_)));
   const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
+  const bool identity = layout_is_identity();
   for (int r = 0; r < num_ranks(); ++r) {
     const cplx* a = local_[static_cast<std::size_t>(r)].data();
-    for (idx i = 0; i < local_dim; ++i)
-      amps[(static_cast<idx>(r) << local_qubits_) | i] = a[i];
+    for (idx i = 0; i < local_dim; ++i) {
+      const idx phys = (static_cast<idx>(r) << local_qubits_) | i;
+      amps[identity ? phys : to_logical_index(phys)] = a[i];
+    }
   }
   return StateVector::from_amplitudes(std::move(amps));
 }

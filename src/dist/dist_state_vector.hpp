@@ -1,18 +1,35 @@
 // Rank-partitioned distributed state vector (the SV-Sim PGAS design).
 //
 // With R = 2^r ranks over n qubits, rank `k` owns the 2^(n-r) amplitudes
-// whose top r index bits equal k: qubits [0, n-r) are *local*, qubits
-// [n-r, n) are *global*. Local-qubit gates run embarrassingly parallel per
-// rank; global-qubit gates exchange amplitudes between partner ranks, and
-// two-qubit gates with global operands are lowered to communication-backed
-// qubit swaps followed by a local gate — the standard distributed
-// state-vector playbook the paper's simulator uses across nodes.
+// whose top r index bits equal k: index bits [0, n-r) are *local*, bits
+// [n-r, n) are *global* (the rank axis). Local gates run embarrassingly
+// parallel per rank; touching a global bit exchanges amplitudes between
+// partner ranks.
+//
+// Communication-avoiding execution (HiSVSIM-style layout permutation): a
+// persistent logical->physical qubit map decides which logical qubit lives
+// on which index bit. Lowering a global operand swaps it onto a local bit
+// *and leaves it there* — the permutation absorbs the swap instead of
+// paying a second exchange to undo it, so runs of gates on the same global
+// operands pay for one exchange. Diagonal gates (Z/RZ/CZ/RZZ/...) commute
+// with the bit labeling and run on the rank axis with zero communication.
+// Every read-side operation (expectations, sampling, gather) remaps through
+// the layout, so callers always see logical qubits.
+//
+// Strict comm discipline: every amplitude that crosses a rank boundary
+// moves through SimComm::exchange via reusable per-instance staging
+// buffers — no rank ever reads another rank's shard directly, so
+// CommStats is an exact model of the traffic a real interconnect would
+// carry.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "dist/comm.hpp"
 #include "ir/circuit.hpp"
+#include "ir/passes/layout.hpp"
 #include "pauli/pauli_sum.hpp"
 #include "sim/state_vector.hpp"
 
@@ -20,51 +37,136 @@ namespace vqsim {
 
 class DistStateVector {
  public:
+  enum class CommMode {
+    /// Seed-compatible lowering: swap-in/gate/swap-out per global gate,
+    /// no diagonal shortcut. Kept as the measurable baseline for the
+    /// communication-avoiding paths.
+    kNaivePerGate,
+    /// Persistent layout permutation: swaps stay in place, diagonal gates
+    /// run on the rank axis for free (the default).
+    kPersistentLayout,
+  };
+
   /// |0...0> over `num_qubits`, partitioned across `comm`'s ranks.
   /// Requires num_qubits - rank_bits >= 2 (room for swap scratch qubits).
-  DistStateVector(int num_qubits, SimComm* comm);
+  DistStateVector(int num_qubits, SimComm* comm,
+                  CommMode mode = CommMode::kPersistentLayout);
 
   int num_qubits() const { return num_qubits_; }
   int local_qubits() const { return local_qubits_; }
   int num_ranks() const { return comm_->num_ranks(); }
+  CommMode mode() const { return mode_; }
 
+  /// Back to |0...0>; the layout permutation resets to identity.
   void reset();
+  /// Prepare |basis> (logical index); the layout resets to identity.
   void set_basis_state(idx basis);
 
   void apply_gate(const Gate& gate);
   void apply_circuit(const Circuit& circuit);
 
-  /// Distributed <Z^mask> (local parity sums + allreduce).
+  /// Execute `circuit` following a communication plan from plan_layout().
+  /// The plan must target this register partition and assume this state's
+  /// current layout; requires CommMode::kPersistentLayout. Records the
+  /// planned/avoided exchange counters (comm.exchanges_planned,
+  /// comm.exchanges_avoided).
+  void apply_circuit(const Circuit& circuit, const LayoutPlan& plan);
+
+  /// Distributed <Z^mask> over logical qubits (local parity sums +
+  /// allreduce).
   double expectation_z_mask(std::uint64_t mask);
 
   /// Distributed direct Pauli expectation (paper §4.2 across ranks): each
-  /// rank pairs its amplitudes with the partner slice, then an allreduce
+  /// partner pair exchanges slices through the communicator once, each
+  /// rank pairs its amplitudes with the received slice, then an allreduce
   /// combines the partial sums.
   cplx expectation_pauli(const PauliString& p);
   double expectation(const PauliSum& h);
 
   double norm();
 
-  /// Reassemble the full state on "rank 0" (validation only).
+  /// Draw `shots` logical basis states i with probability |a_i|^2 (rank
+  /// weights shared through one allreduce, as a real deployment would).
+  std::vector<idx> sample(Rng& rng, std::size_t shots);
+
+  /// Reassemble the full state on "rank 0" in logical qubit order
+  /// (validation only).
   StateVector gather() const;
+
+  /// Current logical->physical qubit permutation (identity until a
+  /// persistent swap lands).
+  const std::vector<int>& layout() const { return layout_; }
 
   CommStats comm_stats() const { return comm_->stats(); }
 
- private:
-  bool is_local(int qubit) const { return qubit < local_qubits_; }
-  int global_bit(int qubit) const { return qubit - local_qubits_; }
+  /// Staging-buffer allocations since construction; stays flat across
+  /// gates once the reusable scratch is warm (regression guard for the
+  /// per-gate heap churn the seed paid).
+  std::uint64_t scratch_allocations() const { return scratch_allocations_; }
 
-  void apply_mat2_local(const Mat2& m, int q);
-  void apply_mat2_global(const Mat2& m, int q);
-  /// Exchange-backed SWAP between a global qubit and a local qubit.
-  void swap_global_local(int global_qubit, int local_qubit);
-  /// Pick a local scratch qubit avoiding `avoid0` / `avoid1`.
+  /// Test hook: drive expectation_pauli's partner-pair exchanges from the
+  /// higher rank of each pair first. Traffic accounting must be identical
+  /// either way (regression guard for the comm-bypass bug where the
+  /// r > partner direction read the partner shard without communicating).
+  void debug_reverse_pair_iteration(bool reverse) {
+    reverse_pair_iteration_ = reverse;
+  }
+
+ private:
+  bool is_local_phys(int phys) const { return phys < local_qubits_; }
+  int global_bit(int phys) const { return phys - local_qubits_; }
+
+  /// Map a logical qubit mask onto physical index bits through the layout.
+  std::uint64_t map_mask(std::uint64_t logical_mask) const;
+  idx to_logical_index(idx physical) const;
+  bool layout_is_identity() const;
+  void reset_layout();
+
+  void apply_gate_naive(const Gate& gate);
+  void apply_gate_persistent(const Gate& gate, const LayoutStep* step);
+
+  // Physical-space primitives (operate on index bits, not logical qubits).
+  /// Apply `gate` remapped onto physical slots (p1 < 0 for one-qubit gates)
+  /// on every shard through StateVector::apply_gate — the same kernels the
+  /// single-rank engine runs, so distributed execution stays bit-identical
+  /// to the shared-memory reference by construction.
+  void apply_local_gate(const Gate& gate, int p0, int p1 = -1);
+  void apply_mat2_global_phys(const Mat2& m, int global_bit);
+  /// Exchange-backed SWAP between a global index bit and a local one.
+  void swap_global_local_phys(int global_bit, int local_phys);
+  /// Diagonal gates on the rank axis: pure per-shard scaling, zero comm.
+  void apply_diag1_phys(const Gate& gate, int phys);
+  void apply_diag2_phys(const Gate& gate, int p0, int p1);
+
+  /// Persistently swap logical qubit `q` onto local slot `slot`, updating
+  /// the layout (the evicted resident takes q's rank-axis position).
+  void move_to_local(int logical_q, int slot);
+
+  /// First local slot != avoid0/avoid1 (the seed's naive scratch policy).
   int pick_scratch(int avoid0, int avoid1) const;
+  /// Round-robin eviction for the greedy persistent path.
+  int pick_victim_greedy(int exclude0, int exclude1);
+
+  /// Size `buf` to `n`, counting real (re)allocations.
+  std::vector<cplx>& ensure_scratch(std::vector<cplx>& buf, idx n);
 
   int num_qubits_ = 0;
   int local_qubits_ = 0;
   SimComm* comm_ = nullptr;
+  CommMode mode_ = CommMode::kPersistentLayout;
   std::vector<StateVector> local_;  // one shard per rank
+
+  std::vector<int> layout_;      // layout_[logical] = physical index bit
+  std::vector<int> inv_layout_;  // inv_layout_[physical] = logical qubit
+  int greedy_cursor_ = 0;
+
+  // Reusable staging buffers (hoisted out of the per-gate hot path).
+  std::vector<cplx> stage_a_;
+  std::vector<cplx> stage_b_;
+  std::vector<std::vector<cplx>> pauli_inbox_;  // per-rank received slices
+  std::vector<std::uint8_t> pauli_inbox_filled_;
+  std::uint64_t scratch_allocations_ = 0;
+  bool reverse_pair_iteration_ = false;
 };
 
 }  // namespace vqsim

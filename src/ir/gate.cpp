@@ -344,6 +344,37 @@ Gate inverse_gate(const Gate& g) {
   }
 }
 
+bool gate_is_diagonal(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kI:
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kCZ:
+    case GateKind::kCRZ:
+    case GateKind::kCP:
+    case GateKind::kRZZ:
+      return true;
+    case GateKind::kMat1: {
+      const Mat2& m = *g.mat1;
+      return m(0, 1) == cplx{} && m(1, 0) == cplx{};
+    }
+    case GateKind::kMat2: {
+      const Mat4& m = *g.mat2;
+      for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+          if (r != c && m(r, c) != cplx{}) return false;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
 bool gate_is_clifford(const Gate& g) {
   // Multiple-of-pi/2 detection matching sim/stabilizer.cpp's quarter_turns
   // (same 1e-9 tolerance); returns k in [0, 4) or -1.

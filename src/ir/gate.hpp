@@ -89,6 +89,14 @@ Mat4 gate_matrix4(const Gate& g);
 /// invert to their adjoint payloads).
 Gate inverse_gate(const Gate& g);
 
+/// True when the gate's matrix is diagonal in the computational basis
+/// (Z/S/T/RZ/P and the controlled/two-qubit phase family; generic matrix
+/// gates are inspected element-wise). Diagonal gates commute with any
+/// relabeling of which amplitude-index bit carries the qubit, so the
+/// distributed backend applies them to rank-remote qubits without moving a
+/// single amplitude (ir/passes/layout.hpp exploits this).
+bool gate_is_diagonal(const Gate& g);
+
 /// True when the gate is recognized as Clifford — exactly the set
 /// sim::StabilizerState::try_apply_gate executes (fixed Clifford gates, and
 /// the rotation family at multiples of pi/2 within 1e-9). Generic matrix

@@ -1,0 +1,98 @@
+// Communication-avoiding qubit layout planning for the distributed backend
+// (HiSVSIM-style layout permutation + Gottesman-inspired gate scheduling;
+// see PAPERS.md and the Qiskit Aer cache-blocking analogue).
+//
+// The rank-partitioned state vector (dist/dist_state_vector.hpp) keeps the
+// top qubits of the amplitude index on the rank axis: touching one of them
+// with a non-diagonal gate moves amplitudes between ranks. The naive
+// lowering pays a swap-in/gate/swap-out round trip for *every* such gate —
+// up to four half-slice exchanges each — and immediately undoes the data
+// movement it just paid for.
+//
+// This pass walks a circuit once and plans where the global<->local swaps
+// land so they can *stay in place*: a persistent logical->physical qubit
+// permutation absorbs each swap, runs of gates on the same global operands
+// pay for one exchange, and diagonal gates (Z/RZ/CZ/RZZ/...) are scheduled
+// in place on the rank axis at zero communication cost. Eviction picks the
+// resident qubit whose next use is farthest away (Belady's rule), which is
+// optimal for unit-cost swap traffic.
+//
+// The product is a LayoutPlan the executor replays step by step, plus
+// LayoutStats comparing the planned exchange volume against the naive
+// per-gate baseline (the FusionStats idiom: plan once, report the win).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace vqsim {
+
+/// Planned vs naive communication volume for one circuit.
+struct LayoutStats {
+  /// Amplitudes the naive swap-in/gate/swap-out lowering would move
+  /// (accounted exactly as SimComm counts them: both directions of every
+  /// pairwise exchange).
+  std::uint64_t naive_amplitudes = 0;
+  /// Amplitudes moved under the plan.
+  std::uint64_t planned_amplitudes = 0;
+  /// Pairwise exchange operations in the naive lowering / under the plan.
+  std::uint64_t naive_exchanges = 0;
+  std::uint64_t planned_exchanges = 0;
+  /// Persistent global<->local swaps the plan schedules.
+  std::size_t swaps_planned = 0;
+  /// Naive swap operations minus planned ones (negative when the plan
+  /// trades a cheaper swap-in for a naive in-place global gate).
+  std::int64_t swaps_avoided = 0;
+  /// Gates with at least one operand on the rank axis under the naive
+  /// (identity) layout.
+  std::size_t gates_with_global_operands = 0;
+
+  /// Fraction of the naive amplitude traffic the plan avoids.
+  double amplitude_reduction() const {
+    return naive_amplitudes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(planned_amplitudes) /
+                           static_cast<double>(naive_amplitudes);
+  }
+
+  LayoutStats& operator+=(const LayoutStats& o);
+};
+
+/// Per-gate action of a LayoutPlan. One entry per gate operand (q0, q1).
+struct LayoutStep {
+  /// Operand is physically local under the planned layout: no swap.
+  static constexpr int kNoSwap = -1;
+  /// Operand stays on the rank axis and the gate runs there in place
+  /// (diagonal gates: zero communication).
+  static constexpr int kStayGlobal = -2;
+  /// Values >= 0 name the local physical slot the operand is swapped into
+  /// (persistently — the layout permutation absorbs the swap).
+  std::array<int, 2> action{kNoSwap, kNoSwap};
+};
+
+/// Comm plan for one circuit against a fixed register partition.
+struct LayoutPlan {
+  int num_qubits = 0;    // full register (may exceed the circuit's)
+  int local_qubits = 0;  // qubits below the rank axis
+  /// Layout the plan assumes at entry; empty means identity.
+  std::vector<int> initial_layout;
+  /// One step per gate, parallel to circuit.gates().
+  std::vector<LayoutStep> steps;
+  /// final_layout[logical] = physical slot after the planned circuit ran.
+  std::vector<int> final_layout;
+  LayoutStats stats;
+};
+
+/// Plan the communication schedule for `circuit` on a register of
+/// `num_qubits` qubits with `local_qubits` of them below the rank axis
+/// (rank count = 2^(num_qubits - local_qubits)). `initial_layout` defaults
+/// to identity; when given, initial_layout[logical] = physical must be a
+/// permutation of [0, num_qubits).
+LayoutPlan plan_layout(const Circuit& circuit, int num_qubits,
+                       int local_qubits,
+                       std::vector<int> initial_layout = {});
+
+}  // namespace vqsim

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "dist/dist_state_vector.hpp"
+#include "ir/passes/layout.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/expectation.hpp"
 #include "sim/stabilizer.hpp"
@@ -201,10 +202,22 @@ BackendCaps DistStateVectorBackend::caps() const {
                      .clifford_only = false};
 }
 
+namespace {
+
+// Every dist-backend job plans its circuit's communication schedule first:
+// the persistent layout permutation turns the per-gate swap round trips
+// into one-time exchanges (see ir/passes/layout.hpp).
+void apply_with_comm_plan(DistStateVector& psi, const Circuit& circuit) {
+  psi.apply_circuit(
+      circuit, plan_layout(circuit, psi.num_qubits(), psi.local_qubits()));
+}
+
+}  // namespace
+
 StateVector DistStateVectorBackend::run_circuit(const Circuit& circuit) {
   require_fits(circuit.num_qubits(), max_qubits_, name());
   DistStateVector psi(circuit.num_qubits(), &comm_);
-  psi.apply_circuit(circuit);
+  apply_with_comm_plan(psi, circuit);
   return psi.gather();
 }
 
@@ -214,7 +227,7 @@ double DistStateVectorBackend::expectation(const Circuit& circuit,
   require_noiseless(noise, name());
   require_fits(circuit.num_qubits(), max_qubits_, name());
   DistStateVector psi(circuit.num_qubits(), &comm_);
-  psi.apply_circuit(circuit);
+  apply_with_comm_plan(psi, circuit);
   return psi.expectation(observable);
 }
 
@@ -223,7 +236,7 @@ double DistStateVectorBackend::energy(const Ansatz& ansatz,
                                       std::span<const double> theta) {
   require_fits(ansatz.num_qubits(), max_qubits_, name());
   DistStateVector psi(ansatz.num_qubits(), &comm_);
-  psi.apply_circuit(ansatz.circuit(theta));
+  apply_with_comm_plan(psi, ansatz.circuit(theta));
   return psi.expectation(observable);
 }
 

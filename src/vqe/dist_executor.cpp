@@ -34,10 +34,16 @@ double DistributedExecutor::evaluate(std::span<const double> theta) {
   ++stats_.energy_evaluations;
 
   // The distributed backend consumes gate circuits (the fast amplitude-level
-  // prepare() path only exists on the shared-memory engine).
+  // prepare() path only exists on the shared-memory engine). Planning is
+  // linear in the gate count — noise next to the exponential simulation —
+  // and re-planning per evaluation keeps the plan valid even for ansatzes
+  // whose gate structure varies with theta.
   const Circuit circuit = ansatz_.circuit(theta);
+  const LayoutPlan plan =
+      plan_layout(circuit, state_.num_qubits(), state_.local_qubits());
   state_.reset();
-  state_.apply_circuit(circuit);
+  state_.apply_circuit(circuit, plan);
+  layout_stats_ += plan.stats;
   ++stats_.ansatz_executions;
   stats_.ansatz_gates += circuit.size();
 

@@ -5,10 +5,17 @@
 // expectations use the distributed direct path (partner-slice pairing plus
 // allreduce). Results are bit-compatible with the shared-memory executor;
 // the communicator statistics expose the traffic the evaluation cost.
+//
+// Each evaluation plans the circuit's communication schedule first
+// (ir/passes/layout.hpp) and executes it with the persistent layout
+// permutation, so runs of gates on the same global operands share one
+// exchange; layout_stats() reports the planned-vs-naive exchange volume
+// accumulated across evaluations.
 #pragma once
 
 #include "analyze/diagnostic.hpp"
 #include "dist/dist_state_vector.hpp"
+#include "ir/passes/layout.hpp"
 #include "vqe/executor.hpp"
 
 namespace vqsim {
@@ -24,6 +31,10 @@ class DistributedExecutor final : public EnergyEvaluator {
 
   CommStats comm_stats() const { return state_.comm_stats(); }
 
+  /// Accumulated comm-plan accounting (planned vs naive exchange volume)
+  /// across every evaluate() so far.
+  const LayoutStats& layout_stats() const { return layout_stats_; }
+
   /// Warnings/notes from the one-time ansatz verification.
   std::span<const analyze::Diagnostic> ansatz_diagnostics() const {
     return ansatz_diagnostics_;
@@ -35,6 +46,7 @@ class DistributedExecutor final : public EnergyEvaluator {
   std::vector<analyze::Diagnostic> ansatz_diagnostics_;
   DistStateVector state_;
   ExecutorStats stats_;
+  LayoutStats layout_stats_;
 };
 
 }  // namespace vqsim

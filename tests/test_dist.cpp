@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ir/passes/layout.hpp"
 #include "sim/expectation.hpp"
 
 namespace vqsim {
@@ -227,6 +229,342 @@ TEST(Comm, StatsExactUnderConcurrentTraffic) {
 
   comm.reset_stats();
   EXPECT_EQ(comm.stats().point_to_point_messages, 0u);
+}
+
+// -- Communication-avoiding layout (persistent permutation + comm plan) ------
+
+// Random body plus runs of entanglers on the same global operands — the
+// pattern the layout permutation exists to exploit.
+Circuit global_run_circuit(int num_qubits, Rng& rng) {
+  Circuit c = random_circuit(num_qubits, 60, rng);
+  const int g = num_qubits - 1;
+  c.cx(g, 0).cx(g, 1).cx(g, 2).cz(g, 0).rzz(0.37, g, 1);
+  c.cx(g - 1, 0).cx(g - 1, 1).h(g - 1).cx(g - 1, 2);
+  return c;
+}
+
+TEST_P(DistRanks, CommModesMatchReferenceBitForBit) {
+  const int ranks = GetParam();
+  const int n = 6;
+  Rng rng(407 + static_cast<std::uint64_t>(ranks));
+  const Circuit c = global_run_circuit(n, rng);
+
+  StateVector reference(n);
+  reference.apply_circuit(c);
+
+  // Naive per-gate lowering and the greedy persistent layout.
+  for (const auto mode : {DistStateVector::CommMode::kNaivePerGate,
+                          DistStateVector::CommMode::kPersistentLayout}) {
+    SimComm comm(ranks);
+    DistStateVector dist(n, &comm, mode);
+    dist.apply_circuit(c);
+    const StateVector gathered = dist.gather();
+    for (idx i = 0; i < reference.dim(); ++i)
+      ASSERT_EQ(gathered.data()[i], reference.data()[i])
+          << "amplitude " << i << " ranks " << ranks << " mode "
+          << static_cast<int>(mode);
+  }
+
+  // Planned execution; the executor's layout must land where the plan said.
+  SimComm comm(ranks);
+  DistStateVector dist(n, &comm);
+  const LayoutPlan plan = plan_layout(c, n, dist.local_qubits());
+  dist.apply_circuit(c, plan);
+  EXPECT_EQ(dist.layout(), plan.final_layout);
+  const StateVector gathered = dist.gather();
+  for (idx i = 0; i < reference.dim(); ++i)
+    ASSERT_EQ(gathered.data()[i], reference.data()[i])
+        << "amplitude " << i << " ranks " << ranks << " planned";
+}
+
+TEST_P(DistRanks, ExpectationIsLayoutTransparent) {
+  const int ranks = GetParam();
+  const int n = 6;
+  Rng rng(409 + static_cast<std::uint64_t>(ranks));
+  const Circuit c = global_run_circuit(n, rng);
+
+  StateVector reference(n);
+  reference.apply_circuit(c);
+  SimComm comm(ranks);
+  DistStateVector dist(n, &comm);
+  dist.apply_circuit(c, plan_layout(c, n, dist.local_qubits()));
+
+  PauliSum h(n);
+  h.add_term(0.7, "ZZIIII");
+  h.add_term(-0.4, "XIXIII");
+  h.add_term(1.1, "ZIIIIZ");
+  h.add_term(-0.6, "XIIIIX");
+  h.add_term(0.3, "IIIIYY");
+  EXPECT_NEAR(dist.expectation(h), expectation(reference, h), 1e-10);
+  EXPECT_NEAR(dist.norm(), 1.0, 1e-10);
+}
+
+TEST(Dist, MeasuredTrafficMatchesPlanAccounting) {
+  const int n = 6;
+  Rng rng(511);
+  const Circuit c = global_run_circuit(n, rng);
+  {
+    // The naive baseline in LayoutStats is the traffic the naive mode
+    // actually generates.
+    SimComm comm(4);
+    DistStateVector dist(n, &comm, DistStateVector::CommMode::kNaivePerGate);
+    const LayoutPlan plan = plan_layout(c, n, dist.local_qubits());
+    dist.apply_circuit(c);
+    EXPECT_EQ(comm.stats().amplitudes_exchanged, plan.stats.naive_amplitudes);
+    EXPECT_EQ(comm.stats().point_to_point_messages,
+              2 * plan.stats.naive_exchanges);
+  }
+  {
+    // Planned execution generates exactly the traffic the plan bought.
+    SimComm comm(4);
+    DistStateVector dist(n, &comm);
+    const LayoutPlan plan = plan_layout(c, n, dist.local_qubits());
+    dist.apply_circuit(c, plan);
+    EXPECT_EQ(comm.stats().amplitudes_exchanged,
+              plan.stats.planned_amplitudes);
+    EXPECT_EQ(comm.stats().point_to_point_messages,
+              2 * plan.stats.planned_exchanges);
+    // The acceptance bar: >= 2x less amplitude traffic than naive.
+    EXPECT_GE(plan.stats.naive_amplitudes, 2 * plan.stats.planned_amplitudes);
+  }
+}
+
+TEST(Dist, PersistentLayoutPaysOneExchangeForGateRuns) {
+  const int n = 6;
+  SimComm comm(4);
+  DistStateVector dist(n, &comm);
+  Circuit first(n);
+  first.cx(5, 0);  // greedy eviction sends logical qubit 1 to the rank axis
+  dist.apply_circuit(first);
+  const std::uint64_t after_first = comm.stats().amplitudes_exchanged;
+  EXPECT_GT(after_first, 0u);
+
+  // Further gates on the swapped-in qubit ride the permutation for free.
+  Circuit more(n);
+  more.cx(5, 2).cx(5, 3).cx(5, 0);
+  dist.apply_circuit(more);
+  EXPECT_EQ(comm.stats().amplitudes_exchanged, after_first);
+
+  SimComm naive_comm(4);
+  DistStateVector naive(n, &naive_comm,
+                        DistStateVector::CommMode::kNaivePerGate);
+  naive.apply_circuit(first);
+  naive.apply_circuit(more);
+  EXPECT_GE(naive_comm.stats().amplitudes_exchanged,
+            2 * comm.stats().amplitudes_exchanged);
+}
+
+TEST(Dist, DiagonalGatesOnGlobalQubitsMoveNothing) {
+  const int n = 6;
+  SimComm comm(4);
+  DistStateVector dist(n, &comm);
+  StateVector reference(n);
+
+  Circuit prep(n);
+  prep.h(0).h(1).h(2).h(3);  // local-only: no traffic either way
+  dist.apply_circuit(prep);
+  reference.apply_circuit(prep);
+  ASSERT_EQ(comm.stats().amplitudes_exchanged, 0u);
+
+  Circuit diag(n);
+  diag.z(5).s(4).t(5).rz(0.7, 4).cz(4, 5).crz(0.3, 5, 0).rzz(0.9, 4, 1).cp(
+      0.2, 5, 4);
+  dist.apply_circuit(diag);
+  reference.apply_circuit(diag);
+
+  EXPECT_EQ(comm.stats().amplitudes_exchanged, 0u);
+  EXPECT_EQ(comm.stats().point_to_point_messages, 0u);
+  EXPECT_EQ(dist.layout()[5], 5);  // diagonal gates never force a swap
+  const StateVector gathered = dist.gather();
+  for (idx i = 0; i < reference.dim(); ++i)
+    ASSERT_EQ(gathered.data()[i], reference.data()[i]) << "amplitude " << i;
+}
+
+TEST(Dist, PauliExpectationTrafficIndependentOfPairOrdering) {
+  // Regression guard for the comm-bypass bug: the r > partner direction of
+  // each pair used to read the partner shard without touching the
+  // communicator, so traffic accounting depended on iteration order.
+  const int n = 6;
+  Rng rng(613);
+  const Circuit c = random_circuit(n, 60, rng);
+  const PauliString p = PauliString::from_string("XIYIZX");
+  ASSERT_NE(p.x >> 4, 0u);  // X support crosses the rank axis
+
+  const auto measure = [&](bool reverse, CommStats* stats) {
+    SimComm comm(4);
+    DistStateVector dist(n, &comm, DistStateVector::CommMode::kNaivePerGate);
+    dist.apply_circuit(c);
+    comm.reset_stats();
+    dist.debug_reverse_pair_iteration(reverse);
+    const cplx e = dist.expectation_pauli(p);
+    *stats = comm.stats();
+    return e;
+  };
+
+  CommStats forward_stats, reverse_stats;
+  const cplx forward = measure(false, &forward_stats);
+  const cplx reverse = measure(true, &reverse_stats);
+
+  EXPECT_EQ(forward, reverse);
+  EXPECT_EQ(forward_stats.amplitudes_exchanged,
+            reverse_stats.amplitudes_exchanged);
+  EXPECT_EQ(forward_stats.point_to_point_messages,
+            reverse_stats.point_to_point_messages);
+  EXPECT_EQ(forward_stats.allreduces, reverse_stats.allreduces);
+
+  // Exact volume: one exchange per unordered partner pair. 4 ranks pair up
+  // across x_rank -> 2 exchanges of a full 16-amplitude shard each way.
+  EXPECT_EQ(forward_stats.amplitudes_exchanged, 64u);
+  EXPECT_EQ(forward_stats.point_to_point_messages, 4u);
+  EXPECT_EQ(forward_stats.allreduces, 1u);
+
+  StateVector reference(n);
+  reference.apply_circuit(c);
+  PauliSum h(n);
+  h.add_term(1.0, "XIYIZX");
+  EXPECT_NEAR(forward.real(), expectation(reference, h), 1e-10);
+}
+
+TEST(Dist, ZMaskFollowsLayoutPermutation) {
+  const int n = 6;
+  SimComm comm(4);
+  DistStateVector dist(n, &comm);
+  Circuit c(n);
+  c.x(5).x(0);
+  const LayoutPlan plan = plan_layout(c, n, dist.local_qubits());
+  dist.apply_circuit(c, plan);
+  ASSERT_NE(dist.layout()[5], 5);  // the plan pulled qubit 5 below the axis
+
+  // State |100001>: logical masks must see through the permutation whether
+  // they land on local bits, rank bits, or both.
+  EXPECT_NEAR(dist.expectation_z_mask(std::uint64_t{1} << 5), -1.0, 1e-14);
+  EXPECT_NEAR(dist.expectation_z_mask(1), -1.0, 1e-14);
+  EXPECT_NEAR(dist.expectation_z_mask((std::uint64_t{1} << 5) | 1), 1.0,
+              1e-14);
+  EXPECT_NEAR(dist.expectation_z_mask((std::uint64_t{1} << 4) | 1), -1.0,
+              1e-14);
+}
+
+TEST(Dist, SampleReturnsLogicalIndices) {
+  SimComm comm(4);
+  DistStateVector dist(6, &comm);
+  dist.set_basis_state(45);
+  Rng rng(5);
+  for (idx s : dist.sample(rng, 16)) EXPECT_EQ(s, idx{45});
+
+  // |100000> prepared through a planned (layout-permuting) X on a global
+  // qubit still samples as logical index 32.
+  Circuit c(6);
+  c.x(5);
+  dist.reset();
+  dist.apply_circuit(c, plan_layout(c, 6, dist.local_qubits()));
+  ASSERT_NE(dist.layout()[5], 5);
+  for (idx s : dist.sample(rng, 16)) EXPECT_EQ(s, idx{32});
+}
+
+TEST(Dist, SampleGlobalSuperpositionThroughLayout) {
+  SimComm comm(4);
+  DistStateVector dist(6, &comm);
+  Circuit c(6);
+  c.h(5);
+  dist.apply_circuit(c, plan_layout(c, 6, dist.local_qubits()));
+  Rng rng(99);
+  bool saw_zero = false, saw_thirtytwo = false;
+  for (idx s : dist.sample(rng, 64)) {
+    EXPECT_TRUE(s == 0 || s == 32) << s;
+    saw_zero |= s == 0;
+    saw_thirtytwo |= s == 32;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_thirtytwo);
+}
+
+TEST(Dist, StagingBuffersAllocateOnceAcrossGates) {
+  const int n = 6;
+  Rng rng(727);
+  SimComm comm(4);
+  // Naive mode keeps the layout at identity, so both X-support masks below
+  // stay rank-crossing and the inbox warm-up count is deterministic.
+  DistStateVector dist(n, &comm, DistStateVector::CommMode::kNaivePerGate);
+  PauliSum h(n);
+  h.add_term(0.5, "XIIIIX");
+  h.add_term(0.25, "IZIIYI");
+  const Circuit c = global_run_circuit(n, rng);
+
+  dist.apply_circuit(c);
+  (void)dist.expectation(h);
+  // Gate staging was reserved at construction; the only warm-up allocations
+  // are the per-rank Pauli inboxes.
+  const std::uint64_t warm = dist.scratch_allocations();
+  EXPECT_EQ(warm, static_cast<std::uint64_t>(comm.num_ranks()));
+
+  for (int rep = 0; rep < 5; ++rep) {
+    dist.reset();
+    dist.apply_circuit(c);
+    (void)dist.expectation(h);
+    (void)dist.norm();
+  }
+  EXPECT_EQ(dist.scratch_allocations(), warm);
+}
+
+TEST(Dist, PlanValidation) {
+  const int n = 6;
+  SimComm comm(4);
+  Circuit c(n);
+  c.cx(5, 0).h(4);
+  const LayoutPlan plan = plan_layout(c, n, 4);
+
+  DistStateVector naive(n, &comm, DistStateVector::CommMode::kNaivePerGate);
+  EXPECT_THROW(naive.apply_circuit(c, plan), std::invalid_argument);
+
+  DistStateVector dist(n, &comm);
+  Circuit shorter(n);
+  shorter.cx(5, 0);
+  EXPECT_THROW(dist.apply_circuit(shorter, plan), std::invalid_argument);
+
+  const LayoutPlan other_partition = plan_layout(c, n, 3);
+  EXPECT_THROW(dist.apply_circuit(c, other_partition), std::invalid_argument);
+
+  dist.apply_circuit(c, plan);  // fine; the layout is now permuted
+  EXPECT_THROW(dist.apply_circuit(c, plan), std::logic_error);  // stale start
+
+  // Chaining works when the next plan starts from the recorded final layout.
+  const LayoutPlan chained = plan_layout(c, n, 4, plan.final_layout);
+  dist.apply_circuit(c, chained);
+  EXPECT_EQ(dist.layout(), chained.final_layout);
+}
+
+TEST(Dist, ConcurrentStatesShareOneCommunicatorExactly) {
+  // Many DistStateVector instances on one SimComm, applying planned
+  // circuits concurrently: the layout/staging paths are instance-local, so
+  // only the stats cells are shared and nothing may be lost. TSan subject
+  // (tools/run_sanitizers.sh runs test_dist under -fsanitize=thread).
+  const int n = 6;
+  SimComm comm(4);
+  Circuit c(n);
+  c.h(0).cx(5, 0).cx(5, 1).h(4).cx(4, 2).cz(5, 4).rzz(0.3, 5, 0);
+  const LayoutPlan plan = plan_layout(c, n, 4);
+  ASSERT_GT(plan.stats.planned_amplitudes, 0u);
+
+  constexpr int kThreads = 8;
+  constexpr int kReps = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      DistStateVector dist(n, &comm);
+      for (int rep = 0; rep < kReps; ++rep) {
+        dist.reset();
+        dist.apply_circuit(c, plan);
+      }
+    });
+  for (auto& t : threads) t.join();
+
+  const CommStats stats = comm.stats();
+  EXPECT_EQ(stats.amplitudes_exchanged,
+            std::uint64_t{kThreads} * kReps * plan.stats.planned_amplitudes);
+  EXPECT_EQ(stats.point_to_point_messages,
+            std::uint64_t{kThreads} * kReps * 2 *
+                plan.stats.planned_exchanges);
 }
 
 }  // namespace

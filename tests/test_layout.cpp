@@ -1,0 +1,149 @@
+#include "ir/passes/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/dist_state_vector.hpp"
+
+namespace vqsim {
+namespace {
+
+// Register used throughout: 6 qubits, 4 local -> 4 ranks, 2 rank-axis bits,
+// R/2 = 2 partner pairs, 16 amplitudes per shard.
+constexpr int kQubits = 6;
+constexpr int kLocal = 4;
+constexpr std::uint64_t kPairs = 2;
+constexpr std::uint64_t kSwapAmps = kPairs * 16;
+
+TEST(Layout, LocalOnlyCircuitCostsNothing) {
+  Circuit c(kQubits);
+  c.h(0).cx(0, 1).rzz(0.4, 2, 3).u3(0.1, 0.2, 0.3, 2);
+  const LayoutPlan plan = plan_layout(c, kQubits, kLocal);
+
+  EXPECT_EQ(plan.stats.naive_amplitudes, 0u);
+  EXPECT_EQ(plan.stats.planned_amplitudes, 0u);
+  EXPECT_EQ(plan.stats.swaps_planned, 0u);
+  EXPECT_EQ(plan.stats.gates_with_global_operands, 0u);
+  for (const LayoutStep& s : plan.steps) {
+    EXPECT_EQ(s.action[0], LayoutStep::kNoSwap);
+    EXPECT_EQ(s.action[1], LayoutStep::kNoSwap);
+  }
+  std::vector<int> identity(kQubits);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(plan.final_layout, identity);
+}
+
+TEST(Layout, DiagonalGlobalGatesScheduledInPlace) {
+  Circuit c(kQubits);
+  c.z(5).rz(0.3, 4).cz(4, 5).rzz(0.2, 5, 1);
+  const LayoutPlan plan = plan_layout(c, kQubits, kLocal);
+
+  // Zero planned communication; the naive lowering pays for every one.
+  EXPECT_EQ(plan.stats.planned_amplitudes, 0u);
+  EXPECT_EQ(plan.stats.planned_exchanges, 0u);
+  EXPECT_EQ(plan.stats.swaps_planned, 0u);
+  EXPECT_GT(plan.stats.naive_amplitudes, 0u);
+  EXPECT_EQ(plan.stats.gates_with_global_operands, 4u);
+
+  EXPECT_EQ(plan.steps[0].action[0], LayoutStep::kStayGlobal);
+  EXPECT_EQ(plan.steps[1].action[0], LayoutStep::kStayGlobal);
+  EXPECT_EQ(plan.steps[2].action[0], LayoutStep::kStayGlobal);
+  EXPECT_EQ(plan.steps[2].action[1], LayoutStep::kStayGlobal);
+  EXPECT_EQ(plan.steps[3].action[0], LayoutStep::kStayGlobal);
+  EXPECT_EQ(plan.steps[3].action[1], LayoutStep::kNoSwap);
+}
+
+TEST(Layout, RunOfGatesOnOneGlobalOperandSharesOneSwap) {
+  Circuit c(kQubits);
+  c.cx(5, 0).cx(5, 1).cx(5, 2);
+  const LayoutPlan plan = plan_layout(c, kQubits, kLocal);
+
+  // One persistent swap-in; qubit 3 (never used) is the Belady victim.
+  EXPECT_EQ(plan.stats.swaps_planned, 1u);
+  EXPECT_EQ(plan.steps[0].action[0], 3);
+  EXPECT_EQ(plan.steps[1].action[0], LayoutStep::kNoSwap);
+  EXPECT_EQ(plan.steps[2].action[0], LayoutStep::kNoSwap);
+  EXPECT_EQ(plan.stats.planned_exchanges, kPairs);
+  EXPECT_EQ(plan.stats.planned_amplitudes, kSwapAmps);
+
+  // Naive: swap-in + swap-out per gate -> 6 swaps.
+  EXPECT_EQ(plan.stats.naive_amplitudes, 6 * kSwapAmps);
+  EXPECT_EQ(plan.stats.swaps_avoided, 5);
+  EXPECT_GT(plan.stats.amplitude_reduction(), 0.5);
+
+  EXPECT_EQ(plan.final_layout[5], 3);  // qubit 5 now local
+  EXPECT_EQ(plan.final_layout[3], 5);  // the evicted resident took its slot
+}
+
+TEST(Layout, BeladyEvictsFarthestNextUse) {
+  // Victim candidates are slots 1..3 (slot 0 holds the gate's other
+  // operand). With qubit 3 never needing locality again, it is evicted.
+  Circuit far(kQubits);
+  far.cx(4, 0).h(1).h(2);
+  EXPECT_EQ(plan_layout(far, kQubits, kLocal).steps[0].action[0], 3);
+
+  // Same gate, but now qubit 3 is needed soonest and qubit 2 last: the
+  // farthest-next-use resident (qubit 2) goes to the rank axis instead.
+  Circuit soon(kQubits);
+  soon.cx(4, 0).h(3).h(1).h(2);
+  EXPECT_EQ(plan_layout(soon, kQubits, kLocal).steps[0].action[0], 2);
+}
+
+TEST(Layout, InitialLayoutRespected) {
+  // Qubit 5 already sits on local slot 0 at entry: the run costs nothing
+  // under the plan, while the naive (identity-layout) baseline still pays.
+  std::vector<int> initial{5, 1, 2, 3, 4, 0};
+  Circuit c(kQubits);
+  c.cx(5, 1).cx(5, 2);
+  const LayoutPlan plan = plan_layout(c, kQubits, kLocal, initial);
+  EXPECT_EQ(plan.stats.planned_amplitudes, 0u);
+  EXPECT_EQ(plan.stats.swaps_planned, 0u);
+  EXPECT_GT(plan.stats.naive_amplitudes, 0u);
+  EXPECT_EQ(plan.initial_layout, initial);
+  EXPECT_EQ(plan.final_layout, initial);
+}
+
+TEST(Layout, ValidatesArguments) {
+  Circuit c(kQubits);
+  c.h(0);
+  EXPECT_THROW(plan_layout(c, kQubits, 0), std::invalid_argument);
+  EXPECT_THROW(plan_layout(c, kQubits, kQubits + 1), std::invalid_argument);
+  EXPECT_THROW(plan_layout(c, kQubits - 1, kLocal), std::invalid_argument);
+  EXPECT_THROW(plan_layout(c, kQubits, kLocal, {0, 1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_layout(c, kQubits, kLocal, {0, 0, 2, 3, 4, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_layout(c, kQubits, kLocal, {0, 9, 2, 3, 4, 5}),
+               std::invalid_argument);
+}
+
+TEST(Layout, StatsAccumulate) {
+  Circuit c(kQubits);
+  c.cx(5, 0).cx(5, 1);
+  const LayoutPlan plan = plan_layout(c, kQubits, kLocal);
+  LayoutStats total;
+  total += plan.stats;
+  total += plan.stats;
+  EXPECT_EQ(total.naive_amplitudes, 2 * plan.stats.naive_amplitudes);
+  EXPECT_EQ(total.planned_amplitudes, 2 * plan.stats.planned_amplitudes);
+  EXPECT_EQ(total.swaps_planned, 2 * plan.stats.swaps_planned);
+  EXPECT_EQ(total.swaps_avoided, 2 * plan.stats.swaps_avoided);
+}
+
+TEST(Layout, FinalLayoutMatchesExecutedLayout) {
+  Circuit c(kQubits);
+  c.h(0).cx(5, 0).cz(4, 5).cx(4, 1).rzz(0.7, 5, 2).h(4).cx(5, 3);
+  const LayoutPlan plan = plan_layout(c, kQubits, kLocal);
+
+  SimComm comm(4);
+  DistStateVector dist(kQubits, &comm);
+  dist.apply_circuit(c, plan);
+  EXPECT_EQ(dist.layout(), plan.final_layout);
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -7,8 +7,11 @@
 #      BENCH_<suite>.json next to its stdout table; perf_virtual_qpu doubles
 #      as the determinism gate — it exits non-zero if any worker-count cell
 #      reproduces different energies, which aborts this script.
-#   3. Runs the google-benchmark perf_* binaries with JSON output.
-#   4. Aggregates every BENCH_*.json into one BENCH_baseline.json keyed by
+#   3. Runs perf_scaling's distributed comm-volume gate (naive vs
+#      layout-scheduled traffic on a UCCSD circuit) and enforces the
+#      scheduled-path amplitude budget on its BENCH rows.
+#   4. Runs the google-benchmark perf_* binaries with JSON output.
+#   5. Aggregates every BENCH_*.json into one BENCH_baseline.json keyed by
 #      suite, for regression diffing across commits.
 #
 # Usage: tools/run_benchmarks.sh [--quick] [build-dir] [out-dir]
@@ -36,7 +39,9 @@ gbench_targets=(perf_gate_kernels perf_fusion perf_expectation perf_caching)
 if [[ "${quick}" == 0 ]]; then
   bench_targets+=(fig5_adapt_vqe)
 fi
-cmake --build "${build_dir}" -j --target "${bench_targets[@]}" \
+# perf_scaling builds in both modes: its BENCH-protocol comm-volume gate is
+# part of the regression surface even for --quick runs.
+cmake --build "${build_dir}" -j --target "${bench_targets[@]}" perf_scaling \
   $([[ "${quick}" == 0 ]] && echo "${gbench_targets[@]}")
 
 mkdir -p "${out_dir}"
@@ -48,6 +53,47 @@ for target in "${bench_targets[@]}"; do
   echo "== ${target}"
   "${build_dir}/bench/${target}" | tee "${out_dir}/${target}.log"
 done
+
+# Distributed comm-volume + determinism gate (perf_scaling owns its main):
+# the BENCH section replays a 12-qubit UCCSD circuit under the naive and the
+# layout-scheduled comm modes at 4/8 ranks, exiting non-zero (aborting this
+# script) if either distributed state deviates from the single-rank
+# reference by one bit, if LayoutStats disagrees with the measured
+# CommStats, or if the scheduled path loses its >= 2x traffic edge. In
+# --quick mode a never-matching filter skips its google-benchmark sweeps.
+echo "== perf_scaling"
+scaling_args=()
+if [[ "${quick}" == 1 ]]; then
+  scaling_args+=("--benchmark_filter=^\$")
+else
+  scaling_args+=("--benchmark_out=${out_dir}/GBENCH_perf_scaling.json"
+                 "--benchmark_out_format=json")
+fi
+"${build_dir}/bench/perf_scaling" "${scaling_args[@]}" \
+  | tee "${out_dir}/perf_scaling.log"
+
+# Comm-volume budget: the scheduled path on that UCCSD circuit must keep
+# comm.amplitudes_exchanged within budget (measured 114688 @ 4 ranks,
+# 460800 @ 8 ranks; budgets leave ~15% headroom). A breach means a planner
+# or layout change started paying exchanges it used to avoid.
+declare -A comm_budget=([4]=131072 [8]=524288)
+budget_rows=0
+while read -r ranks amps; do
+  budget="${comm_budget[${ranks}]:-}"
+  [[ -z "${budget}" ]] && continue
+  budget_rows=$((budget_rows + 1))
+  if (( amps > budget )); then
+    echo "FAIL: scheduled comm volume at ${ranks} ranks is ${amps}" \
+         "amplitudes, over the ${budget} budget" >&2
+    exit 1
+  fi
+  echo "comm budget OK at ${ranks} ranks: ${amps} <= ${budget} amplitudes"
+done < <(sed -n 's/.*"ranks":\([0-9]*\),.*"amps_planned":\([0-9]*\),.*/\1 \2/p' \
+           "${out_dir}/perf_scaling.log")
+if (( budget_rows == 0 )); then
+  echo "FAIL: no dist_comm BENCH rows found in perf_scaling output" >&2
+  exit 1
+fi
 
 # google-benchmark microbenchmarks (JSON sidecar per binary).
 if [[ "${quick}" == 0 ]]; then

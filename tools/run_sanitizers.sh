@@ -35,7 +35,11 @@ run_tsan() {
 
   # test_resilience rides along: the retry/breaker/timer-thread machinery is
   # the newest concurrent surface (injected faults race retries against the
-  # dispatcher and the timer wakeups).
+  # dispatcher and the timer wakeups). test_dist covers the layout-scheduled
+  # comm paths: ConcurrentStatesShareOneCommunicatorExactly hammers one
+  # SimComm from many DistStateVector threads (reusable staging buffers,
+  # exchange stats accounting), which is exactly where a torn counter or a
+  # shared-scratch race would surface.
   cmake --build "${build_dir}" -j \
     --target test_runtime test_dist test_telemetry test_resilience
 
