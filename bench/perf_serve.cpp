@@ -1,0 +1,409 @@
+// Multi-tenant serve-layer load generator: cache on/off A-B under a
+// Zipf-distributed request mix.
+//
+// The workload models many clients re-evaluating points of a molecule
+// portfolio (16 H2 parameter sets + 32 H2O-like active-space parameter
+// sets, Zipf(1.0)-ranked popularity — a few hot requests, a long tail).
+// Two tenants of different priorities drive a closed loop on 8 client
+// threads, once against a cache-disabled service (every request executes)
+// and once with the content-addressed cache (hot requests are served from
+// settled entries, concurrent duplicates coalesce).
+//
+// Emitted as BENCH rows (suite "serve"): throughput, latency percentiles,
+// cache hit rate, per-tenant accounting — plus an open-loop paced phase for
+// latency under constant arrival rate. The binary self-gates:
+//   - cache-on throughput must be >= 5x cache-off on this mix,
+//   - cached results must be bit-identical to a fresh pool's recomputation,
+//   - the closed loop must finish with zero quota violations.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_emit.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "downfold/active_space.hpp"
+#include "runtime/virtual_qpu.hpp"
+#include "serve/service.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace {
+
+using namespace vqsim;
+
+struct PortfolioItem {
+  int molecule = 0;  // index into molecules
+  std::vector<double> theta;
+};
+
+struct Molecule {
+  std::string name;
+  std::unique_ptr<Ansatz> ansatz;
+  PauliSum hamiltonian{1};
+};
+
+struct Workload {
+  std::vector<Molecule> molecules;
+  std::vector<PortfolioItem> items;  // Zipf rank order: item 0 hottest
+  std::vector<double> zipf_cdf;
+};
+
+Workload build_workload() {
+  Workload w;
+  {
+    Molecule h2;
+    h2.name = "h2_sto3g";
+    const MolecularIntegrals ints = h2_sto3g();
+    h2.hamiltonian = jordan_wigner(molecular_hamiltonian(ints));
+    h2.ansatz = std::make_unique<UccsdAnsatzAdapter>(2 * ints.norb, ints.nelec);
+    w.molecules.push_back(std::move(h2));
+  }
+  {
+    Molecule h2o;
+    h2o.name = "water_active(2,5)";
+    const MolecularIntegrals act =
+        project_active(water_like(16, 10), ActiveSpace{2, 5});
+    h2o.hamiltonian = jordan_wigner(molecular_hamiltonian(act));
+    h2o.ansatz = std::make_unique<UccsdAnsatzAdapter>(2 * 5, act.nelec);
+    w.molecules.push_back(std::move(h2o));
+  }
+
+  // 16 H2 + 32 H2O-like parameter sets, interleaved so both molecules
+  // appear among the hot ranks (the heavy molecule takes rank 0: caching
+  // the popular-and-expensive request is exactly the serve layer's case).
+  Rng rng(20230817);
+  const auto add_item = [&](int molecule) {
+    PortfolioItem item;
+    item.molecule = molecule;
+    item.theta.resize(w.molecules[molecule].ansatz->num_parameters());
+    for (double& t : item.theta) t = rng.uniform(-0.4, 0.4);
+    w.items.push_back(std::move(item));
+  };
+  for (int i = 0; i < 48; ++i) add_item(i % 3 == 2 ? 0 : 1);
+
+  // Zipf(1.0): weight of rank r is 1/(r+1); requests sample the CDF.
+  double total = 0.0;
+  for (std::size_t r = 0; r < w.items.size(); ++r)
+    total += 1.0 / static_cast<double>(r + 1);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < w.items.size(); ++r) {
+    acc += 1.0 / static_cast<double>(r + 1) / total;
+    w.zipf_cdf.push_back(acc);
+  }
+  w.zipf_cdf.back() = 1.0;
+  return w;
+}
+
+std::size_t sample_rank(const Workload& w, Rng& rng) {
+  const double u = rng.uniform(0.0, 1.0);
+  const auto it =
+      std::lower_bound(w.zipf_cdf.begin(), w.zipf_cdf.end(), u);
+  return static_cast<std::size_t>(it - w.zipf_cdf.begin());
+}
+
+serve::TenantRegistry two_tenants(int max_in_flight) {
+  serve::TenantRegistry registry;
+  serve::TenantConfig interactive;
+  interactive.name = "interactive";
+  interactive.priority = runtime::JobPriority::kHigh;
+  interactive.max_in_flight = max_in_flight;
+  registry.add(interactive);
+  serve::TenantConfig batch;
+  batch.name = "batch";
+  batch.priority = runtime::JobPriority::kLow;
+  batch.max_in_flight = max_in_flight;
+  registry.add(batch);
+  return registry;
+}
+
+double percentile(std::vector<double>& sorted_into, double p) {
+  if (sorted_into.empty()) return 0.0;
+  std::sort(sorted_into.begin(), sorted_into.end());
+  const double pos = p * static_cast<double>(sorted_into.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_into.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_into[lo] * (1.0 - frac) + sorted_into[hi] * frac;
+}
+
+struct PhaseResult {
+  double wall_s = 0.0;
+  double requests_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  serve::ServiceStats stats;
+  std::uint64_t pool_jobs = 0;
+};
+
+/// Closed loop: `threads` clients alternate tenants and each keeps exactly
+/// one request in flight, .get()-ing every response.
+PhaseResult closed_loop(const Workload& w, std::size_t requests,
+                        int threads, std::size_t cache_bytes) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(8, 8, 16);
+  serve::ServeConfig config;
+  config.cache_bytes = cache_bytes;
+  serve::SimService service(pool, two_tenants(/*max_in_flight=*/6), config);
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(threads));
+  std::atomic<std::size_t> next{0};
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      const serve::TenantId tenant = (t % 2 == 0) ? "interactive" : "batch";
+      Rng rng(9000 + static_cast<std::uint64_t>(t));
+      auto& lat = latencies[static_cast<std::size_t>(t)];
+      while (next.fetch_add(1) < requests) {
+        const PortfolioItem& item = w.items[sample_rank(w, rng)];
+        const Molecule& mol = w.molecules[item.molecule];
+        WallTimer rt;
+        service
+            .submit_energy(tenant, *mol.ansatz, mol.hamiltonian, item.theta)
+            .get();
+        lat.push_back(rt.seconds() * 1e3);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  pool.wait_all();
+
+  PhaseResult result;
+  result.wall_s = timer.seconds();
+  result.requests_per_s = static_cast<double>(requests) / result.wall_s;
+  std::vector<double> all;
+  for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  result.stats = service.stats();
+  result.pool_jobs = pool.stats().counters.jobs_submitted;
+  return result;
+}
+
+/// Open loop: one pacer submits at a fixed arrival rate (never waiting on
+/// results); collector threads drain completions and record latencies.
+PhaseResult open_loop(const Workload& w, std::size_t requests,
+                      double arrivals_per_s) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(8, 8, 16);
+  serve::SimService service(pool, two_tenants(/*max_in_flight=*/0));
+
+  struct InFlight {
+    std::shared_future<double> result;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  std::mutex mu;
+  std::deque<InFlight> queue;
+  std::atomic<bool> done{false};
+  std::vector<double> latencies;
+  std::mutex lat_mu;
+
+  std::vector<std::thread> collectors;
+  for (int c = 0; c < 4; ++c) {
+    collectors.emplace_back([&] {
+      for (;;) {
+        InFlight entry;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!queue.empty()) {
+            entry = queue.front();
+            queue.pop_front();
+          } else if (done.load()) {
+            return;
+          }
+        }
+        if (!entry.result.valid()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          continue;
+        }
+        entry.result.wait();
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - entry.submitted)
+                .count();
+        std::lock_guard<std::mutex> lock(lat_mu);
+        latencies.push_back(ms);
+      }
+    });
+  }
+
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / arrivals_per_s));
+  Rng rng(777);
+  WallTimer timer;
+  auto next_arrival = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += interval;
+    const PortfolioItem& item = w.items[sample_rank(w, rng)];
+    const Molecule& mol = w.molecules[item.molecule];
+    InFlight entry;
+    entry.submitted = std::chrono::steady_clock::now();
+    entry.result = service.submit_energy(i % 2 == 0 ? "interactive" : "batch",
+                                         *mol.ansatz, mol.hamiltonian,
+                                         item.theta);
+    std::lock_guard<std::mutex> lock(mu);
+    queue.push_back(std::move(entry));
+  }
+  done.store(true);
+  for (auto& c : collectors) c.join();
+  pool.wait_all();
+
+  PhaseResult result;
+  result.wall_s = timer.seconds();
+  result.requests_per_s = static_cast<double>(requests) / result.wall_s;
+  result.p50_ms = percentile(latencies, 0.50);
+  result.p99_ms = percentile(latencies, 0.99);
+  result.stats = service.stats();
+  result.pool_jobs = pool.stats().counters.jobs_submitted;
+  return result;
+}
+
+void emit_phase(bench::BenchEmitter& emitter, const char* phase,
+                const PhaseResult& r, std::size_t requests) {
+  const auto& s = r.stats;
+  const double hit_rate =
+      s.admitted > 0 ? static_cast<double>(s.cache_hits + s.coalesced) /
+                           static_cast<double>(s.admitted)
+                     : 0.0;
+  emitter.row()
+      .field("phase", phase)
+      .field("requests", requests)
+      .field("wall_s", r.wall_s, "%.4f")
+      .field("requests_per_s", r.requests_per_s, "%.1f")
+      .field("p50_ms", r.p50_ms, "%.3f")
+      .field("p99_ms", r.p99_ms, "%.3f")
+      .field("cache_hits", s.cache_hits)
+      .field("coalesced", s.coalesced)
+      .field("executed", s.executed)
+      .field("cache_hit_rate", hit_rate, "%.4f")
+      .field("pool_jobs", r.pool_jobs)
+      .field("cache_bytes_used", s.value_cache.bytes)
+      .field("evictions", s.value_cache.evictions)
+      .emit();
+  std::printf(
+      "  %-10s %7.1f req/s  p50 %7.3f ms  p99 %8.3f ms  hit-rate %.3f "
+      "(%llu exec / %llu hit / %llu coalesced)\n",
+      phase, r.requests_per_s, r.p50_ms, r.p99_ms, hit_rate,
+      static_cast<unsigned long long>(s.executed),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.coalesced));
+}
+
+std::uint64_t quota_violations(const serve::ServiceStats& stats,
+                               std::size_t quota) {
+  std::uint64_t violations = 0;
+  for (const auto& t : stats.tenants) {
+    violations += t.rejected_quota;
+    if (quota > 0 && t.in_flight_high_water > quota) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 4000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+      requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+  }
+
+  const Workload w = build_workload();
+  std::printf("# perf_serve: %zu requests, Zipf(1.0) over %zu portfolio "
+              "items (2 molecules), 8 client threads, 2 tenants\n",
+              requests, w.items.size());
+  bench::BenchEmitter emitter("serve");
+
+  std::printf("closed loop:\n");
+  const PhaseResult off =
+      closed_loop(w, requests, /*threads=*/8, /*cache_bytes=*/0);
+  emit_phase(emitter, "cache_off", off, requests);
+  const PhaseResult on = closed_loop(w, requests, /*threads=*/8,
+                                     /*cache_bytes=*/std::size_t{64} << 20);
+  emit_phase(emitter, "cache_on", on, requests);
+
+  // Open loop: pace arrivals at half the measured closed-loop cache-on
+  // throughput so the system runs loaded but stable; latency, not
+  // throughput, is the story here (no gate).
+  const double pace = std::max(200.0, on.requests_per_s / 2.0);
+  const std::size_t open_requests = std::min<std::size_t>(requests, 2000);
+  std::printf("open loop (%.0f req/s arrivals):\n", pace);
+  const PhaseResult open = open_loop(w, open_requests, pace);
+  emit_phase(emitter, "open_loop", open, open_requests);
+
+  // -- Gate 1: caching must win >= 5x throughput on this mix ----------------
+  const double speedup = on.requests_per_s / off.requests_per_s;
+  // -- Gate 2: cached bits == fresh recomputation on a fresh pool -----------
+  std::uint64_t bit_mismatches = 0;
+  {
+    runtime::VirtualQpuPool cached_pool =
+        runtime::make_statevector_pool(2, 2, 16);
+    serve::SimService service(cached_pool, two_tenants(0));
+    runtime::VirtualQpuPool fresh = runtime::make_statevector_pool(2, 2, 16);
+    for (std::size_t r = 0; r < 5; ++r) {
+      const PortfolioItem& item = w.items[r];
+      const Molecule& mol = w.molecules[item.molecule];
+      const double first =
+          service
+              .submit_energy("interactive", *mol.ansatz, mol.hamiltonian,
+                             item.theta)
+              .get();
+      const double hit =
+          service
+              .submit_energy("batch", *mol.ansatz, mol.hamiltonian,
+                             item.theta)
+              .get();
+      const double direct =
+          fresh.submit_energy(*mol.ansatz, mol.hamiltonian, item.theta).get();
+      if (first != hit || first != direct) ++bit_mismatches;
+    }
+    if (service.stats().cache_hits + service.stats().coalesced < 5) {
+      std::fprintf(stderr, "GATE: expected the re-requests to be cached\n");
+      ++bit_mismatches;
+    }
+  }
+  // -- Gate 3: zero quota violations over both closed-loop phases -----------
+  const std::uint64_t violations =
+      quota_violations(off.stats, 6) + quota_violations(on.stats, 6);
+
+  emitter.row()
+      .field("phase", "gate")
+      .field("speedup_cache_on_vs_off", speedup, "%.2f")
+      .field("bit_mismatches", bit_mismatches)
+      .field("quota_violations", violations)
+      .field("pass",
+             speedup >= 5.0 && bit_mismatches == 0 && violations == 0)
+      .emit();
+  std::printf("gate: speedup %.2fx (need >= 5), bit mismatches %llu, "
+              "quota violations %llu\n",
+              speedup, static_cast<unsigned long long>(bit_mismatches),
+              static_cast<unsigned long long>(violations));
+
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "GATE FAILURE: cache speedup %.2fx < 5x\n", speedup);
+    return EXIT_FAILURE;
+  }
+  if (bit_mismatches != 0) {
+    std::fprintf(stderr, "GATE FAILURE: cached results not bit-identical\n");
+    return EXIT_FAILURE;
+  }
+  if (violations != 0) {
+    std::fprintf(stderr, "GATE FAILURE: tenant quota violated\n");
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

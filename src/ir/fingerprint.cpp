@@ -1,0 +1,73 @@
+#include "ir/fingerprint.hpp"
+
+#include <bit>
+
+namespace vqsim::ir {
+namespace {
+
+// Distinct initial states keep the two fingerprint families disjoint even
+// for circuits whose structural streams coincide (e.g. a parameter-free
+// circuit still gets different full and shape fingerprints).
+constexpr std::uint64_t kFullSeed = 0x76717369'6d2d6670ull;   // "vqsim-fp"
+constexpr std::uint64_t kShapeSeed = 0x76717369'6d2d7368ull;  // "vqsim-sh"
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_circuit(const Circuit& circuit, bool include_values) {
+  std::uint64_t h = include_values ? kFullSeed : kShapeSeed;
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(circuit.num_qubits()));
+  h = fingerprint_mix(h, circuit.size());
+  for (const Gate& g : circuit.gates()) {
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(g.kind));
+    // +1 keeps the unused-operand sentinel (-1) distinct from qubit 0
+    // without relying on sign-extension of negative ints.
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(g.q0 + 1));
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(g.q1 + 1));
+    if (include_values) {
+      const int num_params = gate_num_params(g.kind);
+      for (int p = 0; p < num_params; ++p)
+        h = fingerprint_mix(h, fingerprint_double(g.params[p]));
+      if (g.mat1)
+        for (const cplx& e : g.mat1->m) {
+          h = fingerprint_mix(h, fingerprint_double(e.real()));
+          h = fingerprint_mix(h, fingerprint_double(e.imag()));
+        }
+      if (g.mat2)
+        for (const cplx& e : g.mat2->m) {
+          h = fingerprint_mix(h, fingerprint_double(e.real()));
+          h = fingerprint_mix(h, fingerprint_double(e.imag()));
+        }
+    }
+  }
+  h = fingerprint_mix(h, circuit.measurements().size());
+  for (const Measurement& m : circuit.measurements()) {
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(m.qubit + 1));
+    h = fingerprint_mix(h, m.position);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t v) {
+  return splitmix64(h ^ splitmix64(v));
+}
+
+std::uint64_t fingerprint_double(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+std::uint64_t circuit_fingerprint(const Circuit& circuit) {
+  return hash_circuit(circuit, /*include_values=*/true);
+}
+
+std::uint64_t circuit_shape_fingerprint(const Circuit& circuit) {
+  return hash_circuit(circuit, /*include_values=*/false);
+}
+
+}  // namespace vqsim::ir

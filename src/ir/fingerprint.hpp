@@ -1,0 +1,47 @@
+// Content-addressed circuit fingerprints.
+//
+// circuit_fingerprint() is the cache-key primitive of the serve layer's
+// result cache (and of any compiled-circuit cache): a 64-bit order-sensitive
+// structural hash covering the register size, every gate in program order
+// (kind, operands, bound rotation angles, generic matrix payloads), and the
+// measurement markers. Two circuits collide only if every one of those
+// components matches bit-for-bit — a one-ulp change to a rotation angle, a
+// swapped gate order, or an extra measurement each produce a different
+// fingerprint (tested in tests/test_circuit.cpp).
+//
+// circuit_shape_fingerprint() is the parameter-shape-only variant: it hashes
+// the same structure but ignores the *values* of numeric gate data (rotation
+// angles and generic matrix payloads). Every parameter binding of one ansatz
+// therefore shares a shape fingerprint, which is exactly the key a
+// compiled-circuit cache wants — the fusion/layout plan depends on the gate
+// structure, not on the angles bound into it (ROADMAP item 3).
+//
+// The mix is splitmix64-based: sequence-sensitive, avalanching, and stable
+// across platforms and runs (no address-based or libstdc++ hashing).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/circuit.hpp"
+
+namespace vqsim::ir {
+
+/// Sequence-sensitive 64-bit combine (splitmix64 finalizer on both sides).
+/// Exposed so higher layers can fold circuit fingerprints into composite
+/// cache keys (serve::CacheKey) with the same mixing quality.
+std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t v);
+
+/// Bit_cast-based double hashing helper: distinguishes +0.0 / -0.0 and every
+/// NaN payload, so "almost equal" parameters never alias a cache entry.
+std::uint64_t fingerprint_double(double v);
+
+/// Order-sensitive structural hash of `circuit` including all numeric gate
+/// data (rotation angles, generic matrix payloads) and measurement markers.
+std::uint64_t circuit_fingerprint(const Circuit& circuit);
+
+/// Structure-only variant: identical for circuits that differ only in the
+/// values of rotation angles or generic matrix payloads, but sensitive to
+/// everything else (gate kinds/order/operands, register size, measurements).
+std::uint64_t circuit_shape_fingerprint(const Circuit& circuit);
+
+}  // namespace vqsim::ir

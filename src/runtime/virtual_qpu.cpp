@@ -546,6 +546,29 @@ PoolCounters VirtualQpuPool::counters() const {
   return counters_;
 }
 
+PoolStats VirtualQpuPool::stats() const {
+  MutexLock lock(mutex_);
+  const Clock::time_point now = Clock::now();
+  PoolStats s;
+  s.queue_depth = pending_.size();
+  s.jobs_in_flight = in_flight_;
+  s.counters = counters_;
+  s.backends.reserve(qpus_.size());
+  for (std::size_t i = 0; i < qpus_.size(); ++i) {
+    BackendHealth h;
+    h.backend_id = static_cast<int>(i);
+    h.name = qpus_[i].backend->name();
+    h.breaker = qpus_[i].breaker.state(now);
+    h.consecutive_failures = qpus_[i].breaker.consecutive_failures();
+    h.breaker_opens = qpus_[i].breaker.opens();
+    if (h.breaker == resilience::BreakerState::kOpen) ++s.open_breakers;
+    if (!qpus_[i].busy && h.breaker != resilience::BreakerState::kOpen)
+      ++s.idle_backends;
+    s.backends.push_back(std::move(h));
+  }
+  return s;
+}
+
 std::vector<BackendUtilization> VirtualQpuPool::utilization() const {
   MutexLock lock(mutex_);
   std::vector<BackendUtilization> out;

@@ -82,6 +82,25 @@ struct BackendHealth {
   std::uint64_t breaker_opens = 0;
 };
 
+/// One-lock snapshot of the pool's live scheduling state, taken atomically:
+/// queue depth, jobs handed to workers and not yet finished, per-backend
+/// breaker health, and the lifetime counters all describe the same instant.
+/// This is what layered services (serve::AdmissionController, load
+/// generators) consume instead of scraping telemetry strings or stitching
+/// together queue_depth()/health()/counters() reads that can interleave
+/// with dispatch.
+struct PoolStats {
+  std::size_t queue_depth = 0;
+  /// Jobs executing (or between completion and finalization) right now.
+  std::uint64_t jobs_in_flight = 0;
+  /// Backends neither running a job nor quarantined by their breaker.
+  int idle_backends = 0;
+  /// Backends whose breaker is OPEN at the snapshot instant.
+  int open_breakers = 0;
+  PoolCounters counters;
+  std::vector<BackendHealth> backends;
+};
+
 class VirtualQpuPool {
  public:
   /// Takes ownership of the QPU fleet. `workers` <= 0 selects the hardware
@@ -150,6 +169,9 @@ class VirtualQpuPool {
 
   std::size_t queue_depth() const;
   PoolCounters counters() const;
+  /// Atomic snapshot of queue depth, in-flight count, backend health, and
+  /// counters (single mutex acquisition; see PoolStats).
+  PoolStats stats() const;
   std::vector<BackendUtilization> utilization() const;
   /// Breaker state / consecutive-failure count per backend.
   std::vector<BackendHealth> health() const;

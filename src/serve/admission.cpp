@@ -1,0 +1,122 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vqsim::serve {
+
+const char* to_string(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted: return "admitted";
+    case AdmissionOutcome::kRejectedRate: return "rejected_rate";
+    case AdmissionOutcome::kRejectedQuota: return "rejected_quota";
+    case AdmissionOutcome::kRejectedQueueFull: return "rejected_queue_full";
+    case AdmissionOutcome::kShedBreakerOpen: return "shed_breaker_open";
+    case AdmissionOutcome::kUnknownTenant: return "unknown_tenant";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const TenantRegistry& registry,
+                                         AdmissionPolicy policy)
+    : policy_(policy) {
+  for (const std::string& name : registry.names()) {
+    State s;
+    s.config = registry.config(name);
+    s.bucket = TokenBucket(s.config.rate);
+    s.stats.name = name;
+    tenants_.emplace(name, std::move(s));
+  }
+}
+
+AdmissionController::State& AdmissionController::state(const TenantId& tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end())
+    throw std::out_of_range("AdmissionController: unknown tenant \"" + tenant +
+                            "\"");
+  return it->second;
+}
+
+void AdmissionController::prune(State& s) {
+  auto& slots = s.slots;
+  slots.erase(std::remove_if(slots.begin(), slots.end(),
+                             [](const ReadyFn& ready) { return ready(); }),
+              slots.end());
+  s.stats.in_flight = slots.size();
+}
+
+AdmissionOutcome AdmissionController::admit_request(
+    const TenantId& tenant, Clock::time_point now,
+    const runtime::PoolStats& pool) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return AdmissionOutcome::kUnknownTenant;
+  State& s = it->second;
+  ++s.stats.requests;
+
+  // Shed before anything else: with every breaker open the fleet has no
+  // admissible backend, so even a cacheable request that would miss is
+  // doomed to queue behind a quarantine. Cache hits are sacrificed too —
+  // the shed gate is a fleet-health statement, not a capacity statement.
+  if (policy_.shed_when_all_breakers_open && !pool.backends.empty() &&
+      pool.open_breakers == static_cast<int>(pool.backends.size())) {
+    ++s.stats.shed_breaker_open;
+    return AdmissionOutcome::kShedBreakerOpen;
+  }
+  if (policy_.max_queue_depth > 0 &&
+      pool.queue_depth >= policy_.max_queue_depth) {
+    ++s.stats.rejected_queue_full;
+    return AdmissionOutcome::kRejectedQueueFull;
+  }
+  if (!s.bucket.try_acquire(now)) {
+    ++s.stats.rejected_rate;
+    return AdmissionOutcome::kRejectedRate;
+  }
+  ++s.stats.admitted;
+  return AdmissionOutcome::kAdmitted;
+}
+
+bool AdmissionController::try_reserve_slot(const TenantId& tenant,
+                                           ReadyFn ready) {
+  State& s = state(tenant);
+  prune(s);
+  if (s.config.max_in_flight > 0 &&
+      s.slots.size() >= static_cast<std::size_t>(s.config.max_in_flight)) {
+    ++s.stats.rejected_quota;
+    // The request consumed a rate token in admit_request; that is
+    // deliberate — a quota-rejected request still arrived.
+    --s.stats.admitted;
+    return false;
+  }
+  s.slots.push_back(std::move(ready));
+  s.stats.in_flight = s.slots.size();
+  s.stats.in_flight_high_water =
+      std::max(s.stats.in_flight_high_water, s.slots.size());
+  return true;
+}
+
+void AdmissionController::record(const TenantId& tenant, Served served) {
+  State& s = state(tenant);
+  switch (served) {
+    case Served::kCacheHit: ++s.stats.cache_hits; break;
+    case Served::kCoalesced: ++s.stats.coalesced; break;
+    case Served::kExecuted: ++s.stats.executed; break;
+  }
+}
+
+std::size_t AdmissionController::in_flight(const TenantId& tenant) {
+  State& s = state(tenant);
+  prune(s);
+  return s.slots.size();
+}
+
+std::vector<TenantAdmissionStats> AdmissionController::stats() {
+  std::vector<TenantAdmissionStats> out;
+  out.reserve(tenants_.size());
+  for (auto& [name, s] : tenants_) {
+    prune(s);
+    out.push_back(s.stats);
+  }
+  return out;
+}
+
+}  // namespace vqsim::serve

@@ -1,0 +1,129 @@
+// Per-tenant admission control (vqsim::serve, part 2).
+//
+// Every request entering SimService passes two gates before it can reach
+// the VirtualQpuPool:
+//
+//   1. admit_request() — the request-level gate: load shedding when every
+//      backend's circuit breaker is OPEN (the resilience layer says the
+//      fleet is sick, so the front door turns traffic away before it piles
+//      onto the pool queue), a global queue-depth bound, and the tenant's
+//      token-bucket rate limit. Runs for *every* request, including ones
+//      that will be served from the result cache.
+//   2. try_reserve_slot() — the execution-level gate: the tenant's
+//      concurrency quota. Only requests that miss the cache reserve a slot;
+//      cache hits and coalesced duplicates occupy no pool resources and
+//      therefore no slot.
+//
+// Slots are released lazily: each slot carries a readiness probe (is the
+// execution's future ready?) and every reserve/stats call prunes completed
+// slots first, so quota accounting is exact without completion callbacks
+// threaded through the pool.
+//
+// Like TokenBucket and CircuitBreaker, the controller is a pure state
+// machine: time and pool state are injected, nothing is internally
+// synchronized. SimService drives it under its own mutex; unit tests drive
+// it with synthetic clocks and hand-built PoolStats.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/virtual_qpu.hpp"
+#include "serve/tenant.hpp"
+
+namespace vqsim::serve {
+
+enum class AdmissionOutcome : std::uint8_t {
+  kAdmitted,
+  kRejectedRate,       // tenant token bucket empty
+  kRejectedQuota,      // tenant concurrency quota full
+  kRejectedQueueFull,  // pool queue past the policy bound
+  kShedBreakerOpen,    // every backend breaker open: fleet-wide shed
+  kUnknownTenant,
+};
+
+const char* to_string(AdmissionOutcome outcome);
+
+struct AdmissionPolicy {
+  /// Reject (kRejectedQueueFull) while the pool queue is at or past this
+  /// depth. 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// Shed (kShedBreakerOpen) while every backend's breaker is OPEN.
+  bool shed_when_all_breakers_open = true;
+};
+
+/// Per-tenant admission accounting. `admitted` counts fully accepted
+/// requests (a later quota rejection un-counts the provisional admission),
+/// so admitted == cache_hits + coalesced + executed once the service has
+/// classified every accepted request via record(). A quota-rejected request
+/// still consumed a rate token: it did arrive.
+struct TenantAdmissionStats {
+  std::string name;
+  std::uint64_t requests = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_rate = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t shed_breaker_open = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t executed = 0;
+  std::size_t in_flight = 0;
+  std::size_t in_flight_high_water = 0;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Readiness probe of one reserved slot: true once the execution behind
+  /// it completed (successfully or not) and the slot can be reclaimed.
+  using ReadyFn = std::function<bool()>;
+
+  /// How an admitted request was ultimately served.
+  enum class Served : std::uint8_t { kCacheHit, kCoalesced, kExecuted };
+
+  explicit AdmissionController(const TenantRegistry& registry,
+                               AdmissionPolicy policy = {});
+
+  /// Request-level gate: shed / queue bound / rate limit, in that order. A
+  /// kAdmitted outcome has consumed one rate token.
+  AdmissionOutcome admit_request(const TenantId& tenant, Clock::time_point now,
+                                 const runtime::PoolStats& pool);
+
+  /// Execution-level gate: reserve one concurrency slot carrying `ready`.
+  /// Returns false (and counts kRejectedQuota) when the tenant is at its
+  /// quota after pruning completed slots. Throws std::out_of_range for
+  /// unknown tenants (admit_request is the spellchecked entry point).
+  bool try_reserve_slot(const TenantId& tenant, ReadyFn ready);
+
+  /// Classify how an admitted request was served (per-tenant counters).
+  void record(const TenantId& tenant, Served served);
+
+  /// Slots currently held by `tenant` (prunes completed ones first).
+  std::size_t in_flight(const TenantId& tenant);
+
+  /// Per-tenant snapshot, sorted by name (prunes completed slots first).
+  std::vector<TenantAdmissionStats> stats();
+
+  const AdmissionPolicy& policy() const { return policy_; }
+
+ private:
+  struct State {
+    TenantConfig config;
+    TokenBucket bucket;
+    std::vector<ReadyFn> slots;
+    TenantAdmissionStats stats;
+  };
+
+  State& state(const TenantId& tenant);
+  void prune(State& s);
+
+  AdmissionPolicy policy_;
+  std::map<std::string, State> tenants_;
+};
+
+}  // namespace vqsim::serve

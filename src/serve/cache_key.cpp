@@ -1,0 +1,41 @@
+#include "serve/cache_key.hpp"
+
+namespace vqsim::serve {
+
+using ir::fingerprint_double;
+using ir::fingerprint_mix;
+
+std::uint64_t pauli_sum_fingerprint(const PauliSum& sum) {
+  std::uint64_t h = 0x76717369'6d2d6f62ull;  // "vqsim-ob"
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(sum.num_qubits()));
+  h = fingerprint_mix(h, sum.size());
+  for (const PauliTerm& term : sum.terms()) {
+    h = fingerprint_mix(h, fingerprint_double(term.coefficient.real()));
+    h = fingerprint_mix(h, fingerprint_double(term.coefficient.imag()));
+    h = fingerprint_mix(h, term.string.x);
+    h = fingerprint_mix(h, term.string.z);
+  }
+  return h;
+}
+
+std::uint64_t request_context_fingerprint(const RequestContext& context) {
+  std::uint64_t h = 0x76717369'6d2d6378ull;  // "vqsim-cx"
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(context.kind));
+  h = fingerprint_mix(h, context.clifford_only ? 1u : 0u);
+  h = fingerprint_mix(h, fingerprint_double(context.noise.depolarizing));
+  h = fingerprint_mix(h, fingerprint_double(context.noise.damping));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(context.shots));
+  h = fingerprint_mix(h, context.seed);
+  return h;
+}
+
+CacheKey make_cache_key(const Circuit& circuit, const PauliSum* observable,
+                        const RequestContext& context) {
+  CacheKey key;
+  key.circuit = ir::circuit_fingerprint(circuit);
+  key.observable = observable ? pauli_sum_fingerprint(*observable) : 0;
+  key.context = request_context_fingerprint(context);
+  return key;
+}
+
+}  // namespace vqsim::serve

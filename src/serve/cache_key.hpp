@@ -1,0 +1,70 @@
+// Content-addressed cache keys for the serve result cache (part 3a).
+//
+// A key names the *content* of a request, never its submitter: it is built
+// from (a) the full circuit fingerprint of the bound circuit — structure,
+// operands, bound parameters, matrix payloads, measurements
+// (ir/fingerprint.hpp); (b) a fingerprint of the observable (coefficients
+// bit-exact, term order included); and (c) a context fingerprint covering
+// everything else that can change the produced bits: the job kind, the
+// routing class (clifford promise, noise demand — these select which
+// backend family executes), the noise-model parameters, and the
+// shots/seed pair reserved for sampled backends (always 0 for today's
+// exact paths, but part of the key so a future sampling backend cannot
+// alias an exact result).
+//
+// Coherence caveat (documented in DESIGN.md §11): two requests with equal
+// keys are served one result computed by *one* backend of the routing
+// class. The repo's determinism contracts make that sound — statevector
+// and distributed backends are bit-identical by the PR 5 gate, and jobs
+// are pure — but a fleet mixing backends WITHOUT a bit-identity contract
+// in one routing class must not share a cache.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/fingerprint.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "runtime/job.hpp"
+#include "sim/noise.hpp"
+
+namespace vqsim::serve {
+
+struct CacheKey {
+  std::uint64_t circuit = 0;     // ir::circuit_fingerprint of the bound circuit
+  std::uint64_t observable = 0;  // pauli_sum_fingerprint (0 for state jobs)
+  std::uint64_t context = 0;     // kind / routing / noise / shots / seed
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    std::uint64_t h = ir::fingerprint_mix(k.circuit, k.observable);
+    return static_cast<std::size_t>(ir::fingerprint_mix(h, k.context));
+  }
+};
+
+/// Order- and coefficient-sensitive observable fingerprint. The sum is
+/// hashed as represented: callers wanting canonical keys should simplify()
+/// first (the service hashes whatever the client submitted, which is the
+/// right behaviour for request dedup — identical requests are identical
+/// representations).
+std::uint64_t pauli_sum_fingerprint(const PauliSum& sum);
+
+/// Execution-context inputs that select the producing backend family or
+/// perturb the produced bits.
+struct RequestContext {
+  runtime::JobKind kind = runtime::JobKind::kExpectation;
+  bool clifford_only = false;
+  NoiseModel noise;
+  int shots = 0;           // reserved for sampled backends
+  std::uint64_t seed = 0;  // reserved sampling seed
+};
+
+std::uint64_t request_context_fingerprint(const RequestContext& context);
+
+/// Assemble the full key. `observable` may be null for circuit-run jobs.
+CacheKey make_cache_key(const Circuit& circuit, const PauliSum* observable,
+                        const RequestContext& context);
+
+}  // namespace vqsim::serve

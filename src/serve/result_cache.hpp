@@ -1,0 +1,214 @@
+// Content-addressed result cache with single-flight dedup (part 3b).
+//
+// Entries are shared_futures, not values: a cache *insert* happens at
+// submission time, so the window between "request started" and "result
+// ready" is itself cached — N concurrent identical requests coalesce onto
+// one execution (single flight) because followers find the leader's
+// in-flight entry and share its future. Once the future settles the entry
+// is charged against the byte budget (LRU eviction, in-flight entries are
+// pinned) or dropped if it settled with an exception (failures are never
+// cached; the exception still propagates to every coalesced waiter).
+//
+// Settlement is lazy — every cache operation first sweeps unsettled
+// entries with a zero-timeout readiness probe — so the cache needs no
+// completion callbacks, no reaper thread, and no hooks into the pool.
+//
+// The cache is internally synchronized EXCEPT that the miss-path producer
+// runs under the cache mutex (that is what makes check-and-insert atomic,
+// i.e. single-flight). Producers must only submit work (cheap) and must
+// never re-enter the cache.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <unordered_map>
+
+#include "common/thread_annotations.hpp"
+#include "serve/cache_key.hpp"
+
+namespace vqsim::serve {
+
+/// Byte accounting callback for cached values. The default charges
+/// sizeof(T); value types owning storage (StateVector) specialize.
+template <class T>
+struct ResultBytes {
+  std::size_t operator()(const T&) const { return sizeof(T); }
+};
+
+/// Monotonic counters + point-in-time occupancy of one cache instance.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t failures_dropped = 0;
+  std::size_t entries = 0;    // settled, budget-charged entries
+  std::size_t in_flight = 0;  // unsettled entries (pinned)
+  std::size_t bytes = 0;      // charged against the budget
+};
+
+template <class T, class BytesFn = ResultBytes<T>>
+class ResultCache {
+ public:
+  /// Fixed accounting overhead charged per settled entry on top of the
+  /// value bytes (key + list/index bookkeeping, rounded).
+  static constexpr std::size_t kEntryOverhead = 64;
+
+  struct Lookup {
+    std::shared_future<T> result;
+    bool hit = false;        // served from a settled entry
+    bool coalesced = false;  // joined an in-flight entry
+  };
+
+  /// `byte_budget` 0 disables the cache entirely: every request runs the
+  /// producer (no storage, no dedup) — the honest cache-off baseline.
+  explicit ResultCache(std::size_t byte_budget,
+                       std::function<void(std::uint64_t)> on_evict = {})
+      : byte_budget_(byte_budget), on_evict_(std::move(on_evict)) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  bool enabled() const { return byte_budget_ > 0; }
+  std::size_t byte_budget() const { return byte_budget_; }
+
+  /// Return the entry for `key`, starting the computation via `producer`
+  /// exactly once per non-resident key. A throwing producer inserts
+  /// nothing and the exception propagates to the caller alone.
+  Lookup get_or_submit(const CacheKey& key,
+                       const std::function<std::shared_future<T>()>& producer) {
+    if (!enabled()) {
+      Lookup miss;
+      miss.result = producer();
+      MutexLock lock(mutex_);
+      ++stats_.misses;
+      return miss;
+    }
+    MutexLock lock(mutex_);
+    // Settling can push charged bytes past the budget (an in-flight entry's
+    // size is unknown until its future is ready), so every operation both
+    // settles and re-establishes the budget before serving.
+    settle_locked();
+    evict_locked();
+    if (const auto it = index_.find(key); it != index_.end()) {
+      Entry& entry = *it->second;
+      Lookup found;
+      found.result = entry.result;
+      if (entry.settled) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
+        found.hit = true;
+        ++stats_.hits;
+      } else {
+        found.coalesced = true;
+        ++stats_.coalesced;
+      }
+      return found;
+    }
+    ++stats_.misses;
+    Lookup miss;
+    miss.result = producer();  // throws propagate; nothing was inserted
+    lru_.push_front(Entry{key, miss.result, 0, false});
+    index_.emplace(key, lru_.begin());
+    ++stats_.insertions;
+    settle_locked();  // a fast producer may already be ready
+    evict_locked();
+    return miss;
+  }
+
+  CacheStats stats() const {
+    MutexLock lock(mutex_);
+    const_cast<ResultCache*>(this)->settle_locked();
+    return stats_;
+  }
+
+  /// Drop every settled entry (in-flight entries stay: their waiters hold
+  /// the futures). Monotonic counters are preserved.
+  void clear() {
+    MutexLock lock(mutex_);
+    settle_locked();
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->settled) {
+        bytes_ -= it->bytes;
+        index_.erase(it->key);
+        it = lru_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    refresh_occupancy_locked();
+  }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_future<T> result;
+    std::size_t bytes = 0;
+    bool settled = false;
+  };
+  using List = std::list<Entry>;
+
+  /// Charge newly ready entries against the budget; drop ones that settled
+  /// with an exception.
+  void settle_locked() VQSIM_REQUIRES(mutex_) {
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (!it->settled &&
+          it->result.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+        try {
+          const T& value = it->result.get();
+          it->bytes = kEntryOverhead + BytesFn{}(value);
+          it->settled = true;
+          bytes_ += it->bytes;
+        } catch (...) {
+          ++stats_.failures_dropped;
+          index_.erase(it->key);
+          it = lru_.erase(it);
+          continue;
+        }
+      }
+      ++it;
+    }
+    refresh_occupancy_locked();
+  }
+
+  /// Evict settled entries LRU-first until the budget holds. In-flight
+  /// entries are pinned (evicting one would break single flight).
+  void evict_locked() VQSIM_REQUIRES(mutex_) {
+    auto it = lru_.end();
+    while (bytes_ > byte_budget_ && it != lru_.begin()) {
+      --it;
+      if (!it->settled) continue;
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.evictions;
+      if (on_evict_) on_evict_(1);
+    }
+    refresh_occupancy_locked();
+  }
+
+  void refresh_occupancy_locked() VQSIM_REQUIRES(mutex_) {
+    stats_.bytes = bytes_;
+    std::size_t settled = 0;
+    for (const Entry& e : lru_)
+      if (e.settled) ++settled;
+    stats_.entries = settled;
+    stats_.in_flight = lru_.size() - settled;
+  }
+
+  const std::size_t byte_budget_;
+  std::function<void(std::uint64_t)> on_evict_;
+
+  mutable Mutex mutex_;
+  List lru_ VQSIM_GUARDED_BY(mutex_);  // front = most recently used
+  std::unordered_map<CacheKey, typename List::iterator, CacheKeyHash> index_
+      VQSIM_GUARDED_BY(mutex_);
+  std::size_t bytes_ VQSIM_GUARDED_BY(mutex_) = 0;
+  CacheStats stats_ VQSIM_GUARDED_BY(mutex_);
+};
+
+}  // namespace vqsim::serve

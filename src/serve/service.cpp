@@ -1,0 +1,247 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vqsim::serve {
+
+namespace {
+
+std::string outcome_message(AdmissionOutcome outcome, const TenantId& tenant) {
+  return "serve: request from tenant \"" + tenant +
+         "\" rejected: " + to_string(outcome);
+}
+
+}  // namespace
+
+AdmissionRejected::AdmissionRejected(AdmissionOutcome outcome, TenantId tenant)
+    : std::runtime_error(outcome_message(outcome, tenant)),
+      outcome_(outcome),
+      tenant_(std::move(tenant)) {}
+
+SimService::SimService(runtime::VirtualQpuPool& pool,
+                       const TenantRegistry& tenants, ServeConfig config)
+    : pool_(pool),
+      config_(config),
+      registry_(tenants),
+      admission_(tenants, config.admission),
+      value_cache_(config.cache_bytes,
+                   [](std::uint64_t n) {
+                     VQSIM_COUNTER(evictions, "serve.cache_evictions_total");
+                     VQSIM_COUNTER_ADD(evictions, n);
+                   }),
+      state_cache_(config.state_cache_bytes, [](std::uint64_t n) {
+        VQSIM_COUNTER(evictions, "serve.cache_evictions_total");
+        VQSIM_COUNTER_ADD(evictions, n);
+      }) {
+  // Dynamic metric names can't go through the VQSIM_* macros (those cache a
+  // static handle per call site), so per-tenant gauges hold registry
+  // references resolved once here.
+  for (const std::string& name : registry_.names()) {
+    tenant_in_flight_gauges_.emplace(
+        name, &telemetry::MetricsRegistry::global().gauge(
+                  "serve.tenant." + name + ".in_flight"));
+  }
+}
+
+void SimService::admit_or_throw(const TenantId& tenant) {
+  VQSIM_COUNTER(admitted_total, "serve.admitted_total");
+  VQSIM_COUNTER(rejected_total, "serve.rejected_total");
+  VQSIM_COUNTER(shed_total, "serve.shed_total");
+  const AdmissionOutcome outcome =
+      admission_.admit_request(tenant, Clock::now(), pool_.stats());
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      VQSIM_COUNTER_INC(admitted_total);
+      return;
+    case AdmissionOutcome::kShedBreakerOpen:
+      VQSIM_COUNTER_INC(shed_total);
+      break;
+    default:
+      VQSIM_COUNTER_INC(rejected_total);
+      break;
+  }
+  throw AdmissionRejected(outcome, tenant);
+}
+
+void SimService::record_served(const TenantId& tenant,
+                               AdmissionController::Served served) {
+  VQSIM_COUNTER(hits_total, "serve.cache_hits_total");
+  VQSIM_COUNTER(misses_total, "serve.cache_misses_total");
+  VQSIM_COUNTER(coalesced_total, "serve.coalesced_total");
+  switch (served) {
+    case AdmissionController::Served::kCacheHit:
+      VQSIM_COUNTER_INC(hits_total);
+      break;
+    case AdmissionController::Served::kCoalesced:
+      VQSIM_COUNTER_INC(coalesced_total);
+      break;
+    case AdmissionController::Served::kExecuted:
+      VQSIM_COUNTER_INC(misses_total);
+      break;
+  }
+  admission_.record(tenant, served);
+}
+
+runtime::JobOptions SimService::job_options(const TenantId& tenant,
+                                            const ServeOptions& options) const {
+  runtime::JobOptions job;
+  job.priority = registry_.config(tenant).priority;
+  job.noise = options.noise;
+  job.clifford_only = options.clifford_only;
+  job.retry = options.retry;
+  job.deadline = options.deadline;
+  return job;
+}
+
+RequestContext SimService::request_context(runtime::JobKind kind,
+                                           const ServeOptions& options) {
+  RequestContext context;
+  context.kind = kind;
+  context.clifford_only = options.clifford_only;
+  context.noise = options.noise;
+  context.shots = options.shots;
+  context.seed = options.seed;
+  return context;
+}
+
+template <class T>
+std::shared_future<T> SimService::reserve_and_submit(
+    const TenantId& tenant,
+    const std::function<std::shared_future<T>()>& submit) {
+  // Ready-cell slot binding: the slot's readiness probe is reserved before
+  // the future exists, via an indirection cell filled in right after the
+  // pool accepts the job. All cell access happens under mutex_ (reserve,
+  // prune, and this fill-in), so the probe never races its own binding.
+  auto cell = std::make_shared<std::function<bool()>>();
+  if (!admission_.try_reserve_slot(
+          tenant, [cell] { return *cell && (*cell)(); })) {
+    throw AdmissionRejected(AdmissionOutcome::kRejectedQuota, tenant);
+  }
+  std::shared_future<T> result;
+  try {
+    result = submit();
+  } catch (...) {
+    *cell = [] { return true; };  // release the slot: nothing is in flight
+    throw;
+  }
+  *cell = [result] {
+    return result.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
+  if (const auto it = tenant_in_flight_gauges_.find(tenant);
+      it != tenant_in_flight_gauges_.end()) {
+    it->second->set(static_cast<std::int64_t>(admission_.in_flight(tenant)));
+  }
+  return result;
+}
+
+std::shared_future<double> SimService::submit_energy(
+    const TenantId& tenant, const Ansatz& ansatz, const PauliSum& observable,
+    std::vector<double> theta, ServeOptions options) {
+  MutexLock lock(mutex_);
+  admit_or_throw(tenant);
+  const auto submit = [&]() VQSIM_NO_THREAD_SAFETY_ANALYSIS {
+    return reserve_and_submit<double>(tenant, [&] {
+      return pool_
+          .submit_energy(ansatz, observable, std::move(theta),
+                         job_options(tenant, options))
+          .share();
+    });
+  };
+  if (options.bypass_cache || !value_cache_.enabled()) {
+    auto result = submit();
+    record_served(tenant, AdmissionController::Served::kExecuted);
+    return result;
+  }
+  // Cache identity is the materialized bound circuit: what the job *means*,
+  // independent of which Ansatz object (or which backend fast path) is used
+  // to compute it.
+  const CacheKey key = make_cache_key(
+      ansatz.circuit(theta), &observable,
+      request_context(runtime::JobKind::kEnergy, options));
+  const auto lookup = value_cache_.get_or_submit(key, submit);
+  record_served(tenant, lookup.hit ? AdmissionController::Served::kCacheHit
+                : lookup.coalesced ? AdmissionController::Served::kCoalesced
+                                   : AdmissionController::Served::kExecuted);
+  return lookup.result;
+}
+
+std::shared_future<double> SimService::submit_expectation(
+    const TenantId& tenant, Circuit circuit, PauliSum observable,
+    ServeOptions options) {
+  MutexLock lock(mutex_);
+  admit_or_throw(tenant);
+  const CacheKey key = make_cache_key(
+      circuit, &observable,
+      request_context(runtime::JobKind::kExpectation, options));
+  const auto submit = [&]() VQSIM_NO_THREAD_SAFETY_ANALYSIS {
+    return reserve_and_submit<double>(tenant, [&] {
+      return pool_
+          .submit_expectation(std::move(circuit), std::move(observable),
+                              job_options(tenant, options))
+          .share();
+    });
+  };
+  if (options.bypass_cache || !value_cache_.enabled()) {
+    auto result = submit();
+    record_served(tenant, AdmissionController::Served::kExecuted);
+    return result;
+  }
+  const auto lookup = value_cache_.get_or_submit(key, submit);
+  record_served(tenant, lookup.hit ? AdmissionController::Served::kCacheHit
+                : lookup.coalesced ? AdmissionController::Served::kCoalesced
+                                   : AdmissionController::Served::kExecuted);
+  return lookup.result;
+}
+
+std::shared_future<StateVector> SimService::submit_circuit(
+    const TenantId& tenant, Circuit circuit, ServeOptions options) {
+  MutexLock lock(mutex_);
+  admit_or_throw(tenant);
+  const CacheKey key = make_cache_key(
+      circuit, nullptr,
+      request_context(runtime::JobKind::kCircuitRun, options));
+  const auto submit = [&]() VQSIM_NO_THREAD_SAFETY_ANALYSIS {
+    return reserve_and_submit<StateVector>(tenant, [&] {
+      return pool_
+          .submit_circuit(std::move(circuit), job_options(tenant, options))
+          .share();
+    });
+  };
+  if (options.bypass_cache || !state_cache_.enabled()) {
+    auto result = submit();
+    record_served(tenant, AdmissionController::Served::kExecuted);
+    return result;
+  }
+  const auto lookup = state_cache_.get_or_submit(key, submit);
+  record_served(tenant, lookup.hit ? AdmissionController::Served::kCacheHit
+                : lookup.coalesced ? AdmissionController::Served::kCoalesced
+                                   : AdmissionController::Served::kExecuted);
+  return lookup.result;
+}
+
+ServiceStats SimService::stats() const {
+  MutexLock lock(mutex_);
+  ServiceStats out;
+  out.tenants = admission_.stats();
+  for (const TenantAdmissionStats& t : out.tenants) {
+    out.requests += t.requests;
+    out.admitted += t.admitted;
+    out.rejected += t.rejected_rate + t.rejected_quota + t.rejected_queue_full;
+    out.shed += t.shed_breaker_open;
+    out.cache_hits += t.cache_hits;
+    out.coalesced += t.coalesced;
+    out.executed += t.executed;
+    if (const auto it = tenant_in_flight_gauges_.find(t.name);
+        it != tenant_in_flight_gauges_.end()) {
+      it->second->set(static_cast<std::int64_t>(t.in_flight));
+    }
+  }
+  out.value_cache = value_cache_.stats();
+  out.state_cache = state_cache_.stats();
+  return out;
+}
+
+}  // namespace vqsim::serve

@@ -1,0 +1,194 @@
+// SimService — the multi-tenant front door of the simulation stack (part 4).
+//
+// Layering (DESIGN.md §11):
+//
+//   client ── TenantId ──> SimService
+//                            ├─ AdmissionController   shed / queue bound /
+//                            │                        rate limit / quota
+//                            ├─ ResultCache           content-addressed,
+//                            │                        single-flight dedup
+//                            └─ VirtualQpuPool        execution
+//
+// Every request is admitted first (an open-breaker fleet or an empty token
+// bucket rejects it with AdmissionRejected before any work happens), then
+// looked up in the content-addressed cache: a settled entry is returned
+// immediately (cache hit, no pool resources), an in-flight entry is shared
+// (coalesced — N concurrent identical requests cost one execution), and
+// only a true miss reserves one of the tenant's concurrency slots and
+// submits to the pool under the tenant's priority class.
+//
+// The service holds ONE mutex across the admit -> cache -> submit sequence,
+// which is what makes the quota and single-flight guarantees exact under
+// concurrent callers; the critical section only ever *submits* work (pool
+// execution happens on pool workers), so the lock is never held across a
+// simulation.
+//
+// Lifetime contracts mirror the pool's: the pool must outlive the service,
+// and submit_energy's `ansatz`/`observable` must outlive the returned
+// future's completion.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "runtime/virtual_qpu.hpp"
+#include "serve/admission.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/tenant.hpp"
+
+namespace vqsim::telemetry {
+class Gauge;
+}
+
+namespace vqsim::serve {
+
+/// State vectors are charged at their amplitude storage, not sizeof.
+template <>
+struct ResultBytes<StateVector> {
+  std::size_t operator()(const StateVector& psi) const {
+    return sizeof(StateVector) + psi.memory_bytes();
+  }
+};
+
+struct ServeConfig {
+  /// Byte budget of the scalar (energy/expectation) result cache.
+  /// 0 disables caching AND single-flight dedup for scalar requests.
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Byte budget of the state-vector result cache (states are big; this
+  /// budget is charged at StateVector::memory_bytes). 0 disables.
+  std::size_t state_cache_bytes = std::size_t{256} << 20;
+  AdmissionPolicy admission;
+};
+
+/// Per-request knobs a tenant may set; everything that perturbs the result
+/// bits participates in the cache key.
+struct ServeOptions {
+  NoiseModel noise;
+  bool clifford_only = false;
+  resilience::RetryPolicy retry;
+  /// Forwarded to JobOptions::deadline (0 = none). NOT part of the cache
+  /// key: a deadline changes when a result arrives, never its bits.
+  std::chrono::milliseconds deadline{0};
+  int shots = 0;           // reserved for sampled backends (key material)
+  std::uint64_t seed = 0;  // reserved sampling seed (key material)
+  /// Skip the cache for this request (still admitted, still quota-bound;
+  /// the fresh result is not inserted either — for A/B measurement).
+  bool bypass_cache = false;
+};
+
+/// Thrown by submit_* when admission turns a request away. Carries the
+/// machine-readable outcome so callers can distinguish backpressure
+/// (retry later: rate/quota/queue) from fleet sickness (shed).
+class AdmissionRejected : public std::runtime_error {
+ public:
+  AdmissionRejected(AdmissionOutcome outcome, TenantId tenant);
+
+  AdmissionOutcome outcome() const { return outcome_; }
+  const TenantId& tenant() const { return tenant_; }
+
+ private:
+  AdmissionOutcome outcome_;
+  TenantId tenant_;
+};
+
+/// Service-wide snapshot: request ledger + both caches + per-tenant detail.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  // rate + quota + queue-full
+  std::uint64_t shed = 0;      // breaker-open shed
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t executed = 0;
+  CacheStats value_cache;
+  CacheStats state_cache;
+  std::vector<TenantAdmissionStats> tenants;
+};
+
+class SimService {
+ public:
+  /// The pool is borrowed and must outlive the service. The registry is
+  /// copied; tenants are fixed for the service's lifetime.
+  SimService(runtime::VirtualQpuPool& pool, const TenantRegistry& tenants,
+             ServeConfig config = {});
+
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  // Each submit_* admits, consults the cache, and (on a miss) reserves a
+  // tenant slot and submits under the tenant's priority. Throws
+  // AdmissionRejected when turned away and analyze::VerificationError when
+  // the pool rejects the payload at submit time. Execution errors arrive
+  // through the returned future (and are never cached).
+
+  /// VQE energy at one parameter set. Cached under the fingerprint of the
+  /// *materialized* bound circuit ansatz.circuit(theta) — two ansatz
+  /// objects producing identical circuits share cache entries.
+  std::shared_future<double> submit_energy(const TenantId& tenant,
+                                           const Ansatz& ansatz,
+                                           const PauliSum& observable,
+                                           std::vector<double> theta,
+                                           ServeOptions options = {});
+
+  /// <observable> after `circuit` from |0...0>.
+  std::shared_future<double> submit_expectation(const TenantId& tenant,
+                                                Circuit circuit,
+                                                PauliSum observable,
+                                                ServeOptions options = {});
+
+  /// Final state of `circuit` (cached against the state-vector budget).
+  std::shared_future<StateVector> submit_circuit(const TenantId& tenant,
+                                                 Circuit circuit,
+                                                 ServeOptions options = {});
+
+  ServiceStats stats() const;
+
+  const runtime::VirtualQpuPool& pool() const { return pool_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Admission gate shared by the submit_* front-ends: updates telemetry
+  /// and throws AdmissionRejected on any outcome but kAdmitted.
+  void admit_or_throw(const TenantId& tenant) VQSIM_REQUIRES(mutex_);
+  /// Classify + count how an admitted request was served.
+  void record_served(const TenantId& tenant,
+                     AdmissionController::Served served)
+      VQSIM_REQUIRES(mutex_);
+  /// Build JobOptions from the tenant's priority + the request options.
+  runtime::JobOptions job_options(const TenantId& tenant,
+                                  const ServeOptions& options) const;
+  /// Cache-key context for one request of the given kind.
+  static RequestContext request_context(runtime::JobKind kind,
+                                        const ServeOptions& options);
+  /// Reserve a quota slot and run `submit` (which must return the shared
+  /// execution future); releases the slot on submit failure. Throws
+  /// AdmissionRejected(kRejectedQuota) when the tenant is at quota.
+  template <class T>
+  std::shared_future<T> reserve_and_submit(
+      const TenantId& tenant,
+      const std::function<std::shared_future<T>()>& submit)
+      VQSIM_REQUIRES(mutex_);
+
+  runtime::VirtualQpuPool& pool_;
+  ServeConfig config_;
+  TenantRegistry registry_;
+  /// Per-tenant `serve.tenant.<name>.in_flight` gauges, resolved once at
+  /// construction (dynamic names can't use the static-handle macros).
+  std::map<std::string, telemetry::Gauge*> tenant_in_flight_gauges_;
+
+  mutable Mutex mutex_;
+  mutable AdmissionController admission_ VQSIM_GUARDED_BY(mutex_);
+  // The caches carry their own locks (taken strictly inside mutex_), so
+  // their futures can settle on pool workers without touching mutex_.
+  ResultCache<double> value_cache_;
+  ResultCache<StateVector> state_cache_;
+};
+
+}  // namespace vqsim::serve

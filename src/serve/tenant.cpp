@@ -1,0 +1,65 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vqsim::serve {
+
+bool TokenBucket::try_acquire(Clock::time_point now) {
+  if (policy_.unlimited()) return true;
+  if (!primed_) {
+    primed_ = true;
+    tokens_ = policy_.capacity;
+    last_refill_ = now;
+  } else if (now > last_refill_) {
+    const double elapsed =
+        std::chrono::duration<double>(now - last_refill_).count();
+    tokens_ = std::min(policy_.capacity,
+                       tokens_ + elapsed * policy_.refill_per_second);
+    last_refill_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(Clock::time_point now) const {
+  if (policy_.unlimited()) return std::numeric_limits<double>::infinity();
+  if (!primed_) return policy_.capacity;
+  if (now <= last_refill_) return tokens_;
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  return std::min(policy_.capacity,
+                  tokens_ + elapsed * policy_.refill_per_second);
+}
+
+TenantRegistry& TenantRegistry::add(TenantConfig config) {
+  if (config.name.empty())
+    throw std::invalid_argument("TenantRegistry: tenant name must not be empty");
+  if (tenants_.count(config.name))
+    throw std::invalid_argument("TenantRegistry: duplicate tenant \"" +
+                                config.name + "\"");
+  tenants_.emplace(config.name, std::move(config));
+  return *this;
+}
+
+bool TenantRegistry::contains(const std::string& name) const {
+  return tenants_.count(name) != 0;
+}
+
+const TenantConfig& TenantRegistry::config(const std::string& name) const {
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end())
+    throw std::out_of_range("TenantRegistry: unknown tenant \"" + name + "\"");
+  return it->second;
+}
+
+std::vector<std::string> TenantRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, config] : tenants_) out.push_back(name);
+  return out;
+}
+
+}  // namespace vqsim::serve

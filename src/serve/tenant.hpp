@@ -1,0 +1,96 @@
+// Tenants of the multi-tenant simulation service (vqsim::serve, part 1).
+//
+// The VirtualQpuPool schedules *jobs*; this layer introduces *clients*. A
+// tenant is a named principal carrying a scheduling priority (mapped onto
+// the pool's priority classes), a concurrency quota (how many of its
+// requests may occupy the pool simultaneously), and a token-bucket rate
+// limit (sustained requests/second with a burst allowance). The
+// TenantRegistry is the configuration book the service is constructed from;
+// live accounting (buckets, in-flight slots, per-tenant counters) lives in
+// serve::AdmissionController.
+//
+// TokenBucket follows the resilience::CircuitBreaker idiom: a pure state
+// machine with time injected by the caller — SimService drives it with
+// steady_clock under its own mutex, and unit tests drive it with synthetic
+// clocks for exact, timing-independent assertions.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace vqsim::serve {
+
+/// Tenants are addressed by name everywhere in the serve API.
+using TenantId = std::string;
+
+/// Sustained-rate + burst policy. capacity <= 0 disables rate limiting
+/// (the tenant is only bounded by its concurrency quota).
+struct TokenBucketPolicy {
+  /// Maximum tokens the bucket holds (burst size). One request = one token.
+  double capacity = 0.0;
+  /// Tokens replenished per second of injected time.
+  double refill_per_second = 0.0;
+
+  bool unlimited() const { return capacity <= 0.0; }
+};
+
+/// Classic token bucket, time injected (not internally synchronized).
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TokenBucket(TokenBucketPolicy policy = {}) : policy_(policy) {}
+
+  /// Refill for the elapsed time, then take one token if available. The
+  /// first call primes the bucket full at `now`. Monotonicity is the
+  /// caller's contract; a non-monotonic `now` refills nothing.
+  bool try_acquire(Clock::time_point now);
+
+  /// Tokens that would be available at `now` (non-mutating projection).
+  double available(Clock::time_point now) const;
+
+  const TokenBucketPolicy& policy() const { return policy_; }
+
+ private:
+  TokenBucketPolicy policy_;
+  double tokens_ = 0.0;
+  bool primed_ = false;
+  Clock::time_point last_refill_{};
+};
+
+/// Static description of one tenant.
+struct TenantConfig {
+  std::string name;
+  /// Pool priority class its admitted jobs are queued under.
+  runtime::JobPriority priority = runtime::JobPriority::kNormal;
+  /// Concurrency quota: executions owned by this tenant that may be in
+  /// flight (queued or running in the pool) at once. Cache hits and
+  /// coalesced requests do not consume a slot — they occupy no pool
+  /// resources. <= 0 means unlimited.
+  int max_in_flight = 0;
+  TokenBucketPolicy rate;
+};
+
+/// Named-tenant configuration book; immutable once handed to a SimService.
+class TenantRegistry {
+ public:
+  /// Registers `config`; throws std::invalid_argument on an empty or
+  /// duplicate name. Returns *this for fluent setup.
+  TenantRegistry& add(TenantConfig config);
+
+  bool contains(const std::string& name) const;
+  /// Throws std::out_of_range for unknown names.
+  const TenantConfig& config(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  std::size_t size() const { return tenants_.size(); }
+
+ private:
+  std::map<std::string, TenantConfig> tenants_;
+};
+
+}  // namespace vqsim::serve

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
+#include "ir/fingerprint.hpp"
 #include "ir/qasm.hpp"
 #include "sim/state_vector.hpp"
 
@@ -127,6 +130,63 @@ TEST(Qasm, GenericMatrixGatesNotRepresentable) {
   Circuit c(1);
   c.mat1(0, Mat2::identity());
   EXPECT_THROW(to_qasm(c), std::invalid_argument);
+}
+
+TEST(CircuitFingerprint, DeterministicAndOrderSensitive) {
+  Rng rng(7);
+  const Circuit a = random_circuit(4, 40, rng);
+  EXPECT_EQ(ir::circuit_fingerprint(a), ir::circuit_fingerprint(a));
+
+  Circuit hx(2), xh(2);
+  hx.h(0).x(0);
+  xh.x(0).h(0);
+  EXPECT_NE(ir::circuit_fingerprint(hx), ir::circuit_fingerprint(xh));
+}
+
+TEST(CircuitFingerprint, SensitiveToEveryField) {
+  Circuit on_q0(2), on_q1(2);
+  on_q0.h(0);
+  on_q1.h(1);
+  EXPECT_NE(ir::circuit_fingerprint(on_q0), ir::circuit_fingerprint(on_q1));
+
+  Circuit width2(2), width3(3);
+  width2.h(0);
+  width3.h(0);
+  EXPECT_NE(ir::circuit_fingerprint(width2), ir::circuit_fingerprint(width3));
+
+  Circuit theta(1), theta_ulp(1);
+  theta.rz(0.5, 0);
+  theta_ulp.rz(std::nextafter(0.5, 1.0), 0);
+  EXPECT_NE(ir::circuit_fingerprint(theta), ir::circuit_fingerprint(theta_ulp));
+
+  Circuit measured(1), unmeasured(1);
+  measured.h(0).measure(0);
+  unmeasured.h(0);
+  EXPECT_NE(ir::circuit_fingerprint(measured),
+            ir::circuit_fingerprint(unmeasured));
+
+  Circuit ident(1), zish(1);
+  Mat2 z = Mat2::identity();
+  z.m[3] = cplx(-1.0, 0.0);
+  ident.mat1(0, Mat2::identity());
+  zish.mat1(0, z);
+  EXPECT_NE(ir::circuit_fingerprint(ident), ir::circuit_fingerprint(zish));
+}
+
+TEST(CircuitFingerprint, ShapeIgnoresParameterValues) {
+  Circuit a(2), b(2), c(2);
+  a.rx(0.1, 0).cx(0, 1).rz(-2.0, 1);
+  b.rx(0.9, 0).cx(0, 1).rz(3.0, 1);   // same shape, different angles
+  c.ry(0.1, 0).cx(0, 1).rz(-2.0, 1);  // different gate kind
+  EXPECT_EQ(ir::circuit_shape_fingerprint(a), ir::circuit_shape_fingerprint(b));
+  EXPECT_NE(ir::circuit_shape_fingerprint(a), ir::circuit_shape_fingerprint(c));
+  EXPECT_NE(ir::circuit_fingerprint(a), ir::circuit_fingerprint(b));
+  // The full and shape families stay disjoint even for parameter-free
+  // circuits (distinct seeds).
+  Circuit clifford(2);
+  clifford.h(0).cx(0, 1);
+  EXPECT_NE(ir::circuit_fingerprint(clifford),
+            ir::circuit_shape_fingerprint(clifford));
 }
 
 }  // namespace

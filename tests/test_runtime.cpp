@@ -444,6 +444,44 @@ TEST(VirtualQpuPool, UtilizationAccountsEveryJob) {
 
 // -- AsyncEnergyEvaluator ----------------------------------------------------
 
+TEST(VirtualQpuPool, StatsSnapshotTracksQueueAndFlight) {
+  VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 8);
+
+  runtime::PoolStats idle = pool.stats();
+  EXPECT_EQ(idle.queue_depth, 0u);
+  EXPECT_EQ(idle.jobs_in_flight, 0u);
+  EXPECT_EQ(idle.idle_backends, 2);
+  EXPECT_EQ(idle.open_breakers, 0);
+  ASSERT_EQ(idle.backends.size(), 2u);
+  for (const runtime::BackendHealth& b : idle.backends)
+    EXPECT_EQ(b.breaker, resilience::BreakerState::kClosed);
+
+  // With dispatch paused, every submission sits in the queue and the
+  // snapshot must see all of them at once with nothing in flight.
+  pool.pause_dispatch();
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  std::vector<std::future<double>> futs;
+  PauliSum zz(2);
+  zz.add_term(1.0, "ZZ");
+  for (int i = 0; i < 5; ++i)
+    futs.push_back(pool.submit_expectation(bell, zz));
+  runtime::PoolStats queued = pool.stats();
+  EXPECT_EQ(queued.queue_depth, 5u);
+  EXPECT_EQ(queued.jobs_in_flight, 0u);
+  EXPECT_EQ(queued.counters.jobs_submitted, 5u);
+
+  pool.resume_dispatch();
+  for (auto& f : futs) EXPECT_DOUBLE_EQ(f.get(), 1.0);
+  pool.wait_all();
+  runtime::PoolStats drained = pool.stats();
+  EXPECT_EQ(drained.queue_depth, 0u);
+  EXPECT_EQ(drained.jobs_in_flight, 0u);
+  EXPECT_EQ(drained.counters.jobs_completed, 5u);
+  EXPECT_EQ(drained.counters.jobs_failed, 0u);
+  EXPECT_EQ(drained.idle_backends, 2);
+}
+
 TEST(AsyncEnergyEvaluator, GradientMatchesBatchedGradient) {
   H2Fixture f;
   Rng rng(911);

@@ -1,0 +1,552 @@
+// vqsim::serve — tenants, admission control, result cache, SimService.
+//
+// The pure state machines (TokenBucket, AdmissionController, ResultCache)
+// are driven with synthetic clocks / hand-built PoolStats / promise-backed
+// futures for exact, timing-independent assertions. The service-level tests
+// run a real VirtualQpuPool and use pause_dispatch() to freeze the world
+// while concurrent submissions race the admission path.
+
+#include "serve/service.hpp"
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resilience/fault_injection.hpp"
+#include "serve/admission.hpp"
+#include "serve/cache_key.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/tenant.hpp"
+
+namespace vqsim {
+namespace {
+
+using serve::AdmissionController;
+using serve::AdmissionOutcome;
+using serve::AdmissionPolicy;
+using serve::AdmissionRejected;
+using serve::CacheKey;
+using serve::ResultCache;
+using serve::ServeConfig;
+using serve::ServeOptions;
+using serve::SimService;
+using serve::TenantConfig;
+using serve::TenantRegistry;
+using serve::TokenBucket;
+using serve::TokenBucketPolicy;
+
+using Clock = AdmissionController::Clock;
+
+PauliSum zz_observable() {
+  PauliSum zz(2);
+  zz.add_term(1.0, "ZZ");
+  return zz;
+}
+
+Circuit bell_circuit() {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  return c;
+}
+
+/// A 2-qubit circuit whose fingerprint varies with `angle` — distinct
+/// requests for quota tests, identical requests when the angle repeats.
+Circuit tagged_circuit(double angle) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).rz(angle, 1);
+  return c;
+}
+
+TenantRegistry one_tenant(TenantConfig config) {
+  TenantRegistry registry;
+  registry.add(std::move(config));
+  return registry;
+}
+
+// -- TokenBucket -------------------------------------------------------------
+
+TEST(TokenBucket, FakeClockDeterminism) {
+  TokenBucket bucket(TokenBucketPolicy{/*capacity=*/2.0,
+                                       /*refill_per_second=*/1.0});
+  const Clock::time_point t0{};
+  // Primes full at first use: the burst allowance is immediately spendable.
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_FALSE(bucket.try_acquire(t0));
+
+  // 500 ms refills half a token — still not spendable.
+  EXPECT_FALSE(bucket.try_acquire(t0 + std::chrono::milliseconds(500)));
+  EXPECT_TRUE(bucket.try_acquire(t0 + std::chrono::milliseconds(1500)));
+  EXPECT_FALSE(bucket.try_acquire(t0 + std::chrono::milliseconds(1500)));
+
+  // Refill saturates at capacity: a long idle stretch buys one burst, not
+  // unbounded credit.
+  const Clock::time_point late = t0 + std::chrono::hours(1);
+  EXPECT_NEAR(bucket.available(late), 2.0, 1e-12);
+  EXPECT_TRUE(bucket.try_acquire(late));
+  EXPECT_TRUE(bucket.try_acquire(late));
+  EXPECT_FALSE(bucket.try_acquire(late));
+
+  // Non-monotonic time refills nothing.
+  EXPECT_FALSE(bucket.try_acquire(t0));
+}
+
+TEST(TokenBucket, UnlimitedWhenCapacityZero) {
+  TokenBucket bucket{TokenBucketPolicy{}};
+  const Clock::time_point t0{};
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.try_acquire(t0));
+}
+
+// -- TenantRegistry ----------------------------------------------------------
+
+TEST(TenantRegistry, ValidatesAndLooksUp) {
+  TenantRegistry registry;
+  TenantConfig prod;
+  prod.name = "prod";
+  prod.priority = runtime::JobPriority::kHigh;
+  prod.max_in_flight = 4;
+  registry.add(prod);
+  TenantConfig batch;
+  batch.name = "batch";
+  registry.add(batch);
+
+  EXPECT_TRUE(registry.contains("prod"));
+  EXPECT_FALSE(registry.contains("nope"));
+  EXPECT_EQ(registry.config("prod").max_in_flight, 4);
+  EXPECT_THROW(registry.config("nope"), std::out_of_range);
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"batch", "prod"}));
+
+  EXPECT_THROW(registry.add(TenantConfig{}), std::invalid_argument);  // empty
+  EXPECT_THROW(registry.add(prod), std::invalid_argument);            // dup
+}
+
+// -- AdmissionController -----------------------------------------------------
+
+TEST(AdmissionController, RateLimitIsDeterministicUnderFakeClock) {
+  TenantConfig cfg;
+  cfg.name = "t";
+  cfg.rate = TokenBucketPolicy{1.0, 10.0};  // burst 1, 10 req/s sustained
+  AdmissionController admission(one_tenant(cfg));
+
+  const runtime::PoolStats healthy;
+  const Clock::time_point t0{};
+  EXPECT_EQ(admission.admit_request("t", t0, healthy),
+            AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.admit_request("t", t0, healthy),
+            AdmissionOutcome::kRejectedRate);
+  // Exactly one token back after 100 ms at 10/s.
+  const Clock::time_point t1 = t0 + std::chrono::milliseconds(100);
+  EXPECT_EQ(admission.admit_request("t", t1, healthy),
+            AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.admit_request("t", t1, healthy),
+            AdmissionOutcome::kRejectedRate);
+
+  const auto stats = admission.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].requests, 4u);
+  EXPECT_EQ(stats[0].admitted, 2u);
+  EXPECT_EQ(stats[0].rejected_rate, 2u);
+}
+
+TEST(AdmissionController, ShedsOnlyWhenEveryBreakerIsOpen) {
+  TenantConfig cfg;
+  cfg.name = "t";
+  AdmissionController admission(one_tenant(cfg));
+  const Clock::time_point t0{};
+
+  runtime::PoolStats pool;
+  pool.backends.resize(2);
+  pool.open_breakers = 1;  // one sick backend: keep serving
+  EXPECT_EQ(admission.admit_request("t", t0, pool),
+            AdmissionOutcome::kAdmitted);
+  pool.open_breakers = 2;  // whole fleet quarantined: shed
+  EXPECT_EQ(admission.admit_request("t", t0, pool),
+            AdmissionOutcome::kShedBreakerOpen);
+
+  AdmissionPolicy no_shed;
+  no_shed.shed_when_all_breakers_open = false;
+  AdmissionController lenient(one_tenant(cfg), no_shed);
+  EXPECT_EQ(lenient.admit_request("t", t0, pool),
+            AdmissionOutcome::kAdmitted);
+}
+
+TEST(AdmissionController, BoundsPoolQueueDepth) {
+  TenantConfig cfg;
+  cfg.name = "t";
+  AdmissionPolicy policy;
+  policy.max_queue_depth = 4;
+  AdmissionController admission(one_tenant(cfg), policy);
+  const Clock::time_point t0{};
+
+  runtime::PoolStats pool;
+  pool.queue_depth = 3;
+  EXPECT_EQ(admission.admit_request("t", t0, pool),
+            AdmissionOutcome::kAdmitted);
+  pool.queue_depth = 4;
+  EXPECT_EQ(admission.admit_request("t", t0, pool),
+            AdmissionOutcome::kRejectedQueueFull);
+  EXPECT_EQ(admission.admit_request("ghost", t0, pool),
+            AdmissionOutcome::kUnknownTenant);
+}
+
+TEST(AdmissionController, QuotaSlotsReleaseViaReadinessProbes) {
+  TenantConfig cfg;
+  cfg.name = "t";
+  cfg.max_in_flight = 2;
+  AdmissionController admission(one_tenant(cfg));
+
+  auto done_a = std::make_shared<bool>(false);
+  auto done_b = std::make_shared<bool>(false);
+  EXPECT_TRUE(admission.try_reserve_slot("t", [done_a] { return *done_a; }));
+  EXPECT_TRUE(admission.try_reserve_slot("t", [done_b] { return *done_b; }));
+  EXPECT_FALSE(admission.try_reserve_slot("t", [] { return false; }));
+  EXPECT_EQ(admission.in_flight("t"), 2u);
+
+  *done_a = true;  // completion is observed lazily at the next reserve
+  EXPECT_TRUE(admission.try_reserve_slot("t", [] { return false; }));
+  EXPECT_EQ(admission.in_flight("t"), 2u);
+
+  const auto stats = admission.stats();
+  EXPECT_EQ(stats[0].rejected_quota, 1u);
+  EXPECT_EQ(stats[0].in_flight_high_water, 2u);
+}
+
+// -- ResultCache -------------------------------------------------------------
+
+CacheKey key_of(std::uint64_t n) {
+  CacheKey k;
+  k.circuit = n;
+  return k;
+}
+
+std::function<std::shared_future<double>()> ready_producer(double value,
+                                                           int* calls) {
+  return [value, calls] {
+    ++*calls;
+    std::promise<double> p;
+    p.set_value(value);
+    return p.get_future().share();
+  };
+}
+
+TEST(ResultCache, HitCoalesceAndSingleFlight) {
+  ResultCache<double> cache(1 << 20);
+  std::promise<double> slow;
+  int calls = 0;
+
+  auto first = cache.get_or_submit(key_of(1), [&] {
+    ++calls;
+    return slow.get_future().share();
+  });
+  EXPECT_FALSE(first.hit);
+  EXPECT_FALSE(first.coalesced);
+
+  // Same key while the leader is still in flight: share its future, run
+  // nothing.
+  auto follower = cache.get_or_submit(
+      key_of(1), [&]() -> std::shared_future<double> {
+        ADD_FAILURE() << "coalesced request must not execute";
+        return {};
+      });
+  EXPECT_TRUE(follower.coalesced);
+  EXPECT_EQ(calls, 1);
+
+  slow.set_value(42.0);
+  auto hit = cache.get_or_submit(key_of(1), ready_producer(0.0, &calls));
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.result.get(), 42.0);
+  EXPECT_EQ(calls, 1);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCache, EvictsLruUnderByteBudget) {
+  // A settled double costs kEntryOverhead + 8 bytes; budget two entries.
+  const std::size_t entry = ResultCache<double>::kEntryOverhead + sizeof(double);
+  std::uint64_t evictions_seen = 0;
+  ResultCache<double> cache(2 * entry,
+                            [&](std::uint64_t n) { evictions_seen += n; });
+  int calls = 0;
+
+  cache.get_or_submit(key_of(1), ready_producer(1.0, &calls));
+  cache.get_or_submit(key_of(2), ready_producer(2.0, &calls));
+  // Touch key 1 so key 2 is the LRU victim when key 3 arrives.
+  EXPECT_TRUE(cache.get_or_submit(key_of(1), ready_producer(0, &calls)).hit);
+  cache.get_or_submit(key_of(3), ready_producer(3.0, &calls));
+
+  EXPECT_TRUE(cache.get_or_submit(key_of(1), ready_producer(0, &calls)).hit);
+  EXPECT_FALSE(cache.get_or_submit(key_of(2), ready_producer(2.0, &calls)).hit);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2u);  // key 2 evicted, then key 3 or 1
+  EXPECT_EQ(evictions_seen, stats.evictions);
+  EXPECT_LE(stats.bytes, 2 * entry);
+  EXPECT_EQ(calls, 4);  // keys 1,2,3 + re-execution of evicted key 2
+}
+
+TEST(ResultCache, FailuresAreDroppedNotCached) {
+  ResultCache<double> cache(1 << 20);
+  int calls = 0;
+
+  auto failing = cache.get_or_submit(key_of(1), [&] {
+    ++calls;
+    std::promise<double> p;
+    p.set_exception(std::make_exception_ptr(std::runtime_error("boom")));
+    return p.get_future().share();
+  });
+  EXPECT_THROW(failing.result.get(), std::runtime_error);
+
+  // The failed entry must not be served; a retry re-executes.
+  auto retry = cache.get_or_submit(key_of(1), ready_producer(7.0, &calls));
+  EXPECT_FALSE(retry.hit);
+  EXPECT_FALSE(retry.coalesced);
+  EXPECT_EQ(retry.result.get(), 7.0);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.stats().failures_dropped, 1u);
+}
+
+TEST(ResultCache, ZeroBudgetIsPassThrough) {
+  ResultCache<double> cache(0);
+  int calls = 0;
+  EXPECT_FALSE(cache.enabled());
+  for (int i = 0; i < 3; ++i) {
+    auto lookup = cache.get_or_submit(key_of(1), ready_producer(1.0, &calls));
+    EXPECT_FALSE(lookup.hit);
+    EXPECT_FALSE(lookup.coalesced);
+  }
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// -- SimService --------------------------------------------------------------
+
+TEST(SimService, QuotaEnforcedUnderConcurrentSubmission) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(8, 8, 8);
+  TenantConfig cfg;
+  cfg.name = "t";
+  cfg.max_in_flight = 3;
+  SimService service(pool, one_tenant(cfg));
+
+  // Freeze the pool so no slot can free up mid-test: of 8 racing *distinct*
+  // requests exactly quota=3 may reach the pool.
+  pool.pause_dispatch();
+  std::atomic<int> accepted{0}, quota_rejected{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        service.submit_expectation("t", tagged_circuit(0.1 * (i + 1)),
+                                   zz_observable());
+        accepted.fetch_add(1);
+      } catch (const AdmissionRejected& e) {
+        EXPECT_EQ(e.outcome(), AdmissionOutcome::kRejectedQuota);
+        quota_rejected.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(accepted.load(), 3);
+  EXPECT_EQ(quota_rejected.load(), 5);
+
+  pool.resume_dispatch();
+  pool.wait_all();
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].in_flight_high_water, 3u);
+  EXPECT_EQ(stats.tenants[0].rejected_quota, 5u);
+  EXPECT_EQ(pool.stats().counters.jobs_submitted, 3u);
+
+  // With the backlog drained the quota slots are released and new requests
+  // flow again.
+  EXPECT_NO_THROW(service.submit_expectation("t", tagged_circuit(9.0),
+                                             zz_observable()));
+  pool.wait_all();
+}
+
+TEST(SimService, ConcurrentIdenticalRequestsCoalesceIntoOneExecution) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(4, 4, 8);
+  TenantConfig cfg;
+  cfg.name = "t";
+  cfg.max_in_flight = 1;  // single flight needs a single slot only
+  SimService service(pool, one_tenant(cfg));
+
+  pool.pause_dispatch();
+  std::vector<std::shared_future<double>> results(8);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      results[i] =
+          service.submit_expectation("t", bell_circuit(), zz_observable());
+    });
+  }
+  for (auto& t : threads) t.join();
+  pool.resume_dispatch();
+
+  EXPECT_EQ(pool.stats().counters.jobs_submitted, 1u);
+  for (int i = 1; i < 8; ++i)
+    EXPECT_EQ(results[i].get(), results[0].get());  // bit-identical shares
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.coalesced, 7u);
+  EXPECT_EQ(stats.admitted, 8u);
+}
+
+TEST(SimService, CacheHitsAreBitIdenticalToRecomputation) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 8);
+  TenantConfig cfg;
+  cfg.name = "t";
+  SimService service(pool, one_tenant(cfg));
+
+  const double first =
+      service.submit_expectation("t", tagged_circuit(0.37), zz_observable())
+          .get();
+  const double cached =
+      service.submit_expectation("t", tagged_circuit(0.37), zz_observable())
+          .get();
+  // Bypass produces a fresh execution to compare against the cached bits.
+  ServeOptions bypass;
+  bypass.bypass_cache = true;
+  const double fresh =
+      service
+          .submit_expectation("t", tagged_circuit(0.37), zz_observable(),
+                              bypass)
+          .get();
+  EXPECT_EQ(first, cached);  // exact bit identity, not a tolerance
+  EXPECT_EQ(first, fresh);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.executed, 2u);
+  EXPECT_EQ(pool.stats().counters.jobs_submitted, 2u);
+
+  // State-vector results cache bit-identically too.
+  const StateVector a = service.submit_circuit("t", bell_circuit()).get();
+  const StateVector b = service.submit_circuit("t", bell_circuit()).get();
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::size_t i = 0; i < a.amplitudes().size(); ++i)
+    EXPECT_EQ(a.amplitudes()[i], b.amplitudes()[i]);
+  EXPECT_EQ(service.stats().state_cache.hits, 1u);
+}
+
+TEST(SimService, EvictionUnderTinyBudgetForcesReexecution) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 8);
+  TenantConfig cfg;
+  cfg.name = "t";
+  ServeConfig config;
+  // Room for exactly one settled scalar entry.
+  config.cache_bytes = ResultCache<double>::kEntryOverhead + sizeof(double);
+  SimService service(pool, one_tenant(cfg), config);
+
+  service.submit_expectation("t", tagged_circuit(1.0), zz_observable()).get();
+  service.submit_expectation("t", tagged_circuit(2.0), zz_observable()).get();
+  // Entry 1.0 was evicted to make room: requesting it again re-executes.
+  service.submit_expectation("t", tagged_circuit(1.0), zz_observable()).get();
+  pool.wait_all();
+
+  const auto stats = service.stats();
+  EXPECT_GE(stats.value_cache.evictions, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(pool.stats().counters.jobs_submitted, 3u);
+}
+
+TEST(SimService, OpenBreakersShedLoadAtTheFrontDoor) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  resilience::CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 1;
+  breaker.open_duration = std::chrono::milliseconds(60000);
+  pool.set_breaker_policy(breaker);
+
+  TenantConfig cfg;
+  cfg.name = "t";
+  SimService service(pool, one_tenant(cfg));
+
+  ServeOptions fail_fast;
+  fail_fast.retry.max_attempts = 1;
+  {
+    resilience::FaultPlan plan;
+    resilience::FaultRule rule;
+    rule.site = "qpu.execute";
+    rule.probability = 1.0;
+    plan.rules.push_back(rule);
+    resilience::ScopedFaultPlan scoped(plan);
+
+    auto doomed = service.submit_expectation("t", bell_circuit(),
+                                             zz_observable(), fail_fast);
+    EXPECT_THROW(doomed.get(), std::exception);
+    pool.wait_all();
+  }
+
+  // The terminal failure tripped the only backend's breaker; with the whole
+  // fleet quarantined the service sheds at admission — the pool never sees
+  // the request (even though the fault plan is gone and a probe would now
+  // succeed: the breaker holds for open_duration).
+  ASSERT_EQ(pool.stats().open_breakers, 1);
+  EXPECT_THROW(
+      service.submit_expectation("t", bell_circuit(), zz_observable()),
+      AdmissionRejected);
+  try {
+    service.submit_expectation("t", bell_circuit(), zz_observable());
+  } catch (const AdmissionRejected& e) {
+    EXPECT_EQ(e.outcome(), AdmissionOutcome::kShedBreakerOpen);
+    EXPECT_EQ(e.tenant(), "t");
+  }
+  EXPECT_EQ(pool.stats().counters.jobs_submitted, 1u);
+  EXPECT_GE(service.stats().shed, 2u);
+}
+
+TEST(SimService, FailedExecutionsAreNeverCached) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  TenantConfig cfg;
+  cfg.name = "t";
+  SimService service(pool, one_tenant(cfg));
+
+  ServeOptions fail_fast;
+  fail_fast.retry.max_attempts = 1;
+  {
+    // Fault only the first execution; the breaker (default threshold 5)
+    // stays closed, so the retry below reaches the backend.
+    resilience::FaultPlan plan;
+    resilience::FaultRule rule;
+    rule.site = "qpu.execute";
+    rule.at_invocations = {0};
+    plan.rules.push_back(rule);
+    resilience::ScopedFaultPlan scoped(plan);
+
+    auto doomed = service.submit_expectation("t", bell_circuit(),
+                                             zz_observable(), fail_fast);
+    EXPECT_THROW(doomed.get(), std::exception);
+    pool.wait_all();
+
+    const double value =
+        service.submit_expectation("t", bell_circuit(), zz_observable())
+            .get();
+    EXPECT_NEAR(value, 1.0, 1e-12);
+  }
+  EXPECT_EQ(pool.stats().counters.jobs_submitted, 2u);
+  EXPECT_EQ(service.stats().value_cache.failures_dropped, 1u);
+}
+
+TEST(SimService, UnknownTenantRejected) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  TenantConfig cfg;
+  cfg.name = "t";
+  SimService service(pool, one_tenant(cfg));
+  try {
+    service.submit_expectation("ghost", bell_circuit(), zz_observable());
+    FAIL() << "expected AdmissionRejected";
+  } catch (const AdmissionRejected& e) {
+    EXPECT_EQ(e.outcome(), AdmissionOutcome::kUnknownTenant);
+  }
+}
+
+}  // namespace
+}  // namespace vqsim

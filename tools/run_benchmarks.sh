@@ -39,10 +39,11 @@ gbench_targets=(perf_gate_kernels perf_fusion perf_expectation perf_caching)
 if [[ "${quick}" == 0 ]]; then
   bench_targets+=(fig5_adapt_vqe)
 fi
-# perf_scaling builds in both modes: its BENCH-protocol comm-volume gate is
-# part of the regression surface even for --quick runs.
+# perf_scaling and perf_serve build in both modes: their BENCH-protocol
+# gates (comm volume; serve cache speedup/bit-identity/quota) are part of
+# the regression surface even for --quick runs.
 cmake --build "${build_dir}" -j --target "${bench_targets[@]}" perf_scaling \
-  $([[ "${quick}" == 0 ]] && echo "${gbench_targets[@]}")
+  perf_serve $([[ "${quick}" == 0 ]] && echo "${gbench_targets[@]}")
 
 mkdir -p "${out_dir}"
 export VQSIM_BENCH_DIR="${out_dir}"
@@ -94,6 +95,20 @@ if (( budget_rows == 0 )); then
   echo "FAIL: no dist_comm BENCH rows found in perf_scaling output" >&2
   exit 1
 fi
+
+# Serve-layer load generator (perf_serve owns its main): Zipf(1.0) request
+# mix through the multi-tenant service, cache off vs on. The binary exits
+# non-zero — aborting this script via set -e — unless cache-on throughput
+# is >= 5x cache-off, cached results are bit-identical to recomputation,
+# and the closed loop finishes with zero tenant-quota violations. --quick
+# trims the synthetic request count.
+echo "== perf_serve"
+serve_args=()
+if [[ "${quick}" == 1 ]]; then
+  serve_args+=(--requests 600)
+fi
+"${build_dir}/bench/perf_serve" ${serve_args[@]+"${serve_args[@]}"} \
+  | tee "${out_dir}/perf_serve.log"
 
 # google-benchmark microbenchmarks (JSON sidecar per binary).
 if [[ "${quick}" == 0 ]]; then

@@ -39,9 +39,12 @@ run_tsan() {
   # comm paths: ConcurrentStatesShareOneCommunicatorExactly hammers one
   # SimComm from many DistStateVector threads (reusable staging buffers,
   # exchange stats accounting), which is exactly where a torn counter or a
-  # shared-scratch race would surface.
+  # shared-scratch race would surface. test_serve races 8 client threads
+  # through the service's admit -> cache -> submit critical section (quota
+  # slots, single-flight coalescing, lazily settled cache futures).
   cmake --build "${build_dir}" -j \
-    --target test_runtime test_dist test_telemetry test_resilience
+    --target test_runtime test_dist test_telemetry test_resilience \
+    test_serve
 
   # tools/tsan.supp masks the libstdc++ exception_ptr/COW-string refcount
   # false positive (synchronization lives in the uninstrumented system
@@ -52,6 +55,7 @@ run_tsan() {
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_dist"
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_telemetry"
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_resilience"
+  TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_serve"
 
   echo "TSan pass OK: zero data races reported."
 }
