@@ -1,0 +1,107 @@
+// Property-inference overhead gate: the static analysis the runtime pays
+// on every job submission must stay in the noise next to actually running
+// the circuit.
+//
+// Workload: the 12-qubit UCCSD ansatz (water-like, active space (2,6)) at a
+// fixed parameter point — the same circuit family perf_scaling's comm gate
+// replays. Three timings, each best-of-several over repeated loops:
+//   - infer_routing: structural-only inference ({dataflow=false,
+//     lint=false}) — what VirtualQpuPool::infer_routing pays per submission.
+//   - infer_full: the whole pass stack (dataflow + lints), what
+//     `vqsim_cli analyze` and the verifier pay. Reported, not gated.
+//   - execute: StateVector(12).apply_circuit on the same circuit.
+//
+// Emitted as BENCH rows (suite "analyze") -> BENCH_analyze.json. The binary
+// self-gates: routing-path inference must cost < 1% of a single execute.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analyze/properties.hpp"
+#include "bench_emit.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/timer.hpp"
+#include "downfold/active_space.hpp"
+#include "sim/state_vector.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace {
+
+using namespace vqsim;
+
+/// Best-of-`reps` wall time of `body()` in seconds, each rep averaging
+/// `inner` calls so sub-millisecond bodies are measurable.
+template <class F>
+double best_seconds(int reps, int inner, F&& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    for (int i = 0; i < inner; ++i) body();
+    const double s = timer.seconds() / inner;
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const MolecularIntegrals act =
+      project_active(water_like(16, 10), ActiveSpace{2, 6});
+  UccsdAnsatzAdapter ansatz(2 * 6, act.nelec);
+  std::vector<double> theta(ansatz.num_parameters());
+  for (std::size_t i = 0; i < theta.size(); ++i)
+    theta[i] = 0.03 * static_cast<double>(i + 1);
+  const Circuit circuit = ansatz.circuit(theta);
+
+  analyze::PropertyOptions routing_opts;
+  routing_opts.dataflow = false;
+  routing_opts.lint = false;
+
+  // Warm-up: fault in code paths and the amplitude array once.
+  (void)analyze::infer_properties(circuit, routing_opts);
+  (void)analyze::infer_properties(circuit);
+  StateVector psi(circuit.num_qubits());
+  psi.apply_circuit(circuit);
+
+  const double infer_routing_s = best_seconds(5, 20, [&] {
+    (void)analyze::infer_properties(circuit, routing_opts);
+  });
+  const double infer_full_s = best_seconds(5, 10, [&] {
+    (void)analyze::infer_properties(circuit);
+  });
+  const double execute_s = best_seconds(5, 3, [&] {
+    psi.reset();
+    psi.apply_circuit(circuit);
+  });
+
+  const double overhead = infer_routing_s / execute_s;
+  const double overhead_full = infer_full_s / execute_s;
+  const bool pass = overhead < 0.01;
+
+  bench::BenchEmitter emitter("analyze");
+  emitter.row()
+      .field("workload", "uccsd_water_active_2_6")
+      .field("qubits", circuit.num_qubits())
+      .field("gates", circuit.size())
+      .field("infer_routing_us", infer_routing_s * 1e6, "%.3f")
+      .field("infer_full_us", infer_full_s * 1e6, "%.3f")
+      .field("execute_us", execute_s * 1e6, "%.3f")
+      .field("overhead_fraction", overhead, "%.6f")
+      .field("overhead_fraction_full", overhead_full, "%.6f")
+      .field("pass", pass)
+      .emit();
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: routing-path inference is %.4f of execute time "
+                 "(budget 0.01) on the 12-qubit UCCSD workload\n",
+                 overhead);
+    return 1;
+  }
+  std::printf("analyze overhead gate OK: %.4f%% of execute (budget 1%%)\n",
+              overhead * 100.0);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Backend cost model over inferred circuit properties.
+//
+// Turns a CircuitProperties summary into a predicted execution cost per
+// backend class: amplitude touches for the dense simulators, tableau-row
+// touches for the stabilizer backend, and — for the distributed backend —
+// the planned exchange volume of the comm-avoiding layout schedule
+// (ir/passes/layout.hpp), weighted against local work. VirtualQpuPool uses
+// the scalar `cost` to break routing ties toward the cheapest capable
+// backend; serve::AdmissionController bounds the queue by the same units.
+//
+// Costs are model units (amplitude touches), not seconds: they only need
+// to order backends and add up across a queue.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "analyze/properties.hpp"
+#include "ir/circuit.hpp"
+#include "ir/passes/layout.hpp"
+
+namespace vqsim::analyze {
+
+/// Which cost law a backend obeys (runtime::QpuBackend::cost_class()).
+enum class CostClass : std::uint8_t {
+  kStateVector,      // dense 2^n amplitudes, one sweep per gate
+  kDensityMatrix,    // dense 4^n entries, one sweep per gate
+  kStabilizer,       // n^2 tableau, one row sweep per gate
+  kDistStateVector,  // 2^n amplitudes + planned exchange volume
+};
+
+const char* to_string(CostClass cls);
+
+struct CostEstimate {
+  /// Local state entries read+written across the whole circuit.
+  double amplitude_touches = 0.0;
+  /// Amplitudes predicted to cross the rank axis (0 for non-distributed
+  /// classes), under the interaction-seeded layout plan.
+  double exchange_amplitudes = 0.0;
+  /// Pairwise exchange operations behind exchange_amplitudes.
+  double exchange_ops = 0.0;
+  /// Scalar figure of merit: amplitude_touches +
+  /// exchange_weight * exchange_amplitudes.
+  double cost = 0.0;
+};
+
+struct CostModelOptions {
+  /// Relative price of moving one amplitude across ranks versus touching
+  /// it locally.
+  double exchange_weight = 4.0;
+  /// Register partition for kDistStateVector (qubits below the rank axis);
+  /// <= 0 or >= num_qubits degenerates to the single-shard statevector law.
+  int dist_local_qubits = 0;
+};
+
+/// Predict the cost of running `circuit` (with properties `props`, from
+/// infer_properties — the cheap structural passes suffice) on a backend of
+/// class `cls` with a register of `num_qubits` qubits.
+CostEstimate estimate_cost(const Circuit& circuit,
+                           const CircuitProperties& props, CostClass cls,
+                           int num_qubits, const CostModelOptions& options = {});
+
+/// Closed-form statevector cost units for a circuit shape — the O(1)
+/// admission-time bound serve uses before any inference has run.
+double statevector_cost_units(int num_qubits, std::size_t num_gates);
+
+/// Reconstruct plan_layout's naive-lowering accounting (naive_amplitudes,
+/// naive_exchanges, gates_with_global_operands, and the naive side of
+/// swaps_avoided) from the circuit alone — bit-for-bit equal to the
+/// corresponding fields of plan_layout(circuit, num_qubits, local_qubits)
+/// .stats; tests pin the equivalence. Planned_* fields stay zero: the
+/// planned side depends on the evolving permutation, which is the
+/// planner's job to decide.
+LayoutStats predict_layout_naive_stats(const Circuit& circuit, int num_qubits,
+                                       int local_qubits);
+
+}  // namespace vqsim::analyze

@@ -53,6 +53,7 @@ const char* to_string(DiagCode code) {
     case DiagCode::kStateOutputUnsupported: return "state_output_unsupported";
     case DiagCode::kCliffordOnlyBackend: return "clifford_only_backend";
     case DiagCode::kNoCapableBackend: return "no_capable_backend";
+    case DiagCode::kAutoCliffordRoutable: return "auto_clifford_routable";
   }
   return "?";
 }

@@ -53,9 +53,21 @@ enum class DiagCode : std::uint8_t {
   kStateOutputUnsupported,   // state-vector output not available
   kCliffordOnlyBackend,      // stabilizer backend needs the Clifford promise
   kNoCapableBackend,         // no backend in the fleet satisfies the job
+  // Property-inference findings (analysis notes).
+  kAutoCliffordRoutable,  // inferred all-Clifford; stabilizer routing unlocked
 };
 
 const char* to_string(DiagCode code);
+
+/// Number of DiagCode enumerators. The taxonomy is append-only, so this is
+/// always `last enumerator + 1`; exhaustiveness tests iterate [0, count) and
+/// assert every value renders to a name (to_string never returns "?").
+inline constexpr std::size_t kDiagCodeCount =
+    static_cast<std::size_t>(DiagCode::kAutoCliffordRoutable) + 1;
+
+/// Number of Severity enumerators, for the same exhaustiveness guard.
+inline constexpr std::size_t kSeverityCount =
+    static_cast<std::size_t>(Severity::kError) + 1;
 
 struct Diagnostic {
   Severity severity = Severity::kError;

@@ -1,0 +1,602 @@
+#include "analyze/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/json_writer.hpp"
+
+namespace vqsim::analyze {
+namespace {
+
+bool is_rotation(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+    case GateKind::kCP:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_operands(const Gate& a, const Gate& b) {
+  return a.q0 == b.q0 && a.q1 == b.q1;
+}
+
+// Mirrors ir::cancel_gates' inverse-pair predicate (non-rotation kinds;
+// rotations are handled by angle merging).
+bool is_inverse_pair(const Gate& a, const Gate& b) {
+  if (!same_operands(a, b)) {
+    const bool symmetric =
+        a.kind == GateKind::kSwap || a.kind == GateKind::kCZ;
+    return symmetric && a.kind == b.kind && a.q0 == b.q1 && a.q1 == b.q0;
+  }
+  if (is_rotation(a.kind)) return false;
+  const Gate inv = inverse_gate(a);
+  if (inv.kind != b.kind) return false;
+  if (a.kind == GateKind::kU3) {
+    for (int i = 0; i < 3; ++i)
+      if (std::abs(inv.params[static_cast<std::size_t>(i)] -
+                   b.params[static_cast<std::size_t>(i)]) > 1e-15)
+        return false;
+  }
+  if (a.kind == GateKind::kMat1 || a.kind == GateKind::kMat2)
+    return false;  // generic payload comparison is fusion's job
+  return true;
+}
+
+bool is_trivially_dead(const Gate& g, double angle_tolerance) {
+  if (g.kind == GateKind::kI) return true;
+  switch (g.kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+      return std::abs(g.params[0]) < angle_tolerance;
+    default:
+      return false;
+  }
+}
+
+// Frame action of the fixed single-qubit Cliffords as a permutation of the
+// Pauli axes (signs are irrelevant for diagonality tracking). Returns
+// kUnknown for kinds with no exact axis permutation.
+PauliAxis clifford_frame_map(GateKind kind, PauliAxis frame) {
+  const bool fz = frame == PauliAxis::kZ;
+  const bool fx = frame == PauliAxis::kX;
+  const bool fy = frame == PauliAxis::kY;
+  switch (kind) {
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+      return frame;  // Pauli conjugation only flips signs
+    case GateKind::kH:
+      if (fz) return PauliAxis::kX;
+      if (fx) return PauliAxis::kZ;
+      return frame;  // Y -> -Y
+    case GateKind::kS:
+    case GateKind::kSdg:
+      if (fx) return PauliAxis::kY;
+      if (fy) return PauliAxis::kX;
+      return frame;  // Z fixed
+    case GateKind::kSX:
+    case GateKind::kSXdg:
+      if (fz) return PauliAxis::kY;
+      if (fy) return PauliAxis::kZ;
+      return frame;  // X fixed
+    default:
+      return PauliAxis::kUnknown;
+  }
+}
+
+// -- Passes ----------------------------------------------------------------
+
+class StructurePass final : public PropertyPass {
+ public:
+  const char* name() const override { return "structure"; }
+  void run(const Circuit& circuit, const PropertyOptions& options,
+           CircuitProperties& props, DiagnosticSink& sink) const override {
+    (void)sink;
+    const int n = circuit.num_qubits();
+    props.num_qubits = n;
+    props.num_gates = circuit.size();
+    props.num_measurements = circuit.measurements().size();
+    props.depth = circuit.depth();
+    props.facts.assign(circuit.size(), GateFacts{});
+
+    InteractionGraph& ig = props.interaction;
+    ig.num_qubits = n;
+    ig.degree.assign(static_cast<std::size_t>(n), 0);
+    ig.coupling_weight.assign(static_cast<std::size_t>(n), 0);
+    ig.locality_weight.assign(static_cast<std::size_t>(n), 0);
+    std::map<std::pair<int, int>, std::uint64_t> pair_counts;
+
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit[i];
+      GateFacts& f = props.facts[i];
+      f.axis0 = pauli_axis(g, g.q0);
+      f.diagonal = gate_is_diagonal(g);
+      f.trivially_dead = is_trivially_dead(g, options.angle_tolerance);
+      if (f.trivially_dead) ++props.trivially_dead_gates;
+      if (g.is_two_qubit()) {
+        ++props.two_qubit_gates;
+        f.axis1 = pauli_axis(g, g.q1);
+        const auto [a, b] = std::minmax(g.q0, g.q1);
+        ++pair_counts[{a, b}];
+        ++ig.coupling_weight[static_cast<std::size_t>(g.q0)];
+        ++ig.coupling_weight[static_cast<std::size_t>(g.q1)];
+      } else {
+        ++props.one_qubit_gates;
+      }
+      // Locality pressure: exactly the uses plan_layout schedules around.
+      if (g.kind != GateKind::kI && !f.diagonal) {
+        ++ig.locality_weight[static_cast<std::size_t>(g.q0)];
+        if (g.is_two_qubit())
+          ++ig.locality_weight[static_cast<std::size_t>(g.q1)];
+      }
+    }
+
+    ig.edges.reserve(pair_counts.size());
+    for (const auto& [pair, count] : pair_counts) {
+      ig.edges.push_back({pair.first, pair.second, count});
+      ++ig.degree[static_cast<std::size_t>(pair.first)];
+      ++ig.degree[static_cast<std::size_t>(pair.second)];
+    }
+  }
+};
+
+class CliffordPass final : public PropertyPass {
+ public:
+  const char* name() const override { return "clifford"; }
+  void run(const Circuit& circuit, const PropertyOptions& options,
+           CircuitProperties& props, DiagnosticSink& sink) const override {
+    (void)options;
+    bool prefix_open = true;
+    props.clifford_prefix = 0;
+    props.clifford_gates = 0;
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const bool clifford = gate_is_clifford(circuit[i]);
+      props.facts[i].clifford = clifford;
+      if (clifford) ++props.clifford_gates;
+      if (prefix_open && clifford)
+        ++props.clifford_prefix;
+      else
+        prefix_open = false;
+    }
+    props.all_clifford = props.clifford_gates == props.num_gates;
+    props.clifford_fraction =
+        props.num_gates == 0 ? 1.0
+                             : static_cast<double>(props.clifford_gates) /
+                                   static_cast<double>(props.num_gates);
+    if (props.all_clifford && props.num_gates > 0) {
+      std::ostringstream os;
+      os << "all " << props.num_gates
+         << " gates are Clifford; the job is routable to the stabilizer "
+            "backend without a clifford_only promise";
+      sink.note(DiagCode::kAutoCliffordRoutable, -1, -1, os.str());
+    }
+  }
+};
+
+class BasisTrackingPass final : public PropertyPass {
+ public:
+  const char* name() const override { return "basis_tracking"; }
+  void run(const Circuit& circuit, const PropertyOptions& options,
+           CircuitProperties& props, DiagnosticSink& sink) const override {
+    (void)options;
+    (void)sink;
+    // frame[q]: the Pauli axis along which the state built by the prefix
+    // is "diagonal" on q. Starts at Z (|0...0> is a Z eigenstate); exact
+    // single-qubit Clifford frame maps keep it precise, everything else
+    // collapses the qubit to top (kUnknown).
+    std::vector<PauliAxis> frame(static_cast<std::size_t>(circuit.num_qubits()),
+                                 PauliAxis::kZ);
+    props.diagonal_gates = 0;
+    props.diagonal_in_context_gates = 0;
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      const Gate& g = circuit[i];
+      GateFacts& f = props.facts[i];
+      if (f.diagonal) ++props.diagonal_gates;
+
+      PauliAxis& f0 = frame[static_cast<std::size_t>(g.q0)];
+      if (g.kind == GateKind::kI) {
+        f.diagonal_in_context = true;
+        ++props.diagonal_in_context_gates;
+        continue;
+      }
+      if (!g.is_two_qubit()) {
+        if (f.axis0 != PauliAxis::kUnknown && f.axis0 == f0) {
+          // Acts along the tracked axis: diagonal in context, frame fixed.
+          f.diagonal_in_context = true;
+          ++props.diagonal_in_context_gates;
+        } else {
+          f0 = clifford_frame_map(g.kind, f0);
+        }
+        continue;
+      }
+
+      PauliAxis& f1 = frame[static_cast<std::size_t>(g.q1)];
+      if (g.kind == GateKind::kSwap) {
+        std::swap(f0, f1);
+        continue;
+      }
+      const bool m0 = f.axis0 != PauliAxis::kUnknown && f.axis0 == f0;
+      const bool m1 = f.axis1 != PauliAxis::kUnknown && f.axis1 == f1;
+      if (m0 && m1) {
+        f.diagonal_in_context = true;
+        ++props.diagonal_in_context_gates;
+      } else {
+        // A two-qubit gate off its frame entangles the frames; each
+        // mismatched operand collapses to top. (A matched operand's axis
+        // commutes with the gate and survives.)
+        if (!m0) f0 = PauliAxis::kUnknown;
+        if (!m1) f1 = PauliAxis::kUnknown;
+      }
+    }
+  }
+};
+
+class LightConePass final : public PropertyPass {
+ public:
+  const char* name() const override { return "light_cone"; }
+  bool dataflow() const override { return true; }
+  void run(const Circuit& circuit, const PropertyOptions& options,
+           CircuitProperties& props, DiagnosticSink& sink) const override {
+    if (circuit.measurements().empty()) return;  // facts default to reachable
+    const std::vector<char> reaches = measurement_light_cone(circuit);
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      props.facts[i].reaches_measurement = reaches[i] != 0;
+      if (reaches[i] != 0) continue;
+      ++props.unreachable_gates;
+      // Trivially dead gates are already the dead-gate lint's business.
+      if (props.facts[i].trivially_dead) continue;
+      if (options.lint) {
+        sink.warning(DiagCode::kDeadGate, static_cast<std::ptrdiff_t>(i),
+                     circuit[i].q0,
+                     "gate lies outside every measurement light cone; it "
+                     "cannot influence any measured qubit");
+      }
+    }
+  }
+};
+
+class CancellationPass final : public PropertyPass {
+ public:
+  const char* name() const override { return "cancellation"; }
+  bool dataflow() const override { return true; }
+  void run(const Circuit& circuit, const PropertyOptions& options,
+           CircuitProperties& props, DiagnosticSink& sink) const override {
+    const CancellationSummary summary =
+        analyze_cancellations(circuit, options.angle_tolerance);
+    props.cancelling_pairs = summary.pairs_cancelled;
+    props.mergeable_rotations = summary.rotations_merged;
+    for (std::size_t i = 0; i < summary.partner.size(); ++i)
+      props.facts[i].cancels_with = summary.partner[i];
+    if (!options.lint) return;
+    if (summary.pairs_cancelled > 0) {
+      std::ostringstream os;
+      os << summary.pairs_cancelled
+         << " commutation-separated gate pair(s) cancel exactly; run "
+            "ir::cancel_gates before dispatch";
+      sink.warning(DiagCode::kCancellingPair, -1, -1, os.str());
+    }
+    if (summary.rotations_merged > 0) {
+      std::ostringstream os;
+      os << summary.rotations_merged
+         << " rotation(s) merge into an earlier same-axis rotation across "
+            "commuting gates";
+      sink.warning(DiagCode::kRedundantRotation, -1, -1, os.str());
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t InteractionGraph::pair_gates(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  for (const InteractionEdge& e : edges)
+    if (e.q0 == a && e.q1 == b) return e.gates;
+  return 0;
+}
+
+const char* to_string(PauliAxis axis) {
+  switch (axis) {
+    case PauliAxis::kNone: return "none";
+    case PauliAxis::kZ: return "z";
+    case PauliAxis::kX: return "x";
+    case PauliAxis::kY: return "y";
+    case PauliAxis::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+PauliAxis pauli_axis(const Gate& g, int qubit) {
+  const bool on0 = qubit == g.q0;
+  const bool on1 = g.is_two_qubit() && qubit == g.q1;
+  if (!on0 && !on1) return PauliAxis::kNone;
+  switch (g.kind) {
+    case GateKind::kI:
+      return PauliAxis::kNone;
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRZ:
+    case GateKind::kP:
+      return PauliAxis::kZ;
+    case GateKind::kX:
+    case GateKind::kSX:
+    case GateKind::kSXdg:
+    case GateKind::kRX:
+      return PauliAxis::kX;
+    case GateKind::kY:
+    case GateKind::kRY:
+      return PauliAxis::kY;
+    case GateKind::kCX:
+      return on0 ? PauliAxis::kZ : PauliAxis::kX;
+    case GateKind::kCY:
+      return on0 ? PauliAxis::kZ : PauliAxis::kY;
+    case GateKind::kCRX:
+      return on0 ? PauliAxis::kZ : PauliAxis::kX;
+    case GateKind::kCRY:
+      return on0 ? PauliAxis::kZ : PauliAxis::kY;
+    case GateKind::kCZ:
+    case GateKind::kCRZ:
+    case GateKind::kCP:
+    case GateKind::kRZZ:
+      return PauliAxis::kZ;
+    case GateKind::kCH:
+      return on0 ? PauliAxis::kZ : PauliAxis::kUnknown;
+    case GateKind::kRXX:
+      return PauliAxis::kX;
+    case GateKind::kRYY:
+      return PauliAxis::kY;
+    case GateKind::kMat1:
+    case GateKind::kMat2:
+      return gate_is_diagonal(g) ? PauliAxis::kZ : PauliAxis::kUnknown;
+    default:
+      return PauliAxis::kUnknown;  // kH, kU3, kSwap
+  }
+}
+
+bool gates_commute(const Gate& a, const Gate& b) {
+  const auto check = [&](int q) {
+    const PauliAxis pa = pauli_axis(a, q);
+    const PauliAxis pb = pauli_axis(b, q);
+    if (pa == PauliAxis::kNone || pb == PauliAxis::kNone) return true;
+    if (pa == PauliAxis::kUnknown || pb == PauliAxis::kUnknown) return false;
+    return pa == pb;
+  };
+  if (!check(a.q0)) return false;
+  if (a.is_two_qubit() && !check(a.q1)) return false;
+  return true;
+}
+
+std::vector<std::unique_ptr<PropertyPass>> property_passes() {
+  std::vector<std::unique_ptr<PropertyPass>> passes;
+  passes.push_back(std::make_unique<StructurePass>());
+  passes.push_back(std::make_unique<CliffordPass>());
+  passes.push_back(std::make_unique<BasisTrackingPass>());
+  passes.push_back(std::make_unique<LightConePass>());
+  passes.push_back(std::make_unique<CancellationPass>());
+  return passes;
+}
+
+CircuitProperties infer_properties(const Circuit& circuit,
+                                   const PropertyOptions& options) {
+  CircuitProperties props;
+  DiagnosticCollector collector;
+  for (const auto& pass : property_passes()) {
+    if (pass->dataflow() && !options.dataflow) continue;
+    pass->run(circuit, options, props, collector);
+  }
+  props.diagnostics = collector.take();
+  return props;
+}
+
+CancellationSummary analyze_cancellations(const Circuit& circuit,
+                                          double angle_tolerance) {
+  const std::size_t n = circuit.size();
+  CancellationSummary summary;
+  summary.partner.assign(n, -1);
+  // Effective gates: rotation merges fold angles into the survivor.
+  std::vector<Gate> eff(circuit.gates().begin(), circuit.gates().end());
+  std::vector<char> alive(n, 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate g = eff[i];
+    for (std::size_t j = i; j-- > 0;) {
+      if (!alive[j]) continue;
+      const Gate& h = eff[j];
+      const bool shares = h.q0 == g.q0 ||
+                          (g.is_two_qubit() && h.q0 == g.q1) ||
+                          (h.is_two_qubit() &&
+                           (h.q1 == g.q0 ||
+                            (g.is_two_qubit() && h.q1 == g.q1)));
+      if (!shares) continue;  // disjoint supports always commute
+      const bool arity_match = h.is_two_qubit() == g.is_two_qubit();
+      if (arity_match && is_inverse_pair(h, g)) {
+        alive[j] = 0;
+        alive[i] = 0;
+        summary.partner[i] = static_cast<std::ptrdiff_t>(j);
+        summary.partner[j] = static_cast<std::ptrdiff_t>(i);
+        ++summary.pairs_cancelled;
+        break;
+      }
+      if (arity_match && is_rotation(g.kind) && h.kind == g.kind &&
+          same_operands(h, g)) {
+        eff[j].params[0] += g.params[0];
+        alive[i] = 0;
+        summary.partner[i] = static_cast<std::ptrdiff_t>(j);
+        ++summary.rotations_merged;
+        if (std::abs(eff[j].params[0]) < angle_tolerance) {
+          alive[j] = 0;
+          ++summary.pairs_cancelled;
+        }
+        break;
+      }
+      if (gates_commute(g, h)) continue;  // hop over and keep looking
+      break;  // blocked by a non-commuting gate
+    }
+  }
+  return summary;
+}
+
+std::vector<char> measurement_light_cone(const Circuit& circuit) {
+  const std::size_t n = circuit.size();
+  std::vector<char> reaches(n, 1);
+  if (circuit.measurements().empty()) return reaches;
+  reaches.assign(n, 0);
+
+  std::vector<Measurement> ms(circuit.measurements());
+  std::sort(ms.begin(), ms.end(), [](const Measurement& a,
+                                     const Measurement& b) {
+    return a.position > b.position;
+  });
+  std::vector<char> live(static_cast<std::size_t>(circuit.num_qubits()), 0);
+  std::size_t next = 0;
+  for (std::size_t i = n; i-- > 0;) {
+    // A measurement at position p sees gates with index < p.
+    while (next < ms.size() && ms[next].position > i) {
+      live[static_cast<std::size_t>(ms[next].qubit)] = 1;
+      ++next;
+    }
+    const Gate& g = circuit[i];
+    if (g.kind == GateKind::kI) continue;  // acts trivially, spreads nothing
+    const bool l = live[static_cast<std::size_t>(g.q0)] != 0 ||
+                   (g.is_two_qubit() &&
+                    live[static_cast<std::size_t>(g.q1)] != 0);
+    if (!l) continue;
+    reaches[i] = 1;
+    live[static_cast<std::size_t>(g.q0)] = 1;
+    if (g.is_two_qubit()) live[static_cast<std::size_t>(g.q1)] = 1;
+  }
+  return reaches;
+}
+
+std::vector<int> interaction_seeded_layout(const CircuitProperties& props,
+                                           int num_qubits, int local_qubits) {
+  if (local_qubits <= 0 || local_qubits > num_qubits)
+    throw std::invalid_argument(
+        "interaction_seeded_layout: bad register partition");
+  std::vector<int> order(static_cast<std::size_t>(num_qubits));
+  std::iota(order.begin(), order.end(), 0);
+  const auto weight = [&](int q) -> std::uint64_t {
+    const auto& w = props.interaction.locality_weight;
+    return static_cast<std::size_t>(q) < w.size()
+               ? w[static_cast<std::size_t>(q)]
+               : 0;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return weight(a) > weight(b);  // ties keep index order (stable)
+  });
+
+  // Winners take the local slots, both halves in ascending logical order
+  // so a circuit with uniform pressure seeds the identity.
+  std::vector<int> winners(order.begin(), order.begin() + local_qubits);
+  std::vector<int> losers(order.begin() + local_qubits, order.end());
+  std::sort(winners.begin(), winners.end());
+  std::sort(losers.begin(), losers.end());
+  std::vector<int> layout(static_cast<std::size_t>(num_qubits));
+  for (int s = 0; s < local_qubits; ++s)
+    layout[static_cast<std::size_t>(winners[static_cast<std::size_t>(s)])] = s;
+  for (std::size_t k = 0; k < losers.size(); ++k)
+    layout[static_cast<std::size_t>(losers[k])] =
+        local_qubits + static_cast<int>(k);
+  return layout;
+}
+
+std::string properties_to_json(const CircuitProperties& props) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("num_qubits"); w.value(static_cast<std::int64_t>(props.num_qubits));
+  w.key("num_gates"); w.value(static_cast<std::uint64_t>(props.num_gates));
+  w.key("one_qubit_gates");
+  w.value(static_cast<std::uint64_t>(props.one_qubit_gates));
+  w.key("two_qubit_gates");
+  w.value(static_cast<std::uint64_t>(props.two_qubit_gates));
+  w.key("num_measurements");
+  w.value(static_cast<std::uint64_t>(props.num_measurements));
+  w.key("depth"); w.value(static_cast<std::uint64_t>(props.depth));
+
+  w.key("clifford");
+  w.begin_object();
+  w.key("gates"); w.value(static_cast<std::uint64_t>(props.clifford_gates));
+  w.key("prefix"); w.value(static_cast<std::uint64_t>(props.clifford_prefix));
+  w.key("all_clifford"); w.value(props.all_clifford);
+  w.key("fraction"); w.value(props.clifford_fraction);
+  w.end_object();
+
+  w.key("diagonal");
+  w.begin_object();
+  w.key("computational");
+  w.value(static_cast<std::uint64_t>(props.diagonal_gates));
+  w.key("in_context");
+  w.value(static_cast<std::uint64_t>(props.diagonal_in_context_gates));
+  w.end_object();
+
+  w.key("dataflow");
+  w.begin_object();
+  w.key("cancelling_pairs");
+  w.value(static_cast<std::uint64_t>(props.cancelling_pairs));
+  w.key("mergeable_rotations");
+  w.value(static_cast<std::uint64_t>(props.mergeable_rotations));
+  w.key("trivially_dead_gates");
+  w.value(static_cast<std::uint64_t>(props.trivially_dead_gates));
+  w.key("unreachable_gates");
+  w.value(static_cast<std::uint64_t>(props.unreachable_gates));
+  w.end_object();
+
+  w.key("interaction");
+  w.begin_object();
+  w.key("edges");
+  w.begin_array();
+  for (const InteractionEdge& e : props.interaction.edges) {
+    w.begin_object();
+    w.key("q0"); w.value(static_cast<std::int64_t>(e.q0));
+    w.key("q1"); w.value(static_cast<std::int64_t>(e.q1));
+    w.key("gates"); w.value(e.gates);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("degree");
+  w.begin_array();
+  for (std::uint64_t d : props.interaction.degree) w.value(d);
+  w.end_array();
+  w.key("locality_weight");
+  w.begin_array();
+  for (std::uint64_t d : props.interaction.locality_weight) w.value(d);
+  w.end_array();
+  w.end_object();
+
+  w.key("diagnostics");
+  w.begin_array();
+  for (const Diagnostic& d : props.diagnostics) {
+    w.begin_object();
+    w.key("severity"); w.value(to_string(d.severity));
+    w.key("code"); w.value(to_string(d.code));
+    w.key("gate_index"); w.value(static_cast<std::int64_t>(d.gate_index));
+    w.key("qubit"); w.value(static_cast<std::int64_t>(d.qubit));
+    w.key("message"); w.value(d.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace vqsim::analyze

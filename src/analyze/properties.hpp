@@ -1,0 +1,192 @@
+// Property-inference static analysis over ir::Circuit.
+//
+// Where the verifier (analyze/verifier.hpp) only accepts or rejects a
+// circuit, this pass pipeline *infers* facts the runtime can act on:
+//
+//  * an interaction graph (which qubit pairs talk, how often) that seeds
+//    plan_layout's initial permutation,
+//  * Clifford-prefix / whole-circuit Clifford detection, so an unannotated
+//    all-Clifford job is auto-routed to the stabilizer backend instead of
+//    requiring the caller's clifford_only promise (kAutoCliffordRoutable),
+//  * a basis-tracking abstract domain (per-qubit Pauli frame Z/X/Y/top)
+//    classifying gates as diagonal-in-context — diagonal after the local
+//    basis changes the prefix already applied, a superset view of the
+//    computational-basis diagonality plan_layout exploits,
+//  * commutation-aware cancellation and measurement light-cone dataflow
+//    that upgrade the adjacency-only kCancellingPair/kDeadGate lints,
+//  * per-gate facts the cost model (analyze/cost.hpp) turns into predicted
+//    amplitude touches and exchange volume per backend.
+//
+// The pipeline mirrors the verifier's pass structure: each PropertyPass
+// reads the circuit, writes into CircuitProperties, and may deposit
+// note/warning diagnostics into a sink. infer_properties() is the
+// everything-on front door; PropertyOptions lets hot paths (the pool's
+// submit-time routing) skip the O(n^2)-worst-case dataflow passes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "ir/circuit.hpp"
+
+namespace vqsim::analyze {
+
+struct PropertyOptions {
+  /// Rotation angles below this are treated as zero (matches the
+  /// verifier's dead-gate threshold and ir::cancel_gates).
+  double angle_tolerance = 1e-12;
+  /// Run the dataflow passes (commutation-aware cancellation, measurement
+  /// light cone). Worst case O(n^2) in gate count; submit-time routing
+  /// turns this off and keeps the O(n) structural passes.
+  bool dataflow = true;
+  /// Emit warning diagnostics for dataflow findings. The pool disables
+  /// this so verify_circuit's lint warnings are not duplicated on
+  /// JobTelemetry; the kAutoCliffordRoutable note is emitted regardless.
+  bool lint = true;
+};
+
+/// Undirected qubit interaction graph over the two-qubit gates.
+struct InteractionEdge {
+  int q0 = -1;  // q0 < q1
+  int q1 = -1;
+  std::uint64_t gates = 0;  // two-qubit gates touching exactly this pair
+};
+
+struct InteractionGraph {
+  int num_qubits = 0;
+  /// Sorted by (q0, q1).
+  std::vector<InteractionEdge> edges;
+  /// degree[q] = number of distinct interaction partners.
+  std::vector<std::uint64_t> degree;
+  /// coupling_weight[q] = two-qubit gate endpoints landing on q.
+  std::vector<std::uint64_t> coupling_weight;
+  /// locality_weight[q] = gates that require q local under the distributed
+  /// lowering: non-diagonal, non-identity gates touching q — exactly the
+  /// uses plan_layout's Belady scheduler counts.
+  std::vector<std::uint64_t> locality_weight;
+
+  std::uint64_t pair_gates(int a, int b) const;
+};
+
+/// Pauli frame / axis labels shared by the commutation checker and the
+/// basis-tracking domain. kNone = acts trivially (identity); kUnknown is
+/// the top element (untracked / not a single Pauli axis).
+enum class PauliAxis : std::uint8_t { kNone, kZ, kX, kY, kUnknown };
+
+const char* to_string(PauliAxis axis);
+
+/// The Pauli axis `g` acts along on operand `qubit`: every gate in the IR
+/// whose action on `qubit` is a polynomial in a single Pauli P reports P
+/// (e.g. CX reports kZ on the control and kX on the target; RZZ reports kZ
+/// on both); gates with no such axis (H, U3, Swap, non-diagonal matrix
+/// payloads) report kUnknown. Returns kNone for kI or when `qubit` is not
+/// an operand of `g`.
+PauliAxis pauli_axis(const Gate& g, int qubit);
+
+/// Sound commutation check: true only when the gates provably commute.
+/// Disjoint supports always commute; on each shared qubit both gates must
+/// act along the same known Pauli axis (each such gate is a polynomial in
+/// one Pauli per operand, so equal axes on every shared qubit suffice).
+bool gates_commute(const Gate& a, const Gate& b);
+
+/// Per-gate inferred facts, parallel to Circuit::gates().
+struct GateFacts {
+  PauliAxis axis0 = PauliAxis::kNone;  // axis on q0 (kNone for kI)
+  PauliAxis axis1 = PauliAxis::kNone;  // axis on q1 (kNone for 1q gates)
+  bool diagonal = false;               // computational-basis diagonal
+  bool diagonal_in_context = false;    // diagonal in the tracked frame
+  bool clifford = false;
+  bool trivially_dead = false;       // identity / zero-angle rotation
+  bool reaches_measurement = true;   // light cone; true when no measurements
+  std::ptrdiff_t cancels_with = -1;  // commutation-aware inverse partner
+};
+
+struct CircuitProperties {
+  int num_qubits = 0;
+  std::size_t num_gates = 0;
+  std::size_t one_qubit_gates = 0;
+  std::size_t two_qubit_gates = 0;
+  std::size_t num_measurements = 0;
+  std::size_t depth = 0;
+
+  InteractionGraph interaction;
+
+  // Clifford structure.
+  std::size_t clifford_gates = 0;
+  std::size_t clifford_prefix = 0;  // maximal all-Clifford prefix length
+  bool all_clifford = true;         // vacuously true for empty circuits
+  double clifford_fraction = 1.0;
+
+  // Diagonality.
+  std::size_t diagonal_gates = 0;             // computational basis
+  std::size_t diagonal_in_context_gates = 0;  // basis-tracking domain
+
+  // Dataflow results (zero unless PropertyOptions::dataflow).
+  std::size_t cancelling_pairs = 0;
+  std::size_t mergeable_rotations = 0;
+  std::size_t trivially_dead_gates = 0;
+  std::size_t unreachable_gates = 0;  // outside every measurement light cone
+
+  std::vector<GateFacts> facts;  // parallel to Circuit::gates()
+  /// Notes/warnings the passes emitted (kAutoCliffordRoutable and, with
+  /// PropertyOptions::lint, the dataflow lint findings).
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// One analysis in the inference pipeline.
+class PropertyPass {
+ public:
+  virtual ~PropertyPass() = default;
+  virtual const char* name() const = 0;
+  /// Dataflow passes are skipped when PropertyOptions::dataflow is false.
+  virtual bool dataflow() const { return false; }
+  virtual void run(const Circuit& circuit, const PropertyOptions& options,
+                   CircuitProperties& props, DiagnosticSink& sink) const = 0;
+};
+
+/// The standard pipeline, in execution order: structure (counts +
+/// interaction graph), Clifford detection, basis tracking, measurement
+/// light cone, commutation-aware cancellation.
+std::vector<std::unique_ptr<PropertyPass>> property_passes();
+
+/// Run the full pipeline.
+CircuitProperties infer_properties(const Circuit& circuit,
+                                   const PropertyOptions& options = {});
+
+/// Commutation-aware cancellation analysis: like ir::cancel_gates, but a
+/// candidate pair may be separated by any run of gates that provably
+/// commute with the candidate (gates_commute), not just be adjacent on
+/// every shared qubit. Never removes gates — reports what a
+/// commutation-aware cleanup would do. Worst case O(n^2).
+struct CancellationSummary {
+  std::size_t pairs_cancelled = 0;
+  std::size_t rotations_merged = 0;
+  /// partner[i] = index of the earlier gate that gate i cancels against or
+  /// merges into, -1 when gate i survives untouched.
+  std::vector<std::ptrdiff_t> partner;
+};
+
+CancellationSummary analyze_cancellations(const Circuit& circuit,
+                                          double angle_tolerance = 1e-12);
+
+/// reaches[i] = gate i can influence some measurement marker (backward
+/// light cone from Circuit::measurements()). All-true when the circuit has
+/// no measurement markers.
+std::vector<char> measurement_light_cone(const Circuit& circuit);
+
+/// Initial layout[logical] = physical for plan_layout, seeded from the
+/// interaction graph: the local_qubits highest-locality_weight qubits are
+/// placed on the local axis (ties broken by lower index, so a circuit with
+/// no global pressure seeds the identity). Deterministic.
+std::vector<int> interaction_seeded_layout(const CircuitProperties& props,
+                                           int num_qubits, int local_qubits);
+
+/// JSON report (vqsim_cli analyze): counts, clifford/diagonal structure,
+/// interaction edges, dataflow findings, diagnostics.
+std::string properties_to_json(const CircuitProperties& props);
+
+}  // namespace vqsim::analyze

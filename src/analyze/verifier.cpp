@@ -5,7 +5,7 @@
 #include <sstream>
 #include <utility>
 
-#include "ir/passes/cancel.hpp"
+#include "analyze/properties.hpp"
 
 namespace vqsim::analyze {
 namespace {
@@ -221,38 +221,58 @@ class CliffordPromisePass final : public VerifyPass {
 
 // -- Lint passes (well-formed circuits only) ---------------------------------
 
-/// Reuses ir::cancel_gates as an analysis: if the cancellation pass would
-/// delete or merge gates, the circuit is dispatching avoidable work.
-/// Restricted to the prefix before the first measurement — cancellation
-/// across a measurement boundary is not sound.
+/// Commutation-aware cancellation dataflow (analyze_cancellations): a pair
+/// may be separated by any run of provably-commuting gates, not just be
+/// adjacent. Whole-circuit: cancelling across a measurement of a *different*
+/// qubit is sound (disjoint operations commute with the measurement), and a
+/// gate trailing a measurement of a shared qubit is a structural error that
+/// suppresses lint entirely.
 class CancellationLintPass final : public VerifyPass {
  public:
   const char* name() const override { return "cancellation"; }
   bool lint() const override { return true; }
   void run(const Circuit& circuit, const VerifyOptions& options,
            DiagnosticSink& sink) const override {
-    std::size_t limit = circuit.size();
-    for (const Measurement& m : circuit.measurements())
-      limit = std::min(limit, m.position);
-    Circuit prefix(circuit.num_qubits());
-    const Circuit* target = &circuit;
-    if (limit < circuit.size()) {
-      prefix.reserve(limit);
-      for (std::size_t i = 0; i < limit; ++i) prefix.add(circuit[i]);
-      target = &prefix;
-    }
-    if (target->empty()) return;
-    CancelStats stats;
-    cancel_gates(*target, &stats, options.angle_tolerance);
+    if (circuit.empty()) return;
+    const CancellationSummary stats =
+        analyze_cancellations(circuit, options.angle_tolerance);
     if (stats.pairs_cancelled > 0)
       sink.warning(DiagCode::kCancellingPair, -1, -1,
                    std::to_string(stats.pairs_cancelled) +
-                       " adjacent gate pair(s) cancel exactly; run "
-                       "ir::cancel_gates before dispatch");
+                       " commutation-separated gate pair(s) cancel exactly; "
+                       "run ir::cancel_gates before dispatch");
     if (stats.rotations_merged > 0)
       sink.warning(DiagCode::kRedundantRotation, -1, -1,
                    std::to_string(stats.rotations_merged) +
-                       " consecutive same-axis rotation(s) merge into one");
+                       " same-axis rotation(s) merge across commuting gates");
+  }
+};
+
+/// Gates outside every measurement light cone (measurement_light_cone)
+/// cannot influence an observed outcome: dead work the adjacency-only
+/// dead-gate lint cannot see. Only meaningful when the circuit declares
+/// measurement markers.
+class MeasurementLightConePass final : public VerifyPass {
+ public:
+  const char* name() const override { return "light-cone"; }
+  bool lint() const override { return true; }
+  void run(const Circuit& circuit, const VerifyOptions& options,
+           DiagnosticSink& sink) const override {
+    if (circuit.measurements().empty()) return;
+    const std::vector<char> reaches = measurement_light_cone(circuit);
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      if (reaches[i] != 0) continue;
+      const Gate& g = circuit[i];
+      // Trivially dead gates are already DeadGatePass findings.
+      if (g.kind == GateKind::kI) continue;
+      if (is_single_param_rotation(g.kind) &&
+          std::abs(g.params[0]) <= options.angle_tolerance)
+        continue;
+      sink.warning(DiagCode::kDeadGate, static_cast<std::ptrdiff_t>(i), g.q0,
+                   "gate '" + gate_to_string(g) +
+                       "' lies outside every measurement light cone; it "
+                       "cannot influence any measured qubit");
+    }
   }
 };
 
@@ -314,6 +334,7 @@ std::vector<std::unique_ptr<VerifyPass>> standard_passes(
   if (options.clifford_promised)
     passes.push_back(std::make_unique<CliffordPromisePass>());
   passes.push_back(std::make_unique<CancellationLintPass>());
+  passes.push_back(std::make_unique<MeasurementLightConePass>());
   passes.push_back(std::make_unique<DeadGatePass>());
   passes.push_back(std::make_unique<UnusedQubitPass>());
   return passes;

@@ -92,6 +92,31 @@ void DistStateVector::set_basis_state(idx basis) {
   }
   local_[static_cast<std::size_t>(owner)].set_basis_state(basis &
                                                           (local_dim - 1));
+  at_zero_state_ = (basis == 0);
+}
+
+void DistStateVector::adopt_layout(std::vector<int> layout) {
+  if (mode_ != CommMode::kPersistentLayout)
+    throw std::invalid_argument(
+        "adopt_layout: requires CommMode::kPersistentLayout");
+  if (!at_zero_state_)
+    throw std::logic_error(
+        "adopt_layout: only legal while the state is |0...0>");
+  if (layout.size() != static_cast<std::size_t>(num_qubits_))
+    throw std::invalid_argument("adopt_layout: layout size mismatch");
+  std::vector<char> seen(static_cast<std::size_t>(num_qubits_), 0);
+  for (int phys : layout) {
+    if (phys < 0 || phys >= num_qubits_ || seen[static_cast<std::size_t>(phys)])
+      throw std::invalid_argument("adopt_layout: not a permutation");
+    seen[static_cast<std::size_t>(phys)] = 1;
+  }
+  // |0...0> is fixed by every qubit permutation, so relabeling the index
+  // bits moves no amplitudes.
+  layout_ = std::move(layout);
+  for (int q = 0; q < num_qubits_; ++q)
+    inv_layout_[static_cast<std::size_t>(layout_[static_cast<std::size_t>(q)])] =
+        q;
+  greedy_cursor_ = 0;
 }
 
 void DistStateVector::apply_circuit(const Circuit& circuit) {
@@ -303,6 +328,7 @@ int DistStateVector::pick_victim_greedy(int exclude0, int exclude1) {
 // -- Gate lowering -----------------------------------------------------------
 
 void DistStateVector::apply_gate_naive(const Gate& gate) {
+  at_zero_state_ = false;
   // The seed lowering, kept as the comm-volume baseline: every global
   // two-qubit operand pays swap-in/gate/swap-out, every global single-qubit
   // gate pays a full-slice exchange, diagonals get no shortcut.
@@ -352,6 +378,7 @@ void DistStateVector::apply_gate_naive(const Gate& gate) {
 
 void DistStateVector::apply_gate_persistent(const Gate& gate,
                                             const LayoutStep* step) {
+  at_zero_state_ = false;
   if (!gate.is_two_qubit()) {
     if (gate.kind == GateKind::kI) return;
     const int p0 = layout_[static_cast<std::size_t>(gate.q0)];

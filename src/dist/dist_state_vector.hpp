@@ -97,6 +97,14 @@ class DistStateVector {
   /// persistent swap lands).
   const std::vector<int>& layout() const { return layout_; }
 
+  /// Adopt `layout` (layout[logical] = physical bit) as the starting
+  /// permutation without moving any amplitudes. Only legal while the state
+  /// is |0...0> — the one state every qubit permutation fixes — so the
+  /// planner can start from an interaction-seeded layout instead of
+  /// identity. Requires CommMode::kPersistentLayout; throws
+  /// std::logic_error once any gate has touched the state.
+  void adopt_layout(std::vector<int> layout);
+
   CommStats comm_stats() const { return comm_->stats(); }
 
   /// Staging-buffer allocations since construction; stays flat across
@@ -167,6 +175,9 @@ class DistStateVector {
   std::vector<std::uint8_t> pauli_inbox_filled_;
   std::uint64_t scratch_allocations_ = 0;
   bool reverse_pair_iteration_ = false;
+  /// True exactly while the register holds |0...0> untouched by gates —
+  /// the window in which adopt_layout is sound.
+  bool at_zero_state_ = true;
 };
 
 }  // namespace vqsim

@@ -27,6 +27,15 @@ std::vector<std::vector<std::size_t>> locality_uses(const Circuit& circuit) {
 
 }  // namespace
 
+CommVolumeModel comm_volume_model(int num_qubits, int local_qubits) {
+  CommVolumeModel m;
+  m.pairs = std::uint64_t{1} << (num_qubits - local_qubits) >> 1;
+  m.local_dim = std::uint64_t{1} << local_qubits;
+  m.swap_amps = m.pairs * m.local_dim;
+  m.inplace_amps = m.pairs * 2 * m.local_dim;
+  return m;
+}
+
 LayoutStats& LayoutStats::operator+=(const LayoutStats& o) {
   naive_amplitudes += o.naive_amplitudes;
   planned_amplitudes += o.planned_amplitudes;
@@ -68,16 +77,13 @@ LayoutPlan plan_layout(const Circuit& circuit, int num_qubits,
     inv[static_cast<std::size_t>(p)] = l;
   }
 
-  // Exchange-volume model, exactly as SimComm accounts it: every pairwise
-  // exchange counts both directions. With R ranks and D = 2^local_qubits
-  // amplitudes per shard, R/2 partner pairs participate per global touch.
+  // Exchange-volume model, exactly as SimComm accounts it:
   //   swap-in (half slices):   R/2 exchanges, R/2 * D amplitudes
   //   in-place global 1q gate: R/2 exchanges, R   * D amplitudes
-  const std::uint64_t pairs =
-      std::uint64_t{1} << (num_qubits - local_qubits) >> 1;
-  const std::uint64_t local_dim = std::uint64_t{1} << local_qubits;
-  const std::uint64_t swap_amps = pairs * local_dim;
-  const std::uint64_t inplace_amps = pairs * 2 * local_dim;
+  const CommVolumeModel vol = comm_volume_model(num_qubits, local_qubits);
+  const std::uint64_t pairs = vol.pairs;
+  const std::uint64_t swap_amps = vol.swap_amps;
+  const std::uint64_t inplace_amps = vol.inplace_amps;
 
   const auto uses = locality_uses(circuit);
   std::vector<std::size_t> cursor(uses.size(), 0);

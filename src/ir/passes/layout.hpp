@@ -86,6 +86,21 @@ struct LayoutPlan {
   LayoutStats stats;
 };
 
+/// Exchange-volume constants shared by plan_layout's accounting and the
+/// analyze cost model (analyze/cost.hpp). With R = 2^(num_qubits -
+/// local_qubits) ranks and D = 2^local_qubits amplitudes per shard, R/2
+/// partner pairs participate in every global touch; SimComm counts both
+/// directions of each pairwise exchange.
+struct CommVolumeModel {
+  std::uint64_t pairs = 0;         // R/2 pairwise exchange partners
+  std::uint64_t local_dim = 0;     // D: amplitudes per shard
+  std::uint64_t swap_amps = 0;     // pairs * D: one half-slice swap
+  std::uint64_t inplace_amps = 0;  // pairs * 2D: in-place global 1q gate
+};
+
+/// Requires 0 < local_qubits <= num_qubits (plan_layout's own precondition).
+CommVolumeModel comm_volume_model(int num_qubits, int local_qubits);
+
 /// Plan the communication schedule for `circuit` on a register of
 /// `num_qubits` qubits with `local_qubits` of them below the rank axis
 /// (rank count = 2^(num_qubits - local_qubits)). `initial_layout` defaults

@@ -206,13 +206,36 @@ namespace {
 
 // Every dist-backend job plans its circuit's communication schedule first:
 // the persistent layout permutation turns the per-gate swap round trips
-// into one-time exchanges (see ir/passes/layout.hpp).
+// into one-time exchanges (see ir/passes/layout.hpp). The initial layout
+// comes from the analyzer's interaction graph — the hottest non-diagonal
+// qubits start on local index bits, so the plan pays fewer lowering swaps
+// than an identity start.
 void apply_with_comm_plan(DistStateVector& psi, const Circuit& circuit) {
-  psi.apply_circuit(
-      circuit, plan_layout(circuit, psi.num_qubits(), psi.local_qubits()));
+  analyze::PropertyOptions popts;
+  popts.dataflow = false;
+  popts.lint = false;
+  const analyze::CircuitProperties props =
+      analyze::infer_properties(circuit, popts);
+  std::vector<int> seed = analyze::interaction_seeded_layout(
+      props, psi.num_qubits(), psi.local_qubits());
+  const LayoutPlan plan =
+      plan_layout(circuit, psi.num_qubits(), psi.local_qubits(), seed);
+  psi.adopt_layout(std::move(seed));
+  psi.apply_circuit(circuit, plan);
 }
 
 }  // namespace
+
+analyze::CostEstimate DistStateVectorBackend::estimate_cost(
+    const Circuit& circuit, const analyze::CircuitProperties& props,
+    int num_qubits) const {
+  int rank_bits = 0;
+  while ((1 << rank_bits) < comm_.num_ranks()) ++rank_bits;
+  analyze::CostModelOptions options;
+  options.dist_local_qubits = num_qubits - rank_bits;
+  return analyze::estimate_cost(circuit, props, cost_class(), num_qubits,
+                                options);
+}
 
 StateVector DistStateVectorBackend::run_circuit(const Circuit& circuit) {
   require_fits(circuit.num_qubits(), max_qubits_, name());

@@ -18,6 +18,8 @@
 #include <span>
 #include <vector>
 
+#include "analyze/cost.hpp"
+#include "analyze/properties.hpp"
 #include "analyze/verifier.hpp"
 #include "dist/comm.hpp"
 #include "runtime/job.hpp"
@@ -56,6 +58,20 @@ class QpuBackend {
 
   virtual const char* name() const = 0;
   virtual BackendCaps caps() const = 0;
+
+  /// Which analyzer cost law this backend obeys (routing tie-breaks).
+  virtual analyze::CostClass cost_class() const {
+    return analyze::CostClass::kStateVector;
+  }
+
+  /// Predicted execution cost of `circuit` on this backend, in analyzer
+  /// model units. Must be pure (no backend state mutation): the pool calls
+  /// it from the submission path while a job may be executing.
+  virtual analyze::CostEstimate estimate_cost(
+      const Circuit& circuit, const analyze::CircuitProperties& props,
+      int num_qubits) const {
+    return analyze::estimate_cost(circuit, props, cost_class(), num_qubits);
+  }
 
   /// Run `circuit` from |0...0> and return the final state.
   virtual StateVector run_circuit(const Circuit& circuit) = 0;
@@ -98,6 +114,9 @@ class DensityMatrixBackend final : public QpuBackend {
 
   const char* name() const override { return "density_matrix"; }
   BackendCaps caps() const override;
+  analyze::CostClass cost_class() const override {
+    return analyze::CostClass::kDensityMatrix;
+  }
   StateVector run_circuit(const Circuit& circuit) override;
   double expectation(const Circuit& circuit, const PauliSum& observable,
                      const NoiseModel& noise) override;
@@ -116,6 +135,9 @@ class StabilizerBackend final : public QpuBackend {
 
   const char* name() const override { return "stabilizer"; }
   BackendCaps caps() const override;
+  analyze::CostClass cost_class() const override {
+    return analyze::CostClass::kStabilizer;
+  }
   StateVector run_circuit(const Circuit& circuit) override;
   double expectation(const Circuit& circuit, const PauliSum& observable,
                      const NoiseModel& noise) override;
@@ -136,6 +158,12 @@ class DistStateVectorBackend final : public QpuBackend {
 
   const char* name() const override { return "dist_statevector"; }
   BackendCaps caps() const override;
+  analyze::CostClass cost_class() const override {
+    return analyze::CostClass::kDistStateVector;
+  }
+  analyze::CostEstimate estimate_cost(
+      const Circuit& circuit, const analyze::CircuitProperties& props,
+      int num_qubits) const override;
   StateVector run_circuit(const Circuit& circuit) override;
   double expectation(const Circuit& circuit, const PauliSum& observable,
                      const NoiseModel& noise) override;

@@ -97,8 +97,16 @@ struct JobTelemetry {
   /// The job's deadline expired (failed is also set).
   bool deadline_exceeded = false;
   /// Warning-severity findings from the submit-time circuit verification
-  /// (error-severity findings reject the job instead of enqueueing it).
+  /// (error-severity findings reject the job instead of enqueueing it),
+  /// plus analysis notes (e.g. kAutoCliffordRoutable when property
+  /// inference unlocked the stabilizer backend).
   std::vector<analyze::Diagnostic> warnings;
+  /// Predicted cost (analyzer model units) on the cheapest capable backend
+  /// at submit time; 0 when no estimate was made.
+  double estimated_cost = 0.0;
+  /// Property inference found the circuit all-Clifford and unlocked
+  /// stabilizer routing without a caller clifford_only promise.
+  bool auto_clifford = false;
 };
 
 }  // namespace vqsim::runtime

@@ -1,10 +1,13 @@
 #include "runtime/virtual_qpu.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "analyze/properties.hpp"
 #include "analyze/verifier.hpp"
 #include "common/parallel.hpp"
 #include "resilience/fault_injection.hpp"
@@ -80,9 +83,51 @@ std::vector<analyze::Diagnostic> VirtualQpuPool::verify_submission(
   return diagnostics;  // warnings/notes only; attached to telemetry
 }
 
+VirtualQpuPool::RoutingInfo VirtualQpuPool::infer_routing(
+    const Circuit& circuit, JobRequirements& requirements,
+    std::vector<analyze::Diagnostic>& warnings) const {
+  RoutingInfo routing;
+  // Structural passes only: the O(n^2) cancellation/light-cone dataflow
+  // stays out of the submission hot path, and lint findings already came
+  // from verify_submission (energy jobs skip lint entirely by design).
+  analyze::PropertyOptions popts;
+  popts.dataflow = false;
+  popts.lint = false;
+  const analyze::CircuitProperties props =
+      analyze::infer_properties(circuit, popts);
+
+  // Auto-Clifford routing: an inferred all-Clifford circuit unlocks the
+  // stabilizer backend without a caller clifford_only promise.
+  if (props.all_clifford && props.num_gates > 0 &&
+      !requirements.clifford_only) {
+    requirements.clifford_only = true;
+    routing.auto_clifford = true;
+    for (const analyze::Diagnostic& d : props.diagnostics)
+      if (d.code == analyze::DiagCode::kAutoCliffordRoutable)
+        warnings.push_back(d);
+  }
+
+  // Price the job on every capable backend (+inf where it cannot run).
+  // estimate_cost is const/pure, so reading it off an executing backend is
+  // safe; caps are cached at construction.
+  routing.backend_cost.assign(qpus_.size(),
+                              std::numeric_limits<double>::infinity());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t q = 0; q < qpus_.size(); ++q) {
+    if (!backend_can_run(qpus_[q].caps, requirements)) continue;
+    routing.backend_cost[q] =
+        qpus_[q]
+            .backend->estimate_cost(circuit, props, requirements.num_qubits)
+            .cost;
+    best = std::min(best, routing.backend_cost[q]);
+  }
+  if (std::isfinite(best)) routing.estimated_cost = best;
+  return routing;
+}
+
 void VirtualQpuPool::enqueue(
     JobKind kind, JobRequirements requirements, JobOptions options,
-    std::vector<analyze::Diagnostic> warnings,
+    std::vector<analyze::Diagnostic> warnings, RoutingInfo routing,
     std::function<std::exception_ptr(QpuBackend&)> execute,
     std::function<void(std::exception_ptr)> fail) {
   bool feasible = false;
@@ -107,8 +152,10 @@ void VirtualQpuPool::enqueue(
           demands, to_analyze_target(q.caps, q.backend->name()), diagnostics,
           analyze::Severity::kNote);
     throw analyze::VerificationError(
-        std::string("VirtualQpuPool: no backend in the fleet can run this ") +
-            to_string(kind) + " job (requires " + describe(requirements) +
+        std::string("VirtualQpuPool: [") +
+            analyze::to_string(analyze::DiagCode::kNoCapableBackend) +
+            "] no backend in the fleet can run this " + to_string(kind) +
+            " job (requires " + describe(requirements) +
             "); rejected at submission",
         diagnostics.take());
   }
@@ -130,6 +177,9 @@ void VirtualQpuPool::enqueue(
     job.deadline = job.submit_time + options.deadline;
   job.retry = options.retry;
   job.warnings = std::move(warnings);
+  job.backend_cost = std::move(routing.backend_cost);
+  job.estimated_cost = routing.estimated_cost;
+  job.auto_clifford = routing.auto_clifford;
   pending_.push_back(std::move(job));
   ++counters_.jobs_submitted;
   counters_.queue_depth_high_water =
@@ -166,6 +216,8 @@ void VirtualQpuPool::finish_failed_locked(PendingJob job, int backend_id,
                              : job.last_error;
   record.deadline_exceeded = deadline_hit;
   record.warnings = std::move(job.warnings);
+  record.estimated_cost = job.estimated_cost;
+  record.auto_clifford = job.auto_clifford;
 
   ++counters_.jobs_completed;
   ++counters_.jobs_failed;
@@ -222,22 +274,35 @@ void VirtualQpuPool::pump_locked(Clock::time_point now) {
     // are skipped, so a small job may overtake a blocked big one without
     // starving it (its turn recurs on every completion).
     const auto pick_backend = [&](const PendingJob& job) {
-      int fallback = -1;
+      // Cost-aware routing: among the idle capable breaker-admitted QPUs,
+      // the cheapest predicted backend wins (strict < keeps the first
+      // fleet index on ties, so identical fleets dispatch as before).
+      int best = -1, fallback = -1;
+      double best_cost = std::numeric_limits<double>::infinity();
+      double fallback_cost = std::numeric_limits<double>::infinity();
       for (std::size_t q = 0; q < qpus_.size(); ++q) {
         if (qpus_[q].busy) continue;
         if (!backend_can_run(qpus_[q].caps, job.requirements)) continue;
         if (!qpus_[q].breaker.would_admit(now)) continue;
+        const double cost =
+            q < job.backend_cost.size() ? job.backend_cost[q] : 0.0;
         const bool failed_before =
             std::find(job.backend_history.begin(), job.backend_history.end(),
                       static_cast<int>(q)) != job.backend_history.end();
         // Failover preference: a backend that has not failed this job yet
         // wins over one that has; the latter is kept as a fallback so a
         // single-backend fleet still retries.
-        if (!job.retry.failover || !failed_before)
-          return static_cast<int>(q);
-        if (fallback < 0) fallback = static_cast<int>(q);
+        if (job.retry.failover && failed_before) {
+          if (fallback < 0 || cost < fallback_cost) {
+            fallback = static_cast<int>(q);
+            fallback_cost = cost;
+          }
+        } else if (best < 0 || cost < best_cost) {
+          best = static_cast<int>(q);
+          best_cost = cost;
+        }
       }
-      return fallback;
+      return best >= 0 ? best : fallback;
     };
 
     std::size_t best = pending_.size();
@@ -322,6 +387,8 @@ void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
       record.backend_history = std::move(job.backend_history);
       record.error_message = std::move(job.last_error);
       record.warnings = std::move(job.warnings);
+      record.estimated_cost = job.estimated_cost;
+      record.auto_clifford = job.auto_clifford;
 
       ++counters_.jobs_completed;
       if (job.attempts > 1) ++counters_.jobs_recovered;
@@ -433,9 +500,17 @@ std::future<double> VirtualQpuPool::submit_energy(const Ansatz& ansatz,
   req.needs_noise = false;
   req.needs_exact = true;
   req.clifford_only = options.clifford_only;
+  // Materialize the bound circuit once for property inference (auto-Clifford
+  // detection + per-backend pricing). Execution still calls
+  // backend.energy(), so energies stay bit-identical to the sequential
+  // executor; energy jobs deliberately skip the static verifier so
+  // execution-time errors keep arriving through the future.
+  std::vector<analyze::Diagnostic> warnings;
+  RoutingInfo routing = infer_routing(ansatz.circuit(theta), req, warnings);
   auto promise = std::make_shared<std::promise<double>>();
   std::future<double> future = promise->get_future();
-  enqueue(JobKind::kEnergy, req, options, {},
+  enqueue(JobKind::kEnergy, req, options, std::move(warnings),
+          std::move(routing),
           [promise, &ansatz, &observable, theta = std::move(theta)](
               QpuBackend& backend) -> std::exception_ptr {
             try {
@@ -461,9 +536,11 @@ std::future<double> VirtualQpuPool::submit_expectation(Circuit circuit,
   req.clifford_only = options.clifford_only;
   std::vector<analyze::Diagnostic> warnings =
       verify_submission(circuit, options, JobKind::kExpectation);
+  RoutingInfo routing = infer_routing(circuit, req, warnings);
   auto promise = std::make_shared<std::promise<double>>();
   std::future<double> future = promise->get_future();
   enqueue(JobKind::kExpectation, req, options, std::move(warnings),
+          std::move(routing),
           [promise, circuit = std::move(circuit),
            observable = std::move(observable),
            noise = options.noise](QpuBackend& backend) -> std::exception_ptr {
@@ -491,9 +568,11 @@ std::future<StateVector> VirtualQpuPool::submit_circuit(Circuit circuit,
   req.clifford_only = options.clifford_only;
   std::vector<analyze::Diagnostic> warnings =
       verify_submission(circuit, options, JobKind::kCircuitRun);
+  RoutingInfo routing = infer_routing(circuit, req, warnings);
   auto promise = std::make_shared<std::promise<StateVector>>();
   std::future<StateVector> future = promise->get_future();
   enqueue(JobKind::kCircuitRun, req, options, std::move(warnings),
+          std::move(routing),
           [promise,
            circuit = std::move(circuit)](QpuBackend& backend)
               -> std::exception_ptr {
@@ -551,6 +630,7 @@ PoolStats VirtualQpuPool::stats() const {
   const Clock::time_point now = Clock::now();
   PoolStats s;
   s.queue_depth = pending_.size();
+  for (const PendingJob& job : pending_) s.queue_cost += job.estimated_cost;
   s.jobs_in_flight = in_flight_;
   s.counters = counters_;
   s.backends.reserve(qpus_.size());

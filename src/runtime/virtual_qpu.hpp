@@ -91,6 +91,9 @@ struct BackendHealth {
 /// with dispatch.
 struct PoolStats {
   std::size_t queue_depth = 0;
+  /// Sum of the queued jobs' estimated costs (analyzer model units) —
+  /// the backlog measure serve's cost-weighted admission bound consumes.
+  double queue_cost = 0.0;
   /// Jobs executing (or between completion and finalization) right now.
   std::uint64_t jobs_in_flight = 0;
   /// Backends neither running a job nor quarantined by their breaker.
@@ -223,8 +226,25 @@ class VirtualQpuPool {
     double prior_execution_seconds = 0.0;
     /// submit -> first dispatch (filled on the first attempt).
     double first_dispatch_wait_seconds = -1.0;
-    /// Submit-time verifier warnings, forwarded to JobTelemetry.
+    /// Submit-time verifier warnings + analysis notes, forwarded to
+    /// JobTelemetry.
     std::vector<analyze::Diagnostic> warnings;
+    /// Predicted cost per backend id (+inf where the backend cannot run
+    /// the job); empty when no circuit was available for inference.
+    std::vector<double> backend_cost;
+    /// Minimum finite backend cost (0 when backend_cost is empty).
+    double estimated_cost = 0.0;
+    /// Property inference unlocked stabilizer routing (see JobTelemetry).
+    bool auto_clifford = false;
+  };
+
+  /// Property-inference product for one submission: per-backend predicted
+  /// costs, the auto-Clifford routing decision, and any analysis notes to
+  /// forward into telemetry.
+  struct RoutingInfo {
+    std::vector<double> backend_cost;
+    double estimated_cost = 0.0;
+    bool auto_clifford = false;
   };
 
   /// Static verification of a circuit-carrying submission. Error findings
@@ -232,9 +252,16 @@ class VirtualQpuPool {
   /// job's telemetry.
   std::vector<analyze::Diagnostic> verify_submission(
       const Circuit& circuit, const JobOptions& options, JobKind kind) const;
+  /// Property inference over the job's circuit: detects unannotated
+  /// all-Clifford circuits (upgrading `requirements.clifford_only` and
+  /// noting it in `warnings`), then prices the job on every capable
+  /// backend. Cheap structural passes only (dataflow/lint off).
+  RoutingInfo infer_routing(const Circuit& circuit,
+                            JobRequirements& requirements,
+                            std::vector<analyze::Diagnostic>& warnings) const;
   /// Reject-or-enqueue; shared tail of the typed submit_* front-ends.
   void enqueue(JobKind kind, JobRequirements requirements, JobOptions options,
-               std::vector<analyze::Diagnostic> warnings,
+               std::vector<analyze::Diagnostic> warnings, RoutingInfo routing,
                std::function<std::exception_ptr(QpuBackend&)> execute,
                std::function<void(std::exception_ptr)> fail);
   /// Dispatch every (priority, FIFO)-ordered job that has an idle capable

@@ -13,6 +13,7 @@ const char* to_string(AdmissionOutcome outcome) {
     case AdmissionOutcome::kRejectedQueueFull: return "rejected_queue_full";
     case AdmissionOutcome::kShedBreakerOpen: return "shed_breaker_open";
     case AdmissionOutcome::kUnknownTenant: return "unknown_tenant";
+    case AdmissionOutcome::kRejectedCost: return "rejected_cost";
   }
   return "?";
 }
@@ -47,7 +48,7 @@ void AdmissionController::prune(State& s) {
 
 AdmissionOutcome AdmissionController::admit_request(
     const TenantId& tenant, Clock::time_point now,
-    const runtime::PoolStats& pool) {
+    const runtime::PoolStats& pool, double request_cost) {
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return AdmissionOutcome::kUnknownTenant;
   State& s = it->second;
@@ -66,6 +67,13 @@ AdmissionOutcome AdmissionController::admit_request(
       pool.queue_depth >= policy_.max_queue_depth) {
     ++s.stats.rejected_queue_full;
     return AdmissionOutcome::kRejectedQueueFull;
+  }
+  // Cost-weighted backlog bound: the depth gate treats a 4-qubit probe and
+  // a 24-qubit sweep as equals; this one weighs them by predicted work.
+  if (policy_.max_queue_cost > 0.0 &&
+      pool.queue_cost + request_cost > policy_.max_queue_cost) {
+    ++s.stats.rejected_cost;
+    return AdmissionOutcome::kRejectedCost;
   }
   if (!s.bucket.try_acquire(now)) {
     ++s.stats.rejected_rate;

@@ -44,6 +44,7 @@ enum class AdmissionOutcome : std::uint8_t {
   kRejectedQueueFull,  // pool queue past the policy bound
   kShedBreakerOpen,    // every backend breaker open: fleet-wide shed
   kUnknownTenant,
+  kRejectedCost,  // queued work (analyzer cost units) past the policy bound
 };
 
 const char* to_string(AdmissionOutcome outcome);
@@ -52,6 +53,11 @@ struct AdmissionPolicy {
   /// Reject (kRejectedQueueFull) while the pool queue is at or past this
   /// depth. 0 = unbounded.
   std::size_t max_queue_depth = 0;
+  /// Reject (kRejectedCost) while the pool's queued work plus the incoming
+  /// request's predicted cost (analyzer model units — see analyze/cost.hpp)
+  /// exceeds this bound. A cost-weighted queue limit: one 24-qubit circuit
+  /// can outweigh a thousand 4-qubit ones. 0 = unbounded.
+  double max_queue_cost = 0.0;
   /// Shed (kShedBreakerOpen) while every backend's breaker is OPEN.
   bool shed_when_all_breakers_open = true;
 };
@@ -68,6 +74,7 @@ struct TenantAdmissionStats {
   std::uint64_t rejected_rate = 0;
   std::uint64_t rejected_quota = 0;
   std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_cost = 0;
   std::uint64_t shed_breaker_open = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t coalesced = 0;
@@ -89,10 +96,15 @@ class AdmissionController {
   explicit AdmissionController(const TenantRegistry& registry,
                                AdmissionPolicy policy = {});
 
-  /// Request-level gate: shed / queue bound / rate limit, in that order. A
-  /// kAdmitted outcome has consumed one rate token.
+  /// Request-level gate: shed / queue-depth bound / queue-cost bound /
+  /// rate limit, in that order. A kAdmitted outcome has consumed one rate
+  /// token. `request_cost` is the request's predicted cost in analyzer
+  /// model units (0 = unknown, which only the depth bound can reject);
+  /// the cost gate compares pool.queue_cost + request_cost against
+  /// policy.max_queue_cost.
   AdmissionOutcome admit_request(const TenantId& tenant, Clock::time_point now,
-                                 const runtime::PoolStats& pool);
+                                 const runtime::PoolStats& pool,
+                                 double request_cost = 0.0);
 
   /// Execution-level gate: reserve one concurrency slot carrying `ready`.
   /// Returns false (and counts kRejectedQuota) when the tenant is at its

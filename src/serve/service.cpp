@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analyze/cost.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim::serve {
@@ -45,18 +46,25 @@ SimService::SimService(runtime::VirtualQpuPool& pool,
   }
 }
 
-void SimService::admit_or_throw(const TenantId& tenant) {
+void SimService::admit_or_throw(const TenantId& tenant, double request_cost) {
   VQSIM_COUNTER(admitted_total, "serve.admitted_total");
   VQSIM_COUNTER(rejected_total, "serve.rejected_total");
+  VQSIM_COUNTER(rejected_cost_total, "serve.rejected_cost_total");
   VQSIM_COUNTER(shed_total, "serve.shed_total");
-  const AdmissionOutcome outcome =
-      admission_.admit_request(tenant, Clock::now(), pool_.stats());
+  VQSIM_HISTOGRAM(h_cost, "serve.request_cost");
+  VQSIM_HISTOGRAM_OBSERVE(h_cost, request_cost);
+  const AdmissionOutcome outcome = admission_.admit_request(
+      tenant, Clock::now(), pool_.stats(), request_cost);
   switch (outcome) {
     case AdmissionOutcome::kAdmitted:
       VQSIM_COUNTER_INC(admitted_total);
       return;
     case AdmissionOutcome::kShedBreakerOpen:
       VQSIM_COUNTER_INC(shed_total);
+      break;
+    case AdmissionOutcome::kRejectedCost:
+      VQSIM_COUNTER_INC(rejected_cost_total);
+      VQSIM_COUNTER_INC(rejected_total);
       break;
     default:
       VQSIM_COUNTER_INC(rejected_total);
@@ -140,8 +148,13 @@ std::shared_future<T> SimService::reserve_and_submit(
 std::shared_future<double> SimService::submit_energy(
     const TenantId& tenant, const Ansatz& ansatz, const PauliSum& observable,
     std::vector<double> theta, ServeOptions options) {
+  // Materialize the bound circuit once, outside the lock: it prices the
+  // request for the cost-weighted admission gate and doubles as the cache
+  // identity below.
+  const Circuit bound = ansatz.circuit(theta);
   MutexLock lock(mutex_);
-  admit_or_throw(tenant);
+  admit_or_throw(tenant, analyze::statevector_cost_units(bound.num_qubits(),
+                                                         bound.size()));
   const auto submit = [&]() VQSIM_NO_THREAD_SAFETY_ANALYSIS {
     return reserve_and_submit<double>(tenant, [&] {
       return pool_
@@ -159,8 +172,7 @@ std::shared_future<double> SimService::submit_energy(
   // independent of which Ansatz object (or which backend fast path) is used
   // to compute it.
   const CacheKey key = make_cache_key(
-      ansatz.circuit(theta), &observable,
-      request_context(runtime::JobKind::kEnergy, options));
+      bound, &observable, request_context(runtime::JobKind::kEnergy, options));
   const auto lookup = value_cache_.get_or_submit(key, submit);
   record_served(tenant, lookup.hit ? AdmissionController::Served::kCacheHit
                 : lookup.coalesced ? AdmissionController::Served::kCoalesced
@@ -172,7 +184,8 @@ std::shared_future<double> SimService::submit_expectation(
     const TenantId& tenant, Circuit circuit, PauliSum observable,
     ServeOptions options) {
   MutexLock lock(mutex_);
-  admit_or_throw(tenant);
+  admit_or_throw(tenant, analyze::statevector_cost_units(circuit.num_qubits(),
+                                                         circuit.size()));
   const CacheKey key = make_cache_key(
       circuit, &observable,
       request_context(runtime::JobKind::kExpectation, options));
@@ -199,7 +212,8 @@ std::shared_future<double> SimService::submit_expectation(
 std::shared_future<StateVector> SimService::submit_circuit(
     const TenantId& tenant, Circuit circuit, ServeOptions options) {
   MutexLock lock(mutex_);
-  admit_or_throw(tenant);
+  admit_or_throw(tenant, analyze::statevector_cost_units(circuit.num_qubits(),
+                                                         circuit.size()));
   const CacheKey key = make_cache_key(
       circuit, nullptr,
       request_context(runtime::JobKind::kCircuitRun, options));
@@ -229,7 +243,8 @@ ServiceStats SimService::stats() const {
   for (const TenantAdmissionStats& t : out.tenants) {
     out.requests += t.requests;
     out.admitted += t.admitted;
-    out.rejected += t.rejected_rate + t.rejected_quota + t.rejected_queue_full;
+    out.rejected += t.rejected_rate + t.rejected_quota +
+                    t.rejected_queue_full + t.rejected_cost;
     out.shed += t.shed_breaker_open;
     out.cache_hits += t.cache_hits;
     out.coalesced += t.coalesced;

@@ -101,7 +101,7 @@ class AdmissionRejected : public std::runtime_error {
 struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t admitted = 0;
-  std::uint64_t rejected = 0;  // rate + quota + queue-full
+  std::uint64_t rejected = 0;  // rate + quota + queue-full + queue-cost
   std::uint64_t shed = 0;      // breaker-open shed
   std::uint64_t cache_hits = 0;
   std::uint64_t coalesced = 0;
@@ -156,7 +156,11 @@ class SimService {
 
   /// Admission gate shared by the submit_* front-ends: updates telemetry
   /// and throws AdmissionRejected on any outcome but kAdmitted.
-  void admit_or_throw(const TenantId& tenant) VQSIM_REQUIRES(mutex_);
+  /// `request_cost` is the request's predicted cost in analyzer model
+  /// units (the O(1) statevector bound; see analyze/cost.hpp), consumed by
+  /// the policy's cost-weighted queue bound.
+  void admit_or_throw(const TenantId& tenant, double request_cost)
+      VQSIM_REQUIRES(mutex_);
   /// Classify + count how an admitted request was served.
   void record_served(const TenantId& tenant,
                      AdmissionController::Served served)

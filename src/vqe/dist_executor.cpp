@@ -1,8 +1,10 @@
 #include "vqe/dist_executor.hpp"
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "analyze/properties.hpp"
 #include "analyze/verifier.hpp"
 
 namespace vqsim {
@@ -39,9 +41,19 @@ double DistributedExecutor::evaluate(std::span<const double> theta) {
   // and re-planning per evaluation keeps the plan valid even for ansatzes
   // whose gate structure varies with theta.
   const Circuit circuit = ansatz_.circuit(theta);
-  const LayoutPlan plan =
-      plan_layout(circuit, state_.num_qubits(), state_.local_qubits());
+  // Seed the plan's starting permutation from the analyzer's interaction
+  // graph (hottest non-diagonal qubits on local bits); the naive-baseline
+  // stats are layout-independent, so layout_stats_ comparisons stay valid.
+  analyze::PropertyOptions popts;
+  popts.dataflow = false;
+  popts.lint = false;
+  std::vector<int> seed = analyze::interaction_seeded_layout(
+      analyze::infer_properties(circuit, popts), state_.num_qubits(),
+      state_.local_qubits());
+  const LayoutPlan plan = plan_layout(circuit, state_.num_qubits(),
+                                      state_.local_qubits(), seed);
   state_.reset();
+  state_.adopt_layout(std::move(seed));
   state_.apply_circuit(circuit, plan);
   layout_stats_ += plan.stats;
   ++stats_.ansatz_executions;

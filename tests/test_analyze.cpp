@@ -1,5 +1,6 @@
 #include <cmath>
 #include <limits>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -163,7 +164,9 @@ TEST(Verifier, NonUnitaryMatrixDetected) {
   EXPECT_EQ(count_code(diagnostics, DiagCode::kNonUnitaryMatrix), 1u);
 
   Circuit ok(1);
-  ok.mat1(0, gate_matrix2(Gate{GateKind::kH, 0}));
+  Gate h{};
+  h.kind = GateKind::kH;
+  ok.mat1(0, gate_matrix2(h));
   EXPECT_EQ(count_code(analyze::verify_circuit(ok), DiagCode::kNonUnitaryMatrix),
             0u);
 }
@@ -292,15 +295,56 @@ TEST(Verifier, RedundantRotationWarned) {
       0u);
 }
 
-TEST(Verifier, CancellationLintStopsAtMeasurementBoundary) {
-  // An h...h pair straddling a measurement must NOT be reported: cancelling
-  // across the boundary would change the recorded outcome.
+TEST(Verifier, CancellationLintSeesThroughUnrelatedMeasurement) {
+  // The adjacency-only lint used to stop at *any* measurement. The
+  // commutation-aware dataflow knows measure(1) never touches q0, so the
+  // h(0)...h(0) pair is reported — and the light-cone pass independently
+  // flags both h(0) as dead, since only q1 is ever observed.
   Circuit straddle(2);
   straddle.h(0);
   straddle.measure(1);
   straddle.h(0);
   const auto diagnostics = analyze::verify_circuit(straddle);
-  EXPECT_EQ(count_code(diagnostics, DiagCode::kCancellingPair), 0u);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kCancellingPair), 1u);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kDeadGate), 2u);
+}
+
+TEST(Verifier, CancellationLintSeesThroughCommutingGates) {
+  // rz commutes with the cx control (both act along Z on q0), so the
+  // rz(0.3)/rz(-0.3) pair cancels across it; the adjacency-only lint
+  // missed this.
+  Circuit c(2);
+  c.rz(0.3, 0).cx(0, 1).rz(-0.3, 0);
+  const auto diagnostics = analyze::verify_circuit(c);
+  EXPECT_EQ(count_code(diagnostics, DiagCode::kCancellingPair), 1u);
+
+  // An intervening H on the same qubit does not commute: no finding.
+  Circuit blocked(2);
+  blocked.rz(0.3, 0).h(0).rz(-0.3, 0);
+  EXPECT_EQ(
+      count_code(analyze::verify_circuit(blocked), DiagCode::kCancellingPair),
+      0u);
+}
+
+TEST(Verifier, LightConeFlagsGatesNoMeasurementCanSee) {
+  // q0 feeds the measured qubit through the cx; q2's lone gate cannot
+  // influence any recorded outcome.
+  Circuit c(3);
+  c.h(0).cx(0, 1).x(2);
+  c.measure(1);
+  const auto diagnostics = analyze::verify_circuit(c);
+  ASSERT_EQ(count_code(diagnostics, DiagCode::kDeadGate), 1u);
+  for (const Diagnostic& d : diagnostics)
+    if (d.code == DiagCode::kDeadGate) {
+      EXPECT_EQ(d.gate_index, 2);
+      EXPECT_EQ(d.qubit, 2);
+    }
+
+  // Without measurement markers the light cone is vacuous: no findings.
+  Circuit unmeasured(3);
+  unmeasured.h(0).cx(0, 1).x(2);
+  EXPECT_EQ(count_code(analyze::verify_circuit(unmeasured), DiagCode::kDeadGate),
+            0u);
 }
 
 TEST(Verifier, DeadGateWarned) {
@@ -349,6 +393,31 @@ TEST(Verifier, LintDisabledByOption) {
 }
 
 // -- Diagnostics engine -------------------------------------------------------
+
+TEST(Diagnostics, DiagCodeToStringIsExhaustiveAndUnique) {
+  // The taxonomy is append-only and kDiagCodeCount is last + 1, so every
+  // value in [0, count) must render to a distinct name; the out-of-range
+  // sentinel "?" proves the count is tight and no enumerator was skipped.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < analyze::kDiagCodeCount; ++i) {
+    const char* name = analyze::to_string(static_cast<DiagCode>(i));
+    EXPECT_STRNE(name, "?") << "DiagCode " << i << " has no name";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_STREQ(
+      analyze::to_string(static_cast<DiagCode>(analyze::kDiagCodeCount)), "?");
+}
+
+TEST(Diagnostics, SeverityToStringIsExhaustiveAndUnique) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < analyze::kSeverityCount; ++i) {
+    const char* name = analyze::to_string(static_cast<Severity>(i));
+    EXPECT_STRNE(name, "?") << "Severity " << i << " has no name";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_STREQ(
+      analyze::to_string(static_cast<Severity>(analyze::kSeverityCount)), "?");
+}
 
 TEST(Diagnostics, RenderingAndCounters) {
   DiagnosticCollector collector;
@@ -415,6 +484,65 @@ TEST(BackendCompatibility, EachMismatchGetsItsOwnCode) {
   EXPECT_EQ(count_code(ds, DiagCode::kNoiseUnsupported), 1u);
   EXPECT_EQ(count_code(ds, DiagCode::kStateOutputUnsupported), 1u);
   EXPECT_EQ(count_code(ds, DiagCode::kCliffordOnlyBackend), 1u);
+}
+
+TEST(BackendCompatibility, EachMismatchCodeTriggersInIsolation) {
+  // Start from a job the stabilizer target accepts, flip one demand at a
+  // time, and require exactly the matching code — and only it.
+  const analyze::JobDemands ok = [] {
+    analyze::JobDemands d;
+    d.num_qubits = 12;
+    d.needs_noise = false;
+    d.needs_exact = true;
+    d.needs_state = false;
+    d.clifford_promised = true;
+    return d;
+  }();
+
+  struct Case {
+    DiagCode code;
+    analyze::JobDemands demands;
+    analyze::BackendTarget target;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{DiagCode::kRegisterTooLarge, ok, stabilizer_target()};
+    c.demands.num_qubits = 80;
+    cases.push_back(c);
+  }
+  {
+    Case c{DiagCode::kNoiseUnsupported, ok, stabilizer_target()};
+    c.demands.needs_noise = true;
+    cases.push_back(c);
+  }
+  {
+    // A sampling-only backend cannot honour an exact-expectation demand.
+    Case c{DiagCode::kExactnessUnsupported, ok, stabilizer_target()};
+    c.target.supports_exact_expectation = false;
+    cases.push_back(c);
+  }
+  {
+    Case c{DiagCode::kStateOutputUnsupported, ok, stabilizer_target()};
+    c.demands.needs_state = true;
+    cases.push_back(c);
+  }
+  {
+    Case c{DiagCode::kCliffordOnlyBackend, ok, stabilizer_target()};
+    c.demands.clifford_promised = false;
+    cases.push_back(c);
+  }
+
+  for (const Case& c : cases) {
+    DiagnosticCollector sink;
+    analyze::check_backend_compatibility(c.demands, c.target, sink);
+    ASSERT_EQ(sink.diagnostics().size(), 1u) << analyze::to_string(c.code);
+    EXPECT_EQ(sink.diagnostics()[0].code, c.code);
+    // The rendered finding names its code, so a rejection message is
+    // greppable by taxonomy entry.
+    EXPECT_NE(analyze::to_string(sink.diagnostics()[0])
+                  .find(analyze::to_string(c.code)),
+              std::string::npos);
+  }
 }
 
 TEST(BackendCompatibility, CompatibleJobReportsNothing) {

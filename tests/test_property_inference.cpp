@@ -1,0 +1,358 @@
+// analyze::infer_properties — the property-inference engine and everything
+// the runtime builds on it: the interaction graph, Clifford detection and
+// auto-routing, the basis-tracking diagonal classification cross-checked
+// bit-for-bit against plan_layout's LayoutStats, and the cost model that
+// breaks VirtualQpuPool routing ties.
+
+#include "analyze/properties.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/cost.hpp"
+#include "analyze/diagnostic.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/rng.hpp"
+#include "downfold/active_space.hpp"
+#include "ir/circuit.hpp"
+#include "ir/passes/layout.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/virtual_qpu.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace vqsim {
+namespace {
+
+using analyze::CircuitProperties;
+using analyze::CostClass;
+using analyze::CostEstimate;
+using analyze::DiagCode;
+using analyze::GateFacts;
+
+bool has_code(const std::vector<analyze::Diagnostic>& diagnostics,
+              DiagCode code) {
+  for (const analyze::Diagnostic& d : diagnostics)
+    if (d.code == code) return true;
+  return false;
+}
+
+/// The perf_serve corpus: H2/STO-3G UCCSD plus the water-like active-space
+/// UCCSD, materialized at a fixed non-Clifford parameter point.
+std::vector<Circuit> corpus_circuits() {
+  std::vector<Circuit> out;
+  {
+    const MolecularIntegrals ints = h2_sto3g();
+    UccsdAnsatzAdapter ansatz(2 * ints.norb, ints.nelec);
+    std::vector<double> theta(ansatz.num_parameters());
+    for (std::size_t i = 0; i < theta.size(); ++i)
+      theta[i] = 0.1 + 0.05 * static_cast<double>(i);
+    out.push_back(ansatz.circuit(theta));
+  }
+  {
+    const MolecularIntegrals act =
+        project_active(water_like(16, 10), ActiveSpace{2, 5});
+    UccsdAnsatzAdapter ansatz(2 * 5, act.nelec);
+    std::vector<double> theta(ansatz.num_parameters());
+    for (std::size_t i = 0; i < theta.size(); ++i)
+      theta[i] = -0.2 + 0.03 * static_cast<double>(i);
+    out.push_back(ansatz.circuit(theta));
+  }
+  return out;
+}
+
+/// Same 12-kind gate mix the CLI self-check uses: Clifford and non-Clifford,
+/// diagonal and basis-changing, one- and two-qubit.
+Circuit random_circuit(Rng& rng, int num_qubits, int num_gates) {
+  Circuit c(num_qubits);
+  for (int i = 0; i < num_gates; ++i) {
+    const int kind = static_cast<int>(rng.uniform_index(12));
+    const int q0 = static_cast<int>(rng.uniform_index(num_qubits));
+    int q1 = static_cast<int>(rng.uniform_index(num_qubits));
+    while (q1 == q0) q1 = static_cast<int>(rng.uniform_index(num_qubits));
+    const double angle = rng.uniform(-1.5, 1.5);
+    switch (kind) {
+      case 0: c.h(q0); break;
+      case 1: c.x(q0); break;
+      case 2: c.z(q0); break;
+      case 3: c.s(q0); break;
+      case 4: c.t(q0); break;
+      case 5: c.rz(angle, q0); break;
+      case 6: c.rx(angle, q0); break;
+      case 7: c.ry(angle, q0); break;
+      case 8: c.cx(q0, q1); break;
+      case 9: c.cz(q0, q1); break;
+      case 10: c.rzz(angle, q0, q1); break;
+      default: c.swap(q0, q1); break;
+    }
+  }
+  return c;
+}
+
+// -- Corpus invariants --------------------------------------------------------
+
+TEST(PropertyInference, CorpusFactsAreInternallyConsistent) {
+  for (const Circuit& circuit : corpus_circuits()) {
+    const CircuitProperties props = analyze::infer_properties(circuit);
+    ASSERT_EQ(props.facts.size(), circuit.size());
+    EXPECT_EQ(props.num_gates, circuit.size());
+    EXPECT_EQ(props.one_qubit_gates + props.two_qubit_gates, props.num_gates);
+
+    // Aggregate counters must be exactly the per-gate facts, re-summed.
+    std::size_t clifford = 0, diagonal = 0, in_context = 0;
+    for (const GateFacts& f : props.facts) {
+      clifford += f.clifford ? 1 : 0;
+      diagonal += f.diagonal ? 1 : 0;
+      in_context += f.diagonal_in_context ? 1 : 0;
+    }
+    EXPECT_EQ(props.clifford_gates, clifford);
+    EXPECT_EQ(props.diagonal_gates, diagonal);
+    EXPECT_EQ(props.diagonal_in_context_gates, in_context);
+
+    // A UCCSD circuit at a generic parameter point is not Clifford, and its
+    // Clifford prefix stops strictly before the end.
+    EXPECT_FALSE(props.all_clifford);
+    EXPECT_LT(props.clifford_prefix, props.num_gates);
+    EXPECT_FALSE(has_code(props.diagnostics, DiagCode::kAutoCliffordRoutable));
+
+    // Interaction graph accounting: every two-qubit gate lands on exactly
+    // one edge, and coupling_weight counts both endpoints.
+    std::uint64_t edge_gates = 0, coupling = 0;
+    for (const analyze::InteractionEdge& e : props.interaction.edges) {
+      ASSERT_LT(e.q0, e.q1);
+      EXPECT_GT(e.gates, 0u);
+      EXPECT_EQ(props.interaction.pair_gates(e.q0, e.q1), e.gates);
+      EXPECT_EQ(props.interaction.pair_gates(e.q1, e.q0), e.gates);
+      edge_gates += e.gates;
+    }
+    for (int q = 0; q < props.num_qubits; ++q)
+      coupling += props.interaction.coupling_weight[q];
+    EXPECT_EQ(edge_gates, props.two_qubit_gates);
+    EXPECT_EQ(coupling, 2 * props.two_qubit_gates);
+  }
+}
+
+TEST(PropertyInference, CorpusCostModelFollowsTheBackendLaws) {
+  for (const Circuit& circuit : corpus_circuits()) {
+    const CircuitProperties props = analyze::infer_properties(circuit);
+    const int n = circuit.num_qubits();
+    const double gates = static_cast<double>(props.num_gates);
+
+    const CostEstimate sv = analyze::estimate_cost(
+        circuit, props, CostClass::kStateVector, n);
+    EXPECT_EQ(sv.cost, analyze::statevector_cost_units(n, props.num_gates));
+    EXPECT_EQ(sv.exchange_amplitudes, 0.0);
+
+    const CostEstimate dm = analyze::estimate_cost(
+        circuit, props, CostClass::kDensityMatrix, n);
+    EXPECT_EQ(dm.cost, gates * std::ldexp(1.0, 2 * n));
+
+    const CostEstimate stab = analyze::estimate_cost(
+        circuit, props, CostClass::kStabilizer, n);
+    EXPECT_EQ(stab.cost, gates * n * n);
+
+    // The distributed law adds weighted exchange volume on top of the dense
+    // sweep; the exchange prediction is exactly the seeded plan's.
+    analyze::CostModelOptions opt;
+    opt.dist_local_qubits = n - 1;  // 2 ranks
+    const CostEstimate dist = analyze::estimate_cost(
+        circuit, props, CostClass::kDistStateVector, n, opt);
+    const LayoutPlan plan = plan_layout(
+        circuit, n, n - 1,
+        analyze::interaction_seeded_layout(props, n, n - 1));
+    EXPECT_EQ(dist.exchange_amplitudes,
+              static_cast<double>(plan.stats.planned_amplitudes));
+    EXPECT_EQ(dist.exchange_ops,
+              static_cast<double>(plan.stats.planned_exchanges));
+    EXPECT_EQ(dist.cost, dist.amplitude_touches +
+                             opt.exchange_weight * dist.exchange_amplitudes);
+  }
+}
+
+// -- Randomized cross-check against plan_layout ------------------------------
+
+TEST(PropertyInference, PredictedNaiveStatsMatchPlanLayoutBitForBit) {
+  Rng rng(777);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int rank_bits = 1 + static_cast<int>(rng.uniform_index(3));  // 2..8 ranks
+    const int num_qubits =
+        rank_bits + 2 + static_cast<int>(rng.uniform_index(
+                            static_cast<std::size_t>(8 - rank_bits - 1)));
+    const int local = num_qubits - rank_bits;
+    const Circuit circuit =
+        random_circuit(rng, num_qubits, 20 + trial % 40);
+
+    const CircuitProperties props = analyze::infer_properties(circuit);
+    const LayoutStats predicted =
+        analyze::predict_layout_naive_stats(circuit, num_qubits, local);
+    const std::vector<int> seed =
+        analyze::interaction_seeded_layout(props, num_qubits, local);
+
+    for (const LayoutPlan& plan :
+         {plan_layout(circuit, num_qubits, local),
+          plan_layout(circuit, num_qubits, local, seed)}) {
+      // The naive baseline is layout-independent, so the prediction must be
+      // exact whichever initial layout the planner starts from.
+      EXPECT_EQ(plan.stats.naive_amplitudes, predicted.naive_amplitudes)
+          << "trial " << trial;
+      EXPECT_EQ(plan.stats.naive_exchanges, predicted.naive_exchanges)
+          << "trial " << trial;
+      EXPECT_EQ(plan.stats.gates_with_global_operands,
+                predicted.gates_with_global_operands)
+          << "trial " << trial;
+      // Swap conservation: the prediction carries the whole naive count.
+      EXPECT_EQ(plan.stats.swaps_avoided +
+                    static_cast<std::int64_t>(plan.stats.swaps_planned),
+                predicted.swaps_avoided)
+          << "trial " << trial;
+
+      // Zero-comm pre-classification: every gate the plan runs in place on
+      // the rank axis (kStayGlobal) must be one the basis analysis already
+      // classified computational-diagonal.
+      ASSERT_EQ(plan.steps.size(), props.facts.size());
+      for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+        for (const int action : plan.steps[i].action) {
+          if (action == LayoutStep::kStayGlobal) {
+            EXPECT_TRUE(props.facts[i].diagonal)
+                << "trial " << trial << " gate " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PropertyInference, SeededLayoutIsAValidDeterministicPermutation) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_qubits = 3 + static_cast<int>(rng.uniform_index(6));
+    const int local = 1 + static_cast<int>(
+                              rng.uniform_index(static_cast<std::size_t>(num_qubits)));
+    const Circuit circuit = random_circuit(rng, num_qubits, 30);
+    const CircuitProperties props = analyze::infer_properties(circuit);
+
+    const std::vector<int> layout =
+        analyze::interaction_seeded_layout(props, num_qubits, local);
+    ASSERT_EQ(layout.size(), static_cast<std::size_t>(num_qubits));
+    std::vector<char> seen(static_cast<std::size_t>(num_qubits), 0);
+    for (const int p : layout) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, num_qubits);
+      EXPECT_EQ(seen[static_cast<std::size_t>(p)], 0);
+      seen[static_cast<std::size_t>(p)] = 1;
+    }
+    EXPECT_EQ(analyze::interaction_seeded_layout(props, num_qubits, local),
+              layout);
+  }
+}
+
+// -- Auto-Clifford routing through the pool ----------------------------------
+
+TEST(PropertyInference, UnannotatedCliffordJobAutoRoutesToStabilizer) {
+  // At 5 qubits the stabilizer law (gates * n^2 = 125) undercuts the
+  // statevector law (gates * 2^n = 160), so once the inference unlocks the
+  // stabilizer backend the min-cost tie-break must pick it — even though
+  // the statevector backend comes first in the fleet.
+  std::vector<std::unique_ptr<runtime::QpuBackend>> fleet;
+  fleet.push_back(std::make_unique<runtime::StateVectorBackend>(20));
+  fleet.push_back(std::make_unique<runtime::StabilizerBackend>(32));
+  runtime::VirtualQpuPool pool(std::move(fleet), 1);
+
+  Circuit ghz(5);
+  ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4);
+  PauliSum obs(5);
+  obs.add_term(1.0, "ZZIII");
+
+  EXPECT_EQ(pool.submit_expectation(ghz, obs).get(), 1.0);
+  pool.wait_all();
+  {
+    const runtime::JobTelemetry record = pool.telemetry().back();
+    EXPECT_EQ(record.backend_name, "stabilizer");
+    EXPECT_TRUE(record.auto_clifford);
+    EXPECT_TRUE(has_code(record.warnings, DiagCode::kAutoCliffordRoutable));
+    EXPECT_EQ(record.estimated_cost, 125.0);
+  }
+
+  // One T gate breaks the inference: the job stays on the statevector
+  // backend with no auto-Clifford telemetry.
+  Circuit magic(5);
+  magic.h(0).t(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4);
+  EXPECT_NEAR(pool.submit_expectation(magic, obs).get(), 1.0, 1e-12);
+  pool.wait_all();
+  {
+    const runtime::JobTelemetry record = pool.telemetry().back();
+    EXPECT_EQ(record.backend_name, "statevector");
+    EXPECT_FALSE(record.auto_clifford);
+    EXPECT_FALSE(has_code(record.warnings, DiagCode::kAutoCliffordRoutable));
+    EXPECT_EQ(record.estimated_cost, 6.0 * 32.0);  // 6 gates * 2^5
+  }
+}
+
+TEST(PropertyInference, QueueCostAggregatesPendingEstimates) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  Circuit c(2);
+  c.h(0).cx(0, 1).rz(0.4, 1);  // 3 gates * 2^2 = 12 units
+  PauliSum zz(2);
+  zz.add_term(1.0, "ZZ");
+
+  pool.pause_dispatch();
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 3; ++i)
+    futures.push_back(pool.submit_expectation(c, zz));
+  EXPECT_EQ(pool.stats().queue_cost, 3 * 12.0);
+
+  pool.resume_dispatch();
+  for (auto& f : futures) EXPECT_NEAR(f.get(), 1.0, 1e-12);
+  pool.wait_all();
+  EXPECT_EQ(pool.stats().queue_cost, 0.0);
+  for (const runtime::JobTelemetry& record : pool.telemetry())
+    EXPECT_EQ(record.estimated_cost, 12.0);
+}
+
+// -- Dataflow facts -----------------------------------------------------------
+
+TEST(PropertyInference, BasisTrackingClassifiesDiagonalInContext) {
+  // After H, an X-axis rotation is diagonal in the tracked frame even
+  // though it is not computational-diagonal.
+  Circuit c(1);
+  c.h(0).rx(0.7, 0);
+  const CircuitProperties props = analyze::infer_properties(c);
+  ASSERT_EQ(props.facts.size(), 2u);
+  EXPECT_FALSE(props.facts[1].diagonal);
+  EXPECT_TRUE(props.facts[1].diagonal_in_context);
+
+  // Without the basis change the same rotation is top-frame: not diagonal
+  // in context either.
+  Circuit bare(1);
+  bare.rx(0.7, 0);
+  const CircuitProperties plain = analyze::infer_properties(bare);
+  EXPECT_FALSE(plain.facts[0].diagonal_in_context);
+}
+
+TEST(PropertyInference, StructuralOnlyOptionsSkipDataflow) {
+  Circuit c(2);
+  c.h(0).x(1).h(0);  // commutation-separated cancelling pair
+  c.measure(0);
+
+  analyze::PropertyOptions structural;
+  structural.dataflow = false;
+  structural.lint = false;
+  const CircuitProperties fast = analyze::infer_properties(c, structural);
+  EXPECT_EQ(fast.cancelling_pairs, 0u);
+  EXPECT_EQ(fast.unreachable_gates, 0u);
+
+  const CircuitProperties full = analyze::infer_properties(c);
+  EXPECT_EQ(full.cancelling_pairs, 1u);
+  EXPECT_EQ(full.unreachable_gates, 1u);  // x(1): only q0 is measured
+  EXPECT_FALSE(full.facts[1].reaches_measurement);
+  EXPECT_TRUE(full.facts[0].reaches_measurement);
+  EXPECT_EQ(full.facts[2].cancels_with, 0);
+}
+
+}  // namespace
+}  // namespace vqsim

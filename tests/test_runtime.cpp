@@ -234,14 +234,39 @@ TEST(VirtualQpuPool, CliffordJobRoutesToStabilizerBackend) {
   PauliSum zz(2);
   zz.add_term(1.0, "ZZ");
 
-  // Unflagged jobs cannot run anywhere in this fleet.
-  EXPECT_THROW(pool.submit_expectation(bell, zz), std::invalid_argument);
+  // Unflagged all-Clifford jobs auto-route: property inference proves the
+  // circuit Clifford, so the caller's clifford_only promise is not needed.
+  EXPECT_EQ(pool.submit_expectation(bell, zz).get(), 1.0);
+  pool.wait_all();
+  {
+    const JobTelemetry record = pool.telemetry().back();
+    EXPECT_EQ(record.backend_name, "stabilizer");
+    EXPECT_TRUE(record.auto_clifford);
+    EXPECT_TRUE(has_code(record.warnings, DiagCode::kAutoCliffordRoutable));
+  }
 
+  // An explicit promise still works; auto_clifford stays false because the
+  // routing came from the caller, not the inference.
   JobOptions clifford;
   clifford.clifford_only = true;
   EXPECT_EQ(pool.submit_expectation(bell, zz, clifford).get(), 1.0);
   pool.wait_all();
   EXPECT_EQ(pool.telemetry().back().backend_name, "stabilizer");
+  EXPECT_FALSE(pool.telemetry().back().auto_clifford);
+
+  // One T gate defeats the inference: the unflagged job has nowhere to run
+  // in this stabilizer-only fleet, and the rejection names its DiagCode.
+  Circuit magic(2);
+  magic.h(0).t(0).cx(0, 1);
+  try {
+    pool.submit_expectation(magic, zz);
+    FAIL() << "expected rejection";
+  } catch (const VerificationError& e) {
+    EXPECT_TRUE(has_code(e.diagnostics(), DiagCode::kNoCapableBackend));
+    const std::string message = e.what();
+    EXPECT_NE(message.find("[no_capable_backend]"), std::string::npos)
+        << message;
+  }
 }
 
 TEST(VirtualQpuPool, DistributedBackendMatchesSharedMemory) {

@@ -193,6 +193,54 @@ TEST(AdmissionController, BoundsPoolQueueDepth) {
             AdmissionOutcome::kUnknownTenant);
 }
 
+TEST(AdmissionController, CostWeightedQueueBound) {
+  TenantConfig cfg;
+  cfg.name = "t";
+  AdmissionPolicy policy;
+  policy.max_queue_cost = 1000.0;
+  AdmissionController admission(one_tenant(cfg), policy);
+  const Clock::time_point t0{};
+
+  runtime::PoolStats pool;
+  pool.queue_cost = 900.0;
+  // Within the cost budget: 900 + 50 <= 1000.
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 50.0),
+            AdmissionOutcome::kAdmitted);
+  // One heavy request breaches it even though the depth gate is off: the
+  // cost bound weighs requests, it does not count them.
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 200.0),
+            AdmissionOutcome::kRejectedCost);
+  // The defaulted request_cost (old 3-arg call shape) prices as free.
+  EXPECT_EQ(admission.admit_request("t", t0, pool),
+            AdmissionOutcome::kAdmitted);
+
+  const auto stats = admission.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].rejected_cost, 1u);
+  EXPECT_EQ(stats[0].admitted, 2u);
+}
+
+TEST(AdmissionController, CostGateRunsBeforeRateAndBurnsNoTokens) {
+  TenantConfig cfg;
+  cfg.name = "t";
+  cfg.rate = TokenBucketPolicy{1.0, 0.001};  // burst 1, ~no refill
+  AdmissionPolicy policy;
+  policy.max_queue_cost = 100.0;
+  AdmissionController admission(one_tenant(cfg), policy);
+  const Clock::time_point t0{};
+  const runtime::PoolStats pool;  // queue_cost = 0
+
+  // Over-cost request rejects as kRejectedCost (not kRejectedRate) and must
+  // not consume the single rate token...
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 500.0),
+            AdmissionOutcome::kRejectedCost);
+  // ...so an affordable request still finds the token available.
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 50.0),
+            AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 50.0),
+            AdmissionOutcome::kRejectedRate);
+}
+
 TEST(AdmissionController, QuotaSlotsReleaseViaReadinessProbes) {
   TenantConfig cfg;
   cfg.name = "t";
@@ -545,7 +593,51 @@ TEST(SimService, UnknownTenantRejected) {
     FAIL() << "expected AdmissionRejected";
   } catch (const AdmissionRejected& e) {
     EXPECT_EQ(e.outcome(), AdmissionOutcome::kUnknownTenant);
+    // The exception message names the outcome, so logs are greppable by
+    // taxonomy entry without parsing the structured field.
+    EXPECT_NE(std::string(e.what()).find("unknown_tenant"), std::string::npos)
+        << e.what();
   }
+}
+
+TEST(SimService, CostBoundRejectsExpensiveBacklog) {
+  runtime::VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);
+  TenantConfig cfg;
+  cfg.name = "t";
+  ServeConfig config;
+  // tagged_circuit is 3 gates on 2 qubits: 12 statevector cost units. Room
+  // for one such job in the backlog, not two.
+  config.admission.max_queue_cost = 18.0;
+  SimService service(pool, one_tenant(cfg), config);
+
+  pool.pause_dispatch();
+  auto queued =
+      service.submit_expectation("t", tagged_circuit(0.11), zz_observable());
+  // The queued job's inferred cost (12 units on the statevector backend) now
+  // counts against the bound: 12 + 12 > 18.
+  EXPECT_EQ(pool.stats().queue_cost, 12.0);
+  try {
+    service.submit_expectation("t", tagged_circuit(0.22), zz_observable());
+    FAIL() << "expected AdmissionRejected";
+  } catch (const AdmissionRejected& e) {
+    EXPECT_EQ(e.outcome(), AdmissionOutcome::kRejectedCost);
+    EXPECT_NE(std::string(e.what()).find("rejected_cost"), std::string::npos)
+        << e.what();
+  }
+
+  // Draining the backlog frees the cost budget.
+  pool.resume_dispatch();
+  EXPECT_NEAR(queued.get(), 1.0, 1e-12);
+  pool.wait_all();
+  EXPECT_EQ(pool.stats().queue_cost, 0.0);
+  EXPECT_NO_THROW(
+      service.submit_expectation("t", tagged_circuit(0.33), zz_observable()));
+  pool.wait_all();
+
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].rejected_cost, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# The full local CI chain, in gate order:
+#
+#   1. Tier-1 build + ctest   -- the correctness floor (ROADMAP.md): every
+#                                unit/integration test in a plain Release
+#                                build.
+#   2. run_static_analysis.sh -- thread-safety build + clang-tidy (both
+#                                skipped gracefully without Clang) + the
+#                                analyzer's own self-check (always runs).
+#   3. run_sanitizers.sh      -- TSan and ASan+UBSan builds of the
+#                                concurrent layer (optional; skipped with
+#                                --no-sanitizers, the slowest gate).
+#
+# Each stage only runs if the previous one passed; the first failure stops
+# the chain with a nonzero exit.
+#
+# Usage: tools/ci.sh [--no-sanitizers] [build-dir]
+#   build-dir defaults to <repo>/build-ci; static analysis and the
+#   sanitizers derive their own directories from it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+run_sanitizers=1
+if [ "${1:-}" = "--no-sanitizers" ]; then
+  run_sanitizers=0
+  shift
+fi
+build_dir="${1:-${repo_root}/build-ci}"
+
+echo "=== CI stage 1: tier-1 build + ctest ==="
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" --output-on-failure -j
+echo "Tier-1 tests OK."
+
+echo "=== CI stage 2: static analysis ==="
+"${repo_root}/tools/run_static_analysis.sh" "${build_dir}-static-analysis"
+
+if [ "${run_sanitizers}" -eq 1 ]; then
+  echo "=== CI stage 3: sanitizers ==="
+  "${repo_root}/tools/run_sanitizers.sh" "${build_dir}"
+else
+  echo "=== CI stage 3: sanitizers (skipped: --no-sanitizers) ==="
+fi
+
+echo "CI chain complete: all gates passed."

@@ -34,7 +34,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DVQSIM_BUILD_BENCH=ON
 
-bench_targets=(perf_virtual_qpu fig3_caching)
+bench_targets=(perf_virtual_qpu fig3_caching perf_analyze)
 gbench_targets=(perf_gate_kernels perf_fusion perf_expectation perf_caching)
 if [[ "${quick}" == 0 ]]; then
   bench_targets+=(fig5_adapt_vqe)
@@ -49,7 +49,8 @@ mkdir -p "${out_dir}"
 export VQSIM_BENCH_DIR="${out_dir}"
 
 # BENCH-protocol binaries. set -e turns perf_virtual_qpu's determinism /
-# rejection failures (non-zero exit) into a harness failure.
+# rejection failures and perf_analyze's inference-overhead gate (non-zero
+# exit) into a harness failure.
 for target in "${bench_targets[@]}"; do
   echo "== ${target}"
   "${build_dir}/bench/${target}" | tee "${out_dir}/${target}.log"

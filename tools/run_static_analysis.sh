@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
-# Static-analysis gate, two passes:
+# Static-analysis gate, three passes:
 #
 #   1. Clang thread-safety build: configure with -DVQSIM_THREAD_SAFETY=ON
 #      (adds -Wthread-safety -Werror=thread-safety) and compile the
 #      annotated concurrency layer. Any lock-discipline violation in
-#      runtime/thread_pool, runtime/virtual_qpu, runtime/job, or dist/comm
-#      is a compile error.
-#   2. clang-tidy over the library sources using the repo-root .clang-tidy
-#      (bugprone-*, performance-*, concurrency-*; warnings are errors), so
-#      a new warning fails the script.
+#      runtime/thread_pool, runtime/virtual_qpu, runtime/job, dist/comm,
+#      or serve/service is a compile error.
+#   2. clang-tidy over the library sources AND the test suite using the
+#      repo-root .clang-tidy (bugprone-*, performance-*, concurrency-*;
+#      warnings are errors), so a new warning fails the script.
+#   3. Analyzer self-check: build vqsim_cli and run
+#      `analyze --self-check` — the property-inference engine's built-in
+#      invariant suite (exhaustive to_string coverage over the diagnostic
+#      enums, Clifford/cancellation/light-cone sanity, and the
+#      predict-vs-plan layout-accounting identity on randomized circuits).
+#      This pass runs the repo's own static analyzer against itself, so it
+#      needs no Clang — it always runs.
 #
-# Both passes need the Clang toolchain. When clang++/clang-tidy are not
+# Passes 1-2 need the Clang toolchain. When clang++/clang-tidy are not
 # installed the corresponding pass is skipped with a NOTICE and the script
-# still exits 0 — the annotations compile away to nothing off Clang, so a
-# GCC-only environment simply has nothing to check.
+# still exits 0 for those passes — the annotations compile away to nothing
+# off Clang, so a GCC-only environment simply has nothing to check there.
+# Pass 3 runs (and can fail) everywhere.
 #
 # Usage: tools/run_static_analysis.sh [build-dir]
 set -euo pipefail
@@ -30,7 +38,7 @@ if command -v clang++ >/dev/null 2>&1; then
     -DCMAKE_CXX_COMPILER=clang++ \
     -DVQSIM_THREAD_SAFETY=ON \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    -DVQSIM_BUILD_TESTS=OFF \
+    -DVQSIM_BUILD_TESTS=ON \
     -DVQSIM_BUILD_BENCH=OFF \
     -DVQSIM_BUILD_EXAMPLES=OFF
   cmake --build "${build_dir}" -j
@@ -43,20 +51,33 @@ fi
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ "${have_clang}" -eq 0 ]; then
     # clang-tidy only needs a compilation database, which any compiler's
-    # configure can produce.
+    # configure can produce. Tests stay ON so the suite is tidied too.
     cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=Release \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-      -DVQSIM_BUILD_TESTS=OFF \
+      -DVQSIM_BUILD_TESTS=ON \
       -DVQSIM_BUILD_BENCH=OFF \
       -DVQSIM_BUILD_EXAMPLES=OFF
   fi
   echo "== Pass 2: clang-tidy (config: .clang-tidy, warnings are errors) =="
-  mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+  mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tests" \
+                              -name '*.cpp' | sort)
   clang-tidy -p "${build_dir}" --quiet "${sources[@]}"
   echo "clang-tidy OK: no warnings."
 else
   echo "NOTICE: clang-tidy not found; skipping the tidy pass."
 fi
+
+echo "== Pass 3: analyzer self-check (vqsim_cli analyze --self-check) =="
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DVQSIM_BUILD_TESTS=OFF \
+    -DVQSIM_BUILD_BENCH=OFF \
+    -DVQSIM_BUILD_EXAMPLES=OFF
+fi
+cmake --build "${build_dir}" --target vqsim_cli -j
+"${build_dir}/tools/vqsim_cli" analyze --self-check
+echo "Analyzer self-check OK: all inference invariants hold."
 
 echo "Static analysis done."

@@ -14,12 +14,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "analyze/cost.hpp"
+#include "analyze/properties.hpp"
 #include "api/workflow.hpp"
 #include "chem/molecules.hpp"
 #include "chem/scf.hpp"
+#include "common/rng.hpp"
+#include "ir/passes/layout.hpp"
+#include "ir/qasm.hpp"
+#include "telemetry/json_writer.hpp"
 
 namespace {
 
@@ -47,7 +56,15 @@ struct Args {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: vqsim_cli <vqe|adapt|qpe> [options]\n"
+      "usage: vqsim_cli <vqe|adapt|qpe|analyze> [options]\n"
+      "  analyze <file.qasm> | --qasm <file.qasm>\n"
+      "                  property-inference report (JSON on stdout):\n"
+      "                  counts, Clifford/diagonal structure, interaction\n"
+      "                  graph, dataflow findings, per-backend cost model\n"
+      "  analyze --ranks N                     dist cost-law rank count (2)\n"
+      "  analyze --self-check                  run the analyzer's built-in\n"
+      "                  invariant suite (exhaustive to_string coverage,\n"
+      "                  predict-vs-plan layout accounting); exit 1 on drift\n"
       "  --molecule h2|heh+|h4|water|hubbard   (default h2)\n"
       "  --bond R        bond length in bohr (h2/heh+; default 1.4011)\n"
       "  --spacing R     H4 chain spacing in bohr (default 1.8)\n"
@@ -92,6 +109,217 @@ MolecularIntegrals build_molecule(const Args& args, ActiveSpace* active) {
   throw std::invalid_argument("unknown molecule: " + kind);
 }
 
+// -- analyze command ---------------------------------------------------------
+
+void append_cost_json(telemetry::JsonWriter& w, const char* key,
+                      const analyze::CostEstimate& est) {
+  w.key(key);
+  w.begin_object();
+  w.key("amplitude_touches");
+  w.value(est.amplitude_touches);
+  w.key("exchange_amplitudes");
+  w.value(est.exchange_amplitudes);
+  w.key("exchange_ops");
+  w.value(est.exchange_ops);
+  w.key("cost");
+  w.value(est.cost);
+  w.end_object();
+}
+
+int run_analyze(const Args& args) {
+  const std::string path = args.get("qasm", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: analyze needs a .qasm file "
+                         "(positional or --qasm)\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const Circuit circuit = from_qasm(text.str());
+
+  const analyze::CircuitProperties props = analyze::infer_properties(circuit);
+
+  const int ranks = args.get_int("ranks", 2);
+  int rank_bits = 0;
+  while ((1 << rank_bits) < ranks) ++rank_bits;
+  analyze::CostModelOptions dist_options;
+  dist_options.dist_local_qubits = circuit.num_qubits() - rank_bits;
+
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("properties");
+  w.raw(analyze::properties_to_json(props));
+  w.key("cost");
+  w.begin_object();
+  append_cost_json(w, "statevector",
+                   analyze::estimate_cost(circuit, props,
+                                          analyze::CostClass::kStateVector,
+                                          circuit.num_qubits()));
+  append_cost_json(w, "density_matrix",
+                   analyze::estimate_cost(circuit, props,
+                                          analyze::CostClass::kDensityMatrix,
+                                          circuit.num_qubits()));
+  append_cost_json(w, "stabilizer",
+                   analyze::estimate_cost(circuit, props,
+                                          analyze::CostClass::kStabilizer,
+                                          circuit.num_qubits()));
+  append_cost_json(
+      w, "dist_statevector",
+      analyze::estimate_cost(circuit, props,
+                             analyze::CostClass::kDistStateVector,
+                             circuit.num_qubits(), dist_options));
+  w.key("dist_ranks");
+  w.value(ranks);
+  w.end_object();
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}
+
+// -- analyze --self-check ----------------------------------------------------
+// The analyzer's own invariants, runnable from CI without gtest: exhaustive
+// to_string coverage over the diagnostic enums, Clifford/cancellation/
+// light-cone sanity on known circuits, and the predict-vs-plan layout
+// accounting identity on randomized circuits.
+
+Circuit random_circuit(Rng& rng, int num_qubits, int num_gates) {
+  Circuit c(num_qubits);
+  const auto q = [&] { return static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(num_qubits))); };
+  for (int i = 0; i < num_gates; ++i) {
+    const int a = q();
+    int b = q();
+    while (b == a) b = q();
+    switch (rng.uniform_index(12)) {
+      case 0: c.h(a); break;
+      case 1: c.x(a); break;
+      case 2: c.z(a); break;
+      case 3: c.s(a); break;
+      case 4: c.t(a); break;
+      case 5: c.rz(rng.uniform(-3.0, 3.0), a); break;
+      case 6: c.rx(rng.uniform(-3.0, 3.0), a); break;
+      case 7: c.ry(rng.uniform(-3.0, 3.0), a); break;
+      case 8: c.cx(a, b); break;
+      case 9: c.cz(a, b); break;
+      case 10: c.rzz(rng.uniform(-3.0, 3.0), a, b); break;
+      default: c.swap(a, b); break;
+    }
+  }
+  return c;
+}
+
+int run_self_check() {
+  int failures = 0;
+  const auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "self-check FAILED: %s\n", what);
+    }
+  };
+
+  // Exhaustive to_string coverage: every enumerator renders a real name.
+  for (std::size_t i = 0; i < analyze::kDiagCodeCount; ++i)
+    check(std::string(analyze::to_string(static_cast<analyze::DiagCode>(i))) !=
+              "?",
+          "DiagCode to_string covers every enumerator");
+  for (std::size_t i = 0; i < analyze::kSeverityCount; ++i)
+    check(std::string(analyze::to_string(static_cast<analyze::Severity>(i))) !=
+              "?",
+          "Severity to_string covers every enumerator");
+  for (int i = 0; i <= static_cast<int>(analyze::PauliAxis::kUnknown); ++i)
+    check(std::string(analyze::to_string(static_cast<analyze::PauliAxis>(i))) !=
+              "?",
+          "PauliAxis to_string covers every enumerator");
+  for (int i = 0; i <= static_cast<int>(analyze::CostClass::kDistStateVector);
+       ++i)
+    check(std::string(analyze::to_string(static_cast<analyze::CostClass>(i))) !=
+              "?",
+          "CostClass to_string covers every enumerator");
+
+  // Clifford detection: unannotated Bell pair is auto-routable; a T gate
+  // breaks it and pins the prefix length.
+  {
+    Circuit bell(2);
+    bell.h(0).cx(0, 1);
+    const analyze::CircuitProperties p = analyze::infer_properties(bell);
+    check(p.all_clifford && p.clifford_prefix == 2,
+          "Bell circuit inferred all-Clifford");
+    bool noted = false;
+    for (const analyze::Diagnostic& d : p.diagnostics)
+      noted |= d.code == analyze::DiagCode::kAutoCliffordRoutable;
+    check(noted, "all-Clifford circuit carries kAutoCliffordRoutable");
+    Circuit t = bell;
+    t.t(0);
+    const analyze::CircuitProperties pt = analyze::infer_properties(t);
+    check(!pt.all_clifford && pt.clifford_prefix == 2,
+          "T gate breaks all-Clifford with prefix 2");
+  }
+
+  // Commutation-aware cancellation: h(0) / x(1) / h(0) cancels across the
+  // commuting spacer the adjacency-only lint cannot hop.
+  {
+    Circuit c(2);
+    c.h(0).x(1).h(0);
+    const analyze::CancellationSummary s = analyze::analyze_cancellations(c);
+    check(s.pairs_cancelled == 1, "H..H cancels across a commuting spacer");
+  }
+
+  // Light cone: with only qubit 0 measured, a disconnected gate on qubit 1
+  // is unreachable.
+  {
+    Circuit c(2);
+    c.h(0).x(1);
+    c.measure(0);
+    const std::vector<char> reach = analyze::measurement_light_cone(c);
+    check(reach.size() == 2 && reach[0] && !reach[1],
+          "light cone separates measured from disconnected gates");
+  }
+
+  // Predict-vs-plan layout accounting on randomized circuits: the
+  // analyzer's closed-form naive stats must match plan_layout bit-for-bit,
+  // and the planned/avoided split must conserve the naive swap total.
+  Rng rng(20260807);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int num_qubits = 4 + static_cast<int>(rng.uniform_index(5));  // 4..8
+    const int rank_bits = 1 + static_cast<int>(rng.uniform_index(2));   // 1..2
+    const int local = num_qubits - rank_bits;
+    if (local < 2) continue;
+    const Circuit c =
+        random_circuit(rng, num_qubits,
+                       8 + static_cast<int>(rng.uniform_index(40)));
+    const LayoutStats predicted =
+        analyze::predict_layout_naive_stats(c, num_qubits, local);
+    analyze::PropertyOptions popts;
+    popts.dataflow = false;
+    popts.lint = false;
+    const analyze::CircuitProperties props =
+        analyze::infer_properties(c, popts);
+    const std::vector<int> seed =
+        analyze::interaction_seeded_layout(props, num_qubits, local);
+    for (const LayoutPlan& plan :
+         {plan_layout(c, num_qubits, local),
+          plan_layout(c, num_qubits, local, seed)}) {
+      check(plan.stats.naive_exchanges == predicted.naive_exchanges &&
+                plan.stats.naive_amplitudes == predicted.naive_amplitudes &&
+                plan.stats.gates_with_global_operands ==
+                    predicted.gates_with_global_operands,
+            "predicted naive stats match plan_layout bit-for-bit");
+      check(plan.stats.swaps_avoided +
+                    static_cast<std::int64_t>(plan.stats.swaps_planned) ==
+                predicted.swaps_avoided,
+            "planned + avoided swaps conserve the naive total");
+    }
+  }
+
+  if (failures == 0) std::printf("analyze self-check: all invariants hold\n");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,9 +328,16 @@ int main(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strncmp(a, "--", 2) != 0) return usage();
+    if (std::strncmp(a, "--", 2) != 0) {
+      // analyze takes its input file positionally.
+      if (args.command == "analyze" && !args.has("qasm")) {
+        args.options["qasm"] = a;
+        continue;
+      }
+      return usage();
+    }
     const std::string key(a + 2);
-    if (key == "no-fci") {
+    if (key == "no-fci" || key == "self-check") {
       args.options[key] = "1";
       continue;
     }
@@ -111,6 +346,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (args.command == "analyze")
+      return args.has("self-check") ? run_self_check() : run_analyze(args);
+
     WorkflowConfig config;
     config.active = ActiveSpace{0, 0};
     config.molecule = build_molecule(args, &config.active);
