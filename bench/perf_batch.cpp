@@ -1,0 +1,254 @@
+// Batched-execution engine benchmark: a PES scan evaluated three ways.
+//
+// Workload: H2/STO-3G UCCSD(4,2) at `--bonds` bond lengths; at each bond,
+// `--evals` parameter sets drawn deterministically (the shape of an Adam
+// run's central-difference probe batches). All circuits are materialized
+// up front so the measured quantity is the execution engine, not the
+// ansatz builder:
+//
+//   sequential       apply_circuit of the unfused bound circuit, then
+//                    PauliSum expectation — the per-job scalar path the
+//                    pool executed before JobKind::kBatch existed.
+//   compiled_scalar  plan.bind + exec::apply_ops + CompiledPauliSum —
+//                    the K=1 compiled path (the bit-identity reference).
+//   batched K        exec::BatchedEnergyProgram over chunks of K bindings,
+//                    K in {1, 2, 4, 8, 16}.
+//
+// Emitted as BENCH rows (suite "batch"). The binary self-gates (non-zero
+// exit aborts tools/run_benchmarks.sh):
+//   - batched K=16 throughput >= 2x sequential scalar evaluation,
+//   - every batched energy bit-identical to the compiled scalar path,
+//   - two K=16 passes bit-identical (determinism),
+//   - exactly one plan compile across the whole scan (one ansatz shape).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_emit.hpp"
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "exec/batched_state_vector.hpp"
+#include "exec/compiled_cache.hpp"
+#include "exec/energy.hpp"
+#include "sim/compiled_op.hpp"
+#include "sim/expectation.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace {
+
+using namespace vqsim;
+
+struct BondCase {
+  double bond = 0.0;
+  PauliSum hamiltonian{4};
+  std::vector<Circuit> circuits;  // one bound circuit per evaluation
+};
+
+std::vector<BondCase> build_scan(int bonds, int evals) {
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  std::vector<BondCase> scan;
+  scan.reserve(static_cast<std::size_t>(bonds));
+  for (int b = 0; b < bonds; ++b) {
+    BondCase bc;
+    bc.bond = 0.7 + 1.9 * static_cast<double>(b) /
+                        static_cast<double>(bonds > 1 ? bonds - 1 : 1);
+    bc.hamiltonian = jordan_wigner(molecular_hamiltonian(
+        molecule_from_atoms(h2_geometry(bc.bond), 2)));
+    Rng rng(1234 + static_cast<std::uint64_t>(b));
+    for (int e = 0; e < evals; ++e) {
+      std::vector<double> theta(ansatz.num_parameters());
+      for (double& t : theta) t = rng.uniform(-0.5, 0.5);
+      bc.circuits.push_back(ansatz.circuit(theta));
+    }
+    scan.push_back(std::move(bc));
+  }
+  return scan;
+}
+
+/// The pre-batch per-job path: unfused apply_circuit + PauliSum expectation.
+std::vector<double> run_sequential(const std::vector<BondCase>& scan) {
+  std::vector<double> energies;
+  StateVector psi(4);
+  for (const BondCase& bc : scan) {
+    for (const Circuit& c : bc.circuits) {
+      psi.reset();
+      psi.apply_circuit(c);
+      energies.push_back(expectation(psi, bc.hamiltonian));
+    }
+  }
+  return energies;
+}
+
+/// The K=1 compiled path — bit-identity reference for the batched runs.
+std::vector<double> run_compiled_scalar(const std::vector<BondCase>& scan,
+                                        exec::CompiledCircuitCache& cache) {
+  std::vector<double> energies;
+  StateVector psi(4);
+  for (const BondCase& bc : scan) {
+    const auto plan = cache.get_or_compile(bc.circuits.front());
+    const CompiledPauliSum observable(bc.hamiltonian, 4);
+    for (const Circuit& c : bc.circuits) {
+      psi.reset();
+      exec::apply_ops(psi, plan->bind(c));
+      energies.push_back(observable.expectation(psi));
+    }
+  }
+  return energies;
+}
+
+std::vector<double> run_batched(const std::vector<BondCase>& scan,
+                                exec::CompiledCircuitCache& cache,
+                                std::size_t k) {
+  std::vector<double> energies;
+  for (const BondCase& bc : scan) {
+    const exec::BatchedEnergyProgram program(
+        cache.get_or_compile(bc.circuits.front()), bc.hamiltonian);
+    for (std::size_t begin = 0; begin < bc.circuits.size(); begin += k) {
+      const std::size_t count =
+          std::min(k, bc.circuits.size() - begin);
+      const std::vector<double> chunk = program.run(
+          std::span<const Circuit>(bc.circuits.data() + begin, count));
+      energies.insert(energies.end(), chunk.begin(), chunk.end());
+    }
+  }
+  return energies;
+}
+
+std::size_t mismatches(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i)
+    if (a[i] != b[i]) ++n;
+  return n + (a.size() > b.size() ? a.size() - b.size()
+                                  : b.size() - a.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int bonds = 20;
+  int evals = 128;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bonds") == 0 && i + 1 < argc)
+      bonds = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--evals") == 0 && i + 1 < argc)
+      evals = std::atoi(argv[++i]);
+  }
+  const std::size_t total =
+      static_cast<std::size_t>(bonds) * static_cast<std::size_t>(evals);
+  std::printf("# perf_batch: PES scan, %d bonds x %d evaluations "
+              "(H2 UCCSD(4,2), circuits pre-materialized)\n",
+              bonds, evals);
+
+  const std::vector<BondCase> scan = build_scan(bonds, evals);
+  bench::BenchEmitter emitter("batch");
+
+  WallTimer timer;
+  const std::vector<double> sequential = run_sequential(scan);
+  const double sequential_s = timer.seconds();
+  const double sequential_rate = static_cast<double>(total) / sequential_s;
+  emitter.row()
+      .field("mode", "sequential")
+      .field("bonds", bonds)
+      .field("evals", evals)
+      .field("wall_s", sequential_s, "%.4f")
+      .field("evals_per_s", sequential_rate, "%.1f")
+      .emit();
+  std::printf("  %-16s %9.1f evals/s\n", "sequential", sequential_rate);
+
+  exec::CompiledCircuitCache cache;
+  timer.reset();
+  const std::vector<double> compiled = run_compiled_scalar(scan, cache);
+  const double compiled_s = timer.seconds();
+  emitter.row()
+      .field("mode", "compiled_scalar")
+      .field("bonds", bonds)
+      .field("evals", evals)
+      .field("wall_s", compiled_s, "%.4f")
+      .field("evals_per_s", static_cast<double>(total) / compiled_s, "%.1f")
+      .emit();
+  std::printf("  %-16s %9.1f evals/s\n", "compiled_scalar",
+              static_cast<double>(total) / compiled_s);
+
+  double batched16_rate = 0.0;
+  std::size_t batched_mismatches = 0;
+  std::vector<double> batched16;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    timer.reset();
+    const std::vector<double> energies = run_batched(scan, cache, k);
+    const double wall_s = timer.seconds();
+    const double rate = static_cast<double>(total) / wall_s;
+    if (k == 16) {
+      batched16_rate = rate;
+      batched16 = energies;
+    }
+    batched_mismatches += mismatches(energies, compiled);
+    emitter.row()
+        .field("mode", "batched")
+        .field("k", k)
+        .field("bonds", bonds)
+        .field("evals", evals)
+        .field("wall_s", wall_s, "%.4f")
+        .field("evals_per_s", rate, "%.1f")
+        .field("speedup_vs_sequential", rate / sequential_rate, "%.2f")
+        .emit();
+    std::printf("  batched K=%-6zu %9.1f evals/s  (%.2fx sequential)\n", k,
+                rate, rate / sequential_rate);
+  }
+
+  // Determinism: a second K=16 pass must reproduce every bit.
+  const std::size_t rerun_mismatches =
+      mismatches(run_batched(scan, cache, 16), batched16);
+
+  const auto cache_stats = cache.stats();
+  const double speedup = batched16_rate / sequential_rate;
+  emitter.row()
+      .field("mode", "summary")
+      .field("bonds", bonds)
+      .field("evals", evals)
+      .field("speedup_k16_vs_sequential", speedup, "%.2f")
+      .field("bit_mismatches", batched_mismatches)
+      .field("rerun_mismatches", rerun_mismatches)
+      .field("compile_misses", cache_stats.misses)
+      .field("compile_hits", cache_stats.hits)
+      .emit();
+
+  // -- Self-gates -----------------------------------------------------------
+  bool ok = true;
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched K=16 is %.2fx sequential (gate: >= 2x)\n",
+                 speedup);
+    ok = false;
+  }
+  if (batched_mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu batched energies differ from the compiled "
+                 "scalar path (gate: bit-identical)\n",
+                 batched_mismatches);
+    ok = false;
+  }
+  if (rerun_mismatches != 0) {
+    std::fprintf(stderr, "FAIL: K=16 rerun not bit-identical (%zu diffs)\n",
+                 rerun_mismatches);
+    ok = false;
+  }
+  if (cache_stats.misses != 1) {
+    std::fprintf(stderr,
+                 "FAIL: %llu plan compiles for one ansatz shape (gate: "
+                 "exactly 1)\n",
+                 static_cast<unsigned long long>(cache_stats.misses));
+    ok = false;
+  }
+  if (ok)
+    std::printf("gates OK: %.2fx @ K=16, bit-identical, deterministic, "
+                "1 compile for %d bonds\n",
+                speedup, bonds);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// K state vectors evaluated in one pass, amplitudes interleaved
+// structure-of-arrays over the batch axis.
+//
+// Layout: amp_[i * K + k] is amplitude i of batch item k, so each gate
+// kernel's amplitude-group loop does its index arithmetic once per group
+// and then streams K contiguous complex values — the axis a later SIMD
+// pass can vectorize directly (ROADMAP item 2), and the memory-access
+// pattern of the Fujitsu-style "many VQE circuits simultaneously" trick.
+//
+// Bit-identity contract: after apply() of a plan's bind_batch output,
+// item(k) is bit-identical to a scalar StateVector run through
+// exec::apply_ops of the same plan's bind() of binding k (equivalently,
+// apply_circuit of the structurally-fused circuit). expectation() fills
+// out[k] bit-identical to CompiledPauliSum::expectation on item k: the
+// per-mask-family partial sums accumulate serially in the same index
+// order as the scalar serial reduction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+#include "exec/compiled_circuit.hpp"
+#include "sim/compiled_op.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim::exec {
+
+class BatchedStateVector {
+ public:
+  /// K copies of |0...0> on `num_qubits` qubits.
+  BatchedStateVector(int num_qubits, std::size_t batch_size);
+
+  int num_qubits() const { return num_qubits_; }
+  idx dim() const { return dim_; }
+  std::size_t batch_size() const { return batch_; }
+  std::size_t memory_bytes() const { return amp_.size() * sizeof(cplx); }
+
+  /// All items back to |0...0>.
+  void reset();
+
+  void apply(const BatchedOp& op);
+  void apply(std::span<const BatchedOp> ops);
+
+  /// Extracts item k as a scalar StateVector (copies K-strided amplitudes).
+  StateVector item(std::size_t k) const;
+
+  /// out[k] = <psi_k|H|psi_k> for every item; out.size() must equal
+  /// batch_size(). Bit-identical per item to the scalar serial reduction.
+  void expectation(const CompiledPauliSum& observable,
+                   std::span<double> out) const;
+
+  const cplx* data() const { return amp_.data(); }
+  cplx* data() { return amp_.data(); }
+
+ private:
+  int num_qubits_ = 0;
+  idx dim_ = 0;
+  std::size_t batch_ = 0;
+  AmpVector amp_;  // amp_[i * batch_ + k]
+};
+
+}  // namespace vqsim::exec

@@ -1,0 +1,56 @@
+#include "exec/compiled_cache.hpp"
+
+#include <stdexcept>
+
+#include "ir/fingerprint.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vqsim::exec {
+
+CompiledCircuitCache::CompiledCircuitCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  if (max_entries_ == 0)
+    throw std::invalid_argument("CompiledCircuitCache: max_entries must be > 0");
+}
+
+std::shared_ptr<const CompiledCircuit> CompiledCircuitCache::get_or_compile(
+    const Circuit& representative) {
+  const std::uint64_t key = ir::circuit_shape_fingerprint(representative);
+  VQSIM_COUNTER(c_hits, "exec.compile_hits_total");
+  VQSIM_COUNTER(c_misses, "exec.compile_misses_total");
+  VQSIM_COUNTER(c_evictions, "exec.compile_evictions_total");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = by_shape_.find(key); it != by_shape_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    VQSIM_COUNTER_INC(c_hits);
+    return lru_.front().second;
+  }
+  // Compile under the lock: plans are cheap relative to the executions they
+  // amortize, and holding the lock gives exactly-once compilation per shape.
+  auto plan = std::make_shared<const CompiledCircuit>(representative);
+  lru_.emplace_front(key, plan);
+  by_shape_[key] = lru_.begin();
+  ++misses_;
+  VQSIM_COUNTER_INC(c_misses);
+  while (lru_.size() > max_entries_) {
+    by_shape_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    VQSIM_COUNTER_INC(c_evictions);
+  }
+  return plan;
+}
+
+CompiledCircuitCache::Stats CompiledCircuitCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, evictions_, lru_.size()};
+}
+
+void CompiledCircuitCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  by_shape_.clear();
+}
+
+}  // namespace vqsim::exec

@@ -1,0 +1,58 @@
+// Bounded LRU cache of CompiledCircuit plans, keyed by circuit shape.
+//
+// One cache is shared across whoever evaluates bindings of the same ansatz
+// — the sweep driver threads one through every sweep point's executor, and
+// a StateVectorBackend fleet shares one so a batch job landing on any
+// backend reuses the plan compiled by the first. Entries are shared_ptr so
+// an evicted plan stays valid for executions already holding it.
+//
+// Telemetry: exec.compile_hits_total / exec.compile_misses_total /
+// exec.compile_evictions_total, mirrored in stats() for tests.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "exec/compiled_circuit.hpp"
+#include "ir/circuit.hpp"
+
+namespace vqsim::exec {
+
+class CompiledCircuitCache {
+ public:
+  /// `max_entries` bounds resident plans; least-recently-used is evicted.
+  explicit CompiledCircuitCache(std::size_t max_entries = 64);
+
+  /// Returns the plan for the circuit's shape, compiling (and verifying)
+  /// it on first sight. Thread-safe; compilation runs under the lock so
+  /// concurrent requests for one shape compile exactly once.
+  std::shared_ptr<const CompiledCircuit> get_or_compile(
+      const Circuit& representative);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+  std::size_t max_entries() const { return max_entries_; }
+  void clear();
+
+ private:
+  using LruList =
+      std::list<std::pair<std::uint64_t, std::shared_ptr<const CompiledCircuit>>>;
+
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, LruList::iterator> by_shape_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace vqsim::exec

@@ -1,0 +1,708 @@
+#include "exec/compiled_circuit.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "analyze/verifier.hpp"
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+#include "ir/fingerprint.hpp"
+#include "ir/passes/fusion.hpp"
+#include "pauli/pauli_string.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vqsim::exec {
+
+namespace {
+
+// Fusion options that depend only on circuit *structure*: a negative
+// identity tolerance means Mat2/Mat4::approx_equal(identity, tol) is never
+// true, so no group is dropped based on its numeric values. Every binding
+// of a shape therefore fuses to the same gate sequence, and one plan is
+// valid for all bindings.
+constexpr FusionOptions kStructuralFusion{/*keep_singletons=*/true,
+                                          /*identity_tolerance=*/-1.0};
+
+constexpr cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0}, cplx{0, -1}};
+
+CompiledOp lower_pauli(const PauliString& p) {
+  CompiledOp op;
+  op.kind = CompiledOp::Kind::kPauli;
+  op.xm = p.x;
+  op.zm = p.z;
+  op.v[0] = kIPow[std::popcount(p.x & p.z) % 4];
+  return op;
+}
+
+CompiledOp lower_phase1(double phi, int q) {
+  CompiledOp op;
+  op.kind = CompiledOp::Kind::kPhase1;
+  op.q0 = static_cast<unsigned>(q);
+  op.v[0] = std::exp(kI * phi);
+  return op;
+}
+
+// exp(-i theta P) for a diagonal (Z-mask) Pauli string: amplitude i picks
+// up exp(-i theta) when parity(i & zm) is even, exp(+i theta) when odd —
+// the same cos/sin evaluation apply_exp_pauli performs at apply time.
+CompiledOp lower_diag_z(std::uint64_t zm, double theta) {
+  CompiledOp op;
+  op.kind = CompiledOp::Kind::kDiagZ;
+  op.zm = zm;
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  op.v[0] = cplx{c, -s};  // exp(-i theta)
+  op.v[1] = cplx{c, s};
+  return op;
+}
+
+CompiledOp lower_mat2(const Mat2& m, int q) {
+  CompiledOp op;
+  op.kind = CompiledOp::Kind::kMat2;
+  op.q0 = static_cast<unsigned>(q);
+  op.v[0] = m(0, 0);
+  op.v[1] = m(0, 1);
+  op.v[2] = m(1, 0);
+  op.v[3] = m(1, 1);
+  return op;
+}
+
+CompiledOp lower_mat4(const Mat4& m, int q0, int q1) {
+  CompiledOp op;
+  op.kind = CompiledOp::Kind::kMat4;
+  op.q0 = static_cast<unsigned>(q0);
+  op.q1 = static_cast<unsigned>(q1);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) op.v[r * 4 + c] = m(r, c);
+  return op;
+}
+
+// True when the gate's matrix can differ between bindings of one shape:
+// anything carrying angle parameters or a generic matrix payload. The
+// fixed-mnemonic gates (H, CX, S, ...) lower to the same payload bits in
+// every binding, so ops built only from them live in the template.
+bool gate_binding_dependent(const Gate& g) {
+  return gate_num_params(g.kind) > 0 || g.kind == GateKind::kMat1 ||
+         g.kind == GateKind::kMat2;
+}
+
+// Replays one traced output against `gates` (a binding of the traced
+// shape), reproducing the fuser's matrix arithmetic step for step — the
+// same helper calls in the same order, so the result is bit-identical to
+// lowering the gate fuse_gates would have emitted for this binding.
+CompiledOp lower_traced_output(const FusionTrace& trace,
+                               const FusionTrace::Output& out,
+                               const std::vector<Gate>& gates) {
+  using Op = FusionTrace::Step::Op;
+  if (out.kind == FusionTrace::Output::Kind::kSingleton)
+    return lower_gate(gates[out.gate]);
+  Mat2 acc2 = Mat2::identity();
+  Mat4 m4 = Mat4::identity();
+  for (std::uint32_t s = out.steps_begin; s < out.steps_end; ++s) {
+    const FusionTrace::Step& step = trace.steps[s];
+    switch (step.op) {
+      case Op::kLoad1:
+        acc2 = gate_matrix2(gates[step.gate]);
+        break;
+      case Op::kMul1:
+        acc2 = gate_matrix2(gates[step.gate]) * acc2;
+        break;
+      case Op::kAbsorbLow:
+        m4 = m4 * embed_low(acc2);
+        break;
+      case Op::kAbsorbHigh:
+        m4 = m4 * embed_high(acc2);
+        break;
+      case Op::kLoad2:
+        m4 = gate_matrix4(gates[step.gate]);
+        break;
+      case Op::kMul2:
+        m4 = gate_matrix4(gates[step.gate]) * m4;
+        break;
+      case Op::kMul2Swapped:
+        m4 = swap_qubit_order(gate_matrix4(gates[step.gate])) * m4;
+        break;
+      case Op::kMulLow:
+        m4 = embed_low(gate_matrix2(gates[step.gate])) * m4;
+        break;
+      case Op::kMulHigh:
+        m4 = embed_high(gate_matrix2(gates[step.gate])) * m4;
+        break;
+    }
+  }
+  if (out.kind == FusionTrace::Output::Kind::kMat1)
+    return lower_mat2(acc2, out.q0);
+  return lower_mat4(m4, out.q0, out.q1);
+}
+
+// One comparable word per gate covering exactly the fields
+// circuit_shape_fingerprint hashes per gate: kind and both operands
+// (+1 keeps the -1 sentinel distinct from qubit 0; qubits are < 64).
+std::uint32_t pack_shape_word(const Gate& g) {
+  return (static_cast<std::uint32_t>(g.kind) << 16) |
+         (static_cast<std::uint32_t>(g.q0 + 1) << 8) |
+         static_cast<std::uint32_t>(g.q1 + 1);
+}
+
+bool ops_identical(const CompiledOp& a, const CompiledOp& b) {
+  if (a.kind != b.kind || a.q0 != b.q0 || a.q1 != b.q1 || a.xm != b.xm ||
+      a.zm != b.zm)
+    return false;
+  for (std::size_t s = 0; s < a.v.size(); ++s)
+    if (a.v[s] != b.v[s]) return false;
+  return true;
+}
+
+}  // namespace
+
+std::size_t payload_slots(CompiledOp::Kind kind) {
+  switch (kind) {
+    case CompiledOp::Kind::kNop:
+      return 0;
+    case CompiledOp::Kind::kPauli:
+    case CompiledOp::Kind::kPhase1:
+    case CompiledOp::Kind::kPhase11:
+      return 1;
+    case CompiledOp::Kind::kDiagZ:
+      return 2;
+    case CompiledOp::Kind::kMat2:
+    case CompiledOp::Kind::kCMat2:
+      return 4;
+    case CompiledOp::Kind::kMat4:
+      return 16;
+  }
+  throw std::invalid_argument("payload_slots: unhandled op kind");
+}
+
+// Mirrors StateVector::apply_gate's dispatch one-to-one: every gate kind
+// lowers to the CompiledOp whose kernel replicates the StateVector kernel
+// that apply_gate would have selected, with the same precomputed values
+// (gate_matrix2/4, exp(i phi), cos/sin of theta/2). Bit-identity of
+// apply_ops to apply_circuit depends on this table staying in sync.
+CompiledOp lower_gate(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kI:
+      return CompiledOp{};
+    case GateKind::kX:
+      return lower_pauli(PauliString::single_axis(PauliAxis::kX, g.q0));
+    case GateKind::kY:
+      return lower_pauli(PauliString::single_axis(PauliAxis::kY, g.q0));
+    case GateKind::kZ:
+      return lower_pauli(PauliString::single_axis(PauliAxis::kZ, g.q0));
+    case GateKind::kS:
+      return lower_phase1(kPi / 2, g.q0);
+    case GateKind::kSdg:
+      return lower_phase1(-kPi / 2, g.q0);
+    case GateKind::kT:
+      return lower_phase1(kPi / 4, g.q0);
+    case GateKind::kTdg:
+      return lower_phase1(-kPi / 4, g.q0);
+    case GateKind::kP:
+      return lower_phase1(g.params[0], g.q0);
+    case GateKind::kRZ:
+      // RZ = e^{-i theta Z / 2}, apply_gate's diagonal fast path.
+      return lower_diag_z(pow2(static_cast<unsigned>(g.q0)), g.params[0] / 2);
+    case GateKind::kH:
+    case GateKind::kSX:
+    case GateKind::kSXdg:
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kU3:
+    case GateKind::kMat1:
+      return lower_mat2(gate_matrix2(g), g.q0);
+    case GateKind::kCX:
+    case GateKind::kCY:
+    case GateKind::kCH:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ: {
+      // Controlled 2x2 block of the 4x4 (control = q0 low), exactly as
+      // apply_gate extracts it.
+      const Mat4 m4 = gate_matrix4(g);
+      CompiledOp op;
+      op.kind = CompiledOp::Kind::kCMat2;
+      op.q0 = static_cast<unsigned>(g.q0);
+      op.q1 = static_cast<unsigned>(g.q1);
+      op.v[0] = m4(1, 1);
+      op.v[1] = m4(1, 3);
+      op.v[2] = m4(3, 1);
+      op.v[3] = m4(3, 3);
+      return op;
+    }
+    case GateKind::kCZ:
+    case GateKind::kCP: {
+      const double phi = g.kind == GateKind::kCZ ? kPi : g.params[0];
+      CompiledOp op;
+      op.kind = CompiledOp::Kind::kPhase11;
+      op.q0 = static_cast<unsigned>(g.q0);
+      op.q1 = static_cast<unsigned>(g.q1);
+      op.xm = pow2(static_cast<unsigned>(g.q0)) |
+              pow2(static_cast<unsigned>(g.q1));
+      op.v[0] = std::exp(kI * phi);
+      return op;
+    }
+    case GateKind::kRZZ:
+      return lower_diag_z(pow2(static_cast<unsigned>(g.q0)) |
+                              pow2(static_cast<unsigned>(g.q1)),
+                          g.params[0] / 2);
+    case GateKind::kSwap:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kMat2:
+      return lower_mat4(gate_matrix4(g), g.q0, g.q1);
+  }
+  throw std::invalid_argument("lower_gate: unhandled gate kind");
+}
+
+CompiledCircuit::CompiledCircuit(const Circuit& representative)
+    : num_qubits_(representative.num_qubits()),
+      shape_fp_(ir::circuit_shape_fingerprint(representative)) {
+  // One static verification per shape (lint off, like SimulatorExecutor's
+  // per-construction check); bound executions skip it entirely.
+  analyze::VerifyOptions verify;
+  verify.lint = false;
+  diagnostics_ = analyze::verify_circuit(representative, verify);
+  if (analyze::has_errors(diagnostics_))
+    throw std::invalid_argument(
+        "CompiledCircuit: circuit failed static verification:\n" +
+        analyze::render_diagnostics(diagnostics_));
+  const Circuit fused =
+      fuse_gates(representative, kStructuralFusion, nullptr, &trace_);
+  fused_shape_fp_ = ir::circuit_shape_fingerprint(fused);
+  fused_gate_count_ = fused.gates().size();
+
+  // Lower the representative once through the trace, and cross-check every
+  // op against the direct lowering of the fused circuit: a fuser/replay
+  // divergence is a compile-time logic_error here, never a silent numeric
+  // drift at bind time.
+  const std::vector<Gate>& gates = representative.gates();
+  template_ops_.reserve(trace_.outputs.size());
+  for (const FusionTrace::Output& out : trace_.outputs)
+    template_ops_.push_back(lower_traced_output(trace_, out, gates));
+  if (template_ops_.size() != fused.gates().size())
+    throw std::logic_error(
+        "CompiledCircuit: fusion trace op count disagrees with the fused "
+        "circuit");
+  for (std::size_t o = 0; o < template_ops_.size(); ++o)
+    if (!ops_identical(template_ops_[o], lower_gate(fused.gates()[o])))
+      throw std::logic_error(
+          "CompiledCircuit: fusion trace replay diverged from the fused "
+          "circuit's lowering");
+
+  // Split the program into binding-invariant template ops and the ops that
+  // must be replayed per binding (those touching a parameterized gate),
+  // pre-resolving each of the latter into a suffix-only replay program.
+  output_dynamic_.assign(trace_.outputs.size(), 0);
+  for (std::size_t o = 0; o < trace_.outputs.size(); ++o) {
+    const FusionTrace::Output& out = trace_.outputs[o];
+    bool dynamic = false;
+    if (out.kind == FusionTrace::Output::Kind::kSingleton) {
+      dynamic = gate_binding_dependent(gates[out.gate]);
+    } else {
+      using Op = FusionTrace::Step::Op;
+      for (std::uint32_t s = out.steps_begin; s < out.steps_end && !dynamic;
+           ++s) {
+        const FusionTrace::Step& step = trace_.steps[s];
+        if (step.op != Op::kAbsorbLow && step.op != Op::kAbsorbHigh)
+          dynamic = gate_binding_dependent(gates[step.gate]);
+      }
+    }
+    if (dynamic) {
+      output_dynamic_[o] = 1;
+      replay_.push_back(build_replay(static_cast<std::uint32_t>(o), gates));
+      // The pre-resolved program must reproduce the full trace replay on
+      // the representative exactly (register snapshots, cached matrices,
+      // and folded runs are all bit-stable transformations).
+      if (!ops_identical(run_replay(replay_.back(), gates), template_ops_[o]))
+        throw std::logic_error(
+            "CompiledCircuit: pre-resolved replay diverged from the fusion "
+            "trace");
+    }
+  }
+
+  // Shape skeleton for the bind-time structural check: the exact fields
+  // circuit_shape_fingerprint hashes, in comparable form.
+  skeleton_gates_.reserve(gates.size());
+  for (const Gate& g : gates)
+    skeleton_gates_.push_back(pack_shape_word(g));
+  skeleton_measurements_ = representative.measurements();
+}
+
+bool CompiledCircuit::matches_shape(const Circuit& bound) const {
+  if (bound.num_qubits() != num_qubits_) return false;
+  const std::vector<Gate>& gates = bound.gates();
+  if (gates.size() != skeleton_gates_.size()) return false;
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    if (pack_shape_word(gates[i]) != skeleton_gates_[i]) return false;
+  const std::vector<Measurement>& meas = bound.measurements();
+  if (meas.size() != skeleton_measurements_.size()) return false;
+  for (std::size_t i = 0; i < meas.size(); ++i)
+    if (meas[i].qubit != skeleton_measurements_[i].qubit ||
+        meas[i].position != skeleton_measurements_[i].position)
+      return false;
+  return true;
+}
+
+CompiledCircuit::ReplayProgram CompiledCircuit::build_replay(
+    std::uint32_t output, const std::vector<Gate>& gates) const {
+  using Op = FusionTrace::Step::Op;
+  const FusionTrace::Output& out = trace_.outputs[output];
+  ReplayProgram rp;
+  rp.output = output;
+  rp.kind = out.kind;
+  rp.gate = out.gate;
+  rp.q0 = out.q0;
+  rp.q1 = out.q1;
+  if (out.kind == FusionTrace::Output::Kind::kSingleton) return rp;
+
+  // Phase 1: find the first step that reads a parameterized gate and
+  // snapshot the register state just before it — everything earlier is
+  // bit-stable across bindings of this shape.
+  std::uint32_t first = out.steps_end;
+  for (std::uint32_t s = out.steps_begin; s < out.steps_end; ++s) {
+    const FusionTrace::Step& step = trace_.steps[s];
+    if (step.op != Op::kAbsorbLow && step.op != Op::kAbsorbHigh &&
+        gate_binding_dependent(gates[step.gate])) {
+      first = s;
+      break;
+    }
+  }
+  for (std::uint32_t s = out.steps_begin; s < first; ++s) {
+    const FusionTrace::Step& step = trace_.steps[s];
+    switch (step.op) {
+      case Op::kLoad1:
+        rp.acc2 = gate_matrix2(gates[step.gate]);
+        break;
+      case Op::kMul1:
+        rp.acc2 = gate_matrix2(gates[step.gate]) * rp.acc2;
+        break;
+      case Op::kAbsorbLow:
+        rp.m4 = rp.m4 * embed_low(rp.acc2);
+        break;
+      case Op::kAbsorbHigh:
+        rp.m4 = rp.m4 * embed_high(rp.acc2);
+        break;
+      case Op::kLoad2:
+        rp.m4 = gate_matrix4(gates[step.gate]);
+        break;
+      case Op::kMul2:
+        rp.m4 = gate_matrix4(gates[step.gate]) * rp.m4;
+        break;
+      case Op::kMul2Swapped:
+        rp.m4 = swap_qubit_order(gate_matrix4(gates[step.gate])) * rp.m4;
+        break;
+      case Op::kMulLow:
+        rp.m4 = embed_low(gate_matrix2(gates[step.gate])) * rp.m4;
+        break;
+      case Op::kMulHigh:
+        rp.m4 = embed_high(gate_matrix2(gates[step.gate])) * rp.m4;
+        break;
+    }
+  }
+
+  // Phase 2: pre-resolve the suffix. Constant gate matrices are cached
+  // (with embeds/swaps already applied for the m4-operand forms), and
+  // maximal all-constant one-qubit runs fold into one register load —
+  // legitimate because kLoad1 resets acc2, so a fully-constant run's final
+  // value is the same bits in every binding. m4 steps are never folded
+  // together: the fuser multiplies them into the register one at a time,
+  // and floating-point products don't reassociate bit-identically.
+  bool pending = false;  // folded constant acc2 value waiting in `folded`
+  Mat2 folded = Mat2::identity();
+  auto flush = [&]() {
+    if (!pending) return;
+    ReplayStep load;
+    load.op = Op::kLoad1;
+    load.c2 = folded;
+    rp.steps.push_back(load);
+    pending = false;
+  };
+  for (std::uint32_t s = first; s < out.steps_end; ++s) {
+    const FusionTrace::Step& step = trace_.steps[s];
+    ReplayStep r;
+    r.op = step.op;
+    r.gate = step.gate;
+    switch (step.op) {
+      case Op::kLoad1:
+        r.dynamic = gate_binding_dependent(gates[step.gate]);
+        if (!r.dynamic) {
+          folded = gate_matrix2(gates[step.gate]);
+          pending = true;
+          continue;
+        }
+        flush();
+        break;
+      case Op::kMul1:
+        r.dynamic = gate_binding_dependent(gates[step.gate]);
+        if (!r.dynamic) {
+          if (pending) {
+            folded = gate_matrix2(gates[step.gate]) * folded;
+            continue;
+          }
+          r.c2 = gate_matrix2(gates[step.gate]);
+        } else {
+          flush();  // the folded constant is this multiply's right operand
+        }
+        break;
+      case Op::kAbsorbLow:
+      case Op::kAbsorbHigh:
+        flush();
+        break;
+      case Op::kLoad2:
+        r.dynamic = gate_binding_dependent(gates[step.gate]);
+        if (!r.dynamic) r.c4 = gate_matrix4(gates[step.gate]);
+        break;
+      case Op::kMul2:
+        r.dynamic = gate_binding_dependent(gates[step.gate]);
+        if (!r.dynamic) r.c4 = gate_matrix4(gates[step.gate]);
+        break;
+      case Op::kMul2Swapped:
+        r.dynamic = gate_binding_dependent(gates[step.gate]);
+        if (!r.dynamic) r.c4 = swap_qubit_order(gate_matrix4(gates[step.gate]));
+        break;
+      case Op::kMulLow:
+        r.dynamic = gate_binding_dependent(gates[step.gate]);
+        if (!r.dynamic) r.c4 = embed_low(gate_matrix2(gates[step.gate]));
+        break;
+      case Op::kMulHigh:
+        r.dynamic = gate_binding_dependent(gates[step.gate]);
+        if (!r.dynamic) r.c4 = embed_high(gate_matrix2(gates[step.gate]));
+        break;
+    }
+    rp.steps.push_back(r);
+  }
+  flush();
+  return rp;
+}
+
+CompiledOp CompiledCircuit::run_replay(const ReplayProgram& rp,
+                                       const std::vector<Gate>& gates) const {
+  using Op = FusionTrace::Step::Op;
+  if (rp.kind == FusionTrace::Output::Kind::kSingleton)
+    return lower_gate(gates[rp.gate]);
+  Mat2 acc2 = rp.acc2;
+  Mat4 m4 = rp.m4;
+  for (const ReplayStep& s : rp.steps) {
+    switch (s.op) {
+      case Op::kLoad1:
+        acc2 = s.dynamic ? gate_matrix2(gates[s.gate]) : s.c2;
+        break;
+      case Op::kMul1:
+        acc2 = (s.dynamic ? gate_matrix2(gates[s.gate]) : s.c2) * acc2;
+        break;
+      case Op::kAbsorbLow:
+        m4 = m4 * embed_low(acc2);
+        break;
+      case Op::kAbsorbHigh:
+        m4 = m4 * embed_high(acc2);
+        break;
+      case Op::kLoad2:
+        m4 = s.dynamic ? gate_matrix4(gates[s.gate]) : s.c4;
+        break;
+      case Op::kMul2:
+        m4 = (s.dynamic ? gate_matrix4(gates[s.gate]) : s.c4) * m4;
+        break;
+      case Op::kMul2Swapped:
+        m4 = (s.dynamic ? swap_qubit_order(gate_matrix4(gates[s.gate]))
+                        : s.c4) *
+             m4;
+        break;
+      case Op::kMulLow:
+        m4 = (s.dynamic ? embed_low(gate_matrix2(gates[s.gate])) : s.c4) * m4;
+        break;
+      case Op::kMulHigh:
+        m4 = (s.dynamic ? embed_high(gate_matrix2(gates[s.gate])) : s.c4) * m4;
+        break;
+    }
+  }
+  if (rp.kind == FusionTrace::Output::Kind::kMat1)
+    return lower_mat2(acc2, rp.q0);
+  return lower_mat4(m4, rp.q0, rp.q1);
+}
+
+Circuit CompiledCircuit::fuse_structural(const Circuit& bound) const {
+  return fuse_gates(bound, kStructuralFusion);
+}
+
+Circuit CompiledCircuit::fused(const Circuit& bound) const {
+  if (ir::circuit_shape_fingerprint(bound) != shape_fp_)
+    throw std::invalid_argument(
+        "CompiledCircuit: bound circuit does not match the compiled shape");
+  return fuse_structural(bound);
+}
+
+std::vector<CompiledOp> CompiledCircuit::bind(const Circuit& bound) const {
+  if (!matches_shape(bound))
+    throw std::invalid_argument(
+        "CompiledCircuit: bound circuit does not match the compiled shape");
+  // Start from the compile-time template and replay only the ops whose
+  // payload depends on this binding's parameters — no fusion pass here.
+  std::vector<CompiledOp> ops = template_ops_;
+  const std::vector<Gate>& gates = bound.gates();
+  for (const ReplayProgram& rp : replay_)
+    ops[rp.output] = run_replay(rp, gates);
+  VQSIM_COUNTER(c_binds, "exec.binds_total");
+  VQSIM_COUNTER_INC(c_binds);
+  return ops;
+}
+
+std::vector<BatchedOp> CompiledCircuit::bind_batch(
+    std::span<const Circuit> bound) const {
+  if (bound.empty()) return {};
+  const std::size_t batch = bound.size();
+  for (const Circuit& c : bound)
+    if (!matches_shape(c))
+      throw std::invalid_argument(
+          "CompiledCircuit: bound circuit does not match the compiled shape");
+  // Structure comes from the template: binding-invariant payloads broadcast
+  // across the batch axis once, parameter-dependent ops replay per item.
+  std::vector<BatchedOp> ops(template_ops_.size());
+  for (std::size_t o = 0; o < template_ops_.size(); ++o) {
+    const CompiledOp& t = template_ops_[o];
+    BatchedOp& b = ops[o];
+    b.kind = t.kind;
+    b.q0 = t.q0;
+    b.q1 = t.q1;
+    b.xm = t.xm;
+    b.zm = t.zm;
+    b.payload_slots = payload_slots(b.kind);
+    b.vals.resize(b.payload_slots * batch);
+    if (output_dynamic_[o] == 0)
+      for (std::size_t s = 0; s < b.payload_slots; ++s)
+        for (std::size_t k = 0; k < batch; ++k) b.vals[s * batch + k] = t.v[s];
+  }
+  for (std::size_t k = 0; k < batch; ++k) {
+    const std::vector<Gate>& gates = bound[k].gates();
+    for (const ReplayProgram& rp : replay_) {
+      const CompiledOp item = run_replay(rp, gates);
+      BatchedOp& b = ops[rp.output];
+      for (std::size_t s = 0; s < b.payload_slots; ++s)
+        b.vals[s * batch + k] = item.v[s];
+    }
+  }
+  VQSIM_COUNTER(c_batch_binds, "exec.batch_binds_total");
+  VQSIM_COUNTER_INC(c_batch_binds);
+  return ops;
+}
+
+// Scalar replay of a lowered program. Each case replicates the arithmetic
+// of the StateVector kernel the corresponding gate kind dispatches to —
+// identical expressions in identical order, so amplitudes come out
+// bit-identical to apply_circuit over the fused circuit.
+void apply_ops(StateVector& psi, std::span<const CompiledOp> ops) {
+  VQSIM_COUNTER(c_ops, "exec.scalar_ops_total");
+  VQSIM_COUNTER_ADD(c_ops, ops.size());
+  cplx* a = psi.data();
+  const idx dim = psi.dim();
+  for (const CompiledOp& op : ops) {
+    switch (op.kind) {
+      case CompiledOp::Kind::kNop:
+        break;
+      case CompiledOp::Kind::kPauli: {
+        const cplx global = op.v[0];
+        const std::uint64_t zm = op.zm;
+        if (op.xm == 0) {
+          parallel_for(dim, [&](idx i) {
+            const double sign = parity(i & zm) ? -1.0 : 1.0;
+            a[i] *= global * sign;
+          });
+          break;
+        }
+        const std::uint64_t xm = op.xm;
+        const unsigned pivot = static_cast<unsigned>(std::countr_zero(xm));
+        parallel_for(dim / 2, [&](idx k) {
+          const idx i = insert_zero_bit(k, pivot);
+          const idx j = i ^ xm;
+          const cplx pi = global * (parity(i & zm) ? -1.0 : 1.0);
+          const cplx pj = global * (parity(j & zm) ? -1.0 : 1.0);
+          const cplx ai = a[i];
+          const cplx aj = a[j];
+          a[j] = pi * ai;
+          a[i] = pj * aj;
+        });
+        break;
+      }
+      case CompiledOp::Kind::kPhase1: {
+        const unsigned uq = op.q0;
+        const cplx e = op.v[0];
+        parallel_for(dim, [&](idx i) {
+          if (test_bit(i, uq)) a[i] *= e;
+        });
+        break;
+      }
+      case CompiledOp::Kind::kPhase11: {
+        const idx mask = op.xm;
+        const cplx e = op.v[0];
+        parallel_for(dim, [&](idx i) {
+          if ((i & mask) == mask) a[i] *= e;
+        });
+        break;
+      }
+      case CompiledOp::Kind::kDiagZ: {
+        const std::uint64_t zm = op.zm;
+        const cplx em = op.v[0];
+        const cplx ep = op.v[1];
+        parallel_for(dim, [&](idx i) { a[i] *= parity(i & zm) ? ep : em; });
+        break;
+      }
+      case CompiledOp::Kind::kMat2: {
+        const unsigned uq = op.q0;
+        const idx stride = pow2(uq);
+        const cplx m00 = op.v[0], m01 = op.v[1], m10 = op.v[2], m11 = op.v[3];
+        parallel_for(dim / 2, [&](idx k) {
+          const idx i0 = insert_zero_bit(k, uq);
+          const idx i1 = i0 | stride;
+          const cplx a0 = a[i0];
+          const cplx a1 = a[i1];
+          a[i0] = m00 * a0 + m01 * a1;
+          a[i1] = m10 * a0 + m11 * a1;
+        });
+        break;
+      }
+      case CompiledOp::Kind::kCMat2: {
+        const unsigned uc = op.q0;
+        const unsigned ut = op.q1;
+        const idx cbit = pow2(uc);
+        const idx tbit = pow2(ut);
+        const cplx m00 = op.v[0], m01 = op.v[1], m10 = op.v[2], m11 = op.v[3];
+        parallel_for(dim / 4, [&](idx k) {
+          const idx base = insert_two_zero_bits(k, uc, ut) | cbit;
+          const idx i0 = base;
+          const idx i1 = base | tbit;
+          const cplx a0 = a[i0];
+          const cplx a1 = a[i1];
+          a[i0] = m00 * a0 + m01 * a1;
+          a[i1] = m10 * a0 + m11 * a1;
+        });
+        break;
+      }
+      case CompiledOp::Kind::kMat4: {
+        const unsigned u0 = op.q0;
+        const unsigned u1 = op.q1;
+        const idx s0 = pow2(u0);
+        const idx s1 = pow2(u1);
+        const cplx* m = op.v.data();
+        parallel_for(dim / 4, [&](idx k) {
+          const idx base = insert_two_zero_bits(k, u0, u1);
+          const idx i00 = base;
+          const idx i01 = base | s0;
+          const idx i10 = base | s1;
+          const idx i11 = base | s0 | s1;
+          const cplx a0 = a[i00];
+          const cplx a1 = a[i01];
+          const cplx a2 = a[i10];
+          const cplx a3 = a[i11];
+          a[i00] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+          a[i01] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+          a[i10] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+          a[i11] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+        });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace vqsim::exec

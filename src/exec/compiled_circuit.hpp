@@ -1,0 +1,195 @@
+// Compiled execution plans: one compile per circuit *shape*, many bindings.
+//
+// VQE traffic is batch-shaped — every gradient probe, sweep point, and
+// optimizer-population member re-runs the same ansatz structure with new
+// numeric parameters. Today each evaluation independently re-walks,
+// re-fuses, and re-verifies that structure. `CompiledCircuit` does the
+// expensive structural work exactly once per shape (keyed by
+// ir::circuit_shape_fingerprint) and leaves only the cheap per-binding
+// lowering — filling in gate matrices and diagonal phases — on the hot
+// path:
+//
+//   * fusion runs with *structural* options (identity drops disabled), so
+//     every binding of a shape fuses to the same gate sequence and a plan
+//     built from one representative is valid for all of them;
+//   * static verification (analyze::verify_circuit, lint off) runs once at
+//     compile time; bound executions skip it entirely;
+//   * the fusion pass records a replayable FusionTrace at compile time, so
+//     bind() never re-runs fusion: ops whose source gates carry no numeric
+//     parameters are lowered once into a template, and only the
+//     parameter-dependent ops replay their recorded matrix arithmetic
+//     against the new binding's gates;
+//   * bind() lowers one binding to a flat CompiledOp program, and
+//     bind_batch() lowers K bindings into structure-of-arrays BatchedOps
+//     whose per-item payloads stream contiguously across the batch axis.
+//
+// Bit-identity contract: apply_ops(psi, plan.bind(c)) produces amplitudes
+// bit-identical to psi.apply_circuit(plan.fused(c)) — the lowering table
+// and the kernels in compiled_circuit.cpp replicate StateVector's gate
+// dispatch arithmetic expression-for-expression. The batched kernels in
+// batched_state_vector.cpp uphold the same contract per item.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "common/types.hpp"
+#include "ir/circuit.hpp"
+#include "ir/passes/fusion.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim::exec {
+
+/// One lowered gate. `kind` selects a kernel; `v` carries the precomputed
+/// numeric payload (matrix entries or diagonal phases) so the kernels never
+/// consult the IR. Payload slots per kind:
+///   kNop      0   identity
+///   kPauli    1   global phase; xm/zm are the X/Z masks
+///   kPhase1   1   e^{i phi} applied where bit q0 is set
+///   kPhase11  1   e^{i phi} applied where (i & xm) == xm (two-qubit mask)
+///   kDiagZ    2   v[0]=e^{-i theta}, v[1]=e^{+i theta} selected by
+///                 parity(i & zm) — RZ / RZZ via the exp-Pauli identity
+///   kMat2     4   dense 2x2 on q0 (row-major)
+///   kCMat2    4   controlled 2x2: control q0, target q1
+///   kMat4     16  dense 4x4 on (q0, q1) (row-major)
+struct CompiledOp {
+  enum class Kind : std::uint8_t {
+    kNop,
+    kPauli,
+    kPhase1,
+    kPhase11,
+    kDiagZ,
+    kMat2,
+    kCMat2,
+    kMat4,
+  };
+  Kind kind = Kind::kNop;
+  unsigned q0 = 0;
+  unsigned q1 = 0;
+  std::uint64_t xm = 0;
+  std::uint64_t zm = 0;
+  std::array<cplx, 16> v{};
+};
+
+/// One lowered gate for a K-item batch. Structure (kind, qubits, masks) is
+/// shared across the batch — all items have the same shape — while the
+/// numeric payload differs per item: vals[s * K + k] holds payload slot `s`
+/// of item `k`, so each kernel's inner loop over k streams contiguously.
+struct BatchedOp {
+  CompiledOp::Kind kind = CompiledOp::Kind::kNop;
+  unsigned q0 = 0;
+  unsigned q1 = 0;
+  std::uint64_t xm = 0;
+  std::uint64_t zm = 0;
+  std::size_t payload_slots = 0;
+  std::vector<cplx> vals;  // vals[slot * batch + item]
+};
+
+/// A parameter-slotted, pre-fused, pre-verified execution plan for one
+/// circuit shape. Immutable after construction; safe to share across
+/// threads (bind/bind_batch/fused are const and allocation-only).
+class CompiledCircuit {
+ public:
+  /// Compiles the representative's shape: structural fusion + one static
+  /// verification pass (lint off). Throws std::invalid_argument if the
+  /// circuit fails verification.
+  explicit CompiledCircuit(const Circuit& representative);
+
+  int num_qubits() const { return num_qubits_; }
+  /// Shape fingerprint of the *unfused* circuit — the cache key.
+  std::uint64_t shape_fingerprint() const { return shape_fp_; }
+  /// Shape fingerprint of the fused circuit (internal consistency check).
+  std::uint64_t fused_shape_fingerprint() const { return fused_shape_fp_; }
+  std::size_t fused_gate_count() const { return fused_gate_count_; }
+  /// Ops whose payload depends on the binding's numeric parameters — the
+  /// only ops bind()/bind_batch() recompute; the rest come from the
+  /// compile-time template. (Telemetry/benchmark introspection.)
+  std::size_t dynamic_op_count() const { return replay_.size(); }
+  /// Compile-time verification findings (warnings; errors throw).
+  std::span<const analyze::Diagnostic> diagnostics() const {
+    return diagnostics_;
+  }
+
+  /// Lowers one binding of this shape to an executable op program by
+  /// replaying the recorded fusion arithmetic for the parameter-dependent
+  /// ops (no fusion pass, no verification). The binding must share the
+  /// plan's shape fingerprint (throws otherwise).
+  std::vector<CompiledOp> bind(const Circuit& bound) const;
+
+  /// Lowers K bindings into structure-of-arrays batched ops. All bindings
+  /// must share the plan's shape fingerprint.
+  std::vector<BatchedOp> bind_batch(std::span<const Circuit> bound) const;
+
+  /// The structurally-fused form of one binding — the scalar comparator
+  /// for the bit-identity contract (tests and benchmarks). Runs the real
+  /// fusion pass; bind() is bit-identical to lowering this circuit.
+  Circuit fused(const Circuit& bound) const;
+
+ private:
+  // Pre-resolved replay program for one parameter-dependent op. The
+  // constant prefix of the group's fusion arithmetic is bit-stable across
+  // bindings, so its register state (acc2/m4) is snapshotted at compile
+  // time; the remaining steps cache the matrices of binding-invariant
+  // gates, and fully-constant one-qubit runs are folded into a single
+  // register load. Replaying the steps reproduces the fuser's arithmetic
+  // bit for bit while touching only the suffix that can actually change.
+  struct ReplayStep {
+    FusionTrace::Step::Op op = FusionTrace::Step::Op::kLoad1;
+    std::uint32_t gate = 0;  // valid when dynamic
+    bool dynamic = false;
+    Mat2 c2 = Mat2::identity();  // cached acc2 operand (constant steps)
+    Mat4 c4 = Mat4::identity();  // cached m4 operand, embeds/swaps applied
+  };
+  struct ReplayProgram {
+    std::uint32_t output = 0;  // index into trace_.outputs / template_ops_
+    FusionTrace::Output::Kind kind = FusionTrace::Output::Kind::kSingleton;
+    std::uint32_t gate = 0;  // kSingleton: input gate index
+    int q0 = -1;
+    int q1 = -1;
+    Mat2 acc2 = Mat2::identity();  // register state before steps[0]
+    Mat4 m4 = Mat4::identity();
+    std::vector<ReplayStep> steps;
+  };
+
+  Circuit fuse_structural(const Circuit& bound) const;
+  /// Cheap structural-equality check against the compiled shape (the same
+  /// fields circuit_shape_fingerprint hashes), used on the bind hot path
+  /// instead of re-hashing the candidate circuit.
+  bool matches_shape(const Circuit& bound) const;
+  CompiledOp run_replay(const ReplayProgram& rp,
+                        const std::vector<Gate>& gates) const;
+  ReplayProgram build_replay(std::uint32_t output,
+                             const std::vector<Gate>& gates) const;
+
+  int num_qubits_ = 0;
+  std::uint64_t shape_fp_ = 0;
+  std::uint64_t fused_shape_fp_ = 0;
+  std::size_t fused_gate_count_ = 0;
+  std::vector<analyze::Diagnostic> diagnostics_;
+  // Replayable fusion arithmetic plus the one-time lowering of the
+  // representative. output_dynamic_[o] marks ops that reference at least
+  // one parameterized source gate; replay_ holds their pre-resolved
+  // programs. skeleton_* mirror the shape-relevant circuit fields.
+  FusionTrace trace_;
+  std::vector<CompiledOp> template_ops_;
+  std::vector<std::uint8_t> output_dynamic_;
+  std::vector<ReplayProgram> replay_;
+  std::vector<std::uint32_t> skeleton_gates_;
+  std::vector<Measurement> skeleton_measurements_;
+};
+
+/// Payload slot count for a kind (see CompiledOp docs).
+std::size_t payload_slots(CompiledOp::Kind kind);
+
+/// Lowers one (fused) gate to a CompiledOp. Exposed for tests.
+CompiledOp lower_gate(const Gate& gate);
+
+/// Applies a lowered program to a scalar state vector, bit-identical to
+/// StateVector::apply_circuit over the corresponding fused circuit.
+void apply_ops(StateVector& psi, std::span<const CompiledOp> ops);
+
+}  // namespace vqsim::exec

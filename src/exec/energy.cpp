@@ -1,0 +1,53 @@
+#include "exec/energy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "ir/fingerprint.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vqsim::exec {
+
+std::uint64_t pauli_sum_content_fingerprint(const PauliSum& sum) {
+  std::uint64_t h = 0xB5AD4ECEDA1CE2A9ull;
+  h = ir::fingerprint_mix(h, static_cast<std::uint64_t>(sum.num_qubits()));
+  for (const PauliTerm& t : sum.terms()) {
+    h = ir::fingerprint_mix(h, t.string.x);
+    h = ir::fingerprint_mix(h, t.string.z);
+    h = ir::fingerprint_mix(h, ir::fingerprint_double(t.coefficient.real()));
+    h = ir::fingerprint_mix(h, ir::fingerprint_double(t.coefficient.imag()));
+  }
+  return h;
+}
+
+BatchedEnergyProgram::BatchedEnergyProgram(
+    std::shared_ptr<const CompiledCircuit> plan, const PauliSum& observable)
+    : plan_(std::move(plan)), observable_(observable, plan_->num_qubits()) {
+  if (plan_ == nullptr)
+    throw std::invalid_argument("BatchedEnergyProgram: null plan");
+}
+
+std::vector<double> BatchedEnergyProgram::run(
+    std::span<const Circuit> bound) const {
+  std::vector<double> energies(bound.size());
+  if (bound.empty()) return energies;
+  VQSIM_SPAN(/*cat=*/"exec", "batched_energy");
+  VQSIM_COUNTER(c_items, "exec.batched_energy_items_total");
+  VQSIM_COUNTER_ADD(c_items, bound.size());
+  const std::vector<BatchedOp> ops = plan_->bind_batch(bound);
+  BatchedStateVector psi(plan_->num_qubits(), bound.size());
+  psi.apply(ops);
+  psi.expectation(observable_, energies);
+  return energies;
+}
+
+std::vector<double> BatchedEnergyProgram::run(
+    const Ansatz& ansatz, std::span<const std::vector<double>> thetas) const {
+  std::vector<Circuit> bound;
+  bound.reserve(thetas.size());
+  for (const std::vector<double>& theta : thetas)
+    bound.push_back(ansatz.circuit(theta));
+  return run(bound);
+}
+
+}  // namespace vqsim::exec

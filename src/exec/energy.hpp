@@ -1,0 +1,53 @@
+// Batched energy evaluation: one compiled plan + one compiled observable,
+// run against K parameter bindings in a single pass.
+//
+// This is the lowering target for VQE's batch-shaped traffic — gradient
+// probe matrices, sweep populations, PES scans. The runtime's
+// StateVectorBackend uses it to execute JobKind::kBatch jobs; it is also
+// usable standalone (see bench/perf_batch.cpp).
+//
+// Result contract: run() output k is bit-identical to the scalar compiled
+// path for binding k — reset + exec::apply_ops(plan.bind(circuit_k)) +
+// CompiledPauliSum::expectation — which is what the K=1 path literally is.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "exec/batched_state_vector.hpp"
+#include "exec/compiled_circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/compiled_op.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace vqsim::exec {
+
+/// Content fingerprint of a Pauli sum (terms + coefficients), for memoizing
+/// compiled observables across batch jobs that share one Hamiltonian.
+std::uint64_t pauli_sum_content_fingerprint(const PauliSum& sum);
+
+class BatchedEnergyProgram {
+ public:
+  /// Compiles the observable for the plan's register. Subject to
+  /// CompiledPauliSum's precompile ceiling (num_qubits <= 20; throws above).
+  BatchedEnergyProgram(std::shared_ptr<const CompiledCircuit> plan,
+                       const PauliSum& observable);
+
+  const CompiledCircuit& plan() const { return *plan_; }
+
+  /// Energies of the bound circuits, one batched pass. All bindings must
+  /// share the plan's shape.
+  std::vector<double> run(std::span<const Circuit> bound) const;
+
+  /// Convenience: materializes ansatz bindings for each parameter set.
+  std::vector<double> run(const Ansatz& ansatz,
+                          std::span<const std::vector<double>> thetas) const;
+
+ private:
+  std::shared_ptr<const CompiledCircuit> plan_;
+  CompiledPauliSum observable_;
+};
+
+}  // namespace vqsim::exec

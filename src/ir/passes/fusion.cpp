@@ -17,6 +17,11 @@ struct Group {
   Mat4 m4 = Mat4::identity();
   std::size_t gate_count = 0;
   Gate only;  // the single member, valid when gate_count == 1
+  std::uint32_t only_index = 0;  // input index of that single member
+  // Replay steps mirroring this group's accumulation (tracing runs only).
+  // A one-qubit group's steps are a kLoad1/kMul1 run over acc2; a two-qubit
+  // group's steps drive m4 (and acc2 for absorbed one-qubit runs).
+  std::vector<FusionTrace::Step> steps;
   bool open = true;
 };
 
@@ -30,18 +35,28 @@ bool is_identity(const Mat4& m, double tol) {
 
 class Fuser {
  public:
-  Fuser(const Circuit& input, const FusionOptions& options)
+  Fuser(const Circuit& input, const FusionOptions& options,
+        FusionTrace* trace)
       : input_(input),
         options_(options),
+        trace_(trace),
         output_(input.num_qubits()),
-        owner_(static_cast<std::size_t>(input.num_qubits()), kNone) {}
+        owner_(static_cast<std::size_t>(input.num_qubits()), kNone) {
+    if (trace_ != nullptr) {
+      trace_->steps.clear();
+      trace_->outputs.clear();
+    }
+  }
 
   Circuit run(FusionStats* stats) {
-    for (const Gate& g : input_.gates()) {
+    const auto& gates = input_.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      const Gate& g = gates[i];
+      const auto gi = static_cast<std::uint32_t>(i);
       if (g.is_two_qubit())
-        consume_two_qubit(g);
+        consume_two_qubit(g, gi);
       else
-        consume_one_qubit(g);
+        consume_one_qubit(g, gi);
     }
     // Flush every still-open group (they act on disjoint qubits).
     for (std::size_t gi = 0; gi < groups_.size(); ++gi)
@@ -57,7 +72,7 @@ class Fuser {
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-  void consume_one_qubit(const Gate& g) {
+  void consume_one_qubit(const Gate& g, std::uint32_t index) {
     const auto q = static_cast<std::size_t>(g.q0);
     const Mat2 m = gate_matrix2(g);
     if (owner_[q] != kNone) {
@@ -65,11 +80,16 @@ class Fuser {
       if (grp.arity == 1) {
         grp.m2 = m * grp.m2;
         ++grp.gate_count;
+        record(grp, FusionTrace::Step::Op::kMul1, index);
         return;
       }
       // Absorb into the open two-qubit group on the matching slot.
       grp.m4 = (g.q0 == grp.q0 ? embed_low(m) : embed_high(m)) * grp.m4;
       ++grp.gate_count;
+      record(grp,
+             g.q0 == grp.q0 ? FusionTrace::Step::Op::kMulLow
+                            : FusionTrace::Step::Op::kMulHigh,
+             index);
       return;
     }
     Group grp;
@@ -78,11 +98,13 @@ class Fuser {
     grp.m2 = m;
     grp.gate_count = 1;
     grp.only = g;
+    grp.only_index = index;
+    record(grp, FusionTrace::Step::Op::kLoad1, index);
     owner_[q] = groups_.size();
     groups_.push_back(std::move(grp));
   }
 
-  void consume_two_qubit(const Gate& g) {
+  void consume_two_qubit(const Gate& g, std::uint32_t index) {
     const auto a = static_cast<std::size_t>(g.q0);
     const auto b = static_cast<std::size_t>(g.q1);
     Mat4 m = gate_matrix4(g);  // convention: g.q0 low slot, g.q1 high slot
@@ -90,9 +112,14 @@ class Fuser {
     // Same open two-qubit group on the same unordered pair: multiply in.
     if (owner_[a] != kNone && owner_[a] == owner_[b]) {
       Group& grp = groups_[owner_[a]];
-      if (g.q0 != grp.q0) m = swap_qubit_order(m);
+      const bool swapped = g.q0 != grp.q0;
+      if (swapped) m = swap_qubit_order(m);
       grp.m4 = m * grp.m4;
       ++grp.gate_count;
+      record(grp,
+             swapped ? FusionTrace::Step::Op::kMul2Swapped
+                     : FusionTrace::Step::Op::kMul2,
+             index);
       return;
     }
 
@@ -105,6 +132,8 @@ class Fuser {
     grp.m4 = m;
     grp.gate_count = 1;
     grp.only = g;
+    grp.only_index = index;
+    record(grp, FusionTrace::Step::Op::kLoad2, index);
     absorb_or_flush(a, grp, /*low_slot=*/true);
     absorb_or_flush(b, grp, /*low_slot=*/false);
     owner_[a] = groups_.size();
@@ -121,6 +150,15 @@ class Fuser {
     if (prev.arity == 1) {
       into.m4 = into.m4 * (low_slot ? embed_low(prev.m2) : embed_high(prev.m2));
       into.gate_count += prev.gate_count;
+      if (trace_ != nullptr) {
+        // Replay the absorbed run's kLoad1/kMul1 steps into acc2, then fold
+        // the accumulated matrix in on the matching slot.
+        into.steps.insert(into.steps.end(), prev.steps.begin(),
+                          prev.steps.end());
+        into.steps.push_back({low_slot ? FusionTrace::Step::Op::kAbsorbLow
+                                       : FusionTrace::Step::Op::kAbsorbHigh,
+                              0});
+      }
       prev.open = false;  // consumed, not emitted
     } else {
       emit(prev);
@@ -143,24 +181,56 @@ class Fuser {
         ++dropped_;
         return;
       }
-      if (grp.gate_count == 1 && options_.keep_singletons)
+      if (grp.gate_count == 1 && options_.keep_singletons) {
         output_.add(grp.only);
-      else
+        record_singleton(grp);
+      } else {
         output_.mat1(grp.q0, grp.m2);
+        record_fused(grp, FusionTrace::Output::Kind::kMat1);
+      }
       return;
     }
     if (is_identity(grp.m4, options_.identity_tolerance)) {
       ++dropped_;
       return;
     }
-    if (grp.gate_count == 1 && options_.keep_singletons)
+    if (grp.gate_count == 1 && options_.keep_singletons) {
       output_.add(grp.only);
-    else
+      record_singleton(grp);
+    } else {
       output_.mat2(grp.q0, grp.q1, grp.m4);
+      record_fused(grp, FusionTrace::Output::Kind::kMat2);
+    }
+  }
+
+  void record(Group& grp, FusionTrace::Step::Op op, std::uint32_t index) {
+    if (trace_ != nullptr) grp.steps.push_back({op, index});
+  }
+
+  void record_singleton(const Group& grp) {
+    if (trace_ == nullptr) return;
+    FusionTrace::Output out;
+    out.kind = FusionTrace::Output::Kind::kSingleton;
+    out.gate = grp.only_index;
+    trace_->outputs.push_back(out);
+  }
+
+  void record_fused(const Group& grp, FusionTrace::Output::Kind kind) {
+    if (trace_ == nullptr) return;
+    FusionTrace::Output out;
+    out.kind = kind;
+    out.q0 = grp.q0;
+    out.q1 = grp.q1;
+    out.steps_begin = static_cast<std::uint32_t>(trace_->steps.size());
+    trace_->steps.insert(trace_->steps.end(), grp.steps.begin(),
+                         grp.steps.end());
+    out.steps_end = static_cast<std::uint32_t>(trace_->steps.size());
+    trace_->outputs.push_back(out);
   }
 
   const Circuit& input_;
   FusionOptions options_;
+  FusionTrace* trace_ = nullptr;
   Circuit output_;
   std::vector<std::size_t> owner_;
   std::vector<Group> groups_;
@@ -170,8 +240,8 @@ class Fuser {
 }  // namespace
 
 Circuit fuse_gates(const Circuit& circuit, const FusionOptions& options,
-                   FusionStats* stats) {
-  Fuser fuser(circuit, options);
+                   FusionStats* stats, FusionTrace* trace) {
+  Fuser fuser(circuit, options, trace);
   return fuser.run(stats);
 }
 

@@ -11,6 +11,9 @@
 // identity (e.g. a gate followed by its inverse) are dropped entirely.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "ir/circuit.hpp"
 
 namespace vqsim {
@@ -35,9 +38,55 @@ struct FusionStats {
   }
 };
 
+/// Replayable record of the numeric arithmetic the fuser performed — every
+/// matrix load and product, in execution order, keyed by *input gate
+/// index*. A caller holding a different binding of the same circuit shape
+/// can recompute the fused matrices bit-identically by replaying the steps
+/// against its own gates instead of re-running the pass (exec::
+/// CompiledCircuit does exactly this on its bind hot path).
+///
+/// The recorded output list is only shape-stable when identity dropping is
+/// disabled (identity_tolerance < 0): dropping depends on the numeric
+/// values of one particular binding.
+struct FusionTrace {
+  struct Step {
+    /// Register machine: acc2 is a 2x2 accumulator (one-qubit runs), m4 a
+    /// 4x4 accumulator. Each op mirrors one Fuser statement verbatim.
+    enum class Op : std::uint8_t {
+      kLoad1,        // acc2 = gate_matrix2(in[gate])
+      kMul1,         // acc2 = gate_matrix2(in[gate]) * acc2
+      kAbsorbLow,    // m4 = m4 * embed_low(acc2)
+      kAbsorbHigh,   // m4 = m4 * embed_high(acc2)
+      kLoad2,        // m4 = gate_matrix4(in[gate])
+      kMul2,         // m4 = gate_matrix4(in[gate]) * m4
+      kMul2Swapped,  // m4 = swap_qubit_order(gate_matrix4(in[gate])) * m4
+      kMulLow,       // m4 = embed_low(gate_matrix2(in[gate])) * m4
+      kMulHigh,      // m4 = embed_high(gate_matrix2(in[gate])) * m4
+    };
+    Op op = Op::kLoad1;
+    std::uint32_t gate = 0;  // input gate index; unused for kAbsorb*
+  };
+  /// One emitted gate of the fused circuit, in output order.
+  struct Output {
+    enum class Kind : std::uint8_t {
+      kSingleton,  // output is in[gate] verbatim (keep_singletons)
+      kMat1,       // mat1(q0, acc2) after replaying [steps_begin, steps_end)
+      kMat2,       // mat2(q0, q1, m4) after replaying the step span
+    };
+    Kind kind = Kind::kSingleton;
+    std::uint32_t gate = 0;  // kSingleton: the input gate index
+    int q0 = -1;
+    int q1 = -1;
+    std::uint32_t steps_begin = 0;
+    std::uint32_t steps_end = 0;
+  };
+  std::vector<Step> steps;
+  std::vector<Output> outputs;
+};
+
 /// Fuse `circuit`; returns the semantically-equivalent fused circuit and
-/// fills `stats` when non-null.
+/// fills `stats` and `trace` when non-null.
 Circuit fuse_gates(const Circuit& circuit, const FusionOptions& options = {},
-                   FusionStats* stats = nullptr);
+                   FusionStats* stats = nullptr, FusionTrace* trace = nullptr);
 
 }  // namespace vqsim

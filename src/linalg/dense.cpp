@@ -5,24 +5,6 @@
 
 namespace vqsim {
 
-Mat2 Mat2::identity() {
-  Mat2 r;
-  r(0, 0) = 1.0;
-  r(1, 1) = 1.0;
-  return r;
-}
-
-Mat2 Mat2::operator*(const Mat2& rhs) const {
-  Mat2 r;
-  for (int i = 0; i < 2; ++i)
-    for (int j = 0; j < 2; ++j) {
-      cplx s = 0.0;
-      for (int k = 0; k < 2; ++k) s += (*this)(i, k) * rhs(k, j);
-      r(i, j) = s;
-    }
-  return r;
-}
-
 Mat2 Mat2::operator+(const Mat2& rhs) const {
   Mat2 r;
   for (std::size_t i = 0; i < 4; ++i) r.m[i] = m[i] + rhs.m[i];
@@ -52,23 +34,6 @@ bool Mat2::approx_equal(const Mat2& rhs, double tol) const {
   return true;
 }
 
-Mat4 Mat4::identity() {
-  Mat4 r;
-  for (int i = 0; i < 4; ++i) r(i, i) = 1.0;
-  return r;
-}
-
-Mat4 Mat4::operator*(const Mat4& rhs) const {
-  Mat4 r;
-  for (int i = 0; i < 4; ++i)
-    for (int j = 0; j < 4; ++j) {
-      cplx s = 0.0;
-      for (int k = 0; k < 4; ++k) s += (*this)(i, k) * rhs(k, j);
-      r(i, j) = s;
-    }
-  return r;
-}
-
 Mat4 Mat4::operator+(const Mat4& rhs) const {
   Mat4 r;
   for (std::size_t i = 0; i < 16; ++i) r.m[i] = m[i] + rhs.m[i];
@@ -96,29 +61,6 @@ bool Mat4::approx_equal(const Mat4& rhs, double tol) const {
   for (std::size_t i = 0; i < 16; ++i)
     if (std::abs(m[i] - rhs.m[i]) > tol) return false;
   return true;
-}
-
-Mat4 kron(const Mat2& a, const Mat2& b) {
-  Mat4 r;
-  for (int ra = 0; ra < 2; ++ra)
-    for (int rb = 0; rb < 2; ++rb)
-      for (int ca = 0; ca < 2; ++ca)
-        for (int cb = 0; cb < 2; ++cb)
-          r(ra * 2 + rb, ca * 2 + cb) = a(ra, ca) * b(rb, cb);
-  return r;
-}
-
-Mat4 embed_low(const Mat2& a) { return kron(Mat2::identity(), a); }
-
-Mat4 embed_high(const Mat2& a) { return kron(a, Mat2::identity()); }
-
-Mat4 swap_qubit_order(const Mat4& a) {
-  // Conjugate by SWAP: permute row/col indices exchanging the two bits.
-  auto perm = [](int i) { return ((i & 1) << 1) | ((i >> 1) & 1); };
-  Mat4 r;
-  for (int i = 0; i < 4; ++i)
-    for (int j = 0; j < 4; ++j) r(perm(i), perm(j)) = a(i, j);
-  return r;
 }
 
 DenseMatrix DenseMatrix::identity(std::size_t n) {

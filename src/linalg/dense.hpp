@@ -23,10 +23,27 @@ struct Mat2 {
     return m[static_cast<std::size_t>(2 * r + c)];
   }
 
-  static Mat2 identity();
+  static Mat2 identity() {
+    Mat2 r;
+    r(0, 0) = 1.0;
+    r(1, 1) = 1.0;
+    return r;
+  }
   static Mat2 zero() { return Mat2{}; }
 
-  Mat2 operator*(const Mat2& rhs) const;
+  // Inline: this product sits on the compiled-circuit bind hot path (fusion
+  // replay), where the call overhead of an out-of-line 2x2 product is
+  // comparable to its arithmetic.
+  Mat2 operator*(const Mat2& rhs) const {
+    Mat2 r;
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j) {
+        cplx s = 0.0;
+        for (int k = 0; k < 2; ++k) s += (*this)(i, k) * rhs(k, j);
+        r(i, j) = s;
+      }
+    return r;
+  }
   Mat2 operator+(const Mat2& rhs) const;
   Mat2 operator*(cplx s) const;
   Mat2 adjoint() const;
@@ -45,10 +62,25 @@ struct Mat4 {
     return m[static_cast<std::size_t>(4 * r + c)];
   }
 
-  static Mat4 identity();
+  static Mat4 identity() {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) r(i, i) = 1.0;
+    return r;
+  }
   static Mat4 zero() { return Mat4{}; }
 
-  Mat4 operator*(const Mat4& rhs) const;
+  // Inline for the same reason as Mat2::operator* — fusion replay chains
+  // these products per evaluation.
+  Mat4 operator*(const Mat4& rhs) const {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        cplx s = 0.0;
+        for (int k = 0; k < 4; ++k) s += (*this)(i, k) * rhs(k, j);
+        r(i, j) = s;
+      }
+    return r;
+  }
   Mat4 operator+(const Mat4& rhs) const;
   Mat4 operator*(cplx s) const;
   Mat4 adjoint() const;
@@ -57,14 +89,29 @@ struct Mat4 {
 };
 
 /// kron(a, b) with `a` acting on the high bit: result index (ra<<1|rb, ca<<1|cb).
-Mat4 kron(const Mat2& a, const Mat2& b);
+inline Mat4 kron(const Mat2& a, const Mat2& b) {
+  Mat4 r;
+  for (int ra = 0; ra < 2; ++ra)
+    for (int rb = 0; rb < 2; ++rb)
+      for (int ca = 0; ca < 2; ++ca)
+        for (int cb = 0; cb < 2; ++cb)
+          r(ra * 2 + rb, ca * 2 + cb) = a(ra, ca) * b(rb, cb);
+  return r;
+}
 
 /// Embed a 1-qubit matrix acting on the low (lhs) or high (rhs) bit of a pair.
-Mat4 embed_low(const Mat2& a);   // I (high) ⊗ a (low)
-Mat4 embed_high(const Mat2& a);  // a (high) ⊗ I (low)
+inline Mat4 embed_low(const Mat2& a) { return kron(Mat2::identity(), a); }
+inline Mat4 embed_high(const Mat2& a) { return kron(a, Mat2::identity()); }
 
 /// Swap the two qubit slots of a 4x4 matrix: M' = S M S with S the SWAP.
-Mat4 swap_qubit_order(const Mat4& a);
+inline Mat4 swap_qubit_order(const Mat4& a) {
+  // Conjugate by SWAP: permute row/col indices exchanging the two bits.
+  auto perm = [](int i) { return ((i & 1) << 1) | ((i >> 1) & 1); };
+  Mat4 r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) r(perm(i), perm(j)) = a(i, j);
+  return r;
+}
 
 /// Arbitrary-size dense complex matrix (row-major). Reference-quality, not
 /// performance-critical: used for validation and small eigenproblems.

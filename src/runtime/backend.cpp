@@ -1,5 +1,6 @@
 #include "runtime/backend.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -34,6 +35,7 @@ bool backend_can_run(const BackendCaps& caps, const JobRequirements& req) {
   if (req.needs_exact && !caps.supports_exact_expectation) return false;
   if (req.needs_state && !caps.supports_statevector_output) return false;
   if (caps.clifford_only && !req.clifford_only) return false;
+  if (req.needs_batch && !caps.supports_batch) return false;
   return true;
 }
 
@@ -61,15 +63,20 @@ analyze::JobDemands to_analyze_demands(const JobRequirements& req) {
 
 // -- StateVectorBackend ------------------------------------------------------
 
-StateVectorBackend::StateVectorBackend(int max_qubits)
-    : max_qubits_(max_qubits) {}
+StateVectorBackend::StateVectorBackend(
+    int max_qubits, std::shared_ptr<exec::CompiledCircuitCache> compile_cache)
+    : max_qubits_(max_qubits), compile_cache_(std::move(compile_cache)) {
+  if (compile_cache_ == nullptr)
+    compile_cache_ = std::make_shared<exec::CompiledCircuitCache>();
+}
 
 BackendCaps StateVectorBackend::caps() const {
   return BackendCaps{.max_qubits = max_qubits_,
                      .supports_noise = false,
                      .supports_exact_expectation = true,
                      .supports_statevector_output = true,
-                     .clifford_only = false};
+                     .clifford_only = false,
+                     .supports_batch = true};
 }
 
 StateVector StateVectorBackend::run_circuit(const Circuit& circuit) {
@@ -99,6 +106,41 @@ double StateVectorBackend::energy(const Ansatz& ansatz,
   StateVector psi(ansatz.num_qubits());
   ansatz.prepare(&psi, theta);
   return vqsim::expectation(psi, observable);
+}
+
+std::vector<double> StateVectorBackend::energy_batch(
+    const Ansatz& ansatz, const PauliSum& observable,
+    const std::vector<std::vector<double>>& thetas) {
+  if (thetas.empty()) return {};
+  require_fits(ansatz.num_qubits(), max_qubits_, name());
+  // CompiledPauliSum's precompile ceiling: past it, fall back to the
+  // sequential scalar path rather than reject the job.
+  if (ansatz.num_qubits() > 20)
+    return QpuBackend::energy_batch(ansatz, observable, thetas);
+  std::vector<Circuit> bound;
+  bound.reserve(thetas.size());
+  for (const std::vector<double>& theta : thetas)
+    bound.push_back(ansatz.circuit(theta));
+  const std::shared_ptr<const exec::CompiledCircuit> plan =
+      compile_cache_->get_or_compile(bound.front());
+  const std::uint64_t obs_fp = exec::pauli_sum_content_fingerprint(observable);
+  if (program_ == nullptr || program_shape_fp_ != plan->shape_fingerprint() ||
+      program_observable_fp_ != obs_fp) {
+    program_ = std::make_unique<exec::BatchedEnergyProgram>(plan, observable);
+    program_shape_fp_ = plan->shape_fingerprint();
+    program_observable_fp_ = obs_fp;
+  }
+  // Chunk wide batches so peak memory stays at ~64 state vectors.
+  constexpr std::size_t kChunk = 64;
+  std::vector<double> out;
+  out.reserve(bound.size());
+  for (std::size_t begin = 0; begin < bound.size(); begin += kChunk) {
+    const std::size_t count = std::min(kChunk, bound.size() - begin);
+    const std::vector<double> chunk = program_->run(
+        std::span<const Circuit>(bound.data() + begin, count));
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
 }
 
 // -- DensityMatrixBackend ----------------------------------------------------

@@ -22,6 +22,8 @@
 #include "analyze/properties.hpp"
 #include "analyze/verifier.hpp"
 #include "dist/comm.hpp"
+#include "exec/compiled_cache.hpp"
+#include "exec/energy.hpp"
 #include "runtime/job.hpp"
 #include "sim/state_vector.hpp"
 #include "vqe/ansatz.hpp"
@@ -40,6 +42,9 @@ struct BackendCaps {
   bool supports_statevector_output = true;
   /// Only Clifford circuits execute (stabilizer tableau).
   bool clifford_only = false;
+  /// energy_batch() has a native batched path (exec::BatchedStateVector)
+  /// instead of the default per-item loop; required by JobKind::kBatch.
+  bool supports_batch = false;
 };
 
 /// True when a backend with `caps` can execute a job with `req`.
@@ -86,12 +91,30 @@ class QpuBackend {
   /// SimulatorExecutor direct path bit-for-bit on exact backends.
   virtual double energy(const Ansatz& ansatz, const PauliSum& observable,
                         std::span<const double> theta) = 0;
+
+  /// K energy evaluations of one ansatz shape. The default is a sequential
+  /// energy() loop; backends advertising caps().supports_batch override it
+  /// with a single-pass batched evaluation (JobKind::kBatch lands here).
+  virtual std::vector<double> energy_batch(
+      const Ansatz& ansatz, const PauliSum& observable,
+      const std::vector<std::vector<double>>& thetas) {
+    std::vector<double> out;
+    out.reserve(thetas.size());
+    for (const std::vector<double>& theta : thetas)
+      out.push_back(energy(ansatz, observable, theta));
+    return out;
+  }
 };
 
-/// Shared-memory state-vector simulator (the NWQ-Sim role).
+/// Shared-memory state-vector simulator (the NWQ-Sim role). The only
+/// backend with a native batched path: energy_batch() lowers K parameter
+/// sets onto an exec::BatchedStateVector through a compiled-circuit cache
+/// (pass a shared cache so a fleet compiles each ansatz shape once).
 class StateVectorBackend final : public QpuBackend {
  public:
-  explicit StateVectorBackend(int max_qubits = 28);
+  explicit StateVectorBackend(
+      int max_qubits = 28,
+      std::shared_ptr<exec::CompiledCircuitCache> compile_cache = nullptr);
 
   const char* name() const override { return "statevector"; }
   BackendCaps caps() const override;
@@ -100,9 +123,20 @@ class StateVectorBackend final : public QpuBackend {
                      const NoiseModel& noise) override;
   double energy(const Ansatz& ansatz, const PauliSum& observable,
                 std::span<const double> theta) override;
+  std::vector<double> energy_batch(
+      const Ansatz& ansatz, const PauliSum& observable,
+      const std::vector<std::vector<double>>& thetas) override;
 
  private:
   int max_qubits_;
+  std::shared_ptr<exec::CompiledCircuitCache> compile_cache_;
+  // Memoized batched program for the last (shape, observable) pair: a
+  // gradient's stream of batch jobs shares one Hamiltonian, so the
+  // observable compiles once instead of per job. Safe without a lock —
+  // the pool serializes execution on a backend instance.
+  std::uint64_t program_shape_fp_ = 0;
+  std::uint64_t program_observable_fp_ = 0;
+  std::unique_ptr<exec::BatchedEnergyProgram> program_;
 };
 
 /// Exact open-system simulator (the DM-Sim role): the only backend that

@@ -7,6 +7,7 @@ const char* to_string(JobKind kind) {
     case JobKind::kCircuitRun: return "circuit_run";
     case JobKind::kExpectation: return "expectation";
     case JobKind::kEnergy: return "energy";
+    case JobKind::kBatch: return "batch";
   }
   return "unknown";
 }

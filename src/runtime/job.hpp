@@ -26,6 +26,7 @@ enum class JobKind : std::uint8_t {
   kCircuitRun,   // run a circuit, return the final StateVector
   kExpectation,  // run a circuit, return <observable>
   kEnergy,       // full VQE energy evaluation at one parameter set
+  kBatch,        // K energy evaluations of one circuit shape in one pass
 };
 
 const char* to_string(JobKind kind);
@@ -49,6 +50,10 @@ struct JobRequirements {
   /// The job's circuit is promised Clifford-only, unlocking stabilizer
   /// backends.
   bool clifford_only = false;
+  /// The job evaluates K parameter sets in one pass (JobKind::kBatch):
+  /// only backends with a native batched path qualify — the pool falls
+  /// back to per-item submission when no fleet member supports it.
+  bool needs_batch = false;
 };
 
 /// Per-submission knobs.
@@ -107,6 +112,9 @@ struct JobTelemetry {
   /// Property inference found the circuit all-Clifford and unlocked
   /// stabilizer routing without a caller clifford_only promise.
   bool auto_clifford = false;
+  /// Parameter sets evaluated by this job: 1 for scalar kinds, K for
+  /// JobKind::kBatch (one record covers all K items).
+  int batch_size = 1;
 };
 
 }  // namespace vqsim::runtime

@@ -27,6 +27,7 @@ std::string describe(const JobRequirements& req) {
   if (req.needs_exact) s += ", exact";
   if (req.needs_state) s += ", statevector output";
   if (req.clifford_only) s += ", clifford";
+  if (req.needs_batch) s += ", batched execution";
   return s;
 }
 
@@ -129,7 +130,7 @@ void VirtualQpuPool::enqueue(
     JobKind kind, JobRequirements requirements, JobOptions options,
     std::vector<analyze::Diagnostic> warnings, RoutingInfo routing,
     std::function<std::exception_ptr(QpuBackend&)> execute,
-    std::function<void(std::exception_ptr)> fail) {
+    std::function<void(std::exception_ptr)> fail, int batch_size) {
   bool feasible = false;
   for (const VirtualQpu& q : qpus_)
     if (backend_can_run(q.caps, requirements)) {
@@ -180,6 +181,13 @@ void VirtualQpuPool::enqueue(
   job.backend_cost = std::move(routing.backend_cost);
   job.estimated_cost = routing.estimated_cost;
   job.auto_clifford = routing.auto_clifford;
+  job.batch_size = batch_size;
+  if (kind == JobKind::kBatch) {
+    VQSIM_COUNTER(c_batch_jobs, "pool.batch_jobs_total");
+    VQSIM_COUNTER_INC(c_batch_jobs);
+    VQSIM_COUNTER(c_batch_items, "pool.batch_items_total");
+    VQSIM_COUNTER_ADD(c_batch_items, static_cast<std::uint64_t>(batch_size));
+  }
   pending_.push_back(std::move(job));
   ++counters_.jobs_submitted;
   counters_.queue_depth_high_water =
@@ -218,6 +226,7 @@ void VirtualQpuPool::finish_failed_locked(PendingJob job, int backend_id,
   record.warnings = std::move(job.warnings);
   record.estimated_cost = job.estimated_cost;
   record.auto_clifford = job.auto_clifford;
+  record.batch_size = job.batch_size;
 
   ++counters_.jobs_completed;
   ++counters_.jobs_failed;
@@ -389,6 +398,7 @@ void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
       record.warnings = std::move(job.warnings);
       record.estimated_cost = job.estimated_cost;
       record.auto_clifford = job.auto_clifford;
+      record.batch_size = job.batch_size;
 
       ++counters_.jobs_completed;
       if (job.attempts > 1) ++counters_.jobs_recovered;
@@ -524,6 +534,85 @@ std::future<double> VirtualQpuPool::submit_energy(const Ansatz& ansatz,
             promise->set_exception(std::move(error));
           });
   return future;
+}
+
+bool VirtualQpuPool::supports_batch() const {
+  // caps are cached at construction and the fleet vector is fixed, so this
+  // needs no lock.
+  for (const VirtualQpu& q : qpus_)
+    if (q.caps.supports_batch) return true;
+  return false;
+}
+
+std::vector<std::future<double>> VirtualQpuPool::submit_energy_batch(
+    const Ansatz& ansatz, const PauliSum& observable,
+    std::vector<std::vector<double>> thetas, JobOptions options) {
+  std::vector<std::future<double>> futures;
+  if (thetas.empty()) return futures;
+  futures.reserve(thetas.size());
+  if (!supports_batch()) {
+    // Per-item fallback: same futures, per-item scheduling/telemetry.
+    for (std::vector<double>& theta : thetas)
+      futures.push_back(
+          submit_energy(ansatz, observable, std::move(theta), options));
+    return futures;
+  }
+  JobRequirements req;
+  req.num_qubits = ansatz.num_qubits();
+  req.needs_noise = false;
+  req.needs_exact = true;
+  req.needs_batch = true;
+  req.clifford_only = options.clifford_only;
+  // Route on the first binding's circuit. needs_batch is set before
+  // inference, so pricing only considers batch-capable backends.
+  std::vector<analyze::Diagnostic> warnings;
+  RoutingInfo routing = infer_routing(ansatz.circuit(thetas[0]), req, warnings);
+  // Auto-Clifford inference saw only item 0; the remaining bindings may
+  // rotate off the Clifford frame, so the promise must not stand for the
+  // whole batch. (Routing is unaffected: needs_batch already excludes the
+  // stabilizer backend.)
+  if (routing.auto_clifford) {
+    req.clifford_only = options.clifford_only;
+    routing.auto_clifford = false;
+  }
+  // One dispatch covers K items: scale the per-backend cost estimates so
+  // queue-cost backpressure and telemetry see the real work.
+  const double scale = static_cast<double>(thetas.size());
+  for (double& cost : routing.backend_cost)
+    if (std::isfinite(cost)) cost *= scale;
+  routing.estimated_cost *= scale;
+
+  const std::size_t batch = thetas.size();
+  auto promises =
+      std::make_shared<std::vector<std::promise<double>>>(batch);
+  for (std::promise<double>& p : *promises)
+    futures.push_back(p.get_future());
+  enqueue(
+      JobKind::kBatch, req, options, std::move(warnings), std::move(routing),
+      [promises, &ansatz, &observable,
+       thetas = std::move(thetas)](QpuBackend& backend) -> std::exception_ptr {
+        // All-or-nothing: compute every energy first, then settle all K
+        // promises. A throw before settlement leaves every promise
+        // untouched, so the pool can retry the whole batch safely.
+        try {
+          const std::vector<double> energies =
+              backend.energy_batch(ansatz, observable, thetas);
+          if (energies.size() != thetas.size())
+            throw std::logic_error(
+                "energy_batch returned a result count different from the "
+                "submitted parameter-set count");
+          for (std::size_t k = 0; k < energies.size(); ++k)
+            (*promises)[k].set_value(energies[k]);
+          return nullptr;
+        } catch (...) {
+          return std::current_exception();
+        }
+      },
+      [promises](std::exception_ptr error) {
+        for (std::promise<double>& p : *promises) p.set_exception(error);
+      },
+      static_cast<int>(batch));
+  return futures;
 }
 
 std::future<double> VirtualQpuPool::submit_expectation(Circuit circuit,
@@ -697,8 +786,12 @@ VirtualQpuPool make_statevector_pool(int num_qpus, int workers,
     throw std::invalid_argument("make_statevector_pool: need >= 1 QPU");
   std::vector<std::unique_ptr<QpuBackend>> fleet;
   fleet.reserve(static_cast<std::size_t>(num_qpus));
+  // One compiled-circuit cache across the fleet: whichever backend runs
+  // the first batch job of a shape compiles the plan for all of them.
+  auto compile_cache = std::make_shared<exec::CompiledCircuitCache>();
   for (int i = 0; i < num_qpus; ++i)
-    fleet.push_back(std::make_unique<StateVectorBackend>(max_qubits));
+    fleet.push_back(
+        std::make_unique<StateVectorBackend>(max_qubits, compile_cache));
   return VirtualQpuPool(std::move(fleet), workers);
 }
 
@@ -711,8 +804,10 @@ VirtualQpuPool& default_qpu_pool() {
         [&] {
           std::vector<std::unique_ptr<QpuBackend>> fleet;
           fleet.reserve(static_cast<std::size_t>(n));
+          auto compile_cache = std::make_shared<exec::CompiledCircuitCache>();
           for (int i = 0; i < n; ++i)
-            fleet.push_back(std::make_unique<StateVectorBackend>());
+            fleet.push_back(
+                std::make_unique<StateVectorBackend>(28, compile_cache));
           return fleet;
         }(),
         n);

@@ -137,6 +137,18 @@ class VirtualQpuPool {
                                     std::vector<double> theta,
                                     JobOptions options = {});
 
+  /// K energy evaluations of one ansatz shape as a single JobKind::kBatch
+  /// job (one dispatch, one telemetry record with batch_size = K, one
+  /// batched pass on a supports_batch backend). When no fleet member
+  /// supports batching, falls back to K independent submit_energy jobs —
+  /// same futures, per-item scheduling. Delivery is all-or-nothing within
+  /// the batch job: a failed attempt retries the whole batch, and a
+  /// terminal failure reaches every item's future. `ansatz` and
+  /// `observable` must outlive completion of every returned future.
+  std::vector<std::future<double>> submit_energy_batch(
+      const Ansatz& ansatz, const PauliSum& observable,
+      std::vector<std::vector<double>> thetas, JobOptions options = {});
+
   /// <observable> after running `circuit` from |0...0> (optionally under
   /// options.noise — a non-trivial model requires a noise-capable backend).
   std::future<double> submit_expectation(Circuit circuit, PauliSum observable,
@@ -172,6 +184,11 @@ class VirtualQpuPool {
 
   std::size_t queue_depth() const;
   PoolCounters counters() const;
+  /// True when any fleet member can execute JobKind::kBatch natively
+  /// (caps().supports_batch); submit_energy_batch falls back to per-item
+  /// jobs when false. Callers (AsyncEnergyEvaluator) use it to choose the
+  /// batched lowering up front.
+  bool supports_batch() const;
   /// Atomic snapshot of queue depth, in-flight count, backend health, and
   /// counters (single mutex acquisition; see PoolStats).
   PoolStats stats() const;
@@ -236,6 +253,8 @@ class VirtualQpuPool {
     double estimated_cost = 0.0;
     /// Property inference unlocked stabilizer routing (see JobTelemetry).
     bool auto_clifford = false;
+    /// Parameter sets this job evaluates (K for JobKind::kBatch, else 1).
+    int batch_size = 1;
   };
 
   /// Property-inference product for one submission: per-backend predicted
@@ -260,10 +279,12 @@ class VirtualQpuPool {
                             JobRequirements& requirements,
                             std::vector<analyze::Diagnostic>& warnings) const;
   /// Reject-or-enqueue; shared tail of the typed submit_* front-ends.
+  /// `batch_size` is the parameter-set count the job covers (telemetry).
   void enqueue(JobKind kind, JobRequirements requirements, JobOptions options,
                std::vector<analyze::Diagnostic> warnings, RoutingInfo routing,
                std::function<std::exception_ptr(QpuBackend&)> execute,
-               std::function<void(std::exception_ptr)> fail);
+               std::function<void(std::exception_ptr)> fail,
+               int batch_size = 1);
   /// Dispatch every (priority, FIFO)-ordered job that has an idle capable
   /// QPU admitted by its breaker; expires queued jobs past their deadline.
   void pump_locked(Clock::time_point now) VQSIM_REQUIRES(mutex_);

@@ -76,6 +76,42 @@ class ResultCache {
   bool enabled() const { return byte_budget_ > 0; }
   std::size_t byte_budget() const { return byte_budget_; }
 
+  /// Result of a non-inserting lookup (peek): `found` distinguishes a
+  /// resident entry from a miss, which mutates nothing.
+  struct Peek {
+    bool found = false;
+    std::shared_future<T> result;
+    bool hit = false;        // served from a settled entry
+    bool coalesced = false;  // joined an in-flight entry
+  };
+
+  /// Serve `key` if resident — settled entries are touched and counted as
+  /// hits, in-flight ones as coalesced — without running any producer. On
+  /// a miss nothing is inserted or counted; the caller decides whether and
+  /// how to submit (batch admission peeks every item first so only the
+  /// misses are dispatched).
+  Peek peek(const CacheKey& key) {
+    Peek out;
+    if (!enabled()) return out;
+    MutexLock lock(mutex_);
+    settle_locked();
+    evict_locked();
+    const auto it = index_.find(key);
+    if (it == index_.end()) return out;
+    Entry& entry = *it->second;
+    out.found = true;
+    out.result = entry.result;
+    if (entry.settled) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
+      out.hit = true;
+      ++stats_.hits;
+    } else {
+      out.coalesced = true;
+      ++stats_.coalesced;
+    }
+    return out;
+  }
+
   /// Return the entry for `key`, starting the computation via `producer`
   /// exactly once per non-resident key. A throwing producer inserts
   /// nothing and the exception propagates to the caller alone.

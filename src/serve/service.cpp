@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <unordered_map>
 #include <utility>
 
 #include "analyze/cost.hpp"
@@ -178,6 +179,115 @@ std::shared_future<double> SimService::submit_energy(
                 : lookup.coalesced ? AdmissionController::Served::kCoalesced
                                    : AdmissionController::Served::kExecuted);
   return lookup.result;
+}
+
+std::vector<std::shared_future<double>> SimService::submit_energy_batch(
+    const TenantId& tenant, const Ansatz& ansatz, const PauliSum& observable,
+    std::vector<std::vector<double>> thetas, ServeOptions options) {
+  const std::size_t k = thetas.size();
+  std::vector<std::shared_future<double>> out(k);
+  if (k == 0) return out;
+
+  // Materialize every bound circuit outside the lock: the batch is priced
+  // at the summed per-item cost, and each circuit doubles as its item's
+  // cache identity below.
+  std::vector<Circuit> bound;
+  bound.reserve(k);
+  double cost = 0.0;
+  for (const std::vector<double>& theta : thetas) {
+    bound.push_back(ansatz.circuit(theta));
+    cost += analyze::statevector_cost_units(bound.back().num_qubits(),
+                                            bound.back().size());
+  }
+
+  MutexLock lock(mutex_);
+  admit_or_throw(tenant, cost);
+
+  const bool cached = !options.bypass_cache && value_cache_.enabled();
+  const RequestContext context =
+      request_context(runtime::JobKind::kBatch, options);
+
+  // Peek phase: resident items (settled or in flight) are served from the
+  // cache without touching the pool; duplicates within the batch coalesce
+  // onto their first occurrence. Only true misses execute.
+  std::vector<CacheKey> keys;
+  keys.reserve(k);
+  std::vector<std::size_t> miss;  // indices that must execute
+  std::vector<std::pair<std::size_t, std::size_t>> dups;  // (follower, leader)
+  std::unordered_map<CacheKey, std::size_t, CacheKeyHash> leaders;
+  std::vector<AdmissionController::Served> served(
+      k, AdmissionController::Served::kExecuted);
+  for (std::size_t i = 0; i < k; ++i) {
+    keys.push_back(make_cache_key(bound[i], &observable, context));
+    if (cached) {
+      const auto peek = value_cache_.peek(keys[i]);
+      if (peek.found) {
+        out[i] = peek.result;
+        served[i] = peek.hit ? AdmissionController::Served::kCacheHit
+                             : AdmissionController::Served::kCoalesced;
+        continue;
+      }
+      if (const auto it = leaders.find(keys[i]); it != leaders.end()) {
+        dups.emplace_back(i, it->second);
+        served[i] = AdmissionController::Served::kCoalesced;
+        continue;
+      }
+      leaders.emplace(keys[i], i);
+    }
+    miss.push_back(i);
+  }
+
+  if (!miss.empty()) {
+    // One quota slot covers the whole dispatched batch; it frees when the
+    // last miss future settles. Slot binding mirrors reserve_and_submit's
+    // ready-cell pattern (all cell access stays under mutex_).
+    auto cell = std::make_shared<std::function<bool()>>();
+    if (!admission_.try_reserve_slot(
+            tenant, [cell] { return *cell && (*cell)(); })) {
+      throw AdmissionRejected(AdmissionOutcome::kRejectedQuota, tenant);
+    }
+    std::vector<std::shared_future<double>> fresh;
+    try {
+      std::vector<std::vector<double>> miss_thetas;
+      miss_thetas.reserve(miss.size());
+      for (std::size_t idx : miss) miss_thetas.push_back(std::move(thetas[idx]));
+      std::vector<std::future<double>> futures = pool_.submit_energy_batch(
+          ansatz, observable, std::move(miss_thetas),
+          job_options(tenant, options));
+      fresh.reserve(futures.size());
+      for (std::future<double>& f : futures) fresh.push_back(f.share());
+    } catch (...) {
+      *cell = [] { return true; };  // release the slot: nothing is in flight
+      throw;
+    }
+    *cell = [fresh] {
+      for (const std::shared_future<double>& f : fresh) {
+        if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+          return false;
+      }
+      return true;
+    };
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      const std::size_t idx = miss[j];
+      if (cached) {
+        // Insert the already-submitted future so later identical requests
+        // (scalar peeks or other batches) coalesce onto this execution.
+        const auto lookup = value_cache_.get_or_submit(
+            keys[idx], [&] { return fresh[j]; });
+        out[idx] = lookup.result;
+      } else {
+        out[idx] = fresh[j];
+      }
+    }
+  }
+
+  for (const auto& [follower, leader] : dups) out[follower] = out[leader];
+  for (std::size_t i = 0; i < k; ++i) record_served(tenant, served[i]);
+  if (const auto it = tenant_in_flight_gauges_.find(tenant);
+      it != tenant_in_flight_gauges_.end()) {
+    it->second->set(static_cast<std::int64_t>(admission_.in_flight(tenant)));
+  }
+  return out;
 }
 
 std::shared_future<double> SimService::submit_expectation(

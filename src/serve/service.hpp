@@ -136,6 +136,20 @@ class SimService {
                                            std::vector<double> theta,
                                            ServeOptions options = {});
 
+  /// K VQE energies of one ansatz shape as ONE admitted request: a single
+  /// admission decision + quota slot covers the whole batch (priced at the
+  /// summed per-item cost), each item is looked up in the value cache
+  /// individually, and only the misses are dispatched — as one
+  /// JobKind::kBatch pool job. Returned futures are index-aligned with
+  /// `thetas`; duplicate parameter sets within a batch coalesce onto one
+  /// execution. Batch results live in a separate cache namespace from
+  /// scalar submit_energy: the batched compiled path agrees with the
+  /// scalar path to fp round-off, not bit-for-bit.
+  std::vector<std::shared_future<double>> submit_energy_batch(
+      const TenantId& tenant, const Ansatz& ansatz,
+      const PauliSum& observable, std::vector<std::vector<double>> thetas,
+      ServeOptions options = {});
+
   /// <observable> after `circuit` from |0...0>.
   std::shared_future<double> submit_expectation(const TenantId& tenant,
                                                 Circuit circuit,

@@ -12,6 +12,7 @@
 // the mean family size (~8x for chemistry Hamiltonians).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -35,6 +36,13 @@ class CompiledPauliSum {
 
   /// <psi|H|psi> (H Hermitian; imaginary part discarded).
   double expectation(const StateVector& psi) const;
+
+  /// Read access for external evaluators (exec's batched expectation walks
+  /// the same mask families in the same order as expectation()).
+  std::span<const std::uint64_t> masks() const { return masks_; }
+  const AmpVector& diagonal(std::size_t family) const {
+    return diagonals_[family];
+  }
 
  private:
   int num_qubits_ = 0;

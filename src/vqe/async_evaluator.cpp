@@ -35,6 +35,35 @@ double AsyncEnergyEvaluator::evaluate(std::span<const double> theta) {
 std::vector<double> AsyncEnergyEvaluator::gradient(
     std::span<const double> theta, double step) {
   const std::size_t p = theta.size();
+  if (pool_->supports_batch() && p > 0) {
+    // Build the full +/-step probe matrix once and hand it to the pool as
+    // a single JobKind::kBatch job: one dispatch, one compiled plan, one
+    // batched pass over all 2P probes instead of 2P independent jobs.
+    std::vector<std::vector<double>> probes;
+    probes.reserve(2 * p);
+    for (std::size_t k = 0; k < p; ++k) {
+      std::vector<double> plus(theta.begin(), theta.end());
+      plus[k] += step;
+      probes.push_back(std::move(plus));
+      std::vector<double> minus(theta.begin(), theta.end());
+      minus[k] -= step;
+      probes.push_back(std::move(minus));
+    }
+    stats_.energy_evaluations += 2 * p;
+    stats_.ansatz_executions += 2 * p;
+    stats_.ansatz_gates += 2 * p * ansatz_.gate_count();
+    std::vector<std::future<double>> futures =
+        pool_->submit_energy_batch(ansatz_, observable_, std::move(probes));
+    std::vector<double> grad(p, 0.0);
+    for (std::size_t k = 0; k < p; ++k) {
+      const double plus = futures[2 * k].get();
+      const double minus = futures[2 * k + 1].get();
+      grad[k] = (plus - minus) / (2.0 * step);
+    }
+    return grad;
+  }
+  // Scalar fallback (no batch-capable backend): the original per-probe
+  // submission, bit-for-bit.
   std::vector<std::future<double>> probes;
   probes.reserve(2 * p);
   for (std::size_t k = 0; k < p; ++k) {

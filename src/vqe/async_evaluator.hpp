@@ -34,8 +34,12 @@ class AsyncEnergyEvaluator final : public EnergyEvaluator {
   double evaluate(std::span<const double> theta) override;
   const ExecutorStats& stats() const override { return stats_; }
 
-  /// Central-difference gradient with all 2P component probes in flight
-  /// simultaneously.
+  /// Central-difference gradient. On a batch-capable pool the +/-step
+  /// probe matrix is built once and lowered to a single JobKind::kBatch
+  /// job (one compiled plan, one batched pass over all 2P probes); the
+  /// batched compiled path agrees with the scalar path to fp round-off,
+  /// not bit-for-bit. Without batch support, falls back to 2P overlapped
+  /// scalar jobs — the original behavior, bit-for-bit.
   std::vector<double> gradient(std::span<const double> theta,
                                double step = 1e-5);
 

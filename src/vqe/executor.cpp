@@ -55,6 +55,17 @@ SimulatorExecutor::SimulatorExecutor(const Ansatz& ansatz,
   if (observable_.num_qubits() > ansatz.num_qubits())
     throw std::invalid_argument(
         "SimulatorExecutor: observable register exceeds ansatz");
+  if (options_.compiled_cache) {
+    // One compile per circuit *shape*: every executor sharing the cache
+    // (e.g. each point of a PES sweep) reuses the same plan. Compilation
+    // verifies the representative circuit, so the separate verify pass is
+    // redundant here; the plan's diagnostics are surfaced in its place.
+    const std::vector<double> theta0(ansatz.num_parameters(), 0.0);
+    plan_ = options_.compiled_cache->get_or_compile(ansatz.circuit(theta0));
+    ansatz_diagnostics_.assign(plan_->diagnostics().begin(),
+                               plan_->diagnostics().end());
+    return;
+  }
   if (options_.verify_ansatz) {
     // Verified once per circuit structure, not per parameter set. Lint
     // passes stay off: rotations legitimately vanish at particular theta
@@ -71,7 +82,12 @@ SimulatorExecutor::SimulatorExecutor(const Ansatz& ansatz,
 }
 
 void SimulatorExecutor::run_ansatz(std::span<const double> theta) {
-  ansatz_.prepare(&psi_, theta);
+  if (plan_) {
+    psi_.reset();
+    exec::apply_ops(psi_, plan_->bind(ansatz_.circuit(theta)));
+  } else {
+    ansatz_.prepare(&psi_, theta);
+  }
   ++stats_.ansatz_executions;
   stats_.ansatz_gates += ansatz_.gate_count();
   VQSIM_COUNTER(c_ansatz, "vqe.ansatz_executions_total");

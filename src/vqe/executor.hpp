@@ -15,6 +15,7 @@
 
 #include "analyze/diagnostic.hpp"
 #include "common/rng.hpp"
+#include "exec/compiled_cache.hpp"
 #include "pauli/grouping.hpp"
 #include "pauli/pauli_sum.hpp"
 #include "vqe/ansatz.hpp"
@@ -86,6 +87,11 @@ struct ExecutorOptions {
   /// Statically verify the ansatz circuit once at construction. The circuit
   /// *structure* is theta-independent, so one pass covers every evaluate().
   bool verify_ansatz = true;
+  /// When set, ansatz preparation goes through a shape-keyed compiled plan
+  /// from this cache (compiled once per circuit shape, bound per theta);
+  /// the plan's construction subsumes static verification. Null keeps the
+  /// classic per-evaluation prepare() path bit-for-bit.
+  std::shared_ptr<exec::CompiledCircuitCache> compiled_cache;
 };
 
 /// Standard executor over the shared-memory simulator.
@@ -116,6 +122,8 @@ class SimulatorExecutor final : public EnergyEvaluator {
   PauliSum observable_;
   std::vector<MeasurementGroup> groups_;
   ExecutorOptions options_;
+  /// Shape-compiled execution plan (set iff options_.compiled_cache).
+  std::shared_ptr<const exec::CompiledCircuit> plan_;
   std::vector<analyze::Diagnostic> ansatz_diagnostics_;
   ExecutorStats stats_;
   StateVector psi_;

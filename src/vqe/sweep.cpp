@@ -1,5 +1,7 @@
 #include "vqe/sweep.hpp"
 
+#include <memory>
+
 namespace vqsim {
 
 SweepResult run_vqe_sweep(const Ansatz& ansatz,
@@ -10,8 +12,16 @@ SweepResult run_vqe_sweep(const Ansatz& ansatz,
   sweep.points.reserve(xs.size());
   std::vector<double> seed;  // previous optimum (empty = HF start)
 
+  // All points share one ansatz shape, so they share one compiled plan:
+  // the first point compiles, every later point is a cache hit. Respect a
+  // caller-supplied cache (e.g. several sweeps over the same ansatz).
+  std::shared_ptr<exec::CompiledCircuitCache> cache =
+      options.vqe.executor.compiled_cache;
+  if (!cache) cache = std::make_shared<exec::CompiledCircuitCache>();
+
   for (double x : xs) {
     VqeOptions vqe_options = options.vqe;
+    vqe_options.executor.compiled_cache = cache;
     if (options.warm_start && !seed.empty())
       vqe_options.initial_parameters = seed;
 
@@ -22,6 +32,7 @@ SweepResult run_vqe_sweep(const Ansatz& ansatz,
     if (options.warm_start) seed = point.result.parameters;
     sweep.points.push_back(std::move(point));
   }
+  sweep.compile_stats = cache->stats();
   return sweep;
 }
 

@@ -27,6 +27,10 @@ struct SweepPoint {
 struct SweepResult {
   std::vector<SweepPoint> points;
   std::size_t total_evaluations = 0;
+  /// Compiled-circuit cache accounting for the sweep. Every point binds the
+  /// same ansatz shape, so a full sweep compiles exactly once
+  /// (misses == 1, hits == points - 1) regardless of sweep length.
+  exec::CompiledCircuitCache::Stats compile_stats;
 };
 
 struct SweepOptions {

@@ -1,0 +1,386 @@
+// vqsim::exec — compiled plans, the shape-keyed plan cache, batched
+// state-vector execution, and the runtime/serve batch paths built on them.
+//
+// The load-bearing assertions are EXPECT_EQ on doubles/amplitudes: the
+// compiled scalar path is bit-identical to apply_circuit of the
+// structurally-fused circuit, and every batched item is bit-identical to
+// the compiled scalar path — exactness is the contract, not a tolerance.
+
+#include "exec/compiled_circuit.hpp"
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chem/jordan_wigner.hpp"
+#include "chem/molecules.hpp"
+#include "common/rng.hpp"
+#include "exec/batched_state_vector.hpp"
+#include "exec/compiled_cache.hpp"
+#include "exec/energy.hpp"
+#include "ir/fingerprint.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/virtual_qpu.hpp"
+#include "serve/service.hpp"
+#include "serve/tenant.hpp"
+#include "sim/compiled_op.hpp"
+#include "sim/expectation.hpp"
+#include "vqe/executor.hpp"
+
+namespace vqsim {
+namespace {
+
+using exec::BatchedEnergyProgram;
+using exec::BatchedOp;
+using exec::BatchedStateVector;
+using exec::CompiledCircuit;
+using exec::CompiledCircuitCache;
+using runtime::DensityMatrixBackend;
+using runtime::JobKind;
+using runtime::JobTelemetry;
+using runtime::QpuBackend;
+using runtime::StateVectorBackend;
+using runtime::VirtualQpuPool;
+
+// One fixed structure exercising every lowered gate kind (Pauli, phase,
+// diagonal-Z, dense 1q, controlled 2x2, two-qubit mask phase, dense 4x4);
+// each call draws fresh numeric parameters, so all circuits from one `n`
+// share a shape fingerprint while differing in values.
+Circuit shaped_circuit(int n, Rng& rng) {
+  auto angle = [&rng] { return rng.uniform(-3.0, 3.0); };
+  Circuit c(n);
+  c.h(0).x(1).y(n - 1).z(0);
+  c.s(1).sdg(0).t(n - 1).tdg(1);
+  c.sx(0).sxdg(1);
+  c.p(angle(), 0).rz(angle(), 1);
+  c.rx(angle(), n - 1).ry(angle(), 0);
+  c.u3(angle(), angle(), angle(), 1);
+  c.cx(0, 1).cy(1, n - 1).ch(0, n - 1);
+  c.crx(angle(), 1, 0).cry(angle(), 0, 1).crz(angle(), n - 1, 0);
+  c.cz(0, 1).cp(angle(), 1, n - 1);
+  c.rzz(angle(), 0, n - 1).rxx(angle(), 0, 1).ryy(angle(), 1, n - 1);
+  c.swap(0, n - 1);
+  c.rz(angle(), 0).ry(angle(), n - 1);  // trailing rotations resist fusion
+  return c;
+}
+
+struct H2Fixture {
+  PauliSum h = jordan_wigner(molecular_hamiltonian(h2_sto3g()));
+  UccsdAnsatzAdapter ansatz{4, 2};
+
+  std::vector<std::vector<double>> parameter_sets(int count,
+                                                  std::uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<std::vector<double>> sets;
+    for (int i = 0; i < count; ++i) {
+      std::vector<double> theta(ansatz.num_parameters());
+      for (double& t : theta) t = rng.uniform(-0.5, 0.5);
+      sets.push_back(std::move(theta));
+    }
+    return sets;
+  }
+};
+
+// -- CompiledCircuit ---------------------------------------------------------
+
+TEST(CompiledCircuit, BindIsBitIdenticalToFusedCircuit) {
+  for (int n : {3, 5}) {
+    Rng rng(1000 + static_cast<std::uint64_t>(n));
+    const CompiledCircuit plan(shaped_circuit(n, rng));
+    for (int trial = 0; trial < 4; ++trial) {
+      const Circuit bound = shaped_circuit(n, rng);
+      ASSERT_EQ(ir::circuit_shape_fingerprint(bound),
+                plan.shape_fingerprint());
+
+      StateVector compiled(n);
+      exec::apply_ops(compiled, plan.bind(bound));
+
+      StateVector reference(n);
+      reference.apply_circuit(plan.fused(bound));
+
+      for (idx i = 0; i < compiled.dim(); ++i) {
+        EXPECT_EQ(compiled.amplitudes()[i].real(),
+                  reference.amplitudes()[i].real())
+            << n << " " << i;
+        EXPECT_EQ(compiled.amplitudes()[i].imag(),
+                  reference.amplitudes()[i].imag())
+            << n << " " << i;
+      }
+    }
+  }
+}
+
+TEST(CompiledCircuit, BindRejectsForeignShape) {
+  Rng rng(7);
+  const CompiledCircuit plan(shaped_circuit(3, rng));
+  Circuit other(3);
+  other.h(0).cx(0, 1);
+  EXPECT_THROW(plan.bind(other), std::invalid_argument);
+  EXPECT_THROW((void)plan.bind_batch(std::span<const Circuit>(&other, 1)),
+               std::invalid_argument);
+}
+
+TEST(CompiledCircuit, CompileRejectsInvalidCircuits) {
+  Circuit bad(2);
+  bad.h(0);
+  bad.measure(0);
+  bad.h(0);  // gate after measurement: verification error
+  EXPECT_THROW(CompiledCircuit{bad}, std::invalid_argument);
+}
+
+// -- BatchedStateVector ------------------------------------------------------
+
+TEST(BatchedStateVector, BatchedApplyBitIdenticalPerItem) {
+  const int n = 4;
+  Rng rng(42);
+  const CompiledCircuit plan(shaped_circuit(n, rng));
+
+  for (std::size_t k : {1u, 2u, 7u, 16u}) {
+    std::vector<Circuit> bound;
+    for (std::size_t i = 0; i < k; ++i) bound.push_back(shaped_circuit(n, rng));
+
+    BatchedStateVector batch(n, k);
+    batch.apply(plan.bind_batch(bound));
+
+    for (std::size_t i = 0; i < k; ++i) {
+      StateVector scalar(n);
+      exec::apply_ops(scalar, plan.bind(bound[i]));
+      const StateVector item = batch.item(i);
+      ASSERT_EQ(item.dim(), scalar.dim());
+      for (idx a = 0; a < scalar.dim(); ++a) {
+        EXPECT_EQ(item.amplitudes()[a].real(), scalar.amplitudes()[a].real())
+            << k << " " << i;
+        EXPECT_EQ(item.amplitudes()[a].imag(), scalar.amplitudes()[a].imag())
+            << k << " " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchedStateVector, BatchedExpectationBitIdenticalPerItem) {
+  H2Fixture f;
+  const int n = f.ansatz.num_qubits();
+  const CompiledPauliSum observable(f.h, n);
+  const auto sets = f.parameter_sets(7, 11);
+  const CompiledCircuit plan(f.ansatz.circuit(sets[0]));
+
+  std::vector<Circuit> bound;
+  for (const auto& theta : sets) bound.push_back(f.ansatz.circuit(theta));
+
+  BatchedStateVector batch(n, bound.size());
+  batch.apply(plan.bind_batch(bound));
+  std::vector<double> energies(bound.size());
+  batch.expectation(observable, energies);
+
+  for (std::size_t i = 0; i < bound.size(); ++i) {
+    StateVector scalar(n);
+    exec::apply_ops(scalar, plan.bind(bound[i]));
+    EXPECT_EQ(energies[i], observable.expectation(scalar)) << i;
+  }
+}
+
+// -- BatchedEnergyProgram ----------------------------------------------------
+
+TEST(BatchedEnergyProgram, MatchesScalarCompiledPath) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(5, 23);
+  auto plan = std::make_shared<const CompiledCircuit>(
+      f.ansatz.circuit(sets[0]));
+  const BatchedEnergyProgram program(plan, f.h);
+  const std::vector<double> batched = program.run(f.ansatz, sets);
+
+  const CompiledPauliSum observable(f.h, f.ansatz.num_qubits());
+  ASSERT_EQ(batched.size(), sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    StateVector psi(f.ansatz.num_qubits());
+    exec::apply_ops(psi, plan->bind(f.ansatz.circuit(sets[i])));
+    EXPECT_EQ(batched[i], observable.expectation(psi)) << i;
+  }
+}
+
+// -- CompiledCircuitCache ----------------------------------------------------
+
+TEST(CompiledCircuitCache, CountsHitsMissesAndEvictsLru) {
+  CompiledCircuitCache cache(/*max_entries=*/2);
+  Rng rng(5);
+  const Circuit a = shaped_circuit(3, rng);   // shape A
+  const Circuit a2 = shaped_circuit(3, rng);  // shape A, new values
+  Circuit b(2);
+  b.h(0).cx(0, 1).rz(0.3, 1);  // shape B
+  Circuit c(2);
+  c.h(0).h(1).cz(0, 1);  // shape C
+
+  const auto plan_a = cache.get_or_compile(a);
+  EXPECT_EQ(cache.get_or_compile(a2), plan_a);  // same shape, same plan
+  cache.get_or_compile(b);
+  auto s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+
+  // Touch A so B is least-recently-used, then insert C: B is evicted.
+  cache.get_or_compile(a);
+  cache.get_or_compile(c);
+  s = cache.stats();
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+
+  // A survived the eviction (hit); B recompiles (miss).
+  EXPECT_EQ(cache.get_or_compile(a), plan_a);
+  cache.get_or_compile(b);
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 4u);
+
+  EXPECT_THROW(CompiledCircuitCache{0}, std::invalid_argument);
+}
+
+// -- Pool integration (JobKind::kBatch) --------------------------------------
+
+TEST(VirtualQpuPool, BatchJobBitIdenticalToCompiledScalarPath) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(6, 31);
+  VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 28);
+  ASSERT_TRUE(pool.supports_batch());
+
+  auto futures = pool.submit_energy_batch(f.ansatz, f.h, sets);
+  ASSERT_EQ(futures.size(), sets.size());
+
+  const CompiledCircuit plan(f.ansatz.circuit(sets[0]));
+  const CompiledPauliSum observable(f.h, f.ansatz.num_qubits());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    StateVector psi(f.ansatz.num_qubits());
+    exec::apply_ops(psi, plan.bind(f.ansatz.circuit(sets[i])));
+    EXPECT_EQ(futures[i].get(), observable.expectation(psi)) << i;
+  }
+
+  pool.wait_all();
+  // One job, one telemetry record covering all K items.
+  std::size_t batch_records = 0;
+  for (const JobTelemetry& t : pool.telemetry()) {
+    if (t.kind != JobKind::kBatch) continue;
+    ++batch_records;
+    EXPECT_EQ(t.batch_size, static_cast<int>(sets.size()));
+    EXPECT_FALSE(t.failed);
+  }
+  EXPECT_EQ(batch_records, 1u);
+  EXPECT_EQ(pool.counters().jobs_submitted, 1u);
+}
+
+TEST(VirtualQpuPool, BatchFallsBackToScalarJobsWithoutCapableBackend) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(3, 37);
+
+  std::vector<std::unique_ptr<QpuBackend>> fleet;
+  fleet.push_back(std::make_unique<DensityMatrixBackend>(8));
+  VirtualQpuPool pool(std::move(fleet), 2);
+  ASSERT_FALSE(pool.supports_batch());
+
+  auto futures = pool.submit_energy_batch(f.ansatz, f.h, sets);
+  ASSERT_EQ(futures.size(), sets.size());
+  SimulatorExecutor reference(f.ansatz, f.h);
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    EXPECT_NEAR(futures[i].get(), reference.evaluate(sets[i]), 1e-9) << i;
+
+  pool.wait_all();
+  std::size_t energy_records = 0;
+  for (const JobTelemetry& t : pool.telemetry()) {
+    EXPECT_NE(t.kind, JobKind::kBatch);
+    if (t.kind == JobKind::kEnergy) ++energy_records;
+  }
+  EXPECT_EQ(energy_records, sets.size());
+}
+
+TEST(VirtualQpuPool, ConcurrentBatchSubmissionsAgree) {
+  // TSan target: several threads drive batch jobs through one pool (and so
+  // through the fleet's shared CompiledCircuitCache) concurrently.
+  H2Fixture f;
+  const auto sets = f.parameter_sets(4, 41);
+  VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 28);
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto futures = pool.submit_energy_batch(f.ansatz, f.h, sets);
+      for (auto& fut : futures) results[t].push_back(fut.get());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), sets.size());
+    for (std::size_t i = 0; i < sets.size(); ++i)
+      EXPECT_EQ(results[t][i], results[0][i]) << t << " " << i;
+  }
+}
+
+// -- SimulatorExecutor through the plan cache --------------------------------
+
+TEST(SimulatorExecutor, CompiledCachePathMatchesFusedReference) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(4, 47);
+
+  ExecutorOptions options;
+  options.compiled_cache = std::make_shared<CompiledCircuitCache>();
+  SimulatorExecutor compiled(f.ansatz, f.h, options);
+  SimulatorExecutor classic(f.ansatz, f.h);
+
+  const CompiledCircuit plan(f.ansatz.circuit(sets[0]));
+  for (const auto& theta : sets) {
+    // The compiled path evaluates the *fused* circuit: exact against the
+    // fused reference, round-off-close to the unfused classic path.
+    StateVector reference(f.ansatz.num_qubits());
+    reference.apply_circuit(plan.fused(f.ansatz.circuit(theta)));
+    EXPECT_EQ(compiled.evaluate(theta), expectation(reference, f.h));
+    EXPECT_NEAR(compiled.evaluate(theta), classic.evaluate(theta), 1e-9);
+  }
+
+  // One executor, many evaluations: exactly one compile happened.
+  const auto s = options.compiled_cache->stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+// -- SimService batch front door ---------------------------------------------
+
+TEST(SimService, BatchRequestsCacheAndCoalesce) {
+  H2Fixture f;
+  auto sets = f.parameter_sets(4, 53);
+  sets.push_back(sets[0]);  // in-batch duplicate -> coalesced, not executed
+
+  VirtualQpuPool pool = runtime::make_statevector_pool(2, 2, 28);
+  serve::TenantRegistry tenants;
+  serve::TenantConfig alice;
+  alice.name = "alice";
+  tenants.add(alice);
+  serve::SimService service(pool, tenants);
+
+  auto first = service.submit_energy_batch("alice", f.ansatz, f.h, sets);
+  ASSERT_EQ(first.size(), sets.size());
+  for (auto& fut : first) (void)fut.get();
+  EXPECT_EQ(first.back().get(), first.front().get());  // duplicate coalesced
+
+  serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.executed, sets.size() - 1);
+  EXPECT_EQ(stats.coalesced, 1u);
+
+  // Second identical batch: every item is a settled cache hit — no new
+  // pool job, futures carry the same values.
+  auto second = service.submit_energy_batch("alice", f.ansatz, f.h, sets);
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    EXPECT_EQ(second[i].get(), first[i].get()) << i;
+  stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, sets.size());
+  EXPECT_EQ(stats.executed, sets.size() - 1);
+}
+
+}  // namespace
+}  // namespace vqsim

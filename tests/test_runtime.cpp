@@ -520,8 +520,11 @@ TEST(AsyncEnergyEvaluator, GradientMatchesBatchedGradient) {
   const std::vector<double> reference =
       batched_gradient(f.ansatz, f.h, theta, 1e-5, &pool);
   ASSERT_EQ(overlapped.size(), reference.size());
+  // On a batch-capable pool, gradient() routes through the compiled/fused
+  // batched path, which agrees with the scalar reference to fp round-off
+  // (not bit-for-bit: fusion reassociates the gate products).
   for (std::size_t k = 0; k < reference.size(); ++k)
-    EXPECT_EQ(overlapped[k], reference[k]) << k;
+    EXPECT_NEAR(overlapped[k], reference[k], 1e-9) << k;
 
   EXPECT_EQ(async.evaluate(theta),
             SimulatorExecutor(f.ansatz, f.h).evaluate(theta));

@@ -63,5 +63,28 @@ TEST(Sweep, WarmStartSavesEvaluations) {
   EXPECT_LT(w.total_evaluations, c.total_evaluations);
 }
 
+TEST(Sweep, CompilesAnsatzShapeExactlyOnce) {
+  const UccsdAnsatzAdapter ansatz(4, 2);
+  const std::vector<double> bonds = {1.2, 1.4011, 1.8};
+
+  const SweepResult sweep = run_vqe_sweep(ansatz, h2_factory(), bonds);
+  ASSERT_EQ(sweep.points.size(), bonds.size());
+
+  // Every point binds the same ansatz shape through the sweep's shared
+  // plan cache: the first point compiles, every later point hits.
+  EXPECT_EQ(sweep.compile_stats.misses, 1u);
+  EXPECT_EQ(sweep.compile_stats.hits, bonds.size() - 1);
+  EXPECT_EQ(sweep.compile_stats.entries, 1u);
+
+  // The compiled/fused execution path keeps the physics: FCI accuracy at
+  // every sampled bond.
+  for (const SweepPoint& p : sweep.points) {
+    const FermionOp h =
+        molecular_hamiltonian(molecule_from_atoms(h2_geometry(p.x), 2));
+    EXPECT_NEAR(p.result.energy, fci_ground_state(h, 4, 2).energy, 1e-5)
+        << "bond " << p.x;
+  }
+}
+
 }  // namespace
 }  // namespace vqsim

@@ -32,6 +32,9 @@ echo "=== CI stage 1: tier-1 build + ctest ==="
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure -j
+# Quick batched-execution gate (perf_batch self-gates speedup, per-item
+# bit-identity, rerun determinism, and compile-once; trimmed scan size).
+"${build_dir}/bench/perf_batch" --bonds 4 --evals 32
 echo "Tier-1 tests OK."
 
 echo "=== CI stage 2: static analysis ==="

@@ -39,11 +39,13 @@ gbench_targets=(perf_gate_kernels perf_fusion perf_expectation perf_caching)
 if [[ "${quick}" == 0 ]]; then
   bench_targets+=(fig5_adapt_vqe)
 fi
-# perf_scaling and perf_serve build in both modes: their BENCH-protocol
-# gates (comm volume; serve cache speedup/bit-identity/quota) are part of
-# the regression surface even for --quick runs.
+# perf_scaling, perf_serve, and perf_batch build in both modes: their
+# BENCH-protocol gates (comm volume; serve cache speedup/bit-identity/quota;
+# batched-execution speedup/bit-identity/compile-once) are part of the
+# regression surface even for --quick runs.
 cmake --build "${build_dir}" -j --target "${bench_targets[@]}" perf_scaling \
-  perf_serve $([[ "${quick}" == 0 ]] && echo "${gbench_targets[@]}")
+  perf_serve perf_batch \
+  $([[ "${quick}" == 0 ]] && echo "${gbench_targets[@]}")
 
 mkdir -p "${out_dir}"
 export VQSIM_BENCH_DIR="${out_dir}"
@@ -110,6 +112,20 @@ if [[ "${quick}" == 1 ]]; then
 fi
 "${build_dir}/bench/perf_serve" ${serve_args[@]+"${serve_args[@]}"} \
   | tee "${out_dir}/perf_serve.log"
+
+# Batched-execution PES scan (perf_batch owns its main): sequential vs
+# compiled-scalar vs batched-K evaluation of the same pre-materialized
+# circuit set. The binary exits non-zero — aborting this script via set -e
+# — unless batched K=16 throughput is >= 2x sequential, every batched
+# energy is bit-identical to the compiled scalar path, a rerun reproduces
+# every bit, and the whole scan compiles its one ansatz shape exactly once.
+echo "== perf_batch"
+batch_args=()
+if [[ "${quick}" == 1 ]]; then
+  batch_args+=(--bonds 4 --evals 32)
+fi
+"${build_dir}/bench/perf_batch" ${batch_args[@]+"${batch_args[@]}"} \
+  | tee "${out_dir}/perf_batch.log"
 
 # google-benchmark microbenchmarks (JSON sidecar per binary).
 if [[ "${quick}" == 0 ]]; then

@@ -42,9 +42,12 @@ run_tsan() {
   # shared-scratch race would surface. test_serve races 8 client threads
   # through the service's admit -> cache -> submit critical section (quota
   # slots, single-flight coalescing, lazily settled cache futures).
+  # test_exec races concurrent batch submissions through one pool and its
+  # fleet-shared CompiledCircuitCache (plan compilation under the cache
+  # lock, per-backend batched-program memoization).
   cmake --build "${build_dir}" -j \
     --target test_runtime test_dist test_telemetry test_resilience \
-    test_serve
+    test_serve test_exec
 
   # tools/tsan.supp masks the libstdc++ exception_ptr/COW-string refcount
   # false positive (synchronization lives in the uninstrumented system
@@ -56,6 +59,7 @@ run_tsan() {
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_telemetry"
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_resilience"
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_serve"
+  TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_exec"
 
   echo "TSan pass OK: zero data races reported."
 }
