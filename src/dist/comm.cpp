@@ -5,21 +5,158 @@
 #include <string>
 #include <utility>
 
-#include "resilience/fault_injection.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim {
+
+const char* to_string(RankHealth health) {
+  switch (health) {
+    case RankHealth::kHealthy:
+      return "healthy";
+    case RankHealth::kTimedOut:
+      return "timed_out";
+    case RankHealth::kDead:
+      return "dead";
+  }
+  return "?";
+}
 
 SimComm::SimComm(int num_ranks) : num_ranks_(num_ranks) {
   if (num_ranks <= 0 ||
       !std::has_single_bit(static_cast<unsigned>(num_ranks)))
     throw std::invalid_argument("SimComm: rank count must be a power of two");
   rank_bits_ = std::bit_width(static_cast<unsigned>(num_ranks)) - 1;
+  health_ = std::vector<std::atomic<std::uint8_t>>(
+      static_cast<std::size_t>(num_ranks));
+  for (auto& h : health_)
+    h.store(static_cast<std::uint8_t>(RankHealth::kHealthy),
+            std::memory_order_relaxed);
 }
 
 void SimComm::check_rank(int rank) const {
   if (rank < 0 || rank >= num_ranks_)
     throw std::out_of_range("SimComm: rank out of range");
+}
+
+RankHealth SimComm::rank_health(int rank) const {
+  check_rank(rank);
+  return static_cast<RankHealth>(
+      health_[static_cast<std::size_t>(rank)].load(
+          std::memory_order_acquire));
+}
+
+void SimComm::ensure_usable() const {
+  if (poisoned_.load(std::memory_order_acquire)) throw_recorded();
+}
+
+void SimComm::throw_recorded() const {
+  MutexLock lock(failure_mutex_);
+  const FailureRecord& f = failure_;
+  if (!f.valid)
+    throw std::logic_error("SimComm: poisoned without a failure record");
+  throw CommFailure("SimComm poisoned by earlier failure: " + f.reason,
+                    f.rank, f.site, f.phase, f.bytes_outstanding,
+                    f.deadline_exceeded);
+}
+
+CommFailure SimComm::last_failure() const {
+  MutexLock lock(failure_mutex_);
+  if (!failure_.valid)
+    throw std::logic_error("SimComm::last_failure: not poisoned");
+  return CommFailure(failure_.reason, failure_.rank, failure_.site,
+                     failure_.phase, failure_.bytes_outstanding,
+                     failure_.deadline_exceeded);
+}
+
+void SimComm::reset_health() {
+  {
+    MutexLock lock(failure_mutex_);
+    failure_ = FailureRecord{};
+  }
+  for (auto& h : health_)
+    h.store(static_cast<std::uint8_t>(RankHealth::kHealthy),
+            std::memory_order_relaxed);
+  poisoned_.store(false, std::memory_order_release);
+}
+
+int SimComm::attribute_rank(int fallback) const {
+  const int detail = resilience::FaultInjector::last_fired_detail();
+  return (detail >= 0 && detail < num_ranks_) ? detail : fallback;
+}
+
+void SimComm::record_failure(int rank, RankHealth mark, std::string_view site,
+                             std::string_view phase,
+                             std::uint64_t bytes_outstanding,
+                             bool deadline_exceeded,
+                             std::string_view reason) {
+  if (rank >= 0 && rank < num_ranks_)
+    health_[static_cast<std::size_t>(rank)].store(
+        static_cast<std::uint8_t>(mark), std::memory_order_release);
+  MutexLock lock(failure_mutex_);
+  // First failure wins: later ops racing on a poisoned comm re-throw the
+  // original cause, not their own secondary observation.
+  if (!failure_.valid) {
+    failure_.valid = true;
+    failure_.rank = rank;
+    failure_.site = std::string(site);
+    failure_.phase = std::string(phase);
+    failure_.bytes_outstanding = bytes_outstanding;
+    failure_.deadline_exceeded = deadline_exceeded;
+    failure_.reason = std::string(reason);
+  }
+  poisoned_.store(true, std::memory_order_release);
+}
+
+void SimComm::report_rank_death(int rank, std::string_view site,
+                                std::string_view phase,
+                                std::uint64_t bytes_outstanding,
+                                std::string_view reason) {
+  rank_failures_.fetch_add(1, std::memory_order_relaxed);
+  VQSIM_COUNTER(c_rank_failures, "dist.rank_failures");
+  VQSIM_COUNTER_INC(c_rank_failures);
+  record_failure(rank, RankHealth::kDead, site, phase, bytes_outstanding,
+                 /*deadline_exceeded=*/false, reason);
+  throw CommFailure("rank " + std::to_string(rank) + " died at " +
+                        std::string(site) + " (" + std::string(phase) +
+                        "): " + std::string(reason),
+                    rank, std::string(site), std::string(phase),
+                    bytes_outstanding, /*deadline_exceeded=*/false);
+}
+
+void SimComm::report_deadline(int rank, std::string_view site,
+                              std::string_view phase,
+                              std::uint64_t bytes_outstanding,
+                              std::string_view reason) {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  VQSIM_COUNTER(c_deadline, "comm.deadline_exceeded");
+  VQSIM_COUNTER_INC(c_deadline);
+  record_failure(rank, RankHealth::kTimedOut, site, phase, bytes_outstanding,
+                 /*deadline_exceeded=*/true, reason);
+  throw CommFailure("rank " + std::to_string(rank) +
+                        " missed comm deadline at " + std::string(site) +
+                        " (" + std::string(phase) + "): " +
+                        std::string(reason),
+                    rank, std::string(site), std::string(phase),
+                    bytes_outstanding, /*deadline_exceeded=*/true);
+}
+
+void SimComm::fault_point(std::string_view site, std::string_view phase,
+                          int rank_a, int rank_b,
+                          std::uint64_t bytes_outstanding) {
+  ensure_usable();
+  try {
+    resilience::FaultInjector::instance().check(site, deadline(), rank_a,
+                                                rank_b);
+  } catch (const resilience::StallTimeout& e) {
+    report_deadline(attribute_rank(rank_a), site, phase, bytes_outstanding,
+                    e.what());
+  } catch (const resilience::PermanentFault& e) {
+    report_rank_death(attribute_rank(rank_a), site, phase, bytes_outstanding,
+                      e.what());
+  }
+  // TransientFault (an interconnect hiccup, not a rank failure) propagates
+  // unchanged: retryable without poisoning the communicator — PR 4
+  // semantics, pinned by the CommFaults tests.
 }
 
 void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
@@ -33,7 +170,8 @@ void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
   // Fault site "comm.exchange": a rule's detail selects either endpoint
   // rank; the invocation counter indexes exchange steps, so a scheduled
   // rule kills exactly the Nth exchange of a run.
-  VQSIM_FAULT_POINT("comm.exchange", rank_a, rank_b);
+  fault_point("comm.exchange", "exchange", rank_a, rank_b,
+              2 * payload_a.size() * sizeof(cplx));
   VQSIM_SPAN_NAMED(span, "dist", "exchange");
   if (span.active())
     span.set_args("{\"amplitudes\":" + std::to_string(2 * payload_a.size()) +
@@ -51,7 +189,8 @@ void SimComm::exchange(int rank_a, std::vector<cplx>& payload_a, int rank_b,
 double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
   if (static_cast<int>(per_rank.size()) != num_ranks_)
     throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
-  VQSIM_FAULT_POINT("comm.allreduce");
+  fault_point("comm.allreduce", "allreduce", -1, -1,
+              per_rank.size() * sizeof(double));
   VQSIM_SPAN(/*cat=*/"dist", "allreduce");
   allreduces_.inc();
   VQSIM_COUNTER(c_allreduces, "comm.allreduces_total");
@@ -64,7 +203,8 @@ double SimComm::allreduce_sum(const std::vector<double>& per_rank) {
 cplx SimComm::allreduce_sum(const std::vector<cplx>& per_rank) {
   if (static_cast<int>(per_rank.size()) != num_ranks_)
     throw std::invalid_argument("SimComm::allreduce_sum: size mismatch");
-  VQSIM_FAULT_POINT("comm.allreduce");
+  fault_point("comm.allreduce", "allreduce", -1, -1,
+              per_rank.size() * sizeof(cplx));
   VQSIM_SPAN(/*cat=*/"dist", "allreduce");
   allreduces_.inc();
   VQSIM_COUNTER(c_allreduces, "comm.allreduces_total");

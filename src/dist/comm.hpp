@@ -13,12 +13,30 @@
 // num_ranks/2 times per gate. stats() sums the shards without blocking
 // writers; the same totals are mirrored into the global MetricsRegistry
 // ("comm.*" series) when telemetry hooks are compiled in.
+//
+// Rank-failure tolerance (DESIGN.md §14): every collective carries an
+// optional deadline and the communicator keeps a per-rank health word. A
+// peer that stalls past the deadline or dies outright (both modelled
+// through the FaultInjector's kStall / kPermanent rules) transitions the
+// communicator into a *poisoned* state: the op that observed the failure
+// throws a structured CommFailure, and every subsequent op on any thread
+// re-throws the same failure immediately instead of deadlocking on the
+// dead peer. reset_health() models replacement capacity arriving (a
+// restarted rank): it revives every rank and clears the poison so a
+// recovery driver can replay from a checkpoint. All health state is atomic
+// — one SimComm is legally shared by concurrent DistStateVectors.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
+#include "resilience/fault_injection.hpp"
 #include "telemetry/sharded.hpp"
 
 namespace vqsim {
@@ -29,6 +47,53 @@ struct CommStats {
   std::uint64_t allreduces = 0;
 };
 
+/// Health of one rank as seen by the communicator. Transitions are
+/// monotone between reset_health() calls: kHealthy -> kTimedOut / kDead.
+enum class RankHealth : std::uint8_t {
+  kHealthy = 0,
+  kTimedOut = 1,  // missed a comm deadline; may come back
+  kDead = 2,      // permanent failure reported; will not come back
+};
+
+const char* to_string(RankHealth health);
+
+/// Structured failure of a collective: which rank, at which fault site,
+/// in which logical phase of the computation, with how many bytes caught
+/// in flight. Retryable (derives TransientFault) — the pool may replay
+/// the job on surviving capacity or another backend; the communicator
+/// itself stays poisoned until reset_health().
+class CommFailure : public resilience::TransientFault {
+ public:
+  CommFailure(const std::string& message, int rank, std::string site,
+              std::string phase, std::uint64_t bytes_outstanding,
+              bool deadline_exceeded)
+      : resilience::TransientFault(message),
+        rank_(rank),
+        site_(std::move(site)),
+        phase_(std::move(phase)),
+        bytes_outstanding_(bytes_outstanding),
+        deadline_exceeded_(deadline_exceeded) {}
+
+  /// The rank the failure is attributed to (-1 when unattributable).
+  int rank() const { return rank_; }
+  /// Fault site ("comm.exchange", "comm.allreduce", "comm.inbox").
+  const std::string& site() const { return site_; }
+  /// Logical phase of the op that observed it ("exchange", "allreduce",
+  /// "pauli-inbox", ...).
+  const std::string& phase() const { return phase_; }
+  /// Payload bytes in flight when the collective unwound.
+  std::uint64_t bytes_outstanding() const { return bytes_outstanding_; }
+  /// True when the failure was a missed deadline (vs. a reported death).
+  bool deadline_exceeded() const { return deadline_exceeded_; }
+
+ private:
+  int rank_;
+  std::string site_;
+  std::string phase_;
+  std::uint64_t bytes_outstanding_;
+  bool deadline_exceeded_;
+};
+
 class SimComm {
  public:
   /// `num_ranks` must be a power of two (rank bits extend the qubit index).
@@ -36,6 +101,17 @@ class SimComm {
 
   int num_ranks() const { return num_ranks_; }
   int rank_bits() const { return rank_bits_; }
+
+  /// Deadline applied to every collective; zero (the default) disables
+  /// deadline enforcement — the un-deadlined control configuration, which
+  /// waits out stalls indefinitely exactly like PR 4's injector did.
+  void set_deadline(std::chrono::milliseconds deadline) {
+    deadline_ms_.store(deadline.count(), std::memory_order_relaxed);
+  }
+  std::chrono::milliseconds deadline() const {
+    return std::chrono::milliseconds(
+        deadline_ms_.load(std::memory_order_relaxed));
+  }
 
   /// Pairwise exchange: rank_a's payload and rank_b's payload swap places,
   /// as if each side posted a send and a receive of equal size.
@@ -45,6 +121,45 @@ class SimComm {
   /// Sum one double contribution from every rank (models MPI_Allreduce).
   double allreduce_sum(const std::vector<double>& per_rank);
   cplx allreduce_sum(const std::vector<cplx>& per_rank);
+
+  /// Run the injector hook for `site` under this communicator's deadline
+  /// and failure protocol, without moving any payload. Lets owners of the
+  /// comm (DistStateVector's pauli inbox) add their own fault sites with
+  /// the same StallTimeout -> CommFailure / PermanentFault -> rank-death
+  /// conversion the built-in collectives use. TransientFault propagates
+  /// unchanged (an interconnect hiccup, not a rank failure).
+  void fault_point(std::string_view site, std::string_view phase, int rank_a,
+                   int rank_b, std::uint64_t bytes_outstanding);
+
+  /// Health protocol -----------------------------------------------------
+
+  RankHealth rank_health(int rank) const;
+  /// True once any op observed a deadline miss or a rank death; every
+  /// collective throws the recorded CommFailure while poisoned.
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+  /// The first failure that poisoned the communicator (throws
+  /// std::logic_error when not poisoned — check poisoned() first).
+  CommFailure last_failure() const;
+  /// Revive all ranks and clear the poison: models replacement capacity
+  /// (a restarted rank) joining, after which a recovery driver replays
+  /// from its latest shard checkpoint.
+  void reset_health();
+
+  /// Record that `rank` died at `site`/`phase` with `bytes_outstanding`
+  /// in flight, poison the communicator, and unwind with a CommFailure.
+  [[noreturn]] void report_rank_death(int rank, std::string_view site,
+                                      std::string_view phase,
+                                      std::uint64_t bytes_outstanding,
+                                      std::string_view reason);
+
+  /// Deadline misses / rank deaths observed since construction (exact,
+  /// independent of the telemetry build flag).
+  std::uint64_t deadline_exceeded_count() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rank_failures_count() const {
+    return rank_failures_.load(std::memory_order_relaxed);
+  }
 
   /// Snapshot of the traffic counters (relaxed shard sums: never blocks
   /// communicating threads; exact once they are quiescent).
@@ -59,12 +174,48 @@ class SimComm {
 
  private:
   void check_rank(int rank) const;
+  /// Throw the recorded CommFailure if the communicator is poisoned.
+  void ensure_usable() const;
+  /// Record a deadline miss on `rank`, poison, and unwind.
+  [[noreturn]] void report_deadline(int rank, std::string_view site,
+                                    std::string_view phase,
+                                    std::uint64_t bytes_outstanding,
+                                    std::string_view reason);
+  /// Attribute a fired fault to a rank: the injector's last fired detail
+  /// when it names a valid rank, else `fallback`.
+  int attribute_rank(int fallback) const;
+  void record_failure(int rank, RankHealth mark, std::string_view site,
+                      std::string_view phase, std::uint64_t bytes_outstanding,
+                      bool deadline_exceeded, std::string_view reason);
+  [[noreturn]] void throw_recorded() const;
 
   int num_ranks_ = 1;
   int rank_bits_ = 0;
   telemetry::ShardedCounter messages_;
   telemetry::ShardedCounter amplitudes_;
   telemetry::ShardedCounter allreduces_;
+
+  // Health state. The health words and poison flag are atomics so the
+  // hot-path check is wait-free and a SimComm shared by concurrent
+  // DistStateVectors stays race-free; the first-failure record (strings)
+  // sits behind a mutex taken only on failure and while poisoned.
+  std::atomic<std::int64_t> deadline_ms_{0};
+  std::vector<std::atomic<std::uint8_t>> health_;
+  std::atomic<bool> poisoned_{false};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> rank_failures_{0};
+
+  mutable Mutex failure_mutex_;
+  struct FailureRecord {
+    bool valid = false;
+    int rank = -1;
+    std::string site;
+    std::string phase;
+    std::uint64_t bytes_outstanding = 0;
+    bool deadline_exceeded = false;
+    std::string reason;
+  };
+  FailureRecord failure_ VQSIM_GUARDED_BY(failure_mutex_);
 };
 
 }  // namespace vqsim

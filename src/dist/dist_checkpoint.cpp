@@ -1,0 +1,106 @@
+#include "dist/dist_checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "resilience/checkpoint.hpp"
+#include "telemetry/json_writer.hpp"
+
+namespace vqsim {
+
+std::string encode_dist_snapshot(const DistSnapshot& snap) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("num_qubits");
+  w.value(snap.num_qubits);
+  w.key("local_qubits");
+  w.value(snap.local_qubits);
+  w.key("gate_cursor");
+  w.value(snap.gate_cursor);
+  w.key("greedy_cursor");
+  w.value(snap.greedy_cursor);
+  w.key("at_zero_state");
+  w.value(snap.at_zero_state);
+  w.key("layout");
+  w.begin_array();
+  for (int phys : snap.layout) w.value(phys);
+  w.end_array();
+  w.key("shards");
+  w.begin_array();
+  for (const AmpVector& shard : snap.shards) {
+    w.begin_array();
+    for (const cplx& a : shard) {
+      w.value(a.real());
+      w.value(a.imag());
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+DistSnapshot decode_dist_snapshot(const telemetry::JsonValue& payload) {
+  DistSnapshot snap;
+  snap.num_qubits = static_cast<int>(payload.at("num_qubits").as_number());
+  snap.local_qubits = static_cast<int>(payload.at("local_qubits").as_number());
+  snap.gate_cursor = payload.at("gate_cursor").as_uint();
+  snap.greedy_cursor =
+      static_cast<int>(payload.at("greedy_cursor").as_number());
+  snap.at_zero_state = payload.at("at_zero_state").as_bool();
+  for (const telemetry::JsonValue& v : payload.at("layout").as_array())
+    snap.layout.push_back(static_cast<int>(v.as_number()));
+
+  if (snap.num_qubits <= 0 || snap.local_qubits <= 0 ||
+      snap.local_qubits > snap.num_qubits)
+    throw resilience::CheckpointError(
+        "dist checkpoint: inconsistent register partition");
+  if (snap.layout.size() != static_cast<std::size_t>(snap.num_qubits))
+    throw resilience::CheckpointError(
+        "dist checkpoint: layout size mismatch");
+
+  const std::size_t ranks =
+      std::size_t{1} << (snap.num_qubits - snap.local_qubits);
+  const std::size_t local_dim = std::size_t{1}
+                                << static_cast<unsigned>(snap.local_qubits);
+  const auto& shards = payload.at("shards").as_array();
+  if (shards.size() != ranks)
+    throw resilience::CheckpointError(
+        "dist checkpoint: shard count does not match the partition");
+  snap.shards.reserve(ranks);
+  for (const telemetry::JsonValue& shard : shards) {
+    const auto& flat = shard.as_array();
+    if (flat.size() != 2 * local_dim)
+      throw resilience::CheckpointError(
+          "dist checkpoint: shard amplitude count mismatch");
+    AmpVector amps;
+    amps.reserve(local_dim);
+    for (std::size_t i = 0; i < flat.size(); i += 2)
+      amps.emplace_back(flat[i].as_number(), flat[i + 1].as_number());
+    snap.shards.push_back(std::move(amps));
+  }
+  return snap;
+}
+
+void write_dist_checkpoint(const std::string& path,
+                           const DistSnapshot& snap) {
+  resilience::write_checkpoint(path, kDistCheckpointKind,
+                               encode_dist_snapshot(snap));
+}
+
+DistSnapshot read_dist_checkpoint(const std::string& path) {
+  return decode_dist_snapshot(
+      resilience::read_checkpoint(path, kDistCheckpointKind));
+}
+
+std::size_t checkpoint_stride(std::size_t num_gates,
+                              double checkpoint_cost_gates) {
+  if (num_gates <= 1) return 1;
+  const double c = std::max(checkpoint_cost_gates, 0.0);
+  const double s = std::sqrt(2.0 * c * static_cast<double>(num_gates));
+  const auto stride = static_cast<std::size_t>(std::llround(s));
+  return std::clamp<std::size_t>(stride, 1, num_gates);
+}
+
+}  // namespace vqsim

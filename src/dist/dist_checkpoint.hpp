@@ -1,0 +1,49 @@
+// Shard-level checkpointing for the distributed state vector.
+//
+// Serializes a DistSnapshot (per-rank shards + layout permutation + gate
+// cursor, dist_state_vector.hpp) into the versioned checkpoint envelope
+// from resilience/checkpoint.hpp, kind "dist-shards". Amplitudes travel as
+// flat interleaved [re, im, re, im, ...] arrays through json_number's
+// %.17g and parse back through strtod, so a restored register is
+// bit-identical to the one snapshotted — the property the mid-circuit
+// resume contract (DESIGN.md §14) rests on.
+//
+// checkpoint_stride() is the Young/Daly-style cost model deciding how
+// often the recovery driver snapshots: the snapshot cost is a deep copy of
+// every shard (amps × ranks), amortized against the gates re-executed on
+// restore, giving s = sqrt(2 · c · G) gates between snapshots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dist/dist_state_vector.hpp"
+#include "telemetry/json_reader.hpp"
+
+namespace vqsim {
+
+/// Envelope kind for distributed shard checkpoints.
+inline constexpr const char* kDistCheckpointKind = "dist-shards";
+
+/// Serialize `snap` as the checkpoint payload object (no envelope).
+std::string encode_dist_snapshot(const DistSnapshot& snap);
+
+/// Decode a payload produced by encode_dist_snapshot. Throws
+/// telemetry::JsonParseError / resilience::CheckpointError on malformed or
+/// inconsistent payloads (shard count vs. partition, layout size, ...).
+DistSnapshot decode_dist_snapshot(const telemetry::JsonValue& payload);
+
+/// Write `snap` to `path` in the versioned envelope (atomic temp+rename).
+void write_dist_checkpoint(const std::string& path, const DistSnapshot& snap);
+
+/// Read and validate a "dist-shards" checkpoint from `path`.
+DistSnapshot read_dist_checkpoint(const std::string& path);
+
+/// Gates between snapshots for a circuit of `num_gates` gates, with the
+/// snapshot costing `checkpoint_cost_gates` gate-equivalents (a full-shard
+/// deep copy moves about as much memory as a handful of gate sweeps).
+/// Young/Daly optimum s = sqrt(2 c G), clamped to [1, num_gates].
+std::size_t checkpoint_stride(std::size_t num_gates,
+                              double checkpoint_cost_gates = 4.0);
+
+}  // namespace vqsim

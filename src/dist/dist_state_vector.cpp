@@ -127,6 +127,19 @@ void DistStateVector::apply_circuit(const Circuit& circuit) {
 
 void DistStateVector::apply_circuit(const Circuit& circuit,
                                     const LayoutPlan& plan) {
+  apply_circuit_range(circuit, plan, 0, circuit.size());
+
+  VQSIM_COUNTER(c_planned, "comm.exchanges_planned");
+  VQSIM_COUNTER_ADD(c_planned, plan.stats.planned_exchanges);
+  VQSIM_COUNTER(c_avoided, "comm.exchanges_avoided");
+  VQSIM_COUNTER_ADD(c_avoided,
+                    plan.stats.naive_exchanges - plan.stats.planned_exchanges);
+}
+
+void DistStateVector::apply_circuit_range(const Circuit& circuit,
+                                          const LayoutPlan& plan,
+                                          std::size_t begin,
+                                          std::size_t end) {
   if (mode_ != CommMode::kPersistentLayout)
     throw std::invalid_argument(
         "apply_circuit: comm plans require CommMode::kPersistentLayout");
@@ -137,19 +150,64 @@ void DistStateVector::apply_circuit(const Circuit& circuit,
         "apply_circuit: plan targets a different register partition");
   if (plan.steps.size() != circuit.size())
     throw std::invalid_argument("apply_circuit: plan/circuit length mismatch");
-  if (plan.initial_layout.empty() ? !layout_is_identity()
-                                  : plan.initial_layout != layout_)
+  if (begin > end || end > circuit.size())
+    throw std::invalid_argument("apply_circuit_range: bad gate range");
+  // The plan only records the starting layout; mid-circuit resumption
+  // (begin > 0) trusts the restored snapshot to hold the matching layout —
+  // apply_gate_persistent's per-step sync checks still catch divergence.
+  if (begin == 0 &&
+      (plan.initial_layout.empty() ? !layout_is_identity()
+                                   : plan.initial_layout != layout_))
     throw std::logic_error(
         "apply_circuit: plan assumes a different starting layout");
 
-  for (std::size_t i = 0; i < circuit.size(); ++i)
+  for (std::size_t i = begin; i < end; ++i)
     apply_gate_persistent(circuit[i], &plan.steps[i]);
+}
 
-  VQSIM_COUNTER(c_planned, "comm.exchanges_planned");
-  VQSIM_COUNTER_ADD(c_planned, plan.stats.planned_exchanges);
-  VQSIM_COUNTER(c_avoided, "comm.exchanges_avoided");
-  VQSIM_COUNTER_ADD(c_avoided,
-                    plan.stats.naive_exchanges - plan.stats.planned_exchanges);
+DistSnapshot DistStateVector::snapshot(std::uint64_t gate_cursor) const {
+  DistSnapshot snap;
+  snap.num_qubits = num_qubits_;
+  snap.local_qubits = local_qubits_;
+  snap.gate_cursor = gate_cursor;
+  snap.layout = layout_;
+  snap.greedy_cursor = greedy_cursor_;
+  snap.at_zero_state = at_zero_state_;
+  snap.shards.reserve(local_.size());
+  for (const StateVector& shard : local_)
+    snap.shards.emplace_back(shard.data(), shard.data() + shard.dim());
+  return snap;
+}
+
+void DistStateVector::restore(const DistSnapshot& snap) {
+  if (snap.num_qubits != num_qubits_ || snap.local_qubits != local_qubits_ ||
+      snap.shards.size() != local_.size())
+    throw std::invalid_argument(
+        "DistStateVector::restore: snapshot targets a different partition");
+  if (snap.layout.size() != static_cast<std::size_t>(num_qubits_))
+    throw std::invalid_argument(
+        "DistStateVector::restore: layout size mismatch");
+  const idx local_dim = pow2(static_cast<unsigned>(local_qubits_));
+  for (const AmpVector& amps : snap.shards)
+    if (amps.size() != static_cast<std::size_t>(local_dim))
+      throw std::invalid_argument(
+          "DistStateVector::restore: shard size mismatch");
+  std::vector<char> seen(static_cast<std::size_t>(num_qubits_), 0);
+  for (int phys : snap.layout) {
+    if (phys < 0 || phys >= num_qubits_ ||
+        seen[static_cast<std::size_t>(phys)])
+      throw std::invalid_argument(
+          "DistStateVector::restore: layout is not a permutation");
+    seen[static_cast<std::size_t>(phys)] = 1;
+  }
+  for (std::size_t r = 0; r < local_.size(); ++r)
+    std::copy(snap.shards[r].begin(), snap.shards[r].end(), local_[r].data());
+  layout_ = snap.layout;
+  for (int q = 0; q < num_qubits_; ++q)
+    inv_layout_[static_cast<std::size_t>(
+        layout_[static_cast<std::size_t>(q)])] = q;
+  greedy_cursor_ = snap.greedy_cursor;
+  at_zero_state_ = snap.at_zero_state;
 }
 
 void DistStateVector::apply_gate(const Gate& gate) {
@@ -501,6 +559,12 @@ cplx DistStateVector::expectation_pauli(const PauliString& p) {
       const cplx* ap = local_[static_cast<std::size_t>(partner)].data();
       std::copy(ar, ar + local_dim, mine.begin());
       std::copy(ap, ap + local_dim, theirs.begin());
+      // Fault site "comm.inbox": the expectation-side slice delivery, at
+      // pair granularity — lets a chaos schedule kill a rank while its
+      // inbox payload is in flight, distinctly from circuit exchanges.
+      comm_->fault_point("comm.inbox", "pauli-inbox", r, partner,
+                         2 * static_cast<std::uint64_t>(local_dim) *
+                             sizeof(cplx));
       comm_->exchange(r, mine, partner, theirs);
       // After the swap each inbox holds the slice its rank received.
       pauli_inbox_filled_[static_cast<std::size_t>(r)] = 1;

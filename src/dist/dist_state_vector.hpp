@@ -35,6 +35,27 @@
 
 namespace vqsim {
 
+/// Complete restartable image of a distributed register mid-circuit: the
+/// per-rank shards, the layout permutation they are expressed in, and the
+/// gate cursor (how many gates of the circuit had been applied). Restoring
+/// a snapshot and replaying gates [gate_cursor, N) reproduces the
+/// uninterrupted run bit-for-bit — the shards are the exact amplitudes, and
+/// the layout/greedy-cursor make the replay take the identical comm
+/// schedule. Serialized by dist/dist_checkpoint.hpp.
+struct DistSnapshot {
+  int num_qubits = 0;
+  int local_qubits = 0;
+  /// Gates of the circuit already applied when the snapshot was taken.
+  std::uint64_t gate_cursor = 0;
+  /// layout[logical] = physical index bit at the snapshot point.
+  std::vector<int> layout;
+  /// Round-robin eviction cursor of the greedy persistent path.
+  int greedy_cursor = 0;
+  bool at_zero_state = true;
+  /// One amplitude block per rank, in rank order.
+  std::vector<AmpVector> shards;
+};
+
 class DistStateVector {
  public:
   enum class CommMode {
@@ -71,6 +92,24 @@ class DistStateVector {
   /// planned/avoided exchange counters (comm.exchanges_planned,
   /// comm.exchanges_avoided).
   void apply_circuit(const Circuit& circuit, const LayoutPlan& plan);
+
+  /// Execute gates [begin, end) of `circuit` under `plan` — the resumable
+  /// core of the plan-driven path. With begin == 0 the starting-layout
+  /// check of apply_circuit applies; with begin > 0 the caller asserts the
+  /// register already holds the post-gate-(begin-1) state (restored from a
+  /// snapshot taken at that cursor), which this cannot re-derive from the
+  /// plan. Does not bump the planned/avoided counters — the full-circuit
+  /// overload does that once per complete application.
+  void apply_circuit_range(const Circuit& circuit, const LayoutPlan& plan,
+                           std::size_t begin, std::size_t end);
+
+  /// Restartable image of the register after `gate_cursor` gates: deep
+  /// copy of every shard plus the layout permutation and greedy cursor.
+  DistSnapshot snapshot(std::uint64_t gate_cursor) const;
+  /// Load `snap` into this register (same partition required). After this,
+  /// apply_circuit_range(circuit, plan, snap.gate_cursor, N) replays the
+  /// interrupted run bit-identically.
+  void restore(const DistSnapshot& snap);
 
   /// Distributed <Z^mask> over logical qubits (local parity sums +
   /// allreduce).

@@ -6,6 +6,7 @@
 
 #include "common/bits.hpp"
 #include "common/parallel.hpp"
+#include "resilience/fault_injection.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim::exec {
@@ -206,6 +207,9 @@ void BatchedStateVector::apply(const BatchedOp& op) {
 }
 
 void BatchedStateVector::apply(std::span<const BatchedOp> ops) {
+  // Fault site "exec.batch_apply": one whole-program application of a
+  // batched op list; detail = batch width.
+  VQSIM_FAULT_POINT("exec.batch_apply", static_cast<int>(batch_));
   for (const BatchedOp& op : ops) {
     if (op.payload_slots * batch_ != op.vals.size())
       throw std::invalid_argument(

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "ir/fingerprint.hpp"
+#include "resilience/fault_injection.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim::exec {
@@ -26,6 +27,10 @@ std::shared_ptr<const CompiledCircuit> CompiledCircuitCache::get_or_compile(
     VQSIM_COUNTER_INC(c_hits);
     return lru_.front().second;
   }
+  // Fault site "exec.compile": fires before the plan is constructed, so a
+  // failed compile inserts nothing — the next attempt re-compiles instead
+  // of serving a poisoned cache entry.
+  VQSIM_FAULT_POINT("exec.compile");
   // Compile under the lock: plans are cheap relative to the executions they
   // amortize, and holding the lock gives exactly-once compilation per shape.
   auto plan = std::make_shared<const CompiledCircuit>(representative);

@@ -11,6 +11,7 @@
 #include "ir/fingerprint.hpp"
 #include "ir/passes/fusion.hpp"
 #include "pauli/pauli_string.hpp"
+#include "resilience/fault_injection.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim::exec {
@@ -534,6 +535,10 @@ Circuit CompiledCircuit::fused(const Circuit& bound) const {
 }
 
 std::vector<CompiledOp> CompiledCircuit::bind(const Circuit& bound) const {
+  // Fault site "exec.bind": a parameter-binding failure on the batch path
+  // (chaos schedules use it to fail a kBatch job mid-flight without
+  // touching the compiled plan, which must stay cached).
+  VQSIM_FAULT_POINT("exec.bind");
   if (!matches_shape(bound))
     throw std::invalid_argument(
         "CompiledCircuit: bound circuit does not match the compiled shape");
@@ -550,6 +555,7 @@ std::vector<CompiledOp> CompiledCircuit::bind(const Circuit& bound) const {
 
 std::vector<BatchedOp> CompiledCircuit::bind_batch(
     std::span<const Circuit> bound) const {
+  VQSIM_FAULT_POINT("exec.bind");
   if (bound.empty()) return {};
   const std::size_t batch = bound.size();
   for (const Circuit& c : bound)

@@ -55,6 +55,18 @@ bool CircuitBreaker::on_failure(Clock::time_point now) {
   return false;
 }
 
+bool CircuitBreaker::trip(Clock::time_point now) {
+  if (!policy_.enabled) return false;
+  probe_in_flight_ = false;
+  const bool was_quarantined =
+      state_ == BreakerState::kOpen && now < open_until_;
+  state_ = BreakerState::kOpen;
+  open_until_ = now + policy_.open_duration;
+  if (was_quarantined) return false;
+  ++opens_;
+  return true;
+}
+
 BreakerState CircuitBreaker::state(Clock::time_point now) const {
   if (state_ == BreakerState::kOpen && now >= open_until_ &&
       policy_.enabled)

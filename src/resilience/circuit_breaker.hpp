@@ -49,6 +49,13 @@ class CircuitBreaker {
   void on_success();
   bool on_failure(Clock::time_point now);
 
+  /// Force-open the breaker regardless of the consecutive-failure count.
+  /// Used when a single failure is known to be structural (a poisoned
+  /// communicator, a dead rank) rather than a one-off hiccup. Returns true
+  /// when this call transitioned the breaker to OPEN (false when disabled
+  /// or already open and still in quarantine).
+  bool trip(Clock::time_point now);
+
   BreakerState state(Clock::time_point now) const;
   int consecutive_failures() const { return consecutive_failures_; }
   std::uint64_t opens() const { return opens_; }

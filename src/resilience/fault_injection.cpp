@@ -79,12 +79,25 @@ double fault_uniform(std::uint64_t seed, std::string_view site,
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-void FaultInjector::check_slow(std::string_view site, int detail_a,
-                               int detail_b) {
+namespace {
+
+// Which peer the last fault on this thread was attributed to; lets a catch
+// block up-stack recover the `detail` selector without threading it through
+// the exception type.
+thread_local int g_last_fired_detail = -1;
+
+}  // namespace
+
+int FaultInjector::last_fired_detail() { return g_last_fired_detail; }
+
+void FaultInjector::check_slow(std::string_view site,
+                               std::chrono::milliseconds deadline,
+                               int detail_a, int detail_b) {
   FaultKind kind = FaultKind::kTransient;
   std::chrono::milliseconds stall{0};
   std::string message;
   bool fire = false;
+  int fired_detail = -1;
   {
     MutexLock lock(mutex_);
     if (!armed_.load(std::memory_order_relaxed)) return;
@@ -107,6 +120,7 @@ void FaultInjector::check_slow(std::string_view site, int detail_a,
       fire = true;
       kind = rule.kind;
       stall = rule.stall;
+      fired_detail = rule.detail >= 0 ? rule.detail : detail_a;
       message = rule.message.empty()
                     ? std::string("injected ") + to_string(rule.kind) +
                           " fault at " + std::string(site) + "#" +
@@ -118,6 +132,7 @@ void FaultInjector::check_slow(std::string_view site, int detail_a,
   }
   if (!fire) return;
 
+  g_last_fired_detail = fired_detail;
   VQSIM_COUNTER(c_injected, "resilience.faults_injected_total");
   VQSIM_COUNTER_INC(c_injected);
   switch (kind) {
@@ -126,6 +141,13 @@ void FaultInjector::check_slow(std::string_view site, int detail_a,
     case FaultKind::kPermanent:
       throw PermanentFault(message);
     case FaultKind::kStall:
+      if (deadline.count() > 0 && stall > deadline) {
+        // The straggler outlives the caller's patience: model the cutoff
+        // by sleeping only the deadline, then surface a timeout.
+        std::this_thread::sleep_for(deadline);
+        throw StallTimeout(message + " (stall exceeded " +
+                           std::to_string(deadline.count()) + "ms deadline)");
+      }
       std::this_thread::sleep_for(stall);
       return;
   }

@@ -42,6 +42,14 @@ class PermanentFault : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A stall that exceeded the caller's deadline: the straggler was cut off
+/// after `deadline` elapsed instead of being waited out. Transient — the
+/// operation may succeed on a healthy peer or a later attempt.
+class StallTimeout : public TransientFault {
+ public:
+  using TransientFault::TransientFault;
+};
+
 enum class FaultKind : std::uint8_t {
   kTransient,  // throw TransientFault
   kPermanent,  // throw PermanentFault
@@ -97,7 +105,19 @@ class FaultInjector {
   /// throws / stalls if a rule fires. No-op (one relaxed load) otherwise.
   void check(std::string_view site, int detail_a = -1, int detail_b = -1) {
     if (!armed_.load(std::memory_order_relaxed)) return;
-    check_slow(site, detail_a, detail_b);
+    check_slow(site, std::chrono::milliseconds{-1}, detail_a, detail_b);
+  }
+
+  /// Deadline-aware fault hook. Identical to check() except that a kStall
+  /// rule whose `stall` exceeds `deadline` sleeps only `deadline` and then
+  /// throws StallTimeout — modelling a comm layer that cuts off a
+  /// straggler instead of waiting it out. Stalls within the deadline (and
+  /// a non-positive deadline, meaning unbounded) keep the full-sleep
+  /// semantics of check().
+  void check(std::string_view site, std::chrono::milliseconds deadline,
+             int detail_a = -1, int detail_b = -1) {
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    check_slow(site, deadline, detail_a, detail_b);
   }
 
   /// Invocations counted at `site` since the last arm(). 0 when disarmed.
@@ -105,9 +125,17 @@ class FaultInjector {
   /// Faults actually delivered (thrown or stalled) since the last arm().
   std::uint64_t faults_injected() const;
 
+  /// The `detail` selector of the most recent rule that fired *on this
+  /// thread* (the rule's own detail when it filtered, else the call's
+  /// `detail_a`). Lets a catch block attribute a fault to a specific peer
+  /// — e.g. which rank of a pairwise exchange died. -1 when no fault has
+  /// fired on this thread.
+  static int last_fired_detail();
+
  private:
   FaultInjector() = default;
-  void check_slow(std::string_view site, int detail_a, int detail_b);
+  void check_slow(std::string_view site, std::chrono::milliseconds deadline,
+                  int detail_a, int detail_b);
 
   mutable Mutex mutex_;
   FaultPlan plan_ VQSIM_GUARDED_BY(mutex_);

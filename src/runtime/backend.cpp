@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dist/dist_checkpoint.hpp"
 #include "dist/dist_state_vector.hpp"
 #include "ir/passes/layout.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/expectation.hpp"
 #include "sim/stabilizer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vqsim::runtime {
 namespace {
@@ -233,8 +235,11 @@ double StabilizerBackend::energy(const Ansatz& ansatz,
 
 // -- DistStateVectorBackend --------------------------------------------------
 
-DistStateVectorBackend::DistStateVectorBackend(int num_ranks, int max_qubits)
-    : comm_(num_ranks), max_qubits_(max_qubits) {}
+DistStateVectorBackend::DistStateVectorBackend(int num_ranks, int max_qubits,
+                                               DistBackendOptions options)
+    : comm_(num_ranks), max_qubits_(max_qubits), options_(options) {
+  comm_.set_deadline(options_.comm_deadline);
+}
 
 BackendCaps DistStateVectorBackend::caps() const {
   return BackendCaps{.max_qubits = max_qubits_,
@@ -244,15 +249,26 @@ BackendCaps DistStateVectorBackend::caps() const {
                      .clifford_only = false};
 }
 
-namespace {
-
 // Every dist-backend job plans its circuit's communication schedule first:
 // the persistent layout permutation turns the per-gate swap round trips
 // into one-time exchanges (see ir/passes/layout.hpp). The initial layout
 // comes from the analyzer's interaction graph — the hottest non-diagonal
 // qubits start on local index bits, so the plan pays fewer lowering swaps
 // than an identity start.
-void apply_with_comm_plan(DistStateVector& psi, const Circuit& circuit) {
+//
+// Execution runs under the shard-checkpoint recovery driver: gates apply
+// one at a time against the plan, with an in-memory DistSnapshot refreshed
+// every `stride` gates. A CommFailure (missed deadline or rank death,
+// dist/comm.hpp) revives the communicator, restores the latest snapshot,
+// and replays from its gate cursor — bit-identical by the snapshot
+// contract. A final-state snapshot before readout means an expectation-
+// phase failure recomputes the readout without replaying any gates.
+// TransientFaults are NOT absorbed here: an interconnect hiccup stays a
+// whole-job retry through the pool (PR 4 semantics).
+template <typename Finish>
+auto DistStateVectorBackend::run_recoverable(DistStateVector& psi,
+                                             const Circuit& circuit,
+                                             Finish&& finish) {
   analyze::PropertyOptions popts;
   popts.dataflow = false;
   popts.lint = false;
@@ -263,10 +279,48 @@ void apply_with_comm_plan(DistStateVector& psi, const Circuit& circuit) {
   const LayoutPlan plan =
       plan_layout(circuit, psi.num_qubits(), psi.local_qubits(), seed);
   psi.adopt_layout(std::move(seed));
-  psi.apply_circuit(circuit, plan);
-}
 
-}  // namespace
+  const std::size_t n = circuit.size();
+  const std::size_t stride = options_.checkpoint_every > 0
+                                 ? options_.checkpoint_every
+                                 : checkpoint_stride(n);
+  DistSnapshot snap = psi.snapshot(0);
+  std::size_t cursor = 0;
+  bool counters_done = false;
+  for (;;) {
+    try {
+      while (cursor < n) {
+        psi.apply_circuit_range(circuit, plan, cursor, cursor + 1);
+        ++cursor;
+        if (cursor < n && cursor % stride == 0) snap = psi.snapshot(cursor);
+      }
+      if (!counters_done) {
+        counters_done = true;
+        VQSIM_COUNTER(c_planned, "comm.exchanges_planned");
+        VQSIM_COUNTER_ADD(c_planned, plan.stats.planned_exchanges);
+        VQSIM_COUNTER(c_avoided, "comm.exchanges_avoided");
+        VQSIM_COUNTER_ADD(c_avoided, plan.stats.naive_exchanges -
+                                         plan.stats.planned_exchanges);
+      }
+      // Final-state snapshot: a readout-phase CommFailure (pauli inbox,
+      // allreduce) restores here and replays zero gates.
+      if (snap.gate_cursor < n) snap = psi.snapshot(n);
+      return finish(psi);
+    } catch (const CommFailure&) {
+      if (recovery_.recoveries >=
+          static_cast<std::uint64_t>(std::max(options_.max_recoveries, 0)))
+        throw;
+      ++recovery_.recoveries;
+      recovery_.replayed_gates += cursor - snap.gate_cursor;
+      recovery_.path = "checkpoint_replay";
+      VQSIM_COUNTER(c_recoveries, "dist.checkpoint_recoveries");
+      VQSIM_COUNTER_INC(c_recoveries);
+      comm_.reset_health();
+      psi.restore(snap);
+      cursor = static_cast<std::size_t>(snap.gate_cursor);
+    }
+  }
+}
 
 analyze::CostEstimate DistStateVectorBackend::estimate_cost(
     const Circuit& circuit, const analyze::CircuitProperties& props,
@@ -281,9 +335,10 @@ analyze::CostEstimate DistStateVectorBackend::estimate_cost(
 
 StateVector DistStateVectorBackend::run_circuit(const Circuit& circuit) {
   require_fits(circuit.num_qubits(), max_qubits_, name());
+  recovery_ = RecoveryInfo{};
   DistStateVector psi(circuit.num_qubits(), &comm_);
-  apply_with_comm_plan(psi, circuit);
-  return psi.gather();
+  return run_recoverable(psi, circuit,
+                         [](DistStateVector& p) { return p.gather(); });
 }
 
 double DistStateVectorBackend::expectation(const Circuit& circuit,
@@ -291,18 +346,23 @@ double DistStateVectorBackend::expectation(const Circuit& circuit,
                                            const NoiseModel& noise) {
   require_noiseless(noise, name());
   require_fits(circuit.num_qubits(), max_qubits_, name());
+  recovery_ = RecoveryInfo{};
   DistStateVector psi(circuit.num_qubits(), &comm_);
-  apply_with_comm_plan(psi, circuit);
-  return psi.expectation(observable);
+  return run_recoverable(psi, circuit, [&](DistStateVector& p) {
+    return p.expectation(observable);
+  });
 }
 
 double DistStateVectorBackend::energy(const Ansatz& ansatz,
                                       const PauliSum& observable,
                                       std::span<const double> theta) {
   require_fits(ansatz.num_qubits(), max_qubits_, name());
+  recovery_ = RecoveryInfo{};
   DistStateVector psi(ansatz.num_qubits(), &comm_);
-  apply_with_comm_plan(psi, ansatz.circuit(theta));
-  return psi.expectation(observable);
+  const Circuit circuit = ansatz.circuit(theta);
+  return run_recoverable(psi, circuit, [&](DistStateVector& p) {
+    return p.expectation(observable);
+  });
 }
 
 }  // namespace vqsim::runtime

@@ -14,8 +14,11 @@
 // most one job executes on a given backend at a time.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "analyze/cost.hpp"
@@ -27,6 +30,10 @@
 #include "runtime/job.hpp"
 #include "sim/state_vector.hpp"
 #include "vqe/ansatz.hpp"
+
+namespace vqsim {
+class DistStateVector;  // dist/dist_state_vector.hpp
+}
 
 namespace vqsim::runtime {
 
@@ -49,6 +56,20 @@ struct BackendCaps {
 
 /// True when a backend with `caps` can execute a job with `req`.
 bool backend_can_run(const BackendCaps& caps, const JobRequirements& req);
+
+/// How the most recent job on a backend survived (or didn't need to
+/// survive) internal failures. Backends with in-job recovery (the
+/// distributed backend's checkpoint replay) fill this; the pool copies it
+/// into JobTelemetry.
+struct RecoveryInfo {
+  /// CommFailures absorbed inside the backend during the last job.
+  std::uint64_t recoveries = 0;
+  /// Gates re-executed from shard checkpoints during the last job.
+  std::uint64_t replayed_gates = 0;
+  /// Recovery mechanism ("checkpoint_replay"); empty when the job ran
+  /// clean.
+  std::string path;
+};
 
 /// Bridges into the analyzer's dependency-free capability model, so pool
 /// rejections can explain per-backend why a job does not fit
@@ -104,6 +125,12 @@ class QpuBackend {
       out.push_back(energy(ansatz, observable, theta));
     return out;
   }
+
+  /// Recovery record of the most recent job executed on this backend.
+  /// Backends without internal recovery return the default (clean) record.
+  /// Read under the same serialization guarantee as execution — the pool
+  /// reads it right after the job, before dispatching the next one.
+  virtual RecoveryInfo last_recovery() const { return {}; }
 };
 
 /// Shared-memory state-vector simulator (the NWQ-Sim role). The only
@@ -182,13 +209,35 @@ class StabilizerBackend final : public QpuBackend {
   int max_qubits_;
 };
 
+/// Rank-failure knobs for DistStateVectorBackend.
+struct DistBackendOptions {
+  /// Deadline on every collective of the private communicator; zero (the
+  /// default) disables enforcement — the un-deadlined control, which waits
+  /// out stalls indefinitely.
+  std::chrono::milliseconds comm_deadline{0};
+  /// CommFailures a single job absorbs by checkpoint replay before the
+  /// failure propagates to the pool (degraded-mode failover takes over).
+  int max_recoveries = 2;
+  /// Gates between in-memory shard snapshots; 0 picks the Young/Daly
+  /// stride from dist/dist_checkpoint.hpp's cost model.
+  std::size_t checkpoint_every = 0;
+};
+
 /// Rank-partitioned distributed state vector over a private in-process
 /// communicator (the SV-Sim multi-node role). Each job sees a fresh
 /// DistStateVector; the accumulated CommStats expose the traffic the
 /// virtualized "cluster" moved.
+///
+/// Every job runs under the shard-checkpoint recovery driver: gates apply
+/// through the comm plan with an in-memory DistSnapshot taken at the cost
+/// model's stride, and a CommFailure (missed deadline / rank death) revives
+/// the communicator, restores the latest snapshot, and replays — up to
+/// options.max_recoveries times per job, after which the CommFailure
+/// propagates and the pool's degraded-mode failover takes over.
 class DistStateVectorBackend final : public QpuBackend {
  public:
-  explicit DistStateVectorBackend(int num_ranks, int max_qubits = 24);
+  explicit DistStateVectorBackend(int num_ranks, int max_qubits = 24,
+                                  DistBackendOptions options = {});
 
   const char* name() const override { return "dist_statevector"; }
   BackendCaps caps() const override;
@@ -203,12 +252,25 @@ class DistStateVectorBackend final : public QpuBackend {
                      const NoiseModel& noise) override;
   double energy(const Ansatz& ansatz, const PauliSum& observable,
                 std::span<const double> theta) override;
+  RecoveryInfo last_recovery() const override { return recovery_; }
 
   CommStats comm_stats() const { return comm_.stats(); }
+  const SimComm& comm() const { return comm_; }
+  const DistBackendOptions& options() const { return options_; }
 
  private:
+  /// Plan, execute, and read out one job under checkpoint recovery;
+  /// `finish` computes the job result from the completed register.
+  template <typename Finish>
+  auto run_recoverable(DistStateVector& psi, const Circuit& circuit,
+                       Finish&& finish);
+
   SimComm comm_;
   int max_qubits_;
+  DistBackendOptions options_;
+  // Per-job recovery record; unsynchronized like StateVectorBackend's
+  // program memo — the pool serializes execution on a backend instance.
+  RecoveryInfo recovery_;
 };
 
 }  // namespace vqsim::runtime

@@ -115,6 +115,13 @@ struct JobTelemetry {
   /// Parameter sets evaluated by this job: 1 for scalar kinds, K for
   /// JobKind::kBatch (one record covers all K items).
   int batch_size = 1;
+  /// How a successful job survived communicator failures: empty for clean
+  /// runs, "checkpoint_replay" when the backend absorbed CommFailures by
+  /// replaying shard checkpoints in-job, "failover" when a comm failure
+  /// degraded the original backend and the job completed elsewhere.
+  std::string recovery_path;
+  /// Gates re-executed from shard checkpoints by in-backend recovery.
+  std::uint64_t replayed_gates = 0;
 };
 
 }  // namespace vqsim::runtime

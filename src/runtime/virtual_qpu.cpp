@@ -10,7 +10,9 @@
 #include "analyze/properties.hpp"
 #include "analyze/verifier.hpp"
 #include "common/parallel.hpp"
+#include "dist/comm.hpp"
 #include "resilience/fault_injection.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim::runtime {
@@ -45,6 +47,18 @@ VirtualQpuPool::VirtualQpuPool(std::vector<std::unique_ptr<QpuBackend>> qpus,
     VirtualQpu q;
     q.caps = backend->caps();
     q.backend = std::move(backend);
+    // Per-backend health gauges, resolved once (the registry's references
+    // are stable); the id is part of the name so identical fleet members
+    // (make_statevector_pool) get distinct series.
+    const std::string prefix = "pool.backend." +
+                               std::to_string(qpus_.size()) + "." +
+                               q.backend->name() + ".";
+    q.breaker_state_gauge =
+        &telemetry::MetricsRegistry::global().gauge(prefix + "breaker_state");
+    q.degraded_gauge =
+        &telemetry::MetricsRegistry::global().gauge(prefix + "degraded");
+    q.breaker_state_gauge->set(0);
+    q.degraded_gauge->set(0);
     qpus_.push_back(std::move(q));
   }
   timer_ = std::thread([this] { timer_loop(); });
@@ -199,6 +213,16 @@ void VirtualQpuPool::enqueue(
   pump_locked(Clock::now());
 }
 
+void VirtualQpuPool::refresh_backend_gauges_locked(std::size_t q,
+                                                   Clock::time_point now) {
+  const resilience::BreakerState state = qpus_[q].breaker.state(now);
+  if (qpus_[q].breaker_state_gauge)
+    qpus_[q].breaker_state_gauge->set(static_cast<std::int64_t>(state));
+  if (qpus_[q].degraded_gauge)
+    qpus_[q].degraded_gauge->set(
+        state == resilience::BreakerState::kOpen ? 1 : 0);
+}
+
 void VirtualQpuPool::finish_failed_locked(PendingJob job, int backend_id,
                                           std::exception_ptr error,
                                           double exec_seconds,
@@ -286,15 +310,31 @@ void VirtualQpuPool::pump_locked(Clock::time_point now) {
       // Cost-aware routing: among the idle capable breaker-admitted QPUs,
       // the cheapest predicted backend wins (strict < keeps the first
       // fleet index on ties, so identical fleets dispatch as before).
+      // Retry attempts additionally prefer closed-breaker backends: a
+      // half-open probe slot admits exactly one job, and spending a
+      // retrying job on a just-sick backend risks its remaining attempts
+      // when a known-healthy alternative is idle. Ranking is
+      // lexicographic (failed-before, breaker-not-closed, cost), so a
+      // probe-only fleet still retries.
       int best = -1, fallback = -1;
       double best_cost = std::numeric_limits<double>::infinity();
       double fallback_cost = std::numeric_limits<double>::infinity();
+      bool best_probe = false, fallback_probe = false;
+      const auto better = [](bool probe, double cost, int cur, bool cur_probe,
+                             double cur_cost) {
+        if (cur < 0) return true;
+        if (probe != cur_probe) return !probe;
+        return cost < cur_cost;
+      };
       for (std::size_t q = 0; q < qpus_.size(); ++q) {
         if (qpus_[q].busy) continue;
         if (!backend_can_run(qpus_[q].caps, job.requirements)) continue;
         if (!qpus_[q].breaker.would_admit(now)) continue;
         const double cost =
             q < job.backend_cost.size() ? job.backend_cost[q] : 0.0;
+        const bool probe =
+            job.attempts > 0 && qpus_[q].breaker.state(now) !=
+                                    resilience::BreakerState::kClosed;
         const bool failed_before =
             std::find(job.backend_history.begin(), job.backend_history.end(),
                       static_cast<int>(q)) != job.backend_history.end();
@@ -302,13 +342,15 @@ void VirtualQpuPool::pump_locked(Clock::time_point now) {
         // wins over one that has; the latter is kept as a fallback so a
         // single-backend fleet still retries.
         if (job.retry.failover && failed_before) {
-          if (fallback < 0 || cost < fallback_cost) {
+          if (better(probe, cost, fallback, fallback_probe, fallback_cost)) {
             fallback = static_cast<int>(q);
             fallback_cost = cost;
+            fallback_probe = probe;
           }
-        } else if (best < 0 || cost < best_cost) {
+        } else if (better(probe, cost, best, best_probe, best_cost)) {
           best = static_cast<int>(q);
           best_cost = cost;
+          best_probe = probe;
         }
       }
       return best >= 0 ? best : fallback;
@@ -382,6 +424,7 @@ void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
 
     if (!error) {
       qpu.breaker.on_success();
+      refresh_backend_gauges_locked(static_cast<std::size_t>(backend_id), end);
 
       JobTelemetry record;
       record.job_id = job.id;
@@ -399,6 +442,18 @@ void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
       record.estimated_cost = job.estimated_cost;
       record.auto_clifford = job.auto_clifford;
       record.batch_size = job.batch_size;
+      // Recovery attribution: in-backend checkpoint replay is reported by
+      // the backend itself; completing on a different backend after a
+      // CommFailure is the pool's degraded-mode failover.
+      const RecoveryInfo recovery = qpu.backend->last_recovery();
+      record.recovery_path = recovery.path;
+      record.replayed_gates = recovery.replayed_gates;
+      if (job.comm_failure_seen && backend_id != job.comm_failure_backend) {
+        record.recovery_path = "failover";
+        ++counters_.degraded_failovers;
+        VQSIM_COUNTER(c_failovers, "runtime.degraded_failovers");
+        VQSIM_COUNTER_INC(c_failovers);
+      }
 
       ++counters_.jobs_completed;
       if (job.attempts > 1) ++counters_.jobs_recovered;
@@ -413,11 +468,29 @@ void VirtualQpuPool::run_job(PendingJob job, int backend_id) {
     } else {
       job.last_error = resilience::describe_error(error);
       job.prior_execution_seconds += exec_seconds;
-      if (qpu.breaker.on_failure(end)) {
+      // A CommFailure means the backend's communicator lost a rank or
+      // missed a deadline and its own checkpoint replay gave up: trip the
+      // breaker immediately (consecutive-failure counting is too slow for
+      // a dead rank) so retries land on healthy capacity — degraded mode.
+      bool comm_failure = false;
+      try {
+        std::rethrow_exception(error);
+      } catch (const CommFailure&) {
+        comm_failure = true;
+      } catch (...) {
+      }
+      if (comm_failure) {
+        job.comm_failure_seen = true;
+        job.comm_failure_backend = backend_id;
+      }
+      const bool breaker_opened =
+          comm_failure ? qpu.breaker.trip(end) : qpu.breaker.on_failure(end);
+      if (breaker_opened) {
         ++counters_.breaker_open_events;
         VQSIM_COUNTER(c_breaker, "pool.breaker_open_total");
         VQSIM_COUNTER_INC(c_breaker);
       }
+      refresh_backend_gauges_locked(static_cast<std::size_t>(backend_id), end);
       std::int64_t open_now = 0;
       for (const VirtualQpu& q : qpus_)
         if (q.breaker.state(end) == resilience::BreakerState::kOpen)
@@ -702,6 +775,9 @@ void VirtualQpuPool::set_breaker_policy(
     resilience::CircuitBreakerPolicy policy) {
   MutexLock lock(mutex_);
   for (VirtualQpu& q : qpus_) q.breaker = resilience::CircuitBreaker(policy);
+  const Clock::time_point now = Clock::now();
+  for (std::size_t q = 0; q < qpus_.size(); ++q)
+    refresh_backend_gauges_locked(q, now);
 }
 
 std::size_t VirtualQpuPool::queue_depth() const {
@@ -727,12 +803,13 @@ PoolStats VirtualQpuPool::stats() const {
     BackendHealth h;
     h.backend_id = static_cast<int>(i);
     h.name = qpus_[i].backend->name();
+    h.max_qubits = qpus_[i].caps.max_qubits;
     h.breaker = qpus_[i].breaker.state(now);
     h.consecutive_failures = qpus_[i].breaker.consecutive_failures();
     h.breaker_opens = qpus_[i].breaker.opens();
-    if (h.breaker == resilience::BreakerState::kOpen) ++s.open_breakers;
-    if (!qpus_[i].busy && h.breaker != resilience::BreakerState::kOpen)
-      ++s.idle_backends;
+    h.degraded = h.breaker == resilience::BreakerState::kOpen;
+    if (h.degraded) ++s.open_breakers;
+    if (!qpus_[i].busy && !h.degraded) ++s.idle_backends;
     s.backends.push_back(std::move(h));
   }
   return s;
@@ -762,9 +839,11 @@ std::vector<BackendHealth> VirtualQpuPool::health() const {
     BackendHealth h;
     h.backend_id = static_cast<int>(i);
     h.name = qpus_[i].backend->name();
+    h.max_qubits = qpus_[i].caps.max_qubits;
     h.breaker = qpus_[i].breaker.state(now);
     h.consecutive_failures = qpus_[i].breaker.consecutive_failures();
     h.breaker_opens = qpus_[i].breaker.opens();
+    h.degraded = h.breaker == resilience::BreakerState::kOpen;
     out.push_back(std::move(h));
   }
   return out;

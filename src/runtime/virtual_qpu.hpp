@@ -44,6 +44,10 @@
 #include "runtime/job.hpp"
 #include "runtime/thread_pool.hpp"
 
+namespace vqsim::telemetry {
+class Gauge;  // telemetry/metrics.hpp
+}
+
 namespace vqsim::runtime {
 
 /// Aggregate pool statistics (monotonic over the pool's lifetime).
@@ -60,6 +64,9 @@ struct PoolCounters {
   std::uint64_t jobs_recovered = 0;  // successes that needed >= 1 retry
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t breaker_open_events = 0;
+  /// Jobs that hit a CommFailure (rank death / comm deadline) on one
+  /// backend and then completed on a different one.
+  std::uint64_t degraded_failovers = 0;
   std::size_t queue_depth_high_water = 0;
   double total_queue_wait_seconds = 0.0;
   double total_execution_seconds = 0.0;
@@ -77,9 +84,13 @@ struct BackendUtilization {
 struct BackendHealth {
   int backend_id = -1;
   std::string name;
+  int max_qubits = 0;  // cached capability: the degraded-shed qubit bound
   resilience::BreakerState breaker = resilience::BreakerState::kClosed;
   int consecutive_failures = 0;
   std::uint64_t breaker_opens = 0;
+  /// Quarantined right now (breaker OPEN): the backend takes no traffic
+  /// and the fleet runs in degraded mode until the reopen probe closes it.
+  bool degraded = false;
 };
 
 /// One-lock snapshot of the pool's live scheduling state, taken atomically:
@@ -213,6 +224,11 @@ class VirtualQpuPool {
     std::uint64_t jobs_run = 0;
     double busy_seconds = 0.0;
     resilience::CircuitBreaker breaker;
+    // Global-registry gauges "pool.backend.<id>.<name>.breaker_state" /
+    // ".degraded", resolved once at construction (references are stable for
+    // the registry's lifetime); refreshed whenever the breaker transitions.
+    telemetry::Gauge* breaker_state_gauge = nullptr;
+    telemetry::Gauge* degraded_gauge = nullptr;
   };
 
   struct PendingJob {
@@ -255,6 +271,12 @@ class VirtualQpuPool {
     bool auto_clifford = false;
     /// Parameter sets this job evaluates (K for JobKind::kBatch, else 1).
     int batch_size = 1;
+    /// A CommFailure (rank death / missed comm deadline) escaped a backend
+    /// on an earlier attempt; completing on a different backend counts as a
+    /// degraded-mode failover in telemetry.
+    bool comm_failure_seen = false;
+    /// Backend of the most recent CommFailure (-1: none).
+    int comm_failure_backend = -1;
   };
 
   /// Property-inference product for one submission: per-backend predicted
@@ -294,6 +316,9 @@ class VirtualQpuPool {
                             std::exception_ptr error, double exec_seconds,
                             bool deadline_hit) VQSIM_REQUIRES(mutex_);
   void run_job(PendingJob job, int backend_id);
+  /// Push backend `q`'s breaker state into its per-backend gauges.
+  void refresh_backend_gauges_locked(std::size_t q, Clock::time_point now)
+      VQSIM_REQUIRES(mutex_);
   /// Wakes the dispatcher at the earliest backoff / breaker-reopen /
   /// deadline event while jobs are queued.
   void timer_loop();

@@ -14,6 +14,7 @@ const char* to_string(AdmissionOutcome outcome) {
     case AdmissionOutcome::kShedBreakerOpen: return "shed_breaker_open";
     case AdmissionOutcome::kUnknownTenant: return "unknown_tenant";
     case AdmissionOutcome::kRejectedCost: return "rejected_cost";
+    case AdmissionOutcome::kShedDegraded: return "shed_degraded";
   }
   return "?";
 }
@@ -48,7 +49,7 @@ void AdmissionController::prune(State& s) {
 
 AdmissionOutcome AdmissionController::admit_request(
     const TenantId& tenant, Clock::time_point now,
-    const runtime::PoolStats& pool, double request_cost) {
+    const runtime::PoolStats& pool, double request_cost, int num_qubits) {
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return AdmissionOutcome::kUnknownTenant;
   State& s = it->second;
@@ -62,6 +63,29 @@ AdmissionOutcome AdmissionController::admit_request(
       pool.open_breakers == static_cast<int>(pool.backends.size())) {
     ++s.stats.shed_breaker_open;
     return AdmissionOutcome::kShedBreakerOpen;
+  }
+  // Degraded-capacity shed: the fleet may still have healthy members, but
+  // when every backend with enough qubits for THIS request is quarantined
+  // (e.g. the distributed backend tripped on a rank failure), the request
+  // is degraded-only traffic with nowhere to go — shed it while smaller
+  // requests keep flowing to the healthy remainder. A request no backend
+  // could ever fit is not shed here; the pool rejects it with a structured
+  // capability diagnostic instead.
+  if (policy_.shed_when_capacity_degraded && num_qubits > 0) {
+    bool any_capable = false;
+    bool any_healthy = false;
+    for (const runtime::BackendHealth& b : pool.backends) {
+      if (b.max_qubits < num_qubits) continue;
+      any_capable = true;
+      if (!b.degraded) {
+        any_healthy = true;
+        break;
+      }
+    }
+    if (any_capable && !any_healthy) {
+      ++s.stats.shed_degraded;
+      return AdmissionOutcome::kShedDegraded;
+    }
   }
   if (policy_.max_queue_depth > 0 &&
       pool.queue_depth >= policy_.max_queue_depth) {

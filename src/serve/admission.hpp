@@ -45,6 +45,11 @@ enum class AdmissionOutcome : std::uint8_t {
   kShedBreakerOpen,    // every backend breaker open: fleet-wide shed
   kUnknownTenant,
   kRejectedCost,  // queued work (analyzer cost units) past the policy bound
+  /// Every backend large enough for this request is quarantined (breaker
+  /// OPEN): the request needs exactly the degraded capacity — e.g. the
+  /// distributed backend after a rank failure — so it is shed while
+  /// smaller requests keep flowing to the healthy remainder.
+  kShedDegraded,
 };
 
 const char* to_string(AdmissionOutcome outcome);
@@ -60,6 +65,9 @@ struct AdmissionPolicy {
   double max_queue_cost = 0.0;
   /// Shed (kShedBreakerOpen) while every backend's breaker is OPEN.
   bool shed_when_all_breakers_open = true;
+  /// Shed (kShedDegraded) requests whose qubit count only fits quarantined
+  /// backends — degraded-mode traffic shaping after a rank failure.
+  bool shed_when_capacity_degraded = true;
 };
 
 /// Per-tenant admission accounting. `admitted` counts fully accepted
@@ -76,6 +84,7 @@ struct TenantAdmissionStats {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_cost = 0;
   std::uint64_t shed_breaker_open = 0;
+  std::uint64_t shed_degraded = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t executed = 0;
@@ -101,10 +110,12 @@ class AdmissionController {
   /// token. `request_cost` is the request's predicted cost in analyzer
   /// model units (0 = unknown, which only the depth bound can reject);
   /// the cost gate compares pool.queue_cost + request_cost against
-  /// policy.max_queue_cost.
+  /// policy.max_queue_cost. `num_qubits` sizes the request for the
+  /// degraded-capacity shed (0 = unknown, which skips that gate).
   AdmissionOutcome admit_request(const TenantId& tenant, Clock::time_point now,
                                  const runtime::PoolStats& pool,
-                                 double request_cost = 0.0);
+                                 double request_cost = 0.0,
+                                 int num_qubits = 0);
 
   /// Execution-level gate: reserve one concurrency slot carrying `ready`.
   /// Returns false (and counts kRejectedQuota) when the tenant is at its

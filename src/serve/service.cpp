@@ -47,20 +47,26 @@ SimService::SimService(runtime::VirtualQpuPool& pool,
   }
 }
 
-void SimService::admit_or_throw(const TenantId& tenant, double request_cost) {
+void SimService::admit_or_throw(const TenantId& tenant, double request_cost,
+                                int num_qubits) {
   VQSIM_COUNTER(admitted_total, "serve.admitted_total");
   VQSIM_COUNTER(rejected_total, "serve.rejected_total");
   VQSIM_COUNTER(rejected_cost_total, "serve.rejected_cost_total");
   VQSIM_COUNTER(shed_total, "serve.shed_total");
+  VQSIM_COUNTER(shed_degraded_total, "serve.shed_degraded_total");
   VQSIM_HISTOGRAM(h_cost, "serve.request_cost");
   VQSIM_HISTOGRAM_OBSERVE(h_cost, request_cost);
   const AdmissionOutcome outcome = admission_.admit_request(
-      tenant, Clock::now(), pool_.stats(), request_cost);
+      tenant, Clock::now(), pool_.stats(), request_cost, num_qubits);
   switch (outcome) {
     case AdmissionOutcome::kAdmitted:
       VQSIM_COUNTER_INC(admitted_total);
       return;
     case AdmissionOutcome::kShedBreakerOpen:
+      VQSIM_COUNTER_INC(shed_total);
+      break;
+    case AdmissionOutcome::kShedDegraded:
+      VQSIM_COUNTER_INC(shed_degraded_total);
       VQSIM_COUNTER_INC(shed_total);
       break;
     case AdmissionOutcome::kRejectedCost:
@@ -154,8 +160,10 @@ std::shared_future<double> SimService::submit_energy(
   // identity below.
   const Circuit bound = ansatz.circuit(theta);
   MutexLock lock(mutex_);
-  admit_or_throw(tenant, analyze::statevector_cost_units(bound.num_qubits(),
-                                                         bound.size()));
+  admit_or_throw(tenant,
+                 analyze::statevector_cost_units(bound.num_qubits(),
+                                                 bound.size()),
+                 bound.num_qubits());
   const auto submit = [&]() VQSIM_NO_THREAD_SAFETY_ANALYSIS {
     return reserve_and_submit<double>(tenant, [&] {
       return pool_
@@ -201,7 +209,7 @@ std::vector<std::shared_future<double>> SimService::submit_energy_batch(
   }
 
   MutexLock lock(mutex_);
-  admit_or_throw(tenant, cost);
+  admit_or_throw(tenant, cost, ansatz.num_qubits());
 
   const bool cached = !options.bypass_cache && value_cache_.enabled();
   const RequestContext context =
@@ -294,8 +302,10 @@ std::shared_future<double> SimService::submit_expectation(
     const TenantId& tenant, Circuit circuit, PauliSum observable,
     ServeOptions options) {
   MutexLock lock(mutex_);
-  admit_or_throw(tenant, analyze::statevector_cost_units(circuit.num_qubits(),
-                                                         circuit.size()));
+  admit_or_throw(tenant,
+                 analyze::statevector_cost_units(circuit.num_qubits(),
+                                                 circuit.size()),
+                 circuit.num_qubits());
   const CacheKey key = make_cache_key(
       circuit, &observable,
       request_context(runtime::JobKind::kExpectation, options));
@@ -322,8 +332,10 @@ std::shared_future<double> SimService::submit_expectation(
 std::shared_future<StateVector> SimService::submit_circuit(
     const TenantId& tenant, Circuit circuit, ServeOptions options) {
   MutexLock lock(mutex_);
-  admit_or_throw(tenant, analyze::statevector_cost_units(circuit.num_qubits(),
-                                                         circuit.size()));
+  admit_or_throw(tenant,
+                 analyze::statevector_cost_units(circuit.num_qubits(),
+                                                 circuit.size()),
+                 circuit.num_qubits());
   const CacheKey key = make_cache_key(
       circuit, nullptr,
       request_context(runtime::JobKind::kCircuitRun, options));
@@ -355,7 +367,7 @@ ServiceStats SimService::stats() const {
     out.admitted += t.admitted;
     out.rejected += t.rejected_rate + t.rejected_quota +
                     t.rejected_queue_full + t.rejected_cost;
-    out.shed += t.shed_breaker_open;
+    out.shed += t.shed_breaker_open + t.shed_degraded;
     out.cache_hits += t.cache_hits;
     out.coalesced += t.coalesced;
     out.executed += t.executed;

@@ -102,7 +102,7 @@ struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;  // rate + quota + queue-full + queue-cost
-  std::uint64_t shed = 0;      // breaker-open shed
+  std::uint64_t shed = 0;      // breaker-open + degraded-capacity shed
   std::uint64_t cache_hits = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t executed = 0;
@@ -172,9 +172,10 @@ class SimService {
   /// and throws AdmissionRejected on any outcome but kAdmitted.
   /// `request_cost` is the request's predicted cost in analyzer model
   /// units (the O(1) statevector bound; see analyze/cost.hpp), consumed by
-  /// the policy's cost-weighted queue bound.
-  void admit_or_throw(const TenantId& tenant, double request_cost)
-      VQSIM_REQUIRES(mutex_);
+  /// the policy's cost-weighted queue bound. `num_qubits` sizes the
+  /// request for the degraded-capacity shed gate.
+  void admit_or_throw(const TenantId& tenant, double request_cost,
+                      int num_qubits) VQSIM_REQUIRES(mutex_);
   /// Classify + count how an admitted request was served.
   void record_served(const TenantId& tenant,
                      AdmissionController::Served served)

@@ -19,6 +19,7 @@
 #include "chem/jordan_wigner.hpp"
 #include "chem/molecules.hpp"
 #include "common/rng.hpp"
+#include "resilience/fault_injection.hpp"
 #include "exec/batched_state_vector.hpp"
 #include "exec/compiled_cache.hpp"
 #include "exec/energy.hpp"
@@ -380,6 +381,98 @@ TEST(SimService, BatchRequestsCacheAndCoalesce) {
   stats = service.stats();
   EXPECT_EQ(stats.cache_hits, sets.size());
   EXPECT_EQ(stats.executed, sets.size() - 1);
+}
+
+// -- Batch-path fault sites (chaos coverage of the compiled pipeline) --------
+
+resilience::FaultRule transient_rule(std::string site) {
+  resilience::FaultRule r;
+  r.site = std::move(site);
+  r.kind = resilience::FaultKind::kTransient;
+  r.at_invocations = {0};
+  return r;
+}
+
+TEST(CompiledCircuitCache, FailedCompileIsNotCached) {
+  CompiledCircuitCache cache(4);
+  Rng rng(11);
+  const Circuit c = shaped_circuit(3, rng);
+
+  {
+    resilience::FaultPlan plan;
+    plan.rules = {transient_rule("exec.compile")};
+    resilience::ScopedFaultPlan guard(std::move(plan));
+    EXPECT_THROW(cache.get_or_compile(c), resilience::TransientFault);
+  }
+  // The failed compile inserted nothing: no poisoned half-built plan can
+  // be served to the next caller.
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // The retry compiles cleanly and caches as if the fault never happened.
+  const auto plan = cache.get_or_compile(c);
+  ASSERT_NE(plan, nullptr);
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(cache.get_or_compile(c), plan);
+}
+
+TEST(CompiledCircuit, BindFaultDoesNotDisturbTheCachedPlan) {
+  CompiledCircuitCache cache(4);
+  Rng rng(12);
+  const Circuit c = shaped_circuit(3, rng);
+  const auto plan = cache.get_or_compile(c);
+
+  {
+    resilience::FaultPlan fp;
+    fp.rules = {transient_rule("exec.bind")};
+    resilience::ScopedFaultPlan guard(std::move(fp));
+    EXPECT_THROW(plan->bind(c), resilience::TransientFault);
+  }
+  // A binding failure is per-job state; the compiled shape stays cached
+  // and binds normally afterwards.
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_FALSE(plan->bind(c).empty());
+}
+
+TEST(VirtualQpuPool, BatchJobRetriesPastBatchApplyFaultReusingCompiledPlan) {
+  H2Fixture f;
+  const auto sets = f.parameter_sets(4, 41);
+
+  auto cache = std::make_shared<CompiledCircuitCache>(8);
+  std::vector<std::unique_ptr<QpuBackend>> fleet;
+  fleet.push_back(std::make_unique<StateVectorBackend>(28, cache));
+  fleet.push_back(std::make_unique<StateVectorBackend>(28, cache));
+  VirtualQpuPool pool(std::move(fleet), 2);
+  ASSERT_TRUE(pool.supports_batch());
+
+  resilience::FaultPlan fp;
+  fp.rules = {transient_rule("exec.batch_apply")};
+  resilience::ScopedFaultPlan guard(std::move(fp));
+
+  auto futures = pool.submit_energy_batch(f.ansatz, f.h, sets);
+  SimulatorExecutor reference(f.ansatz, f.h);
+  for (std::size_t i = 0; i < sets.size(); ++i)
+    EXPECT_NEAR(futures[i].get(), reference.evaluate(sets[i]), 1e-9) << i;
+  pool.wait_all();
+
+  // One batch record, recovered by a pool retry after the first apply
+  // died mid-flight.
+  std::size_t batch_records = 0;
+  for (const JobTelemetry& t : pool.telemetry()) {
+    if (t.kind != JobKind::kBatch) continue;
+    ++batch_records;
+    EXPECT_FALSE(t.failed);
+    EXPECT_EQ(t.attempts, 2);
+    EXPECT_EQ(t.backend_history.size(), 1u);
+  }
+  EXPECT_EQ(batch_records, 1u);
+  EXPECT_EQ(pool.counters().jobs_failed, 0u);
+
+  // The ansatz shape compiled once; the retry re-bound the cached plan
+  // instead of recompiling (the fault fired after compile succeeded).
+  auto s = cache->stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GE(s.hits, 1u);
 }
 
 }  // namespace

@@ -474,6 +474,60 @@ TEST(PoolResilience, BreakerHalfOpenProbeClosesAfterRecovery) {
   EXPECT_EQ(health[0].breaker_opens, 1u);
 }
 
+TEST(PoolResilience, RetryPrefersClosedBreakerOverHalfOpenProbe) {
+  OneQubitJob job;
+  // Three identical backends, one worker: dispatch order is deterministic.
+  VirtualQpuPool pool = runtime::make_statevector_pool(3, 1, 8);
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 1;  // one failure quarantines a backend
+  breaker.open_duration = std::chrono::milliseconds(10);
+  pool.set_breaker_policy(breaker);
+
+  // Phase 1: one fail-fast job burns backend 0 and opens its breaker.
+  {
+    FaultPlan plan;
+    FaultRule r = rule("qpu.execute");
+    r.probability = 1.0;
+    r.detail = 0;
+    plan.rules.push_back(r);
+    ScopedFaultPlan scoped(plan);
+    JobOptions fail_fast;
+    fail_fast.retry.max_attempts = 1;
+    auto f = pool.submit_expectation(job.circuit, job.x, fail_fast);
+    EXPECT_THROW(f.get(), TransientFault);
+    pool.wait_all();
+  }
+  ASSERT_EQ(pool.health()[0].breaker, BreakerState::kOpen);
+
+  // Phase 2: only backend 1 is sick now. The job's first attempt skips
+  // quarantined backend 0, lands on 1, and fails. By the retry (100 ms
+  // backoff) backend 0's quarantine has elapsed — it is an eligible
+  // half-open probe — but backend 2's breaker is CLOSED, and a retry
+  // must prefer proven capacity over probing a quarantined backend.
+  FaultPlan plan;
+  FaultRule r = rule("qpu.execute");
+  r.probability = 1.0;
+  r.detail = 1;
+  plan.rules.push_back(r);
+  ScopedFaultPlan scoped(plan);
+  JobOptions opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::milliseconds(100));
+  opts.retry.jitter_fraction = 0.0;
+  EXPECT_NEAR(pool.submit_expectation(job.circuit, job.x, opts).get(), 1.0,
+              1e-12);
+  pool.wait_all();
+
+  const std::vector<JobTelemetry> log = pool.telemetry();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log[1].failed);
+  EXPECT_EQ(log[1].attempts, 2);
+  EXPECT_EQ(log[1].backend_history, (std::vector<int>{1}));
+  EXPECT_EQ(log[1].backend_id, 2);  // not 0: the probe lost the tie
+}
+
 TEST(PoolResilience, QueuedJobDeadlineExpiresCooperatively) {
   OneQubitJob job;
   VirtualQpuPool pool = runtime::make_statevector_pool(1, 1, 8);

@@ -174,6 +174,49 @@ TEST(AdmissionController, ShedsOnlyWhenEveryBreakerIsOpen) {
             AdmissionOutcome::kAdmitted);
 }
 
+TEST(AdmissionController, ShedsRequestsThatOnlyFitDegradedBackends) {
+  TenantConfig cfg;
+  cfg.name = "t";
+  AdmissionController admission(one_tenant(cfg));
+  const Clock::time_point t0{};
+
+  // A 24-qubit distributed backend quarantined after a rank failure, next
+  // to a healthy 12-qubit statevector backend.
+  runtime::PoolStats pool;
+  pool.backends.resize(2);
+  pool.backends[0].max_qubits = 24;
+  pool.backends[0].degraded = true;
+  pool.backends[1].max_qubits = 12;
+  pool.backends[1].degraded = false;
+  pool.open_breakers = 1;  // not fleet-wide: the breaker-open shed passes
+
+  // A request only the degraded backend could hold is shed...
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 0.0, /*num_qubits=*/20),
+            AdmissionOutcome::kShedDegraded);
+  // ...while a request the healthy remainder can serve keeps flowing.
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 0.0, /*num_qubits=*/10),
+            AdmissionOutcome::kAdmitted);
+  // Unknown size skips the gate entirely.
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 0.0, /*num_qubits=*/0),
+            AdmissionOutcome::kAdmitted);
+  // A request NO backend could ever hold is not "degraded traffic": it is
+  // admitted here and rejected by the pool's capability diagnostic.
+  EXPECT_EQ(admission.admit_request("t", t0, pool, 0.0, /*num_qubits=*/30),
+            AdmissionOutcome::kAdmitted);
+
+  const auto stats = admission.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].shed_degraded, 1u);
+  EXPECT_EQ(std::string(to_string(AdmissionOutcome::kShedDegraded)),
+            "shed_degraded");
+
+  AdmissionPolicy no_shed;
+  no_shed.shed_when_capacity_degraded = false;
+  AdmissionController lenient(one_tenant(cfg), no_shed);
+  EXPECT_EQ(lenient.admit_request("t", t0, pool, 0.0, /*num_qubits=*/20),
+            AdmissionOutcome::kAdmitted);
+}
+
 TEST(AdmissionController, BoundsPoolQueueDepth) {
   TenantConfig cfg;
   cfg.name = "t";

@@ -35,6 +35,10 @@ ctest --test-dir "${build_dir}" --output-on-failure -j
 # Quick batched-execution gate (perf_batch self-gates speedup, per-item
 # bit-identity, rerun determinism, and compile-once; trimmed scan size).
 "${build_dir}/bench/perf_batch" --bonds 4 --evals 32
+# Quick rank-failure chaos gate (perf_chaos self-gates terminal success,
+# bit-identical energies, bounded recovery overhead, the deadline-vs-control
+# ablation, and degraded-mode failover; 2/4 ranks, two seeds).
+"${build_dir}/bench/perf_chaos" --quick
 echo "Tier-1 tests OK."
 
 echo "=== CI stage 2: static analysis ==="

@@ -39,12 +39,13 @@ gbench_targets=(perf_gate_kernels perf_fusion perf_expectation perf_caching)
 if [[ "${quick}" == 0 ]]; then
   bench_targets+=(fig5_adapt_vqe)
 fi
-# perf_scaling, perf_serve, and perf_batch build in both modes: their
-# BENCH-protocol gates (comm volume; serve cache speedup/bit-identity/quota;
-# batched-execution speedup/bit-identity/compile-once) are part of the
-# regression surface even for --quick runs.
+# perf_scaling, perf_serve, perf_batch, and perf_chaos build in both modes:
+# their BENCH-protocol gates (comm volume; serve cache speedup/bit-identity/
+# quota; batched-execution speedup/bit-identity/compile-once; rank-failure
+# terminal-success/bit-identity/overhead) are part of the regression surface
+# even for --quick runs.
 cmake --build "${build_dir}" -j --target "${bench_targets[@]}" perf_scaling \
-  perf_serve perf_batch \
+  perf_serve perf_batch perf_chaos \
   $([[ "${quick}" == 0 ]] && echo "${gbench_targets[@]}")
 
 mkdir -p "${out_dir}"
@@ -126,6 +127,23 @@ if [[ "${quick}" == 1 ]]; then
 fi
 "${build_dir}/bench/perf_batch" ${batch_args[@]+"${batch_args[@]}"} \
   | tee "${out_dir}/perf_batch.log"
+
+# Rank-failure chaos harness (perf_chaos owns its main): seeded stall /
+# rank-death schedules against the distributed backend at 2/4/8 ranks, the
+# deadline-vs-control ablation, and the pool's degraded-mode failover. The
+# binary exits non-zero — aborting this script via set -e — unless every
+# schedule ends in terminal success with energies bit-identical to the
+# fault-free run inside the recovery-overhead bound, the un-deadlined
+# control demonstrably hangs for the injected stall, and the failover job
+# returns exact statevector amplitudes. --quick trims to 2/4 ranks and two
+# seeds.
+echo "== perf_chaos"
+chaos_args=()
+if [[ "${quick}" == 1 ]]; then
+  chaos_args+=(--quick)
+fi
+"${build_dir}/bench/perf_chaos" ${chaos_args[@]+"${chaos_args[@]}"} \
+  | tee "${out_dir}/perf_chaos.log"
 
 # google-benchmark microbenchmarks (JSON sidecar per binary).
 if [[ "${quick}" == 0 ]]; then

@@ -10,6 +10,11 @@
 #      (VQSIM_FAULT_SEED), each producing a different Bernoulli fault
 #      pattern over the same job stream. Every schedule must complete 100%
 #      with zero caller-visible failures on 1/2/8 workers.
+#   3. Distributed chaos tier: seeded rank-failure schedules (deadline-
+#      busting stalls + permanent rank deaths) against the distributed
+#      backend at 2/4/8 ranks, under the same sanitizer build. Every
+#      schedule must end in a completed job whose state is bit-identical
+#      to the fault-free run (shard-checkpoint replay, DESIGN.md sec 14).
 #
 # Usage: tools/run_fault_matrix.sh [build-dir] [seed...]
 #   build-dir defaults to <repo>/build-fault; extra args are fault seeds
@@ -46,6 +51,13 @@ for seed in "${seeds[@]}"; do
   echo "-- fault seed ${seed}"
   VQSIM_FAULT_SEED="${seed}" "${build_dir}/tests/test_resilience" \
     --gtest_filter='PoolResilience.AcceptanceBatchCompletesUnderTwentyPercentFaults'
+done
+
+echo "== distributed chaos tier: seeded rank failures (${#seeds[@]} seeds) =="
+for seed in "${seeds[@]}"; do
+  echo "-- chaos seed ${seed}"
+  VQSIM_FAULT_SEED="${seed}" "${build_dir}/tests/test_dist_resilience" \
+    --gtest_filter='DistChaos.*'
 done
 
 echo "Fault matrix OK: every seeded schedule completed 100% under sanitizers."

@@ -44,10 +44,14 @@ run_tsan() {
   # slots, single-flight coalescing, lazily settled cache futures).
   # test_exec races concurrent batch submissions through one pool and its
   # fleet-shared CompiledCircuitCache (plan compilation under the cache
-  # lock, per-backend batched-program memoization).
+  # lock, per-backend batched-program memoization). test_dist_resilience
+  # drives the comm health protocol (atomic health words, poison flag,
+  # first-failure record) and the pool's CommFailure -> breaker-trip ->
+  # failover path, where a race between the failing worker and the retry
+  # dispatch would corrupt the degraded-state accounting.
   cmake --build "${build_dir}" -j \
     --target test_runtime test_dist test_telemetry test_resilience \
-    test_serve test_exec
+    test_serve test_exec test_dist_resilience
 
   # tools/tsan.supp masks the libstdc++ exception_ptr/COW-string refcount
   # false positive (synchronization lives in the uninstrumented system
@@ -60,6 +64,7 @@ run_tsan() {
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_resilience"
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_serve"
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_exec"
+  TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_dist_resilience"
 
   echo "TSan pass OK: zero data races reported."
 }
