@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "kernels/kernels.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vqsim {
@@ -270,20 +271,37 @@ void DistStateVector::apply_mat2_global_phys(const Mat2& m, int gb) {
     std::copy(sa.data(), sa.data() + n, from_a.begin());
     std::copy(sb.data(), sb.data() + n, from_b.begin());
     comm_->exchange(a, from_a, b, from_b);
-    const std::vector<cplx>& remote_for_a = from_a;  // b's amplitudes
-    const std::vector<cplx>& remote_for_b = from_b;  // a's amplitudes
 
-    cplx* pa = sa.data();
-    cplx* pb = sb.data();
-    for (idx i = 0; i < n; ++i) {
-      const cplx a0 = pa[i];            // index bit = 0 amplitude
-      const cplx a1 = remote_for_a[i];  // index bit = 1 amplitude
-      pa[i] = m(0, 0) * a0 + m(0, 1) * a1;
-      // Rank b recomputes independently from its own staged copy.
-      const cplx b0 = remote_for_b[i];
-      const cplx b1 = pb[i];
-      pb[i] = m(1, 0) * b0 + m(1, 1) * b1;
-    }
+    // Combine through the shared kernel table's halves entry: each side
+    // recomputes from its own staged copy (the scratch half a kernel call
+    // also writes is the exchange buffer, discarded afterwards), so the
+    // lane arithmetic — and therefore every rounding — is the same the
+    // shard-local dispatch uses for this matrix.
+    const cplx mm[4] = {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+    const kernels::KernelTable& t = kernels::active_table();
+    t.mat2_halves(sa.data(), from_a.data(), n, 1, mm);  // keeps half 0
+    t.mat2_halves(from_b.data(), sb.data(), n, 1, mm);  // keeps half 1
+  }
+}
+
+void DistStateVector::apply_dense1_global_phys(const Gate& gate, int gb) {
+  // Same staging as apply_mat2_global_phys, but the combine goes through
+  // kernels::apply_gate_halves: a dense fixed-matrix gate (H, X, ...) on a
+  // rank-axis bit runs the same generated kernel a local qubit would, so
+  // global and local placements of one gate stay bit-identical.
+  for (int a = 0; a < num_ranks(); ++a) {
+    if ((a >> gb) & 1) continue;
+    const int b = a | (1 << gb);
+    StateVector& sa = local_[static_cast<std::size_t>(a)];
+    StateVector& sb = local_[static_cast<std::size_t>(b)];
+    const idx n = sa.dim();
+    std::vector<cplx>& from_a = ensure_scratch(stage_a_, n);
+    std::vector<cplx>& from_b = ensure_scratch(stage_b_, n);
+    std::copy(sa.data(), sa.data() + n, from_a.begin());
+    std::copy(sb.data(), sb.data() + n, from_b.begin());
+    comm_->exchange(a, from_a, b, from_b);
+    kernels::apply_gate_halves(gate, sa.data(), from_a.data(), n);
+    kernels::apply_gate_halves(gate, from_b.data(), sb.data(), n);
   }
 }
 
@@ -321,22 +339,25 @@ void DistStateVector::swap_global_local_phys(int gb, int local_phys) {
 
 void DistStateVector::apply_diag1_phys(const Gate& gate, int phys) {
   // Diagonal on a rank-axis bit: each shard scales by the eigenvalue its
-  // rank bit selects. Zero communication.
+  // rank bit selects, through the table's whole-register scale kernel.
+  // Zero communication.
   const std::array<cplx, 4> d = probe_diagonal(gate);
+  const kernels::KernelTable& t = kernels::active_table();
   const int gb = global_bit(phys);
   for (int r = 0; r < num_ranks(); ++r) {
     const cplx e = ((r >> gb) & 1) ? d[1] : d[0];
     StateVector& shard = local_[static_cast<std::size_t>(r)];
-    cplx* a = shard.data();
-    const idx n = shard.dim();
-    for (idx i = 0; i < n; ++i) a[i] *= e;
+    t.scale(shard.data(), shard.dim(), 1, &e);
   }
 }
 
 void DistStateVector::apply_diag2_phys(const Gate& gate, int p0, int p1) {
-  // Two-qubit diagonal with at least one operand on the rank axis: the
-  // eigenvalue index mixes rank bits and local bits; still zero comm.
+  // Two-qubit diagonal with at least one operand on the rank axis (the
+  // caller guarantees that, so at most one operand is local): rank bits
+  // select among the probe eigenvalues, and any local operand becomes a
+  // two-value diagonal the table applies branch-free. Still zero comm.
   const std::array<cplx, 4> d = probe_diagonal(gate);
+  const kernels::KernelTable& t = kernels::active_table();
   for (int r = 0; r < num_ranks(); ++r) {
     const int b0r =
         is_local_phys(p0) ? -1 : ((r >> global_bit(p0)) & 1);
@@ -345,10 +366,16 @@ void DistStateVector::apply_diag2_phys(const Gate& gate, int p0, int p1) {
     StateVector& shard = local_[static_cast<std::size_t>(r)];
     cplx* a = shard.data();
     const idx n = shard.dim();
-    for (idx i = 0; i < n; ++i) {
-      const int b0 = b0r >= 0 ? b0r : static_cast<int>((i >> p0) & 1);
-      const int b1 = b1r >= 0 ? b1r : static_cast<int>((i >> p1) & 1);
-      a[i] *= d[(b1 << 1) | b0];
+    if (b0r >= 0 && b1r >= 0) {
+      const cplx e = d[(b1r << 1) | b0r];
+      t.scale(a, n, 1, &e);
+    } else if (b0r < 0) {
+      // q0 local: its index bit picks within the rank-fixed b1 row.
+      const cplx e[2] = {d[b1r << 1], d[(b1r << 1) | 1]};
+      t.diag_z(a, n, 1, pow2(static_cast<unsigned>(p0)), e);
+    } else {
+      const cplx e[2] = {d[b0r], d[2 | b0r]};
+      t.diag_z(a, n, 1, pow2(static_cast<unsigned>(p1)), e);
     }
   }
 }
@@ -406,7 +433,7 @@ void DistStateVector::apply_gate_naive(const Gate& gate) {
       m(1, 1) = d[1];
       apply_mat2_global_phys(m, global_bit(gate.q0));
     } else {
-      apply_mat2_global_phys(gate_matrix2(gate), global_bit(gate.q0));
+      apply_dense1_global_phys(gate, global_bit(gate.q0));
     }
     return;
   }
@@ -459,7 +486,7 @@ void DistStateVector::apply_gate_persistent(const Gate& gate,
     } else {
       // Greedy path: a lone global 1q gate runs in place (seed cost); the
       // planner is the one with the lookahead to justify a swap-in.
-      apply_mat2_global_phys(gate_matrix2(gate), global_bit(p0));
+      apply_dense1_global_phys(gate, global_bit(p0));
     }
     return;
   }

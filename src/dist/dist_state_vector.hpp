@@ -179,6 +179,10 @@ class DistStateVector {
   /// to the shared-memory reference by construction.
   void apply_local_gate(const Gate& gate, int p0, int p1 = -1);
   void apply_mat2_global_phys(const Mat2& m, int global_bit);
+  /// Dense 1q gate on a rank-axis bit: the exchange staging of
+  /// apply_mat2_global_phys, combined through kernels::apply_gate_halves so
+  /// the generated fixed-matrix kernels run on global qubits too.
+  void apply_dense1_global_phys(const Gate& gate, int global_bit);
   /// Exchange-backed SWAP between a global index bit and a local one.
   void swap_global_local_phys(int global_bit, int local_phys);
   /// Diagonal gates on the rank axis: pure per-shard scaling, zero comm.

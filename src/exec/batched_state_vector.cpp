@@ -1,11 +1,11 @@
 #include "exec/batched_state_vector.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <stdexcept>
 
 #include "common/bits.hpp"
 #include "common/parallel.hpp"
+#include "kernels/kernels.hpp"
 #include "resilience/fault_injection.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -37,173 +37,53 @@ StateVector BatchedStateVector::item(std::size_t k) const {
   return StateVector::from_amplitudes(std::move(amps));
 }
 
-// Each kernel replicates the scalar kernel's arithmetic per item: the group
-// index math runs once per amplitude group, then the inner k-loop streams
-// the K contiguous items with the exact expressions of the corresponding
-// scalar kernel (see compiled_circuit.cpp / sim/kernels.cpp). That makes
-// item(k) bit-identical to the scalar compiled path and leaves the k-axis
-// contiguous for future SIMD.
+// Every op dispatches through the shared kernel table (src/kernels) with
+// K = batch: the table's K > 1 branches run the group index math once per
+// amplitude group and stream the K contiguous items with the exact
+// expressions of the K == 1 kernels, so item(k) is bit-identical to the
+// scalar compiled path, and the batch axis vectorizes with the same code
+// the state-vector lanes use. The kernels report how many amplitude slots
+// they actually updated — the old blanket dim*K accounting overbilled the
+// phase and controlled ops by up to 4x.
 void BatchedStateVector::apply(const BatchedOp& op) {
   cplx* a = amp_.data();
   const idx dim = dim_;
   const std::size_t K = batch_;
+  const kernels::KernelTable& t = kernels::active_table();
   VQSIM_COUNTER(c_ops, "exec.batched_ops_total");
   VQSIM_COUNTER_INC(c_ops);
   VQSIM_COUNTER(c_amps, "exec.batched_amps_touched_total");
-  VQSIM_COUNTER_ADD(c_amps, amp_.size());
-  // Each group touches K items, so the serial-fallback grain shrinks by K
-  // to keep the parallelism decision proportional to actual work. The
-  // grain only selects serial vs OpenMP execution; per-item arithmetic is
-  // identical either way, so bit-identity is unaffected.
-  const std::uint64_t grain =
-      std::max<std::uint64_t>(1, (std::uint64_t{1} << 15) / K);
+  idx touched = 0;
   switch (op.kind) {
     case CompiledOp::Kind::kNop:
       return;
-    case CompiledOp::Kind::kPauli: {
-      const cplx* global = op.vals.data();  // one phase per item
-      const std::uint64_t zm = op.zm;
-      if (op.xm == 0) {
-        parallel_for(dim, [&](idx i) {
-          const double sign = parity(i & zm) ? -1.0 : 1.0;
-          cplx* p = a + i * K;
-          for (std::size_t k = 0; k < K; ++k) p[k] *= global[k] * sign;
-        },
-        grain);
-        return;
-      }
-      const std::uint64_t xm = op.xm;
-      const unsigned pivot = static_cast<unsigned>(std::countr_zero(xm));
-      parallel_for(dim / 2, [&](idx g) {
-        const idx i = insert_zero_bit(g, pivot);
-        const idx j = i ^ xm;
-        const double si = parity(i & zm) ? -1.0 : 1.0;
-        const double sj = parity(j & zm) ? -1.0 : 1.0;
-        cplx* pi_amp = a + i * K;
-        cplx* pj_amp = a + j * K;
-        for (std::size_t k = 0; k < K; ++k) {
-          const cplx pi = global[k] * si;
-          const cplx pj = global[k] * sj;
-          const cplx ai = pi_amp[k];
-          const cplx aj = pj_amp[k];
-          pj_amp[k] = pi * ai;
-          pi_amp[k] = pj * aj;
-        }
-      },
-      grain);
-      return;
-    }
-    case CompiledOp::Kind::kPhase1: {
-      const cplx* e = op.vals.data();
-      const unsigned uq = op.q0;
-      parallel_for(dim, [&](idx i) {
-        if (!test_bit(i, uq)) return;
-        cplx* p = a + i * K;
-        for (std::size_t k = 0; k < K; ++k) p[k] *= e[k];
-      },
-      grain);
-      return;
-    }
-    case CompiledOp::Kind::kPhase11: {
-      const cplx* e = op.vals.data();
-      const idx mask = op.xm;
-      parallel_for(dim, [&](idx i) {
-        if ((i & mask) != mask) return;
-        cplx* p = a + i * K;
-        for (std::size_t k = 0; k < K; ++k) p[k] *= e[k];
-      },
-      grain);
-      return;
-    }
-    case CompiledOp::Kind::kDiagZ: {
-      const cplx* em = op.vals.data();      // slot 0: exp(-i theta) per item
-      const cplx* ep = op.vals.data() + K;  // slot 1: exp(+i theta)
-      const std::uint64_t zm = op.zm;
-      parallel_for(dim, [&](idx i) {
-        const cplx* e = parity(i & zm) ? ep : em;
-        cplx* p = a + i * K;
-        for (std::size_t k = 0; k < K; ++k) p[k] *= e[k];
-      },
-      grain);
-      return;
-    }
-    case CompiledOp::Kind::kMat2: {
-      const cplx* m00 = op.vals.data();
-      const cplx* m01 = op.vals.data() + K;
-      const cplx* m10 = op.vals.data() + 2 * K;
-      const cplx* m11 = op.vals.data() + 3 * K;
-      const unsigned uq = op.q0;
-      const idx stride = pow2(uq);
-      parallel_for(dim / 2, [&](idx g) {
-        const idx i0 = insert_zero_bit(g, uq);
-        const idx i1 = i0 | stride;
-        cplx* p0 = a + i0 * K;
-        cplx* p1 = a + i1 * K;
-        for (std::size_t k = 0; k < K; ++k) {
-          const cplx a0 = p0[k];
-          const cplx a1 = p1[k];
-          p0[k] = m00[k] * a0 + m01[k] * a1;
-          p1[k] = m10[k] * a0 + m11[k] * a1;
-        }
-      },
-      grain);
-      return;
-    }
-    case CompiledOp::Kind::kCMat2: {
-      const cplx* m00 = op.vals.data();
-      const cplx* m01 = op.vals.data() + K;
-      const cplx* m10 = op.vals.data() + 2 * K;
-      const cplx* m11 = op.vals.data() + 3 * K;
-      const unsigned uc = op.q0;
-      const unsigned ut = op.q1;
-      const idx cbit = pow2(uc);
-      const idx tbit = pow2(ut);
-      parallel_for(dim / 4, [&](idx g) {
-        const idx base = insert_two_zero_bits(g, uc, ut) | cbit;
-        cplx* p0 = a + base * K;
-        cplx* p1 = a + (base | tbit) * K;
-        for (std::size_t k = 0; k < K; ++k) {
-          const cplx a0 = p0[k];
-          const cplx a1 = p1[k];
-          p0[k] = m00[k] * a0 + m01[k] * a1;
-          p1[k] = m10[k] * a0 + m11[k] * a1;
-        }
-      },
-      grain);
-      return;
-    }
-    case CompiledOp::Kind::kMat4: {
-      const cplx* m = op.vals.data();  // m[(r * 4 + c) * K + k]
-      const unsigned u0 = op.q0;
-      const unsigned u1 = op.q1;
-      const idx s0 = pow2(u0);
-      const idx s1 = pow2(u1);
-      parallel_for(dim / 4, [&](idx g) {
-        const idx base = insert_two_zero_bits(g, u0, u1);
-        cplx* p0 = a + base * K;
-        cplx* p1 = a + (base | s0) * K;
-        cplx* p2 = a + (base | s1) * K;
-        cplx* p3 = a + (base | s0 | s1) * K;
-        for (std::size_t k = 0; k < K; ++k) {
-          const cplx a0 = p0[k];
-          const cplx a1 = p1[k];
-          const cplx a2 = p2[k];
-          const cplx a3 = p3[k];
-          p0[k] = m[0 * K + k] * a0 + m[1 * K + k] * a1 + m[2 * K + k] * a2 +
-                  m[3 * K + k] * a3;
-          p1[k] = m[4 * K + k] * a0 + m[5 * K + k] * a1 + m[6 * K + k] * a2 +
-                  m[7 * K + k] * a3;
-          p2[k] = m[8 * K + k] * a0 + m[9 * K + k] * a1 + m[10 * K + k] * a2 +
-                  m[11 * K + k] * a3;
-          p3[k] = m[12 * K + k] * a0 + m[13 * K + k] * a1 +
-                  m[14 * K + k] * a2 + m[15 * K + k] * a3;
-        }
-      },
-      grain);
-      return;
-    }
+    case CompiledOp::Kind::kPauli:
+      touched = t.pauli(a, dim, K, op.xm, op.zm, op.vals.data());
+      break;
+    case CompiledOp::Kind::kPhase1:
+      touched = t.diag_mask(a, dim, K, pow2(op.q0), op.vals.data());
+      break;
+    case CompiledOp::Kind::kPhase11:
+      touched = t.diag_mask(a, dim, K, op.xm, op.vals.data());
+      break;
+    case CompiledOp::Kind::kDiagZ:
+      touched = t.diag_z(a, dim, K, op.zm, op.vals.data());
+      break;
+    case CompiledOp::Kind::kMat2:
+      touched = t.mat2(a, dim, K, op.q0, op.vals.data());
+      break;
+    case CompiledOp::Kind::kCMat2:
+      touched = t.cmat2(a, dim, K, op.q0, op.q1, op.vals.data());
+      break;
+    case CompiledOp::Kind::kMat4:
+      touched = t.mat4(a, dim, K, op.q0, op.q1, op.vals.data());
+      break;
+    default:
+      throw std::invalid_argument(
+          "BatchedStateVector::apply: unhandled op kind");
   }
-  throw std::invalid_argument("BatchedStateVector::apply: unhandled op kind");
+  VQSIM_COUNTER_ADD(c_amps, static_cast<std::uint64_t>(touched));
+  (void)touched;
 }
 
 void BatchedStateVector::apply(std::span<const BatchedOp> ops) {

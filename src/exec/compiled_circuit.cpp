@@ -9,6 +9,7 @@
 #include "common/bits.hpp"
 #include "common/parallel.hpp"
 #include "ir/fingerprint.hpp"
+#include "kernels/kernels.hpp"
 #include "ir/passes/fusion.hpp"
 #include "pauli/pauli_string.hpp"
 #include "resilience/fault_injection.hpp"
@@ -219,17 +220,17 @@ CompiledOp lower_gate(const Gate& g) {
     case GateKind::kCRX:
     case GateKind::kCRY:
     case GateKind::kCRZ: {
-      // Controlled 2x2 block of the 4x4 (control = q0 low), exactly as
-      // apply_gate extracts it.
-      const Mat4 m4 = gate_matrix4(g);
+      // The controlled gates' 4x4 is controlled(block), so the target block
+      // comes straight from the factory — no 4x4 built and discarded.
+      const Mat2 b = gate_controlled_block(g);
       CompiledOp op;
       op.kind = CompiledOp::Kind::kCMat2;
       op.q0 = static_cast<unsigned>(g.q0);
       op.q1 = static_cast<unsigned>(g.q1);
-      op.v[0] = m4(1, 1);
-      op.v[1] = m4(1, 3);
-      op.v[2] = m4(3, 1);
-      op.v[3] = m4(3, 3);
+      op.v[0] = b(0, 0);
+      op.v[1] = b(0, 1);
+      op.v[2] = b(1, 0);
+      op.v[3] = b(1, 1);
       return op;
     }
     case GateKind::kCZ:
@@ -593,120 +594,41 @@ std::vector<BatchedOp> CompiledCircuit::bind_batch(
   return ops;
 }
 
-// Scalar replay of a lowered program. Each case replicates the arithmetic
-// of the StateVector kernel the corresponding gate kind dispatches to —
-// identical expressions in identical order, so amplitudes come out
-// bit-identical to apply_circuit over the fused circuit.
+// Scalar replay of a lowered program through the shared kernel table with
+// K = 1 — the same kernels StateVector::apply_gate dispatches to, so
+// amplitudes come out bit-identical to apply_circuit over the fused
+// circuit (and the SIMD table accelerates both paths identically).
 void apply_ops(StateVector& psi, std::span<const CompiledOp> ops) {
   VQSIM_COUNTER(c_ops, "exec.scalar_ops_total");
   VQSIM_COUNTER_ADD(c_ops, ops.size());
   cplx* a = psi.data();
   const idx dim = psi.dim();
+  const kernels::KernelTable& t = kernels::active_table();
   for (const CompiledOp& op : ops) {
     switch (op.kind) {
       case CompiledOp::Kind::kNop:
         break;
-      case CompiledOp::Kind::kPauli: {
-        const cplx global = op.v[0];
-        const std::uint64_t zm = op.zm;
-        if (op.xm == 0) {
-          parallel_for(dim, [&](idx i) {
-            const double sign = parity(i & zm) ? -1.0 : 1.0;
-            a[i] *= global * sign;
-          });
-          break;
-        }
-        const std::uint64_t xm = op.xm;
-        const unsigned pivot = static_cast<unsigned>(std::countr_zero(xm));
-        parallel_for(dim / 2, [&](idx k) {
-          const idx i = insert_zero_bit(k, pivot);
-          const idx j = i ^ xm;
-          const cplx pi = global * (parity(i & zm) ? -1.0 : 1.0);
-          const cplx pj = global * (parity(j & zm) ? -1.0 : 1.0);
-          const cplx ai = a[i];
-          const cplx aj = a[j];
-          a[j] = pi * ai;
-          a[i] = pj * aj;
-        });
+      case CompiledOp::Kind::kPauli:
+        t.pauli(a, dim, 1, op.xm, op.zm, op.v.data());
         break;
-      }
-      case CompiledOp::Kind::kPhase1: {
-        const unsigned uq = op.q0;
-        const cplx e = op.v[0];
-        parallel_for(dim, [&](idx i) {
-          if (test_bit(i, uq)) a[i] *= e;
-        });
+      case CompiledOp::Kind::kPhase1:
+        t.diag_mask(a, dim, 1, pow2(op.q0), op.v.data());
         break;
-      }
-      case CompiledOp::Kind::kPhase11: {
-        const idx mask = op.xm;
-        const cplx e = op.v[0];
-        parallel_for(dim, [&](idx i) {
-          if ((i & mask) == mask) a[i] *= e;
-        });
+      case CompiledOp::Kind::kPhase11:
+        t.diag_mask(a, dim, 1, op.xm, op.v.data());
         break;
-      }
-      case CompiledOp::Kind::kDiagZ: {
-        const std::uint64_t zm = op.zm;
-        const cplx em = op.v[0];
-        const cplx ep = op.v[1];
-        parallel_for(dim, [&](idx i) { a[i] *= parity(i & zm) ? ep : em; });
+      case CompiledOp::Kind::kDiagZ:
+        t.diag_z(a, dim, 1, op.zm, op.v.data());
         break;
-      }
-      case CompiledOp::Kind::kMat2: {
-        const unsigned uq = op.q0;
-        const idx stride = pow2(uq);
-        const cplx m00 = op.v[0], m01 = op.v[1], m10 = op.v[2], m11 = op.v[3];
-        parallel_for(dim / 2, [&](idx k) {
-          const idx i0 = insert_zero_bit(k, uq);
-          const idx i1 = i0 | stride;
-          const cplx a0 = a[i0];
-          const cplx a1 = a[i1];
-          a[i0] = m00 * a0 + m01 * a1;
-          a[i1] = m10 * a0 + m11 * a1;
-        });
+      case CompiledOp::Kind::kMat2:
+        t.mat2(a, dim, 1, op.q0, op.v.data());
         break;
-      }
-      case CompiledOp::Kind::kCMat2: {
-        const unsigned uc = op.q0;
-        const unsigned ut = op.q1;
-        const idx cbit = pow2(uc);
-        const idx tbit = pow2(ut);
-        const cplx m00 = op.v[0], m01 = op.v[1], m10 = op.v[2], m11 = op.v[3];
-        parallel_for(dim / 4, [&](idx k) {
-          const idx base = insert_two_zero_bits(k, uc, ut) | cbit;
-          const idx i0 = base;
-          const idx i1 = base | tbit;
-          const cplx a0 = a[i0];
-          const cplx a1 = a[i1];
-          a[i0] = m00 * a0 + m01 * a1;
-          a[i1] = m10 * a0 + m11 * a1;
-        });
+      case CompiledOp::Kind::kCMat2:
+        t.cmat2(a, dim, 1, op.q0, op.q1, op.v.data());
         break;
-      }
-      case CompiledOp::Kind::kMat4: {
-        const unsigned u0 = op.q0;
-        const unsigned u1 = op.q1;
-        const idx s0 = pow2(u0);
-        const idx s1 = pow2(u1);
-        const cplx* m = op.v.data();
-        parallel_for(dim / 4, [&](idx k) {
-          const idx base = insert_two_zero_bits(k, u0, u1);
-          const idx i00 = base;
-          const idx i01 = base | s0;
-          const idx i10 = base | s1;
-          const idx i11 = base | s0 | s1;
-          const cplx a0 = a[i00];
-          const cplx a1 = a[i01];
-          const cplx a2 = a[i10];
-          const cplx a3 = a[i11];
-          a[i00] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
-          a[i01] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
-          a[i10] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
-          a[i11] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
-        });
+      case CompiledOp::Kind::kMat4:
+        t.mat4(a, dim, 1, op.q0, op.q1, op.v.data());
         break;
-      }
     }
   }
 }

@@ -275,26 +275,58 @@ Mat2 gate_matrix2(const Gate& g) {
   }
 }
 
+Mat2 gate_controlled_block(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kCX:
+      return fixed_matrix2(GateKind::kX);
+    case GateKind::kCY:
+      return fixed_matrix2(GateKind::kY);
+    case GateKind::kCZ:
+      return fixed_matrix2(GateKind::kZ);
+    case GateKind::kCH:
+      return fixed_matrix2(GateKind::kH);
+    case GateKind::kCRX:
+      return rx_matrix(g.params[0]);
+    case GateKind::kCRY:
+      return ry_matrix(g.params[0]);
+    case GateKind::kCRZ:
+      return rz_matrix(g.params[0]);
+    case GateKind::kCP:
+      return p_matrix(g.params[0]);
+    default:
+      throw std::invalid_argument("gate_controlled_block: not controlled");
+  }
+}
+
+bool gate_is_controlled(GateKind kind) {
+  switch (kind) {
+    case GateKind::kCX:
+    case GateKind::kCY:
+    case GateKind::kCZ:
+    case GateKind::kCH:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+    case GateKind::kCP:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Mat4 gate_matrix4(const Gate& g) {
   switch (g.kind) {
     case GateKind::kCX:
-      return controlled(fixed_matrix2(GateKind::kX));
     case GateKind::kCY:
-      return controlled(fixed_matrix2(GateKind::kY));
     case GateKind::kCZ:
-      return controlled(fixed_matrix2(GateKind::kZ));
     case GateKind::kCH:
-      return controlled(fixed_matrix2(GateKind::kH));
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+    case GateKind::kCP:
+      return controlled(gate_controlled_block(g));
     case GateKind::kSwap:
       return swap_matrix();
-    case GateKind::kCRX:
-      return controlled(rx_matrix(g.params[0]));
-    case GateKind::kCRY:
-      return controlled(ry_matrix(g.params[0]));
-    case GateKind::kCRZ:
-      return controlled(rz_matrix(g.params[0]));
-    case GateKind::kCP:
-      return controlled(p_matrix(g.params[0]));
     case GateKind::kRXX:
     case GateKind::kRYY:
     case GateKind::kRZZ:

@@ -85,6 +85,16 @@ Mat2 gate_matrix2(const Gate& g);
 /// Throws for single-qubit kinds.
 Mat4 gate_matrix4(const Gate& g);
 
+/// The 2x2 target block U of a controlled gate (kCX/kCY/kCZ/kCH/kCRX/kCRY/
+/// kCRZ/kCP), bit-identical to extracting entries (1,1)/(1,3)/(3,1)/(3,3)
+/// from gate_matrix4 — `controlled(u)` embeds U verbatim, so returning the
+/// block directly skips the 4x4 round trip the kernels used to rebuild on
+/// every application. Throws for non-controlled kinds.
+Mat2 gate_controlled_block(const Gate& g);
+
+/// True for the controlled-gate kinds gate_controlled_block accepts.
+bool gate_is_controlled(GateKind kind);
+
 /// The exact inverse gate (stays within the gate set; generic matrix kinds
 /// invert to their adjoint payloads).
 Gate inverse_gate(const Gate& g);

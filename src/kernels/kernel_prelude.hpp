@@ -1,0 +1,14 @@
+// Headers the backend kernel TUs need at global scope before including
+// kernel_impl.inc into their backend namespace (an #include inside a
+// namespace must not pull in standard headers, so they are hoisted here).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+#include "common/types.hpp"
+#include "kernels/kernels.hpp"

@@ -1,0 +1,129 @@
+// Shared gate-kernel dispatch layer (ROADMAP item 2).
+//
+// Every backend — StateVector, DensityMatrix (through its vectorized state),
+// DistStateVector's shard-local and dense-exchange paths, and the batched
+// SoA executor — applies amplitudes through one KernelTable of strided
+// kernels, so a kernel improvement lands in all of them at once (the
+// single-dispatch-layer assumption of the multi-GPU middleware paper,
+// PAPERS.md 2403.05828).
+//
+// Layout convention: an array of `dim` amplitude groups of K contiguous
+// items each — group i, item k lives at a[i * K + k]. K == 1 is the plain
+// state-vector layout; K > 1 is BatchedStateVector's structure-of-arrays
+// layout, so vectorizing across the lane index covers the group axis and
+// the batch axis with the same code. Per-item payloads (matrices, phases)
+// are slot-major: slot s of item k at m[s * K + k]; for K == 1 that is the
+// flattened row-major matrix itself.
+//
+// Two implementations of the table are compiled: a scalar fallback
+// (always), and an AVX2 translation unit when the VQSIM_SIMD cmake probe
+// passes (VQSIM_SIMD_AVX2). Both run the same per-amplitude expressions in
+// the same order — the AVX2 intrinsics use only mul/add/sub/addsub (never
+// fused multiply-add), and the TU keeps the FMA ISA entirely disabled so
+// the compiler cannot contract the generic loops either — so the two
+// tables are bit-identical and the ctest suite cannot tell them apart.
+//
+// On top of the generic kernels, tools/gen_kernels emits branch-free
+// constant-folded specializations for the fixed-matrix gates (H, X, Y, Z,
+// S, Sdg, T, Tdg, SX, SXdg, CX, CY, CZ, CH, Swap) into
+// kernels_generated.inc; the per-kind `fixed1`/`fixed2` slots hold them.
+//
+// Every kernel returns the number of amplitude slots it actually updated,
+// which is exactly what callers add to "sim.amps_touched_total" — the
+// counting bugs this layer replaced (apply_phase billing the full register,
+// CZ/CP billing nothing) are structurally impossible here.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "ir/gate.hpp"
+
+namespace vqsim::kernels {
+
+inline constexpr std::size_t kNumGateKinds =
+    static_cast<std::size_t>(GateKind::kMat2) + 1;
+
+/// Generic strided kernels. `dim` counts amplitude groups (a power of two),
+/// `K` items per group; payload pointers are slot-major K-strided.
+struct KernelTable {
+  const char* backend;  // "scalar" or "avx2"
+
+  /// 1q matrix m (4 slots) on qubit q.
+  idx (*mat2)(cplx* a, idx dim, std::size_t K, unsigned q, const cplx* m);
+  /// Controlled 1q block m (4 slots), control qc, target qt.
+  idx (*cmat2)(cplx* a, idx dim, std::size_t K, unsigned qc, unsigned qt,
+               const cplx* m);
+  /// 2q matrix m (16 slots, row-major, q0 = low index bit).
+  idx (*mat4)(cplx* a, idx dim, std::size_t K, unsigned q0, unsigned q1,
+              const cplx* m);
+  /// Multiply the amplitudes with ALL `mask` bits set by e (1 slot):
+  /// diag(1, e) for one bit, the |11> phase for two bits.
+  idx (*diag_mask)(cplx* a, idx dim, std::size_t K, std::uint64_t mask,
+                   const cplx* e);
+  /// Controlled diagonal diag(e0, e1) on the control-set half (2 slots);
+  /// the CRZ fast path.
+  idx (*cdiag2)(cplx* a, idx dim, std::size_t K, unsigned qc, unsigned qt,
+                const cplx* e);
+  /// Diagonal Pauli-Z phase: amplitude i picks up e[parity(i & zm)]
+  /// (2 slots: em then ep). Touches every amplitude.
+  idx (*diag_z)(cplx* a, idx dim, std::size_t K, std::uint64_t zm,
+                const cplx* e);
+  /// Multiply every amplitude by e (1 slot).
+  idx (*scale)(cplx* a, idx dim, std::size_t K, const cplx* e);
+  /// Pauli-string application with phase `global` (1 slot).
+  idx (*pauli)(cplx* a, idx dim, std::size_t K, std::uint64_t xm,
+               std::uint64_t zm, const cplx* global);
+  /// General (xm != 0) exp(-i theta P): cos slot c, -i sin slot mis,
+  /// string phase slot global.
+  idx (*exp_pauli)(cplx* a, idx dim, std::size_t K, std::uint64_t xm,
+                   std::uint64_t zm, const double* c, const cplx* mis,
+                   const cplx* global);
+  /// 1q matrix applied across two contiguous half-arrays of n groups each
+  /// (the distributed dense-exchange layout: h0/h1 hold target bit = 0/1).
+  idx (*mat2_halves)(cplx* h0, cplx* h1, idx n, std::size_t K,
+                     const cplx* m);
+
+  /// Generated constant-folded kernels, indexed by GateKind (null where no
+  /// specialization exists).
+  std::array<idx (*)(cplx* a, idx dim, std::size_t K, unsigned q),
+             kNumGateKinds>
+      fixed1{};
+  std::array<idx (*)(cplx* a, idx dim, std::size_t K, unsigned q0,
+                     unsigned q1),
+             kNumGateKinds>
+      fixed2{};
+  /// Halves variants of the dense generated 1q kernels (dist exchange).
+  std::array<idx (*)(cplx* h0, cplx* h1, idx n, std::size_t K),
+             kNumGateKinds>
+      fixed1_halves{};
+};
+
+/// The always-compiled scalar table.
+const KernelTable& scalar_table();
+
+#if defined(VQSIM_SIMD_AVX2)
+/// The AVX2 table (only when the cmake probe passed).
+const KernelTable& avx2_table();
+#endif
+
+/// The table every backend dispatches through: the AVX2 table when it was
+/// compiled in AND the running CPU supports AVX2, else the scalar one.
+const KernelTable& active_table();
+
+/// True when active_table() is the SIMD table.
+bool simd_enabled();
+
+/// active_table().backend.
+const char* backend_name();
+
+/// Dense-exchange entry for the distributed backend: apply gate g's
+/// single-qubit action across the halves layout with exactly the lane
+/// arithmetic the shard-local dispatch uses (the generated kernel when one
+/// exists, the generic mat2 lanes otherwise), keeping the exchanged global
+/// qubit bit-identical to a local one.
+idx apply_gate_halves(const Gate& g, cplx* h0, cplx* h1, idx n);
+
+}  // namespace vqsim::kernels

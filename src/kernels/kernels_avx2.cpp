@@ -1,0 +1,241 @@
+// AVX2 instantiation of the kernel table. Compiled only when the
+// VQSIM_SIMD cmake probe passes, with -mavx2 -mfma -ffp-contract=off.
+//
+// Bit-identity with the scalar table rests on two facts:
+//  * The intrinsic complex multiply below uses only mul/add/sub/addsub —
+//    never a fused multiply-add — and IEEE mul/add are commutative
+//    including signed zeros, so each lane computes exactly the scalar
+//    expression (mr*ar - mi*ai, mr*ai + mi*ar) with the same roundings.
+//  * Everything not hand-vectorized here (the generated folded kernels,
+//    diagonal lanes, K > 1 bodies) is the same kernel_impl.inc code the
+//    scalar TU compiles; auto-vectorization is semantics-preserving at
+//    these flags, it just runs the identical arithmetic wider.
+
+#include <immintrin.h>
+
+#include "kernels/kernel_prelude.hpp"
+
+namespace vqsim::kernels {
+namespace avx2_impl {
+
+#include "kernels/kernel_impl.inc"
+
+// [x0, x1] complex in a __m256d as [r0, i0, r1, i1], times the constant
+// (mr, mi) broadcast as mrv = set1(mr), miv = set1(mi):
+//   even lanes: r*mr - i*mi, odd lanes: i*mr + r*mi
+// — term order matches cmul(m, x) exactly.
+inline __m256d cmul_const(__m256d x, __m256d mrv, __m256d miv) {
+  const __m256d xs = _mm256_permute_pd(x, 0b0101);  // [i0, r0, i1, r1]
+  return _mm256_addsub_pd(_mm256_mul_pd(x, mrv), _mm256_mul_pd(xs, miv));
+}
+
+inline __m256d load2(const cplx* p) {
+  return _mm256_loadu_pd(reinterpret_cast<const double*>(p));
+}
+
+inline void store2(cplx* p, __m256d v) {
+  _mm256_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+
+idx mat2_simd(cplx* a, idx dim, std::size_t K, unsigned q, const cplx* m) {
+  const idx stride = pow2(q);
+  if (K != 1) return mat2(a, dim, K, q, m);
+  const __m256d m00r = _mm256_set1_pd(m[0].real());
+  const __m256d m00i = _mm256_set1_pd(m[0].imag());
+  const __m256d m01r = _mm256_set1_pd(m[1].real());
+  const __m256d m01i = _mm256_set1_pd(m[1].imag());
+  const __m256d m10r = _mm256_set1_pd(m[2].real());
+  const __m256d m10i = _mm256_set1_pd(m[2].imag());
+  const __m256d m11r = _mm256_set1_pd(m[3].real());
+  const __m256d m11i = _mm256_set1_pd(m[3].imag());
+  if (stride >= 2) {
+    parallel_for(
+        dim / 2 / stride,
+        [&](idx blk) {
+          cplx* p0 = a + 2 * blk * stride;
+          cplx* p1 = p0 + stride;
+          for (idx j = 0; j < stride; j += 2) {
+            const __m256d x0 = load2(p0 + j);
+            const __m256d x1 = load2(p1 + j);
+            store2(p0 + j, _mm256_add_pd(cmul_const(x0, m00r, m00i),
+                                         cmul_const(x1, m01r, m01i)));
+            store2(p1 + j, _mm256_add_pd(cmul_const(x0, m10r, m10i),
+                                         cmul_const(x1, m11r, m11i)));
+          }
+        },
+        lane_grain(stride));
+    return dim;
+  }
+  // q = 0: each pair is contiguous as [a0, a1] in one vector; duplicate
+  // each half across the register and blend the two rows' constants.
+  const __m256d c0r = _mm256_set_pd(m[2].real(), m[2].real(), m[0].real(),
+                                    m[0].real());
+  const __m256d c0i = _mm256_set_pd(m[2].imag(), m[2].imag(), m[0].imag(),
+                                    m[0].imag());
+  const __m256d c1r = _mm256_set_pd(m[3].real(), m[3].real(), m[1].real(),
+                                    m[1].real());
+  const __m256d c1i = _mm256_set_pd(m[3].imag(), m[3].imag(), m[1].imag(),
+                                    m[1].imag());
+  parallel_for(
+      dim / 2,
+      [&](idx pr) {
+        cplx* p = a + 2 * pr;
+        const __m256d x = load2(p);
+        const __m256d d0 = _mm256_permute2f128_pd(x, x, 0x00);  // [a0, a0]
+        const __m256d d1 = _mm256_permute2f128_pd(x, x, 0x11);  // [a1, a1]
+        store2(p, _mm256_add_pd(cmul_const(d0, c0r, c0i),
+                                cmul_const(d1, c1r, c1i)));
+      },
+      lane_grain(1));
+  return dim;
+}
+
+idx cmat2_simd(cplx* a, idx dim, std::size_t K, unsigned qc, unsigned qt,
+               const cplx* m) {
+  const idx cbit = pow2(qc);
+  const idx tbit = pow2(qt);
+  const idx lo = cbit < tbit ? cbit : tbit;
+  if (K != 1 || lo < 2) return cmat2(a, dim, K, qc, qt, m);
+  const __m256d m00r = _mm256_set1_pd(m[0].real());
+  const __m256d m00i = _mm256_set1_pd(m[0].imag());
+  const __m256d m01r = _mm256_set1_pd(m[1].real());
+  const __m256d m01i = _mm256_set1_pd(m[1].imag());
+  const __m256d m10r = _mm256_set1_pd(m[2].real());
+  const __m256d m10i = _mm256_set1_pd(m[2].imag());
+  const __m256d m11r = _mm256_set1_pd(m[3].real());
+  const __m256d m11i = _mm256_set1_pd(m[3].imag());
+  parallel_for(
+      dim / 4 / lo,
+      [&](idx blk) {
+        const idx base = insert_two_zero_bits(blk * lo, qc, qt) | cbit;
+        cplx* p0 = a + base;
+        cplx* p1 = a + (base | tbit);
+        for (idx j = 0; j < lo; j += 2) {
+          const __m256d x0 = load2(p0 + j);
+          const __m256d x1 = load2(p1 + j);
+          store2(p0 + j, _mm256_add_pd(cmul_const(x0, m00r, m00i),
+                                       cmul_const(x1, m01r, m01i)));
+          store2(p1 + j, _mm256_add_pd(cmul_const(x0, m10r, m10i),
+                                       cmul_const(x1, m11r, m11i)));
+        }
+      },
+      lane_grain(lo));
+  return dim / 2;
+}
+
+idx mat4_simd(cplx* a, idx dim, std::size_t K, unsigned q0, unsigned q1,
+              const cplx* m) {
+  const idx s0 = pow2(q0);
+  const idx s1 = pow2(q1);
+  const idx lo = s0 < s1 ? s0 : s1;
+  if (K != 1 || lo < 2) return mat4(a, dim, K, q0, q1, m);
+  __m256d mr[16], mi[16];
+  for (int e = 0; e < 16; ++e) {
+    mr[e] = _mm256_set1_pd(m[e].real());
+    mi[e] = _mm256_set1_pd(m[e].imag());
+  }
+  parallel_for(
+      dim / 4 / lo,
+      [&](idx blk) {
+        const idx base = insert_two_zero_bits(blk * lo, q0, q1);
+        cplx* p0 = a + base;
+        cplx* p1 = a + (base | s0);
+        cplx* p2 = a + (base | s1);
+        cplx* p3 = a + (base | s0 | s1);
+        for (idx j = 0; j < lo; j += 2) {
+          const __m256d x0 = load2(p0 + j);
+          const __m256d x1 = load2(p1 + j);
+          const __m256d x2 = load2(p2 + j);
+          const __m256d x3 = load2(p3 + j);
+          store2(p0 + j,
+                 _mm256_add_pd(
+                     _mm256_add_pd(_mm256_add_pd(cmul_const(x0, mr[0], mi[0]),
+                                                 cmul_const(x1, mr[1], mi[1])),
+                                   cmul_const(x2, mr[2], mi[2])),
+                     cmul_const(x3, mr[3], mi[3])));
+          store2(p1 + j,
+                 _mm256_add_pd(
+                     _mm256_add_pd(_mm256_add_pd(cmul_const(x0, mr[4], mi[4]),
+                                                 cmul_const(x1, mr[5], mi[5])),
+                                   cmul_const(x2, mr[6], mi[6])),
+                     cmul_const(x3, mr[7], mi[7])));
+          store2(p2 + j,
+                 _mm256_add_pd(
+                     _mm256_add_pd(_mm256_add_pd(cmul_const(x0, mr[8], mi[8]),
+                                                 cmul_const(x1, mr[9], mi[9])),
+                                   cmul_const(x2, mr[10], mi[10])),
+                     cmul_const(x3, mr[11], mi[11])));
+          store2(p3 + j,
+                 _mm256_add_pd(
+                     _mm256_add_pd(_mm256_add_pd(cmul_const(x0, mr[12], mi[12]),
+                                                 cmul_const(x1, mr[13], mi[13])),
+                                   cmul_const(x2, mr[14], mi[14])),
+                     cmul_const(x3, mr[15], mi[15])));
+        }
+      },
+      lane_grain(lo));
+  return dim;
+}
+
+idx diag_mask_simd(cplx* a, idx dim, std::size_t K, std::uint64_t mask,
+                   const cplx* e) {
+  const int nb = std::popcount(mask);
+  const unsigned b0 = static_cast<unsigned>(std::countr_zero(mask));
+  const idx run = pow2(b0);
+  if (K != 1 || run < 2 || nb > 2) return diag_mask(a, dim, K, mask, e);
+  const __m256d er = _mm256_set1_pd(e[0].real());
+  const __m256d ei = _mm256_set1_pd(e[0].imag());
+  if (nb == 1) {
+    parallel_for(
+        dim / 2 / run,
+        [&](idx blk) {
+          cplx* p = a + (insert_zero_bit(blk * run, b0) | run);
+          for (idx j = 0; j < run; j += 2)
+            store2(p + j, cmul_const(load2(p + j), er, ei));
+        },
+        lane_grain(run));
+    return dim / 2;
+  }
+  const std::uint64_t rest = mask & (mask - 1);
+  const unsigned b1 = static_cast<unsigned>(std::countr_zero(rest));
+  parallel_for(
+      dim / 4 / run,
+      [&](idx blk) {
+        cplx* p = a + (insert_two_zero_bits(blk * run, b0, b1) | mask);
+        for (idx j = 0; j < run; j += 2)
+          store2(p + j, cmul_const(load2(p + j), er, ei));
+      },
+      lane_grain(run));
+  return dim / 4;
+}
+
+idx scale_simd(cplx* a, idx dim, std::size_t K, const cplx* e) {
+  if (K != 1 || dim < 2) return scale(a, dim, K, e);
+  const __m256d er = _mm256_set1_pd(e[0].real());
+  const __m256d ei = _mm256_set1_pd(e[0].imag());
+  parallel_for(
+      dim / 2,
+      [&](idx pr) {
+        cplx* p = a + 2 * pr;
+        store2(p, cmul_const(load2(p), er, ei));
+      },
+      lane_grain(1));
+  return dim;
+}
+
+}  // namespace avx2_impl
+
+const KernelTable& avx2_table() {
+  static const KernelTable t = [] {
+    KernelTable tt = avx2_impl::make_table("avx2");
+    tt.mat2 = &avx2_impl::mat2_simd;
+    tt.cmat2 = &avx2_impl::cmat2_simd;
+    tt.mat4 = &avx2_impl::mat4_simd;
+    tt.diag_mask = &avx2_impl::diag_mask_simd;
+    tt.scale = &avx2_impl::scale_simd;
+    return tt;
+  }();
+  return t;
+}
+
+}  // namespace vqsim::kernels

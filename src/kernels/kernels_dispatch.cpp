@@ -1,0 +1,35 @@
+// Table selection and the distributed dense-exchange entry point.
+
+#include "kernels/kernels.hpp"
+
+#include <cstddef>
+
+#include "linalg/dense.hpp"
+
+namespace vqsim::kernels {
+
+const KernelTable& active_table() {
+#if defined(VQSIM_SIMD_AVX2)
+  // The probe ran on the build machine; re-check the running CPU so a
+  // binary moved to an older node degrades to the scalar table instead of
+  // faulting.
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  if (use_avx2) return avx2_table();
+#endif
+  return scalar_table();
+}
+
+bool simd_enabled() { return &active_table() != &scalar_table(); }
+
+const char* backend_name() { return active_table().backend; }
+
+idx apply_gate_halves(const Gate& g, cplx* h0, cplx* h1, idx n) {
+  const KernelTable& t = active_table();
+  if (auto* fixed = t.fixed1_halves[static_cast<std::size_t>(g.kind)])
+    return fixed(h0, h1, n, 1);
+  const Mat2 m = gate_matrix2(g);
+  const cplx mm[4] = {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+  return t.mat2_halves(h0, h1, n, 1, mm);
+}
+
+}  // namespace vqsim::kernels

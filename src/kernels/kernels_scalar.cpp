@@ -1,0 +1,20 @@
+// Scalar instantiation of the kernel table — always compiled, the
+// reference the AVX2 table must match bit-for-bit (this TU is also built
+// with -ffp-contract=off so a host compiler defaulting to contraction
+// cannot fuse a rounding away).
+
+#include "kernels/kernel_prelude.hpp"
+
+namespace vqsim::kernels {
+namespace scalar_impl {
+
+#include "kernels/kernel_impl.inc"
+
+}  // namespace scalar_impl
+
+const KernelTable& scalar_table() {
+  static const KernelTable t = scalar_impl::make_table("scalar");
+  return t;
+}
+
+}  // namespace vqsim::kernels

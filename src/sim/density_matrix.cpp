@@ -133,11 +133,17 @@ cplx DensityMatrix::element(idx row, idx col) const {
 
 void DensityMatrix::apply_gate(const Gate& gate) {
   // Row side: the gate as-is. Column side: the conjugate matrix on the
-  // shifted qubits.
+  // shifted qubits. Controlled gates conjugate only their target block —
+  // conj(controlled(U)) == controlled(conj(U)) — so the column side rides
+  // the controlled fast path instead of a dense 4x4 apply.
   vectorized_.apply_gate(gate);
   if (!gate.is_two_qubit()) {
     vectorized_.apply_mat2(conjugated(gate_matrix2(gate)),
                            gate.q0 + num_qubits_);
+  } else if (gate_is_controlled(gate.kind)) {
+    vectorized_.apply_controlled_mat2(conjugated(gate_controlled_block(gate)),
+                                      gate.q0 + num_qubits_,
+                                      gate.q1 + num_qubits_);
   } else {
     vectorized_.apply_mat4(conjugated(gate_matrix4(gate)),
                            gate.q0 + num_qubits_, gate.q1 + num_qubits_);

@@ -1,10 +1,18 @@
 // Gate-application kernels.
 //
-// Every kernel enumerates amplitude groups by deleting the target-qubit bits
-// from a compact counter and re-inserting them (common/bits.hpp); the groups
-// are independent, which is exactly the parallelism NWQ-Sim maps onto GPU
-// threads and we map onto OpenMP (paper §4, "distributing parallel
-// simulation of gates and state updates across thousands of cores").
+// Since the vqsim::kernels refactor this file is the StateVector-facing
+// dispatch only: validation, telemetry, and gate-kind routing. The amplitude
+// loops live in src/kernels (one shared scalar/AVX2 table also used by the
+// batched exec engine and the distributed backend); fixed-matrix gates hit
+// the constant-folded generated kernels, everything else the generic strided
+// ones. The groups are independent, which is exactly the parallelism NWQ-Sim
+// maps onto GPU threads and we map onto OpenMP (paper §4, "distributing
+// parallel simulation of gates and state updates across thousands of cores").
+//
+// "sim.amps_touched_total" counts amplitudes actually updated, as reported
+// by the kernels themselves: a phase gate touches half the register, CZ a
+// quarter — the seed charged full sweeps for the former and nothing at all
+// for the latter.
 
 #include <array>
 #include <bit>
@@ -13,7 +21,7 @@
 #include <string>
 
 #include "common/bits.hpp"
-#include "common/parallel.hpp"
+#include "kernels/kernels.hpp"
 #include "sim/state_vector.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -44,47 +52,29 @@ telemetry::Counter& gate_kind_counter(GateKind kind) {
 
 void StateVector::apply_mat2(const Mat2& m, int q) {
   if (q < 0 || q >= num_qubits_) throw std::out_of_range("apply_mat2: qubit");
+  const cplx mm[4] = {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+  const idx touched = kernels::active_table().mat2(
+      amp_.data(), static_cast<idx>(amp_.size()), 1, static_cast<unsigned>(q),
+      mm);
   VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
-  VQSIM_COUNTER_ADD(c_amps, amp_.size());
-  const unsigned uq = static_cast<unsigned>(q);
-  const idx stride = pow2(uq);
-  cplx* a = amp_.data();
-  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
-  parallel_for(amp_.size() / 2, [&](idx k) {
-    const idx i0 = insert_zero_bit(k, uq);
-    const idx i1 = i0 | stride;
-    const cplx a0 = a[i0];
-    const cplx a1 = a[i1];
-    a[i0] = m00 * a0 + m01 * a1;
-    a[i1] = m10 * a0 + m11 * a1;
-  });
+  VQSIM_COUNTER_ADD(c_amps, touched);
+  (void)touched;
 }
 
 void StateVector::apply_mat4(const Mat4& m, int q0, int q1) {
   if (q0 < 0 || q0 >= num_qubits_ || q1 < 0 || q1 >= num_qubits_ || q0 == q1)
     throw std::out_of_range("apply_mat4: qubits");
+  // Row-major with the 4x4 index convention: slot 1 = q0 bit set, slot 2 =
+  // q1 bit set.
+  cplx mm[16];
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) mm[r * 4 + c] = m(r, c);
+  const idx touched = kernels::active_table().mat4(
+      amp_.data(), static_cast<idx>(amp_.size()), 1, static_cast<unsigned>(q0),
+      static_cast<unsigned>(q1), mm);
   VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
-  VQSIM_COUNTER_ADD(c_amps, amp_.size());
-  const unsigned u0 = static_cast<unsigned>(q0);
-  const unsigned u1 = static_cast<unsigned>(q1);
-  const idx s0 = pow2(u0);  // low slot of the 4x4 index
-  const idx s1 = pow2(u1);  // high slot
-  cplx* a = amp_.data();
-  parallel_for(amp_.size() / 4, [&](idx k) {
-    const idx base = insert_two_zero_bits(k, u0, u1);
-    const idx i00 = base;
-    const idx i01 = base | s0;  // 4x4 index 1: q0 bit set
-    const idx i10 = base | s1;  // 4x4 index 2: q1 bit set
-    const idx i11 = base | s0 | s1;
-    const cplx a0 = a[i00];
-    const cplx a1 = a[i01];
-    const cplx a2 = a[i10];
-    const cplx a3 = a[i11];
-    a[i00] = m(0, 0) * a0 + m(0, 1) * a1 + m(0, 2) * a2 + m(0, 3) * a3;
-    a[i01] = m(1, 0) * a0 + m(1, 1) * a1 + m(1, 2) * a2 + m(1, 3) * a3;
-    a[i10] = m(2, 0) * a0 + m(2, 1) * a1 + m(2, 2) * a2 + m(2, 3) * a3;
-    a[i11] = m(3, 0) * a0 + m(3, 1) * a1 + m(3, 2) * a2 + m(3, 3) * a3;
-  });
+  VQSIM_COUNTER_ADD(c_amps, touched);
+  (void)touched;
 }
 
 void StateVector::apply_controlled_mat2(const Mat2& m, int control,
@@ -92,37 +82,24 @@ void StateVector::apply_controlled_mat2(const Mat2& m, int control,
   if (control < 0 || control >= num_qubits_ || target < 0 ||
       target >= num_qubits_ || control == target)
     throw std::out_of_range("apply_controlled_mat2: qubits");
+  const cplx mm[4] = {m(0, 0), m(0, 1), m(1, 0), m(1, 1)};
+  const idx touched = kernels::active_table().cmat2(
+      amp_.data(), static_cast<idx>(amp_.size()), 1,
+      static_cast<unsigned>(control), static_cast<unsigned>(target), mm);
   VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
-  VQSIM_COUNTER_ADD(c_amps, amp_.size() / 2);
-  const unsigned uc = static_cast<unsigned>(control);
-  const unsigned ut = static_cast<unsigned>(target);
-  const idx cbit = pow2(uc);
-  const idx tbit = pow2(ut);
-  cplx* a = amp_.data();
-  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
-  // Enumerate pairs with control = 1 only: delete both bits, re-insert
-  // control = 1 and target in {0, 1}.
-  parallel_for(amp_.size() / 4, [&](idx k) {
-    const idx base = insert_two_zero_bits(k, uc, ut) | cbit;
-    const idx i0 = base;
-    const idx i1 = base | tbit;
-    const cplx a0 = a[i0];
-    const cplx a1 = a[i1];
-    a[i0] = m00 * a0 + m01 * a1;
-    a[i1] = m10 * a0 + m11 * a1;
-  });
+  VQSIM_COUNTER_ADD(c_amps, touched);
+  (void)touched;
 }
 
 void StateVector::apply_phase(double phi, int q) {
   if (q < 0 || q >= num_qubits_) throw std::out_of_range("apply_phase");
+  const cplx e[1] = {std::exp(kI * phi)};
+  const std::uint64_t mask = pow2(static_cast<unsigned>(q));
+  const idx touched = kernels::active_table().diag_mask(
+      amp_.data(), static_cast<idx>(amp_.size()), 1, mask, e);
   VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
-  VQSIM_COUNTER_ADD(c_amps, amp_.size());
-  const unsigned uq = static_cast<unsigned>(q);
-  const cplx e = std::exp(kI * phi);
-  cplx* a = amp_.data();
-  parallel_for(amp_.size(), [&](idx i) {
-    if (test_bit(i, uq)) a[i] *= e;
-  });
+  VQSIM_COUNTER_ADD(c_amps, touched);
+  (void)touched;
 }
 
 void StateVector::apply_pauli(const PauliString& p) {
@@ -130,34 +107,16 @@ void StateVector::apply_pauli(const PauliString& p) {
     throw std::out_of_range("apply_pauli: string exceeds register");
   VQSIM_COUNTER(c_applies, "sim.pauli_applies_total");
   VQSIM_COUNTER_INC(c_applies);
-  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
-  VQSIM_COUNTER_ADD(c_amps, amp_.size());
   const std::uint64_t xm = p.x;
   const std::uint64_t zm = p.z;
   static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
                                 cplx{0, -1}};
-  const cplx global = kIPow[std::popcount(xm & zm) % 4];
-  cplx* a = amp_.data();
-  if (xm == 0) {
-    parallel_for(amp_.size(), [&](idx i) {
-      const double sign = parity(i & zm) ? -1.0 : 1.0;
-      a[i] *= global * sign;
-    });
-    return;
-  }
-  // Pair (i, i ^ xm); enumerate representatives with the lowest X bit clear.
-  const unsigned pivot = static_cast<unsigned>(std::countr_zero(xm));
-  parallel_for(amp_.size() / 2, [&](idx k) {
-    const idx i = insert_zero_bit(k, pivot);
-    const idx j = i ^ xm;
-    // P|i> = global * (-1)^parity(z & i) |j>, and symmetrically for |j>.
-    const cplx pi = global * (parity(i & zm) ? -1.0 : 1.0);
-    const cplx pj = global * (parity(j & zm) ? -1.0 : 1.0);
-    const cplx ai = a[i];
-    const cplx aj = a[j];
-    a[j] = pi * ai;
-    a[i] = pj * aj;
-  });
+  const cplx global[1] = {kIPow[std::popcount(xm & zm) % 4]};
+  const idx touched = kernels::active_table().pauli(
+      amp_.data(), static_cast<idx>(amp_.size()), 1, xm, zm, global);
+  VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+  VQSIM_COUNTER_ADD(c_amps, touched);
+  (void)touched;
 }
 
 void StateVector::apply_exp_pauli(const PauliString& p, double theta) {
@@ -170,41 +129,36 @@ void StateVector::apply_exp_pauli(const PauliString& p, double theta) {
   VQSIM_COUNTER(c_applies, "sim.exp_pauli_applies_total");
   VQSIM_COUNTER_INC(c_applies);
   VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
-  VQSIM_COUNTER_ADD(c_amps, amp_.size());
+  const kernels::KernelTable& t = kernels::active_table();
+  cplx* a = amp_.data();
+  const idx dim = static_cast<idx>(amp_.size());
   const std::uint64_t xm = p.x;
   const std::uint64_t zm = p.z;
   const double c = std::cos(theta);
   const double s = std::sin(theta);
-  cplx* a = amp_.data();
   if (p.is_identity()) {
-    const cplx e = std::exp(-kI * theta);
-    parallel_for(amp_.size(), [&](idx i) { a[i] *= e; });
+    const cplx e[1] = {std::exp(-kI * theta)};
+    const idx touched = t.scale(a, dim, 1, e);
+    VQSIM_COUNTER_ADD(c_amps, touched);
+    (void)touched;
+    return;
+  }
+  if (xm == 0) {
+    // Diagonal: amplitude i picks up exp(-i theta * s_i), s_i = +/-1.
+    const cplx e[2] = {cplx{c, -s}, cplx{c, s}};  // even / odd z-parity
+    const idx touched = t.diag_z(a, dim, 1, zm, e);
+    VQSIM_COUNTER_ADD(c_amps, touched);
+    (void)touched;
     return;
   }
   static const cplx kIPow[4] = {cplx{1, 0}, cplx{0, 1}, cplx{-1, 0},
                                 cplx{0, -1}};
-  const cplx global = kIPow[std::popcount(xm & zm) % 4];
-  if (xm == 0) {
-    // Diagonal: amplitude i picks up exp(-i theta * s_i), s_i = +/-1.
-    const cplx em = cplx{c, -s};  // exp(-i theta)
-    const cplx ep = cplx{c, s};
-    parallel_for(amp_.size(), [&](idx i) {
-      a[i] *= parity(i & zm) ? ep : em;
-    });
-    return;
-  }
-  const unsigned pivot = static_cast<unsigned>(std::countr_zero(xm));
-  const cplx mis{0.0, -s};  // -i sin(theta)
-  parallel_for(amp_.size() / 2, [&](idx k) {
-    const idx i = insert_zero_bit(k, pivot);
-    const idx j = i ^ xm;
-    const cplx pi = global * (parity(i & zm) ? -1.0 : 1.0);  // P|i> phase
-    const cplx pj = global * (parity(j & zm) ? -1.0 : 1.0);
-    const cplx ai = a[i];
-    const cplx aj = a[j];
-    a[i] = c * ai + mis * pj * aj;
-    a[j] = c * aj + mis * pi * ai;
-  });
+  const cplx global[1] = {kIPow[std::popcount(xm & zm) % 4]};
+  const double cc[1] = {c};
+  const cplx mis[1] = {cplx{0.0, -s}};  // -i sin(theta)
+  const idx touched = t.exp_pauli(a, dim, 1, xm, zm, cc, mis, global);
+  VQSIM_COUNTER_ADD(c_amps, touched);
+  (void)touched;
 }
 
 void StateVector::apply_gate(const Gate& g) {
@@ -213,15 +167,35 @@ void StateVector::apply_gate(const Gate& g) {
   c_gates.inc();
   gate_kind_counter(g.kind).inc();
 #endif
+  const kernels::KernelTable& t = kernels::active_table();
+  const idx dim = static_cast<idx>(amp_.size());
+  // Fixed-matrix gates dispatch straight into the generated constant-folded
+  // kernels (1q: X, Y, Z, H, S, Sdg, T, Tdg, SX, SXdg; 2q: CX, CY, CZ, CH,
+  // Swap).
+  if (auto* f1 = t.fixed1[static_cast<std::size_t>(g.kind)]) {
+    if (g.q0 < 0 || g.q0 >= num_qubits_)
+      throw std::out_of_range("apply_gate: qubit");
+    const idx touched =
+        f1(amp_.data(), dim, 1, static_cast<unsigned>(g.q0));
+    VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+    VQSIM_COUNTER_ADD(c_amps, touched);
+    (void)touched;
+    return;
+  }
+  if (auto* f2 = t.fixed2[static_cast<std::size_t>(g.kind)]) {
+    if (g.q0 < 0 || g.q0 >= num_qubits_ || g.q1 < 0 || g.q1 >= num_qubits_ ||
+        g.q0 == g.q1)
+      throw std::out_of_range("apply_gate: qubits");
+    const idx touched = f2(amp_.data(), dim, 1, static_cast<unsigned>(g.q0),
+                           static_cast<unsigned>(g.q1));
+    VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+    VQSIM_COUNTER_ADD(c_amps, touched);
+    (void)touched;
+    return;
+  }
   switch (g.kind) {
     case GateKind::kI:
       return;
-    case GateKind::kX:
-      return apply_pauli(PauliString::single_axis(PauliAxis::kX, g.q0));
-    case GateKind::kY:
-      return apply_pauli(PauliString::single_axis(PauliAxis::kY, g.q0));
-    case GateKind::kZ:
-      return apply_pauli(PauliString::single_axis(PauliAxis::kZ, g.q0));
     case GateKind::kS:
       return apply_phase(kPi / 2, g.q0);
     case GateKind::kSdg:
@@ -237,9 +211,14 @@ void StateVector::apply_gate(const Gate& g) {
       return apply_exp_pauli(PauliString::single_axis(PauliAxis::kZ, g.q0),
                              g.params[0] / 2);
     }
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
     case GateKind::kH:
     case GateKind::kSX:
     case GateKind::kSXdg:
+      // Generated-kernel gates; only reachable here if codegen dropped one.
+      return apply_mat2(gate_matrix2(g), g.q0);
     case GateKind::kRX:
     case GateKind::kRY:
     case GateKind::kU3:
@@ -250,28 +229,39 @@ void StateVector::apply_gate(const Gate& g) {
     case GateKind::kCH:
     case GateKind::kCRX:
     case GateKind::kCRY:
+      return apply_controlled_mat2(gate_controlled_block(g), g.q0, g.q1);
     case GateKind::kCRZ: {
-      // Extract the controlled 2x2 block from the 4x4 (control = q0 low).
-      const Mat4 m4 = gate_matrix4(g);
-      Mat2 u;
-      u(0, 0) = m4(1, 1);
-      u(0, 1) = m4(1, 3);
-      u(1, 0) = m4(3, 1);
-      u(1, 1) = m4(3, 3);
-      return apply_controlled_mat2(u, g.q0, g.q1);
+      // Diagonal fast path: the controlled block is diag(e^{-i t/2},
+      // e^{+i t/2}) — no need to stream the dense controlled 2x2.
+      if (g.q0 < 0 || g.q0 >= num_qubits_ || g.q1 < 0 || g.q1 >= num_qubits_ ||
+          g.q0 == g.q1)
+        throw std::out_of_range("apply_gate: qubits");
+      const Mat2 u = gate_controlled_block(g);
+      const cplx e[2] = {u(0, 0), u(1, 1)};
+      const idx touched =
+          t.cdiag2(amp_.data(), dim, 1, static_cast<unsigned>(g.q0),
+                   static_cast<unsigned>(g.q1), e);
+      VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+      VQSIM_COUNTER_ADD(c_amps, touched);
+      (void)touched;
+      return;
     }
     case GateKind::kCZ:
     case GateKind::kCP: {
-      // Doubly-diagonal fast path: phase on |11>.
-      const double phi =
-          g.kind == GateKind::kCZ ? kPi : g.params[0];
-      const cplx e = std::exp(kI * phi);
-      const idx mask = pow2(static_cast<unsigned>(g.q0)) |
-                       pow2(static_cast<unsigned>(g.q1));
-      cplx* a = amp_.data();
-      parallel_for(amp_.size(), [&](idx i) {
-        if ((i & mask) == mask) a[i] *= e;
-      });
+      // Doubly-diagonal fast path: phase on |11> (CZ normally takes the
+      // generated kernel above; this branch keeps the runtime route for it
+      // should codegen ever drop it).
+      if (g.q0 < 0 || g.q0 >= num_qubits_ || g.q1 < 0 || g.q1 >= num_qubits_ ||
+          g.q0 == g.q1)
+        throw std::out_of_range("apply_gate: qubits");
+      const double phi = g.kind == GateKind::kCZ ? kPi : g.params[0];
+      const cplx e[1] = {std::exp(kI * phi)};
+      const std::uint64_t mask = pow2(static_cast<unsigned>(g.q0)) |
+                                 pow2(static_cast<unsigned>(g.q1));
+      const idx touched = t.diag_mask(amp_.data(), dim, 1, mask, e);
+      VQSIM_COUNTER(c_amps, "sim.amps_touched_total");
+      VQSIM_COUNTER_ADD(c_amps, touched);
+      (void)touched;
       return;
     }
     case GateKind::kRZZ:

@@ -1,0 +1,432 @@
+// Bit-identity suite for the shared gate-kernel dispatch layer
+// (src/kernels): every production path — the active (possibly SIMD) table
+// behind StateVector::apply_gate, the generated constant-folded kernels,
+// the scalar fallback table, and the batched K > 1 layout — must reproduce
+// the seed reference expressions (kernels/reference.hpp) amplitude for
+// amplitude under operator==, and the scalar and SIMD tables must agree
+// bit for bit with each other.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "ir/gate.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/reference.hpp"
+#include "sim/state_vector.hpp"
+
+namespace vqsim {
+namespace {
+
+using kernels::KernelTable;
+
+AmpVector to_amps(const std::vector<cplx>& a) {
+  return AmpVector(a.begin(), a.end());
+}
+
+std::vector<cplx> random_state(idx dim, std::mt19937& rng) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<cplx> a(static_cast<std::size_t>(dim));
+  for (cplx& v : a) v = cplx{dist(rng), dist(rng)};
+  return a;
+}
+
+Gate make_gate(GateKind k, int q0, int q1, std::mt19937& rng) {
+  std::uniform_real_distribution<double> ang(-2.5, 2.5);
+  Gate g;
+  g.kind = k;
+  g.q0 = q0;
+  if (gate_arity(k) == 2) g.q1 = q1;
+  for (int p = 0; p < gate_num_params(k); ++p) g.params[p] = ang(rng);
+  if (k == GateKind::kMat1) {
+    Gate u;
+    u.kind = GateKind::kU3;
+    u.q0 = q0;
+    u.params = {ang(rng), ang(rng), ang(rng)};
+    return make_mat1_gate(q0, gate_matrix2(u));
+  }
+  if (k == GateKind::kMat2) {
+    Gate a;
+    a.kind = GateKind::kRXX;
+    a.q0 = 0;
+    a.q1 = 1;
+    a.params[0] = ang(rng);
+    Gate b;
+    b.kind = GateKind::kCRY;
+    b.q0 = 0;
+    b.q1 = 1;
+    b.params[0] = ang(rng);
+    return make_mat2_gate(q0, q1, gate_matrix4(a) * gate_matrix4(b));
+  }
+  return g;
+}
+
+constexpr GateKind kAllKinds[] = {
+    GateKind::kI,    GateKind::kX,    GateKind::kY,    GateKind::kZ,
+    GateKind::kH,    GateKind::kS,    GateKind::kSdg,  GateKind::kT,
+    GateKind::kTdg,  GateKind::kSX,   GateKind::kSXdg, GateKind::kRX,
+    GateKind::kRY,   GateKind::kRZ,   GateKind::kP,    GateKind::kU3,
+    GateKind::kCX,   GateKind::kCY,   GateKind::kCZ,   GateKind::kCH,
+    GateKind::kSwap, GateKind::kCRX,  GateKind::kCRY,  GateKind::kCRZ,
+    GateKind::kCP,   GateKind::kRXX,  GateKind::kRYY,  GateKind::kRZZ,
+    GateKind::kMat1, GateKind::kMat2,
+};
+
+// Every gate kind at low, high, and adjacent operand positions: the full
+// production dispatch (generated constants, diagonal fast paths, SIMD
+// lanes) against the seed reference, amplitude for amplitude.
+TEST(Kernels, EveryKindMatchesSeedReferenceAtEveryPlacement) {
+  const int n = 8;
+  const idx dim = pow2(n);
+  std::mt19937 rng(20240807);
+  // (q0, q1) placements; 1q kinds use q0 only. Covers the low-lane corner
+  // (stride 1), the top bit (one giant lane), adjacent bits, a reversed
+  // pair, and a far pair.
+  const int placements[][2] = {{0, 1}, {n - 1, n - 2}, {3, 4},
+                               {5, 2},  {0, n - 1},    {n - 1, 0}};
+  for (GateKind k : kAllKinds) {
+    for (const auto& pl : placements) {
+      const Gate g = make_gate(k, pl[0], pl[1], rng);
+      std::vector<cplx> ref = random_state(dim, rng);
+      StateVector psi = StateVector::from_amplitudes(to_amps(ref));
+      kernels::reference::apply_gate(ref.data(), dim, g);
+      psi.apply_gate(g);
+      for (idx i = 0; i < dim; ++i)
+        ASSERT_EQ(psi.data()[i], ref[i])
+            << "kind=" << gate_name(k) << " q0=" << pl[0] << " q1=" << pl[1]
+            << " amp=" << i;
+    }
+  }
+}
+
+// The scalar table and the active (SIMD when available) table agree bit
+// for bit on every generic kernel and every generated specialization —
+// memcmp, not just ==, because both run the same expressions.
+TEST(Kernels, ScalarAndActiveTablesAgreeBitwise) {
+  const KernelTable& s = kernels::scalar_table();
+  const KernelTable& t = kernels::active_table();
+  if (!kernels::simd_enabled())
+    GTEST_SKIP() << "scalar table is the active table in this build";
+  const int n = 7;
+  const idx dim = pow2(n);
+  std::mt19937 rng(1234);
+  const auto check = [&](const char* what, auto&& call) {
+    std::vector<cplx> a = random_state(dim, rng);
+    std::vector<cplx> b = a;
+    const idx ta = call(s, a.data());
+    const idx tb = call(t, b.data());
+    EXPECT_EQ(ta, tb) << what << ": touched counts differ";
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(cplx)))
+        << what;
+  };
+  std::uniform_real_distribution<double> ang(-2.5, 2.5);
+  const cplx m[4] = {cplx{ang(rng), ang(rng)}, cplx{ang(rng), ang(rng)},
+                     cplx{ang(rng), ang(rng)}, cplx{ang(rng), ang(rng)}};
+  cplx m16[16];
+  for (cplx& v : m16) v = cplx{ang(rng), ang(rng)};
+  const cplx e2[2] = {std::exp(kI * ang(rng)), std::exp(kI * ang(rng))};
+  const double c = std::cos(0.7);
+  const cplx mis{0.0, -std::sin(0.7)};
+  const cplx one{1.0, 0.0};
+  for (unsigned q = 0; q < static_cast<unsigned>(n); ++q) {
+    check("mat2", [&](const KernelTable& tb, cplx* a) {
+      return tb.mat2(a, dim, 1, q, m);
+    });
+    check("diag_mask1", [&](const KernelTable& tb, cplx* a) {
+      return tb.diag_mask(a, dim, 1, pow2(q), e2);
+    });
+    check("diag_z", [&](const KernelTable& tb, cplx* a) {
+      return tb.diag_z(a, dim, 1, pow2(q), e2);
+    });
+    for (GateKind k : kAllKinds) {
+      const std::size_t ki = static_cast<std::size_t>(k);
+      if (s.fixed1[ki])
+        check(gate_name(k), [&](const KernelTable& tb, cplx* a) {
+          return tb.fixed1[ki](a, dim, 1, q);
+        });
+    }
+  }
+  const unsigned pairs[][2] = {{0, 1}, {5, 2}, {6, 0}, {3, 4}};
+  for (const auto& p : pairs) {
+    check("cmat2", [&](const KernelTable& tb, cplx* a) {
+      return tb.cmat2(a, dim, 1, p[0], p[1], m);
+    });
+    check("mat4", [&](const KernelTable& tb, cplx* a) {
+      return tb.mat4(a, dim, 1, p[0], p[1], m16);
+    });
+    check("cdiag2", [&](const KernelTable& tb, cplx* a) {
+      return tb.cdiag2(a, dim, 1, p[0], p[1], e2);
+    });
+    check("diag_mask11", [&](const KernelTable& tb, cplx* a) {
+      return tb.diag_mask(a, dim, 1, pow2(p[0]) | pow2(p[1]), e2);
+    });
+    check("pauli", [&](const KernelTable& tb, cplx* a) {
+      return tb.pauli(a, dim, 1, pow2(p[0]) | pow2(p[1]), pow2(p[1]), &one);
+    });
+    check("exp_pauli", [&](const KernelTable& tb, cplx* a) {
+      const double cc[1] = {c};
+      return tb.exp_pauli(a, dim, 1, pow2(p[0]) | pow2(p[1]), pow2(p[1]),
+                          cc, &mis, &one);
+    });
+    for (GateKind k : kAllKinds) {
+      const std::size_t ki = static_cast<std::size_t>(k);
+      if (s.fixed2[ki])
+        check(gate_name(k), [&](const KernelTable& tb, cplx* a) {
+          return tb.fixed2[ki](a, dim, 1, p[0], p[1]);
+        });
+    }
+  }
+  check("scale", [&](const KernelTable& tb, cplx* a) {
+    return tb.scale(a, dim, 1, e2);
+  });
+  check("pauli_diag", [&](const KernelTable& tb, cplx* a) {
+    return tb.pauli(a, dim, 1, 0, pow2(3u) | pow2(5u), &one);
+  });
+}
+
+// Batched layout: table kernels at K in {2, 7, 16} must produce, for every
+// item k, exactly the amplitudes the K = 1 call produces on that item's
+// state alone.
+TEST(Kernels, BatchedItemsMatchUnbatchedBitwise) {
+  const KernelTable& t = kernels::active_table();
+  const int n = 6;
+  const idx dim = pow2(n);
+  std::mt19937 rng(777);
+  std::uniform_real_distribution<double> ang(-2.5, 2.5);
+  for (const std::size_t K : {std::size_t{2}, std::size_t{7},
+                              std::size_t{16}}) {
+    // Per-item payloads, slot-major.
+    std::vector<cplx> m2(4 * K), m16(16 * K), e2(2 * K), g1(K), mis(K);
+    std::vector<double> cc(K);
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t sl = 0; sl < 4; ++sl)
+        m2[sl * K + k] = cplx{ang(rng), ang(rng)};
+      for (std::size_t sl = 0; sl < 16; ++sl)
+        m16[sl * K + k] = cplx{ang(rng), ang(rng)};
+      const double th = ang(rng);
+      e2[k] = std::exp(kI * th);
+      e2[K + k] = std::exp(-kI * th);
+      g1[k] = std::exp(kI * ang(rng));
+      cc[k] = std::cos(th);
+      mis[k] = cplx{0.0, -std::sin(th)};
+    }
+    // Item states, interleaved slot-major and kept separately.
+    std::vector<std::vector<cplx>> items;
+    std::vector<cplx> soa(static_cast<std::size_t>(dim) * K);
+    for (std::size_t k = 0; k < K; ++k) {
+      items.push_back(random_state(dim, rng));
+      for (idx i = 0; i < dim; ++i) soa[i * K + k] = items[k][i];
+    }
+    const auto run = [&](const char* what, auto&& batched, auto&& single) {
+      std::vector<cplx> got = soa;
+      const idx tb = batched(got.data());
+      idx t1 = 0;
+      std::vector<std::vector<cplx>> want = items;
+      for (std::size_t k = 0; k < K; ++k) t1 += single(k, want[k].data());
+      EXPECT_EQ(tb, t1) << what << ": touched counts differ";
+      for (std::size_t k = 0; k < K; ++k)
+        for (idx i = 0; i < dim; ++i)
+          ASSERT_EQ(got[i * K + k], want[k][i])
+              << what << " K=" << K << " item=" << k << " amp=" << i;
+    };
+    const unsigned q = 2, qa = 4, qb = 1;
+    run(
+        "mat2",
+        [&](cplx* a) { return t.mat2(a, dim, K, q, m2.data()); },
+        [&](std::size_t k, cplx* a) {
+          const cplx mk[4] = {m2[k], m2[K + k], m2[2 * K + k], m2[3 * K + k]};
+          return t.mat2(a, dim, 1, q, mk);
+        });
+    run(
+        "cmat2",
+        [&](cplx* a) { return t.cmat2(a, dim, K, qa, qb, m2.data()); },
+        [&](std::size_t k, cplx* a) {
+          const cplx mk[4] = {m2[k], m2[K + k], m2[2 * K + k], m2[3 * K + k]};
+          return t.cmat2(a, dim, 1, qa, qb, mk);
+        });
+    run(
+        "mat4",
+        [&](cplx* a) { return t.mat4(a, dim, K, qa, qb, m16.data()); },
+        [&](std::size_t k, cplx* a) {
+          cplx mk[16];
+          for (std::size_t sl = 0; sl < 16; ++sl) mk[sl] = m16[sl * K + k];
+          return t.mat4(a, dim, 1, qa, qb, mk);
+        });
+    run(
+        "diag_mask1",
+        [&](cplx* a) { return t.diag_mask(a, dim, K, pow2(q), e2.data()); },
+        [&](std::size_t k, cplx* a) {
+          const cplx ek[1] = {e2[k]};
+          return t.diag_mask(a, dim, 1, pow2(q), ek);
+        });
+    run(
+        "diag_mask11",
+        [&](cplx* a) {
+          return t.diag_mask(a, dim, K, pow2(qa) | pow2(qb), e2.data());
+        },
+        [&](std::size_t k, cplx* a) {
+          const cplx ek[1] = {e2[k]};
+          return t.diag_mask(a, dim, 1, pow2(qa) | pow2(qb), ek);
+        });
+    run(
+        "cdiag2",
+        [&](cplx* a) { return t.cdiag2(a, dim, K, qa, qb, e2.data()); },
+        [&](std::size_t k, cplx* a) {
+          const cplx ek[2] = {e2[k], e2[K + k]};
+          return t.cdiag2(a, dim, 1, qa, qb, ek);
+        });
+    run(
+        "diag_z",
+        [&](cplx* a) {
+          return t.diag_z(a, dim, K, pow2(q) | pow2(qa), e2.data());
+        },
+        [&](std::size_t k, cplx* a) {
+          const cplx ek[2] = {e2[k], e2[K + k]};
+          return t.diag_z(a, dim, 1, pow2(q) | pow2(qa), ek);
+        });
+    run(
+        "scale",
+        [&](cplx* a) { return t.scale(a, dim, K, g1.data()); },
+        [&](std::size_t k, cplx* a) { return t.scale(a, dim, 1, &g1[k]); });
+    run(
+        "pauli",
+        [&](cplx* a) {
+          return t.pauli(a, dim, K, pow2(q), pow2(qa), g1.data());
+        },
+        [&](std::size_t k, cplx* a) {
+          return t.pauli(a, dim, 1, pow2(q), pow2(qa), &g1[k]);
+        });
+    run(
+        "exp_pauli",
+        [&](cplx* a) {
+          return t.exp_pauli(a, dim, K, pow2(q), pow2(qa), cc.data(),
+                             mis.data(), g1.data());
+        },
+        [&](std::size_t k, cplx* a) {
+          return t.exp_pauli(a, dim, 1, pow2(q), pow2(qa), &cc[k], &mis[k],
+                             &g1[k]);
+        });
+  }
+}
+
+// Diagonal kernels enumerate only the affected half/quarter branch-free;
+// the seed scanned all 2^n indices with a per-index test. Randomized
+// regression: identical updated amplitudes AND bitwise-untouched
+// spectators, across every mask placement.
+TEST(Kernels, DiagonalEnumerationMatchesPerIndexScan) {
+  const KernelTable& t = kernels::active_table();
+  const int n = 9;
+  const idx dim = pow2(n);
+  std::mt19937 rng(4242);
+  std::uniform_real_distribution<double> ang(-3.0, 3.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned b0 = static_cast<unsigned>(rng() % n);
+    unsigned b1 = static_cast<unsigned>(rng() % n);
+    while (b1 == b0) b1 = static_cast<unsigned>(rng() % n);
+    const cplx e = std::exp(kI * ang(rng));
+    // One-bit mask (the phase-gate half).
+    {
+      const std::uint64_t mask = pow2(b0);
+      std::vector<cplx> a = random_state(dim, rng);
+      std::vector<cplx> b = a;
+      const idx touched = t.diag_mask(a.data(), dim, 1, mask, &e);
+      EXPECT_EQ(touched, dim / 2);
+      for (idx i = 0; i < dim; ++i)
+        if ((i & mask) == mask) b[i] *= e;
+      for (idx i = 0; i < dim; ++i) ASSERT_EQ(a[i], b[i]) << "amp " << i;
+      // Spectators are bitwise untouched (not merely equal).
+      std::vector<cplx> c = b;
+      for (idx i = 0; i < dim; ++i)
+        if ((i & mask) != mask)
+          ASSERT_EQ(0, std::memcmp(&a[i], &c[i], sizeof(cplx)));
+    }
+    // Two-bit mask (the CZ/CP quarter).
+    {
+      const std::uint64_t mask = pow2(b0) | pow2(b1);
+      std::vector<cplx> a = random_state(dim, rng);
+      std::vector<cplx> b = a;
+      const idx touched = t.diag_mask(a.data(), dim, 1, mask, &e);
+      EXPECT_EQ(touched, dim / 4);
+      for (idx i = 0; i < dim; ++i)
+        if ((i & mask) == mask) b[i] *= e;
+      for (idx i = 0; i < dim; ++i) ASSERT_EQ(a[i], b[i]) << "amp " << i;
+    }
+    // Controlled diagonal (the CRZ half).
+    {
+      const cplx e2[2] = {std::exp(kI * ang(rng)), std::exp(kI * ang(rng))};
+      std::vector<cplx> a = random_state(dim, rng);
+      std::vector<cplx> b = a;
+      const idx touched = t.cdiag2(a.data(), dim, 1, b0, b1, e2);
+      EXPECT_EQ(touched, dim / 2);
+      for (idx i = 0; i < dim; ++i)
+        if (test_bit(i, b0)) b[i] *= test_bit(i, b1) ? e2[1] : e2[0];
+      for (idx i = 0; i < dim; ++i) ASSERT_EQ(a[i], b[i]) << "amp " << i;
+    }
+  }
+}
+
+// The CRZ diagonal fast path must agree with the dense controlled-matrix
+// route it replaced, operator==-consistently, at random angles and
+// placements.
+TEST(Kernels, CrzFastPathMatchesDenseControlledRoute) {
+  const int n = 7;
+  const idx dim = pow2(n);
+  std::mt19937 rng(909);
+  std::uniform_real_distribution<double> ang(-3.0, 3.0);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int qc = static_cast<int>(rng() % n);
+    int qt = static_cast<int>(rng() % n);
+    while (qt == qc) qt = static_cast<int>(rng() % n);
+    Gate g;
+    g.kind = GateKind::kCRZ;
+    g.q0 = qc;
+    g.q1 = qt;
+    g.params[0] = ang(rng);
+    const std::vector<cplx> init = random_state(dim, rng);
+    StateVector fast = StateVector::from_amplitudes(to_amps(init));
+    fast.apply_gate(g);  // cdiag2 fast path
+    StateVector dense = StateVector::from_amplitudes(to_amps(init));
+    dense.apply_controlled_mat2(gate_controlled_block(g), qc, qt);
+    for (idx i = 0; i < dim; ++i)
+      ASSERT_EQ(fast.data()[i], dense.data()[i])
+          << "qc=" << qc << " qt=" << qt << " amp=" << i;
+  }
+}
+
+// The dense-exchange halves entry used by the distributed backend: for
+// every 1q kind, splitting the register at the top bit and running
+// apply_gate_halves on the halves must equal apply_gate on the whole.
+TEST(Kernels, HalvesEntryMatchesWholeRegisterDispatch) {
+  const int n = 7;
+  const idx dim = pow2(n);
+  const idx half = dim / 2;
+  std::mt19937 rng(5150);
+  for (GateKind k : kAllKinds) {
+    if (gate_arity(k) != 1 || k == GateKind::kI) continue;
+    const Gate g = make_gate(k, n - 1, -1, rng);
+    // The dist backend exchanges amplitudes only for dense gates — diagonal
+    // globals move nothing — so the halves contract covers the dense kinds.
+    if (gate_is_diagonal(g)) continue;
+    std::vector<cplx> whole = random_state(dim, rng);
+    std::vector<cplx> h0(whole.begin(), whole.begin() + half);
+    std::vector<cplx> h1(whole.begin() + half, whole.end());
+    StateVector psi = StateVector::from_amplitudes(to_amps(whole));
+    psi.apply_gate(g);
+    Gate local = g;
+    local.q0 = 0;  // halves layout: the split bit is the gate bit
+    kernels::apply_gate_halves(local, h0.data(), h1.data(), half);
+    for (idx i = 0; i < half; ++i) {
+      ASSERT_EQ(h0[i], psi.data()[i]) << gate_name(k) << " lo amp " << i;
+      ASSERT_EQ(h1[i], psi.data()[half + i]) << gate_name(k) << " hi amp "
+                                             << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vqsim

@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "dist/comm.hpp"
+#include "ir/gate.hpp"
 #include "pauli/pauli_sum.hpp"
+#include "sim/state_vector.hpp"
 #include "runtime/virtual_qpu.hpp"
 #include "telemetry/telemetry.hpp"
 #include "vqe/ansatz.hpp"
@@ -490,6 +492,58 @@ TEST(TelemetryEndToEnd, SmallVqeRunProducesFourLayerTrace) {
   EXPECT_TRUE(counters.has("vqe.energy_evaluations_total"));
   EXPECT_TRUE(counters.has("pool.jobs_completed_total"));
   EXPECT_TRUE(counters.has("comm.messages_total"));
+}
+
+// "sim.amps_touched_total" counts amplitudes actually updated, pinned per
+// gate kind. The seed billed apply_phase for the full register while it
+// touched half, and billed CZ/CP for nothing; the kernel table reports the
+// touched count from the kernel itself, so these deltas are exact.
+TEST(TelemetryEndToEnd, AmpsTouchedCountsAmplitudesActuallyUpdated) {
+  if constexpr (!telemetry::kEnabled)
+    GTEST_SKIP() << "telemetry hooks compiled out (VQSIM_TELEMETRY=OFF)";
+
+  Counter& amps =
+      MetricsRegistry::global().counter("sim.amps_touched_total");
+  StateVector psi(4);  // dim = 16
+  const auto delta_for = [&](const Gate& g) {
+    const std::uint64_t before = amps.value();
+    psi.apply_gate(g);
+    return amps.value() - before;
+  };
+  const auto gate1 = [](GateKind k, int q, double p = 0.0) {
+    Gate g;
+    g.kind = k;
+    g.q0 = q;
+    g.params[0] = p;
+    return g;
+  };
+  const auto gate2 = [](GateKind k, int q0, int q1, double p = 0.0) {
+    Gate g;
+    g.kind = k;
+    g.q0 = q0;
+    g.q1 = q1;
+    g.params[0] = p;
+    return g;
+  };
+  // Dense 1q: every amplitude.
+  EXPECT_EQ(delta_for(gate1(GateKind::kH, 0)), 16u);
+  EXPECT_EQ(delta_for(gate1(GateKind::kX, 2)), 16u);
+  EXPECT_EQ(delta_for(gate1(GateKind::kRX, 1, 0.3)), 16u);
+  // Diagonal 1q: only the qubit-set half (the seed billed 16 for S).
+  EXPECT_EQ(delta_for(gate1(GateKind::kZ, 1)), 8u);
+  EXPECT_EQ(delta_for(gate1(GateKind::kS, 3)), 8u);
+  EXPECT_EQ(delta_for(gate1(GateKind::kP, 0, 0.7)), 8u);
+  // RZ multiplies every amplitude by one of two phases.
+  EXPECT_EQ(delta_for(gate1(GateKind::kRZ, 2, 0.5)), 16u);
+  // Controlled 2q: the control-set half.
+  EXPECT_EQ(delta_for(gate2(GateKind::kCX, 0, 3)), 8u);
+  EXPECT_EQ(delta_for(gate2(GateKind::kCRZ, 1, 2, 0.4)), 8u);
+  EXPECT_EQ(delta_for(gate2(GateKind::kSwap, 1, 3)), 8u);
+  // Doubly-diagonal 2q: only the |11> quarter (the seed billed 0).
+  EXPECT_EQ(delta_for(gate2(GateKind::kCZ, 0, 1)), 4u);
+  EXPECT_EQ(delta_for(gate2(GateKind::kCP, 2, 3, 0.9)), 4u);
+  // Dense 2q: every amplitude.
+  EXPECT_EQ(delta_for(gate2(GateKind::kRXX, 0, 2, 0.6)), 16u);
 }
 
 TEST(TelemetryEndToEnd, GlobalRegistryMirrorsCommStats) {

@@ -39,7 +39,24 @@ ctest --test-dir "${build_dir}" --output-on-failure -j
 # bit-identical energies, bounded recovery overhead, the deadline-vs-control
 # ablation, and degraded-mode failover; 2/4 ranks, two seeds).
 "${build_dir}/bench/perf_chaos" --quick
+# Gate-kernel table gate (perf_gate_kernels self-gates >= 2x on the dense
+# workhorse gates when the SIMD table is active and bit-identity of every
+# gate kind against the seed reference kernels).
+"${build_dir}/bench/perf_gate_kernels"
 echo "Tier-1 tests OK."
+
+echo "=== CI stage 1b: forced-scalar build + ctest (-DVQSIM_SIMD=OFF) ==="
+# The scalar fallback table is a supported production configuration (older
+# nodes, or a failed cmake probe), so it gets the same correctness floor:
+# the full suite must pass — and because the SIMD and scalar tables run the
+# same per-amplitude expressions, every bit-identity test in it pins the
+# two builds to identical amplitudes.
+scalar_dir="${build_dir}-scalar"
+cmake -B "${scalar_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
+  -DVQSIM_SIMD=OFF
+cmake --build "${scalar_dir}" -j
+ctest --test-dir "${scalar_dir}" --output-on-failure -j
+echo "Forced-scalar tests OK."
 
 echo "=== CI stage 2: static analysis ==="
 "${repo_root}/tools/run_static_analysis.sh" "${build_dir}-static-analysis"

@@ -1,0 +1,235 @@
+// Generates kernels_generated.inc: branch-free constant-folded lane bodies
+// for the fixed-matrix gates (H, X, Y, Z, S, Sdg, T, Tdg, SX, SXdg, CX, CY,
+// CZ, CH, Swap), invoked through the skeleton macros kernel_impl.inc
+// defines before including the output.
+//
+// The folding rules mirror the runtime dispatch exactly:
+//  * matrices come from the same ir/gate.cpp factories the generic kernels
+//    would use (gate_matrix2 / gate_controlled_block), and phase gates use
+//    the same std::exp expressions StateVector::apply_gate evaluated at
+//    runtime (S is exp(i*pi/2), NOT the textbook matrix entry i — the two
+//    differ in the last bits of the real part);
+//  * constants are printed as hexfloats, so they round-trip bit-exactly;
+//  * a zero coefficient drops its term, +/-1 folds to a copy/negation, a
+//    purely real or imaginary coefficient keeps only the surviving
+//    products — in the seed's left-to-right summation order, so every
+//    computed rounding matches the generic kernel's.
+//
+// Run: gen_kernels <output-path>  (build-time custom command; see
+// src/CMakeLists.txt).
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+#include "ir/gate.hpp"
+
+namespace {
+
+using vqsim::cplx;
+using vqsim::Gate;
+using vqsim::GateKind;
+using vqsim::kI;
+using vqsim::kPi;
+using vqsim::Mat2;
+
+std::string hexd(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+// A sum-of-terms expression under construction.
+struct Expr {
+  std::string s;
+  void add(bool neg, const std::string& term) {
+    if (s.empty())
+      s = neg ? "-" + term : term;
+    else
+      s += (neg ? " - " : " + ") + term;
+  }
+};
+
+// Append coefficient w times input `v` (components <v>r / <v>i) to the
+// real/imaginary expressions. Sign normalizations stay bitwise-faithful:
+// IEEE negation commutes with multiplication and a - b == a + (-b).
+void add_term(Expr& re, Expr& im, cplx w, const std::string& v) {
+  const double wr = w.real();
+  const double wi = w.imag();
+  const std::string vr = v + "r";
+  const std::string vi = v + "i";
+  if (wr == 0.0 && wi == 0.0) return;
+  if (wi == 0.0) {
+    if (wr == 1.0) {
+      re.add(false, vr);
+      im.add(false, vi);
+    } else if (wr == -1.0) {
+      re.add(true, vr);
+      im.add(true, vi);
+    } else {
+      const bool neg = std::signbit(wr);
+      const std::string c = hexd(neg ? -wr : wr);
+      re.add(neg, c + " * " + vr);
+      im.add(neg, c + " * " + vi);
+    }
+    return;
+  }
+  if (wr == 0.0) {
+    // (0, d) * a = (-d*ai, d*ar)
+    if (wi == 1.0) {
+      re.add(true, vi);
+      im.add(false, vr);
+    } else if (wi == -1.0) {
+      re.add(false, vi);
+      im.add(true, vr);
+    } else {
+      const bool neg = std::signbit(wi);
+      const std::string c = hexd(neg ? -wi : wi);
+      re.add(!neg, c + " * " + vi);
+      im.add(neg, c + " * " + vr);
+    }
+    return;
+  }
+  const std::string cr = hexd(wr);
+  const std::string ci = hexd(wi);
+  re.add(false, "(" + cr + " * " + vr + " - " + ci + " * " + vi + ")");
+  im.add(false, "(" + cr + " * " + vi + " + " + ci + " * " + vr + ")");
+}
+
+std::string row(cplx w0, const std::string& v0, cplx w1,
+                const std::string& v1) {
+  Expr re, im;
+  add_term(re, im, w0, v0);
+  add_term(re, im, w1, v1);
+  if (re.s.empty()) re.s = "0.0";
+  if (im.s.empty()) im.s = "0.0";
+  return "cplx{" + re.s + ", " + im.s + "}";
+}
+
+std::string diag_body(cplx e) {
+  Expr re, im;
+  add_term(re, im, e, "a");
+  return "cplx{" + re.s + ", " + im.s + "}";
+}
+
+void emit_pair_body(std::FILE* out, const char* macro, const char* fn,
+                    const Mat2& m) {
+  std::fprintf(out, "%s(%s,\n", macro, fn);
+  std::fprintf(out, "  const double a0r = p0[j].real();\n");
+  std::fprintf(out, "  const double a0i = p0[j].imag();\n");
+  std::fprintf(out, "  const double a1r = p1[j].real();\n");
+  std::fprintf(out, "  const double a1i = p1[j].imag();\n");
+  std::fprintf(out, "  p0[j] = %s;\n",
+               row(m(0, 0), "a0", m(0, 1), "a1").c_str());
+  std::fprintf(out, "  p1[j] = %s;\n",
+               row(m(1, 0), "a0", m(1, 1), "a1").c_str());
+  std::fprintf(out, ")\n\n");
+}
+
+void emit_diag(std::FILE* out, const char* macro, const char* fn, cplx e) {
+  std::fprintf(out, "%s(%s,\n", macro, fn);
+  std::fprintf(out, "  const double ar = p[j].real();\n");
+  std::fprintf(out, "  const double ai = p[j].imag();\n");
+  std::fprintf(out, "  p[j] = %s;\n", diag_body(e).c_str());
+  std::fprintf(out, ")\n\n");
+}
+
+Mat2 matrix_of(GateKind kind) {
+  Gate g;
+  g.kind = kind;
+  g.q0 = 0;
+  return gate_matrix2(g);
+}
+
+Mat2 block_of(GateKind kind) {
+  Gate g;
+  g.kind = kind;
+  g.q0 = 0;
+  g.q1 = 1;
+  return gate_controlled_block(g);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (!out) {
+      std::fprintf(stderr, "gen_kernels: cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+
+  std::fprintf(out,
+               "// Generated by tools/gen_kernels.cpp — do not edit.\n"
+               "// Constant-folded fixed-matrix gate kernels; included by\n"
+               "// kernel_impl.inc after the VQSIM_GEN_* skeleton macros.\n\n");
+
+  // Dense 1q: matrices from the same factories the generic path uses.
+  struct Dense1 {
+    const char* fn;
+    const char* kind;
+    GateKind k;
+  };
+  const Dense1 dense1[] = {
+      {"gen_x", "kX", GateKind::kX},       {"gen_y", "kY", GateKind::kY},
+      {"gen_h", "kH", GateKind::kH},       {"gen_sx", "kSX", GateKind::kSX},
+      {"gen_sxdg", "kSXdg", GateKind::kSXdg},
+  };
+  for (const auto& d : dense1)
+    emit_pair_body(out, "VQSIM_GEN_1Q_DENSE", d.fn, matrix_of(d.k));
+
+  // Diagonal 1q: Z folds from the Pauli route's global*sign product; the
+  // phase gates bake the runtime's exp(i*phi).
+  emit_diag(out, "VQSIM_GEN_1Q_DIAG", "gen_z", cplx{1.0, 0.0} * -1.0);
+  emit_diag(out, "VQSIM_GEN_1Q_DIAG", "gen_s", std::exp(kI * (kPi / 2)));
+  emit_diag(out, "VQSIM_GEN_1Q_DIAG", "gen_sdg", std::exp(kI * (-kPi / 2)));
+  emit_diag(out, "VQSIM_GEN_1Q_DIAG", "gen_t", std::exp(kI * (kPi / 4)));
+  emit_diag(out, "VQSIM_GEN_1Q_DIAG", "gen_tdg", std::exp(kI * (-kPi / 4)));
+
+  // Controlled dense 2q: target blocks via gate_controlled_block.
+  emit_pair_body(out, "VQSIM_GEN_2Q_CTRL", "gen_cx", block_of(GateKind::kCX));
+  emit_pair_body(out, "VQSIM_GEN_2Q_CTRL", "gen_cy", block_of(GateKind::kCY));
+  emit_pair_body(out, "VQSIM_GEN_2Q_CTRL", "gen_ch", block_of(GateKind::kCH));
+
+  // CZ: phase on |11>, the runtime's exp(i*pi).
+  emit_diag(out, "VQSIM_GEN_2Q_DIAG11", "gen_cz", std::exp(kI * kPi));
+
+  // Swap: the middle quarters exchange; rows 0 and 3 are identity and stay
+  // untouched (and uncounted).
+  std::fprintf(out,
+               "VQSIM_GEN_2Q_SWAP(gen_swap,\n"
+               "  const cplx t = p01[j];\n"
+               "  p01[j] = p10[j];\n"
+               "  p10[j] = t;\n"
+               ")\n\n");
+
+  std::fprintf(
+      out,
+      "inline void register_generated(KernelTable& t) {\n"
+      "  const auto at = [](GateKind k) { return static_cast<std::size_t>(k); "
+      "};\n");
+  for (const auto& d : dense1) {
+    std::fprintf(out, "  t.fixed1[at(GateKind::%s)] = &%s;\n", d.kind, d.fn);
+    std::fprintf(out, "  t.fixed1_halves[at(GateKind::%s)] = &%s_halves;\n",
+                 d.kind, d.fn);
+  }
+  std::fprintf(out,
+               "  t.fixed1[at(GateKind::kZ)] = &gen_z;\n"
+               "  t.fixed1[at(GateKind::kS)] = &gen_s;\n"
+               "  t.fixed1[at(GateKind::kSdg)] = &gen_sdg;\n"
+               "  t.fixed1[at(GateKind::kT)] = &gen_t;\n"
+               "  t.fixed1[at(GateKind::kTdg)] = &gen_tdg;\n"
+               "  t.fixed2[at(GateKind::kCX)] = &gen_cx;\n"
+               "  t.fixed2[at(GateKind::kCY)] = &gen_cy;\n"
+               "  t.fixed2[at(GateKind::kCH)] = &gen_ch;\n"
+               "  t.fixed2[at(GateKind::kCZ)] = &gen_cz;\n"
+               "  t.fixed2[at(GateKind::kSwap)] = &gen_swap;\n"
+               "}\n");
+
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

@@ -35,17 +35,18 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DVQSIM_BUILD_BENCH=ON
 
 bench_targets=(perf_virtual_qpu fig3_caching perf_analyze)
-gbench_targets=(perf_gate_kernels perf_fusion perf_expectation perf_caching)
+gbench_targets=(perf_fusion perf_expectation perf_caching)
 if [[ "${quick}" == 0 ]]; then
   bench_targets+=(fig5_adapt_vqe)
 fi
-# perf_scaling, perf_serve, perf_batch, and perf_chaos build in both modes:
-# their BENCH-protocol gates (comm volume; serve cache speedup/bit-identity/
-# quota; batched-execution speedup/bit-identity/compile-once; rank-failure
-# terminal-success/bit-identity/overhead) are part of the regression surface
+# perf_scaling, perf_serve, perf_batch, perf_chaos, and perf_gate_kernels
+# build in both modes: their BENCH-protocol gates (comm volume; serve cache
+# speedup/bit-identity/quota; batched-execution speedup/bit-identity/
+# compile-once; rank-failure terminal-success/bit-identity/overhead;
+# kernel-table speedup/bit-identity) are part of the regression surface
 # even for --quick runs.
 cmake --build "${build_dir}" -j --target "${bench_targets[@]}" perf_scaling \
-  perf_serve perf_batch perf_chaos \
+  perf_serve perf_batch perf_chaos perf_gate_kernels \
   $([[ "${quick}" == 0 ]] && echo "${gbench_targets[@]}")
 
 mkdir -p "${out_dir}"
@@ -144,6 +145,16 @@ if [[ "${quick}" == 1 ]]; then
 fi
 "${build_dir}/bench/perf_chaos" ${chaos_args[@]+"${chaos_args[@]}"} \
   | tee "${out_dir}/perf_chaos.log"
+
+# Gate-kernel table gate (perf_gate_kernels owns its main): the shared
+# SIMD/generated kernel dispatch vs the seed's serial reference kernels,
+# per gate kind at 12/16 qubits (BENCH suite "kernels"). The binary exits
+# non-zero — aborting this script via set -e — unless the dense workhorse
+# gates (h/cx/swap) clear >= 2x on the SIMD table (>= 1.05x scalar
+# fallback), no kind drops below 0.7x, and every cell is bit-identical to
+# the reference.
+echo "== perf_gate_kernels"
+"${build_dir}/bench/perf_gate_kernels" | tee "${out_dir}/perf_gate_kernels.log"
 
 # google-benchmark microbenchmarks (JSON sidecar per binary).
 if [[ "${quick}" == 0 ]]; then

@@ -49,9 +49,11 @@ run_tsan() {
   # first-failure record) and the pool's CommFailure -> breaker-trip ->
   # failover path, where a race between the failing worker and the retry
   # dispatch would corrupt the degraded-state accounting.
+  # test_kernels rides along so the SIMD/generated kernel dispatch runs its
+  # parallel_for lanes under the race detector too.
   cmake --build "${build_dir}" -j \
     --target test_runtime test_dist test_telemetry test_resilience \
-    test_serve test_exec test_dist_resilience
+    test_serve test_exec test_dist_resilience test_kernels
 
   # tools/tsan.supp masks the libstdc++ exception_ptr/COW-string refcount
   # false positive (synchronization lives in the uninstrumented system
@@ -65,6 +67,7 @@ run_tsan() {
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_serve"
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_exec"
   TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_dist_resilience"
+  TSAN_OPTIONS="${tsan_opts}" "${build_dir}/tests/test_kernels"
 
   echo "TSan pass OK: zero data races reported."
 }
